@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 11: abort breakdown per type, for each benchmark and
+ * configuration. Categories as in the paper, from cheap to
+ * expensive: memory conflict, explicit fallback (lock found taken
+ * at start), other fallback (lock taken mid-flight), others
+ * (capacity, deviations, explicit aborts, ...).
+ */
+
+#include <cstdio>
+
+#include "clearsim/clearsim.hh"
+#include "harness/sweep_cache.hh"
+
+using namespace clearsim;
+
+int
+main()
+{
+    const SweepOptions opts = SweepOptions::fromEnv();
+    const SweepSummary sweep = sweepWithCache(opts);
+
+    std::printf("Figure 11: Abort breakdown per type "
+                "(fractions of all aborts)\n\n");
+    std::printf("%-12s %-4s %10s %10s %10s %10s %12s\n",
+                "benchmark", "cfg", "mem-confl", "expl-fb",
+                "other-fb", "others", "aborts/1k-commit");
+
+    for (const std::string &w : opts.workloads) {
+        for (const std::string &c : opts.configs) {
+            const CellSummary &cell = sweep.at({w, c});
+            const double total =
+                cell.aborts ? static_cast<double>(cell.aborts) : 1.0;
+            const double per_kcommit =
+                cell.commits ? 1000.0 * cell.aborts / cell.commits
+                             : 0.0;
+            std::printf(
+                "%-12s %-4s %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12.0f\n",
+                w.c_str(), c.c_str(),
+                100.0 * cell.abortsByCategory[0] / total,
+                100.0 * cell.abortsByCategory[1] / total,
+                100.0 * cell.abortsByCategory[2] / total,
+                100.0 * cell.abortsByCategory[3] / total,
+                per_kcommit);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

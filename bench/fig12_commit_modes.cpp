@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 12: commit breakdown per execution mode (speculative,
+ * S-CL, NS-CL, fallback) for each benchmark and configuration.
+ *
+ * Expected shape (paper): mwobject commits almost entirely in
+ * NS-CL under C/W; arrayswap about a third in NS-CL; bst commits
+ * in S-CL while its tree is small; labyrinth stays mostly in
+ * fallback.
+ */
+
+#include <cstdio>
+
+#include "clearsim/clearsim.hh"
+#include "harness/csv_export.hh"
+#include "harness/sweep_cache.hh"
+
+using namespace clearsim;
+
+int
+main()
+{
+    const SweepOptions opts = SweepOptions::fromEnv();
+    const SweepSummary sweep = sweepWithCache(opts);
+
+    std::printf("Figure 12: Commit breakdown per mode\n\n");
+    std::printf("%-12s %-4s %10s %10s %10s %10s\n", "benchmark",
+                "cfg", "spec", "s-cl", "ns-cl", "fallback");
+
+    CsvTable csv;
+    csv.header = {"benchmark", "config", "spec", "s_cl", "ns_cl",
+                  "fallback"};
+    double sum[4][4] = {};
+    unsigned rows = 0;
+    for (const std::string &w : opts.workloads) {
+        for (unsigned ci = 0; ci < opts.configs.size(); ++ci) {
+            const CellSummary &cell =
+                sweep.at({w, opts.configs[ci]});
+            const double total =
+                cell.commits ? static_cast<double>(cell.commits)
+                             : 1.0;
+            double f[4];
+            for (unsigned m = 0; m < 4; ++m) {
+                f[m] = 100.0 * cell.commitsByMode[m] / total;
+                sum[ci][m] += f[m];
+            }
+            std::printf("%-12s %-4s %9.1f%% %9.1f%% %9.1f%% "
+                        "%9.1f%%\n",
+                        w.c_str(), opts.configs[ci].c_str(), f[0],
+                        f[1], f[2], f[3]);
+            csv.rows.push_back({w, opts.configs[ci],
+                                formatFixed(f[0], 2),
+                                formatFixed(f[1], 2),
+                                formatFixed(f[2], 2),
+                                formatFixed(f[3], 2)});
+        }
+        ++rows;
+        std::printf("\n");
+    }
+    maybeExportCsv("fig12_commit_modes", csv);
+    std::printf("averages:\n");
+    for (unsigned ci = 0; ci < opts.configs.size(); ++ci) {
+        std::printf("%-12s %-4s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+                    "average", opts.configs[ci].c_str(),
+                    sum[ci][0] / rows, sum[ci][1] / rows,
+                    sum[ci][2] / rows, sum[ci][3] / rows);
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 9: aborts per committed transaction for B, P, C and W.
+ *
+ * Expected shape (paper averages): B 7.9, P 6.6, C 1.6, W 2.3.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "clearsim/clearsim.hh"
+#include "harness/csv_export.hh"
+#include "harness/sweep_cache.hh"
+
+using namespace clearsim;
+
+int
+main()
+{
+    const SweepOptions opts = SweepOptions::fromEnv();
+    const SweepSummary sweep = sweepWithCache(opts);
+
+    std::printf("Figure 9: Aborts per committed transaction\n\n");
+    std::printf("%-12s %8s %8s %8s %8s\n", "benchmark", "B", "P",
+                "C", "W");
+
+    CsvTable csv;
+    csv.header = {"benchmark", "B", "P", "C", "W"};
+    std::vector<double> avg[4];
+    for (const std::string &w : opts.workloads) {
+        double v[4];
+        for (unsigned i = 0; i < 4; ++i) {
+            const CellSummary &cell =
+                sweep.at({w, opts.configs[i]});
+            v[i] = cell.commits
+                       ? static_cast<double>(cell.aborts) /
+                             static_cast<double>(cell.commits)
+                       : 0.0;
+            avg[i].push_back(v[i]);
+        }
+        std::printf("%-12s %8.2f %8.2f %8.2f %8.2f\n", w.c_str(),
+                    v[0], v[1], v[2], v[3]);
+        csv.rows.push_back({w, formatFixed(v[0], 3),
+                            formatFixed(v[1], 3),
+                            formatFixed(v[2], 3),
+                            formatFixed(v[3], 3)});
+    }
+    maybeExportCsv("fig9_aborts_per_commit", csv);
+    std::printf("%-12s %8.2f %8.2f %8.2f %8.2f\n", "average",
+                mean(avg[0]), mean(avg[1]), mean(avg[2]),
+                mean(avg[3]));
+    std::printf("\npaper averages: B 7.9, P 6.6, C 1.6, W 2.3\n");
+    return 0;
+}

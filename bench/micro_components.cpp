@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * simulator's hot substrates — event queue, cache tag arrays, the
+ * directory, the conflict-manager registry, the lock manager and
+ * the RNG. These bound the simulation rate of the full system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "clearsim/clearsim.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue queue;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            queue.schedule(static_cast<Cycle>(i % 97),
+                           [&sink] { ++sink; });
+        queue.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheModelInsert(benchmark::State &state)
+{
+    CacheModel cache(64, 12);
+    Rng rng(1);
+    for (auto _ : state) {
+        const LineAddr line = rng.nextBelow(4096);
+        benchmark::DoNotOptimize(cache.insert(line));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelInsert);
+
+void
+BM_DirectoryReadWrite(benchmark::State &state)
+{
+    Directory dir(4096, 32);
+    Rng rng(2);
+    for (auto _ : state) {
+        const LineAddr line = rng.nextBelow(2048);
+        const CoreId core = static_cast<CoreId>(rng.nextBelow(32));
+        if (rng.nextBool(0.3))
+            benchmark::DoNotOptimize(dir.onWrite(core, line));
+        else
+            benchmark::DoNotOptimize(dir.onRead(core, line));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryReadWrite);
+
+void
+BM_LockManagerLockUnlock(benchmark::State &state)
+{
+    LockManager locks;
+    locks.configureDirSets(4096);
+    Rng rng(3);
+    for (auto _ : state) {
+        const LineAddr line = rng.nextBelow(512);
+        const CoreId core = static_cast<CoreId>(rng.nextBelow(32));
+        if (locks.tryLock(line, core))
+            locks.unlock(line, core);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockManagerLockUnlock);
+
+void
+BM_FootprintRecord(benchmark::State &state)
+{
+    Rng rng(7);
+    Footprint fp(64);
+    for (auto _ : state) {
+        fp.clear();
+        for (int i = 0; i < 24; ++i)
+            fp.record(rng.nextBelow(4096), rng.nextBool(0.4));
+    }
+    state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_FootprintRecord);
+
+void
+BM_AltBuildPlan(benchmark::State &state)
+{
+    Rng rng(11);
+    Alt alt(32, 4096, 64, 12);
+    Crt crt(64, 8);
+    Footprint fp(64);
+    for (int i = 0; i < 24; ++i)
+        fp.record(rng.nextBelow(1 << 20), rng.nextBool(0.4));
+    for (auto _ : state) {
+        auto plan = alt.buildPlan(fp, crt, false);
+        benchmark::DoNotOptimize(plan);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AltBuildPlan);
+
+void
+BM_ConflictArbitration(benchmark::State &state)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    PowerToken power;
+    ConflictManager cm(cfg, power);
+    Rng rng(13);
+    for (unsigned c = 0; c < 16; ++c) {
+        for (int i = 0; i < 8; ++i)
+            cm.addRead(static_cast<CoreId>(c), rng.nextBelow(512));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cm.arbitrate(17, rng.nextBelow(512), true,
+                         RequesterClass::Speculative));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConflictArbitration);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rng);
+
+void
+BM_FullRunBitcoin(benchmark::State &state)
+{
+    for (auto _ : state) {
+        WorkloadParams params;
+        params.opsPerThread = 4;
+        params.seed = 17;
+        SystemConfig cfg = makeClearConfig();
+        System sys(cfg, params.seed);
+        auto workload = makeWorkload("bitcoin", params);
+        benchmark::DoNotOptimize(
+            runWorkloadThreads(sys, *workload));
+    }
+}
+BENCHMARK(BM_FullRunBitcoin)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: run one workload under the four evaluated
+ * configurations (B = requester-wins, P = PowerTM, C = CLEAR over
+ * requester-wins, W = CLEAR over PowerTM) and print the headline
+ * metrics of the paper: execution time, aborts per commit, commit
+ * modes, and fallback share.
+ *
+ * Usage: quickstart [workload] [ops-per-thread]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "clearsim/clearsim.hh"
+
+using namespace clearsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload_name = argc > 1 ? argv[1] : "bitcoin";
+    WorkloadParams params;
+    params.opsPerThread =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 32;
+    params.seed = 42;
+
+    std::printf("workload: %s (%u threads x %u ops)\n\n",
+                workload_name.c_str(), params.threads,
+                params.opsPerThread);
+    std::printf("%-4s %12s %10s %8s %8s %8s %8s\n", "cfg", "cycles",
+                "aborts/c", "spec%", "s-cl%", "ns-cl%", "fallbk%");
+
+    for (const char *cfg_name : {"B", "P", "C", "W"}) {
+        SystemConfig cfg = makeConfigByName(cfg_name);
+        System sys(cfg, params.seed);
+        auto workload = makeWorkload(workload_name, params);
+        const Cycle cycles = runWorkloadThreads(sys, *workload);
+
+        const auto violations = workload->verify(sys);
+        for (const std::string &v : violations)
+            std::fprintf(stderr, "INVARIANT VIOLATION: %s\n",
+                         v.c_str());
+
+        const HtmStats &st = sys.stats();
+        const double commits =
+            st.commits ? static_cast<double>(st.commits) : 1.0;
+        auto mode_pct = [&](ExecMode m) {
+            return 100.0 *
+                   st.commitsByMode[static_cast<unsigned>(m)] /
+                   commits;
+        };
+        std::printf("%-4s %12llu %10.2f %7.1f%% %7.1f%% %7.1f%% "
+                    "%7.1f%%\n",
+                    cfg_name,
+                    static_cast<unsigned long long>(cycles),
+                    st.abortsPerCommit(),
+                    mode_pct(ExecMode::Speculative),
+                    mode_pct(ExecMode::SCl), mode_pct(ExecMode::NsCl),
+                    mode_pct(ExecMode::Fallback));
+        if (!violations.empty())
+            return 1;
+    }
+    std::printf("\nLower cycles is better; C/W should cut "
+                "aborts-per-commit and fallback share.\n");
+    return 0;
+}

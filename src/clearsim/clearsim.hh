@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Umbrella header: the complete public API of clearsim.
+ *
+ * Include this to get the simulated machine (System), the four
+ * configuration presets of the paper's evaluation, the workload
+ * registry, and the statistics types every figure is computed from.
+ */
+
+#ifndef CLEARSIM_CLEARSIM_HH
+#define CLEARSIM_CLEARSIM_HH
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/alt.hh"
+#include "core/crt.hh"
+#include "core/ert.hh"
+#include "core/region_executor.hh"
+#include "core/system.hh"
+#include "core/trace.hh"
+#include "cpu/core_resources.hh"
+#include "energy/energy_model.hh"
+#include "harness/runner.hh"
+#include "metrics/run_result.hh"
+#include "metrics/stats_report.hh"
+#include "cpu/tx_value.hh"
+#include "htm/conflict_manager.hh"
+#include "htm/fallback_lock.hh"
+#include "htm/footprint.hh"
+#include "htm/htm_stats.hh"
+#include "htm/htm_types.hh"
+#include "htm/power_token.hh"
+#include "htm/tx_context.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache_model.hh"
+#include "mem/directory.hh"
+#include "mem/lock_manager.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+#include "workloads/workload.hh"
+
+#endif // CLEARSIM_CLEARSIM_HH

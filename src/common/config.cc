@@ -1,0 +1,63 @@
+#include "common/config.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+SystemConfig
+makeBaselineConfig()
+{
+    SystemConfig cfg;
+    cfg.htmPolicy = HtmPolicy::RequesterWins;
+    cfg.clear.enabled = false;
+    cfg.name = "B";
+    return cfg;
+}
+
+SystemConfig
+makePowerTmConfig()
+{
+    SystemConfig cfg;
+    cfg.htmPolicy = HtmPolicy::PowerTm;
+    cfg.clear.enabled = false;
+    cfg.name = "P";
+    return cfg;
+}
+
+SystemConfig
+makeClearConfig()
+{
+    SystemConfig cfg;
+    cfg.htmPolicy = HtmPolicy::RequesterWins;
+    cfg.clear.enabled = true;
+    cfg.name = "C";
+    return cfg;
+}
+
+SystemConfig
+makeClearPowerConfig()
+{
+    SystemConfig cfg;
+    cfg.htmPolicy = HtmPolicy::PowerTm;
+    cfg.clear.enabled = true;
+    cfg.name = "W";
+    return cfg;
+}
+
+SystemConfig
+makeConfigByName(const std::string &name)
+{
+    if (name == "B")
+        return makeBaselineConfig();
+    if (name == "P")
+        return makePowerTmConfig();
+    if (name == "C")
+        return makeClearConfig();
+    if (name == "W")
+        return makeClearPowerConfig();
+    fatal("unknown configuration '%s' (expected B, P, C or W)",
+          name.c_str());
+}
+
+} // namespace clearsim

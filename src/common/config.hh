@@ -1,0 +1,200 @@
+/**
+ * @file
+ * System configuration structures.
+ *
+ * Defaults reproduce Table 2 of the CLEAR paper: a 32-core
+ * out-of-order Icelake-like processor with a three-level cache
+ * hierarchy, a directory with 800% coverage, and a TSX-like HTM with
+ * a best-of-1-to-10 retry policy.
+ */
+
+#ifndef CLEARSIM_COMMON_CONFIG_HH
+#define CLEARSIM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** Which baseline conflict-resolution policy the HTM uses. */
+enum class HtmPolicy
+{
+    /** Intel TSX-like: the requesting core wins, holders abort. */
+    RequesterWins,
+    /**
+     * PowerTM: a transaction that has already aborted once may enter
+     * power mode (one per system) and wins conflicts against
+     * non-power transactions.
+     */
+    PowerTm,
+};
+
+/** Which speculation substrate bounds an atomic region. */
+enum class SpeculationScope
+{
+    /** In-core only (SLE): ROB, LQ and SQ all bound the AR. */
+    InCore,
+    /** HTM: instructions retire; the SQ bounds failed discovery. */
+    OutOfCore,
+};
+
+/** Out-of-order core resources (Table 2). */
+struct CoreConfig
+{
+    unsigned robEntries = 352;
+    unsigned lqEntries = 128;
+    unsigned sqEntries = 72;
+    unsigned physRegs = 180;
+    unsigned fetchWidth = 5;
+    unsigned issueWidth = 10;
+    /** Cycles charged per non-memory micro-op. */
+    unsigned aluLatency = 1;
+};
+
+/** Cache hierarchy geometry and latencies (Table 2). */
+struct CacheConfig
+{
+    // L1D: 48KiB, 12-way, 64B lines -> 64 sets.
+    unsigned l1Sets = 64;
+    unsigned l1Ways = 12;
+    Cycle l1Latency = 1;
+
+    // L2: 512KiB, 8-way -> 1024 sets.
+    unsigned l2Sets = 1024;
+    unsigned l2Ways = 8;
+    Cycle l2Latency = 10;
+
+    // L3: 4MiB, 16-way -> 4096 sets.
+    unsigned l3Sets = 4096;
+    unsigned l3Ways = 16;
+    Cycle l3Latency = 45;
+
+    Cycle memLatency = 80;
+
+    /**
+     * Extra cycles for a cache-to-cache transfer or invalidation
+     * round-trip over the crossbar.
+     */
+    Cycle remoteLatency = 30;
+
+    /**
+     * Number of sets in the shared directory cache. This also defines
+     * the lexicographical order used for deadlock-free cacheline
+     * locking (Section 5: "the set index of the smallest shared
+     * structure, in our case the directory cache").
+     */
+    unsigned dirSets = 4096;
+};
+
+/** Fixed-cost timing parameters of the HTM machinery. */
+struct HtmTimingConfig
+{
+    /** Pipeline flush + checkpoint restore on abort (RAS kept). */
+    Cycle abortPenalty = 30;
+
+    /** Backoff before re-issuing a request that got a retry
+     *  response from a locked directory entry (Figure 6 fix). */
+    Cycle lockRetryBackoff = 50;
+
+    /** Interval between spins on a taken fallback lock. */
+    Cycle fallbackSpinInterval = 50;
+
+    /** Cost of a transactional commit (XEND). */
+    Cycle commitLatency = 10;
+
+    /** Cost of starting a transaction (XBEGIN checkpoint). */
+    Cycle beginLatency = 5;
+
+    /** Mean cycles of non-critical work between two ARs. */
+    Cycle thinkTimeMean = 500;
+
+    /**
+     * Base of the linear backoff applied before the n-th counted
+     * speculative retry (n * base cycles, plus a small per-core
+     * stagger), as in common best-effort HTM retry loops.
+     */
+    Cycle retryBackoffBase = 120;
+};
+
+/** Sizes of the structures CLEAR adds (Section 5). */
+struct ClearConfig
+{
+    /** Master switch; off reproduces the baseline HTM. */
+    bool enabled = false;
+
+    /** Explored Region Table entries (fully associative). */
+    unsigned ertEntries = 16;
+
+    /** Addresses-to-Lock Table entries (CAM with priority search). */
+    unsigned altEntries = 32;
+
+    /** Conflicting Reads Table entries. */
+    unsigned crtEntries = 64;
+
+    /** CRT associativity. */
+    unsigned crtWays = 8;
+
+    /**
+     * Saturation value of the 2-bit SQ-Full counter; when reached,
+     * discovery is disabled for that region.
+     */
+    unsigned sqFullSaturation = 3;
+
+    /**
+     * Ablation knob: lock every read in S-CL mode instead of the
+     * paper's policy (write set plus reads recorded in the CRT).
+     */
+    bool sclLockAllReads = false;
+
+    /** Ablation knob: disable failed-mode discovery continuation. */
+    bool failedModeDiscovery = true;
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    unsigned numCores = 32;
+    CoreConfig core;
+    CacheConfig cache;
+
+    /** HTM-backed speculation by default (Section 4.4). */
+    SpeculationScope scope = SpeculationScope::OutOfCore;
+    HtmPolicy htmPolicy = HtmPolicy::RequesterWins;
+
+    /**
+     * Speculative retries before the fallback path is taken. The
+     * paper sweeps 1..10 per application and reports the best.
+     */
+    unsigned maxRetries = 4;
+
+    ClearConfig clear;
+
+    HtmTimingConfig timing;
+
+    /**
+     * Measurement-only mode: keep executing after a conflict so the
+     * complete cacheline footprint of an aborted attempt can be
+     * recorded (the instrumentation behind Table 1 and Figure 1).
+     * Retry decisions stay those of the baseline HTM.
+     */
+    bool profileMode = false;
+
+    /** Human-readable name used by the harness ("B", "P", "C", "W"). */
+    std::string name = "B";
+};
+
+/** The four evaluated configurations (Section 7). */
+SystemConfig makeBaselineConfig();    ///< B: requester-wins
+SystemConfig makePowerTmConfig();     ///< P: PowerTM
+SystemConfig makeClearConfig();       ///< C: CLEAR over requester-wins
+SystemConfig makeClearPowerConfig();  ///< W: CLEAR over PowerTM
+
+/** Make one of B/P/C/W by letter; fatal() on anything else. */
+SystemConfig makeConfigByName(const std::string &name);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_CONFIG_HH

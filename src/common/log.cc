@@ -1,0 +1,61 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+
+namespace clearsim
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fputs("fatal: ", stderr);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::fputs("panic: ", stderr);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace clearsim

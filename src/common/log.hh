@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal leveled logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (simulator bugs), fatal() for user-caused conditions
+ * (bad configuration), warn()/inform() for status messages.
+ */
+
+#ifndef CLEARSIM_COMMON_LOG_HH
+#define CLEARSIM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace clearsim
+{
+
+/** Verbosity levels for the debug trace stream. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Global log verbosity; defaults to Warn. */
+LogLevel logLevel();
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+/** printf-style message to stderr if level is enabled. */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Terminate with an error message for a condition caused by the user
+ * (bad configuration, invalid arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate with an error message for a condition that should never
+ * happen (a simulator bug). Calls abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Panic if cond is false. Used for internal invariants. */
+#define CLEARSIM_ASSERT(cond, msg)                                        \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::clearsim::panic("assertion failed: %s (%s) at %s:%d",       \
+                              msg, #cond, __FILE__, __LINE__);            \
+    } while (0)
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_LOG_HH

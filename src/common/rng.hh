@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * clearsim runs must be exactly reproducible given a seed, so all
+ * stochastic choices (workload picks, think times, hash seeds) flow
+ * through this xoshiro256** implementation rather than std::rand or
+ * any platform-dependent engine.
+ */
+
+#ifndef CLEARSIM_COMMON_RNG_HH
+#define CLEARSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace clearsim
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman and Vigna (public domain), seeded via
+ * splitmix64. Small, fast, and identical across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Fork an independent stream. Used to give each simulated thread
+     * its own generator so event ordering does not perturb draws.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_RNG_HH

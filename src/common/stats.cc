@@ -1,0 +1,113 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+BoundedHistogram::BoundedHistogram(std::size_t capacity)
+    : buckets_(capacity, 0)
+{
+}
+
+void
+BoundedHistogram::record(std::uint64_t value)
+{
+    if (value < buckets_.size())
+        ++buckets_[value];
+    else
+        ++overflow_;
+    ++total_;
+    sum_ += value;
+}
+
+std::uint64_t
+BoundedHistogram::count(std::uint64_t value) const
+{
+    return value < buckets_.size() ? buckets_[value] : 0;
+}
+
+double
+BoundedHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+void
+BoundedHistogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0;
+}
+
+void
+BoundedHistogram::merge(const BoundedHistogram &other)
+{
+    CLEARSIM_ASSERT(other.buckets_.size() == buckets_.size(),
+                    "histogram capacity mismatch in merge");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+double
+trimmedMean(std::vector<double> samples, std::size_t trim_each_side)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    std::size_t lo = 0;
+    std::size_t hi = samples.size();
+    if (2 * trim_each_side < samples.size()) {
+        lo = trim_each_side;
+        hi = samples.size() - trim_each_side;
+    }
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+        sum += samples[i];
+    return sum / static_cast<double>(hi - lo);
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    const double sum =
+        std::accumulate(samples.begin(), samples.end(), 0.0);
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+geomean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : samples) {
+        CLEARSIM_ASSERT(s > 0.0, "geomean requires positive samples");
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace clearsim

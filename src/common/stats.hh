@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small statistics toolkit used by the metrics layer and the
+ * experiment harness: scalar counters, bounded histograms, and the
+ * summary statistics the paper's methodology calls for (trimmed mean
+ * over per-seed runs, geometric mean across benchmarks).
+ */
+
+#ifndef CLEARSIM_COMMON_STATS_HH
+#define CLEARSIM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clearsim
+{
+
+/**
+ * A bounded integer histogram with an overflow bucket.
+ *
+ * Bucket i counts samples with value == i for i < capacity; samples
+ * >= capacity land in the overflow bucket. Used e.g. for the
+ * commits-by-retry-count breakdown of Figure 13.
+ */
+class BoundedHistogram
+{
+  public:
+    explicit BoundedHistogram(std::size_t capacity = 16);
+
+    /** Record one sample. */
+    void record(std::uint64_t value);
+
+    /** Count of samples with exactly this value. */
+    std::uint64_t count(std::uint64_t value) const;
+
+    /** Count of samples >= capacity. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Total number of recorded samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Sum of all recorded sample values. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Mean of recorded samples (0 if empty). */
+    double mean() const;
+
+    /** Number of exact buckets. */
+    std::size_t capacity() const { return buckets_.size(); }
+
+    /** Reset all counts. */
+    void clear();
+
+    /** Merge another histogram of the same capacity into this one. */
+    void merge(const BoundedHistogram &other);
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * Mean after removing the k largest and k smallest samples, the
+ * outlier-rejection scheme the paper applies across seeds
+ * ("the trimmed mean is used to remove 3 outliers").
+ * If 2k >= n the plain mean is returned.
+ */
+double trimmedMean(std::vector<double> samples, std::size_t trim_each_side);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &samples);
+
+/** Geometric mean; requires all samples > 0. 0 for an empty vector. */
+double geomean(const std::vector<double> &samples);
+
+/** Render a double with fixed decimals, for table output. */
+std::string formatFixed(double value, int decimals);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_STATS_HH

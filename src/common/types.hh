@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental types shared by every clearsim module.
+ *
+ * The simulator addresses a flat 64-bit simulated physical address
+ * space. Cachelines are 64 bytes, matching the system modeled in the
+ * CLEAR paper (Table 2). All time is expressed in core clock cycles.
+ */
+
+#ifndef CLEARSIM_COMMON_TYPES_HH
+#define CLEARSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace clearsim
+{
+
+/** A simulated physical byte address. */
+using Addr = std::uint64_t;
+
+/** A cacheline-granular address (Addr >> lineShift). */
+using LineAddr = std::uint64_t;
+
+/** Simulated time, in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a simulated core (and of its one hardware thread). */
+using CoreId = std::uint16_t;
+
+/** Identifier of a static atomic region, the "PC" of its first insn. */
+using RegionPc = std::uint64_t;
+
+/** Cacheline size used throughout the simulator. */
+constexpr unsigned kLineBytes = 64;
+
+/** log2(kLineBytes). */
+constexpr unsigned kLineShift = 6;
+
+/** Sentinel for "no core". */
+constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+/** Sentinel for "no cycle scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Map a byte address to the cacheline that contains it. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** First byte address of a cacheline. */
+constexpr Addr
+lineBase(LineAddr line)
+{
+    return line << kLineShift;
+}
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_TYPES_HH

@@ -1,0 +1,106 @@
+#include "core/alt.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+Alt::Alt(unsigned entries, unsigned dir_sets, unsigned l1_sets,
+         unsigned l1_ways)
+    : entries_(entries), dirSets_(dir_sets), l1Sets_(l1_sets),
+      l1Ways_(l1_ways)
+{
+    CLEARSIM_ASSERT(entries != 0, "ALT needs at least one entry");
+}
+
+bool
+Alt::lockable(const Footprint &footprint) const
+{
+    if (footprint.overflowed())
+        return false;
+    if (footprint.size() == 0 || footprint.size() > entries_)
+        return false;
+
+    // All locked lines must be resident simultaneously: no L1 set
+    // may be oversubscribed.
+    std::unordered_map<unsigned, unsigned> per_set;
+    for (const FootprintEntry &e : footprint.entries()) {
+        const unsigned set =
+            static_cast<unsigned>(e.line & (l1Sets_ - 1));
+        if (++per_set[set] > l1Ways_)
+            return false;
+    }
+    return true;
+}
+
+std::vector<LockPlanEntry>
+Alt::buildPlan(const Footprint &footprint, const Crt &crt,
+               bool lock_all) const
+{
+    std::vector<LockPlanEntry> plan;
+    if (!lockable(footprint))
+        return plan;
+
+    plan.reserve(footprint.size());
+    for (const FootprintEntry &e : footprint.entries()) {
+        LockPlanEntry entry;
+        entry.line = e.line;
+        entry.needsLock = lock_all || e.wrote || crt.contains(e.line);
+        plan.push_back(entry);
+    }
+
+    // Lexicographical order: directory set index, then line address
+    // to make the order total (ties within a set are handled by
+    // group locking, but a deterministic order keeps runs
+    // reproducible).
+    const unsigned mask = dirSets_ - 1;
+    std::sort(plan.begin(), plan.end(),
+              [mask](const LockPlanEntry &a, const LockPlanEntry &b) {
+                  const unsigned sa =
+                      static_cast<unsigned>(a.line & mask);
+                  const unsigned sb =
+                      static_cast<unsigned>(b.line & mask);
+                  if (sa != sb)
+                      return sa < sb;
+                  return a.line < b.line;
+              });
+    return plan;
+}
+
+std::vector<AltGroup>
+Alt::groupsOf(const std::vector<LockPlanEntry> &plan) const
+{
+    std::vector<AltGroup> groups;
+    const unsigned mask = dirSets_ - 1;
+    std::size_t i = 0;
+    while (i < plan.size()) {
+        if (!plan[i].needsLock) {
+            ++i;
+            continue;
+        }
+        const unsigned set = static_cast<unsigned>(plan[i].line & mask);
+        std::size_t j = i + 1;
+        // Entries not needing a lock are transparent to grouping:
+        // the plan is sorted by set, so lock-needing members of one
+        // set are contiguous among lock-needing entries.
+        std::size_t last = i;
+        while (j < plan.size()) {
+            if (!plan[j].needsLock) {
+                ++j;
+                continue;
+            }
+            if (static_cast<unsigned>(plan[j].line & mask) != set)
+                break;
+            last = j;
+            ++j;
+        }
+        groups.push_back(AltGroup{i, last + 1, set});
+        i = j;
+    }
+    return groups;
+}
+
+} // namespace clearsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Addresses-to-Lock Table (ALT), Section 5, structure 3.
+ *
+ * A 32-entry CAM (one per core's cache controller) holding the
+ * cacheline addresses learned during discovery, sorted by the
+ * lexicographical locking order — the set index of the smallest
+ * shared structure, here the directory cache. Entries carry:
+ *
+ *  - Needs Locking: NS-CL locks every entry; S-CL locks written
+ *    lines plus reads recorded in the CRT (or all, in the -all-
+ *    ablation);
+ *  - Locked: set by the locker as acquisition progresses;
+ *  - Hit / Conflict: the Conflict bit delimits groups of entries
+ *    that share a directory set (a lexicographical conflict); the
+ *    Hit bit marks lines already held exclusively, enabling the
+ *    communication-free group-lock fast path.
+ */
+
+#ifndef CLEARSIM_CORE_ALT_HH
+#define CLEARSIM_CORE_ALT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "htm/footprint.hh"
+#include "htm/tx_context.hh"
+#include "core/crt.hh"
+
+namespace clearsim
+{
+
+/** A run of lock-plan entries sharing one directory set. */
+struct AltGroup
+{
+    std::size_t begin = 0; ///< index into the lock plan
+    std::size_t end = 0;   ///< one past the last member
+    unsigned dirSet = 0;
+};
+
+/**
+ * Builds and checks cacheline lock plans from discovery footprints.
+ */
+class Alt
+{
+  public:
+    /**
+     * @param entries CAM capacity (paper: 32)
+     * @param dir_sets directory sets (lexicographic order key)
+     * @param l1_sets / l1_ways the private cache geometry that must
+     *        hold all locked lines simultaneously
+     */
+    Alt(unsigned entries, unsigned dir_sets, unsigned l1_sets,
+        unsigned l1_ways);
+
+    /**
+     * Can the footprint's lines be held locked in the cache all at
+     * once? True when the footprint is complete, fits the ALT, and
+     * no L1 set would need more ways than it has (discovery
+     * assessment 2, Section 4.1).
+     */
+    bool lockable(const Footprint &footprint) const;
+
+    /**
+     * Build a lock plan from a discovery footprint, sorted in
+     * lexicographical (directory set, line) order.
+     *
+     * @param footprint the discovery-learned footprint
+     * @param crt conflicting-reads table consulted for reads that
+     *        must be locked in S-CL
+     * @param lock_all true for NS-CL (and the S-CL -all- ablation):
+     *        every entry needs locking
+     * @return the ordered lock plan (empty if !lockable)
+     */
+    std::vector<LockPlanEntry> buildPlan(const Footprint &footprint,
+                                         const Crt &crt,
+                                         bool lock_all) const;
+
+    /**
+     * Partition the lock-needing entries of a plan into
+     * lexicographical conflict groups (same directory set).
+     * Entries with needsLock false are skipped.
+     */
+    std::vector<AltGroup>
+    groupsOf(const std::vector<LockPlanEntry> &plan) const;
+
+    unsigned entries() const { return entries_; }
+
+  private:
+    unsigned entries_;
+    unsigned dirSets_;
+    unsigned l1Sets_;
+    unsigned l1Ways_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CORE_ALT_HH

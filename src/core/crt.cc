@@ -1,0 +1,87 @@
+#include "core/crt.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+Crt::Crt(unsigned entries, unsigned ways)
+    : sets_(entries / ways), ways_(ways), entries_(entries)
+{
+    CLEARSIM_ASSERT(ways != 0 && entries % ways == 0,
+                    "CRT capacity must be a multiple of ways");
+    CLEARSIM_ASSERT(sets_ != 0 && (sets_ & (sets_ - 1)) == 0,
+                    "CRT sets must be a power of two");
+}
+
+unsigned
+Crt::setOf(LineAddr line) const
+{
+    return static_cast<unsigned>(line & (sets_ - 1));
+}
+
+void
+Crt::insert(LineAddr line)
+{
+    Entry *base = &entries_[setOf(line) * ways_];
+    Entry *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].line == line) {
+            base[w].lruStamp = ++stamp_;
+            return;
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+        } else if (victim->valid &&
+                   base[w].lruStamp < victim->lruStamp) {
+            victim = &base[w];
+        }
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->lruStamp = ++stamp_;
+}
+
+bool
+Crt::lookup(LineAddr line)
+{
+    Entry *base = &entries_[setOf(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].line == line) {
+            base[w].lruStamp = ++stamp_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Crt::contains(LineAddr line) const
+{
+    const Entry *base = &entries_[setOf(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].line == line)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Crt::occupancy() const
+{
+    unsigned n = 0;
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+void
+Crt::reset()
+{
+    for (Entry &e : entries_)
+        e = Entry{};
+}
+
+} // namespace clearsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Conflicting Reads Table (CRT), Section 5, structure 4.
+ *
+ * A 64-entry, 8-way set-associative, LRU-replaced table, one per
+ * core, holding the addresses of cachelines that were only read by
+ * an AR but received a conflicting invalidation that caused an
+ * abort. Before an S-CL re-execution, lines present in the CRT are
+ * marked Needs Locking in the ALT so the same conflict cannot
+ * recur.
+ */
+
+#ifndef CLEARSIM_CORE_CRT_HH
+#define CLEARSIM_CORE_CRT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** The per-core Conflicting Reads Table. */
+class Crt
+{
+  public:
+    /**
+     * @param entries total capacity (paper: 64)
+     * @param ways associativity (paper: 8)
+     */
+    explicit Crt(unsigned entries = 64, unsigned ways = 8);
+
+    /** Insert a conflicting read line (LRU within its set). */
+    void insert(LineAddr line);
+
+    /** True if line is present (refreshes LRU). */
+    bool lookup(LineAddr line);
+
+    /** True if line is present (no LRU update). */
+    bool contains(LineAddr line) const;
+
+    /** Number of valid entries. */
+    unsigned occupancy() const;
+
+    /** Invalidate all entries. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        LineAddr line = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    unsigned setOf(LineAddr line) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<Entry> entries_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CORE_CRT_HH

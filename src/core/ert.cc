@@ -1,0 +1,97 @@
+#include "core/ert.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+Ert::Ert(unsigned entries, unsigned sq_saturation)
+    : entries_(entries), sqSaturation_(sq_saturation)
+{
+    CLEARSIM_ASSERT(entries != 0, "ERT needs at least one entry");
+}
+
+ErtEntry &
+Ert::lookupOrInsert(RegionPc pc)
+{
+    ErtEntry *victim = &entries_[0];
+    for (ErtEntry &e : entries_) {
+        if (e.valid && e.pc == pc) {
+            e.lruStamp = ++stamp_;
+            return e;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid &&
+                   e.lruStamp < victim->lruStamp) {
+            victim = &e;
+        }
+    }
+    *victim = ErtEntry{};
+    victim->valid = true;
+    victim->pc = pc;
+    victim->lruStamp = ++stamp_;
+    return *victim;
+}
+
+ErtEntry *
+Ert::find(RegionPc pc)
+{
+    for (ErtEntry &e : entries_) {
+        if (e.valid && e.pc == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+const ErtEntry *
+Ert::find(RegionPc pc) const
+{
+    return const_cast<Ert *>(this)->find(pc);
+}
+
+bool
+Ert::discoveryEnabled(RegionPc pc) const
+{
+    const ErtEntry *e = find(pc);
+    if (!e)
+        return true; // unknown region: discover by default
+    return e->isConvertible && e->sqFullCounter < sqSaturation_;
+}
+
+void
+Ert::recordSqOverflow(RegionPc pc)
+{
+    ErtEntry &e = lookupOrInsert(pc);
+    if (e.sqFullCounter < sqSaturation_)
+        ++e.sqFullCounter;
+}
+
+void
+Ert::recordCommit(RegionPc pc)
+{
+    if (ErtEntry *e = find(pc)) {
+        if (e->sqFullCounter > 0)
+            --e->sqFullCounter;
+    }
+}
+
+unsigned
+Ert::occupancy() const
+{
+    unsigned n = 0;
+    for (const ErtEntry &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+void
+Ert::reset()
+{
+    for (ErtEntry &e : entries_)
+        e = ErtEntry{};
+}
+
+} // namespace clearsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Explored Region Table (ERT), Section 5, structure 2.
+ *
+ * A 16-entry, fully-associative, LRU-replaced table, one per core,
+ * storing per static atomic region (identified by the PC of its
+ * first instruction):
+ *
+ *  - Is Convertible: cacheline locking may be employed on a retry;
+ *  - Is Immutable: a retry can start in NS-CL mode;
+ *  - SQ-Full Counter: a 2-bit saturating counter of failed
+ *    discoveries that ran out of SQ resources. Saturation disables
+ *    discovery for the region; commits decrement it.
+ */
+
+#ifndef CLEARSIM_CORE_ERT_HH
+#define CLEARSIM_CORE_ERT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** One ERT entry. */
+struct ErtEntry
+{
+    bool valid = false;
+    RegionPc pc = 0;
+    bool isConvertible = true;
+    bool isImmutable = true;
+    unsigned sqFullCounter = 0;
+    std::uint64_t lruStamp = 0;
+};
+
+/** The per-core Explored Region Table. */
+class Ert
+{
+  public:
+    /**
+     * @param entries table capacity (paper: 16)
+     * @param sq_saturation value at which the SQ-Full counter
+     *        saturates (paper: 3, a 2-bit counter)
+     */
+    explicit Ert(unsigned entries = 16, unsigned sq_saturation = 3);
+
+    /**
+     * Find the entry for a region, allocating (and LRU-evicting)
+     * if absent. New entries get the paper's defaults: convertible,
+     * immutable, zero SQ-full count.
+     */
+    ErtEntry &lookupOrInsert(RegionPc pc);
+
+    /** Find without allocation; nullptr if absent. */
+    ErtEntry *find(RegionPc pc);
+    const ErtEntry *find(RegionPc pc) const;
+
+    /**
+     * True if discovery should run for this region: either unknown
+     * (will be allocated), or convertible with an unsaturated
+     * SQ-Full counter.
+     */
+    bool discoveryEnabled(RegionPc pc) const;
+
+    /** Record a failed discovery that ran out of SQ entries. */
+    void recordSqOverflow(RegionPc pc);
+
+    /** Record a commit (decrements the SQ-Full counter). */
+    void recordCommit(RegionPc pc);
+
+    /** Saturation threshold of the SQ-Full counter. */
+    unsigned sqSaturation() const { return sqSaturation_; }
+
+    /** Number of valid entries. */
+    unsigned occupancy() const;
+
+    /** Invalidate all entries. */
+    void reset();
+
+  private:
+    std::vector<ErtEntry> entries_;
+    unsigned sqSaturation_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CORE_ERT_HH

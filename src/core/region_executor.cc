@@ -1,0 +1,676 @@
+#include "core/region_executor.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** Awaitable: resumes after the fallback lock's next release event,
+ *  plus the configured spin interval. */
+class FallbackReleaseAwaiter
+{
+  public:
+    /**
+     * @param writer_only true when the waiter only needs the writer
+     *        gone (speculative / NS-CL / S-CL starts run fine
+     *        alongside read holders); false for fallback-writer
+     *        aspirants, who need readers drained too
+     */
+    FallbackReleaseAwaiter(FallbackLock &lock, EventQueue &queue,
+                           Cycle spin, bool writer_only)
+        : lock_(lock), queue_(queue), spin_(spin),
+          writerOnly_(writer_only)
+    {
+    }
+
+    bool
+    await_ready() const
+    {
+        if (writerOnly_)
+            return !lock_.writerHeld();
+        return !lock_.writerHeld() && lock_.readerCount() == 0;
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> handle)
+    {
+        EventQueue &queue = queue_;
+        const Cycle spin = spin_;
+        lock_.onRelease([&queue, spin, handle] {
+            queue.scheduleAfter(spin, [handle] { handle.resume(); });
+        });
+    }
+
+    void await_resume() const {}
+
+  private:
+    FallbackLock &lock_;
+    EventQueue &queue_;
+    Cycle spin_;
+    bool writerOnly_;
+};
+
+/** Awaitable: resumes (via the queue) once a line lock releases. */
+class LineUnlockAwaiter
+{
+  public:
+    LineUnlockAwaiter(LockManager &locks, EventQueue &queue,
+                      LineAddr line, Cycle backoff)
+        : locks_(locks), queue_(queue), line_(line), backoff_(backoff)
+    {
+    }
+
+    bool await_ready() const { return !locks_.isLocked(line_); }
+
+    void
+    await_suspend(std::coroutine_handle<> handle)
+    {
+        EventQueue &queue = queue_;
+        const Cycle backoff = backoff_;
+        locks_.onUnlock(line_, [&queue, backoff, handle] {
+            queue.scheduleAfter(backoff,
+                                [handle] { handle.resume(); });
+        });
+    }
+
+    void await_resume() const {}
+
+  private:
+    LockManager &locks_;
+    EventQueue &queue_;
+    LineAddr line_;
+    Cycle backoff_;
+};
+
+/** Awaitable: resumes once a directory-set lock releases. */
+class DirSetUnlockAwaiter
+{
+  public:
+    DirSetUnlockAwaiter(LockManager &locks, EventQueue &queue,
+                        unsigned set, Cycle backoff)
+        : locks_(locks), queue_(queue), set_(set), backoff_(backoff)
+    {
+    }
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> handle)
+    {
+        EventQueue &queue = queue_;
+        const Cycle backoff = backoff_;
+        locks_.onDirSetUnlock(set_, [&queue, backoff, handle] {
+            queue.scheduleAfter(backoff,
+                                [handle] { handle.resume(); });
+        });
+    }
+
+    void await_resume() const {}
+
+  private:
+    LockManager &locks_;
+    EventQueue &queue_;
+    unsigned set_;
+    Cycle backoff_;
+};
+
+} // namespace
+
+RegionExecutor::RegionExecutor(System &sys, CoreId core)
+    : sys_(sys), core_(core)
+{
+}
+
+SimTask
+RegionExecutor::waitFallbackRelease(bool writer_only)
+{
+    co_await FallbackReleaseAwaiter(
+        sys_.fallback(), sys_.queue(),
+        sys_.config().timing.fallbackSpinInterval, writer_only);
+}
+
+SimTask
+RegionExecutor::runRegion(RegionPc pc)
+{
+    const SystemConfig &cfg = sys_.config();
+    auto trace = [this, pc](TraceKind kind, ExecMode mode,
+                            AbortReason reason, unsigned retries) {
+        if (sys_.tracing()) {
+            sys_.emitTrace(TraceEvent{sys_.queue().now(), core_, pc,
+                                      kind, mode, reason, retries});
+        }
+    };
+    TxContext &tx = sys_.tx(core_);
+    HtmStats &stats = sys_.stats();
+    Ert &ert = sys_.ert(core_);
+    Crt &crt = sys_.crt(core_);
+
+    tx.beginInvocation(pc);
+
+    unsigned counted_retries = 0;
+    unsigned attempts_made = 0;
+    bool any_counted_abort = false;
+    RetryMode next = RetryMode::SpeculativeRetry;
+    ExecMode committed_mode = ExecMode::Speculative;
+
+    // Per-invocation mutability profiling (Table 1 / Figure 1).
+    Footprint first_footprint{64};
+    bool first_complete = false;
+    bool have_first = false;
+    bool retry_compared = false;
+    bool comparable_retry = false;
+    bool immutable_retry = false;
+    bool footprint_changed = false;
+    bool saw_indirection = false;
+    std::uint64_t max_lines = 0;
+
+    auto capture_profile = [&]() {
+        saw_indirection |= tx.sawIndirection();
+        if (tx.footprint().size() > max_lines)
+            max_lines = tx.footprint().size();
+        const bool complete = tx.discoveryComplete();
+        if (!have_first) {
+            first_footprint = tx.footprint();
+            first_complete = complete;
+            have_first = true;
+        } else if (first_complete && complete) {
+            const bool same =
+                first_footprint.sameLines(tx.footprint());
+            if (!same)
+                footprint_changed = true;
+            if (!retry_compared) {
+                // The Figure 1 question is specifically about the
+                // first retry.
+                retry_compared = true;
+                comparable_retry = true;
+                if (same && first_footprint.size() <= 32)
+                    immutable_retry = true;
+            }
+        }
+    };
+
+    for (;;) {
+        if (next != RetryMode::Fallback &&
+            counted_retries >= cfg.maxRetries) {
+            next = RetryMode::Fallback;
+        }
+
+        if (next == RetryMode::Fallback) {
+            trace(TraceKind::AttemptBegin, ExecMode::Fallback,
+                  AbortReason::None, counted_retries);
+            co_await runFallback();
+            trace(TraceKind::FallbackAcquired, ExecMode::Fallback,
+                  AbortReason::None, counted_retries);
+            committed_mode = ExecMode::Fallback;
+            ++attempts_made;
+            break;
+        }
+
+        if (next == RetryMode::NsCl || next == RetryMode::SCl) {
+            const bool nscl = next == RetryMode::NsCl;
+            if (nscl)
+                ++stats.nsClAttempts;
+            else
+                ++stats.sClAttempts;
+            trace(TraceKind::AttemptBegin,
+                  nscl ? ExecMode::NsCl : ExecMode::SCl,
+                  AbortReason::None, counted_retries);
+            const bool committed = co_await runCacheLocked(nscl);
+            ++attempts_made;
+            if (committed) {
+                committed_mode = nscl ? ExecMode::NsCl : ExecMode::SCl;
+                ert.recordCommit(pc);
+                break;
+            }
+            const AbortReason reason = tx.doomReason();
+            trace(TraceKind::Abort,
+                  nscl ? ExecMode::NsCl : ExecMode::SCl, reason,
+                  counted_retries);
+            stats.recordAbort(reason);
+            if (countsTowardRetryLimit(reason)) {
+                ++counted_retries;
+                any_counted_abort = true;
+            }
+            for (LineAddr line : tx.conflictingReads()) {
+                crt.insert(line);
+                ++stats.crtInsertions;
+            }
+            if (reason == AbortReason::MemoryConflict ||
+                reason == AbortReason::Nacked) {
+                // A memory conflict on a non-locked read: the CRT
+                // now holds it, so S-CL is retried with it locked.
+                next = RetryMode::SCl;
+            } else {
+                // Section 4.4.2: any other abort marks the region
+                // non-discoverable.
+                ert.lookupOrInsert(pc).isConvertible = false;
+                ++stats.discoveryDisabled;
+                next = RetryMode::SpeculativeRetry;
+            }
+            if (reason == AbortReason::OtherFallback ||
+                reason == AbortReason::ExplicitFallback) {
+                co_await waitFallbackRelease();
+            }
+            continue;
+        }
+
+        // --- speculative attempt ---
+
+        if (counted_retries > 0 && cfg.timing.retryBackoffBase > 0) {
+            // Linear backoff with a per-core stagger de-clusters
+            // retries of the transactions that just collided.
+            const Cycle backoff =
+                cfg.timing.retryBackoffBase * counted_retries +
+                (core_ % 8) * 9;
+            co_await delayFor(sys_.queue(), backoff);
+        }
+
+        if (cfg.htmPolicy == HtmPolicy::PowerTm && any_counted_abort)
+            sys_.power().tryAcquire(core_);
+
+        if (sys_.fallback().writerHeld()) {
+            // Explicit fallback: wanted to start, lock was taken.
+            trace(TraceKind::Abort, ExecMode::Speculative,
+                  AbortReason::ExplicitFallback, counted_retries);
+            stats.recordAbort(AbortReason::ExplicitFallback);
+            co_await waitFallbackRelease();
+            continue;
+        }
+
+        const bool discovery =
+            (cfg.clear.enabled && ert.discoveryEnabled(pc)) ||
+            cfg.profileMode;
+        trace(TraceKind::AttemptBegin, ExecMode::Speculative,
+              AbortReason::None, counted_retries);
+        const bool committed =
+            co_await runSpeculative(pc, discovery);
+        ++attempts_made;
+
+        if (discovery)
+            capture_profile();
+
+        if (committed) {
+            committed_mode = ExecMode::Speculative;
+            if (discovery && tx.discoveryComplete()) {
+                ErtEntry &e = ert.lookupOrInsert(pc);
+                e.isImmutable = !tx.sawIndirection();
+            }
+            ert.recordCommit(pc);
+            break;
+        }
+
+        // --- aborted speculative attempt ---
+        const AbortReason reason = tx.doomReason();
+        trace(TraceKind::Abort, ExecMode::Speculative, reason,
+              counted_retries);
+        stats.recordAbort(reason);
+        if (countsTowardRetryLimit(reason)) {
+            ++counted_retries;
+            any_counted_abort = true;
+        }
+        for (LineAddr line : tx.conflictingReads()) {
+            crt.insert(line);
+            ++stats.crtInsertions;
+        }
+
+        if (discovery) {
+            ErtEntry &e = ert.lookupOrInsert(pc);
+            if (tx.sqOverflowed()) {
+                ert.recordSqOverflow(pc);
+                if (e.sqFullCounter >= ert.sqSaturation())
+                    ++stats.discoveryDisabled;
+            } else if (tx.structuresOverflowed()) {
+                // The footprint cannot even be tracked: hopeless to
+                // convert (discovery assessment 1).
+                e.isConvertible = false;
+                ++stats.discoveryDisabled;
+            }
+            if (tx.discoveryComplete())
+                e.isImmutable = !tx.sawIndirection();
+            else
+                e.isImmutable = e.isImmutable && !tx.sawIndirection();
+        }
+
+        next = decideRetryMode(pc, discovery);
+
+        if (reason == AbortReason::OtherFallback ||
+            reason == AbortReason::ExplicitFallback) {
+            co_await waitFallbackRelease();
+        }
+    }
+
+    trace(TraceKind::Commit, committed_mode, AbortReason::None,
+          counted_retries);
+    stats.recordCommit(committed_mode, counted_retries);
+
+    // Invocation-level profiling.
+    RegionProfile &profile = stats.regions[pc];
+    ++profile.invocations;
+    if (attempts_made > 1)
+        ++profile.retryingInvocations;
+    if (comparable_retry)
+        ++profile.comparableRetries;
+    if (immutable_retry)
+        ++profile.immutableRetries;
+    profile.sawIndirection |= saw_indirection;
+    profile.footprintChanged |= footprint_changed;
+    if (max_lines > profile.maxFootprintLines)
+        profile.maxFootprintLines = max_lines;
+
+    tx.endInvocation();
+}
+
+RetryMode
+RegionExecutor::decideRetryMode(RegionPc pc, bool discovery_ran)
+{
+    const SystemConfig &cfg = sys_.config();
+    TxContext &tx = sys_.tx(core_);
+
+    // Baseline (and profile-mode) policy: plain speculative retry.
+    if (!cfg.clear.enabled || !discovery_ran)
+        return RetryMode::SpeculativeRetry;
+
+    // Figure 2, top: did the core structures overflow?
+    if (tx.structuresOverflowed() || !tx.discoveryComplete())
+        return RetryMode::SpeculativeRetry;
+
+    // Figure 2, middle: can the hardware lock the address set?
+    if (!sys_.alt().lockable(tx.footprint()))
+        return RetryMode::SpeculativeRetry;
+
+    const ErtEntry *e = sys_.ert(core_).find(pc);
+    if (e && !e->isConvertible)
+        return RetryMode::SpeculativeRetry;
+
+    savedFootprint_ = tx.footprint();
+
+    // Figure 2, bottom: any indirections?
+    if (tx.sawIndirection())
+        return RetryMode::SCl;
+    return RetryMode::NsCl;
+}
+
+Task<bool>
+RegionExecutor::runSpeculative(RegionPc pc, bool discovery)
+{
+    (void)pc;
+    const SystemConfig &cfg = sys_.config();
+    TxContext &tx = sys_.tx(core_);
+
+    // A power-mode transaction must be able to finish: instead of
+    // subscribing to the fallback lock (and dying whenever a
+    // fallback executor starts), it read-locks it, like the
+    // cacheline-locked modes do. Fallback writers wait for it.
+    const bool power_mode =
+        cfg.htmPolicy == HtmPolicy::PowerTm &&
+        sys_.power().isHolder(core_);
+    if (power_mode) {
+        while (!sys_.fallback().tryAcquireRead(core_))
+            co_await waitFallbackRelease();
+    }
+
+    tx.beginAttempt(ExecMode::Speculative, discovery);
+    if (!power_mode)
+        sys_.fallback().subscribe(core_, &tx);
+
+    // XBEGIN: checkpoint cost plus the read of the fallback lock
+    // (which thereby sits in the read set).
+    const MemAccessResult fb = sys_.mem().access(
+        core_, sys_.fallback().line(), false, false);
+    co_await delayFor(sys_.queue(),
+                      cfg.timing.beginLatency + fb.latency);
+
+    bool reached_end = false;
+    bool committed = false;
+    try {
+        co_await body_(tx);
+        reached_end = true;
+        if (!tx.doomed())
+            committed = co_await tx.commit();
+    } catch (const TxAbort &) {
+        // The body unwound; state is handled below.
+    }
+
+    if (!committed)
+        co_await tx.abortAttempt(reached_end);
+    if (power_mode)
+        sys_.fallback().releaseRead(core_);
+    co_return committed;
+}
+
+Task<bool>
+RegionExecutor::runCacheLocked(bool nscl)
+{
+    const SystemConfig &cfg = sys_.config();
+    TxContext &tx = sys_.tx(core_);
+
+    // Read-lock the fallback mutex: NS-CL/S-CL may not run
+    // concurrently with a fallback execution (Figures 3, 4).
+    for (;;) {
+        const MemAccessResult fb = sys_.mem().access(
+            core_, sys_.fallback().line(), false, false);
+        co_await delayFor(sys_.queue(), fb.latency);
+        if (sys_.fallback().tryAcquireRead(core_))
+            break;
+        co_await waitFallbackRelease();
+    }
+
+    tx.beginAttempt(nscl ? ExecMode::NsCl : ExecMode::SCl, false);
+
+    const bool lock_all = nscl || cfg.clear.sclLockAllReads;
+    std::vector<LockPlanEntry> plan = sys_.alt().buildPlan(
+        savedFootprint_, sys_.crt(core_), lock_all);
+    if (plan.empty()) {
+        // The saved footprint is no longer lockable (defensive).
+        tx.doomLocal(AbortReason::CapacityOverflow);
+        co_await tx.abortAttempt(false);
+        sys_.fallback().releaseRead(core_);
+        co_return false;
+    }
+    tx.setLockPlan(std::move(plan));
+
+    // Start the locker; the body begins at the same time and blocks
+    // on lines the locker has not yet acquired.
+    locker_ = runLocker(tx);
+    locker_.start();
+
+    bool reached_end = false;
+    bool committed = false;
+    try {
+        co_await body_(tx);
+        reached_end = true;
+        if (!tx.doomed())
+            committed = co_await tx.commit();
+    } catch (const TxAbort &) {
+    }
+
+    co_await tx.waitLockerDone();
+    if (!committed)
+        co_await tx.abortAttempt(reached_end);
+
+    // XEND: bulk-unlock all held cachelines, then release the
+    // fallback read lock.
+    sys_.mem().locks().unlockAll(core_);
+    sys_.fallback().releaseRead(core_);
+    co_return committed;
+}
+
+SimTask
+RegionExecutor::runLocker(TxContext &tx)
+{
+    const SystemConfig &cfg = sys_.config();
+    LockManager &locks = sys_.mem().locks();
+    std::vector<LockPlanEntry> &plan = tx.lockPlan();
+    const std::vector<AltGroup> groups = sys_.alt().groupsOf(plan);
+
+    for (const AltGroup &group : groups) {
+        if (tx.doomed())
+            break;
+
+        // Count lock-needing members.
+        unsigned members = 0;
+        for (std::size_t i = group.begin; i < group.end; ++i) {
+            if (plan[i].needsLock)
+                ++members;
+        }
+
+        if (members <= 1) {
+            bool ok = true;
+            for (std::size_t i = group.begin; i < group.end; ++i) {
+                if (!plan[i].needsLock)
+                    continue;
+                ok = co_await acquireOne(tx, plan[i]);
+                if (!ok)
+                    break;
+            }
+            if (!ok)
+                break;
+            continue;
+        }
+
+        // Lexicographical conflict group (Section 5): if every
+        // member is already held exclusively and free, lock all at
+        // once without any communication (Hit-bit fast path).
+        bool all_hit = true;
+        for (std::size_t i = group.begin; i < group.end; ++i) {
+            if (!plan[i].needsLock)
+                continue;
+            const LineAddr line = plan[i].line;
+            if (!sys_.mem().hasExclusive(core_, line) ||
+                locks.isLocked(line) ||
+                locks.dirSetLockedByOther(line, core_)) {
+                all_hit = false;
+                break;
+            }
+        }
+        if (all_hit) {
+            for (std::size_t i = group.begin; i < group.end; ++i) {
+                if (!plan[i].needsLock)
+                    continue;
+                const bool got = locks.tryLock(plan[i].line, core_);
+                CLEARSIM_ASSERT(got, "hit-path lock must succeed");
+                ++sys_.stats().cachelineLocksAcquired;
+                plan[i].locked = true;
+                tx.notifyPlannedLocked(plan[i].line);
+            }
+            co_await delayFor(sys_.queue(), 1);
+            continue;
+        }
+
+        // Slow path: lock the directory set, then each member.
+        while (!locks.tryLockDirSet(group.dirSet, core_)) {
+            co_await DirSetUnlockAwaiter(
+                locks, sys_.queue(), group.dirSet,
+                cfg.timing.lockRetryBackoff);
+            if (tx.doomed())
+                break;
+        }
+        if (tx.doomed()) {
+            if (locks.tryLockDirSet(group.dirSet, core_))
+                locks.unlockDirSet(group.dirSet, core_);
+            break;
+        }
+        // Charge the directory round trip for the set lock.
+        co_await delayFor(sys_.queue(), cfg.cache.remoteLatency);
+
+        bool ok = true;
+        for (std::size_t i = group.begin; i < group.end && ok; ++i) {
+            if (!plan[i].needsLock)
+                continue;
+            ok = co_await acquireOne(tx, plan[i]);
+        }
+        locks.unlockDirSet(group.dirSet, core_);
+        if (!ok)
+            break;
+    }
+
+    tx.notifyLockerDone();
+}
+
+Task<bool>
+RegionExecutor::acquireOne(TxContext &tx, LockPlanEntry &entry)
+{
+    const SystemConfig &cfg = sys_.config();
+    LockManager &locks = sys_.mem().locks();
+
+    for (;;) {
+        if (tx.doomed())
+            co_return false;
+
+        if (locks.tryLock(entry.line, core_)) {
+            // The lock request is an exclusive-intent access:
+            // arbitrate against speculative holders.
+            const RequesterClass cls =
+                tx.mode() == ExecMode::NsCl
+                    ? RequesterClass::NsClLocking
+                    : RequesterClass::SclLocking;
+            const ArbitrationOutcome out = sys_.conflicts().arbitrate(
+                core_, entry.line, true, cls);
+            if (out.abortSelf) {
+                // Section 5.2: nacked by a power-mode transaction.
+                locks.unlock(entry.line, core_);
+                tx.doomLocal(out.selfReason);
+                co_return false;
+            }
+
+            Cycle latency = 1; // Hit bit: already exclusive
+            if (!sys_.mem().hasExclusive(core_, entry.line)) {
+                const MemAccessResult res = sys_.mem().access(
+                    core_, entry.line, true, false);
+                latency = res.latency;
+            }
+            ++sys_.stats().cachelineLocksAcquired;
+            co_await delayFor(sys_.queue(), latency);
+            entry.locked = true;
+            tx.notifyPlannedLocked(entry.line);
+            co_return true;
+        }
+
+        // Held elsewhere: wait for the blocking resource.
+        if (locks.dirSetLockedByOther(entry.line, core_)) {
+            co_await DirSetUnlockAwaiter(
+                locks, sys_.queue(), locks.dirSetOf(entry.line),
+                cfg.timing.lockRetryBackoff);
+        } else {
+            co_await LineUnlockAwaiter(locks, sys_.queue(),
+                                       entry.line,
+                                       cfg.timing.lockRetryBackoff);
+        }
+    }
+}
+
+SimTask
+RegionExecutor::runFallback()
+{
+    TxContext &tx = sys_.tx(core_);
+
+    for (;;) {
+        // Write-intent access to the lock line: invalidates it out
+        // of every subscriber's read set.
+        const MemAccessResult res = sys_.mem().access(
+            core_, sys_.fallback().line(), true, false);
+        co_await delayFor(sys_.queue(), res.latency);
+        if (sys_.fallback().tryAcquireWrite(core_))
+            break;
+        co_await waitFallbackRelease(false);
+    }
+    ++sys_.stats().fallbackAcquisitions;
+
+    tx.beginAttempt(ExecMode::Fallback, false);
+    bool committed = false;
+    try {
+        co_await body_(tx);
+        if (!tx.doomed())
+            committed = co_await tx.commit();
+    } catch (const TxAbort &) {
+    }
+    CLEARSIM_ASSERT(committed, "fallback execution must commit");
+    sys_.fallback().releaseWrite(core_);
+}
+
+} // namespace clearsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * RegionExecutor: the per-core atomic-region retry driver.
+ *
+ * Implements the full execution policy of one AR invocation:
+ *
+ *  - baseline speculative attempts with requester-wins or PowerTM;
+ *  - CLEAR discovery (footprint + taint tracking, failed-mode
+ *    continuation) gated by the ERT;
+ *  - the decision tree of Figure 2 choosing NS-CL, S-CL,
+ *    speculative retry or fallback for each re-execution;
+ *  - the cacheline locker coroutine acquiring locks in
+ *    lexicographical (directory set) order with group/set locking
+ *    and the Hit-bit fast path (Section 5);
+ *  - the fallback path under the global lock.
+ */
+
+#ifndef CLEARSIM_CORE_REGION_EXECUTOR_HH
+#define CLEARSIM_CORE_REGION_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "core/system.hh"
+#include "htm/footprint.hh"
+#include "sim/task.hh"
+
+namespace clearsim
+{
+
+/** How the next attempt of a failed AR should execute. */
+enum class RetryMode : std::uint8_t
+{
+    SpeculativeRetry,
+    SCl,
+    NsCl,
+    Fallback,
+};
+
+/** Per-core region retry driver. */
+class RegionExecutor
+{
+  public:
+    RegionExecutor(System &sys, CoreId core);
+
+    RegionExecutor(const RegionExecutor &) = delete;
+    RegionExecutor &operator=(const RegionExecutor &) = delete;
+
+    /**
+     * Install the body factory for the next invocation. Kept in a
+     * member (not a coroutine parameter) so that all coroutine
+     * parameters in the executor stay trivially copyable.
+     */
+    void setBody(BodyFn body) { body_ = std::move(body); }
+
+    /**
+     * Run one invocation of the region at pc to commit, applying
+     * the configured retry policy. setBody must have been called.
+     */
+    SimTask runRegion(RegionPc pc);
+
+  private:
+    /** One speculative attempt. @retval true on commit. */
+    Task<bool> runSpeculative(RegionPc pc, bool discovery);
+
+    /** One S-CL or NS-CL attempt. @retval true on commit. */
+    Task<bool> runCacheLocked(bool nscl);
+
+    /** The fallback path; always commits. */
+    SimTask runFallback();
+
+    /** Locker coroutine: acquires the plan's locks in order. */
+    SimTask runLocker(TxContext &tx);
+
+    /** Acquire one planned line. @retval false if doomed. */
+    Task<bool> acquireOne(TxContext &tx, LockPlanEntry &entry);
+
+    /** Decide the mode of the next attempt after an abort. */
+    RetryMode decideRetryMode(RegionPc pc, bool discovery_ran);
+
+    /**
+     * Park until the fallback lock frees up, with the configured
+     * spin interval.
+     * @param writer_only wait only for the writer to leave (enough
+     *        for speculative/NS-CL/S-CL starts); pass false when
+     *        aspiring to take the lock exclusively
+     */
+    SimTask waitFallbackRelease(bool writer_only = true);
+
+    System &sys_;
+    CoreId core_;
+
+    /** Body factory of the current invocation. */
+    BodyFn body_;
+
+    /** Footprint saved by the last completed discovery, used to
+     *  build S-CL / NS-CL lock plans. */
+    Footprint savedFootprint_{64};
+
+    /** The in-flight locker coroutine of the current attempt. */
+    SimTask locker_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CORE_REGION_EXECUTOR_HH

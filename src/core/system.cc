@@ -1,0 +1,63 @@
+#include "core/system.hh"
+
+#include "common/log.hh"
+#include "core/region_executor.hh"
+
+namespace clearsim
+{
+
+System::System(const SystemConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), mem_(cfg), conflicts_(cfg, power_), rng_(seed),
+      alt_(cfg.clear.altEntries, cfg.cache.dirSets, cfg.cache.l1Sets,
+           cfg.cache.l1Ways)
+{
+    // The fallback lock variable occupies its own cacheline in
+    // simulated memory.
+    fallback_ = std::make_unique<FallbackLock>(
+        lineOf(mem_.store().allocateLines(1)));
+
+    txs_.reserve(cfg.numCores);
+    executors_.reserve(cfg.numCores);
+    erts_.reserve(cfg.numCores);
+    crts_.reserve(cfg.numCores);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        txs_.push_back(std::make_unique<TxContext>(
+            static_cast<CoreId>(c), cfg_, queue_, mem_, conflicts_,
+            *fallback_, power_, stats_));
+        erts_.emplace_back(cfg.clear.ertEntries,
+                           cfg.clear.sqFullSaturation);
+        crts_.emplace_back(cfg.clear.crtEntries, cfg.clear.crtWays);
+        executors_.push_back(std::make_unique<RegionExecutor>(
+            *this, static_cast<CoreId>(c)));
+    }
+}
+
+System::~System() = default;
+
+SimTask
+System::runRegion(CoreId core, RegionPc pc, BodyFn body)
+{
+    // Flat nesting (TSX semantics): a region started while the
+    // core is already inside an attempt is subsumed into the
+    // enclosing transaction — its body simply runs inline, and the
+    // outer region's commit/abort covers it.
+    if (tx(core).active())
+        return body(tx(core));
+
+    // Stash the body in the executor so that no coroutine in the
+    // execution path takes a non-trivially-copyable parameter.
+    executor(core).setBody(std::move(body));
+    return executor(core).runRegion(pc);
+}
+
+Cycle
+System::runToCompletion(Cycle limit)
+{
+    queue_.run(limit);
+    if (!queue_.empty())
+        fatal("simulation exceeded the cycle limit (%llu)",
+              static_cast<unsigned long long>(limit));
+    return queue_.now();
+}
+
+} // namespace clearsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * System: the complete simulated machine.
+ *
+ * Owns the event queue, the memory hierarchy, the HTM machinery
+ * (conflict manager, fallback lock, power token), the per-core
+ * transactional contexts and CLEAR structures (ERT, CRT), and the
+ * per-run statistics. Workloads execute against a System instance;
+ * the harness builds one System per (configuration, workload, seed)
+ * run.
+ */
+
+#ifndef CLEARSIM_CORE_SYSTEM_HH
+#define CLEARSIM_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "core/alt.hh"
+#include "core/crt.hh"
+#include "core/ert.hh"
+#include "core/trace.hh"
+#include "htm/conflict_manager.hh"
+#include "htm/fallback_lock.hh"
+#include "htm/htm_stats.hh"
+#include "htm/power_token.hh"
+#include "htm/tx_context.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace clearsim
+{
+
+class RegionExecutor;
+
+/** A factory invoked once per execution attempt of an AR body. */
+using BodyFn = std::function<SimTask(TxContext &)>;
+
+/** The complete simulated machine. */
+class System
+{
+  public:
+    /**
+     * @param cfg system configuration (one of B/P/C/W presets)
+     * @param seed master seed; all stochastic behavior derives
+     *        from it, making runs bit-exact reproducible
+     */
+    System(const SystemConfig &cfg, std::uint64_t seed);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return cfg_; }
+
+    EventQueue &queue() { return queue_; }
+    MemorySystem &mem() { return mem_; }
+    ConflictManager &conflicts() { return conflicts_; }
+    FallbackLock &fallback() { return *fallback_; }
+    PowerToken &power() { return power_; }
+    HtmStats &stats() { return stats_; }
+    Rng &rng() { return rng_; }
+
+    /** Install (or clear) the trace sink. */
+    void setTraceSink(TraceSink sink) { trace_ = std::move(sink); }
+
+    /** Emit a trace event if a sink is installed. */
+    void
+    emitTrace(const TraceEvent &event)
+    {
+        if (trace_)
+            trace_(event);
+    }
+
+    /** True if tracing is active. */
+    bool tracing() const { return static_cast<bool>(trace_); }
+
+    TxContext &tx(CoreId core) { return *txs_[core]; }
+    Ert &ert(CoreId core) { return erts_[core]; }
+    Crt &crt(CoreId core) { return crts_[core]; }
+    Alt &alt() { return alt_; }
+    RegionExecutor &executor(CoreId core) { return *executors_[core]; }
+
+    /**
+     * Execute one invocation of the atomic region at pc on the
+     * given core, retrying per the configuration's policy until it
+     * commits. This is the primary public entry point used by
+     * workload thread coroutines.
+     */
+    SimTask runRegion(CoreId core, RegionPc pc, BodyFn body);
+
+    /**
+     * Drive the event queue until all started tasks finish and the
+     * queue drains.
+     * @param limit optional cycle budget (fatal if exceeded)
+     * @return total simulated cycles
+     */
+    Cycle runToCompletion(Cycle limit = kNoCycle);
+
+  private:
+    SystemConfig cfg_;
+    EventQueue queue_;
+    MemorySystem mem_;
+    PowerToken power_;
+    ConflictManager conflicts_;
+    std::unique_ptr<FallbackLock> fallback_;
+    HtmStats stats_;
+    Rng rng_;
+    Alt alt_;
+    std::vector<std::unique_ptr<TxContext>> txs_;
+    std::vector<Ert> erts_;
+    std::vector<Crt> crts_;
+    std::vector<std::unique_ptr<RegionExecutor>> executors_;
+    TraceSink trace_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CORE_SYSTEM_HH

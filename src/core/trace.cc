@@ -1,0 +1,62 @@
+#include "core/trace.hh"
+
+namespace clearsim
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::AttemptBegin:
+        return "begin";
+      case TraceKind::Commit:
+        return "commit";
+      case TraceKind::Abort:
+        return "abort";
+      case TraceKind::FallbackAcquired:
+        return "fallback-acquired";
+    }
+    return "?";
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Speculative:
+        return "spec";
+      case ExecMode::SCl:
+        return "s-cl";
+      case ExecMode::NsCl:
+        return "ns-cl";
+      case ExecMode::Fallback:
+        return "fallback";
+    }
+    return "?";
+}
+
+const char *
+abortReasonName(AbortReason reason)
+{
+    switch (reason) {
+      case AbortReason::None:
+        return "none";
+      case AbortReason::MemoryConflict:
+        return "conflict";
+      case AbortReason::Nacked:
+        return "nacked";
+      case AbortReason::ExplicitFallback:
+        return "explicit-fallback";
+      case AbortReason::OtherFallback:
+        return "other-fallback";
+      case AbortReason::CapacityOverflow:
+        return "capacity";
+      case AbortReason::Deviation:
+        return "deviation";
+      case AbortReason::Explicit:
+        return "explicit";
+    }
+    return "?";
+}
+
+} // namespace clearsim

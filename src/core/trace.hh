@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Execution tracing.
+ *
+ * An optional per-System trace sink receives one event per
+ * attempt-level action of the region executor (attempt begin,
+ * commit, abort, fallback acquisition). Used by the CLI's --trace
+ * flag and by tests that assert on execution structure; costs one
+ * branch per event when disabled.
+ */
+
+#ifndef CLEARSIM_CORE_TRACE_HH
+#define CLEARSIM_CORE_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+
+/** What happened. */
+enum class TraceKind : std::uint8_t
+{
+    /** An execution attempt started (mode says how). */
+    AttemptBegin,
+    /** The invocation committed (mode + counted retries). */
+    Commit,
+    /** An attempt aborted (reason). */
+    Abort,
+    /** The fallback lock was acquired exclusively. */
+    FallbackAcquired,
+};
+
+/** One trace record. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    CoreId core = 0;
+    RegionPc pc = 0;
+    TraceKind kind = TraceKind::AttemptBegin;
+    ExecMode mode = ExecMode::Speculative;
+    AbortReason reason = AbortReason::None;
+    unsigned countedRetries = 0;
+};
+
+/** Receives every trace event of a System. */
+using TraceSink = std::function<void(const TraceEvent &)>;
+
+/** Short name of a trace kind ("begin", "commit", ...). */
+const char *traceKindName(TraceKind kind);
+
+/** Short name of an execution mode ("spec", "s-cl", ...). */
+const char *execModeName(ExecMode mode);
+
+/** Short name of an abort reason ("conflict", "nacked", ...). */
+const char *abortReasonName(AbortReason reason);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CORE_TRACE_HH

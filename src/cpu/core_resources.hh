@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-execution accounting of out-of-order core resources.
+ *
+ * CLEAR's discovery hierarchy (Section 4.1, assessment 1) asks
+ * whether an AR fits the core's speculative window. With in-core
+ * speculation (SLE) the ROB and LQ/SQ bound the whole AR; with HTM,
+ * instructions can retire and only the store queue limits a
+ * failed-mode discovery (Section 4.2). This class counts the
+ * micro-ops of one AR execution against the configured limits.
+ */
+
+#ifndef CLEARSIM_CPU_CORE_RESOURCES_HH
+#define CLEARSIM_CPU_CORE_RESOURCES_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+
+namespace clearsim
+{
+
+/** Micro-op counters for one AR execution attempt. */
+class CoreResources
+{
+  public:
+    explicit CoreResources(const CoreConfig &cfg,
+                           SpeculationScope scope =
+                               SpeculationScope::OutOfCore)
+        : cfg_(cfg), scope_(scope)
+    {
+    }
+
+    /** Begin a new AR execution attempt. */
+    void
+    reset()
+    {
+        uops_ = 0;
+        loads_ = 0;
+        stores_ = 0;
+    }
+
+    /** Account one load micro-op. */
+    void
+    countLoad()
+    {
+        ++uops_;
+        ++loads_;
+    }
+
+    /** Account one store micro-op. */
+    void
+    countStore()
+    {
+        ++uops_;
+        ++stores_;
+    }
+
+    /** Account n ALU/branch micro-ops. */
+    void countAlu(unsigned n = 1) { uops_ += n; }
+
+    /**
+     * True if the speculative window is exhausted.
+     *
+     * For HTM-scope speculation, only a failed-mode discovery is
+     * bounded (stores cannot drain from the SQ); normal speculative
+     * execution tracks its write set in the cache instead and is
+     * bounded there (capacity aborts).
+     *
+     * @param failed_mode true while discovery runs past a conflict
+     */
+    bool
+    overflowed(bool failed_mode) const
+    {
+        if (scope_ == SpeculationScope::InCore) {
+            return uops_ > cfg_.robEntries || loads_ > cfg_.lqEntries ||
+                   stores_ > cfg_.sqEntries;
+        }
+        return failed_mode && stores_ > cfg_.sqEntries;
+    }
+
+    /** True if the SQ specifically overflowed (drives SQ-Full ctr). */
+    bool sqOverflowed() const { return stores_ > cfg_.sqEntries; }
+
+    std::uint64_t uops() const { return uops_; }
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+
+    SpeculationScope scope() const { return scope_; }
+    void setScope(SpeculationScope scope) { scope_ = scope; }
+
+  private:
+    CoreConfig cfg_;
+    SpeculationScope scope_;
+    std::uint64_t uops_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CPU_CORE_RESOURCES_HH

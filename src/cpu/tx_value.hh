@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Taint-tracked 64-bit values: the indirection-bit mechanism.
+ *
+ * The paper extends every physical register with an indirection bit
+ * that is set when the register is the destination of a load (or of
+ * any instruction whose sources carry the bit), and is checked when
+ * a memory operation or branch retires (Section 5, structure 1).
+ *
+ * In clearsim, workload AR bodies compute on TxValue instead of raw
+ * integers. A TxValue returned by an in-AR load is tainted; all
+ * arithmetic propagates the taint exactly as the hardware bit
+ * propagates along register dependencies. Using a tainted value as
+ * an address marks the AR as containing an indirection; branching on
+ * a tainted value marks a value-dependent control flow. Both clear
+ * the AR's Is Immutable property.
+ */
+
+#ifndef CLEARSIM_CPU_TX_VALUE_HH
+#define CLEARSIM_CPU_TX_VALUE_HH
+
+#include <cstdint>
+
+namespace clearsim
+{
+
+/** A 64-bit value carrying an indirection (taint) bit. */
+class TxValue
+{
+  public:
+    constexpr TxValue() = default;
+
+    /** An untainted constant (no load dependence). */
+    constexpr TxValue(std::uint64_t value) // NOLINT: implicit by design
+        : value_(value)
+    {
+    }
+
+    /** Construct with an explicit taint, used by TxContext::load. */
+    constexpr TxValue(std::uint64_t value, bool tainted)
+        : value_(value), tainted_(tainted)
+    {
+    }
+
+    /** The numeric value. */
+    constexpr std::uint64_t raw() const { return value_; }
+
+    /** True if this value depends on a load inside the AR. */
+    constexpr bool tainted() const { return tainted_; }
+
+    /** Signed view of the value. */
+    constexpr std::int64_t rawSigned() const
+    {
+        return static_cast<std::int64_t>(value_);
+    }
+
+    // Arithmetic/logic: value semantics with taint union.
+    friend constexpr TxValue
+    operator+(TxValue a, TxValue b)
+    {
+        return {a.value_ + b.value_, a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator-(TxValue a, TxValue b)
+    {
+        return {a.value_ - b.value_, a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator*(TxValue a, TxValue b)
+    {
+        return {a.value_ * b.value_, a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator/(TxValue a, TxValue b)
+    {
+        return {b.value_ ? a.value_ / b.value_ : 0,
+                a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator%(TxValue a, TxValue b)
+    {
+        return {b.value_ ? a.value_ % b.value_ : 0,
+                a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator&(TxValue a, TxValue b)
+    {
+        return {a.value_ & b.value_, a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator|(TxValue a, TxValue b)
+    {
+        return {a.value_ | b.value_, a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator^(TxValue a, TxValue b)
+    {
+        return {a.value_ ^ b.value_, a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator<<(TxValue a, unsigned shift)
+    {
+        return {a.value_ << shift, a.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator>>(TxValue a, unsigned shift)
+    {
+        return {a.value_ >> shift, a.tainted_};
+    }
+
+    // Comparisons yield 0/1 TxValues so that the taint of the
+    // condition survives until TxContext::branchOn inspects it.
+    friend constexpr TxValue
+    operator==(TxValue a, TxValue b)
+    {
+        return {a.value_ == b.value_ ? 1ull : 0ull,
+                a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator!=(TxValue a, TxValue b)
+    {
+        return {a.value_ != b.value_ ? 1ull : 0ull,
+                a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator<(TxValue a, TxValue b)
+    {
+        return {a.value_ < b.value_ ? 1ull : 0ull,
+                a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator<=(TxValue a, TxValue b)
+    {
+        return {a.value_ <= b.value_ ? 1ull : 0ull,
+                a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator>(TxValue a, TxValue b)
+    {
+        return {a.value_ > b.value_ ? 1ull : 0ull,
+                a.tainted_ || b.tainted_};
+    }
+
+    friend constexpr TxValue
+    operator>=(TxValue a, TxValue b)
+    {
+        return {a.value_ >= b.value_ ? 1ull : 0ull,
+                a.tainted_ || b.tainted_};
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+    bool tainted_ = false;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_CPU_TX_VALUE_HH

@@ -1,0 +1,34 @@
+#include "energy/energy_model.hh"
+
+namespace clearsim
+{
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &params, Cycle cycles,
+              unsigned num_cores, const HtmStats &htm,
+              const MemStats &mem)
+{
+    EnergyBreakdown e;
+    e.staticEnergy = params.staticPerCoreCycle *
+                     static_cast<double>(cycles) *
+                     static_cast<double>(num_cores);
+
+    const double uops = static_cast<double>(htm.committedUops) +
+                        static_cast<double>(htm.abortedUops);
+    e.dynamicEnergy =
+        params.perUop * uops +
+        params.perL1Access * static_cast<double>(mem.l1Hits) +
+        params.perL2Access * static_cast<double>(mem.l2Hits) +
+        params.perL3Access * static_cast<double>(mem.l3Hits) +
+        params.perMemAccess * static_cast<double>(mem.memAccesses) +
+        params.perInvalidation *
+            static_cast<double>(mem.invalidations) +
+        params.perRemoteTransfer *
+            static_cast<double>(mem.remoteTransfers) +
+        params.perAbort * static_cast<double>(htm.aborts) +
+        params.perCachelineLock *
+            static_cast<double>(htm.cachelineLocksAcquired);
+    return e;
+}
+
+} // namespace clearsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Event-based energy model.
+ *
+ * The paper models energy with McPAT at 22nm. We substitute a
+ * linear event-energy model: a static component proportional to
+ * runtime (clock-gated cores still burn leakage + clock power) and
+ * a dynamic component proportional to the work performed (micro-ops
+ * executed — including those of aborted attempts — cache accesses
+ * per level, coherence events, aborts, lock operations). This
+ * captures exactly the two mechanisms behind Figure 10: CLEAR
+ * executes faster (less static energy) and executes fewer
+ * instructions because it aborts less (less dynamic energy).
+ *
+ * Units are abstract (nominally nJ); all evaluation uses energy
+ * *ratios* normalized to the baseline, as the paper does.
+ */
+
+#ifndef CLEARSIM_ENERGY_ENERGY_MODEL_HH
+#define CLEARSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "htm/htm_stats.hh"
+#include "mem/memory_system.hh"
+
+namespace clearsim
+{
+
+/** Per-event energy costs (nominally nJ, 22nm-class). */
+struct EnergyParams
+{
+    double staticPerCoreCycle = 0.05;
+    double perUop = 0.3;
+    double perL1Access = 0.5;
+    double perL2Access = 2.0;
+    double perL3Access = 8.0;
+    double perMemAccess = 60.0;
+    double perInvalidation = 1.0;
+    double perRemoteTransfer = 4.0;
+    double perAbort = 20.0;
+    double perCachelineLock = 1.0;
+};
+
+/** Static/dynamic decomposition of a run's energy. */
+struct EnergyBreakdown
+{
+    double staticEnergy = 0.0;
+    double dynamicEnergy = 0.0;
+
+    double total() const { return staticEnergy + dynamicEnergy; }
+};
+
+/**
+ * Compute the energy of one run.
+ *
+ * @param params per-event costs
+ * @param cycles total simulated cycles of the region of interest
+ * @param num_cores active cores
+ * @param htm commit/abort/uop counters of the run
+ * @param mem per-level access counters of the run
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &params, Cycle cycles,
+                              unsigned num_cores, const HtmStats &htm,
+                              const MemStats &mem);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,43 @@
+#include "harness/csv_export.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+bool
+maybeExportCsv(const std::string &name, const CsvTable &table)
+{
+    const char *dir = std::getenv("CLEARSIM_CSV_DIR");
+    if (!dir || !*dir)
+        return false;
+
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        logMessage(LogLevel::Warn, "cannot write CSV to %s",
+                   path.c_str());
+        return false;
+    }
+
+    auto writeRow = [&out](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ',';
+            out << row[i];
+        }
+        out << '\n';
+    };
+    writeRow(table.header);
+    for (const auto &row : table.rows)
+        writeRow(row);
+
+    std::fprintf(stderr, "[clearsim] wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace clearsim

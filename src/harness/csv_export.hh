@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Optional CSV export for the figure benches.
+ *
+ * When CLEARSIM_CSV_DIR is set, each figure bench also writes its
+ * series as `<dir>/<figure>.csv` for plotting, in addition to the
+ * human-readable table on stdout.
+ */
+
+#ifndef CLEARSIM_HARNESS_CSV_EXPORT_HH
+#define CLEARSIM_HARNESS_CSV_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace clearsim
+{
+
+/** One exported table: a header row plus data rows. */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Write the table to `$CLEARSIM_CSV_DIR/<name>.csv` if the
+ * environment variable is set.
+ * @retval true if a file was written
+ */
+bool maybeExportCsv(const std::string &name, const CsvTable &table);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HARNESS_CSV_EXPORT_HH

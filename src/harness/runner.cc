@@ -1,0 +1,153 @@
+#include "harness/runner.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+#include "core/system.hh"
+
+namespace clearsim
+{
+
+const char *const kGeomeanLabel = "geomean";
+
+RunResult
+runOnce(const SystemConfig &cfg, const std::string &workload_name,
+        const WorkloadParams &params, bool check_invariants)
+{
+    System sys(cfg, params.seed);
+    auto workload = makeWorkload(workload_name, params);
+
+    RunResult result;
+    result.workload = workload_name;
+    result.config = cfg.name;
+    result.seed = params.seed;
+    result.maxRetries = cfg.maxRetries;
+    result.cycles = runWorkloadThreads(sys, *workload);
+
+    if (check_invariants) {
+        for (const std::string &issue : workload->verify(sys))
+            fatal("%s [%s]: %s", workload_name.c_str(),
+                  cfg.name.c_str(), issue.c_str());
+    }
+
+    result.htm = sys.stats();
+    result.mem = sys.mem().stats();
+    result.energy = computeEnergy(EnergyParams{}, result.cycles,
+                                  cfg.numCores, result.htm,
+                                  result.mem);
+    return result;
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const char *value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace
+
+SweepOptions
+SweepOptions::fromEnv()
+{
+    SweepOptions opts;
+    opts.params.opsPerThread = 16;
+    if (const char *v = std::getenv("CLEARSIM_OPS"))
+        opts.params.opsPerThread =
+            static_cast<unsigned>(std::atoi(v));
+    if (const char *v = std::getenv("CLEARSIM_SEEDS"))
+        opts.seeds = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = std::getenv("CLEARSIM_TRIM"))
+        opts.trimEachSide = static_cast<unsigned>(std::atoi(v));
+    if (const char *v = std::getenv("CLEARSIM_RETRIES")) {
+        opts.retryLimits.clear();
+        for (const std::string &r : splitCsv(v))
+            opts.retryLimits.push_back(
+                static_cast<unsigned>(std::atoi(r.c_str())));
+    }
+    if (const char *v = std::getenv("CLEARSIM_WORKLOADS"))
+        opts.workloads = splitCsv(v);
+    if (opts.workloads.empty())
+        opts.workloads = workloadNames();
+    return opts;
+}
+
+CellResult
+runCell(const std::string &config_name,
+        const std::string &workload_name, const SweepOptions &opts)
+{
+    CellResult best;
+    best.workload = workload_name;
+    best.config = config_name;
+    bool have_best = false;
+
+    for (unsigned retries : opts.retryLimits) {
+        SystemConfig cfg = makeConfigByName(config_name);
+        cfg.maxRetries = retries;
+
+        std::vector<double> cycles;
+        std::vector<double> energies;
+        std::vector<double> shares;
+        HtmStats merged;
+        for (unsigned s = 0; s < opts.seeds; ++s) {
+            WorkloadParams params = opts.params;
+            params.seed = opts.params.seed + 1000003ull * s;
+            const RunResult run =
+                runOnce(cfg, workload_name, params);
+            cycles.push_back(static_cast<double>(run.cycles));
+            energies.push_back(run.energy.total());
+            shares.push_back(
+                run.discoveryOverheadShare(cfg.numCores));
+            merged.merge(run.htm);
+        }
+        const double mean_cycles =
+            trimmedMean(cycles, opts.trimEachSide);
+        if (!have_best || mean_cycles < best.cycles) {
+            have_best = true;
+            best.bestRetryLimit = retries;
+            best.cycles = mean_cycles;
+            best.energy = trimmedMean(energies, opts.trimEachSide);
+            best.htm = merged;
+            best.discoveryShare =
+                trimmedMean(shares, opts.trimEachSide);
+            best.numCores = cfg.numCores;
+        }
+    }
+    return best;
+}
+
+std::map<SweepKey, CellResult>
+runSweep(const SweepOptions &opts)
+{
+    std::map<SweepKey, CellResult> results;
+    for (const std::string &workload : opts.workloads) {
+        for (const std::string &config : opts.configs) {
+            results[{workload, config}] =
+                runCell(config, workload, opts);
+        }
+    }
+    return results;
+}
+
+void
+printRow(const std::string &label,
+         const std::vector<std::string> &cells, int cell_width)
+{
+    std::printf("%-12s", label.c_str());
+    for (const std::string &cell : cells)
+        std::printf(" %*s", cell_width, cell.c_str());
+    std::printf("\n");
+}
+
+} // namespace clearsim

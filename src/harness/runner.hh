@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The experiment harness.
+ *
+ * Implements the paper's methodology (Section 6): every
+ * (configuration, workload) cell is run for a sweep of retry limits
+ * (the paper uses 1..10 and picks the best-performing one per
+ * application), each point with several seeds aggregated by trimmed
+ * mean. The bench binaries for Figures 8-13 are thin wrappers over
+ * runSweep().
+ *
+ * Environment knobs let the full paper-scale sweep be requested
+ * without recompiling:
+ *   CLEARSIM_OPS      ops per thread          (default 16)
+ *   CLEARSIM_SEEDS    seeds per point         (default 3)
+ *   CLEARSIM_RETRIES  comma list of limits    (default "1,2,4,8")
+ *   CLEARSIM_TRIM     samples trimmed per side (default 0;
+ *                     the paper uses 10 seeds / trim 3)
+ *   CLEARSIM_WORKLOADS comma list             (default all 19)
+ */
+
+#ifndef CLEARSIM_HARNESS_RUNNER_HH
+#define CLEARSIM_HARNESS_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "metrics/run_result.hh"
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+/** One fully-specified simulation run. */
+RunResult runOnce(const SystemConfig &cfg,
+                  const std::string &workload_name,
+                  const WorkloadParams &params,
+                  bool check_invariants = true);
+
+/** Options of a sweep over (configs x workloads). */
+struct SweepOptions
+{
+    std::vector<std::string> configs = {"B", "P", "C", "W"};
+    std::vector<std::string> workloads; ///< empty = all 19
+    std::vector<unsigned> retryLimits = {1, 2, 4, 8};
+    unsigned seeds = 3;
+    unsigned trimEachSide = 0;
+    WorkloadParams params;
+
+    /** Apply the CLEARSIM_* environment overrides. */
+    static SweepOptions fromEnv();
+};
+
+/** Aggregated result of one (config, workload) cell. */
+struct CellResult
+{
+    std::string workload;
+    std::string config;
+    unsigned bestRetryLimit = 0;
+    double cycles = 0.0;      ///< trimmed-mean cycles at best limit
+    double energy = 0.0;      ///< trimmed-mean total energy
+    HtmStats htm;             ///< merged over the seeds of the best
+    double discoveryShare = 0.0;
+    unsigned numCores = 0;
+};
+
+/**
+ * Run one cell: sweep the retry limits, each with opts.seeds seeds,
+ * and keep the limit with the best trimmed-mean execution time.
+ */
+CellResult runCell(const std::string &config_name,
+                   const std::string &workload_name,
+                   const SweepOptions &opts);
+
+/** Key: (workload, config). */
+using SweepKey = std::pair<std::string, std::string>;
+
+/** Run the full sweep. */
+std::map<SweepKey, CellResult> runSweep(const SweepOptions &opts);
+
+// ---------------------------------------------------------------
+// Table-printing helpers shared by the bench binaries.
+// ---------------------------------------------------------------
+
+/** Print a row of right-aligned cells after a left label. */
+void printRow(const std::string &label,
+              const std::vector<std::string> &cells, int cell_width);
+
+/** Geomean label used in figures ("geomean" column of Fig. 8). */
+extern const char *const kGeomeanLabel;
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HARNESS_RUNNER_HH

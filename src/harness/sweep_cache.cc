@@ -1,0 +1,175 @@
+#include "harness/sweep_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+CellSummary
+CellSummary::fromCell(const CellResult &cell)
+{
+    CellSummary s;
+    s.workload = cell.workload;
+    s.config = cell.config;
+    s.bestRetryLimit = cell.bestRetryLimit;
+    s.cycles = cell.cycles;
+    s.energy = cell.energy;
+    s.discoveryShare = cell.discoveryShare;
+    s.commits = cell.htm.commits;
+    s.commitsByMode = cell.htm.commitsByMode;
+    s.aborts = cell.htm.aborts;
+    s.abortsByCategory = cell.htm.abortsByCategory;
+    s.commitsRetry0 = cell.htm.commitsByRetries.count(0);
+    s.commitsRetry1 = cell.htm.commitsByRetries.count(1);
+    s.commitsNonFallback = cell.htm.commitsByRetries.total();
+    s.commitsFallback = cell.htm.fallbackCommitRetries.total();
+    return s;
+}
+
+std::uint64_t
+sweepOptionsHash(const SweepOptions &opts)
+{
+    // FNV-1a over the option fields.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    auto mixStr = [&](const std::string &s) {
+        for (char c : s)
+            mix(static_cast<unsigned char>(c));
+        mix(0x7f);
+    };
+    mix(opts.params.opsPerThread);
+    mix(opts.params.threads);
+    mix(opts.params.scale);
+    mix(opts.params.seed);
+    mix(opts.seeds);
+    mix(opts.trimEachSide);
+    for (unsigned r : opts.retryLimits)
+        mix(r);
+    for (const std::string &w : opts.workloads)
+        mixStr(w);
+    for (const std::string &c : opts.configs)
+        mixStr(c);
+    return h;
+}
+
+std::string
+sweepCachePath()
+{
+    if (const char *v = std::getenv("CLEARSIM_CACHE"))
+        return v;
+    return "clearsim_sweep_cache.csv";
+}
+
+bool
+loadSweepCache(const std::string &path, std::uint64_t hash,
+               SweepSummary &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+    std::uint64_t file_hash = 0;
+    if (std::sscanf(header.c_str(), "# clearsim-sweep-cache %llx",
+                    reinterpret_cast<unsigned long long *>(
+                        &file_hash)) != 1 ||
+        file_hash != hash) {
+        return false;
+    }
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::stringstream ss(line);
+        CellSummary s;
+        std::string field;
+        auto next = [&]() -> std::string {
+            std::getline(ss, field, ',');
+            return field;
+        };
+        s.workload = next();
+        s.config = next();
+        s.bestRetryLimit =
+            static_cast<unsigned>(std::atoi(next().c_str()));
+        s.cycles = std::atof(next().c_str());
+        s.energy = std::atof(next().c_str());
+        s.discoveryShare = std::atof(next().c_str());
+        s.commits = std::strtoull(next().c_str(), nullptr, 10);
+        for (auto &m : s.commitsByMode)
+            m = std::strtoull(next().c_str(), nullptr, 10);
+        s.aborts = std::strtoull(next().c_str(), nullptr, 10);
+        for (auto &a : s.abortsByCategory)
+            a = std::strtoull(next().c_str(), nullptr, 10);
+        s.commitsRetry0 = std::strtoull(next().c_str(), nullptr, 10);
+        s.commitsRetry1 = std::strtoull(next().c_str(), nullptr, 10);
+        s.commitsNonFallback =
+            std::strtoull(next().c_str(), nullptr, 10);
+        s.commitsFallback =
+            std::strtoull(next().c_str(), nullptr, 10);
+        out[{s.workload, s.config}] = s;
+    }
+    return !out.empty();
+}
+
+void
+saveSweepCache(const std::string &path, std::uint64_t hash,
+               const SweepSummary &summary)
+{
+    std::ofstream out(path);
+    if (!out) {
+        logMessage(LogLevel::Warn,
+                   "could not write sweep cache to %s", path.c_str());
+        return;
+    }
+    out << "# clearsim-sweep-cache " << std::hex << hash << std::dec
+        << "\n";
+    for (const auto &[key, s] : summary) {
+        out << s.workload << ',' << s.config << ','
+            << s.bestRetryLimit << ',' << s.cycles << ',' << s.energy
+            << ',' << s.discoveryShare << ',' << s.commits;
+        for (auto m : s.commitsByMode)
+            out << ',' << m;
+        out << ',' << s.aborts;
+        for (auto a : s.abortsByCategory)
+            out << ',' << a;
+        out << ',' << s.commitsRetry0 << ',' << s.commitsRetry1
+            << ',' << s.commitsNonFallback << ','
+            << s.commitsFallback << "\n";
+    }
+}
+
+SweepSummary
+sweepWithCache(const SweepOptions &opts)
+{
+    const std::uint64_t hash = sweepOptionsHash(opts);
+    const std::string path = sweepCachePath();
+    SweepSummary summary;
+    if (loadSweepCache(path, hash, summary)) {
+        std::fprintf(stderr,
+                     "[clearsim] reusing sweep cache %s (%zu cells)\n",
+                     path.c_str(), summary.size());
+        return summary;
+    }
+    std::fprintf(stderr,
+                 "[clearsim] running sweep: %zu workloads x %zu "
+                 "configs x %zu retry limits x %u seeds...\n",
+                 opts.workloads.size(), opts.configs.size(),
+                 opts.retryLimits.size(), opts.seeds);
+    const auto cells = runSweep(opts);
+    for (const auto &[key, cell] : cells)
+        summary[key] = CellSummary::fromCell(cell);
+    saveSweepCache(path, hash, summary);
+    return summary;
+}
+
+} // namespace clearsim

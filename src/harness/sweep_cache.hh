@@ -1,0 +1,78 @@
+/**
+ * @file
+ * On-disk cache of sweep results.
+ *
+ * Figures 8-13 all derive from the same (config x workload) sweep.
+ * Running that sweep once per bench binary would waste minutes, so
+ * the first binary to need it writes a CSV cache keyed by a hash of
+ * the sweep options, and the rest reuse it. Delete the cache file
+ * (default ./clearsim_sweep_cache.csv, override with
+ * CLEARSIM_CACHE) or change any CLEARSIM_* knob to force a re-run.
+ */
+
+#ifndef CLEARSIM_HARNESS_SWEEP_CACHE_HH
+#define CLEARSIM_HARNESS_SWEEP_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace clearsim
+{
+
+/** The per-cell quantities figures 8-13 need, in serializable form. */
+struct CellSummary
+{
+    std::string workload;
+    std::string config;
+    unsigned bestRetryLimit = 0;
+    double cycles = 0.0;
+    double energy = 0.0;
+    double discoveryShare = 0.0;
+    std::uint64_t commits = 0;
+    std::array<std::uint64_t, kNumExecModes> commitsByMode{};
+    std::uint64_t aborts = 0;
+    std::array<std::uint64_t, kNumAbortCategories> abortsByCategory{};
+    /** Non-fallback commits with 0 / exactly 1 counted retries. */
+    std::uint64_t commitsRetry0 = 0;
+    std::uint64_t commitsRetry1 = 0;
+    /** Total non-fallback / fallback commits (retry histograms). */
+    std::uint64_t commitsNonFallback = 0;
+    std::uint64_t commitsFallback = 0;
+
+    /** Condense a CellResult. */
+    static CellSummary fromCell(const CellResult &cell);
+};
+
+/** Map keyed like runSweep's result. */
+using SweepSummary = std::map<SweepKey, CellSummary>;
+
+/** Stable hash of everything that affects sweep results. */
+std::uint64_t sweepOptionsHash(const SweepOptions &opts);
+
+/** Cache path (CLEARSIM_CACHE or the default). */
+std::string sweepCachePath();
+
+/**
+ * Load the cached sweep if its options hash matches.
+ * @retval false when absent or stale
+ */
+bool loadSweepCache(const std::string &path, std::uint64_t hash,
+                    SweepSummary &out);
+
+/** Write the cache. */
+void saveSweepCache(const std::string &path, std::uint64_t hash,
+                    const SweepSummary &summary);
+
+/**
+ * The one-stop entry for the figure benches: load the cached sweep
+ * for these options, or run it and cache it.
+ */
+SweepSummary sweepWithCache(const SweepOptions &opts);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HARNESS_SWEEP_CACHE_HH

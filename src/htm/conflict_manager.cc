@@ -1,0 +1,142 @@
+#include "htm/conflict_manager.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+ConflictManager::ConflictManager(const SystemConfig &cfg,
+                                 PowerToken &power)
+    : cfg_(cfg), power_(power), participants_(cfg.numCores, nullptr)
+{
+}
+
+void
+ConflictManager::registerParticipant(CoreId core, TxParticipant *tx)
+{
+    CLEARSIM_ASSERT(core < participants_.size(),
+                    "participant core out of range");
+    participants_[core] = tx;
+}
+
+void
+ConflictManager::addRead(CoreId core, LineAddr line)
+{
+    lines_[line].readers |= (1ull << core);
+}
+
+void
+ConflictManager::addWrite(CoreId core, LineAddr line)
+{
+    lines_[line].writers |= (1ull << core);
+}
+
+void
+ConflictManager::remove(CoreId core, LineAddr line)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return;
+    const std::uint64_t mask = ~(1ull << core);
+    it->second.readers &= mask;
+    it->second.writers &= mask;
+    if (it->second.readers == 0 && it->second.writers == 0)
+        lines_.erase(it);
+}
+
+bool
+ConflictManager::hasRemoteWriter(CoreId core, LineAddr line) const
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return false;
+    return (it->second.writers & ~(1ull << core)) != 0;
+}
+
+ArbitrationOutcome
+ConflictManager::arbitrate(CoreId requester, LineAddr line,
+                           bool is_write, RequesterClass cls)
+{
+    ArbitrationOutcome outcome;
+
+    // Failed-mode discovery requests are flagged as non-aborting:
+    // they never damage other transactions (Section 4.1), and the
+    // issuer is already doomed.
+    if (cls == RequesterClass::FailedDiscovery)
+        return outcome;
+
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return outcome;
+
+    std::uint64_t conflicting = it->second.writers;
+    if (is_write)
+        conflicting |= it->second.readers;
+    conflicting &= ~(1ull << requester);
+    if (conflicting == 0)
+        return outcome;
+
+    const bool reqPower = power_.isHolder(requester);
+    const bool reqIsScl = cls == RequesterClass::SclUnlocked ||
+                          cls == RequesterClass::SclLocking;
+    const bool clearOnPower = cfg_.clear.enabled &&
+                              cfg_.htmPolicy == HtmPolicy::PowerTm;
+
+    // Pass 1: can any holder force the requester to abort? If so,
+    // the request is answered with a nack and nobody else is harmed.
+    std::vector<TxParticipant *> victims;
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        if (!(conflicting & (1ull << c)))
+            continue;
+        TxParticipant *holder = participants_[c];
+        if (!holder || !holder->conflictable())
+            continue;
+
+        const bool holderPower = holder->inPowerMode();
+        const bool holderScl = holder->execMode() == ExecMode::SCl;
+
+        // Non-speculative and NS-CL requesters cannot abort; they
+        // always win (their victims were reachable only because the
+        // request is part of enforcing mutual exclusion).
+        const bool canLose = cls == RequesterClass::Speculative ||
+                             reqIsScl;
+
+        if (canLose) {
+            // PowerTM priority: a power-mode holder nacks the
+            // request and the requester aborts.
+            if (cfg_.htmPolicy == HtmPolicy::PowerTm && holderPower &&
+                !reqPower) {
+                outcome.abortSelf = true;
+                outcome.selfReason = AbortReason::Nacked;
+                ++resolved_;
+                return outcome;
+            }
+            // Section 5.2: with CLEAR over PowerTM, S-CL and power
+            // transactions do not abort each other; the holder
+            // answers with a nack and the requester aborts.
+            if (clearOnPower &&
+                ((holderScl && reqPower) || (holderPower && reqIsScl))) {
+                outcome.abortSelf = true;
+                outcome.selfReason = AbortReason::Nacked;
+                ++resolved_;
+                return outcome;
+            }
+        }
+        victims.push_back(holder);
+    }
+
+    // Pass 2: the requester wins; doom every conflicting holder.
+    for (TxParticipant *victim : victims) {
+        victim->doomRemote(AbortReason::MemoryConflict, line);
+        ++resolved_;
+    }
+    return outcome;
+}
+
+void
+ConflictManager::reset()
+{
+    lines_.clear();
+}
+
+} // namespace clearsim

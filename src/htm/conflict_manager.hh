@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Conflict detection and resolution among in-flight atomic regions.
+ *
+ * The conflict manager mirrors the coherence-embedded read/write-set
+ * tracking of the modeled HTM: for every cacheline it knows which
+ * cores have it in their transactional read or write set, and on
+ * each request it arbitrates between the requester and the holders
+ * according to the active policy (requester-wins or PowerTM) and
+ * the CLEAR interaction rules of Section 5.2.
+ */
+
+#ifndef CLEARSIM_HTM_CONFLICT_MANAGER_HH
+#define CLEARSIM_HTM_CONFLICT_MANAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "htm/htm_types.hh"
+#include "htm/power_token.hh"
+
+namespace clearsim
+{
+
+/**
+ * What a transaction must expose so the conflict manager can
+ * arbitrate against it. Implemented by TxContext.
+ */
+class TxParticipant
+{
+  public:
+    virtual ~TxParticipant() = default;
+
+    /**
+     * True if this participant can lose a conflict: it is running a
+     * speculative attempt (Speculative or S-CL) and is not already
+     * doomed or in failed-mode discovery.
+     */
+    virtual bool conflictable() const = 0;
+
+    /** True if it currently holds the PowerTM token. */
+    virtual bool inPowerMode() const = 0;
+
+    /** Current execution mode. */
+    virtual ExecMode execMode() const = 0;
+
+    /**
+     * Lose a conflict: mark the transaction doomed. The victim
+     * unwinds at its next instruction boundary.
+     * @param reason why it aborts
+     * @param line the conflicting cacheline
+     */
+    virtual void doomRemote(AbortReason reason, LineAddr line) = 0;
+};
+
+/** Who is issuing the request being arbitrated. */
+enum class RequesterClass : std::uint8_t
+{
+    /** Load/store of a plain speculative transaction. */
+    Speculative,
+    /** Load of a failed-mode discovery (flagged non-aborting). */
+    FailedDiscovery,
+    /** Non-locked load inside an S-CL execution. */
+    SclUnlocked,
+    /** S-CL locker acquiring a planned cacheline lock. */
+    SclLocking,
+    /** NS-CL locker acquiring a planned cacheline lock. */
+    NsClLocking,
+    /** Non-speculative access (fallback execution). */
+    NonSpeculative,
+};
+
+/** Outcome of arbitrating one request. */
+struct ArbitrationOutcome
+{
+    /** The requester lost and must abort before performing it. */
+    bool abortSelf = false;
+    /** Reason to use when aborting self. */
+    AbortReason selfReason = AbortReason::None;
+};
+
+/** Global read/write-set registry plus the arbitration policy. */
+class ConflictManager
+{
+  public:
+    ConflictManager(const SystemConfig &cfg, PowerToken &power);
+
+    /** Register the participant occupying a core slot. */
+    void registerParticipant(CoreId core, TxParticipant *tx);
+
+    /** Add a line to a core's transactional read set. */
+    void addRead(CoreId core, LineAddr line);
+
+    /** Add a line to a core's transactional write set. */
+    void addWrite(CoreId core, LineAddr line);
+
+    /** Remove one line from a core's sets (both directions). */
+    void remove(CoreId core, LineAddr line);
+
+    /** True if any other core has line in its write set. */
+    bool hasRemoteWriter(CoreId core, LineAddr line) const;
+
+    /**
+     * Arbitrate a request against all conflicting holders.
+     *
+     * If the requester wins, every conflicting, conflictable holder
+     * is doomed (doomRemote) before this returns. If the requester
+     * loses (PowerTM priority, Section 5.2 nacks) nobody is doomed
+     * and abortSelf is set.
+     *
+     * @param requester issuing core
+     * @param line target cacheline
+     * @param is_write exclusive-intent request
+     * @param cls requester class
+     */
+    ArbitrationOutcome arbitrate(CoreId requester, LineAddr line,
+                                 bool is_write, RequesterClass cls);
+
+    /** Total conflicts resolved (stats). */
+    std::uint64_t conflictsResolved() const { return resolved_; }
+
+    /** Drop all registry state (between runs). */
+    void reset();
+
+  private:
+    struct LineSets
+    {
+        std::uint64_t readers = 0;
+        std::uint64_t writers = 0;
+    };
+
+    SystemConfig cfg_;
+    PowerToken &power_;
+    std::vector<TxParticipant *> participants_;
+    std::unordered_map<LineAddr, LineSets> lines_;
+    std::uint64_t resolved_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_CONFLICT_MANAGER_HH

@@ -1,0 +1,107 @@
+#include "htm/fallback_lock.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+bool
+FallbackLock::tryAcquireWrite(CoreId core)
+{
+    if (writer_ != kNoCore || readers_ != 0)
+        return false;
+    writer_ = core;
+    ++writerAcqs_;
+
+    // The fallback executor's first non-speculative store to the
+    // lock line invalidates it out of every subscriber's read set:
+    // all in-flight speculative attempts abort.
+    std::vector<std::pair<CoreId, TxParticipant *>> doomed;
+    doomed.swap(subscribers_);
+    for (auto &[c, tx] : doomed) {
+        (void)c;
+        tx->doomRemote(AbortReason::OtherFallback, line_);
+    }
+    return true;
+}
+
+void
+FallbackLock::releaseWrite(CoreId core)
+{
+    CLEARSIM_ASSERT(writer_ == core,
+                    "releaseWrite by a core that is not the writer");
+    writer_ = kNoCore;
+    fireWaiters();
+}
+
+bool
+FallbackLock::tryAcquireRead(CoreId core)
+{
+    (void)core;
+    if (writer_ != kNoCore)
+        return false;
+    ++readers_;
+    return true;
+}
+
+void
+FallbackLock::releaseRead(CoreId core)
+{
+    (void)core;
+    CLEARSIM_ASSERT(readers_ > 0, "releaseRead with no readers");
+    --readers_;
+    if (readers_ == 0)
+        fireWaiters();
+}
+
+void
+FallbackLock::subscribe(CoreId core, TxParticipant *tx)
+{
+    CLEARSIM_ASSERT(writer_ == kNoCore,
+                    "speculative subscribe while fallback lock held");
+    subscribers_.emplace_back(core, tx);
+}
+
+void
+FallbackLock::unsubscribe(CoreId core)
+{
+    subscribers_.erase(
+        std::remove_if(subscribers_.begin(), subscribers_.end(),
+                       [core](const auto &p) {
+                           return p.first == core;
+                       }),
+        subscribers_.end());
+}
+
+void
+FallbackLock::onRelease(WakeCallback cb)
+{
+    if (writer_ == kNoCore && readers_ == 0) {
+        cb();
+        return;
+    }
+    waiters_.push_back(std::move(cb));
+}
+
+void
+FallbackLock::fireWaiters()
+{
+    std::vector<WakeCallback> waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto &cb : waiters)
+        cb();
+}
+
+void
+FallbackLock::reset()
+{
+    writer_ = kNoCore;
+    readers_ = 0;
+    subscribers_.clear();
+    waiters_.clear();
+}
+
+} // namespace clearsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The fallback lock of one lock domain (one workload's global lock).
+ *
+ * Semantics follow Section 2.1 and 4.3/4.4 of the paper:
+ *
+ *  - A thread giving up on speculation acquires the lock exclusively
+ *    (write mode) and executes serialized. At acquisition, every
+ *    subscribed speculative transaction aborts ("Other Fallback"),
+ *    because the lock line sits in their read sets.
+ *  - A speculative attempt subscribes at begin; if the lock is
+ *    already write-held the attempt aborts immediately
+ *    ("Explicit Fallback") and the thread spins until free.
+ *  - NS-CL and S-CL executions acquire the lock in read (shared)
+ *    mode before cacheline locking, which keeps them mutually
+ *    exclusive with fallback execution but concurrent with each
+ *    other (Figures 3 and 4).
+ */
+
+#ifndef CLEARSIM_HTM_FALLBACK_LOCK_HH
+#define CLEARSIM_HTM_FALLBACK_LOCK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "htm/conflict_manager.hh"
+
+namespace clearsim
+{
+
+/** Reader/writer fallback lock with speculative subscription. */
+class FallbackLock
+{
+  public:
+    using WakeCallback = std::function<void()>;
+
+    /**
+     * @param line the simulated cacheline the lock variable lives
+     *        in; charged as a memory access by callers
+     */
+    explicit FallbackLock(LineAddr line) : line_(line) {}
+
+    /** The cacheline holding the lock variable. */
+    LineAddr line() const { return line_; }
+
+    /** True if a fallback executor holds the lock exclusively. */
+    bool writerHeld() const { return writer_ != kNoCore; }
+
+    /** The writer core, or kNoCore. */
+    CoreId writer() const { return writer_; }
+
+    /** Number of NS-CL / S-CL read holders. */
+    unsigned readerCount() const { return readers_; }
+
+    /**
+     * Try to take the lock exclusively. Succeeds only with no
+     * writer and no readers; on success every subscribed
+     * speculative transaction is doomed with OtherFallback.
+     */
+    bool tryAcquireWrite(CoreId core);
+
+    /** Release exclusive ownership; wakes all waiters. */
+    void releaseWrite(CoreId core);
+
+    /** Try to take the lock shared (NS-CL / S-CL prologue). */
+    bool tryAcquireRead(CoreId core);
+
+    /** Release one shared hold; wakes waiters when count drops. */
+    void releaseRead(CoreId core);
+
+    /**
+     * Subscribe a speculative transaction: it aborts if a writer
+     * acquires. Must not be called while a writer holds the lock.
+     */
+    void subscribe(CoreId core, TxParticipant *tx);
+
+    /** Remove a subscription (commit or abort). */
+    void unsubscribe(CoreId core);
+
+    /**
+     * One-shot callback fired at the next release event (write
+     * release, or reader count reaching zero).
+     */
+    void onRelease(WakeCallback cb);
+
+    /** Total exclusive acquisitions (stats). */
+    std::uint64_t writerAcquisitions() const { return writerAcqs_; }
+
+    /** Drop all state. */
+    void reset();
+
+  private:
+    void fireWaiters();
+
+    LineAddr line_;
+    CoreId writer_ = kNoCore;
+    unsigned readers_ = 0;
+    std::vector<std::pair<CoreId, TxParticipant *>> subscribers_;
+    std::vector<WakeCallback> waiters_;
+    std::uint64_t writerAcqs_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_FALLBACK_LOCK_HH

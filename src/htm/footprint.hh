@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Recording of the cacheline footprint of one atomic-region
+ * execution attempt: the raw material of CLEAR's discovery phase
+ * and of the mutability measurements behind Table 1 and Figure 1.
+ */
+
+#ifndef CLEARSIM_HTM_FOOTPRINT_HH
+#define CLEARSIM_HTM_FOOTPRINT_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** One distinct cacheline touched by an attempt. */
+struct FootprintEntry
+{
+    LineAddr line = 0;
+    /** The attempt wrote this line (Needs Locking candidate). */
+    bool wrote = false;
+};
+
+/**
+ * Ordered set of distinct cachelines accessed by one attempt.
+ *
+ * Recording capacity is bounded; past the bound only the overflow
+ * flag is kept, since a footprint too large for the ALT can never
+ * be cacheline-locked anyway.
+ */
+class Footprint
+{
+  public:
+    explicit Footprint(std::size_t capacity = 64)
+        : capacity_(capacity)
+    {
+    }
+
+    /** Record one access. Returns false once overflowed. */
+    bool
+    record(LineAddr line, bool wrote)
+    {
+        auto it = index_.find(line);
+        if (it != index_.end()) {
+            entries_[it->second].wrote |= wrote;
+            return true;
+        }
+        if (entries_.size() >= capacity_) {
+            overflowed_ = true;
+            return false;
+        }
+        index_.emplace(line, entries_.size());
+        entries_.push_back(FootprintEntry{line, wrote});
+        return true;
+    }
+
+    /** Distinct lines recorded (excludes overflowed accesses). */
+    std::size_t size() const { return entries_.size(); }
+
+    /** True if the footprint exceeded recording capacity. */
+    bool overflowed() const { return overflowed_; }
+
+    /** True if line was recorded. */
+    bool contains(LineAddr line) const
+    {
+        return index_.count(line) != 0;
+    }
+
+    /** True if line was recorded as written. */
+    bool
+    wrote(LineAddr line) const
+    {
+        auto it = index_.find(line);
+        return it != index_.end() && entries_[it->second].wrote;
+    }
+
+    const std::vector<FootprintEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * True if both footprints are complete and touch exactly the
+     * same set of cachelines (write flags ignored: Figure 1 asks
+     * about the accessed set).
+     */
+    bool
+    sameLines(const Footprint &other) const
+    {
+        if (overflowed_ || other.overflowed_)
+            return false;
+        if (entries_.size() != other.entries_.size())
+            return false;
+        return std::all_of(entries_.begin(), entries_.end(),
+                           [&other](const FootprintEntry &e) {
+                               return other.contains(e.line);
+                           });
+    }
+
+    /** Drop all recorded entries. */
+    void
+    clear()
+    {
+        entries_.clear();
+        index_.clear();
+        overflowed_ = false;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<FootprintEntry> entries_;
+    std::unordered_map<LineAddr, std::size_t> index_;
+    bool overflowed_ = false;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_FOOTPRINT_HH

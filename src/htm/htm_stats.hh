@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Counters collected during one simulation run.
+ *
+ * Every figure of the paper's evaluation is computed from these:
+ * commits by mode (Fig. 12), commits by retry count (Fig. 13),
+ * aborts by category (Fig. 11), aborts per commit (Fig. 9),
+ * discovery overhead cycles (Fig. 8 overlay), and the per-region
+ * mutability profiles behind Table 1 and Figure 1.
+ */
+
+#ifndef CLEARSIM_HTM_HTM_STATS_HH
+#define CLEARSIM_HTM_HTM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+
+/** Dynamic mutability profile of one static atomic region. */
+struct RegionProfile
+{
+    /** Completed invocations. */
+    std::uint64_t invocations = 0;
+
+    /** Invocations that needed at least one retry. */
+    std::uint64_t retryingInvocations = 0;
+
+    /**
+     * Retrying invocations where both the first attempt and the
+     * first retry produced complete footprints (i.e., the abort was
+     * a memory conflict observed through failed-mode discovery, not
+     * a fallback-lock or capacity event). The Figure 1 denominator.
+     */
+    std::uint64_t comparableRetries = 0;
+
+    /**
+     * Comparable retries whose first retry touched exactly the
+     * cachelines of the first attempt and fit in 32 lines
+     * (the Figure 1 numerator).
+     */
+    std::uint64_t immutableRetries = 0;
+
+    /** The region ever used a load-derived address or branch. */
+    bool sawIndirection = false;
+
+    /** Footprint differed between two attempts of one invocation. */
+    bool footprintChanged = false;
+
+    /** Largest footprint (in cachelines) observed. */
+    std::uint64_t maxFootprintLines = 0;
+};
+
+/** All counters for one run of one workload under one config. */
+struct HtmStats
+{
+    // --- commits ---
+    std::uint64_t commits = 0;
+    std::array<std::uint64_t, kNumExecModes> commitsByMode{};
+
+    /**
+     * Histogram over the number of counted retries a non-fallback
+     * commit needed (bucket 0 = committed first try).
+     */
+    BoundedHistogram commitsByRetries{32};
+
+    /** Retry counts of commits that ended on the fallback path. */
+    BoundedHistogram fallbackCommitRetries{32};
+
+    // --- aborts ---
+    std::uint64_t aborts = 0;
+    std::array<std::uint64_t, kNumAbortCategories> abortsByCategory{};
+
+    // --- timing decomposition ---
+    /** Cycles spent continuing discovery after a conflict. */
+    std::uint64_t discoveryFailedModeCycles = 0;
+
+    // --- work executed (energy inputs) ---
+    std::uint64_t committedUops = 0;
+    std::uint64_t abortedUops = 0;
+
+    // --- CLEAR machinery ---
+    std::uint64_t nsClAttempts = 0;
+    std::uint64_t sClAttempts = 0;
+    std::uint64_t cachelineLocksAcquired = 0;
+    std::uint64_t crtInsertions = 0;
+    std::uint64_t discoveryDisabled = 0;
+
+    // --- fallback lock ---
+    std::uint64_t fallbackAcquisitions = 0;
+
+    // --- per-static-region profiling (Table 1, Figure 1) ---
+    std::map<RegionPc, RegionProfile> regions;
+
+    /** Record a committed attempt. */
+    void
+    recordCommit(ExecMode mode, std::uint64_t counted_retries)
+    {
+        ++commits;
+        ++commitsByMode[static_cast<unsigned>(mode)];
+        if (mode == ExecMode::Fallback)
+            fallbackCommitRetries.record(counted_retries);
+        else
+            commitsByRetries.record(counted_retries);
+    }
+
+    /** Record an abort event. */
+    void
+    recordAbort(AbortReason reason)
+    {
+        ++aborts;
+        ++abortsByCategory[static_cast<unsigned>(categorize(reason))];
+    }
+
+    /** Aborts per committed transaction (Figure 9). */
+    double
+    abortsPerCommit() const
+    {
+        return commits == 0
+            ? 0.0
+            : static_cast<double>(aborts) /
+                  static_cast<double>(commits);
+    }
+
+    /** Fraction of commits that took the fallback path. */
+    double
+    fallbackFraction() const
+    {
+        if (commits == 0)
+            return 0.0;
+        const auto fb =
+            commitsByMode[static_cast<unsigned>(ExecMode::Fallback)];
+        return static_cast<double>(fb) / static_cast<double>(commits);
+    }
+
+    /**
+     * Among commits that needed at least one counted retry, the
+     * fraction that committed after exactly one (Figure 13).
+     */
+    double
+    singleRetryFraction() const
+    {
+        const std::uint64_t retried = commitsByRetries.total() -
+                                      commitsByRetries.count(0) +
+                                      fallbackCommitRetries.total();
+        if (retried == 0)
+            return 0.0;
+        return static_cast<double>(commitsByRetries.count(1)) /
+               static_cast<double>(retried);
+    }
+
+    /** Merge counters from another run (multi-seed aggregation). */
+    void
+    merge(const HtmStats &other)
+    {
+        commits += other.commits;
+        for (unsigned i = 0; i < kNumExecModes; ++i)
+            commitsByMode[i] += other.commitsByMode[i];
+        commitsByRetries.merge(other.commitsByRetries);
+        fallbackCommitRetries.merge(other.fallbackCommitRetries);
+        aborts += other.aborts;
+        for (unsigned i = 0; i < kNumAbortCategories; ++i)
+            abortsByCategory[i] += other.abortsByCategory[i];
+        discoveryFailedModeCycles += other.discoveryFailedModeCycles;
+        committedUops += other.committedUops;
+        abortedUops += other.abortedUops;
+        nsClAttempts += other.nsClAttempts;
+        sClAttempts += other.sClAttempts;
+        cachelineLocksAcquired += other.cachelineLocksAcquired;
+        crtInsertions += other.crtInsertions;
+        discoveryDisabled += other.discoveryDisabled;
+        fallbackAcquisitions += other.fallbackAcquisitions;
+        for (const auto &[pc, profile] : other.regions) {
+            RegionProfile &mine = regions[pc];
+            mine.invocations += profile.invocations;
+            mine.retryingInvocations += profile.retryingInvocations;
+            mine.comparableRetries += profile.comparableRetries;
+            mine.immutableRetries += profile.immutableRetries;
+            mine.sawIndirection |= profile.sawIndirection;
+            mine.footprintChanged |= profile.footprintChanged;
+            if (profile.maxFootprintLines > mine.maxFootprintLines)
+                mine.maxFootprintLines = profile.maxFootprintLines;
+        }
+    }
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_HTM_STATS_HH

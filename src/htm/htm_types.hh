@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared vocabulary of the transactional layer: execution modes,
+ * abort reasons, and the exception type used to unwind an aborted
+ * atomic-region body.
+ */
+
+#ifndef CLEARSIM_HTM_HTM_TYPES_HH
+#define CLEARSIM_HTM_HTM_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/**
+ * Mode an atomic-region attempt executes in (Figure 12's commit
+ * breakdown uses these four categories).
+ */
+enum class ExecMode : std::uint8_t
+{
+    /** Plain speculative execution (HTM transaction). */
+    Speculative,
+    /** Speculative cacheline-locked execution (CLEAR S-CL). */
+    SCl,
+    /** Non-speculative cacheline-locked execution (CLEAR NS-CL). */
+    NsCl,
+    /** Serialized execution under the fallback lock. */
+    Fallback,
+};
+
+/** Number of ExecMode values, for array-indexed stats. */
+constexpr unsigned kNumExecModes = 4;
+
+/**
+ * Why an attempt aborted. The first four map onto Figure 11's
+ * breakdown; the remaining values are folded into its "Others"
+ * category when reporting.
+ */
+enum class AbortReason : std::uint8_t
+{
+    None,
+    /** Read/write-set conflict with another AR. */
+    MemoryConflict,
+    /** A request was nacked (locked line, power/S-CL nack). */
+    Nacked,
+    /** Wanted to begin but found the fallback lock taken. */
+    ExplicitFallback,
+    /** Another thread took the fallback lock mid-execution. */
+    OtherFallback,
+    /** Speculative resources exhausted (L1 set pinning, SQ). */
+    CapacityOverflow,
+    /** S-CL accessed a line outside the discovery-learned set. */
+    Deviation,
+    /** Explicit XABORT from the workload. */
+    Explicit,
+};
+
+/** Figure 11's four abort categories. */
+enum class AbortCategory : std::uint8_t
+{
+    MemoryConflict,
+    ExplicitFallback,
+    OtherFallback,
+    Others,
+};
+
+/** Number of AbortCategory values. */
+constexpr unsigned kNumAbortCategories = 4;
+
+/** Map a detailed abort reason onto the paper's four categories. */
+constexpr AbortCategory
+categorize(AbortReason reason)
+{
+    switch (reason) {
+      case AbortReason::MemoryConflict:
+      case AbortReason::Nacked:
+        return AbortCategory::MemoryConflict;
+      case AbortReason::ExplicitFallback:
+        return AbortCategory::ExplicitFallback;
+      case AbortReason::OtherFallback:
+        return AbortCategory::OtherFallback;
+      default:
+        return AbortCategory::Others;
+    }
+}
+
+/**
+ * True if this abort increments the retry counter that eventually
+ * triggers the fallback path. Fallback-lock related aborts do not
+ * (Section 7: "certain types of aborts do not increase the counter
+ * to take the fallback path").
+ */
+constexpr bool
+countsTowardRetryLimit(AbortReason reason)
+{
+    return reason != AbortReason::ExplicitFallback &&
+           reason != AbortReason::OtherFallback;
+}
+
+/**
+ * Exception thrown from a memory-op awaitable to unwind an aborted
+ * AR body coroutine back to its region driver.
+ */
+struct TxAbort
+{
+    AbortReason reason = AbortReason::None;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_HTM_TYPES_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The PowerTM power-mode token.
+ *
+ * PowerTM (Dice, Herlihy, Kogan; TACO 2018) raises the priority of a
+ * transaction that has already failed once, but allows only one
+ * power-mode transaction system-wide. This class is that single
+ * token: a retrying transaction tries to acquire it, and holds it
+ * until commit or final abort.
+ */
+
+#ifndef CLEARSIM_HTM_POWER_TOKEN_HH
+#define CLEARSIM_HTM_POWER_TOKEN_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** The single system-wide power-mode slot. */
+class PowerToken
+{
+  public:
+    /** Try to take the token. @retval true if now held by core. */
+    bool
+    tryAcquire(CoreId core)
+    {
+        if (holder_ == core)
+            return true;
+        if (holder_ != kNoCore)
+            return false;
+        holder_ = core;
+        ++acquisitions_;
+        return true;
+    }
+
+    /** Release the token if held by core. */
+    void
+    release(CoreId core)
+    {
+        if (holder_ == core)
+            holder_ = kNoCore;
+    }
+
+    /** True if core currently runs in power mode. */
+    bool isHolder(CoreId core) const { return holder_ == core; }
+
+    /** The current holder, or kNoCore. */
+    CoreId holder() const { return holder_; }
+
+    /** Total successful acquisitions (stats). */
+    std::uint64_t acquisitions() const { return acquisitions_; }
+
+    /** Drop the token unconditionally. */
+    void reset() { holder_ = kNoCore; }
+
+  private:
+    CoreId holder_ = kNoCore;
+    std::uint64_t acquisitions_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_POWER_TOKEN_HH

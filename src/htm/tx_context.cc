@@ -1,0 +1,598 @@
+#include "htm/tx_context.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/**
+ * Awaitable that parks the coroutine until a remotely locked line
+ * is released, then applies the retry backoff of the Figure 6 fix.
+ */
+class LockWaitAwaiter
+{
+  public:
+    LockWaitAwaiter(LockManager &locks, EventQueue &queue,
+                    LineAddr line, Cycle backoff)
+        : locks_(locks), queue_(queue), line_(line), backoff_(backoff)
+    {
+    }
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> handle)
+    {
+        EventQueue &queue = queue_;
+        const Cycle backoff = backoff_;
+        locks_.onUnlock(line_, [&queue, backoff, handle] {
+            queue.scheduleAfter(backoff,
+                                [handle] { handle.resume(); });
+        });
+    }
+
+    void await_resume() const {}
+
+  private:
+    LockManager &locks_;
+    EventQueue &queue_;
+    LineAddr line_;
+    Cycle backoff_;
+};
+
+/** Awaitable parking the body until the locker locks a plan line. */
+class PlannedLockWait
+{
+  public:
+    PlannedLockWait(TxContext &tx, LineAddr line,
+                    bool &waiting_flag, LineAddr &wait_line,
+                    std::coroutine_handle<> &waiter_slot)
+        : line_(line), waitingFlag_(waiting_flag),
+          waitLine_(wait_line), waiterSlot_(waiter_slot)
+    {
+        (void)tx;
+    }
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> handle)
+    {
+        waitingFlag_ = true;
+        waitLine_ = line_;
+        waiterSlot_ = handle;
+    }
+
+    void await_resume() const {}
+
+  private:
+    LineAddr line_;
+    bool &waitingFlag_;
+    LineAddr &waitLine_;
+    std::coroutine_handle<> &waiterSlot_;
+};
+
+} // namespace
+
+TxContext::TxContext(CoreId core, const SystemConfig &cfg,
+                     EventQueue &queue, MemorySystem &mem,
+                     ConflictManager &conflicts, FallbackLock &fallback,
+                     PowerToken &power, HtmStats &stats)
+    : core_(core), cfg_(cfg), queue_(queue), mem_(mem),
+      conflicts_(conflicts), fallback_(fallback), power_(power),
+      stats_(stats), resources_(cfg.core, cfg.scope),
+      footprint_(64)
+{
+    conflicts_.registerParticipant(core, this);
+}
+
+void
+TxContext::beginInvocation(RegionPc pc)
+{
+    pc_ = pc;
+}
+
+void
+TxContext::endInvocation()
+{
+    power_.release(core_);
+}
+
+void
+TxContext::beginAttempt(ExecMode mode, bool discovery_active)
+{
+    CLEARSIM_ASSERT(!active_, "beginAttempt while an attempt is active");
+    active_ = true;
+    mode_ = mode;
+    discoveryActive_ = discovery_active;
+    doomReason_ = AbortReason::None;
+    failedMode_ = false;
+    failedModeStart_ = 0;
+    failedModeStoreBase_ = 0;
+    discoveryComplete_ = false;
+    sqOverflowEvent_ = false;
+    structOverflowEvent_ = false;
+    indirectionSeen_ = false;
+    taintedBranchSeen_ = false;
+    resources_.reset();
+    footprint_.clear();
+    readSet_.clear();
+    writeSet_.clear();
+    writeBuffer_.clear();
+    conflictingReads_.clear();
+    pendingAluUops_ = 0;
+    lockPlan_.clear();
+    lockPlanIndex_.clear();
+    lockerDone_ = true;
+    lockerWaiter_ = nullptr;
+    waitingPlannedLock_ = false;
+    plannedWaiter_ = nullptr;
+}
+
+void
+TxContext::setLockPlan(std::vector<LockPlanEntry> plan)
+{
+    lockPlan_ = std::move(plan);
+    lockPlanIndex_.clear();
+    for (std::size_t i = 0; i < lockPlan_.size(); ++i)
+        lockPlanIndex_.emplace(lockPlan_[i].line, i);
+    lockerDone_ = false;
+}
+
+LockPlanEntry *
+TxContext::findPlanEntry(LineAddr line)
+{
+    auto it = lockPlanIndex_.find(line);
+    return it == lockPlanIndex_.end() ? nullptr
+                                      : &lockPlan_[it->second];
+}
+
+void
+TxContext::doomLocal(AbortReason reason)
+{
+    if (doomReason_ == AbortReason::None)
+        doomReason_ = reason;
+}
+
+void
+TxContext::doomRemote(AbortReason reason, LineAddr line)
+{
+    if (!active_)
+        return;
+    // A conflicting invalidation of a read-only line feeds the CRT
+    // so a future S-CL execution locks it too (Section 5).
+    if (reason == AbortReason::MemoryConflict &&
+        readSet_.count(line) != 0 && writeSet_.count(line) == 0) {
+        conflictingReads_.push_back(line);
+    }
+    doomLocal(reason);
+}
+
+bool
+TxContext::conflictable() const
+{
+    return active_ && doomReason_ == AbortReason::None &&
+           !failedMode_ &&
+           (mode_ == ExecMode::Speculative || mode_ == ExecMode::SCl);
+}
+
+bool
+TxContext::inPowerMode() const
+{
+    return power_.isHolder(core_);
+}
+
+void
+TxContext::handleDoomAtBoundary()
+{
+    if (doomReason_ == AbortReason::None || failedMode_)
+        return;
+
+    // Section 4.1: on a conflict, a discovery-enabled speculative
+    // attempt does not abort; it continues in failed mode so the
+    // whole footprint can be learned.
+    const bool conflict_like =
+        doomReason_ == AbortReason::MemoryConflict ||
+        doomReason_ == AbortReason::Nacked;
+    if (discoveryActive_ && mode_ == ExecMode::Speculative &&
+        conflict_like && cfg_.clear.failedModeDiscovery) {
+        failedMode_ = true;
+        failedModeStart_ = queue_.now();
+        failedModeStoreBase_ = resources_.stores();
+        return;
+    }
+    throw TxAbort{doomReason_};
+}
+
+void
+TxContext::recordAccess(LineAddr line, bool wrote)
+{
+    footprint_.record(line, wrote);
+}
+
+Cycle
+TxContext::takePendingAluCycles()
+{
+    const unsigned width = cfg_.core.issueWidth;
+    const Cycle cycles = (pendingAluUops_ + width - 1) / width;
+    pendingAluUops_ = 0;
+    return cycles;
+}
+
+std::uint64_t
+TxContext::readData(Addr addr) const
+{
+    const Addr word = addr & ~Addr(7);
+    auto it = writeBuffer_.find(word);
+    if (it != writeBuffer_.end())
+        return it->second;
+    return mem_.store().read(word);
+}
+
+void
+TxContext::alu(unsigned n)
+{
+    resources_.countAlu(n);
+    pendingAluUops_ += n;
+}
+
+Addr
+TxContext::toAddr(const TxValue &value)
+{
+    alu(1);
+    if (value.tainted())
+        indirectionSeen_ = true;
+    return value.raw();
+}
+
+bool
+TxContext::branchOn(const TxValue &value)
+{
+    alu(1);
+    if (value.tainted())
+        taintedBranchSeen_ = true;
+    return value.raw() != 0;
+}
+
+void
+TxContext::explicitAbort()
+{
+    doomLocal(AbortReason::Explicit);
+    throw TxAbort{AbortReason::Explicit};
+}
+
+SimTask
+TxContext::resolveLineLock(LineAddr line, bool is_write)
+{
+    (void)is_write;
+    for (;;) {
+        const bool nackable =
+            failedMode_ ||
+            (mode_ == ExecMode::SCl &&
+             !mem_.locks().isLockedBy(line, core_));
+        const LockedLineResponse resp =
+            mem_.locks().classifyAccess(line, core_, nackable);
+        if (resp == LockedLineResponse::Free)
+            co_return;
+        if (resp == LockedLineResponse::Nack) {
+            mem_.locks().countNack();
+            doomLocal(AbortReason::Nacked);
+            // A nacked load has no data: discovery cannot continue.
+            throw TxAbort{doomReason_};
+        }
+        // Retry response: wait for the unlock, back off, re-issue.
+        mem_.locks().countRetry();
+        co_await LockWaitAwaiter(mem_.locks(), queue_, line,
+                                 cfg_.timing.lockRetryBackoff);
+        if (doomed() && !failedMode_)
+            handleDoomAtBoundary();
+    }
+}
+
+SimTask
+TxContext::waitPlannedLock(LineAddr line)
+{
+    LockPlanEntry *entry = findPlanEntry(line);
+    CLEARSIM_ASSERT(entry != nullptr, "waiting for an unplanned line");
+    while (!entry->locked) {
+        if (lockerDone_) {
+            // The locker gave up (e.g., nacked by a power-mode
+            // transaction); the attempt is doomed.
+            CLEARSIM_ASSERT(doomed(),
+                            "locker finished without locking a "
+                            "planned line and without dooming");
+            handleDoomAtBoundary();
+            co_return;
+        }
+        co_await PlannedLockWait(*this, line, waitingPlannedLock_,
+                                 plannedWaitLine_, plannedWaiter_);
+        if (doomed() && !failedMode_)
+            handleDoomAtBoundary();
+    }
+}
+
+void
+TxContext::notifyPlannedLocked(LineAddr line)
+{
+    if (!waitingPlannedLock_)
+        return;
+    if (plannedWaitLine_ != line)
+        return;
+    waitingPlannedLock_ = false;
+    std::coroutine_handle<> handle = plannedWaiter_;
+    plannedWaiter_ = nullptr;
+    queue_.scheduleAfter(0, [handle] { handle.resume(); });
+}
+
+void
+TxContext::notifyLockerDone()
+{
+    lockerDone_ = true;
+    if (waitingPlannedLock_) {
+        waitingPlannedLock_ = false;
+        std::coroutine_handle<> handle = plannedWaiter_;
+        plannedWaiter_ = nullptr;
+        queue_.scheduleAfter(0, [handle] { handle.resume(); });
+    }
+    if (lockerWaiter_) {
+        std::coroutine_handle<> handle = lockerWaiter_;
+        lockerWaiter_ = nullptr;
+        queue_.scheduleAfter(0, [handle] { handle.resume(); });
+    }
+}
+
+Task<TxValue>
+TxContext::load(Addr addr)
+{
+    CLEARSIM_ASSERT(active_, "load outside an attempt");
+    if (doomed() && !failedMode_)
+        handleDoomAtBoundary();
+
+    resources_.countLoad();
+    const Cycle alu_extra = takePendingAluCycles();
+    const LineAddr line = lineOf(addr);
+    if (discoveryActive_)
+        recordAccess(line, false);
+
+    // In-core (SLE) speculation: the whole AR must fit the window.
+    // Non-speculative modes (NS-CL, fallback) retire freely
+    // (Section 4.4.1) and are exempt.
+    if (cfg_.scope == SpeculationScope::InCore &&
+        (mode_ == ExecMode::Speculative || mode_ == ExecMode::SCl) &&
+        resources_.overflowed(failedMode_)) {
+        structOverflowEvent_ = true;
+        if (failedMode_)
+            throw TxAbort{doomReason_};
+        doomLocal(AbortReason::CapacityOverflow);
+        throw TxAbort{doomReason_};
+    }
+
+    // Planned-lock coordination (S-CL / NS-CL).
+    if (usesLockPlan()) {
+        LockPlanEntry *entry = findPlanEntry(line);
+        if (entry) {
+            if (entry->needsLock && !entry->locked)
+                co_await waitPlannedLock(line);
+        } else if (mode_ == ExecMode::NsCl) {
+            // Discovery guaranteed immutability; a deviating access
+            // in NS-CL indicates the guarantee was wrong. Abort
+            // defensively (the write buffer makes this safe).
+            logMessage(LogLevel::Warn,
+                       "core %u: NS-CL deviation on line %llu",
+                       unsigned(core_),
+                       static_cast<unsigned long long>(line));
+            doomLocal(AbortReason::Deviation);
+            throw TxAbort{doomReason_};
+        }
+        // S-CL reads outside the plan stay speculative.
+    }
+
+    co_await resolveLineLock(line, false);
+    if (doomed() && !failedMode_)
+        handleDoomAtBoundary();
+
+    // Conflict arbitration.
+    const bool locked_by_me = mem_.locks().isLockedBy(line, core_);
+    const bool speculative_tracking =
+        (mode_ == ExecMode::Speculative && !failedMode_) ||
+        (mode_ == ExecMode::SCl && !locked_by_me);
+    if (failedMode_) {
+        // Flagged non-aborting; never harms others.
+    } else if (speculative_tracking || mode_ == ExecMode::Fallback) {
+        const RequesterClass cls =
+            failedMode_ ? RequesterClass::FailedDiscovery
+            : mode_ == ExecMode::Speculative
+                ? RequesterClass::Speculative
+            : mode_ == ExecMode::SCl ? RequesterClass::SclUnlocked
+                                     : RequesterClass::NonSpeculative;
+        const ArbitrationOutcome out =
+            conflicts_.arbitrate(core_, line, false, cls);
+        if (out.abortSelf) {
+            doomLocal(out.selfReason);
+            handleDoomAtBoundary();
+        }
+    }
+
+    if (speculative_tracking && !failedMode_ && !doomed()) {
+        readSet_.insert(line);
+        conflicts_.addRead(core_, line);
+    }
+
+    // Timing and cache state.
+    const bool pin = speculative_tracking && !failedMode_ && !doomed();
+    const MemAccessResult res = mem_.access(core_, line, false, pin);
+    if (res.capacityOverflow) {
+        structOverflowEvent_ = true;
+        if (failedMode_)
+            throw TxAbort{doomReason_};
+        doomLocal(AbortReason::CapacityOverflow);
+        throw TxAbort{doomReason_};
+    }
+
+    co_await delayFor(queue_, res.latency + alu_extra);
+    if (doomed() && !failedMode_)
+        handleDoomAtBoundary();
+
+    co_return TxValue(readData(addr), true);
+}
+
+SimTask
+TxContext::store(Addr addr, TxValue value)
+{
+    CLEARSIM_ASSERT(active_, "store outside an attempt");
+    if (doomed() && !failedMode_)
+        handleDoomAtBoundary();
+
+    resources_.countStore();
+    const Cycle alu_extra = takePendingAluCycles();
+    const LineAddr line = lineOf(addr);
+    if (discoveryActive_)
+        recordAccess(line, true);
+
+    if (failedMode_) {
+        // Stores are held in the SQ: no cache or coherence action
+        // (Section 5.1: "in failed mode, stores do not exit the SQ
+        // to go to the cache").
+        if (resources_.stores() - failedModeStoreBase_ >
+            cfg_.core.sqEntries) {
+            sqOverflowEvent_ = true;
+            structOverflowEvent_ = true;
+            throw TxAbort{doomReason_};
+        }
+        writeBuffer_[addr & ~Addr(7)] = value.raw();
+        co_await delayFor(queue_, 1 + alu_extra);
+        co_return;
+    }
+
+    if (cfg_.scope == SpeculationScope::InCore &&
+        (mode_ == ExecMode::Speculative || mode_ == ExecMode::SCl) &&
+        resources_.overflowed(false)) {
+        structOverflowEvent_ = true;
+        doomLocal(AbortReason::CapacityOverflow);
+        throw TxAbort{doomReason_};
+    }
+
+    if (usesLockPlan()) {
+        LockPlanEntry *entry = findPlanEntry(line);
+        if (!entry || !entry->needsLock) {
+            // A write the discovery did not learn (or learned as a
+            // read): the footprint mutated; cacheline-locked
+            // execution cannot proceed.
+            doomLocal(AbortReason::Deviation);
+            throw TxAbort{doomReason_};
+        }
+        if (!entry->locked)
+            co_await waitPlannedLock(line);
+        if (doomed())
+            handleDoomAtBoundary();
+    }
+
+    co_await resolveLineLock(line, true);
+    if (doomed() && !failedMode_)
+        handleDoomAtBoundary();
+
+    const bool locked_by_me = mem_.locks().isLockedBy(line, core_);
+    const bool speculative_tracking =
+        mode_ == ExecMode::Speculative && !failedMode_;
+    CLEARSIM_ASSERT(!(mode_ == ExecMode::SCl && !locked_by_me),
+                    "S-CL store to an unlocked line");
+
+    if (speculative_tracking || mode_ == ExecMode::Fallback) {
+        const RequesterClass cls =
+            mode_ == ExecMode::Speculative
+                ? RequesterClass::Speculative
+                : RequesterClass::NonSpeculative;
+        const ArbitrationOutcome out =
+            conflicts_.arbitrate(core_, line, true, cls);
+        if (out.abortSelf) {
+            doomLocal(out.selfReason);
+            handleDoomAtBoundary();
+        }
+    }
+
+    if (speculative_tracking && !doomed()) {
+        writeSet_.insert(line);
+        conflicts_.addWrite(core_, line);
+    }
+
+    const bool pin = speculative_tracking && !doomed();
+    const MemAccessResult res = mem_.access(core_, line, true, pin);
+    if (res.capacityOverflow) {
+        structOverflowEvent_ = true;
+        doomLocal(AbortReason::CapacityOverflow);
+        throw TxAbort{doomReason_};
+    }
+
+    writeBuffer_[addr & ~Addr(7)] = value.raw();
+
+    co_await delayFor(queue_, res.latency + alu_extra);
+    if (doomed() && !failedMode_)
+        handleDoomAtBoundary();
+}
+
+Task<bool>
+TxContext::commit()
+{
+    CLEARSIM_ASSERT(active_, "commit outside an attempt");
+    CLEARSIM_ASSERT(!doomed(), "commit of a doomed attempt");
+
+    const Cycle latency =
+        cfg_.timing.commitLatency + takePendingAluCycles();
+    co_await delayFor(queue_, latency);
+
+    // A conflict may have arrived while XEND was in flight.
+    if (doomed())
+        co_return false;
+
+    for (const auto &[word, data] : writeBuffer_)
+        mem_.store().write(word, data);
+    writeBuffer_.clear();
+
+    discoveryComplete_ = true;
+    stats_.committedUops += resources_.uops();
+    releaseAttemptState(true);
+    active_ = false;
+    co_return true;
+}
+
+SimTask
+TxContext::abortAttempt(bool reached_end)
+{
+    CLEARSIM_ASSERT(active_, "abort outside an attempt");
+
+    if (failedMode_) {
+        stats_.discoveryFailedModeCycles +=
+            queue_.now() - failedModeStart_;
+    }
+    // The footprint is complete iff the body ran to its end
+    // (whether in failed mode or doomed at the commit point).
+    discoveryComplete_ = reached_end;
+
+    stats_.abortedUops += resources_.uops();
+    co_await delayFor(queue_, cfg_.timing.abortPenalty);
+
+    writeBuffer_.clear();
+    releaseAttemptState(false);
+    active_ = false;
+}
+
+void
+TxContext::releaseAttemptState(bool keep_ownership)
+{
+    for (LineAddr line : readSet_)
+        conflicts_.remove(core_, line);
+    for (LineAddr line : writeSet_) {
+        conflicts_.remove(core_, line);
+        if (!keep_ownership)
+            mem_.dropLine(core_, line);
+    }
+    readSet_.clear();
+    writeSet_.clear();
+    fallback_.unsubscribe(core_);
+    mem_.unpinAll(core_);
+}
+
+} // namespace clearsim

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * TxContext: the per-core transactional execution context.
+ *
+ * One TxContext drives every execution attempt of the atomic regions
+ * running on a core, in any of the four modes (speculative, S-CL,
+ * NS-CL, fallback). It owns the read/write sets, the speculative
+ * write buffer (redo log), the discovery footprint, the failed-mode
+ * continuation, and the interaction with the conflict manager, the
+ * lock manager and the fallback lock.
+ *
+ * Atomic-region bodies run as coroutines calling the awaitable body
+ * API (load/store/alu/toAddr/branchOn). An abort unwinds the body by
+ * throwing TxAbort from the next awaited operation.
+ */
+
+#ifndef CLEARSIM_HTM_TX_CONTEXT_HH
+#define CLEARSIM_HTM_TX_CONTEXT_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "cpu/core_resources.hh"
+#include "cpu/tx_value.hh"
+#include "htm/conflict_manager.hh"
+#include "htm/fallback_lock.hh"
+#include "htm/footprint.hh"
+#include "htm/htm_stats.hh"
+#include "htm/htm_types.hh"
+#include "htm/power_token.hh"
+#include "mem/memory_system.hh"
+#include "sim/task.hh"
+
+namespace clearsim
+{
+
+/** One cacheline of an S-CL / NS-CL lock plan. */
+struct LockPlanEntry
+{
+    LineAddr line = 0;
+    /** Lock this line (NS-CL: all; S-CL: writes + CRT reads). */
+    bool needsLock = false;
+    /** Set by the locker once the lock is held. */
+    bool locked = false;
+};
+
+/** Per-core transactional execution context. */
+class TxContext : public TxParticipant
+{
+  public:
+    TxContext(CoreId core, const SystemConfig &cfg, EventQueue &queue,
+              MemorySystem &mem, ConflictManager &conflicts,
+              FallbackLock &fallback, PowerToken &power,
+              HtmStats &stats);
+
+    TxContext(const TxContext &) = delete;
+    TxContext &operator=(const TxContext &) = delete;
+
+    // ------------------------------------------------------------
+    // Invocation lifecycle (one dynamic execution of a static AR)
+    // ------------------------------------------------------------
+
+    /** Start a new invocation of the region at pc. */
+    void beginInvocation(RegionPc pc);
+
+    /** Finish the invocation (after a successful commit). */
+    void endInvocation();
+
+    // ------------------------------------------------------------
+    // Attempt lifecycle
+    // ------------------------------------------------------------
+
+    /**
+     * Arm the context for one execution attempt.
+     * @param mode execution mode of this attempt
+     * @param discovery_active track footprint/taint and continue in
+     *        failed mode after a conflict (CLEAR discovery or
+     *        profile mode)
+     */
+    void beginAttempt(ExecMode mode, bool discovery_active);
+
+    /**
+     * Install the cacheline lock plan for an S-CL/NS-CL attempt.
+     * Entries must be sorted by (directory set, line).
+     */
+    void setLockPlan(std::vector<LockPlanEntry> plan);
+
+    /**
+     * Commit the attempt: charge commit latency, flush the write
+     * buffer to memory, release all transactional state.
+     * Must only be called when !doomed().
+     * @retval false if a conflict arrived during the commit itself;
+     *         the caller must abort instead.
+     */
+    Task<bool> commit();
+
+    /**
+     * Abort the attempt: charge the abort penalty, discard the
+     * write buffer, drop speculatively acquired lines, release all
+     * transactional state. Marks discovery complete if the body ran
+     * to its end in failed mode (reached_end).
+     */
+    SimTask abortAttempt(bool reached_end);
+
+    // ------------------------------------------------------------
+    // Body API (used by workload AR coroutines)
+    // ------------------------------------------------------------
+
+    /** Transactional load; the result is tainted (load-derived). */
+    Task<TxValue> load(Addr addr);
+
+    /** Transactional store (buffered until commit). */
+    SimTask store(Addr addr, TxValue value);
+
+    /** Account n ALU micro-ops (latency folded into next op). */
+    void alu(unsigned n = 1);
+
+    /**
+     * Use a value as a memory address. A tainted value marks the
+     * region as containing an indirection.
+     */
+    Addr toAddr(const TxValue &value);
+
+    /**
+     * Branch on a value. A tainted condition marks the region's
+     * control flow as value-dependent (treated as an indirection).
+     */
+    bool branchOn(const TxValue &value);
+
+    /** A value from a non-deterministic source (always tainted). */
+    TxValue nonDeterministic(std::uint64_t raw) const
+    {
+        return TxValue(raw, true);
+    }
+
+    /** Explicit XABORT. */
+    [[noreturn]] void explicitAbort();
+
+    // ------------------------------------------------------------
+    // Lock-plan coordination (used by the CLEAR executor)
+    // ------------------------------------------------------------
+
+    std::vector<LockPlanEntry> &lockPlan() { return lockPlan_; }
+
+    /** Mark a planned line locked; wakes the body if waiting. */
+    void notifyPlannedLocked(LineAddr line);
+
+    /** Locker finished (all locks held, or it gave up). */
+    void notifyLockerDone();
+
+    /** Awaitable: park the driver until the locker is done. */
+    auto
+    waitLockerDone()
+    {
+        struct Awaiter
+        {
+            TxContext &tx;
+
+            bool await_ready() const { return tx.lockerDone_; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                tx.lockerWaiter_ = h;
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this};
+    }
+
+    // ------------------------------------------------------------
+    // State queries (used by the region driver)
+    // ------------------------------------------------------------
+
+    CoreId coreId() const { return core_; }
+    ExecMode mode() const { return mode_; }
+    bool active() const { return active_; }
+    bool doomed() const { return doomReason_ != AbortReason::None; }
+    AbortReason doomReason() const { return doomReason_; }
+    bool inFailedMode() const { return failedMode_; }
+
+    /** Footprint of the current/last attempt. */
+    const Footprint &footprint() const { return footprint_; }
+
+    /** The attempt saw a tainted address or branch. */
+    bool sawIndirection() const
+    {
+        return indirectionSeen_ || taintedBranchSeen_;
+    }
+
+    /** Discovery observed the complete AR (commit or failed-mode
+     *  execution that reached the region's end). */
+    bool discoveryComplete() const { return discoveryComplete_; }
+
+    /** The failed-mode discovery ran out of SQ entries. */
+    bool sqOverflowed() const { return sqOverflowEvent_; }
+
+    /** Core structures overflowed during the attempt. */
+    bool structuresOverflowed() const { return structOverflowEvent_; }
+
+    /** Read lines that received conflicting invalidations (CRT feed). */
+    const std::vector<LineAddr> &conflictingReads() const
+    {
+        return conflictingReads_;
+    }
+
+    /** Micro-ops executed in the current attempt. */
+    const CoreResources &resources() const { return resources_; }
+
+    /** Current region PC. */
+    RegionPc regionPc() const { return pc_; }
+
+    /** Doom the running attempt locally (e.g., nacked request). */
+    void doomLocal(AbortReason reason);
+
+    // ------------------------------------------------------------
+    // TxParticipant interface
+    // ------------------------------------------------------------
+
+    bool conflictable() const override;
+    bool inPowerMode() const override;
+    ExecMode execMode() const override { return mode_; }
+    void doomRemote(AbortReason reason, LineAddr line) override;
+
+  private:
+    friend class PlannedLockAwaiter;
+
+    /** Throw TxAbort or transition into failed-mode discovery. */
+    void handleDoomAtBoundary();
+
+    /** Record an access in the discovery footprint. */
+    void recordAccess(LineAddr line, bool wrote);
+
+    /** Fold pending ALU work into the next memory op's latency. */
+    Cycle takePendingAluCycles();
+
+    /** Buffer-aware functional read. */
+    std::uint64_t readData(Addr addr) const;
+
+    /** Wait while a remote core holds the line locked. */
+    SimTask resolveLineLock(LineAddr line, bool is_write);
+
+    /** Wait until the locker has locked a planned line. */
+    SimTask waitPlannedLock(LineAddr line);
+
+    /** True if this attempt follows a lock plan. */
+    bool
+    usesLockPlan() const
+    {
+        return mode_ == ExecMode::SCl || mode_ == ExecMode::NsCl;
+    }
+
+    /** Plan entry for a line, or nullptr. */
+    LockPlanEntry *findPlanEntry(LineAddr line);
+
+    /** Release sets, pins, buffer, subscriptions. */
+    void releaseAttemptState(bool keep_ownership);
+
+    CoreId core_;
+    const SystemConfig &cfg_;
+    EventQueue &queue_;
+    MemorySystem &mem_;
+    ConflictManager &conflicts_;
+    FallbackLock &fallback_;
+    PowerToken &power_;
+    HtmStats &stats_;
+
+    // Invocation state.
+    RegionPc pc_ = 0;
+
+    // Attempt state.
+    bool active_ = false;
+    ExecMode mode_ = ExecMode::Speculative;
+    bool discoveryActive_ = false;
+    AbortReason doomReason_ = AbortReason::None;
+    bool failedMode_ = false;
+    Cycle failedModeStart_ = 0;
+    std::uint64_t failedModeStoreBase_ = 0;
+    bool discoveryComplete_ = false;
+    bool sqOverflowEvent_ = false;
+    bool structOverflowEvent_ = false;
+    bool indirectionSeen_ = false;
+    bool taintedBranchSeen_ = false;
+
+    CoreResources resources_;
+    Footprint footprint_;
+    std::unordered_set<LineAddr> readSet_;
+    std::unordered_set<LineAddr> writeSet_;
+    std::unordered_map<Addr, std::uint64_t> writeBuffer_;
+    std::vector<LineAddr> conflictingReads_;
+    unsigned pendingAluUops_ = 0;
+
+    // Lock plan (S-CL / NS-CL).
+    std::vector<LockPlanEntry> lockPlan_;
+    std::unordered_map<LineAddr, std::size_t> lockPlanIndex_;
+    bool lockerDone_ = true;
+    std::coroutine_handle<> lockerWaiter_;
+    LineAddr plannedWaitLine_ = 0;
+    bool waitingPlannedLock_ = false;
+    std::coroutine_handle<> plannedWaiter_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_TX_CONTEXT_HH

@@ -1,0 +1,39 @@
+#include "mem/backing_store.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+Addr
+BackingStore::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    CLEARSIM_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                    "alignment must be a power of two");
+    brk_ = (brk_ + align - 1) & ~(align - 1);
+    const Addr base = brk_;
+    brk_ += bytes == 0 ? align : bytes;
+    return base;
+}
+
+Addr
+BackingStore::allocateLines(std::uint64_t lines)
+{
+    return allocate(lines * kLineBytes, kLineBytes);
+}
+
+std::uint64_t
+BackingStore::read(Addr addr) const
+{
+    const Addr word = addr & ~Addr(7);
+    auto it = words_.find(word);
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+BackingStore::write(Addr addr, std::uint64_t value)
+{
+    words_[addr & ~Addr(7)] = value;
+}
+
+} // namespace clearsim

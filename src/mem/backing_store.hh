@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The simulated DRAM: a word-granular sparse backing store plus a
+ * bump allocator for carving out simulated data structures.
+ *
+ * Workloads build their shared data structures (arrays, lists,
+ * trees, hash tables) inside this address space, so footprint
+ * mutability across retries is a measured property of real data,
+ * not an annotation.
+ */
+
+#ifndef CLEARSIM_MEM_BACKING_STORE_HH
+#define CLEARSIM_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** Functional (timing-free) simulated memory contents. */
+class BackingStore
+{
+  public:
+    /**
+     * Allocate bytes of simulated memory.
+     * @param bytes size of the allocation
+     * @param align alignment; defaults to one word
+     * @return base simulated address
+     */
+    Addr allocate(std::uint64_t bytes, std::uint64_t align = 8);
+
+    /**
+     * Allocate aligned to a cacheline boundary. Used by workloads to
+     * control how their objects pack into cachelines, which in turn
+     * controls footprint size and false sharing.
+     */
+    Addr allocateLines(std::uint64_t lines);
+
+    /** Read one 64-bit word (unallocated memory reads as zero). */
+    std::uint64_t read(Addr addr) const;
+
+    /** Write one 64-bit word. */
+    void write(Addr addr, std::uint64_t value);
+
+    /** Highest allocated address (exclusive). */
+    Addr brk() const { return brk_; }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words_;
+    // Simulated allocations start above zero so that address 0 can
+    // serve as a null pointer inside simulated data structures.
+    Addr brk_ = 0x10000;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_MEM_BACKING_STORE_HH

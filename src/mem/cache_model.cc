@@ -1,0 +1,146 @@
+#include "mem/cache_model.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+CacheModel::CacheModel(unsigned sets, unsigned ways)
+    : sets_(sets), ways_(ways), ways_storage_(sets * ways)
+{
+    CLEARSIM_ASSERT(sets != 0 && (sets & (sets - 1)) == 0,
+                    "cache sets must be a power of two");
+    CLEARSIM_ASSERT(ways != 0, "cache must have at least one way");
+}
+
+unsigned
+CacheModel::setOf(LineAddr line) const
+{
+    return static_cast<unsigned>(line & (sets_ - 1));
+}
+
+CacheModel::Way *
+CacheModel::find(LineAddr line)
+{
+    Way *base = &ways_storage_[setOf(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheModel::Way *
+CacheModel::find(LineAddr line) const
+{
+    return const_cast<CacheModel *>(this)->find(line);
+}
+
+bool
+CacheModel::contains(LineAddr line) const
+{
+    return find(line) != nullptr;
+}
+
+void
+CacheModel::touch(LineAddr line)
+{
+    if (Way *w = find(line))
+        w->lastUse = ++useCounter_;
+}
+
+CacheInsertResult
+CacheModel::insert(LineAddr line)
+{
+    CacheInsertResult result;
+    if (Way *w = find(line)) {
+        w->lastUse = ++useCounter_;
+        result.inserted = true;
+        return result;
+    }
+
+    Way *base = &ways_storage_[setOf(line) * ways_];
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].pinned)
+            continue;
+        if (!victim || base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (!victim)
+        return result; // every way pinned: capacity overflow
+
+    if (victim->valid) {
+        result.evicted = true;
+        result.victim = victim->line;
+    }
+    victim->line = line;
+    victim->valid = true;
+    victim->pinned = false;
+    victim->lastUse = ++useCounter_;
+    result.inserted = true;
+    return result;
+}
+
+void
+CacheModel::invalidate(LineAddr line)
+{
+    if (Way *w = find(line)) {
+        w->valid = false;
+        w->pinned = false;
+    }
+}
+
+void
+CacheModel::pin(LineAddr line)
+{
+    if (Way *w = find(line))
+        w->pinned = true;
+}
+
+void
+CacheModel::unpin(LineAddr line)
+{
+    if (Way *w = find(line))
+        w->pinned = false;
+}
+
+void
+CacheModel::unpinAll()
+{
+    for (Way &w : ways_storage_)
+        w.pinned = false;
+}
+
+bool
+CacheModel::isPinned(LineAddr line) const
+{
+    const Way *w = find(line);
+    return w && w->pinned;
+}
+
+unsigned
+CacheModel::freeWaysFor(LineAddr line) const
+{
+    const Way *base = &ways_storage_[setOf(line) * ways_];
+    unsigned free = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid || !base[w].pinned)
+            ++free;
+    }
+    return free;
+}
+
+void
+CacheModel::reset()
+{
+    for (Way &w : ways_storage_)
+        w = Way{};
+    useCounter_ = 0;
+}
+
+} // namespace clearsim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Set-associative cache content model with LRU replacement and
+ * pinning support.
+ *
+ * One instance models one cache level of one core (or the shared
+ * L3). Only tags are tracked; data lives in the BackingStore. Lines
+ * belonging to an in-flight transaction's read/write set can be
+ * pinned: a pinned line is never chosen as an eviction victim, and
+ * if an insertion finds every way of a set pinned, the insertion
+ * fails, which the HTM layer turns into a capacity abort.
+ */
+
+#ifndef CLEARSIM_MEM_CACHE_MODEL_HH
+#define CLEARSIM_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** Result of inserting a line into a cache level. */
+struct CacheInsertResult
+{
+    /** True if the line is now resident. */
+    bool inserted = false;
+    /** True if a valid, different line was evicted to make room. */
+    bool evicted = false;
+    /** The evicted line (valid only if evicted). */
+    LineAddr victim = 0;
+};
+
+/** Tag array of one set-associative cache. */
+class CacheModel
+{
+  public:
+    /**
+     * @param sets number of sets (power of two)
+     * @param ways associativity
+     */
+    CacheModel(unsigned sets, unsigned ways);
+
+    /** True if line is resident. Does not update LRU. */
+    bool contains(LineAddr line) const;
+
+    /** Touch a resident line, moving it to MRU. No-op if absent. */
+    void touch(LineAddr line);
+
+    /**
+     * Insert a line (touching it if already resident). Pinned lines
+     * are never victimized; if all ways of the target set are
+     * pinned, insertion fails.
+     */
+    CacheInsertResult insert(LineAddr line);
+
+    /** Remove a line if resident (e.g., remote invalidation). */
+    void invalidate(LineAddr line);
+
+    /** Pin a resident line, protecting it from eviction. */
+    void pin(LineAddr line);
+
+    /** Unpin a line. */
+    void unpin(LineAddr line);
+
+    /** Drop every pin (transaction ended). */
+    void unpinAll();
+
+    /** True if the line is resident and pinned. */
+    bool isPinned(LineAddr line) const;
+
+    /**
+     * Number of additional lines mapping to this line's set that
+     * could still be held simultaneously (free or unpinned ways).
+     * CLEAR's discovery uses this to decide whether a footprint can
+     * be locked in the cache all at once.
+     */
+    unsigned freeWaysFor(LineAddr line) const;
+
+    /** Set index for a line. */
+    unsigned setOf(LineAddr line) const;
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Drop all contents and pins. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        LineAddr line = 0;
+        bool valid = false;
+        bool pinned = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Way *find(LineAddr line);
+    const Way *find(LineAddr line) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<Way> ways_storage_;
+    std::uint64_t useCounter_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_MEM_CACHE_MODEL_HH

@@ -1,0 +1,117 @@
+#include "mem/directory.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+Directory::Directory(unsigned dir_sets, unsigned num_cores)
+    : dirSets_(dir_sets), numCores_(num_cores)
+{
+    CLEARSIM_ASSERT(dir_sets != 0 && (dir_sets & (dir_sets - 1)) == 0,
+                    "directory sets must be a power of two");
+    CLEARSIM_ASSERT(num_cores <= 64, "sharer mask holds up to 64 cores");
+}
+
+unsigned
+Directory::setOf(LineAddr line) const
+{
+    return static_cast<unsigned>(line & (dirSets_ - 1));
+}
+
+DirectoryResult
+Directory::onRead(CoreId core, LineAddr line)
+{
+    DirectoryResult result;
+    Entry &e = entries_[line];
+    if (e.owner != kNoCore && e.owner != core) {
+        // Downgrade the remote exclusive owner to shared.
+        result.remoteTransfer = true;
+        e.sharers |= (1ull << e.owner);
+        e.owner = kNoCore;
+    } else if (e.owner == core) {
+        // Already exclusive here; nothing changes.
+        return result;
+    }
+    e.sharers |= (1ull << core);
+    return result;
+}
+
+DirectoryResult
+Directory::onWrite(CoreId core, LineAddr line)
+{
+    DirectoryResult result;
+    Entry &e = entries_[line];
+    if (e.owner == core)
+        return result; // already exclusive
+
+    if (e.owner != kNoCore) {
+        result.invalidate.push_back(e.owner);
+        result.remoteTransfer = true;
+    }
+    for (unsigned c = 0; c < numCores_; ++c) {
+        if (c == core)
+            continue;
+        if (e.sharers & (1ull << c))
+            result.invalidate.push_back(static_cast<CoreId>(c));
+    }
+    e.owner = core;
+    e.sharers = 0;
+    return result;
+}
+
+void
+Directory::dropSharer(CoreId core, LineAddr line)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    Entry &e = it->second;
+    if (e.owner == core)
+        e.owner = kNoCore;
+    e.sharers &= ~(1ull << core);
+    if (e.owner == kNoCore && e.sharers == 0)
+        entries_.erase(it);
+}
+
+bool
+Directory::isExclusive(CoreId core, LineAddr line) const
+{
+    auto it = entries_.find(line);
+    return it != entries_.end() && it->second.owner == core;
+}
+
+bool
+Directory::isSharer(CoreId core, LineAddr line) const
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return false;
+    const Entry &e = it->second;
+    return e.owner == core || (e.sharers & (1ull << core));
+}
+
+std::vector<CoreId>
+Directory::holders(LineAddr line) const
+{
+    std::vector<CoreId> result;
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return result;
+    const Entry &e = it->second;
+    if (e.owner != kNoCore)
+        result.push_back(e.owner);
+    for (unsigned c = 0; c < numCores_; ++c) {
+        if (e.sharers & (1ull << c))
+            result.push_back(static_cast<CoreId>(c));
+    }
+    return result;
+}
+
+void
+Directory::reset()
+{
+    entries_.clear();
+}
+
+} // namespace clearsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared directory tracking MESI-style ownership of each cacheline.
+ *
+ * The paper's system uses a three-level MESI protocol with a
+ * directory of 800% coverage; we therefore model a directory that
+ * never evicts (a full map), tracking for every line either one
+ * exclusive owner or a set of sharers. The directory also defines
+ * the lexicographical order used for deadlock-free cacheline
+ * locking: the directory set index of a line.
+ */
+
+#ifndef CLEARSIM_MEM_DIRECTORY_HH
+#define CLEARSIM_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** Coherence actions the directory reports for an access. */
+struct DirectoryResult
+{
+    /** Cores whose copy must be invalidated (write) or downgraded. */
+    std::vector<CoreId> invalidate;
+    /** True if data is forwarded from a remote exclusive owner. */
+    bool remoteTransfer = false;
+};
+
+/** Full-map MESI-style directory. */
+class Directory
+{
+  public:
+    /**
+     * @param dir_sets number of directory sets; defines the
+     *        lexicographic locking order (power of two)
+     * @param num_cores cores tracked in the sharer mask (max 64)
+     */
+    Directory(unsigned dir_sets, unsigned num_cores);
+
+    /**
+     * Record a read by core. If another core holds the line
+     * exclusively the result reports a remote transfer and the line
+     * is downgraded to shared.
+     */
+    DirectoryResult onRead(CoreId core, LineAddr line);
+
+    /**
+     * Record a write by core. All other sharers/owner are reported
+     * for invalidation and the line becomes exclusively owned.
+     */
+    DirectoryResult onWrite(CoreId core, LineAddr line);
+
+    /** Remove a core's copy (silent eviction / rollback). */
+    void dropSharer(CoreId core, LineAddr line);
+
+    /** True if core is the exclusive owner of line. */
+    bool isExclusive(CoreId core, LineAddr line) const;
+
+    /** True if core holds line (shared or exclusive). */
+    bool isSharer(CoreId core, LineAddr line) const;
+
+    /** Cores currently holding the line (shared or exclusive). */
+    std::vector<CoreId> holders(LineAddr line) const;
+
+    /** Directory set index of a line (the locking order key). */
+    unsigned setOf(LineAddr line) const;
+
+    /** Number of directory sets. */
+    unsigned sets() const { return dirSets_; }
+
+    /** Drop all state. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        CoreId owner = kNoCore;      // valid when exclusively owned
+        std::uint64_t sharers = 0;   // bit per core when shared
+    };
+
+    unsigned dirSets_;
+    unsigned numCores_;
+    std::unordered_map<LineAddr, Entry> entries_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_MEM_DIRECTORY_HH

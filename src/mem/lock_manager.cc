@@ -1,0 +1,184 @@
+#include "mem/lock_manager.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+bool
+LockManager::isLocked(LineAddr line) const
+{
+    auto it = locks_.find(line);
+    return it != locks_.end() && it->second.holder != kNoCore;
+}
+
+bool
+LockManager::isLockedBy(LineAddr line, CoreId core) const
+{
+    auto it = locks_.find(line);
+    return it != locks_.end() && it->second.holder == core;
+}
+
+CoreId
+LockManager::holder(LineAddr line) const
+{
+    auto it = locks_.find(line);
+    return it == locks_.end() ? kNoCore : it->second.holder;
+}
+
+void
+LockManager::configureDirSets(unsigned dir_sets)
+{
+    CLEARSIM_ASSERT(dir_sets != 0 && (dir_sets & (dir_sets - 1)) == 0,
+                    "directory sets must be a power of two");
+    dirSets_ = dir_sets;
+}
+
+bool
+LockManager::tryLock(LineAddr line, CoreId core)
+{
+    if (dirSetLockedByOther(line, core))
+        return false;
+    LockState &state = locks_[line];
+    if (state.holder == core)
+        return true;
+    if (state.holder != kNoCore)
+        return false;
+    state.holder = core;
+    held_[core].push_back(line);
+    ++totalLocks_;
+    return true;
+}
+
+void
+LockManager::unlock(LineAddr line, CoreId core)
+{
+    auto it = locks_.find(line);
+    CLEARSIM_ASSERT(it != locks_.end() && it->second.holder == core,
+                    "unlock of a line not held by this core");
+    it->second.holder = kNoCore;
+    std::vector<WakeCallback> waiters = std::move(it->second.waiters);
+    it->second.waiters.clear();
+    if (waiters.empty())
+        locks_.erase(it);
+
+    auto &lines = held_[core];
+    lines.erase(std::remove(lines.begin(), lines.end(), line),
+                lines.end());
+
+    for (auto &cb : waiters)
+        cb();
+}
+
+void
+LockManager::unlockAll(CoreId core)
+{
+    auto it = held_.find(core);
+    if (it == held_.end())
+        return;
+    std::vector<LineAddr> lines = std::move(it->second);
+    it->second.clear();
+    for (LineAddr line : lines) {
+        auto lockIt = locks_.find(line);
+        CLEARSIM_ASSERT(lockIt != locks_.end() &&
+                        lockIt->second.holder == core,
+                        "unlockAll found inconsistent lock state");
+        lockIt->second.holder = kNoCore;
+        std::vector<WakeCallback> waiters =
+            std::move(lockIt->second.waiters);
+        lockIt->second.waiters.clear();
+        if (waiters.empty())
+            locks_.erase(lockIt);
+        for (auto &cb : waiters)
+            cb();
+    }
+}
+
+unsigned
+LockManager::heldCount(CoreId core) const
+{
+    auto it = held_.find(core);
+    return it == held_.end()
+        ? 0 : static_cast<unsigned>(it->second.size());
+}
+
+LockedLineResponse
+LockManager::classifyAccess(LineAddr line, CoreId requester,
+                            bool nackable) const
+{
+    auto it = locks_.find(line);
+    if (it == locks_.end() || it->second.holder == kNoCore ||
+        it->second.holder == requester) {
+        return LockedLineResponse::Free;
+    }
+    return nackable ? LockedLineResponse::Nack
+                    : LockedLineResponse::Retry;
+}
+
+bool
+LockManager::tryLockDirSet(unsigned set, CoreId core)
+{
+    LockState &state = setLocks_[set];
+    if (state.holder == core)
+        return true;
+    if (state.holder != kNoCore)
+        return false;
+    state.holder = core;
+    return true;
+}
+
+void
+LockManager::unlockDirSet(unsigned set, CoreId core)
+{
+    auto it = setLocks_.find(set);
+    CLEARSIM_ASSERT(it != setLocks_.end() && it->second.holder == core,
+                    "unlockDirSet of a set not held by this core");
+    it->second.holder = kNoCore;
+    std::vector<WakeCallback> waiters = std::move(it->second.waiters);
+    setLocks_.erase(it);
+    for (auto &cb : waiters)
+        cb();
+}
+
+bool
+LockManager::dirSetLockedByOther(LineAddr line, CoreId core) const
+{
+    auto it = setLocks_.find(dirSetOf(line));
+    return it != setLocks_.end() && it->second.holder != kNoCore &&
+           it->second.holder != core;
+}
+
+void
+LockManager::onDirSetUnlock(unsigned set, WakeCallback cb)
+{
+    auto it = setLocks_.find(set);
+    if (it == setLocks_.end() || it->second.holder == kNoCore) {
+        cb();
+        return;
+    }
+    it->second.waiters.push_back(std::move(cb));
+}
+
+void
+LockManager::onUnlock(LineAddr line, WakeCallback cb)
+{
+    auto it = locks_.find(line);
+    if (it == locks_.end() || it->second.holder == kNoCore) {
+        cb();
+        return;
+    }
+    it->second.waiters.push_back(std::move(cb));
+}
+
+void
+LockManager::reset()
+{
+    locks_.clear();
+    setLocks_.clear();
+    held_.clear();
+}
+
+} // namespace clearsim

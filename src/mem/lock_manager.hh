@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cacheline lock manager.
+ *
+ * Implements the hardware cacheline-locking substrate CLEAR builds
+ * on (Intel SDM Vol 3, ch. 9.1.4 semantics generalized to multiple
+ * lines): a line locked by a core cannot be read or written by any
+ * other core until unlocked. Remote requests to a locked line are
+ * either NACKed (aborting nack-able requesters, breaking the
+ * two-core deadlock cycle of Figure 5) or asked to retry later
+ * (releasing the directory entry, breaking the three-core transient
+ * deadlock of Figure 6).
+ *
+ * Deadlock-free acquisition order is the caller's responsibility:
+ * CLEAR locks in lexicographical (directory-set, line) order.
+ */
+
+#ifndef CLEARSIM_MEM_LOCK_MANAGER_HH
+#define CLEARSIM_MEM_LOCK_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** How the lock manager answered a remote access to a locked line. */
+enum class LockedLineResponse
+{
+    /** Line is not locked; proceed. */
+    Free,
+    /** Requester should abort (nack-able request hit a lock). */
+    Nack,
+    /**
+     * Requester must re-issue later; the directory entry is released
+     * meanwhile (the Figure 6 fix).
+     */
+    Retry,
+};
+
+/** Tracks which core holds each cacheline lock and who waits on it. */
+class LockManager
+{
+  public:
+    using WakeCallback = std::function<void()>;
+
+    /**
+     * Configure the directory geometry used to map lines to
+     * directory sets (for set-level locking of lexicographical
+     * conflict groups). Must be a power of two.
+     */
+    void configureDirSets(unsigned dir_sets);
+
+    /** Directory set of a line. */
+    unsigned
+    dirSetOf(LineAddr line) const
+    {
+        return static_cast<unsigned>(line & (dirSets_ - 1));
+    }
+
+    /** True if the line is currently locked by any core. */
+    bool isLocked(LineAddr line) const;
+
+    /** True if the line is locked by this core. */
+    bool isLockedBy(LineAddr line, CoreId core) const;
+
+    /** Holder of the line's lock, or kNoCore. */
+    CoreId holder(LineAddr line) const;
+
+    /**
+     * Try to acquire the line lock for core.
+     * @retval true on success (also when core already holds it).
+     */
+    bool tryLock(LineAddr line, CoreId core);
+
+    /** Release one line lock; wakes all waiters. */
+    void unlock(LineAddr line, CoreId core);
+
+    /** Release every lock held by core (bulk unlock at AR end). */
+    void unlockAll(CoreId core);
+
+    /** Number of lines core currently holds locked. */
+    unsigned heldCount(CoreId core) const;
+
+    /**
+     * Classify a remote access to a possibly locked line.
+     * @param line target line
+     * @param requester core issuing the request
+     * @param nackable true for requests allowed to be nacked
+     *        (failed-mode discovery loads, S-CL non-locking loads)
+     */
+    LockedLineResponse classifyAccess(LineAddr line, CoreId requester,
+                                      bool nackable) const;
+
+    /**
+     * Try to lock a whole directory set (group locking of a
+     * lexicographical conflict group, Section 5). While a core
+     * holds a set lock, no other core can acquire line locks in
+     * that set.
+     */
+    bool tryLockDirSet(unsigned set, CoreId core);
+
+    /** Release a directory set lock; wakes set waiters. */
+    void unlockDirSet(unsigned set, CoreId core);
+
+    /** True if another core holds the set lock covering line. */
+    bool dirSetLockedByOther(LineAddr line, CoreId core) const;
+
+    /** Callback when the set lock is released (immediate if free). */
+    void onDirSetUnlock(unsigned set, WakeCallback cb);
+
+    /**
+     * Register a callback invoked (once) when the line is unlocked.
+     * The callback runs synchronously from unlock(); callers
+     * normally re-schedule themselves on the event queue from it.
+     * If the line is not locked the callback fires immediately.
+     */
+    void onUnlock(LineAddr line, WakeCallback cb);
+
+    /** Total lock acquisitions (stats). */
+    std::uint64_t totalLocks() const { return totalLocks_; }
+
+    /** Total nacks issued (stats). */
+    std::uint64_t totalNacks() const { return totalNacks_; }
+
+    /** Total retry responses issued (stats). */
+    std::uint64_t totalRetries() const { return totalRetries_; }
+
+    /** Count a nack (called by the memory system). */
+    void countNack() { ++totalNacks_; }
+
+    /** Count a retry response (called by the memory system). */
+    void countRetry() { ++totalRetries_; }
+
+    /** Drop all locks and waiters. */
+    void reset();
+
+  private:
+    struct LockState
+    {
+        CoreId holder = kNoCore;
+        std::vector<WakeCallback> waiters;
+    };
+
+    unsigned dirSets_ = 4096;
+    std::unordered_map<LineAddr, LockState> locks_;
+    std::unordered_map<unsigned, LockState> setLocks_;
+    std::unordered_map<CoreId, std::vector<LineAddr>> held_;
+    std::uint64_t totalLocks_ = 0;
+    std::uint64_t totalNacks_ = 0;
+    std::uint64_t totalRetries_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_MEM_LOCK_MANAGER_HH

@@ -1,0 +1,149 @@
+#include "mem/memory_system.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+MemorySystem::MemorySystem(const SystemConfig &cfg)
+    : cfg_(cfg),
+      directory_(cfg.cache.dirSets, cfg.numCores),
+      l3_(cfg.cache.l3Sets, cfg.cache.l3Ways)
+{
+    locks_.configureDirSets(cfg.cache.dirSets);
+    l1_.reserve(cfg.numCores);
+    l2_.reserve(cfg.numCores);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        l1_.emplace_back(cfg.cache.l1Sets, cfg.cache.l1Ways);
+        l2_.emplace_back(cfg.cache.l2Sets, cfg.cache.l2Ways);
+    }
+}
+
+MemAccessResult
+MemorySystem::access(CoreId core, LineAddr line, bool is_write, bool pin)
+{
+    MemAccessResult result;
+    const CacheConfig &cc = cfg_.cache;
+    CacheModel &l1 = l1_[core];
+    CacheModel &l2 = l2_[core];
+
+    const bool l1Hit = l1.contains(line);
+    const bool wasExclusive = directory_.isExclusive(core, line);
+
+    if (l1Hit && (!is_write || wasExclusive)) {
+        // Pure L1 hit with sufficient permission.
+        l1.touch(line);
+        result.latency = cc.l1Latency;
+        result.serviceLevel = 1;
+        ++stats_.l1Hits;
+    } else {
+        // Classify where the data comes from.
+        if (l1Hit) {
+            // Upgrade miss: data present, permission missing.
+            result.latency = cc.l1Latency + cc.remoteLatency;
+            result.serviceLevel = 1;
+            ++stats_.l1Hits;
+        } else if (l2.contains(line)) {
+            result.latency = cc.l2Latency;
+            result.serviceLevel = 2;
+            ++stats_.l2Hits;
+        } else if (l3_.contains(line)) {
+            result.latency = cc.l3Latency;
+            result.serviceLevel = 3;
+            ++stats_.l3Hits;
+        } else {
+            result.latency = cc.memLatency;
+            result.serviceLevel = 4;
+            ++stats_.memAccesses;
+            l3_.insert(line);
+        }
+
+        // Fill the private hierarchy.
+        l2.insert(line);
+        CacheInsertResult ins = l1.insert(line);
+        if (!ins.inserted) {
+            // Every way of the L1 set is pinned by the transaction.
+            result.capacityOverflow = true;
+            return result;
+        }
+    }
+
+    if (pin)
+        l1.pin(line);
+
+    // Directory bookkeeping and remote effects.
+    DirectoryResult dir = is_write ? directory_.onWrite(core, line)
+                                   : directory_.onRead(core, line);
+    if (dir.remoteTransfer) {
+        result.remoteTransfer = true;
+        result.latency += cc.remoteLatency;
+        ++stats_.remoteTransfers;
+    }
+    for (CoreId victim : dir.invalidate) {
+        l1_[victim].invalidate(line);
+        l2_[victim].invalidate(line);
+        ++stats_.invalidations;
+    }
+    result.invalidated = std::move(dir.invalidate);
+    if (!result.invalidated.empty())
+        result.latency += cc.remoteLatency;
+
+    return result;
+}
+
+bool
+MemorySystem::wouldOverflow(CoreId core, LineAddr line) const
+{
+    const CacheModel &l1 = l1_[core];
+    if (l1.contains(line))
+        return false;
+    return l1.freeWaysFor(line) == 0;
+}
+
+bool
+MemorySystem::hasExclusive(CoreId core, LineAddr line) const
+{
+    return l1_[core].contains(line) &&
+           directory_.isExclusive(core, line);
+}
+
+unsigned
+MemorySystem::l1FreeWaysFor(CoreId core, LineAddr line) const
+{
+    return l1_[core].freeWaysFor(line);
+}
+
+void
+MemorySystem::unpinAll(CoreId core)
+{
+    l1_[core].unpinAll();
+}
+
+void
+MemorySystem::dropLine(CoreId core, LineAddr line)
+{
+    l1_[core].invalidate(line);
+    l2_[core].invalidate(line);
+    directory_.dropSharer(core, line);
+}
+
+unsigned
+MemorySystem::dirSetOf(LineAddr line) const
+{
+    return directory_.setOf(line);
+}
+
+void
+MemorySystem::resetTimingState()
+{
+    for (auto &cache : l1_)
+        cache.reset();
+    for (auto &cache : l2_)
+        cache.reset();
+    l3_.reset();
+    directory_.reset();
+    locks_.reset();
+    stats_ = MemStats{};
+}
+
+} // namespace clearsim

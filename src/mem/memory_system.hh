@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Facade over the full memory hierarchy of the simulated machine:
+ * per-core L1/L2 tag arrays, a shared L3, the full-map directory,
+ * the cacheline lock manager and the functional backing store.
+ *
+ * Latencies follow Table 2 of the paper: L1 1 cycle, L2 10, L3 45,
+ * memory 80, plus a crossbar round-trip charge for cache-to-cache
+ * transfers and invalidations.
+ */
+
+#ifndef CLEARSIM_MEM_MEMORY_SYSTEM_HH
+#define CLEARSIM_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache_model.hh"
+#include "mem/directory.hh"
+#include "mem/lock_manager.hh"
+
+namespace clearsim
+{
+
+/** Timing and coherence outcome of one cacheline access. */
+struct MemAccessResult
+{
+    /** Cycles until the data is available to the core. */
+    Cycle latency = 0;
+
+    /**
+     * The access could not be cached because every way of the
+     * target L1 set is pinned by the running transaction. The HTM
+     * layer converts this into a capacity abort.
+     */
+    bool capacityOverflow = false;
+
+    /** Cores whose copies were invalidated (writes only). */
+    std::vector<CoreId> invalidated;
+
+    /** Data was forwarded from a remote cache. */
+    bool remoteTransfer = false;
+
+    /** Which level serviced the access (1, 2, 3, or 4=memory). */
+    unsigned serviceLevel = 1;
+};
+
+/** Access counters per hierarchy level, consumed by the energy model. */
+struct MemStats
+{
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t remoteTransfers = 0;
+};
+
+/** The complete simulated memory hierarchy. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SystemConfig &cfg);
+
+    /**
+     * Perform one cacheline access: classify hit level, update tag
+     * arrays and directory, and compute latency.
+     *
+     * Lock checking is not done here; callers consult locks() first
+     * (the lock manager is a separate agreement layer above
+     * coherence, as in the paper).
+     *
+     * @param core requesting core
+     * @param line target cacheline
+     * @param is_write true for stores / exclusive requests
+     * @param pin pin the line in L1 (transactional tracking)
+     */
+    MemAccessResult access(CoreId core, LineAddr line, bool is_write,
+                           bool pin);
+
+    /**
+     * Probe-only: would this access overflow the pinned L1 set?
+     * Used by discovery to assess lockability without side effects.
+     */
+    bool wouldOverflow(CoreId core, LineAddr line) const;
+
+    /** True if core's L1 holds line with exclusive ownership. */
+    bool hasExclusive(CoreId core, LineAddr line) const;
+
+    /** Remaining unpinned ways in core's L1 set for this line. */
+    unsigned l1FreeWaysFor(CoreId core, LineAddr line) const;
+
+    /** Release all transactional pins of a core (tx ended). */
+    void unpinAll(CoreId core);
+
+    /**
+     * Discard a core's copy of a line (abort rollback of a
+     * speculatively written line).
+     */
+    void dropLine(CoreId core, LineAddr line);
+
+    /** Directory set index: the lexicographic locking order key. */
+    unsigned dirSetOf(LineAddr line) const;
+
+    LockManager &locks() { return locks_; }
+    const LockManager &locks() const { return locks_; }
+
+    Directory &directory() { return directory_; }
+
+    BackingStore &store() { return store_; }
+
+    const MemStats &stats() const { return stats_; }
+
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Reset caches/directory/locks (not the backing store). */
+    void resetTimingState();
+
+  private:
+    SystemConfig cfg_;
+    BackingStore store_;
+    Directory directory_;
+    LockManager locks_;
+    std::vector<CacheModel> l1_;
+    std::vector<CacheModel> l2_;
+    CacheModel l3_;
+    MemStats stats_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * RunResult: everything measured in one simulation run, plus the
+ * derived quantities each figure of the paper reports.
+ */
+
+#ifndef CLEARSIM_METRICS_RUN_RESULT_HH
+#define CLEARSIM_METRICS_RUN_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+#include "htm/htm_stats.hh"
+#include "mem/memory_system.hh"
+
+namespace clearsim
+{
+
+/** The complete outcome of one (config, workload, seed) run. */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+    std::uint64_t seed = 0;
+    unsigned maxRetries = 0;
+
+    Cycle cycles = 0;
+    HtmStats htm;
+    MemStats mem;
+    EnergyBreakdown energy;
+
+    /** Figure 9: aborts per committed transaction. */
+    double abortsPerCommit() const { return htm.abortsPerCommit(); }
+
+    /** Figure 12: commit-mode fractions (Spec, S-CL, NS-CL, FB). */
+    std::array<double, kNumExecModes>
+    commitModeFractions() const
+    {
+        std::array<double, kNumExecModes> f{};
+        const double total =
+            htm.commits ? static_cast<double>(htm.commits) : 1.0;
+        for (unsigned i = 0; i < kNumExecModes; ++i)
+            f[i] = static_cast<double>(htm.commitsByMode[i]) / total;
+        return f;
+    }
+
+    /** Figure 11: abort-category fractions. */
+    std::array<double, kNumAbortCategories>
+    abortCategoryFractions() const
+    {
+        std::array<double, kNumAbortCategories> f{};
+        const double total =
+            htm.aborts ? static_cast<double>(htm.aborts) : 1.0;
+        for (unsigned i = 0; i < kNumAbortCategories; ++i)
+            f[i] =
+                static_cast<double>(htm.abortsByCategory[i]) / total;
+        return f;
+    }
+
+    /**
+     * Figure 13: among commits that needed at least one counted
+     * retry, the fractions committing after exactly one retry,
+     * after more than one retry, and on the fallback path.
+     */
+    struct RetryBreakdown
+    {
+        double oneRetry = 0.0;
+        double multiRetry = 0.0;
+        double fallback = 0.0;
+        /** Share of all commits that needed >= 1 retry. */
+        double retriedShare = 0.0;
+    };
+
+    RetryBreakdown
+    retryBreakdown() const
+    {
+        RetryBreakdown b;
+        const std::uint64_t non_fb_retried =
+            htm.commitsByRetries.total() -
+            htm.commitsByRetries.count(0);
+        const std::uint64_t fb = htm.fallbackCommitRetries.total();
+        const std::uint64_t retried = non_fb_retried + fb;
+        if (retried == 0)
+            return b;
+        b.oneRetry =
+            static_cast<double>(htm.commitsByRetries.count(1)) /
+            static_cast<double>(retried);
+        b.multiRetry = static_cast<double>(
+                           non_fb_retried -
+                           htm.commitsByRetries.count(1)) /
+                       static_cast<double>(retried);
+        b.fallback = static_cast<double>(fb) /
+                     static_cast<double>(retried);
+        if (htm.commits != 0) {
+            b.retriedShare = static_cast<double>(retried) /
+                             static_cast<double>(htm.commits);
+        }
+        return b;
+    }
+
+    /** Figure 8 overlay: share of time spent in failed-mode
+     *  discovery (approximated per-core-cycle share). */
+    double
+    discoveryOverheadShare(unsigned num_cores) const
+    {
+        if (cycles == 0 || num_cores == 0)
+            return 0.0;
+        return static_cast<double>(htm.discoveryFailedModeCycles) /
+               (static_cast<double>(cycles) * num_cores);
+    }
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_METRICS_RUN_RESULT_HH

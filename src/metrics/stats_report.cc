@@ -1,0 +1,106 @@
+#include "metrics/stats_report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace clearsim
+{
+
+namespace
+{
+
+void
+line(std::ostream &os, const char *key, std::uint64_t value)
+{
+    os << std::left << std::setw(40) << key << std::right
+       << std::setw(16) << value << "\n";
+}
+
+void
+lineF(std::ostream &os, const char *key, double value)
+{
+    os << std::left << std::setw(40) << key << std::right
+       << std::setw(16) << std::fixed << std::setprecision(4)
+       << value << "\n";
+}
+
+} // namespace
+
+void
+writeStatsReport(std::ostream &os, const RunResult &run,
+                 unsigned num_cores)
+{
+    os << "---------- clearsim stats: " << run.workload << " ["
+       << run.config << "] seed=" << run.seed
+       << " retries=" << run.maxRetries << " ----------\n";
+
+    line(os, "sim.cycles", run.cycles);
+    line(os, "sim.cores", num_cores);
+
+    const HtmStats &h = run.htm;
+    line(os, "tx.commits", h.commits);
+    line(os, "tx.commits.speculative",
+         h.commitsByMode[static_cast<unsigned>(
+             ExecMode::Speculative)]);
+    line(os, "tx.commits.s_cl",
+         h.commitsByMode[static_cast<unsigned>(ExecMode::SCl)]);
+    line(os, "tx.commits.ns_cl",
+         h.commitsByMode[static_cast<unsigned>(ExecMode::NsCl)]);
+    line(os, "tx.commits.fallback",
+         h.commitsByMode[static_cast<unsigned>(
+             ExecMode::Fallback)]);
+    line(os, "tx.commits.first_try", h.commitsByRetries.count(0));
+    line(os, "tx.commits.one_retry", h.commitsByRetries.count(1));
+
+    line(os, "tx.aborts", h.aborts);
+    line(os, "tx.aborts.memory_conflict",
+         h.abortsByCategory[static_cast<unsigned>(
+             AbortCategory::MemoryConflict)]);
+    line(os, "tx.aborts.explicit_fallback",
+         h.abortsByCategory[static_cast<unsigned>(
+             AbortCategory::ExplicitFallback)]);
+    line(os, "tx.aborts.other_fallback",
+         h.abortsByCategory[static_cast<unsigned>(
+             AbortCategory::OtherFallback)]);
+    line(os, "tx.aborts.others",
+         h.abortsByCategory[static_cast<unsigned>(
+             AbortCategory::Others)]);
+    lineF(os, "tx.aborts_per_commit", run.abortsPerCommit());
+
+    line(os, "tx.uops.committed", h.committedUops);
+    line(os, "tx.uops.aborted", h.abortedUops);
+
+    line(os, "clear.ns_cl_attempts", h.nsClAttempts);
+    line(os, "clear.s_cl_attempts", h.sClAttempts);
+    line(os, "clear.cacheline_locks", h.cachelineLocksAcquired);
+    line(os, "clear.crt_insertions", h.crtInsertions);
+    line(os, "clear.discovery_disabled", h.discoveryDisabled);
+    line(os, "clear.discovery_cycles",
+         h.discoveryFailedModeCycles);
+    lineF(os, "clear.discovery_share",
+          run.discoveryOverheadShare(num_cores));
+
+    line(os, "fallback.acquisitions", h.fallbackAcquisitions);
+
+    const MemStats &m = run.mem;
+    line(os, "mem.l1_hits", m.l1Hits);
+    line(os, "mem.l2_hits", m.l2Hits);
+    line(os, "mem.l3_hits", m.l3Hits);
+    line(os, "mem.dram_accesses", m.memAccesses);
+    line(os, "mem.invalidations", m.invalidations);
+    line(os, "mem.remote_transfers", m.remoteTransfers);
+
+    lineF(os, "energy.static", run.energy.staticEnergy);
+    lineF(os, "energy.dynamic", run.energy.dynamicEnergy);
+    lineF(os, "energy.total", run.energy.total());
+}
+
+std::string
+statsReportString(const RunResult &run, unsigned num_cores)
+{
+    std::ostringstream ss;
+    writeStatsReport(ss, run, num_cores);
+    return ss.str();
+}
+
+} // namespace clearsim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Formatted statistics reports (gem5 stats-dump style).
+ *
+ * Renders every counter of a run — commits by mode and retry
+ * count, aborts by category, CLEAR machinery activity, memory
+ * hierarchy traffic, energy split — as an aligned key/value block
+ * suitable for logs and diffing between runs.
+ */
+
+#ifndef CLEARSIM_METRICS_STATS_REPORT_HH
+#define CLEARSIM_METRICS_STATS_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "metrics/run_result.hh"
+
+namespace clearsim
+{
+
+/** Write the full stats block of a run to a stream. */
+void writeStatsReport(std::ostream &os, const RunResult &run,
+                      unsigned num_cores);
+
+/** Convenience: the report as a string. */
+std::string statsReportString(const RunResult &run,
+                              unsigned num_cores);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_METRICS_STATS_REPORT_HH

@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    CLEARSIM_ASSERT(when >= now_, "cannot schedule an event in the past");
+    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Cycle delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top returns const&; moving the callback out
+    // requires a copy here, which std::function makes cheap enough
+    // relative to the work an event performs.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Cycle limit)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        runOne();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace clearsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The discrete-event kernel.
+ *
+ * A single global event queue orders all simulated activity. Events
+ * at the same cycle execute in insertion order (FIFO tie-break via a
+ * monotonically increasing sequence number), which makes every run
+ * bit-exact reproducible for a given seed.
+ */
+
+#ifndef CLEARSIM_SIM_EVENT_QUEUE_HH
+#define CLEARSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/** Min-heap of timestamped callbacks driving the simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Schedule cb to run at absolute cycle when (>= now). */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule cb to run delay cycles from now. */
+    void scheduleAfter(Cycle delay, Callback cb);
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /**
+     * Pop and execute the earliest event, advancing now().
+     * @retval false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or simulated time would
+     * exceed limit. Returns the number of events executed.
+     */
+    std::uint64_t run(Cycle limit = kNoCycle);
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SIM_EVENT_QUEUE_HH

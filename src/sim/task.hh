@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Task<T>: the coroutine type used for all simulated control flow.
+ *
+ * Simulated threads and atomic-region bodies are C++20 coroutines
+ * returning Task<T> (SimTask = Task<void>). Awaiting a child task
+ * transfers control symmetrically; suspending on a timing awaitable
+ * parks the coroutine until the event queue resumes it. Exceptions
+ * (notably TxAbort) propagate from child to parent across co_await
+ * boundaries, which is how an abort unwinds an atomic-region body
+ * back to its driver.
+ */
+
+#ifndef CLEARSIM_SIM_TASK_HH
+#define CLEARSIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/log.hh"
+#include "sim/event_queue.hh"
+
+namespace clearsim
+{
+
+template <typename T>
+class Task;
+
+namespace detail
+{
+
+/** State shared by value and void task promises. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    bool topLevel = false;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> self) noexcept
+        {
+            PromiseBase &p = self.promise();
+            if (p.continuation)
+                return p.continuation;
+            if (p.topLevel && p.exception) {
+                // A top-level simulated thread has no parent to
+                // rethrow into; this is a simulator bug.
+                panic("unhandled exception escaped a top-level Task");
+            }
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        exception = std::current_exception();
+    }
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine task returning T.
+ *
+ * Created suspended; runs when awaited by a parent, or when start()
+ * is called on a top-level Task<void>. Move-only; the owner destroys
+ * the coroutine frame.
+ */
+template <typename T = void>
+class Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        Task<T>
+        get_return_object()
+        {
+            return Task<T>(
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this));
+        }
+
+        template <typename U>
+        void
+        return_value(U &&v)
+        {
+            value.emplace(std::forward<U>(v));
+        }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> handle)
+        : handle_(handle)
+    {
+    }
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True if the coroutine has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** True if this task owns a live coroutine frame. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    // --- awaitable interface (for `T v = co_await childTask`) ---
+
+    bool await_ready() const { return done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> caller)
+    {
+        handle_.promise().continuation = caller;
+        return handle_;
+    }
+
+    T
+    await_resume()
+    {
+        auto &p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+        CLEARSIM_ASSERT(p.value.has_value(),
+                        "task finished without a value");
+        return std::move(*p.value);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Specialization for tasks that produce no value. */
+template <>
+class Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task<void>
+        get_return_object()
+        {
+            return Task<void>(
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this));
+        }
+
+        void return_void() {}
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> handle)
+        : handle_(handle)
+    {
+    }
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True if the coroutine has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** True if this task owns a live coroutine frame. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /**
+     * Begin executing a top-level task (a simulated thread main).
+     * The owner must keep this Task alive until done().
+     */
+    void
+    start()
+    {
+        CLEARSIM_ASSERT(handle_ && !handle_.done(),
+                        "start() on empty or finished task");
+        handle_.promise().topLevel = true;
+        handle_.resume();
+    }
+
+    // --- awaitable interface ---
+
+    bool await_ready() const { return done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> caller)
+    {
+        handle_.promise().continuation = caller;
+        return handle_;
+    }
+
+    void
+    await_resume()
+    {
+        if (handle_ && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** The common case: a task used purely for simulated control flow. */
+using SimTask = Task<void>;
+
+/**
+ * Awaitable that parks the current coroutine for a fixed number of
+ * cycles on the given event queue.
+ */
+class DelayAwaiter
+{
+  public:
+    DelayAwaiter(EventQueue &queue, Cycle delay)
+        : queue_(queue), delay_(delay)
+    {
+    }
+
+    bool await_ready() const { return delay_ == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> handle)
+    {
+        queue_.scheduleAfter(delay_, [handle] { handle.resume(); });
+    }
+
+    void await_resume() const {}
+
+  private:
+    EventQueue &queue_;
+    Cycle delay_;
+};
+
+/** Convenience: `co_await delayFor(queue, n)`. */
+inline DelayAwaiter
+delayFor(EventQueue &queue, Cycle delay)
+{
+    return DelayAwaiter(queue, delay);
+}
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SIM_TASK_HH

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * bst: a transactional binary search tree (3 mutable regions).
+ *
+ * Nodes live one per cacheline; insert, remove and contains
+ * traverse the tree through pointers loaded inside the region, so
+ * addresses are indirections and the footprint changes whenever the
+ * tree changes — the paper classifies all three regions as mutable.
+ * While the tree is small the footprint often stays stable between
+ * consecutive attempts, which is why bst can still commit in S-CL
+ * mode (Section 7, Figure 12 discussion).
+ *
+ * Invariants: strict BST ordering, no duplicate keys, and the
+ * transactional size counter equals the number of reachable nodes.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+constexpr unsigned kKeyOff = 0;
+constexpr unsigned kLeftOff = 8;
+constexpr unsigned kRightOff = 16;
+
+SimTask
+insertBody(TxContext &tx, Addr root_ptr, Addr size_addr,
+           std::uint64_t key, Addr node)
+{
+    TxValue cur = co_await tx.load(root_ptr);
+    if (!tx.branchOn(cur != TxValue(0))) {
+        co_await tx.store(root_ptr, TxValue(node));
+        TxValue size = co_await tx.load(size_addr);
+        co_await tx.store(size_addr, size + TxValue(1));
+        co_return;
+    }
+    for (unsigned depth = 0; depth < 64; ++depth) {
+        const Addr cur_addr = tx.toAddr(cur);
+        TxValue k = co_await tx.load(cur_addr + kKeyOff);
+        if (tx.branchOn(k == TxValue(key)))
+            co_return; // duplicate: no insertion
+        const unsigned child_off =
+            tx.branchOn(TxValue(key) < k) ? kLeftOff : kRightOff;
+        TxValue child = co_await tx.load(cur_addr + child_off);
+        if (!tx.branchOn(child != TxValue(0))) {
+            co_await tx.store(cur_addr + child_off, TxValue(node));
+            TxValue size = co_await tx.load(size_addr);
+            co_await tx.store(size_addr, size + TxValue(1));
+            co_return;
+        }
+        cur = child;
+    }
+}
+
+SimTask
+containsBody(TxContext &tx, Addr root_ptr, Addr found_tally,
+             std::uint64_t key)
+{
+    TxValue cur = co_await tx.load(root_ptr);
+    for (unsigned depth = 0; depth < 64; ++depth) {
+        if (!tx.branchOn(cur != TxValue(0)))
+            break;
+        const Addr cur_addr = tx.toAddr(cur);
+        TxValue k = co_await tx.load(cur_addr + kKeyOff);
+        if (tx.branchOn(k == TxValue(key))) {
+            TxValue t = co_await tx.load(found_tally);
+            co_await tx.store(found_tally, t + TxValue(1));
+            co_return;
+        }
+        cur = co_await tx.load(
+            cur_addr +
+            (tx.branchOn(TxValue(key) < k) ? kLeftOff : kRightOff));
+    }
+}
+
+SimTask
+removeBody(TxContext &tx, Addr root_ptr, Addr size_addr,
+           std::uint64_t key)
+{
+    // Find the node and its parent link.
+    Addr parent_link = root_ptr;
+    TxValue cur = co_await tx.load(root_ptr);
+    bool found = false;
+    Addr cur_addr = 0;
+    for (unsigned depth = 0; depth < 64; ++depth) {
+        if (!tx.branchOn(cur != TxValue(0)))
+            break;
+        cur_addr = tx.toAddr(cur);
+        TxValue k = co_await tx.load(cur_addr + kKeyOff);
+        if (tx.branchOn(k == TxValue(key))) {
+            found = true;
+            break;
+        }
+        parent_link =
+            cur_addr +
+            (tx.branchOn(TxValue(key) < k) ? kLeftOff : kRightOff);
+        cur = co_await tx.load(parent_link);
+    }
+    if (!found)
+        co_return;
+
+    TxValue left = co_await tx.load(cur_addr + kLeftOff);
+    TxValue right = co_await tx.load(cur_addr + kRightOff);
+    if (tx.branchOn(left != TxValue(0)) &&
+        tx.branchOn(right != TxValue(0))) {
+        // Two children: skip (bounded-effort remove).
+        co_return;
+    }
+    TxValue child = tx.branchOn(left != TxValue(0)) ? left : right;
+    co_await tx.store(parent_link, child);
+    TxValue size = co_await tx.load(size_addr);
+    co_await tx.store(size_addr, size - TxValue(1));
+}
+
+class BstWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "bst"; }
+    unsigned numRegions() const override { return 3; }
+
+    void
+    init(System &sys) override
+    {
+        BackingStore &store = sys.mem().store();
+        rootPtr_ = store.allocateLines(1);
+        sizeAddr_ = store.allocateLines(1);
+        foundTallyBase_ = store.allocateLines(params_.threads);
+
+        keyRange_ = 192 * params_.scale;
+        Rng rng(params_.seed);
+        unsigned inserted = 0;
+        for (unsigned i = 0; i < 64 * params_.scale; ++i) {
+            const std::uint64_t key = 1 + rng.nextBelow(keyRange_);
+            if (insertDirect(store, key))
+                ++inserted;
+        }
+        store.write(sizeAddr_, inserted);
+    }
+
+    SimTask
+    thread(System &sys, CoreId core) override
+    {
+        Rng rng = threadRng(core);
+        const Addr root = rootPtr_;
+        const Addr size = sizeAddr_;
+        const Addr tally = foundTallyBase_ + core * kLineBytes;
+        for (unsigned op = 0; op < params_.opsPerThread; ++op) {
+            co_await delayFor(sys.queue(), thinkTime(sys, rng));
+            const std::uint64_t key = 1 + rng.nextBelow(keyRange_);
+            const double p = rng.nextDouble();
+            if (p < 0.4) {
+                const Addr node =
+                    sys.mem().store().allocateLines(1);
+                sys.mem().store().write(node + kKeyOff, key);
+                sys.mem().store().write(node + kLeftOff, 0);
+                sys.mem().store().write(node + kRightOff, 0);
+                co_await sys.runRegion(
+                    core, 0x4300, [root, size, key, node](
+                                      TxContext &tx) {
+                        return insertBody(tx, root, size, key, node);
+                    });
+            } else if (p < 0.7) {
+                co_await sys.runRegion(
+                    core, 0x4340, [root, size, key](TxContext &tx) {
+                        return removeBody(tx, root, size, key);
+                    });
+            } else {
+                co_await sys.runRegion(
+                    core, 0x4380, [root, tally, key](TxContext &tx) {
+                        return containsBody(tx, root, tally, key);
+                    });
+            }
+        }
+    }
+
+    std::vector<std::string>
+    verify(System &sys) const override
+    {
+        std::vector<std::string> issues;
+        const BackingStore &store =
+            const_cast<System &>(sys).mem().store();
+        std::uint64_t count = 0;
+        std::uint64_t last_key = 0;
+        bool ordered = true;
+        // Iterative in-order traversal.
+        std::vector<Addr> stack;
+        Addr cur = store.read(rootPtr_);
+        while (cur != 0 || !stack.empty()) {
+            while (cur != 0) {
+                stack.push_back(cur);
+                cur = store.read(cur + kLeftOff);
+            }
+            cur = stack.back();
+            stack.pop_back();
+            const std::uint64_t key = store.read(cur + kKeyOff);
+            if (count > 0 && key <= last_key)
+                ordered = false;
+            last_key = key;
+            ++count;
+            cur = store.read(cur + kRightOff);
+        }
+        if (!ordered)
+            issues.push_back("bst: in-order walk not strictly "
+                             "increasing");
+        if (count != store.read(sizeAddr_))
+            issues.push_back("bst: size counter does not match "
+                             "reachable node count");
+        return issues;
+    }
+
+  private:
+    bool
+    insertDirect(BackingStore &store, std::uint64_t key)
+    {
+        Addr link = rootPtr_;
+        for (;;) {
+            const Addr cur = store.read(link);
+            if (cur == 0) {
+                const Addr node = store.allocateLines(1);
+                store.write(node + kKeyOff, key);
+                store.write(node + kLeftOff, 0);
+                store.write(node + kRightOff, 0);
+                store.write(link, node);
+                return true;
+            }
+            const std::uint64_t k = store.read(cur + kKeyOff);
+            if (k == key)
+                return false;
+            link = cur + (key < k ? kLeftOff : kRightOff);
+        }
+    }
+
+    Addr rootPtr_ = 0;
+    Addr sizeAddr_ = 0;
+    Addr foundTallyBase_ = 0;
+    std::uint64_t keyRange_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBst(const WorkloadParams &params)
+{
+    return std::make_unique<BstWorkload>(params);
+}
+
+} // namespace clearsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * deque: a bounded circular work-stealing-style deque (2 regions).
+ *
+ * A fixed ring buffer with top and bottom counters on separate
+ * cachelines (after Chase-Lev). Push loads the bottom index and
+ * uses it to address the slot (one indirection whose source other
+ * pushes modify: likely immutable in the common low-contention
+ * case); pop-from-top does the same at the other end.
+ *
+ * Invariant: sum(pushed) - sum(popped) equals the sum of values in
+ * the live window [top, bottom).
+ */
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+SimTask
+pushBody(TxContext &tx, Addr bottom_ptr, Addr top_ptr, Addr buf,
+         std::uint64_t cap, Addr tally, std::uint64_t value)
+{
+    TxValue bottom = co_await tx.load(bottom_ptr);
+    TxValue top = co_await tx.load(top_ptr);
+    if (tx.branchOn((bottom - top) >= TxValue(cap)))
+        co_return; // full
+    const Addr slot =
+        tx.toAddr(TxValue(buf) + (bottom % TxValue(cap)) * TxValue(8));
+    co_await tx.store(slot, TxValue(value));
+    co_await tx.store(bottom_ptr, bottom + TxValue(1));
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(value));
+}
+
+SimTask
+popBody(TxContext &tx, Addr bottom_ptr, Addr top_ptr, Addr buf,
+        std::uint64_t cap, Addr tally)
+{
+    TxValue top = co_await tx.load(top_ptr);
+    TxValue bottom = co_await tx.load(bottom_ptr);
+    if (!tx.branchOn(top != bottom)) {
+        co_return; // empty
+    }
+    const Addr slot =
+        tx.toAddr(TxValue(buf) + (top % TxValue(cap)) * TxValue(8));
+    TxValue value = co_await tx.load(slot);
+    co_await tx.store(top_ptr, top + TxValue(1));
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + value);
+}
+
+class DequeWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "deque"; }
+    unsigned numRegions() const override { return 2; }
+
+    void
+    init(System &sys) override
+    {
+        BackingStore &store = sys.mem().store();
+        cap_ = 256 * params_.scale;
+        bufBase_ = store.allocate(cap_ * 8, kLineBytes);
+        topPtr_ = store.allocateLines(1);
+        bottomPtr_ = store.allocateLines(1);
+        pushTallyBase_ = store.allocateLines(params_.threads);
+        popTallyBase_ = store.allocateLines(params_.threads);
+
+        Rng rng(params_.seed);
+        std::uint64_t bottom = 0;
+        for (unsigned i = 0; i < 16; ++i) {
+            const std::uint64_t v = 1 + rng.nextBelow(1000);
+            store.write(bufBase_ + (bottom % cap_) * 8, v);
+            ++bottom;
+            initialSum_ += v;
+        }
+        store.write(topPtr_, 0);
+        store.write(bottomPtr_, bottom);
+    }
+
+    SimTask
+    thread(System &sys, CoreId core) override
+    {
+        Rng rng = threadRng(core);
+        const Addr bot = bottomPtr_;
+        const Addr top = topPtr_;
+        const Addr buf = bufBase_;
+        const std::uint64_t cap = cap_;
+        const Addr push_tally = pushTallyBase_ + core * kLineBytes;
+        const Addr pop_tally = popTallyBase_ + core * kLineBytes;
+        for (unsigned op = 0; op < params_.opsPerThread; ++op) {
+            co_await delayFor(sys.queue(), thinkTime(sys, rng));
+            if (rng.nextBool(0.5)) {
+                const std::uint64_t v = 1 + rng.nextBelow(1000);
+                co_await sys.runRegion(
+                    core, 0x4700,
+                    [bot, top, buf, cap, push_tally,
+                     v](TxContext &tx) {
+                        return pushBody(tx, bot, top, buf, cap,
+                                        push_tally, v);
+                    });
+            } else {
+                co_await sys.runRegion(
+                    core, 0x4740,
+                    [bot, top, buf, cap, pop_tally](TxContext &tx) {
+                        return popBody(tx, bot, top, buf, cap,
+                                       pop_tally);
+                    });
+            }
+        }
+    }
+
+    std::vector<std::string>
+    verify(System &sys) const override
+    {
+        const BackingStore &store =
+            const_cast<System &>(sys).mem().store();
+        std::uint64_t pushed = initialSum_;
+        std::uint64_t popped = 0;
+        for (unsigned t = 0; t < params_.threads; ++t) {
+            pushed += store.read(pushTallyBase_ + t * kLineBytes);
+            popped += store.read(popTallyBase_ + t * kLineBytes);
+        }
+        const std::uint64_t top = store.read(topPtr_);
+        const std::uint64_t bottom = store.read(bottomPtr_);
+        std::uint64_t remaining = 0;
+        for (std::uint64_t i = top; i < bottom; ++i)
+            remaining += store.read(bufBase_ + (i % cap_) * 8);
+        std::vector<std::string> issues;
+        if (top > bottom)
+            issues.push_back("deque: top passed bottom");
+        if (pushed - popped != remaining)
+            issues.push_back("deque: value sum not conserved");
+        return issues;
+    }
+
+  private:
+    Addr bufBase_ = 0;
+    Addr topPtr_ = 0;
+    Addr bottomPtr_ = 0;
+    Addr pushTallyBase_ = 0;
+    Addr popTallyBase_ = 0;
+    std::uint64_t cap_ = 0;
+    std::uint64_t initialSum_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDeque(const WorkloadParams &params)
+{
+    return std::make_unique<DequeWorkload>(params);
+}
+
+} // namespace clearsim

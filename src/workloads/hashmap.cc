@@ -1,0 +1,220 @@
+/**
+ * @file
+ * hashmap: a transactional chained hash map (3 mutable regions).
+ *
+ * Bucket heads live one per cacheline; chains are traversed through
+ * pointers loaded inside the region, so all three regions (insert,
+ * remove, lookup) are mutable. A shared transactional size counter
+ * adds a hot line, as in common hash-table implementations.
+ *
+ * Invariants: every node hashes to the bucket that holds it, and
+ * the size counter equals the number of reachable nodes.
+ */
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+constexpr unsigned kKeyOff = 0;
+constexpr unsigned kNextOff = 8;
+
+SimTask
+insertBody(TxContext &tx, Addr bucket, Addr size_addr,
+           std::uint64_t key, Addr node)
+{
+    // Duplicate check walks the chain.
+    TxValue cur = co_await tx.load(bucket);
+    TxValue head = cur;
+    for (unsigned i = 0; i < 64; ++i) {
+        if (!tx.branchOn(cur != TxValue(0)))
+            break;
+        const Addr cur_addr = tx.toAddr(cur);
+        TxValue k = co_await tx.load(cur_addr + kKeyOff);
+        if (tx.branchOn(k == TxValue(key)))
+            co_return; // already present
+        cur = co_await tx.load(cur_addr + kNextOff);
+    }
+    co_await tx.store(node + kNextOff, head);
+    co_await tx.store(bucket, TxValue(node));
+    TxValue size = co_await tx.load(size_addr);
+    co_await tx.store(size_addr, size + TxValue(1));
+}
+
+SimTask
+removeBody(TxContext &tx, Addr bucket, Addr size_addr,
+           std::uint64_t key)
+{
+    Addr prev_link = bucket;
+    TxValue cur = co_await tx.load(bucket);
+    for (unsigned i = 0; i < 64; ++i) {
+        if (!tx.branchOn(cur != TxValue(0)))
+            co_return; // not found
+        const Addr cur_addr = tx.toAddr(cur);
+        TxValue k = co_await tx.load(cur_addr + kKeyOff);
+        TxValue next = co_await tx.load(cur_addr + kNextOff);
+        if (tx.branchOn(k == TxValue(key))) {
+            co_await tx.store(prev_link, next);
+            TxValue size = co_await tx.load(size_addr);
+            co_await tx.store(size_addr, size - TxValue(1));
+            co_return;
+        }
+        prev_link = cur_addr + kNextOff;
+        cur = next;
+    }
+}
+
+SimTask
+lookupBody(TxContext &tx, Addr bucket, Addr tally, std::uint64_t key)
+{
+    TxValue cur = co_await tx.load(bucket);
+    for (unsigned i = 0; i < 64; ++i) {
+        if (!tx.branchOn(cur != TxValue(0)))
+            co_return;
+        const Addr cur_addr = tx.toAddr(cur);
+        TxValue k = co_await tx.load(cur_addr + kKeyOff);
+        if (tx.branchOn(k == TxValue(key))) {
+            TxValue t = co_await tx.load(tally);
+            co_await tx.store(tally, t + TxValue(1));
+            co_return;
+        }
+        cur = co_await tx.load(cur_addr + kNextOff);
+    }
+}
+
+class HashmapWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "hashmap"; }
+    unsigned numRegions() const override { return 3; }
+
+    void
+    init(System &sys) override
+    {
+        BackingStore &store = sys.mem().store();
+        buckets_ = 32 * params_.scale;
+        bucketBase_ = store.allocateLines(buckets_);
+        sizeAddr_ = store.allocateLines(1);
+        tallyBase_ = store.allocateLines(params_.threads);
+        keyRange_ = buckets_ * 6;
+
+        Rng rng(params_.seed);
+        unsigned inserted = 0;
+        for (unsigned i = 0; i < buckets_ * 2; ++i) {
+            const std::uint64_t key = rng.nextBelow(keyRange_);
+            if (insertDirect(store, key))
+                ++inserted;
+        }
+        store.write(sizeAddr_, inserted);
+    }
+
+    SimTask
+    thread(System &sys, CoreId core) override
+    {
+        Rng rng = threadRng(core);
+        const Addr size = sizeAddr_;
+        const Addr tally = tallyBase_ + core * kLineBytes;
+        for (unsigned op = 0; op < params_.opsPerThread; ++op) {
+            co_await delayFor(sys.queue(), thinkTime(sys, rng));
+            const std::uint64_t key = rng.nextBelow(keyRange_);
+            const Addr bucket = bucketAddr(key);
+            const double p = rng.nextDouble();
+            if (p < 0.35) {
+                const Addr node =
+                    sys.mem().store().allocateLines(1);
+                sys.mem().store().write(node + kKeyOff, key);
+                sys.mem().store().write(node + kNextOff, 0);
+                co_await sys.runRegion(
+                    core, 0x4600,
+                    [bucket, size, key, node](TxContext &tx) {
+                        return insertBody(tx, bucket, size, key,
+                                          node);
+                    });
+            } else if (p < 0.65) {
+                co_await sys.runRegion(
+                    core, 0x4640, [bucket, size, key](TxContext &tx) {
+                        return removeBody(tx, bucket, size, key);
+                    });
+            } else {
+                co_await sys.runRegion(
+                    core, 0x4680,
+                    [bucket, tally, key](TxContext &tx) {
+                        return lookupBody(tx, bucket, tally, key);
+                    });
+            }
+        }
+    }
+
+    std::vector<std::string>
+    verify(System &sys) const override
+    {
+        const BackingStore &store =
+            const_cast<System &>(sys).mem().store();
+        std::vector<std::string> issues;
+        std::uint64_t count = 0;
+        for (unsigned b = 0; b < buckets_; ++b) {
+            Addr cur = store.read(bucketBase_ + b * kLineBytes);
+            unsigned guard = 0;
+            while (cur != 0 && guard++ < 100000) {
+                const std::uint64_t key = store.read(cur + kKeyOff);
+                if (key % buckets_ != b) {
+                    issues.push_back(
+                        "hashmap: node in the wrong bucket");
+                }
+                ++count;
+                cur = store.read(cur + kNextOff);
+            }
+        }
+        if (count != store.read(sizeAddr_))
+            issues.push_back("hashmap: size counter does not match "
+                             "reachable node count");
+        return issues;
+    }
+
+  private:
+    Addr
+    bucketAddr(std::uint64_t key) const
+    {
+        return bucketBase_ + (key % buckets_) * kLineBytes;
+    }
+
+    bool
+    insertDirect(BackingStore &store, std::uint64_t key)
+    {
+        const Addr bucket = bucketAddr(key);
+        Addr cur = store.read(bucket);
+        while (cur != 0) {
+            if (store.read(cur + kKeyOff) == key)
+                return false;
+            cur = store.read(cur + kNextOff);
+        }
+        const Addr node = store.allocateLines(1);
+        store.write(node + kKeyOff, key);
+        store.write(node + kNextOff, store.read(bucket));
+        store.write(bucket, node);
+        return true;
+    }
+
+    Addr bucketBase_ = 0;
+    Addr sizeAddr_ = 0;
+    Addr tallyBase_ = 0;
+    unsigned buckets_ = 0;
+    std::uint64_t keyRange_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHashmap(const WorkloadParams &params)
+{
+    return std::make_unique<HashmapWorkload>(params);
+}
+
+} // namespace clearsim

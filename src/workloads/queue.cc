@@ -1,0 +1,165 @@
+/**
+ * @file
+ * queue: a transactional linked FIFO queue (2 regions).
+ *
+ * Michael&Scott-style structure with a dummy head node. Enqueue
+ * reads the tail pointer (one indirection over data other enqueues
+ * modify) and links a pre-allocated node; dequeue chases
+ * head->next. Enqueue is likely immutable, dequeue is mutable
+ * (Table 1: queue has 1 likely-immutable + 1 mutable region).
+ *
+ * Invariant: sum(enqueued) - sum(dequeued) equals the sum of the
+ * values still in the queue.
+ */
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+constexpr unsigned kValOff = 0;
+constexpr unsigned kNextOff = 8;
+
+SimTask
+enqueueBody(TxContext &tx, Addr tail_ptr, Addr tally, Addr node,
+            std::uint64_t value)
+{
+    TxValue tail = co_await tx.load(tail_ptr);
+    const Addr tail_addr = tx.toAddr(tail);
+    co_await tx.store(tail_addr + kNextOff, TxValue(node));
+    co_await tx.store(tail_ptr, TxValue(node));
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(value));
+}
+
+SimTask
+dequeueBody(TxContext &tx, Addr head_ptr, Addr tally)
+{
+    TxValue head = co_await tx.load(head_ptr);
+    const Addr head_addr = tx.toAddr(head);
+    TxValue first = co_await tx.load(head_addr + kNextOff);
+    if (!tx.branchOn(first != TxValue(0)))
+        co_return; // empty
+    const Addr first_addr = tx.toAddr(first);
+    TxValue value = co_await tx.load(first_addr + kValOff);
+    // The dequeued node becomes the new dummy.
+    co_await tx.store(head_ptr, first);
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + value);
+}
+
+class QueueWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "queue"; }
+    unsigned numRegions() const override { return 2; }
+
+    void
+    init(System &sys) override
+    {
+        BackingStore &store = sys.mem().store();
+        headPtr_ = store.allocateLines(1);
+        tailPtr_ = store.allocateLines(1);
+        enqTallyBase_ = store.allocateLines(params_.threads);
+        deqTallyBase_ = store.allocateLines(params_.threads);
+
+        // Dummy node.
+        const Addr dummy = store.allocateLines(1);
+        store.write(dummy + kValOff, 0);
+        store.write(dummy + kNextOff, 0);
+        store.write(headPtr_, dummy);
+        store.write(tailPtr_, dummy);
+
+        // Seed a few elements so early dequeues find work.
+        Rng rng(params_.seed);
+        for (unsigned i = 0; i < 8 * params_.scale; ++i) {
+            const Addr node = store.allocateLines(1);
+            const std::uint64_t v = 1 + rng.nextBelow(1000);
+            store.write(node + kValOff, v);
+            store.write(node + kNextOff, 0);
+            const Addr tail = store.read(tailPtr_);
+            store.write(tail + kNextOff, node);
+            store.write(tailPtr_, node);
+            initialSum_ += v;
+        }
+    }
+
+    SimTask
+    thread(System &sys, CoreId core) override
+    {
+        Rng rng = threadRng(core);
+        const Addr head = headPtr_;
+        const Addr tail = tailPtr_;
+        const Addr enq_tally = enqTallyBase_ + core * kLineBytes;
+        const Addr deq_tally = deqTallyBase_ + core * kLineBytes;
+        for (unsigned op = 0; op < params_.opsPerThread; ++op) {
+            co_await delayFor(sys.queue(), thinkTime(sys, rng));
+            if (rng.nextBool(0.5)) {
+                const std::uint64_t v = 1 + rng.nextBelow(1000);
+                const Addr node =
+                    sys.mem().store().allocateLines(1);
+                sys.mem().store().write(node + kValOff, v);
+                sys.mem().store().write(node + kNextOff, 0);
+                co_await sys.runRegion(
+                    core, 0x4400,
+                    [tail, enq_tally, node, v](TxContext &tx) {
+                        return enqueueBody(tx, tail, enq_tally, node,
+                                           v);
+                    });
+            } else {
+                co_await sys.runRegion(
+                    core, 0x4440, [head, deq_tally](TxContext &tx) {
+                        return dequeueBody(tx, head, deq_tally);
+                    });
+            }
+        }
+    }
+
+    std::vector<std::string>
+    verify(System &sys) const override
+    {
+        const BackingStore &store =
+            const_cast<System &>(sys).mem().store();
+        std::uint64_t enq = initialSum_;
+        std::uint64_t deq = 0;
+        for (unsigned t = 0; t < params_.threads; ++t) {
+            enq += store.read(enqTallyBase_ + t * kLineBytes);
+            deq += store.read(deqTallyBase_ + t * kLineBytes);
+        }
+        std::uint64_t remaining = 0;
+        Addr cur = store.read(store.read(headPtr_) + kNextOff);
+        unsigned guard = 0;
+        while (cur != 0 && guard++ < 1000000) {
+            remaining += store.read(cur + kValOff);
+            cur = store.read(cur + kNextOff);
+        }
+        std::vector<std::string> issues;
+        if (enq - deq != remaining)
+            issues.push_back("queue: value sum not conserved");
+        return issues;
+    }
+
+  private:
+    Addr headPtr_ = 0;
+    Addr tailPtr_ = 0;
+    Addr enqTallyBase_ = 0;
+    Addr deqTallyBase_ = 0;
+    std::uint64_t initialSum_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeQueue(const WorkloadParams &params)
+{
+    return std::make_unique<QueueWorkload>(params);
+}
+
+} // namespace clearsim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * sorted-list: a sorted singly-linked list (3 regions: 1 immutable,
+ * 2 mutable — Table 1).
+ *
+ * Region 0 is the traversal of Listing 3: walk the list counting
+ * elements matching a value (mutable: addresses come from chasing
+ * next pointers). Region 1 inserts a unique key in sorted position
+ * (mutable). Region 2 snapshots the fixed-address statistics block
+ * (immutable: two constant addresses, no indirection).
+ *
+ * Invariants: strictly sorted unique keys between the sentinels,
+ * and the transactional size counter matches the walk count.
+ */
+
+#include <limits>
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+constexpr unsigned kKeyOff = 0;
+constexpr unsigned kNextOff = 8;
+
+SimTask
+countBody(TxContext &tx, Addr head, Addr tally, std::uint64_t val)
+{
+    TxValue curr = co_await tx.load(head + kNextOff);
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < 128; ++i) {
+        const Addr curr_addr = tx.toAddr(curr);
+        TxValue key = co_await tx.load(curr_addr + kKeyOff);
+        if (tx.branchOn(
+                key == TxValue(std::numeric_limits<
+                               std::uint64_t>::max()))) {
+            break; // tail sentinel
+        }
+        if (tx.branchOn(key == TxValue(val)))
+            ++n;
+        curr = co_await tx.load(curr_addr + kNextOff);
+    }
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(n));
+}
+
+SimTask
+insertBody(TxContext &tx, Addr head, Addr size_addr,
+           std::uint64_t key, Addr node)
+{
+    Addr prev_link = head + kNextOff;
+    TxValue curr = co_await tx.load(prev_link);
+    for (unsigned i = 0; i < 128; ++i) {
+        const Addr curr_addr = tx.toAddr(curr);
+        TxValue k = co_await tx.load(curr_addr + kKeyOff);
+        if (tx.branchOn(k == TxValue(key)))
+            co_return; // unique keys only
+        if (tx.branchOn(k > TxValue(key))) {
+            co_await tx.store(node + kNextOff, curr);
+            co_await tx.store(prev_link, TxValue(node));
+            TxValue size = co_await tx.load(size_addr);
+            co_await tx.store(size_addr, size + TxValue(1));
+            co_return;
+        }
+        prev_link = curr_addr + kNextOff;
+        curr = co_await tx.load(prev_link);
+    }
+}
+
+SimTask
+statsBody(TxContext &tx, Addr size_addr, Addr stats_addr)
+{
+    // Fixed addresses, no indirection: an immutable region.
+    TxValue size = co_await tx.load(size_addr);
+    TxValue reads = co_await tx.load(stats_addr);
+    co_await tx.store(stats_addr, reads + TxValue(1));
+    co_await tx.store(stats_addr + 8, size);
+}
+
+class SortedListWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "sorted-list"; }
+    unsigned numRegions() const override { return 3; }
+
+    void
+    init(System &sys) override
+    {
+        BackingStore &store = sys.mem().store();
+        keyRange_ = 48 * params_.scale;
+        head_ = store.allocateLines(1);
+        tail_ = store.allocateLines(1);
+        sizeAddr_ = store.allocateLines(1);
+        statsAddr_ = store.allocateLines(1);
+        tallyBase_ = store.allocateLines(params_.threads);
+
+        store.write(head_ + kKeyOff, 0);
+        store.write(head_ + kNextOff, tail_);
+        store.write(tail_ + kKeyOff,
+                    std::numeric_limits<std::uint64_t>::max());
+        store.write(tail_ + kNextOff, 0);
+
+        Rng rng(params_.seed);
+        unsigned inserted = 0;
+        for (unsigned i = 0; i < 12 * params_.scale; ++i) {
+            if (insertDirect(store, 1 + rng.nextBelow(keyRange_)))
+                ++inserted;
+        }
+        store.write(sizeAddr_, inserted);
+    }
+
+    SimTask
+    thread(System &sys, CoreId core) override
+    {
+        Rng rng = threadRng(core);
+        const Addr head = head_;
+        const Addr size = sizeAddr_;
+        const Addr stats = statsAddr_;
+        const Addr tally = tallyBase_ + core * kLineBytes;
+        for (unsigned op = 0; op < params_.opsPerThread; ++op) {
+            co_await delayFor(sys.queue(), thinkTime(sys, rng));
+            const std::uint64_t key = 1 + rng.nextBelow(keyRange_);
+            const double p = rng.nextDouble();
+            if (p < 0.5) {
+                co_await sys.runRegion(
+                    core, 0x4800, [head, tally, key](TxContext &tx) {
+                        return countBody(tx, head, tally, key);
+                    });
+            } else if (p < 0.8) {
+                const Addr node =
+                    sys.mem().store().allocateLines(1);
+                sys.mem().store().write(node + kKeyOff, key);
+                sys.mem().store().write(node + kNextOff, 0);
+                co_await sys.runRegion(
+                    core, 0x4840,
+                    [head, size, key, node](TxContext &tx) {
+                        return insertBody(tx, head, size, key, node);
+                    });
+            } else {
+                co_await sys.runRegion(
+                    core, 0x4880, [size, stats](TxContext &tx) {
+                        return statsBody(tx, size, stats);
+                    });
+            }
+        }
+    }
+
+    std::vector<std::string>
+    verify(System &sys) const override
+    {
+        const BackingStore &store =
+            const_cast<System &>(sys).mem().store();
+        std::vector<std::string> issues;
+        std::uint64_t last = 0;
+        std::uint64_t count = 0;
+        Addr cur = store.read(head_ + kNextOff);
+        unsigned guard = 0;
+        while (cur != tail_ && cur != 0 && guard++ < 100000) {
+            const std::uint64_t key = store.read(cur + kKeyOff);
+            if (key <= last)
+                issues.push_back("sorted-list: keys not strictly "
+                                 "increasing");
+            last = key;
+            ++count;
+            cur = store.read(cur + kNextOff);
+        }
+        if (cur != tail_)
+            issues.push_back("sorted-list: list does not reach the "
+                             "tail sentinel");
+        if (count != store.read(sizeAddr_))
+            issues.push_back("sorted-list: size counter mismatch");
+        return issues;
+    }
+
+  private:
+    bool
+    insertDirect(BackingStore &store, std::uint64_t key)
+    {
+        Addr prev_link = head_ + kNextOff;
+        Addr cur = store.read(prev_link);
+        while (cur != tail_) {
+            const std::uint64_t k = store.read(cur + kKeyOff);
+            if (k == key)
+                return false;
+            if (k > key)
+                break;
+            prev_link = cur + kNextOff;
+            cur = store.read(prev_link);
+        }
+        const Addr node = store.allocateLines(1);
+        store.write(node + kKeyOff, key);
+        store.write(node + kNextOff, cur);
+        store.write(prev_link, node);
+        return true;
+    }
+
+    Addr head_ = 0;
+    Addr tail_ = 0;
+    Addr sizeAddr_ = 0;
+    Addr statsAddr_ = 0;
+    Addr tallyBase_ = 0;
+    std::uint64_t keyRange_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSortedList(const WorkloadParams &params)
+{
+    return std::make_unique<SortedListWorkload>(params);
+}
+
+} // namespace clearsim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * stack: a transactional Treiber-style linked stack (2 regions).
+ *
+ * Push reads the top pointer and links a pre-allocated node
+ * (likely immutable: one indirection over the top pointer);
+ * pop chases top->next (mutable). All threads hammer the single
+ * top-pointer line, so contention is high.
+ *
+ * Invariant: sum(pushed) - sum(popped) equals the sum of values
+ * still on the stack.
+ */
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+constexpr unsigned kValOff = 0;
+constexpr unsigned kNextOff = 8;
+
+SimTask
+pushBody(TxContext &tx, Addr top_ptr, Addr tally, Addr node,
+         std::uint64_t value)
+{
+    TxValue top = co_await tx.load(top_ptr);
+    co_await tx.store(node + kNextOff, top);
+    co_await tx.store(top_ptr, TxValue(node));
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(value));
+}
+
+SimTask
+popBody(TxContext &tx, Addr top_ptr, Addr tally)
+{
+    TxValue top = co_await tx.load(top_ptr);
+    if (!tx.branchOn(top != TxValue(0)))
+        co_return; // empty
+    const Addr top_addr = tx.toAddr(top);
+    TxValue value = co_await tx.load(top_addr + kValOff);
+    TxValue next = co_await tx.load(top_addr + kNextOff);
+    co_await tx.store(top_ptr, next);
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + value);
+}
+
+class StackWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "stack"; }
+    unsigned numRegions() const override { return 2; }
+
+    void
+    init(System &sys) override
+    {
+        BackingStore &store = sys.mem().store();
+        topPtr_ = store.allocateLines(1);
+        pushTallyBase_ = store.allocateLines(params_.threads);
+        popTallyBase_ = store.allocateLines(params_.threads);
+        store.write(topPtr_, 0);
+
+        Rng rng(params_.seed);
+        for (unsigned i = 0; i < 8 * params_.scale; ++i) {
+            const Addr node = store.allocateLines(1);
+            const std::uint64_t v = 1 + rng.nextBelow(1000);
+            store.write(node + kValOff, v);
+            store.write(node + kNextOff, store.read(topPtr_));
+            store.write(topPtr_, node);
+            initialSum_ += v;
+        }
+    }
+
+    SimTask
+    thread(System &sys, CoreId core) override
+    {
+        Rng rng = threadRng(core);
+        const Addr top = topPtr_;
+        const Addr push_tally = pushTallyBase_ + core * kLineBytes;
+        const Addr pop_tally = popTallyBase_ + core * kLineBytes;
+        for (unsigned op = 0; op < params_.opsPerThread; ++op) {
+            co_await delayFor(sys.queue(), thinkTime(sys, rng));
+            if (rng.nextBool(0.5)) {
+                const std::uint64_t v = 1 + rng.nextBelow(1000);
+                const Addr node =
+                    sys.mem().store().allocateLines(1);
+                sys.mem().store().write(node + kValOff, v);
+                sys.mem().store().write(node + kNextOff, 0);
+                co_await sys.runRegion(
+                    core, 0x4500,
+                    [top, push_tally, node, v](TxContext &tx) {
+                        return pushBody(tx, top, push_tally, node, v);
+                    });
+            } else {
+                co_await sys.runRegion(
+                    core, 0x4540, [top, pop_tally](TxContext &tx) {
+                        return popBody(tx, top, pop_tally);
+                    });
+            }
+        }
+    }
+
+    std::vector<std::string>
+    verify(System &sys) const override
+    {
+        const BackingStore &store =
+            const_cast<System &>(sys).mem().store();
+        std::uint64_t pushed = initialSum_;
+        std::uint64_t popped = 0;
+        for (unsigned t = 0; t < params_.threads; ++t) {
+            pushed += store.read(pushTallyBase_ + t * kLineBytes);
+            popped += store.read(popTallyBase_ + t * kLineBytes);
+        }
+        std::uint64_t remaining = 0;
+        Addr cur = store.read(topPtr_);
+        unsigned guard = 0;
+        while (cur != 0 && guard++ < 1000000) {
+            remaining += store.read(cur + kValOff);
+            cur = store.read(cur + kNextOff);
+        }
+        std::vector<std::string> issues;
+        if (pushed - popped != remaining)
+            issues.push_back("stack: value sum not conserved");
+        return issues;
+    }
+
+  private:
+    Addr topPtr_ = 0;
+    Addr pushTallyBase_ = 0;
+    Addr popTallyBase_ = 0;
+    std::uint64_t initialSum_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStack(const WorkloadParams &params)
+{
+    return std::make_unique<StackWorkload>(params);
+}
+
+} // namespace clearsim

@@ -1,0 +1,538 @@
+/**
+ * @file
+ * STAMP-like workloads: synthetic kernels reproducing the atomic-
+ * region structure of the ten STAMP configurations the paper
+ * evaluates (bayes, genome, intruder, kmeans-h/l, labyrinth, ssca2,
+ * vacation-h/l, yada).
+ *
+ * We do not port the applications themselves; what determines
+ * CLEAR's behavior is the *shape* of their atomic regions — how
+ * many there are, their footprint sizes, whether addresses are
+ * computed through indirections, whether the footprint mutates
+ * across retries, and how contended the data is. Each application
+ * is therefore described by a spec: a set of regions drawn from
+ * four archetypes
+ *
+ *  - FixedUpdate: k pre-computed lines, read-modify-write each
+ *    (immutable; kmeans' delta updates, ssca2's degree counters);
+ *  - IndirectUpdate: k targets found through a static index table
+ *    loaded inside the region (likely immutable; queue pops,
+ *    reservation-table entry updates);
+ *  - Chase: a linked-list walk with optional insertion (mutable;
+ *    genome segment hashing, vacation tree updates);
+ *  - Scatter: FixedUpdate with a footprint too large to lock or to
+ *    fit the SQ during failed-mode discovery (labyrinth path
+ *    claims, yada cavity re-triangulations) — these push the
+ *    execution toward the fallback path exactly as the paper
+ *    reports.
+ *
+ * Every region increments exactly one shared word per "unit of
+ * work" and tallies the increments it committed into a per-thread
+ * line inside the same region, so the global invariant
+ *     sum(pool) + sum(list values) == sum(tallies)
+ * holds iff every mode of execution was atomic.
+ */
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.hh"
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+constexpr unsigned kValOff = 0;
+constexpr unsigned kNextOff = 8;
+
+/** Archetype of one synthetic atomic region. */
+enum class RegionKind
+{
+    FixedUpdate,
+    IndirectUpdate,
+    Chase,
+    Scatter,
+};
+
+/** One atomic region of a STAMP-like application. */
+struct StampRegionSpec
+{
+    RegionKind kind;
+    unsigned size;   ///< lines touched / maximum chase steps
+    double weight;   ///< relative selection probability
+    bool mutate = false; ///< Chase only: insert a node at the stop
+};
+
+/** Full shape description of one application. */
+struct StampSpec
+{
+    std::vector<StampRegionSpec> regions;
+    unsigned poolLines = 256;   ///< shared counter pool
+    unsigned hotLines = 16;     ///< contended subset of the pool
+    double hotFraction = 0.3;   ///< probability a pick is hot
+    unsigned tableEntries = 64; ///< static indirection table
+    unsigned lists = 4;         ///< mutable linked lists
+    unsigned listLen = 8;       ///< initial nodes per list
+    unsigned genCells = 1;      ///< scatter generation cells
+    double opsFactor = 1.0;     ///< scales opsPerThread
+};
+
+StampSpec
+specFor(const std::string &name)
+{
+    using K = RegionKind;
+    StampSpec s;
+    if (name == "bayes") {
+        s.regions = {
+            {K::IndirectUpdate, 2, 0.06}, {K::IndirectUpdate, 2, 0.06},
+            {K::IndirectUpdate, 3, 0.06}, {K::IndirectUpdate, 3, 0.06},
+            {K::IndirectUpdate, 4, 0.06}, {K::Chase, 12, 0.07, true},
+            {K::Chase, 16, 0.07, true},   {K::Chase, 20, 0.07, true},
+            {K::Chase, 24, 0.07, true},   {K::Chase, 28, 0.07, true},
+            {K::Chase, 14, 0.07, true},   {K::Scatter, 40, 0.09},
+            {K::Scatter, 56, 0.09},       {K::Scatter, 48, 0.10},
+        };
+        s.poolLines = 1024;
+        s.hotLines = 16;
+        s.hotFraction = 0.35;
+        s.tableEntries = 128;
+        s.lists = 6;
+        s.listLen = 12;
+        s.genCells = 4;
+        s.opsFactor = 0.75;
+    } else if (name == "genome") {
+        s.regions = {
+            {K::Chase, 8, 0.25, true},  {K::Chase, 12, 0.25, true},
+            {K::Chase, 16, 0.20, true}, {K::Chase, 20, 0.15},
+            {K::Chase, 10, 0.15},
+        };
+        s.poolLines = 512;
+        s.hotLines = 8;
+        s.hotFraction = 0.2;
+        s.lists = 8;
+        s.listLen = 10;
+    } else if (name == "intruder") {
+        s.regions = {
+            {K::IndirectUpdate, 3, 0.45},
+            {K::Chase, 10, 0.35, true},
+            {K::IndirectUpdate, 2, 0.20},
+        };
+        s.poolLines = 256;
+        s.hotLines = 4;
+        s.hotFraction = 0.55;
+        s.lists = 4;
+        s.listLen = 8;
+    } else if (name == "kmeans-h") {
+        s.regions = {
+            {K::FixedUpdate, 1, 0.2},
+            {K::IndirectUpdate, 2, 0.4},
+            {K::IndirectUpdate, 3, 0.4},
+        };
+        s.poolLines = 16;
+        s.hotLines = 16;
+        s.hotFraction = 0.95;
+        s.tableEntries = 32;
+    } else if (name == "kmeans-l") {
+        s.regions = {
+            {K::FixedUpdate, 1, 0.2},
+            {K::IndirectUpdate, 2, 0.4},
+            {K::IndirectUpdate, 3, 0.4},
+        };
+        s.poolLines = 128;
+        s.hotLines = 32;
+        s.hotFraction = 0.5;
+        s.tableEntries = 64;
+    } else if (name == "labyrinth") {
+        s.regions = {
+            {K::Scatter, 56, 0.40},
+            {K::Scatter, 80, 0.35},
+            {K::Scatter, 112, 0.25},
+        };
+        s.poolLines = 256;
+        s.hotLines = 64;
+        s.hotFraction = 0.7;
+        s.opsFactor = 0.4;
+    } else if (name == "ssca2") {
+        s.regions = {
+            {K::FixedUpdate, 1, 0.4},
+            {K::FixedUpdate, 2, 0.3},
+            {K::IndirectUpdate, 1, 0.3},
+        };
+        s.poolLines = 2048;
+        s.hotLines = 64;
+        s.hotFraction = 0.1;
+        s.tableEntries = 256;
+    } else if (name == "vacation-h") {
+        s.regions = {
+            {K::IndirectUpdate, 4, 0.3},
+            {K::Chase, 14, 0.4, true},
+            {K::Chase, 18, 0.3, true},
+        };
+        s.poolLines = 512;
+        s.hotLines = 8;
+        s.hotFraction = 0.45;
+        s.lists = 8;
+        s.listLen = 12;
+    } else if (name == "vacation-l") {
+        s.regions = {
+            {K::IndirectUpdate, 4, 0.3},
+            {K::Chase, 14, 0.4, true},
+            {K::Chase, 18, 0.3, true},
+        };
+        s.poolLines = 512;
+        s.hotLines = 8;
+        s.hotFraction = 0.2;
+        s.lists = 8;
+        s.listLen = 12;
+    } else if (name == "yada") {
+        s.regions = {
+            {K::FixedUpdate, 2, 0.15},  {K::Chase, 16, 0.20, true},
+            {K::Scatter, 28, 0.20},     {K::Scatter, 44, 0.20},
+            {K::Scatter, 64, 0.15},     {K::Chase, 24, 0.10, true},
+        };
+        s.poolLines = 384;
+        s.hotLines = 32;
+        s.hotFraction = 0.5;
+        s.lists = 6;
+        s.listLen = 10;
+        s.genCells = 4;
+        s.opsFactor = 0.5;
+    } else {
+        fatal("unknown STAMP workload '%s'", name.c_str());
+    }
+    return s;
+}
+
+/** Increment word 0 of k pre-computed pool lines. Immutable. */
+SimTask
+fixedUpdateBody(TxContext &tx, const std::vector<Addr> *targets,
+                Addr tally)
+{
+    for (Addr target : *targets) {
+        TxValue v = co_await tx.load(target);
+        co_await tx.store(target, v + TxValue(1));
+    }
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(targets->size()));
+}
+
+/**
+ * Scatter: a large update whose targets depend on a generation
+ * value read inside the region, like a maze router re-planning its
+ * path from the current grid state. Mutable: the footprint shifts
+ * whenever a concurrent scatter commits, and its size exceeds both
+ * the ALT and the SQ bound of failed-mode discovery.
+ */
+SimTask
+scatterBody(TxContext &tx, const std::vector<std::uint64_t> *indices,
+            Addr pool_base, std::uint64_t pool_lines, Addr gen_addr,
+            Addr tally)
+{
+    TxValue gen = co_await tx.load(gen_addr);
+    for (std::uint64_t idx : *indices) {
+        const Addr target = tx.toAddr(
+            TxValue(pool_base) +
+            ((TxValue(idx) + gen) % TxValue(pool_lines)) *
+                TxValue(kLineBytes));
+        TxValue v = co_await tx.load(target);
+        co_await tx.store(target, v + TxValue(1));
+    }
+    co_await tx.store(gen_addr, gen + TxValue(1));
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(indices->size() + 1));
+}
+
+/**
+ * Increment k pool words found through the static index table.
+ * Likely immutable: the table entries are never written.
+ */
+SimTask
+indirectUpdateBody(TxContext &tx, const std::vector<Addr> *slots,
+                   Addr pool_base, Addr tally)
+{
+    for (Addr slot : *slots) {
+        TxValue idx = co_await tx.load(slot);
+        const Addr target =
+            tx.toAddr(TxValue(pool_base) + idx * TxValue(kLineBytes));
+        TxValue v = co_await tx.load(target);
+        co_await tx.store(target, v + TxValue(1));
+    }
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(slots->size()));
+}
+
+/**
+ * Walk a list up to max_steps nodes, increment the value of the
+ * node where the walk stops, and optionally insert a fresh node
+ * after it. Mutable: addresses chase next pointers.
+ */
+SimTask
+chaseBody(TxContext &tx, Addr head, unsigned max_steps, Addr tally,
+          Addr new_node)
+{
+    TxValue curr = co_await tx.load(head + kNextOff);
+    Addr last_addr = 0;
+    for (unsigned i = 0; i < max_steps; ++i) {
+        if (!tx.branchOn(curr != TxValue(0)))
+            break;
+        last_addr = tx.toAddr(curr);
+        curr = co_await tx.load(last_addr + kNextOff);
+    }
+    if (last_addr == 0)
+        co_return; // empty list (cannot happen: lists only grow)
+    TxValue v = co_await tx.load(last_addr + kValOff);
+    co_await tx.store(last_addr + kValOff, v + TxValue(1));
+    if (new_node != 0) {
+        TxValue next = co_await tx.load(last_addr + kNextOff);
+        co_await tx.store(new_node + kNextOff, next);
+        co_await tx.store(last_addr + kNextOff, TxValue(new_node));
+    }
+    TxValue t = co_await tx.load(tally);
+    co_await tx.store(tally, t + TxValue(1));
+}
+
+class StampWorkload : public Workload
+{
+  public:
+    StampWorkload(std::string name, const WorkloadParams &params)
+        : Workload(params), name_(std::move(name)),
+          spec_(specFor(name_))
+    {
+    }
+
+    const char *name() const override { return name_.c_str(); }
+
+    unsigned
+    numRegions() const override
+    {
+        return static_cast<unsigned>(spec_.regions.size());
+    }
+
+    void
+    init(System &sys) override
+    {
+        BackingStore &store = sys.mem().store();
+        poolBase_ = store.allocateLines(spec_.poolLines);
+        tallyBase_ = store.allocateLines(params_.threads);
+        tableBase_ = store.allocateLines(spec_.tableEntries);
+        genBase_ = store.allocateLines(spec_.genCells);
+
+        Rng rng(params_.seed);
+        for (unsigned e = 0; e < spec_.tableEntries; ++e) {
+            store.write(tableBase_ + e * kLineBytes,
+                        rng.nextBelow(spec_.poolLines));
+        }
+
+        listHeads_.clear();
+        for (unsigned l = 0; l < spec_.lists; ++l) {
+            const Addr head = store.allocateLines(1);
+            store.write(head + kValOff, 0);
+            store.write(head + kNextOff, 0);
+            Addr prev = head;
+            for (unsigned n = 0; n < spec_.listLen; ++n) {
+                const Addr node = store.allocateLines(1);
+                store.write(node + kValOff, 0);
+                store.write(node + kNextOff, 0);
+                store.write(prev + kNextOff, node);
+                prev = node;
+            }
+            listHeads_.push_back(head);
+        }
+
+        scratch_.assign(params_.threads, {});
+
+        totalWeight_ = 0;
+        for (const StampRegionSpec &r : spec_.regions)
+            totalWeight_ += r.weight;
+    }
+
+    SimTask
+    thread(System &sys, CoreId core) override
+    {
+        Rng rng = threadRng(core);
+        const Addr tally = tallyBase_ + core * kLineBytes;
+        const unsigned ops = std::max<unsigned>(
+            1, static_cast<unsigned>(params_.opsPerThread *
+                                     spec_.opsFactor));
+        for (unsigned op = 0; op < ops; ++op) {
+            co_await delayFor(sys.queue(), thinkTime(sys, rng));
+            const unsigned ridx = pickRegion(rng);
+            const StampRegionSpec &r = spec_.regions[ridx];
+            const RegionPc pc = 0x5000 + ridx * 0x40;
+
+            switch (r.kind) {
+              case RegionKind::FixedUpdate: {
+                  // Per-core scratch keeps heap-owning objects out
+                  // of coroutine frames and lambda captures.
+                  std::vector<Addr> &targets = scratch_[core];
+                  targets = pickPoolLines(rng, r.size);
+                  const std::vector<Addr> *tp = &targets;
+                  co_await sys.runRegion(
+                      core, pc, [tp, tally](TxContext &tx) {
+                          return fixedUpdateBody(tx, tp, tally);
+                      });
+                  break;
+              }
+              case RegionKind::Scatter: {
+                  std::vector<Addr> &indices = scratch_[core];
+                  indices.clear();
+                  for (unsigned i = 0; i < r.size; ++i)
+                      indices.push_back(
+                          rng.nextBelow(spec_.poolLines));
+                  const std::vector<std::uint64_t> *ip = &indices;
+                  const Addr pool = poolBase_;
+                  const std::uint64_t pool_lines = spec_.poolLines;
+                  const Addr gen =
+                      genBase_ +
+                      (ridx % spec_.genCells) * kLineBytes;
+                  co_await sys.runRegion(
+                      core, pc,
+                      [ip, pool, pool_lines, gen,
+                       tally](TxContext &tx) {
+                          return scatterBody(tx, ip, pool,
+                                             pool_lines, gen, tally);
+                      });
+                  break;
+              }
+              case RegionKind::IndirectUpdate: {
+                  // Table slots are hot-biased so that -h and -l
+                  // variants differ in contention, as in vacation.
+                  const unsigned hot_slots =
+                      std::max(2u, spec_.tableEntries / 16);
+                  std::vector<Addr> &slots = scratch_[core];
+                  slots.clear();
+                  for (unsigned i = 0; i < r.size; ++i) {
+                      const unsigned e =
+                          rng.nextDouble() < spec_.hotFraction
+                              ? static_cast<unsigned>(
+                                    rng.nextBelow(hot_slots))
+                              : static_cast<unsigned>(rng.nextBelow(
+                                    spec_.tableEntries));
+                      slots.push_back(tableBase_ + e * kLineBytes);
+                  }
+                  const std::vector<Addr> *sp = &slots;
+                  const Addr pool = poolBase_;
+                  co_await sys.runRegion(
+                      core, pc, [sp, pool, tally](TxContext &tx) {
+                          return indirectUpdateBody(tx, sp, pool,
+                                                    tally);
+                      });
+                  break;
+              }
+              case RegionKind::Chase: {
+                  // List choice is hot-biased: under high
+                  // contention most walks share one list.
+                  const Addr head =
+                      rng.nextDouble() < spec_.hotFraction
+                          ? listHeads_[0]
+                          : listHeads_[rng.nextBelow(
+                                listHeads_.size())];
+                  Addr node = 0;
+                  if (r.mutate) {
+                      node = sys.mem().store().allocateLines(1);
+                      sys.mem().store().write(node + kValOff, 0);
+                      sys.mem().store().write(node + kNextOff, 0);
+                  }
+                  const unsigned steps =
+                      1 + static_cast<unsigned>(
+                              rng.nextBelow(r.size));
+                  co_await sys.runRegion(
+                      core, pc,
+                      [head, steps, tally, node](TxContext &tx) {
+                          return chaseBody(tx, head, steps, tally,
+                                           node);
+                      });
+                  break;
+              }
+            }
+        }
+    }
+
+    std::vector<std::string>
+    verify(System &sys) const override
+    {
+        const BackingStore &store =
+            const_cast<System &>(sys).mem().store();
+        std::uint64_t pool_sum = 0;
+        for (unsigned g = 0; g < spec_.genCells; ++g)
+            pool_sum += store.read(genBase_ + g * kLineBytes);
+        for (unsigned l = 0; l < spec_.poolLines; ++l)
+            pool_sum += store.read(poolBase_ + l * kLineBytes);
+        std::uint64_t list_sum = 0;
+        for (Addr head : listHeads_) {
+            Addr cur = store.read(head + kNextOff);
+            unsigned guard = 0;
+            while (cur != 0 && guard++ < 1000000) {
+                list_sum += store.read(cur + kValOff);
+                cur = store.read(cur + kNextOff);
+            }
+        }
+        std::uint64_t tallies = 0;
+        for (unsigned t = 0; t < params_.threads; ++t)
+            tallies += store.read(tallyBase_ + t * kLineBytes);
+
+        std::vector<std::string> issues;
+        if (pool_sum + list_sum != tallies) {
+            issues.push_back(name_ +
+                             ": increments not conserved (atomicity "
+                             "violation)");
+        }
+        return issues;
+    }
+
+  private:
+    unsigned
+    pickRegion(Rng &rng) const
+    {
+        double x = rng.nextDouble() * totalWeight_;
+        for (unsigned i = 0; i < spec_.regions.size(); ++i) {
+            x -= spec_.regions[i].weight;
+            if (x <= 0)
+                return i;
+        }
+        return static_cast<unsigned>(spec_.regions.size() - 1);
+    }
+
+    std::vector<Addr>
+    pickPoolLines(Rng &rng, unsigned count) const
+    {
+        std::unordered_set<std::uint64_t> seen;
+        std::vector<Addr> lines;
+        lines.reserve(count);
+        while (lines.size() < count &&
+               seen.size() < spec_.poolLines) {
+            std::uint64_t idx;
+            if (rng.nextDouble() < spec_.hotFraction)
+                idx = rng.nextBelow(spec_.hotLines);
+            else
+                idx = rng.nextBelow(spec_.poolLines);
+            if (seen.insert(idx).second)
+                lines.push_back(poolBase_ + idx * kLineBytes);
+        }
+        return lines;
+    }
+
+    std::string name_;
+    StampSpec spec_;
+    Addr poolBase_ = 0;
+    Addr tallyBase_ = 0;
+    Addr tableBase_ = 0;
+    Addr genBase_ = 0;
+    std::vector<Addr> listHeads_;
+    std::vector<std::vector<Addr>> scratch_;
+    double totalWeight_ = 1.0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStamp(const std::string &name, const WorkloadParams &params)
+{
+    return std::make_unique<StampWorkload>(name, params);
+}
+
+} // namespace clearsim

@@ -1,0 +1,94 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+// Factory functions implemented by the individual workload files.
+std::unique_ptr<Workload> makeArrayswap(const WorkloadParams &);
+std::unique_ptr<Workload> makeBitcoin(const WorkloadParams &);
+std::unique_ptr<Workload> makeBst(const WorkloadParams &);
+std::unique_ptr<Workload> makeDeque(const WorkloadParams &);
+std::unique_ptr<Workload> makeHashmap(const WorkloadParams &);
+std::unique_ptr<Workload> makeMwobject(const WorkloadParams &);
+std::unique_ptr<Workload> makeQueue(const WorkloadParams &);
+std::unique_ptr<Workload> makeStack(const WorkloadParams &);
+std::unique_ptr<Workload> makeSortedList(const WorkloadParams &);
+std::unique_ptr<Workload> makeStamp(const std::string &,
+                                    const WorkloadParams &);
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "arrayswap", "bitcoin",  "bst",        "deque",
+        "hashmap",   "mwobject", "queue",      "stack",
+        "sorted-list",
+        "bayes",     "genome",   "intruder",   "kmeans-h",
+        "kmeans-l",  "labyrinth", "ssca2",     "vacation-h",
+        "vacation-l", "yada",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "arrayswap")
+        return makeArrayswap(params);
+    if (name == "bitcoin")
+        return makeBitcoin(params);
+    if (name == "bst")
+        return makeBst(params);
+    if (name == "deque")
+        return makeDeque(params);
+    if (name == "hashmap")
+        return makeHashmap(params);
+    if (name == "mwobject")
+        return makeMwobject(params);
+    if (name == "queue")
+        return makeQueue(params);
+    if (name == "stack")
+        return makeStack(params);
+    if (name == "sorted-list")
+        return makeSortedList(params);
+    for (const std::string &stamp :
+         {std::string("bayes"), std::string("genome"),
+          std::string("intruder"), std::string("kmeans-h"),
+          std::string("kmeans-l"), std::string("labyrinth"),
+          std::string("ssca2"), std::string("vacation-h"),
+          std::string("vacation-l"), std::string("yada")}) {
+        if (name == stamp)
+            return makeStamp(name, params);
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+Cycle
+runWorkloadThreads(System &sys, Workload &workload)
+{
+    workload.init(sys);
+
+    const unsigned threads =
+        std::min(workload.params().threads, sys.config().numCores);
+    std::vector<SimTask> tasks;
+    tasks.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        tasks.push_back(workload.thread(sys, static_cast<CoreId>(t)));
+    for (auto &task : tasks)
+        task.start();
+
+    // A generous ceiling: any run hitting it is livelocked.
+    const Cycle limit = static_cast<Cycle>(4) * 1000 * 1000 * 1000;
+    const Cycle cycles = sys.runToCompletion(limit);
+
+    for (auto &task : tasks) {
+        CLEARSIM_ASSERT(task.done(),
+                        "a workload thread never finished "
+                        "(simulated deadlock)");
+    }
+    return cycles;
+}
+
+} // namespace clearsim

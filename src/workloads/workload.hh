@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The workload framework.
+ *
+ * A Workload builds shared data structures inside a System's
+ * simulated memory and provides per-thread coroutines whose atomic
+ * regions exercise them through the transactional body API. Because
+ * the data structures live in simulated memory and genuinely
+ * mutate, footprint sizes, indirections and mutability are emergent
+ * properties measured by the simulator — exactly what Table 1 and
+ * Figure 1 of the paper characterize.
+ *
+ * Every workload embeds conservation invariants (per-thread tally
+ * words, sums, structure integrity) checked by verify(); the
+ * property-test suite runs every workload under every configuration
+ * and requires verify() to pass, which validates the atomicity of
+ * all four execution modes end to end.
+ */
+
+#ifndef CLEARSIM_WORKLOADS_WORKLOAD_HH
+#define CLEARSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/system.hh"
+#include "sim/task.hh"
+
+namespace clearsim
+{
+
+/** Scale and shape knobs common to all workloads. */
+struct WorkloadParams
+{
+    /** Simulated threads (= cores used). */
+    unsigned threads = 32;
+
+    /** Atomic-region invocations per thread. */
+    unsigned opsPerThread = 32;
+
+    /** Seed for workload-level randomness. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Scale multiplier for data-structure sizes (1 = the "medium"
+     * inputs used throughout the paper's evaluation).
+     */
+    unsigned scale = 1;
+};
+
+/** Base class of all benchmark workloads. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params) : params_(params)
+    {
+    }
+
+    virtual ~Workload() = default;
+
+    /** Workload name as used by the paper ("arrayswap", ...). */
+    virtual const char *name() const = 0;
+
+    /** Number of static atomic regions (Table 1, column 2). */
+    virtual unsigned numRegions() const = 0;
+
+    /** Build the shared data structures in sys's memory. */
+    virtual void init(System &sys) = 0;
+
+    /**
+     * The main coroutine of one simulated thread: performs
+     * opsPerThread atomic-region invocations with think time in
+     * between.
+     */
+    virtual SimTask thread(System &sys, CoreId core) = 0;
+
+    /**
+     * Check workload invariants after the run.
+     * @return human-readable violations; empty when consistent
+     */
+    virtual std::vector<std::string> verify(System &sys) const = 0;
+
+    const WorkloadParams &params() const { return params_; }
+
+  protected:
+    /** Deterministic per-thread RNG. */
+    Rng
+    threadRng(CoreId core) const
+    {
+        return Rng(params_.seed * 0x9e3779b97f4a7c15ull +
+                   0x517cc1b727220a95ull * (core + 1));
+    }
+
+    /** Random inter-region think time. */
+    static Cycle
+    thinkTime(System &sys, Rng &rng)
+    {
+        const Cycle mean = sys.config().timing.thinkTimeMean;
+        return mean / 2 + rng.nextBelow(mean);
+    }
+
+    WorkloadParams params_;
+};
+
+/** All registered workload names, in the paper's Table 1 order. */
+const std::vector<std::string> &workloadNames();
+
+/** Instantiate a workload by name; fatal() on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+/**
+ * Convenience driver: init the workload, start one thread per core,
+ * and run the event queue to completion.
+ * @return total simulated cycles
+ */
+Cycle runWorkloadThreads(System &sys, Workload &workload);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_WORKLOADS_WORKLOAD_HH

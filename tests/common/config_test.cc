@@ -1,0 +1,80 @@
+/** @file Unit tests for the configuration presets. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(ConfigTest, BaselineMatchesTable2)
+{
+    const SystemConfig cfg = makeBaselineConfig();
+    EXPECT_EQ(cfg.numCores, 32u);
+    EXPECT_EQ(cfg.core.robEntries, 352u);
+    EXPECT_EQ(cfg.core.lqEntries, 128u);
+    EXPECT_EQ(cfg.core.sqEntries, 72u);
+    EXPECT_EQ(cfg.core.physRegs, 180u);
+    // 48 KiB 12-way L1D.
+    EXPECT_EQ(cfg.cache.l1Sets * cfg.cache.l1Ways * kLineBytes,
+              48u * 1024);
+    // 512 KiB 8-way L2.
+    EXPECT_EQ(cfg.cache.l2Sets * cfg.cache.l2Ways * kLineBytes,
+              512u * 1024);
+    // 4 MiB 16-way L3.
+    EXPECT_EQ(cfg.cache.l3Sets * cfg.cache.l3Ways * kLineBytes,
+              4u * 1024 * 1024);
+    EXPECT_EQ(cfg.cache.l1Latency, 1u);
+    EXPECT_EQ(cfg.cache.l2Latency, 10u);
+    EXPECT_EQ(cfg.cache.l3Latency, 45u);
+    EXPECT_EQ(cfg.cache.memLatency, 80u);
+    EXPECT_FALSE(cfg.clear.enabled);
+    EXPECT_EQ(cfg.htmPolicy, HtmPolicy::RequesterWins);
+}
+
+TEST(ConfigTest, ClearStructureSizesMatchSection5)
+{
+    const SystemConfig cfg = makeClearConfig();
+    EXPECT_TRUE(cfg.clear.enabled);
+    EXPECT_EQ(cfg.clear.ertEntries, 16u);
+    EXPECT_EQ(cfg.clear.altEntries, 32u);
+    EXPECT_EQ(cfg.clear.crtEntries, 64u);
+    EXPECT_EQ(cfg.clear.crtWays, 8u);
+    EXPECT_EQ(cfg.clear.sqFullSaturation, 3u);
+}
+
+TEST(ConfigTest, FourPresets)
+{
+    EXPECT_EQ(makeBaselineConfig().name, "B");
+    EXPECT_EQ(makePowerTmConfig().name, "P");
+    EXPECT_EQ(makeClearConfig().name, "C");
+    EXPECT_EQ(makeClearPowerConfig().name, "W");
+
+    EXPECT_EQ(makePowerTmConfig().htmPolicy, HtmPolicy::PowerTm);
+    EXPECT_FALSE(makePowerTmConfig().clear.enabled);
+    EXPECT_EQ(makeClearConfig().htmPolicy,
+              HtmPolicy::RequesterWins);
+    EXPECT_TRUE(makeClearPowerConfig().clear.enabled);
+    EXPECT_EQ(makeClearPowerConfig().htmPolicy, HtmPolicy::PowerTm);
+}
+
+TEST(ConfigTest, MakeByName)
+{
+    for (const char *name : {"B", "P", "C", "W"})
+        EXPECT_EQ(makeConfigByName(name).name, name);
+}
+
+TEST(TypesTest, LineArithmetic)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 1u);
+    EXPECT_EQ(lineBase(3), 192u);
+    EXPECT_EQ(lineOf(lineBase(12345)), 12345u);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,116 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, NextBoolRespectsProbability)
+{
+    Rng rng(17);
+    int trues = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        trues += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.03);
+}
+
+TEST(RngTest, ForkIsIndependent)
+{
+    Rng parent(21);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, OutputLooksUniform)
+{
+    Rng rng(31);
+    std::vector<int> buckets(16, 0);
+    const int n = 16000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.nextBelow(16)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, n / 16, n / 16 / 3);
+}
+
+TEST(RngTest, NoShortCycle)
+{
+    Rng rng(37);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(rng.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace
+} // namespace clearsim

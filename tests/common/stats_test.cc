@@ -1,0 +1,113 @@
+/** @file Unit tests for the statistics toolkit. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(BoundedHistogramTest, CountsExactValues)
+{
+    BoundedHistogram h(8);
+    h.record(0);
+    h.record(3);
+    h.record(3);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.count(1), 0u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.sum(), 6u);
+}
+
+TEST(BoundedHistogramTest, OverflowBucket)
+{
+    BoundedHistogram h(4);
+    h.record(3);
+    h.record(4);
+    h.record(100);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(BoundedHistogramTest, MeanIncludesOverflowValues)
+{
+    BoundedHistogram h(4);
+    h.record(2);
+    h.record(10);
+    EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+}
+
+TEST(BoundedHistogramTest, MeanOfEmptyIsZero)
+{
+    BoundedHistogram h(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(BoundedHistogramTest, ClearResets)
+{
+    BoundedHistogram h(4);
+    h.record(1);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(BoundedHistogramTest, MergeAddsCounts)
+{
+    BoundedHistogram a(4);
+    BoundedHistogram b(4);
+    a.record(1);
+    b.record(1);
+    b.record(7);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(TrimmedMeanTest, NoTrimIsPlainMean)
+{
+    EXPECT_DOUBLE_EQ(trimmedMean({1, 2, 3, 4}, 0), 2.5);
+}
+
+TEST(TrimmedMeanTest, TrimsOutliers)
+{
+    // 100 and 0 are dropped.
+    EXPECT_DOUBLE_EQ(trimmedMean({0, 2, 2, 2, 100}, 1), 2.0);
+}
+
+TEST(TrimmedMeanTest, OverTrimFallsBackToMean)
+{
+    EXPECT_DOUBLE_EQ(trimmedMean({1, 3}, 5), 2.0);
+}
+
+TEST(TrimmedMeanTest, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(trimmedMean({}, 1), 0.0);
+}
+
+TEST(MeanTest, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({2, 4}), 3.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(GeomeanTest, Basics)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(FormatFixedTest, Decimals)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,159 @@
+/** @file Unit tests for the Addresses-to-Lock Table / lock plans. */
+
+#include <gtest/gtest.h>
+
+#include "core/alt.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+// 32-entry ALT; 8 directory sets; L1 with 4 sets x 2 ways.
+Alt
+testAlt()
+{
+    return Alt(32, 8, 4, 2);
+}
+
+Footprint
+footprintOf(std::initializer_list<std::pair<LineAddr, bool>> accesses)
+{
+    Footprint fp(64);
+    for (const auto &[line, wrote] : accesses)
+        fp.record(line, wrote);
+    return fp;
+}
+
+TEST(AltTest, EmptyFootprintNotLockable)
+{
+    EXPECT_FALSE(testAlt().lockable(Footprint(64)));
+}
+
+TEST(AltTest, SmallFootprintLockable)
+{
+    const Footprint fp =
+        footprintOf({{1, true}, {2, false}, {3, true}});
+    EXPECT_TRUE(testAlt().lockable(fp));
+}
+
+TEST(AltTest, OverflowedFootprintNotLockable)
+{
+    Footprint fp(2);
+    fp.record(1, false);
+    fp.record(2, false);
+    fp.record(3, false);
+    EXPECT_FALSE(testAlt().lockable(fp));
+}
+
+TEST(AltTest, FootprintBeyondAltCapacityNotLockable)
+{
+    Alt alt(4, 64, 64, 12);
+    Footprint fp(64);
+    for (LineAddr l = 0; l < 5; ++l)
+        fp.record(l, false);
+    EXPECT_FALSE(alt.lockable(fp));
+}
+
+TEST(AltTest, L1SetOversubscriptionNotLockable)
+{
+    // L1 has 4 sets x 2 ways: three lines mapping to set 0 cannot
+    // be held simultaneously.
+    const Footprint fp =
+        footprintOf({{0, true}, {4, true}, {8, true}});
+    EXPECT_FALSE(testAlt().lockable(fp));
+    const Footprint ok = footprintOf({{0, true}, {4, true}});
+    EXPECT_TRUE(testAlt().lockable(ok));
+}
+
+TEST(AltTest, PlanSortedByDirSetThenLine)
+{
+    // Dir sets: line & 7.
+    const Footprint fp = footprintOf(
+        {{9, true}, {1, true}, {16, true}, {2, true}});
+    Crt crt(8, 2);
+    const auto plan = testAlt().buildPlan(fp, crt, true);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0].line, 16u); // set 0
+    EXPECT_EQ(plan[1].line, 1u);  // set 1, lower line first
+    EXPECT_EQ(plan[2].line, 9u);  // set 1
+    EXPECT_EQ(plan[3].line, 2u);  // set 2
+}
+
+TEST(AltTest, LockAllMarksEveryEntry)
+{
+    const Footprint fp = footprintOf({{1, false}, {2, true}});
+    Crt crt(8, 2);
+    const auto plan = testAlt().buildPlan(fp, crt, true);
+    for (const auto &e : plan)
+        EXPECT_TRUE(e.needsLock);
+}
+
+TEST(AltTest, WritesPolicyLocksWritesOnly)
+{
+    const Footprint fp =
+        footprintOf({{1, false}, {2, true}, {3, false}});
+    Crt crt(8, 2);
+    const auto plan = testAlt().buildPlan(fp, crt, false);
+    for (const auto &e : plan)
+        EXPECT_EQ(e.needsLock, e.line == 2u);
+}
+
+TEST(AltTest, CrtReadsAreLockedToo)
+{
+    // Section 5: reads that conflicted before get Needs Locking.
+    const Footprint fp =
+        footprintOf({{1, false}, {2, true}, {3, false}});
+    Crt crt(8, 2);
+    crt.insert(3);
+    const auto plan = testAlt().buildPlan(fp, crt, false);
+    for (const auto &e : plan) {
+        EXPECT_EQ(e.needsLock, e.line == 2u || e.line == 3u)
+            << "line " << e.line;
+    }
+}
+
+TEST(AltTest, UnlockablePlanIsEmpty)
+{
+    Footprint fp(2);
+    fp.record(1, true);
+    fp.record(2, true);
+    fp.record(3, true);
+    Crt crt(8, 2);
+    EXPECT_TRUE(testAlt().buildPlan(fp, crt, true).empty());
+}
+
+TEST(AltTest, GroupsSplitByDirSet)
+{
+    const Footprint fp = footprintOf(
+        {{1, true}, {9, true}, {17, true}, {2, true}, {3, true}});
+    Crt crt(8, 2);
+    const Alt alt(32, 8, 64, 12);
+    const auto plan = alt.buildPlan(fp, crt, true);
+    const auto groups = alt.groupsOf(plan);
+    // Sets: {1,9,17} -> set 1 (one group of 3), {2} set 2, {3} set 3.
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].dirSet, 1u);
+    EXPECT_EQ(groups[0].end - groups[0].begin, 3u);
+    EXPECT_EQ(groups[1].end - groups[1].begin, 1u);
+    EXPECT_EQ(groups[2].end - groups[2].begin, 1u);
+}
+
+TEST(AltTest, GroupsSkipNonLockingEntries)
+{
+    const Footprint fp = footprintOf(
+        {{1, false}, {9, true}, {17, false}, {2, true}});
+    Crt crt(8, 2);
+    const Alt alt(32, 8, 64, 12);
+    const auto plan = alt.buildPlan(fp, crt, false);
+    const auto groups = alt.groupsOf(plan);
+    ASSERT_EQ(groups.size(), 2u);
+    // Only line 9 needs locking in set 1.
+    unsigned members = 0;
+    for (std::size_t i = groups[0].begin; i < groups[0].end; ++i)
+        members += plan[i].needsLock;
+    EXPECT_EQ(members, 1u);
+}
+
+} // namespace
+} // namespace clearsim

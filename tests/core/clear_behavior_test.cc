@@ -1,0 +1,230 @@
+/**
+ * @file
+ * System-level tests of CLEAR's finer behaviors: CRT feeding and
+ * its effect on the next S-CL plan, deviation handling (Section
+ * 4.4.2's non-discoverable marking), flat nesting, and the
+ * commit-mode signatures of representative workloads (Figure 12).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clearsim/clearsim.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SystemConfig
+config(const char *preset, unsigned cores)
+{
+    SystemConfig cfg = makeConfigByName(preset);
+    cfg.numCores = cores;
+    return cfg;
+}
+
+double
+modeShare(const HtmStats &stats, ExecMode mode)
+{
+    if (stats.commits == 0)
+        return 0.0;
+    return static_cast<double>(
+               stats.commitsByMode[static_cast<unsigned>(mode)]) /
+           static_cast<double>(stats.commits);
+}
+
+HtmStats
+runWorkloadUnder(const char *preset, const char *workload,
+                 unsigned ops, std::uint64_t seed)
+{
+    SystemConfig cfg = makeConfigByName(preset);
+    WorkloadParams params;
+    params.opsPerThread = ops;
+    params.seed = seed;
+    System sys(cfg, seed);
+    auto w = makeWorkload(workload, params);
+    runWorkloadThreads(sys, *w);
+    EXPECT_TRUE(w->verify(sys).empty());
+    return sys.stats();
+}
+
+TEST(ClearBehaviorTest, MwobjectCommitsMostlyNsCl)
+{
+    const HtmStats stats = runWorkloadUnder("C", "mwobject", 24, 1);
+    EXPECT_GT(modeShare(stats, ExecMode::NsCl), 0.5);
+    EXPECT_LT(modeShare(stats, ExecMode::Fallback), 0.1);
+}
+
+TEST(ClearBehaviorTest, BitcoinCommitsMostlySClAmongConverted)
+{
+    const HtmStats stats = runWorkloadUnder("C", "bitcoin", 24, 2);
+    // Likely immutable: indirection present, so conversion targets
+    // S-CL, never NS-CL.
+    EXPECT_GT(modeShare(stats, ExecMode::SCl), 0.15);
+    EXPECT_EQ(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::NsCl)],
+              0u);
+}
+
+TEST(ClearBehaviorTest, LabyrinthStaysInFallback)
+{
+    const HtmStats stats =
+        runWorkloadUnder("C", "labyrinth", 10, 3);
+    EXPECT_GT(modeShare(stats, ExecMode::Fallback), 0.5);
+    EXPECT_LT(modeShare(stats, ExecMode::NsCl) +
+                  modeShare(stats, ExecMode::SCl),
+              0.05);
+}
+
+TEST(ClearBehaviorTest, CrtFeedsNextSClPlan)
+{
+    // Region in core 0: writes W, reads R (no lock on R under the
+    // writes+CRT policy). A conflicting writer on R aborts the
+    // S-CL execution once; the CRT then holds R, so the next S-CL
+    // attempt locks it too and commits.
+    SystemConfig cfg = config("C", 2);
+    System sys(cfg, 4);
+    BackingStore &store = sys.mem().store();
+    const Addr w_line = store.allocateLines(1);
+    const Addr r_line = store.allocateLines(1);
+    const Addr ptr_cell = store.allocateLines(1);
+    store.write(ptr_cell, w_line);
+
+    // Reader-writer region on core 0 (indirection -> S-CL).
+    auto body0 = [ptr_cell, r_line](TxContext &tx) -> SimTask {
+        TxValue p = co_await tx.load(ptr_cell);
+        const Addr target = tx.toAddr(p);
+        TxValue r = co_await tx.load(r_line);
+        TxValue v = co_await tx.load(target);
+        co_await tx.store(target, v + r + TxValue(1));
+    };
+    // Interfering writer on core 1 keeps updating r_line.
+    auto body1 = [r_line](TxContext &tx) -> SimTask {
+        TxValue v = co_await tx.load(r_line);
+        co_await tx.store(r_line, v + TxValue(1));
+    };
+
+    std::vector<SimTask> tasks;
+    tasks.push_back([](System &sys, BodyFn body) -> SimTask {
+        for (int i = 0; i < 30; ++i)
+            co_await sys.runRegion(0, 0x100, body);
+    }(sys, body0));
+    tasks.push_back([](System &sys, BodyFn body) -> SimTask {
+        for (int i = 0; i < 30; ++i) {
+            co_await sys.runRegion(1, 0x200, body);
+            co_await delayFor(sys.queue(), 40);
+        }
+    }(sys, body1));
+    for (auto &t : tasks)
+        t.start();
+    sys.runToCompletion(100'000'000ull);
+
+    // The CRT of core 0 must have seen the conflicting read line
+    // at least once if any S-CL attempt lost to the writer.
+    if (sys.stats().crtInsertions > 0) {
+        EXPECT_TRUE(sys.crt(0).contains(lineOf(r_line)));
+    }
+    EXPECT_GT(sys.stats().sClAttempts, 0u);
+}
+
+TEST(ClearBehaviorTest, DeviationMarksRegionNonConvertible)
+{
+    // A region whose written line changes every execution: after
+    // converting to S-CL once and deviating, Section 4.4.2 requires
+    // the region to become non-discoverable.
+    SystemConfig cfg = config("C", 2);
+    System sys(cfg, 5);
+    BackingStore &store = sys.mem().store();
+    const Addr seq = store.allocateLines(1);
+    const Addr arr = store.allocateLines(16);
+    const Addr hot = store.allocateLines(1);
+
+    auto shifting = [seq, arr, hot](TxContext &tx) -> SimTask {
+        TxValue h = co_await tx.load(hot);
+        co_await tx.store(hot, h + TxValue(1));
+        TxValue n = co_await tx.load(seq);
+        co_await tx.store(seq, n + TxValue(1));
+        const Addr target = tx.toAddr(
+            TxValue(arr) + (n % TxValue(16)) * TxValue(kLineBytes));
+        TxValue v = co_await tx.load(target);
+        co_await tx.store(target, v + TxValue(1));
+    };
+    auto pester = [hot](TxContext &tx) -> SimTask {
+        TxValue h = co_await tx.load(hot);
+        co_await tx.store(hot, h + TxValue(1));
+    };
+
+    std::vector<SimTask> tasks;
+    tasks.push_back([](System &sys, BodyFn body) -> SimTask {
+        for (int i = 0; i < 40; ++i)
+            co_await sys.runRegion(0, 0x100, body);
+    }(sys, shifting));
+    tasks.push_back([](System &sys, BodyFn body) -> SimTask {
+        for (int i = 0; i < 40; ++i) {
+            co_await sys.runRegion(1, 0x200, body);
+            co_await delayFor(sys.queue(), 25);
+        }
+    }(sys, pester));
+    for (auto &t : tasks)
+        t.start();
+    sys.runToCompletion(100'000'000ull);
+
+    // If an S-CL attempt ever deviated, discovery must now be off
+    // for the region on core 0.
+    const auto others = sys.stats().abortsByCategory[static_cast<
+        unsigned>(AbortCategory::Others)];
+    if (others > 0) {
+        const ErtEntry *e = sys.ert(0).find(0x100);
+        ASSERT_NE(e, nullptr);
+        EXPECT_FALSE(e->isConvertible);
+        EXPECT_GT(sys.stats().discoveryDisabled, 0u);
+    }
+    // Atomicity must hold regardless.
+    std::uint64_t arr_sum = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        arr_sum += store.read(arr + i * kLineBytes);
+    EXPECT_EQ(arr_sum, 40u);
+    EXPECT_EQ(store.read(seq), 40u);
+    EXPECT_EQ(store.read(hot), 80u);
+}
+
+TEST(ClearBehaviorTest, FlatNestingSubsumesInnerRegion)
+{
+    SystemConfig cfg = config("C", 2);
+    System sys(cfg, 6);
+    const Addr x = sys.mem().store().allocateLines(1);
+    const Addr y = sys.mem().store().allocateLines(1);
+
+    auto inner = [y](TxContext &tx) -> SimTask {
+        TxValue v = co_await tx.load(y);
+        co_await tx.store(y, v + TxValue(1));
+    };
+    SimTask t = [](System &sys, Addr x, BodyFn inner) -> SimTask {
+        co_await sys.runRegion(
+            0, 0x100, [&sys, x, inner](TxContext &tx) -> SimTask {
+                TxValue v = co_await tx.load(x);
+                co_await tx.store(x, v + TxValue(1));
+                // Nested region: flattened into this transaction.
+                co_await sys.runRegion(0, 0x140, inner);
+            });
+    }(sys, x, inner);
+    t.start();
+    sys.runToCompletion(1'000'000ull);
+
+    EXPECT_EQ(sys.mem().store().read(x), 1u);
+    EXPECT_EQ(sys.mem().store().read(y), 1u);
+    // Exactly one commit: the outer one.
+    EXPECT_EQ(sys.stats().commits, 1u);
+}
+
+TEST(ClearBehaviorTest, WModeUsesSclAndPowerTogether)
+{
+    const HtmStats stats = runWorkloadUnder("W", "bitcoin", 24, 7);
+    EXPECT_GT(modeShare(stats, ExecMode::SCl), 0.1);
+    // The run must terminate cleanly with both mechanisms active —
+    // the Section 5.2 nack rules prevent mutual livelock.
+    EXPECT_GT(stats.commits, 0u);
+}
+
+} // namespace
+} // namespace clearsim

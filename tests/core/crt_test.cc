@@ -1,0 +1,80 @@
+/** @file Unit tests for the Conflicting Reads Table. */
+
+#include <gtest/gtest.h>
+
+#include "core/crt.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(CrtTest, InsertAndContains)
+{
+    Crt crt(16, 4); // 4 sets x 4 ways
+    EXPECT_FALSE(crt.contains(10));
+    crt.insert(10);
+    EXPECT_TRUE(crt.contains(10));
+    EXPECT_EQ(crt.occupancy(), 1u);
+}
+
+TEST(CrtTest, DuplicateInsertIsIdempotent)
+{
+    Crt crt(16, 4);
+    crt.insert(10);
+    crt.insert(10);
+    EXPECT_EQ(crt.occupancy(), 1u);
+}
+
+TEST(CrtTest, LruEvictionWithinSet)
+{
+    Crt crt(8, 2); // 4 sets x 2 ways; lines k and k+4 share a set
+    crt.insert(0);
+    crt.insert(4);
+    crt.lookup(0); // refresh 0
+    crt.insert(8); // evicts 4
+    EXPECT_TRUE(crt.contains(0));
+    EXPECT_FALSE(crt.contains(4));
+    EXPECT_TRUE(crt.contains(8));
+}
+
+TEST(CrtTest, SetsAreIndependent)
+{
+    Crt crt(8, 2);
+    crt.insert(0);
+    crt.insert(4);
+    crt.insert(1);
+    crt.insert(5);
+    EXPECT_EQ(crt.occupancy(), 4u);
+    EXPECT_TRUE(crt.contains(0));
+    EXPECT_TRUE(crt.contains(5));
+}
+
+TEST(CrtTest, LookupMissReturnsFalse)
+{
+    Crt crt(8, 2);
+    EXPECT_FALSE(crt.lookup(3));
+}
+
+TEST(CrtTest, ResetEmpties)
+{
+    Crt crt(8, 2);
+    crt.insert(1);
+    crt.reset();
+    EXPECT_EQ(crt.occupancy(), 0u);
+    EXPECT_FALSE(crt.contains(1));
+}
+
+TEST(CrtTest, PaperGeometry)
+{
+    // 64 entries, 8-way: 8 sets.
+    Crt crt(64, 8);
+    for (LineAddr l = 0; l < 64; ++l)
+        crt.insert(l);
+    EXPECT_EQ(crt.occupancy(), 64u);
+    for (LineAddr l = 0; l < 64; ++l)
+        EXPECT_TRUE(crt.contains(l));
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,123 @@
+/** @file Unit tests for the Explored Region Table. */
+
+#include <gtest/gtest.h>
+
+#include "core/ert.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(ErtTest, NewEntriesGetDefaults)
+{
+    Ert ert(4, 3);
+    const ErtEntry &e = ert.lookupOrInsert(0x100);
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.pc, 0x100u);
+    EXPECT_TRUE(e.isConvertible);
+    EXPECT_TRUE(e.isImmutable);
+    EXPECT_EQ(e.sqFullCounter, 0u);
+}
+
+TEST(ErtTest, LookupReturnsSameEntry)
+{
+    Ert ert(4, 3);
+    ErtEntry &e = ert.lookupOrInsert(0x100);
+    e.isConvertible = false;
+    EXPECT_FALSE(ert.lookupOrInsert(0x100).isConvertible);
+    EXPECT_EQ(ert.occupancy(), 1u);
+}
+
+TEST(ErtTest, FindWithoutAllocation)
+{
+    Ert ert(4, 3);
+    EXPECT_EQ(ert.find(0x100), nullptr);
+    ert.lookupOrInsert(0x100);
+    EXPECT_NE(ert.find(0x100), nullptr);
+    EXPECT_EQ(ert.occupancy(), 1u);
+}
+
+TEST(ErtTest, LruEvictionForgetsOldRegions)
+{
+    Ert ert(2, 3);
+    ert.lookupOrInsert(0x100).isConvertible = false;
+    ert.lookupOrInsert(0x200);
+    ert.lookupOrInsert(0x100); // refresh 0x100
+    ert.lookupOrInsert(0x300); // evicts 0x200
+    EXPECT_NE(ert.find(0x100), nullptr);
+    EXPECT_EQ(ert.find(0x200), nullptr);
+    EXPECT_NE(ert.find(0x300), nullptr);
+    // 0x100's learned state survived.
+    EXPECT_FALSE(ert.find(0x100)->isConvertible);
+}
+
+TEST(ErtTest, EvictedRegionComesBackWithDefaults)
+{
+    Ert ert(1, 3);
+    ert.lookupOrInsert(0x100).isConvertible = false;
+    ert.lookupOrInsert(0x200); // evicts 0x100
+    EXPECT_TRUE(ert.lookupOrInsert(0x100).isConvertible);
+}
+
+TEST(ErtTest, DiscoveryEnabledByDefaultAndForUnknown)
+{
+    Ert ert(4, 3);
+    EXPECT_TRUE(ert.discoveryEnabled(0x100));
+    ert.lookupOrInsert(0x100);
+    EXPECT_TRUE(ert.discoveryEnabled(0x100));
+}
+
+TEST(ErtTest, NonConvertibleDisablesDiscovery)
+{
+    Ert ert(4, 3);
+    ert.lookupOrInsert(0x100).isConvertible = false;
+    EXPECT_FALSE(ert.discoveryEnabled(0x100));
+}
+
+TEST(ErtTest, SqFullCounterSaturatesAndDisables)
+{
+    Ert ert(4, 3);
+    ert.recordSqOverflow(0x100);
+    ert.recordSqOverflow(0x100);
+    EXPECT_TRUE(ert.discoveryEnabled(0x100));
+    ert.recordSqOverflow(0x100);
+    EXPECT_FALSE(ert.discoveryEnabled(0x100));
+    // Saturating: no further increment.
+    ert.recordSqOverflow(0x100);
+    EXPECT_EQ(ert.find(0x100)->sqFullCounter, 3u);
+}
+
+TEST(ErtTest, CommitDecrementsSqFullCounter)
+{
+    Ert ert(4, 3);
+    ert.recordSqOverflow(0x100);
+    ert.recordSqOverflow(0x100);
+    ert.recordSqOverflow(0x100);
+    EXPECT_FALSE(ert.discoveryEnabled(0x100));
+    ert.recordCommit(0x100);
+    EXPECT_TRUE(ert.discoveryEnabled(0x100));
+    // Decrement floors at zero.
+    ert.recordCommit(0x100);
+    ert.recordCommit(0x100);
+    ert.recordCommit(0x100);
+    EXPECT_EQ(ert.find(0x100)->sqFullCounter, 0u);
+}
+
+TEST(ErtTest, CommitOfUnknownRegionIsHarmless)
+{
+    Ert ert(4, 3);
+    ert.recordCommit(0xdead);
+    EXPECT_EQ(ert.occupancy(), 0u);
+}
+
+TEST(ErtTest, ResetInvalidatesAll)
+{
+    Ert ert(4, 3);
+    ert.lookupOrInsert(0x100);
+    ert.reset();
+    EXPECT_EQ(ert.occupancy(), 0u);
+}
+
+} // namespace
+} // namespace clearsim

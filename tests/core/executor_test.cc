@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Behavioral tests for the region executor: the retry state
+ * machine, CLEAR mode conversion, fallback, and atomicity of every
+ * execution mode, driven through small purpose-built regions on a
+ * real System.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/region_executor.hh"
+#include "core/system.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** Increment a counter word; no indirection -> immutable region. */
+SimTask
+incBody(TxContext &tx, Addr counter)
+{
+    TxValue v = co_await tx.load(counter);
+    tx.alu(1);
+    co_await tx.store(counter, v + TxValue(1));
+}
+
+/** Increment through a pointer cell -> contains an indirection. */
+SimTask
+indirectIncBody(TxContext &tx, Addr ptr_cell)
+{
+    TxValue ptr = co_await tx.load(ptr_cell);
+    const Addr target = tx.toAddr(ptr);
+    TxValue v = co_await tx.load(target);
+    co_await tx.store(target, v + TxValue(1));
+}
+
+/** Touch many distinct lines (footprint too large to lock). */
+SimTask
+wideBody(TxContext &tx, Addr base, unsigned lines, Addr counter)
+{
+    for (unsigned i = 0; i < lines; ++i) {
+        TxValue v = co_await tx.load(base + i * kLineBytes);
+        co_await tx.store(base + i * kLineBytes, v + TxValue(1));
+    }
+    TxValue c = co_await tx.load(counter);
+    co_await tx.store(counter, c + TxValue(1));
+}
+
+SimTask
+worker(System &sys, CoreId core, RegionPc pc, BodyFn body,
+       unsigned ops, Rng rng)
+{
+    for (unsigned i = 0; i < ops; ++i) {
+        co_await sys.runRegion(core, pc, body);
+        co_await delayFor(sys.queue(), 5 + rng.nextBelow(30));
+    }
+}
+
+/** Run `threads` workers hammering the same body. */
+Cycle
+hammer(System &sys, const BodyFn &body, unsigned threads,
+       unsigned ops, RegionPc pc = 0x100)
+{
+    std::vector<SimTask> tasks;
+    for (unsigned t = 0; t < threads; ++t) {
+        tasks.push_back(worker(sys, static_cast<CoreId>(t), pc,
+                               body, ops, sys.rng().fork()));
+    }
+    for (auto &task : tasks)
+        task.start();
+    return sys.runToCompletion(500'000'000ull);
+}
+
+SystemConfig
+smallConfig(const char *preset, unsigned cores)
+{
+    SystemConfig cfg = makeConfigByName(preset);
+    cfg.numCores = cores;
+    return cfg;
+}
+
+TEST(ExecutorTest, SingleThreadCommitsFirstTry)
+{
+    System sys(smallConfig("B", 2), 1);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 1, 10);
+    EXPECT_EQ(sys.mem().store().read(counter), 10u);
+    EXPECT_EQ(sys.stats().commits, 10u);
+    EXPECT_EQ(sys.stats().aborts, 0u);
+    EXPECT_EQ(sys.stats().commitsByRetries.count(0), 10u);
+}
+
+TEST(ExecutorTest, ContendedCounterIsExactUnderEveryConfig)
+{
+    for (const char *preset : {"B", "P", "C", "W"}) {
+        System sys(smallConfig(preset, 8), 2);
+        const Addr counter = sys.mem().store().allocateLines(1);
+        hammer(sys, [counter](TxContext &tx) {
+            return incBody(tx, counter);
+        }, 8, 25);
+        EXPECT_EQ(sys.mem().store().read(counter), 8u * 25)
+            << "config " << preset;
+        EXPECT_EQ(sys.stats().commits, 8u * 25) << preset;
+    }
+}
+
+TEST(ExecutorTest, ConflictsCauseAbortsUnderContention)
+{
+    System sys(smallConfig("B", 8), 3);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 8, 25);
+    EXPECT_GT(sys.stats().aborts, 0u);
+    EXPECT_GT(sys.stats().abortsByCategory[static_cast<unsigned>(
+                  AbortCategory::MemoryConflict)],
+              0u);
+}
+
+TEST(ExecutorTest, ClearConvertsImmutableRegionToNsCl)
+{
+    System sys(smallConfig("C", 8), 4);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 8, 25);
+    const auto &stats = sys.stats();
+    EXPECT_GT(stats.nsClAttempts, 0u);
+    EXPECT_GT(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::NsCl)],
+              0u);
+    // An immutable region never converts to S-CL.
+    EXPECT_EQ(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::SCl)],
+              0u);
+    EXPECT_EQ(sys.mem().store().read(counter), 8u * 25);
+}
+
+TEST(ExecutorTest, ClearConvertsIndirectRegionToSCl)
+{
+    System sys(smallConfig("C", 8), 5);
+    const Addr target = sys.mem().store().allocateLines(1);
+    const Addr ptr_cell = sys.mem().store().allocateLines(1);
+    sys.mem().store().write(ptr_cell, target);
+    hammer(sys, [ptr_cell](TxContext &tx) {
+        return indirectIncBody(tx, ptr_cell);
+    }, 8, 25);
+    const auto &stats = sys.stats();
+    EXPECT_GT(stats.sClAttempts, 0u);
+    EXPECT_GT(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::SCl)],
+              0u);
+    EXPECT_EQ(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::NsCl)],
+              0u);
+    EXPECT_EQ(sys.mem().store().read(target), 8u * 25);
+}
+
+TEST(ExecutorTest, BaselineNeverUsesCacheLocking)
+{
+    System sys(smallConfig("B", 8), 6);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 8, 25);
+    EXPECT_EQ(sys.stats().nsClAttempts, 0u);
+    EXPECT_EQ(sys.stats().sClAttempts, 0u);
+    EXPECT_EQ(sys.stats().cachelineLocksAcquired, 0u);
+}
+
+TEST(ExecutorTest, ZeroRetriesGoesStraightToFallback)
+{
+    SystemConfig cfg = smallConfig("B", 4);
+    cfg.maxRetries = 0;
+    System sys(cfg, 7);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 4, 10);
+    const auto &stats = sys.stats();
+    EXPECT_EQ(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::Fallback)],
+              stats.commits);
+    EXPECT_EQ(sys.mem().store().read(counter), 4u * 10);
+}
+
+TEST(ExecutorTest, WideFootprintStaysSpeculativeUnderClear)
+{
+    // A footprint larger than the 32-entry ALT cannot be locked;
+    // CLEAR must keep retrying speculatively or fall back.
+    System sys(smallConfig("C", 4), 8);
+    const Addr base = sys.mem().store().allocateLines(48);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [base, counter](TxContext &tx) {
+        return wideBody(tx, base, 40, counter);
+    }, 4, 15);
+    const auto &stats = sys.stats();
+    EXPECT_EQ(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::NsCl)],
+              0u);
+    EXPECT_EQ(stats.commitsByMode[static_cast<unsigned>(
+                  ExecMode::SCl)],
+              0u);
+    EXPECT_EQ(sys.mem().store().read(counter), 4u * 15);
+}
+
+TEST(ExecutorTest, PowerTmAcquiresToken)
+{
+    System sys(smallConfig("P", 8), 9);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 8, 25);
+    EXPECT_GT(sys.power().acquisitions(), 0u);
+    EXPECT_EQ(sys.power().holder(), kNoCore); // all released
+    EXPECT_EQ(sys.mem().store().read(counter), 8u * 25);
+}
+
+TEST(ExecutorTest, AllLocksReleasedAtEnd)
+{
+    System sys(smallConfig("W", 8), 10);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 8, 25);
+    for (unsigned c = 0; c < 8; ++c)
+        EXPECT_EQ(sys.mem().locks().heldCount(
+                      static_cast<CoreId>(c)),
+                  0u);
+    EXPECT_FALSE(sys.fallback().writerHeld());
+    EXPECT_EQ(sys.fallback().readerCount(), 0u);
+}
+
+TEST(ExecutorTest, RetryHistogramsAccountForEveryCommit)
+{
+    System sys(smallConfig("C", 8), 11);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 8, 25);
+    const auto &stats = sys.stats();
+    EXPECT_EQ(stats.commitsByRetries.total() +
+                  stats.fallbackCommitRetries.total(),
+              stats.commits);
+    std::uint64_t by_mode = 0;
+    for (unsigned m = 0; m < kNumExecModes; ++m)
+        by_mode += stats.commitsByMode[m];
+    EXPECT_EQ(by_mode, stats.commits);
+}
+
+TEST(ExecutorTest, DeterministicAcrossRuns)
+{
+    auto run = [](std::uint64_t seed) {
+        System sys(smallConfig("W", 8), seed);
+        const Addr counter = sys.mem().store().allocateLines(1);
+        const Cycle cycles =
+            hammer(sys, [counter](TxContext &tx) {
+                return incBody(tx, counter);
+            }, 8, 20);
+        return std::make_tuple(cycles, sys.stats().commits,
+                               sys.stats().aborts);
+    };
+    EXPECT_EQ(run(33), run(33));
+    // Different seeds should (virtually always) diverge in timing.
+    EXPECT_NE(std::get<0>(run(33)), std::get<0>(run(34)));
+}
+
+TEST(ExecutorTest, ClearBeatsBaselineOnContendedCounter)
+{
+    const unsigned threads = 8;
+    const unsigned ops = 30;
+    Cycle cycles_b = 0;
+    Cycle cycles_c = 0;
+    {
+        System sys(smallConfig("B", threads), 12);
+        const Addr counter = sys.mem().store().allocateLines(1);
+        cycles_b = hammer(sys, [counter](TxContext &tx) {
+            return incBody(tx, counter);
+        }, threads, ops);
+    }
+    {
+        System sys(smallConfig("C", threads), 12);
+        const Addr counter = sys.mem().store().allocateLines(1);
+        cycles_c = hammer(sys, [counter](TxContext &tx) {
+            return incBody(tx, counter);
+        }, threads, ops);
+    }
+    EXPECT_LT(cycles_c, cycles_b);
+}
+
+TEST(ExecutorTest, DiscoveryOverheadIsTracked)
+{
+    System sys(smallConfig("C", 8), 13);
+    const Addr counter = sys.mem().store().allocateLines(1);
+    hammer(sys, [counter](TxContext &tx) {
+        return incBody(tx, counter);
+    }, 8, 25);
+    // Contention means failed-mode discovery must have run.
+    EXPECT_GT(sys.stats().discoveryFailedModeCycles, 0u);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the in-core (SLE) speculation scope, Section 4.1/4.3:
+ * with speculation confined to the ROB/LQ/SQ window, regions larger
+ * than the window cannot complete speculatively and must take the
+ * fallback path, while HTM-backed speculation handles them fine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/region_executor.hh"
+#include "core/system.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** A region issuing `loads` loads (within one cacheline). */
+SimTask
+loadHeavyBody(TxContext &tx, Addr base, unsigned loads, Addr out)
+{
+    TxValue sum(0);
+    for (unsigned i = 0; i < loads; ++i)
+        sum = sum + co_await tx.load(base + 8 * (i % 8));
+    co_await tx.store(out, sum);
+}
+
+SimTask
+driveOne(System &sys, RegionPc pc, BodyFn body)
+{
+    co_await sys.runRegion(0, pc, std::move(body));
+}
+
+TEST(SleScopeTest, WindowSizedRegionCommitsSpeculatively)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    cfg.scope = SpeculationScope::InCore;
+    cfg.numCores = 2;
+    System sys(cfg, 1);
+    const Addr base = sys.mem().store().allocateLines(1);
+    const Addr out = sys.mem().store().allocateLines(1);
+    SimTask t = driveOne(sys, 0x100, [base, out](TxContext &tx) {
+        return loadHeavyBody(tx, base, 32, out);
+    });
+    t.start();
+    sys.runToCompletion(10'000'000ull);
+    EXPECT_EQ(sys.stats().commitsByMode[static_cast<unsigned>(
+                  ExecMode::Speculative)],
+              1u);
+    EXPECT_EQ(sys.stats().aborts, 0u);
+}
+
+TEST(SleScopeTest, OversizedRegionFallsBackUnderInCore)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    cfg.scope = SpeculationScope::InCore;
+    cfg.numCores = 2;
+    cfg.maxRetries = 2;
+    System sys(cfg, 2);
+    const Addr base = sys.mem().store().allocateLines(1);
+    const Addr out = sys.mem().store().allocateLines(1);
+    // More loads than the 128-entry LQ.
+    SimTask t = driveOne(sys, 0x100, [base, out](TxContext &tx) {
+        return loadHeavyBody(tx, base, 200, out);
+    });
+    t.start();
+    sys.runToCompletion(10'000'000ull);
+    EXPECT_EQ(sys.stats().commitsByMode[static_cast<unsigned>(
+                  ExecMode::Fallback)],
+              1u);
+    EXPECT_GT(sys.stats().abortsByCategory[static_cast<unsigned>(
+                  AbortCategory::Others)],
+              0u);
+}
+
+TEST(SleScopeTest, SameRegionCommitsSpeculativelyUnderHtm)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    cfg.scope = SpeculationScope::OutOfCore;
+    cfg.numCores = 2;
+    System sys(cfg, 3);
+    const Addr base = sys.mem().store().allocateLines(1);
+    const Addr out = sys.mem().store().allocateLines(1);
+    SimTask t = driveOne(sys, 0x100, [base, out](TxContext &tx) {
+        return loadHeavyBody(tx, base, 200, out);
+    });
+    t.start();
+    sys.runToCompletion(10'000'000ull);
+    EXPECT_EQ(sys.stats().commitsByMode[static_cast<unsigned>(
+                  ExecMode::Speculative)],
+              1u);
+}
+
+TEST(SleScopeTest, ClearStillConvertsSmallRegionsUnderInCore)
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.scope = SpeculationScope::InCore;
+    cfg.numCores = 4;
+    System sys(cfg, 4);
+    const Addr counter = sys.mem().store().allocateLines(1);
+
+    auto inc = [counter](TxContext &tx) -> SimTask {
+        TxValue v = co_await tx.load(counter);
+        co_await tx.store(counter, v + TxValue(1));
+    };
+    std::vector<SimTask> tasks;
+    for (unsigned c = 0; c < 4; ++c) {
+        tasks.push_back([](System &sys, CoreId core,
+                           BodyFn body) -> SimTask {
+            for (int i = 0; i < 20; ++i)
+                co_await sys.runRegion(core, 0x100, body);
+        }(sys, static_cast<CoreId>(c), inc));
+    }
+    for (auto &t : tasks)
+        t.start();
+    sys.runToCompletion(10'000'000ull);
+    EXPECT_EQ(sys.mem().store().read(counter), 80u);
+    EXPECT_GT(sys.stats().commitsByMode[static_cast<unsigned>(
+                  ExecMode::NsCl)],
+              0u);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,107 @@
+/** @file Tests of the execution trace facility. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/region_executor.hh"
+#include "core/system.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SimTask
+incBody(TxContext &tx, Addr counter)
+{
+    TxValue v = co_await tx.load(counter);
+    co_await tx.store(counter, v + TxValue(1));
+}
+
+TEST(TraceTest, NoSinkNoCost)
+{
+    System sys(makeBaselineConfig(), 1);
+    EXPECT_FALSE(sys.tracing());
+    sys.emitTrace(TraceEvent{}); // harmless without a sink
+}
+
+TEST(TraceTest, UncontendedRunEmitsBeginThenCommit)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    cfg.numCores = 2;
+    System sys(cfg, 1);
+    std::vector<TraceEvent> events;
+    sys.setTraceSink(
+        [&events](const TraceEvent &e) { events.push_back(e); });
+
+    const Addr counter = sys.mem().store().allocateLines(1);
+    SimTask t = [](System &sys, Addr counter) -> SimTask {
+        co_await sys.runRegion(0, 0x700,
+                               [counter](TxContext &tx) {
+                                   return incBody(tx, counter);
+                               });
+    }(sys, counter);
+    t.start();
+    sys.runToCompletion(1'000'000ull);
+
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, TraceKind::AttemptBegin);
+    EXPECT_EQ(events[0].mode, ExecMode::Speculative);
+    EXPECT_EQ(events[0].pc, 0x700u);
+    EXPECT_EQ(events[1].kind, TraceKind::Commit);
+    EXPECT_EQ(events[1].countedRetries, 0u);
+    EXPECT_LE(events[0].cycle, events[1].cycle);
+}
+
+TEST(TraceTest, ContendedRunEmitsAborts)
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 6;
+    System sys(cfg, 2);
+    std::vector<TraceEvent> events;
+    sys.setTraceSink(
+        [&events](const TraceEvent &e) { events.push_back(e); });
+
+    const Addr counter = sys.mem().store().allocateLines(1);
+    std::vector<SimTask> workers;
+    for (unsigned c = 0; c < 6; ++c) {
+        workers.push_back([](System &sys, CoreId core,
+                             Addr counter) -> SimTask {
+            for (int i = 0; i < 10; ++i) {
+                co_await sys.runRegion(
+                    core, 0x700, [counter](TxContext &tx) {
+                        return incBody(tx, counter);
+                    });
+            }
+        }(sys, static_cast<CoreId>(c), counter));
+    }
+    for (auto &w : workers)
+        w.start();
+    sys.runToCompletion(100'000'000ull);
+
+    unsigned begins = 0;
+    unsigned commits = 0;
+    unsigned aborts = 0;
+    for (const TraceEvent &e : events) {
+        begins += e.kind == TraceKind::AttemptBegin;
+        commits += e.kind == TraceKind::Commit;
+        aborts += e.kind == TraceKind::Abort;
+    }
+    EXPECT_EQ(commits, 60u);
+    EXPECT_EQ(aborts, sys.stats().aborts);
+    EXPECT_GE(begins, commits);
+}
+
+TEST(TraceTest, NameHelpers)
+{
+    EXPECT_STREQ(traceKindName(TraceKind::Commit), "commit");
+    EXPECT_STREQ(execModeName(ExecMode::NsCl), "ns-cl");
+    EXPECT_STREQ(abortReasonName(AbortReason::MemoryConflict),
+                 "conflict");
+    EXPECT_STREQ(abortReasonName(AbortReason::Deviation),
+                 "deviation");
+}
+
+} // namespace
+} // namespace clearsim

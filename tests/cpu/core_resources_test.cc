@@ -1,0 +1,90 @@
+/** @file Unit tests for the core speculative-window model. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_resources.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+CoreConfig
+tinyCore()
+{
+    CoreConfig cfg;
+    cfg.robEntries = 8;
+    cfg.lqEntries = 4;
+    cfg.sqEntries = 2;
+    return cfg;
+}
+
+TEST(CoreResourcesTest, CountsUops)
+{
+    CoreResources res(tinyCore());
+    res.countLoad();
+    res.countStore();
+    res.countAlu(3);
+    EXPECT_EQ(res.uops(), 5u);
+    EXPECT_EQ(res.loads(), 1u);
+    EXPECT_EQ(res.stores(), 1u);
+}
+
+TEST(CoreResourcesTest, ResetClears)
+{
+    CoreResources res(tinyCore());
+    res.countLoad();
+    res.reset();
+    EXPECT_EQ(res.uops(), 0u);
+}
+
+TEST(CoreResourcesTest, OutOfCoreOnlyBoundsFailedMode)
+{
+    CoreResources res(tinyCore(), SpeculationScope::OutOfCore);
+    for (int i = 0; i < 100; ++i)
+        res.countStore();
+    // HTM speculation: stores drain; no overflow in normal mode.
+    EXPECT_FALSE(res.overflowed(false));
+    // Failed-mode discovery: stores are stuck in the SQ.
+    EXPECT_TRUE(res.overflowed(true));
+    EXPECT_TRUE(res.sqOverflowed());
+}
+
+TEST(CoreResourcesTest, InCoreBoundsRob)
+{
+    CoreResources res(tinyCore(), SpeculationScope::InCore);
+    for (int i = 0; i < 9; ++i)
+        res.countAlu();
+    EXPECT_TRUE(res.overflowed(false));
+}
+
+TEST(CoreResourcesTest, InCoreBoundsLq)
+{
+    CoreResources res(tinyCore(), SpeculationScope::InCore);
+    for (int i = 0; i < 5; ++i)
+        res.countLoad();
+    EXPECT_TRUE(res.overflowed(false));
+}
+
+TEST(CoreResourcesTest, InCoreBoundsSq)
+{
+    CoreResources res(tinyCore(), SpeculationScope::InCore);
+    res.countStore();
+    res.countStore();
+    EXPECT_FALSE(res.overflowed(false));
+    res.countStore();
+    EXPECT_TRUE(res.overflowed(false));
+}
+
+TEST(CoreResourcesTest, UnderLimitNoOverflow)
+{
+    CoreResources res(tinyCore(), SpeculationScope::InCore);
+    res.countLoad();
+    res.countStore();
+    res.countAlu(2);
+    EXPECT_FALSE(res.overflowed(false));
+    EXPECT_FALSE(res.overflowed(true));
+}
+
+} // namespace
+} // namespace clearsim

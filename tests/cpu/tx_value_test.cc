@@ -1,0 +1,108 @@
+/** @file Unit tests for taint-tracked values (indirection bits). */
+
+#include <gtest/gtest.h>
+
+#include "cpu/tx_value.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(TxValueTest, ConstantsAreUntainted)
+{
+    const TxValue v(42);
+    EXPECT_EQ(v.raw(), 42u);
+    EXPECT_FALSE(v.tainted());
+}
+
+TEST(TxValueTest, ExplicitTaint)
+{
+    const TxValue v(42, true);
+    EXPECT_TRUE(v.tainted());
+}
+
+TEST(TxValueTest, ArithmeticValues)
+{
+    const TxValue a(10);
+    const TxValue b(3);
+    EXPECT_EQ((a + b).raw(), 13u);
+    EXPECT_EQ((a - b).raw(), 7u);
+    EXPECT_EQ((a * b).raw(), 30u);
+    EXPECT_EQ((a / b).raw(), 3u);
+    EXPECT_EQ((a % b).raw(), 1u);
+    EXPECT_EQ((a & b).raw(), 2u);
+    EXPECT_EQ((a | b).raw(), 11u);
+    EXPECT_EQ((a ^ b).raw(), 9u);
+    EXPECT_EQ((a << 2).raw(), 40u);
+    EXPECT_EQ((a >> 1).raw(), 5u);
+}
+
+TEST(TxValueTest, DivisionByZeroYieldsZero)
+{
+    // Simulated code must not crash the simulator.
+    EXPECT_EQ((TxValue(10) / TxValue(0)).raw(), 0u);
+    EXPECT_EQ((TxValue(10) % TxValue(0)).raw(), 0u);
+}
+
+TEST(TxValueTest, TaintPropagatesThroughEveryOperator)
+{
+    const TxValue clean(5);
+    const TxValue dirty(7, true);
+    EXPECT_TRUE((clean + dirty).tainted());
+    EXPECT_TRUE((dirty - clean).tainted());
+    EXPECT_TRUE((dirty * clean).tainted());
+    EXPECT_TRUE((dirty / clean).tainted());
+    EXPECT_TRUE((dirty % clean).tainted());
+    EXPECT_TRUE((dirty & clean).tainted());
+    EXPECT_TRUE((dirty | clean).tainted());
+    EXPECT_TRUE((dirty ^ clean).tainted());
+    EXPECT_TRUE((dirty << 1).tainted());
+    EXPECT_TRUE((dirty >> 1).tainted());
+}
+
+TEST(TxValueTest, CleanOpsStayClean)
+{
+    const TxValue a(5);
+    const TxValue b(6);
+    EXPECT_FALSE((a + b).tainted());
+    EXPECT_FALSE((a == b).tainted());
+}
+
+TEST(TxValueTest, ComparisonsYieldZeroOne)
+{
+    const TxValue a(5);
+    const TxValue b(6);
+    EXPECT_EQ((a == b).raw(), 0u);
+    EXPECT_EQ((a != b).raw(), 1u);
+    EXPECT_EQ((a < b).raw(), 1u);
+    EXPECT_EQ((a <= b).raw(), 1u);
+    EXPECT_EQ((a > b).raw(), 0u);
+    EXPECT_EQ((a >= b).raw(), 0u);
+}
+
+TEST(TxValueTest, ComparisonTaintSurvives)
+{
+    // The taint of the condition is what branchOn inspects: this is
+    // the hardware checking indirection bits of branch sources.
+    const TxValue dirty(7, true);
+    EXPECT_TRUE((dirty == TxValue(7)).tainted());
+    EXPECT_TRUE((TxValue(1) < dirty).tainted());
+}
+
+TEST(TxValueTest, TaintChainsAcrossExpressions)
+{
+    const TxValue loaded(100, true);
+    const TxValue derived = (loaded + TxValue(4)) * TxValue(2);
+    const TxValue still = derived % TxValue(97);
+    EXPECT_TRUE(still.tainted());
+}
+
+TEST(TxValueTest, SignedView)
+{
+    const TxValue v(static_cast<std::uint64_t>(-5));
+    EXPECT_EQ(v.rawSigned(), -5);
+}
+
+} // namespace
+} // namespace clearsim

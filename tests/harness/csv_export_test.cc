@@ -1,0 +1,58 @@
+/** @file Tests of the optional CSV figure export. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/csv_export.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(CsvExportTest, NoEnvNoFile)
+{
+    unsetenv("CLEARSIM_CSV_DIR");
+    CsvTable table;
+    table.header = {"a", "b"};
+    table.rows = {{"1", "2"}};
+    EXPECT_FALSE(maybeExportCsv("csv_export_test_none", table));
+}
+
+TEST(CsvExportTest, WritesHeaderAndRows)
+{
+    setenv("CLEARSIM_CSV_DIR", "/tmp", 1);
+    CsvTable table;
+    table.header = {"benchmark", "B", "C"};
+    table.rows = {{"bitcoin", "1.0", "0.30"},
+                  {"stack", "1.0", "0.77"}};
+    EXPECT_TRUE(maybeExportCsv("csv_export_test_rw", table));
+    unsetenv("CLEARSIM_CSV_DIR");
+
+    std::ifstream in("/tmp/csv_export_test_rw.csv");
+    ASSERT_TRUE(static_cast<bool>(in));
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "benchmark,B,C");
+    std::getline(in, line);
+    EXPECT_EQ(line, "bitcoin,1.0,0.30");
+    std::getline(in, line);
+    EXPECT_EQ(line, "stack,1.0,0.77");
+    std::remove("/tmp/csv_export_test_rw.csv");
+}
+
+TEST(CsvExportTest, UnwritableDirReturnsFalse)
+{
+    setenv("CLEARSIM_CSV_DIR", "/nonexistent_dir_xyz", 1);
+    CsvTable table;
+    table.header = {"x"};
+    EXPECT_FALSE(maybeExportCsv("nope", table));
+    unsetenv("CLEARSIM_CSV_DIR");
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests of the experiment harness: runOnce determinism, retry-limit
+ * selection, env parsing, and the sweep cache round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "clearsim/clearsim.hh"
+#include "harness/sweep_cache.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(RunnerTest, RunOnceIsDeterministic)
+{
+    SystemConfig cfg = makeClearConfig();
+    WorkloadParams params;
+    params.opsPerThread = 6;
+    params.seed = 10;
+    const RunResult a = runOnce(cfg, "bitcoin", params);
+    const RunResult b = runOnce(cfg, "bitcoin", params);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.htm.commits, b.htm.commits);
+    EXPECT_EQ(a.htm.aborts, b.htm.aborts);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(RunnerTest, RunOnceFillsAllFields)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    WorkloadParams params;
+    params.opsPerThread = 4;
+    params.seed = 11;
+    const RunResult r = runOnce(cfg, "mwobject", params);
+    EXPECT_EQ(r.workload, "mwobject");
+    EXPECT_EQ(r.config, "B");
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.htm.commits, 32u * 4);
+    EXPECT_GT(r.energy.staticEnergy, 0.0);
+    EXPECT_GT(r.energy.dynamicEnergy, 0.0);
+}
+
+TEST(RunnerTest, CellPicksBestRetryLimit)
+{
+    SweepOptions opts;
+    opts.workloads = {"mwobject"};
+    opts.retryLimits = {0, 6};
+    opts.seeds = 1;
+    opts.params.opsPerThread = 10;
+    const CellResult cell = runCell("C", "mwobject", opts);
+    EXPECT_TRUE(cell.bestRetryLimit == 0 ||
+                cell.bestRetryLimit == 6);
+    EXPECT_GT(cell.cycles, 0.0);
+    EXPECT_GT(cell.htm.commits, 0u);
+}
+
+TEST(RunnerTest, SweepCoversAllRequestedCells)
+{
+    SweepOptions opts;
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.configs = {"B", "C"};
+    opts.retryLimits = {2};
+    opts.seeds = 1;
+    opts.params.opsPerThread = 4;
+    const auto results = runSweep(opts);
+    EXPECT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results.count({"mwobject", "B"}));
+    EXPECT_TRUE(results.count({"arrayswap", "C"}));
+}
+
+TEST(RunnerTest, EnvOverridesParsed)
+{
+    setenv("CLEARSIM_OPS", "23", 1);
+    setenv("CLEARSIM_SEEDS", "5", 1);
+    setenv("CLEARSIM_RETRIES", "3,7", 1);
+    setenv("CLEARSIM_WORKLOADS", "bitcoin,stack", 1);
+    const SweepOptions opts = SweepOptions::fromEnv();
+    unsetenv("CLEARSIM_OPS");
+    unsetenv("CLEARSIM_SEEDS");
+    unsetenv("CLEARSIM_RETRIES");
+    unsetenv("CLEARSIM_WORKLOADS");
+
+    EXPECT_EQ(opts.params.opsPerThread, 23u);
+    EXPECT_EQ(opts.seeds, 5u);
+    EXPECT_EQ(opts.retryLimits, (std::vector<unsigned>{3, 7}));
+    EXPECT_EQ(opts.workloads,
+              (std::vector<std::string>{"bitcoin", "stack"}));
+}
+
+TEST(RunnerTest, DefaultWorkloadListIsAll19)
+{
+    unsetenv("CLEARSIM_WORKLOADS");
+    const SweepOptions opts = SweepOptions::fromEnv();
+    EXPECT_EQ(opts.workloads.size(), 19u);
+}
+
+TEST(SweepCacheTest, OptionHashDiscriminates)
+{
+    SweepOptions a = SweepOptions::fromEnv();
+    SweepOptions b = a;
+    EXPECT_EQ(sweepOptionsHash(a), sweepOptionsHash(b));
+    b.seeds += 1;
+    EXPECT_NE(sweepOptionsHash(a), sweepOptionsHash(b));
+    b = a;
+    b.workloads.push_back("extra");
+    EXPECT_NE(sweepOptionsHash(a), sweepOptionsHash(b));
+}
+
+TEST(SweepCacheTest, SaveLoadRoundTrip)
+{
+    SweepSummary summary;
+    CellSummary cell;
+    cell.workload = "bitcoin";
+    cell.config = "C";
+    cell.bestRetryLimit = 4;
+    cell.cycles = 1234.5;
+    cell.energy = 99.25;
+    cell.discoveryShare = 0.0125;
+    cell.commits = 100;
+    cell.commitsByMode = {40, 50, 5, 5};
+    cell.aborts = 77;
+    cell.abortsByCategory = {70, 3, 2, 2};
+    cell.commitsRetry0 = 40;
+    cell.commitsRetry1 = 30;
+    cell.commitsNonFallback = 95;
+    cell.commitsFallback = 5;
+    summary[{"bitcoin", "C"}] = cell;
+
+    const std::string path = "/tmp/clearsim_cache_test.csv";
+    saveSweepCache(path, 0xabcdef, summary);
+
+    SweepSummary loaded;
+    EXPECT_FALSE(loadSweepCache(path, 0x111111, loaded)); // stale
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_TRUE(loadSweepCache(path, 0xabcdef, loaded));
+    ASSERT_EQ(loaded.size(), 1u);
+    const CellSummary &got = loaded.at({"bitcoin", "C"});
+    EXPECT_EQ(got.bestRetryLimit, 4u);
+    EXPECT_DOUBLE_EQ(got.cycles, 1234.5);
+    EXPECT_EQ(got.commitsByMode[1], 50u);
+    EXPECT_EQ(got.abortsByCategory[0], 70u);
+    EXPECT_EQ(got.commitsFallback, 5u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, MissingFileLoadsNothing)
+{
+    SweepSummary loaded;
+    EXPECT_FALSE(loadSweepCache("/tmp/definitely_not_there.csv", 1,
+                                loaded));
+}
+
+} // namespace
+} // namespace clearsim

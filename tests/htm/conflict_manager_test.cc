@@ -1,0 +1,215 @@
+/** @file Unit tests for conflict arbitration (requester-wins,
+ *  PowerTM priority, and the Section 5.2 CLEAR/PowerTM nacks). */
+
+#include <gtest/gtest.h>
+
+#include "htm/conflict_manager.hh"
+#include "htm/power_token.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** Controllable fake transaction. */
+class FakeTx : public TxParticipant
+{
+  public:
+    bool conflictable_ = true;
+    bool power_ = false;
+    ExecMode mode_ = ExecMode::Speculative;
+    AbortReason doomedWith = AbortReason::None;
+    LineAddr doomedLine = 0;
+
+    bool conflictable() const override { return conflictable_; }
+    bool inPowerMode() const override { return power_; }
+    ExecMode execMode() const override { return mode_; }
+
+    void
+    doomRemote(AbortReason reason, LineAddr line) override
+    {
+        doomedWith = reason;
+        doomedLine = line;
+    }
+};
+
+class ConflictManagerTest : public ::testing::Test
+{
+  protected:
+    void
+    build(HtmPolicy policy, bool clear_enabled)
+    {
+        cfg_ = makeBaselineConfig();
+        cfg_.numCores = 4;
+        cfg_.htmPolicy = policy;
+        cfg_.clear.enabled = clear_enabled;
+        cm_ = std::make_unique<ConflictManager>(cfg_, power_);
+        for (unsigned c = 0; c < 4; ++c)
+            cm_->registerParticipant(static_cast<CoreId>(c),
+                                     &tx_[c]);
+    }
+
+    SystemConfig cfg_;
+    PowerToken power_;
+    std::unique_ptr<ConflictManager> cm_;
+    FakeTx tx_[4];
+};
+
+TEST_F(ConflictManagerTest, NoConflictOnFreeLine)
+{
+    build(HtmPolicy::RequesterWins, false);
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_FALSE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, ReadersDoNotConflictWithReaders)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addRead(1, 10);
+    const auto out =
+        cm_->arbitrate(0, 10, false, RequesterClass::Speculative);
+    EXPECT_FALSE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, WriteDoomsReaders)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addRead(1, 10);
+    cm_->addRead(2, 10);
+    cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::MemoryConflict);
+    EXPECT_EQ(tx_[1].doomedLine, 10u);
+    EXPECT_EQ(tx_[2].doomedWith, AbortReason::MemoryConflict);
+}
+
+TEST_F(ConflictManagerTest, ReadDoomsWriter)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addWrite(1, 10);
+    cm_->arbitrate(0, 10, false, RequesterClass::Speculative);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::MemoryConflict);
+}
+
+TEST_F(ConflictManagerTest, OwnSetsDoNotSelfConflict)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addWrite(0, 10);
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_FALSE(out.abortSelf);
+    EXPECT_EQ(tx_[0].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, NonConflictableHoldersAreSkipped)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addWrite(1, 10);
+    tx_[1].conflictable_ = false; // already doomed / failed mode
+    cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, FailedDiscoveryNeverHarms)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addWrite(1, 10);
+    const auto out = cm_->arbitrate(0, 10, true,
+                                    RequesterClass::FailedDiscovery);
+    EXPECT_FALSE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, PowerHolderNacksRequester)
+{
+    build(HtmPolicy::PowerTm, false);
+    cm_->addWrite(1, 10);
+    tx_[1].power_ = true;
+    power_.tryAcquire(1);
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_TRUE(out.abortSelf);
+    EXPECT_EQ(out.selfReason, AbortReason::Nacked);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, PowerRequesterWinsAgainstNormal)
+{
+    build(HtmPolicy::PowerTm, false);
+    cm_->addWrite(1, 10);
+    power_.tryAcquire(0);
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_FALSE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::MemoryConflict);
+}
+
+TEST_F(ConflictManagerTest, PowerPriorityOnlyUnderPowerTm)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addWrite(1, 10);
+    tx_[1].power_ = true;
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_FALSE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::MemoryConflict);
+}
+
+TEST_F(ConflictManagerTest, Section52SclHolderNacksPowerRequester)
+{
+    build(HtmPolicy::PowerTm, true);
+    cm_->addRead(1, 10);
+    tx_[1].mode_ = ExecMode::SCl;
+    power_.tryAcquire(0);
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_TRUE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, Section52PowerHolderNacksSclLocker)
+{
+    build(HtmPolicy::PowerTm, true);
+    cm_->addWrite(1, 10);
+    tx_[1].power_ = true;
+    power_.tryAcquire(1);
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::SclLocking);
+    EXPECT_TRUE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, NsClLockerAlwaysWins)
+{
+    build(HtmPolicy::PowerTm, true);
+    cm_->addWrite(1, 10);
+    tx_[1].power_ = true;
+    power_.tryAcquire(1);
+    const auto out =
+        cm_->arbitrate(0, 10, true, RequesterClass::NsClLocking);
+    EXPECT_FALSE(out.abortSelf);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::MemoryConflict);
+}
+
+TEST_F(ConflictManagerTest, RemoveStopsConflicts)
+{
+    build(HtmPolicy::RequesterWins, false);
+    cm_->addWrite(1, 10);
+    cm_->remove(1, 10);
+    cm_->arbitrate(0, 10, true, RequesterClass::Speculative);
+    EXPECT_EQ(tx_[1].doomedWith, AbortReason::None);
+}
+
+TEST_F(ConflictManagerTest, HasRemoteWriter)
+{
+    build(HtmPolicy::RequesterWins, false);
+    EXPECT_FALSE(cm_->hasRemoteWriter(0, 10));
+    cm_->addWrite(1, 10);
+    EXPECT_TRUE(cm_->hasRemoteWriter(0, 10));
+    EXPECT_FALSE(cm_->hasRemoteWriter(1, 10));
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,140 @@
+/** @file Unit tests for the fallback reader/writer lock. */
+
+#include <gtest/gtest.h>
+
+#include "htm/fallback_lock.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+class FakeTx : public TxParticipant
+{
+  public:
+    AbortReason doomedWith = AbortReason::None;
+
+    bool conflictable() const override { return true; }
+    bool inPowerMode() const override { return false; }
+    ExecMode execMode() const override
+    {
+        return ExecMode::Speculative;
+    }
+    void
+    doomRemote(AbortReason reason, LineAddr) override
+    {
+        doomedWith = reason;
+    }
+};
+
+TEST(FallbackLockTest, WriterExcludesWriter)
+{
+    FallbackLock lock(100);
+    EXPECT_TRUE(lock.tryAcquireWrite(0));
+    EXPECT_TRUE(lock.writerHeld());
+    EXPECT_EQ(lock.writer(), 0);
+    EXPECT_FALSE(lock.tryAcquireWrite(1));
+    lock.releaseWrite(0);
+    EXPECT_TRUE(lock.tryAcquireWrite(1));
+}
+
+TEST(FallbackLockTest, ReadersShare)
+{
+    FallbackLock lock(100);
+    EXPECT_TRUE(lock.tryAcquireRead(0));
+    EXPECT_TRUE(lock.tryAcquireRead(1));
+    EXPECT_EQ(lock.readerCount(), 2u);
+}
+
+TEST(FallbackLockTest, WriterExcludesReadersAndViceVersa)
+{
+    FallbackLock lock(100);
+    lock.tryAcquireRead(0);
+    EXPECT_FALSE(lock.tryAcquireWrite(1));
+    lock.releaseRead(0);
+    EXPECT_TRUE(lock.tryAcquireWrite(1));
+    EXPECT_FALSE(lock.tryAcquireRead(0));
+}
+
+TEST(FallbackLockTest, WriterAcquisitionDoomsSubscribers)
+{
+    FallbackLock lock(100);
+    FakeTx a;
+    FakeTx b;
+    lock.subscribe(1, &a);
+    lock.subscribe(2, &b);
+    lock.tryAcquireWrite(0);
+    EXPECT_EQ(a.doomedWith, AbortReason::OtherFallback);
+    EXPECT_EQ(b.doomedWith, AbortReason::OtherFallback);
+}
+
+TEST(FallbackLockTest, UnsubscribedTxIsNotDoomed)
+{
+    FallbackLock lock(100);
+    FakeTx a;
+    lock.subscribe(1, &a);
+    lock.unsubscribe(1);
+    lock.tryAcquireWrite(0);
+    EXPECT_EQ(a.doomedWith, AbortReason::None);
+}
+
+TEST(FallbackLockTest, OnReleaseFiresOnWriteRelease)
+{
+    FallbackLock lock(100);
+    lock.tryAcquireWrite(0);
+    int fired = 0;
+    lock.onRelease([&] { ++fired; });
+    EXPECT_EQ(fired, 0);
+    lock.releaseWrite(0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(FallbackLockTest, OnReleaseFiresWhenReadersDrain)
+{
+    FallbackLock lock(100);
+    lock.tryAcquireRead(0);
+    lock.tryAcquireRead(1);
+    int fired = 0;
+    lock.onRelease([&] { ++fired; });
+    lock.releaseRead(0);
+    EXPECT_EQ(fired, 0);
+    lock.releaseRead(1);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(FallbackLockTest, OnReleaseOfFreeLockFiresImmediately)
+{
+    FallbackLock lock(100);
+    int fired = 0;
+    lock.onRelease([&] { ++fired; });
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(FallbackLockTest, FailedWriteAttemptDoesNotDoom)
+{
+    FallbackLock lock(100);
+    FakeTx a;
+    lock.tryAcquireRead(3);
+    lock.subscribe(1, &a);
+    EXPECT_FALSE(lock.tryAcquireWrite(0));
+    EXPECT_EQ(a.doomedWith, AbortReason::None);
+}
+
+TEST(FallbackLockTest, CountsWriterAcquisitions)
+{
+    FallbackLock lock(100);
+    lock.tryAcquireWrite(0);
+    lock.releaseWrite(0);
+    lock.tryAcquireWrite(1);
+    lock.releaseWrite(1);
+    EXPECT_EQ(lock.writerAcquisitions(), 2u);
+}
+
+TEST(FallbackLockTest, LockLine)
+{
+    FallbackLock lock(123);
+    EXPECT_EQ(lock.line(), 123u);
+}
+
+} // namespace
+} // namespace clearsim

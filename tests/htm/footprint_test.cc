@@ -1,0 +1,108 @@
+/** @file Unit tests for footprint recording. */
+
+#include <gtest/gtest.h>
+
+#include "htm/footprint.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(FootprintTest, RecordsDistinctLines)
+{
+    Footprint fp(8);
+    fp.record(1, false);
+    fp.record(2, true);
+    fp.record(1, false); // duplicate
+    EXPECT_EQ(fp.size(), 2u);
+    EXPECT_TRUE(fp.contains(1));
+    EXPECT_TRUE(fp.contains(2));
+    EXPECT_FALSE(fp.contains(3));
+}
+
+TEST(FootprintTest, WriteFlagSticks)
+{
+    Footprint fp(8);
+    fp.record(1, false);
+    EXPECT_FALSE(fp.wrote(1));
+    fp.record(1, true);
+    EXPECT_TRUE(fp.wrote(1));
+    fp.record(1, false); // a later read does not clear it
+    EXPECT_TRUE(fp.wrote(1));
+}
+
+TEST(FootprintTest, OverflowBeyondCapacity)
+{
+    Footprint fp(2);
+    EXPECT_TRUE(fp.record(1, false));
+    EXPECT_TRUE(fp.record(2, false));
+    EXPECT_FALSE(fp.record(3, false));
+    EXPECT_TRUE(fp.overflowed());
+    EXPECT_EQ(fp.size(), 2u);
+    // Duplicates of recorded lines still succeed.
+    EXPECT_TRUE(fp.record(1, true));
+}
+
+TEST(FootprintTest, SameLinesIgnoresWriteFlags)
+{
+    Footprint a(8);
+    Footprint b(8);
+    a.record(1, true);
+    a.record(2, false);
+    b.record(2, true);
+    b.record(1, false);
+    EXPECT_TRUE(a.sameLines(b));
+    EXPECT_TRUE(b.sameLines(a));
+}
+
+TEST(FootprintTest, DifferentSetsAreNotSame)
+{
+    Footprint a(8);
+    Footprint b(8);
+    a.record(1, false);
+    b.record(2, false);
+    EXPECT_FALSE(a.sameLines(b));
+
+    b.record(1, false);
+    EXPECT_FALSE(a.sameLines(b)); // size differs
+}
+
+TEST(FootprintTest, OverflowedIsNeverSame)
+{
+    Footprint a(1);
+    Footprint b(8);
+    a.record(1, false);
+    a.record(2, false); // overflows
+    b.record(1, false);
+    EXPECT_FALSE(a.sameLines(b));
+    EXPECT_FALSE(b.sameLines(a));
+}
+
+TEST(FootprintTest, ClearResets)
+{
+    Footprint fp(2);
+    fp.record(1, true);
+    fp.record(2, true);
+    fp.record(3, true);
+    fp.clear();
+    EXPECT_EQ(fp.size(), 0u);
+    EXPECT_FALSE(fp.overflowed());
+    EXPECT_TRUE(fp.record(5, false));
+}
+
+TEST(FootprintTest, EntriesPreserveInsertionOrder)
+{
+    Footprint fp(8);
+    fp.record(7, false);
+    fp.record(3, true);
+    fp.record(9, false);
+    ASSERT_EQ(fp.entries().size(), 3u);
+    EXPECT_EQ(fp.entries()[0].line, 7u);
+    EXPECT_EQ(fp.entries()[1].line, 3u);
+    EXPECT_EQ(fp.entries()[2].line, 9u);
+    EXPECT_TRUE(fp.entries()[1].wrote);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,55 @@
+/** @file Unit tests for the abort taxonomy helpers. */
+
+#include <gtest/gtest.h>
+
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(HtmTypesTest, CategorizeMapsToFigure11Buckets)
+{
+    EXPECT_EQ(categorize(AbortReason::MemoryConflict),
+              AbortCategory::MemoryConflict);
+    EXPECT_EQ(categorize(AbortReason::Nacked),
+              AbortCategory::MemoryConflict);
+    EXPECT_EQ(categorize(AbortReason::ExplicitFallback),
+              AbortCategory::ExplicitFallback);
+    EXPECT_EQ(categorize(AbortReason::OtherFallback),
+              AbortCategory::OtherFallback);
+    EXPECT_EQ(categorize(AbortReason::CapacityOverflow),
+              AbortCategory::Others);
+    EXPECT_EQ(categorize(AbortReason::Deviation),
+              AbortCategory::Others);
+    EXPECT_EQ(categorize(AbortReason::Explicit),
+              AbortCategory::Others);
+}
+
+TEST(HtmTypesTest, FallbackAbortsDoNotCountTowardRetries)
+{
+    // Section 7: "certain types of aborts do not increase the
+    // counter to take the fallback path. An example would be
+    // aborting because another thread took the fallback lock."
+    EXPECT_FALSE(
+        countsTowardRetryLimit(AbortReason::ExplicitFallback));
+    EXPECT_FALSE(
+        countsTowardRetryLimit(AbortReason::OtherFallback));
+    EXPECT_TRUE(
+        countsTowardRetryLimit(AbortReason::MemoryConflict));
+    EXPECT_TRUE(countsTowardRetryLimit(AbortReason::Nacked));
+    EXPECT_TRUE(
+        countsTowardRetryLimit(AbortReason::CapacityOverflow));
+    EXPECT_TRUE(countsTowardRetryLimit(AbortReason::Deviation));
+    EXPECT_TRUE(countsTowardRetryLimit(AbortReason::Explicit));
+}
+
+TEST(HtmTypesTest, ModeAndCategoryCountsMatchEnums)
+{
+    EXPECT_EQ(kNumExecModes, 4u);
+    EXPECT_EQ(kNumAbortCategories, 4u);
+}
+
+} // namespace
+} // namespace clearsim

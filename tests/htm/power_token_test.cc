@@ -1,0 +1,56 @@
+/** @file Unit tests for the PowerTM token. */
+
+#include <gtest/gtest.h>
+
+#include "htm/power_token.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(PowerTokenTest, SingleHolder)
+{
+    PowerToken token;
+    EXPECT_EQ(token.holder(), kNoCore);
+    EXPECT_TRUE(token.tryAcquire(1));
+    EXPECT_TRUE(token.isHolder(1));
+    EXPECT_FALSE(token.tryAcquire(2));
+    EXPECT_FALSE(token.isHolder(2));
+}
+
+TEST(PowerTokenTest, ReacquireByHolderSucceeds)
+{
+    PowerToken token;
+    token.tryAcquire(1);
+    EXPECT_TRUE(token.tryAcquire(1));
+    EXPECT_EQ(token.acquisitions(), 1u);
+}
+
+TEST(PowerTokenTest, ReleaseFreesToken)
+{
+    PowerToken token;
+    token.tryAcquire(1);
+    token.release(1);
+    EXPECT_EQ(token.holder(), kNoCore);
+    EXPECT_TRUE(token.tryAcquire(2));
+}
+
+TEST(PowerTokenTest, ReleaseByNonHolderIsIgnored)
+{
+    PowerToken token;
+    token.tryAcquire(1);
+    token.release(2);
+    EXPECT_TRUE(token.isHolder(1));
+}
+
+TEST(PowerTokenTest, ResetDropsHolder)
+{
+    PowerToken token;
+    token.tryAcquire(1);
+    token.reset();
+    EXPECT_EQ(token.holder(), kNoCore);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Integration tests of the Table 1 characterization machinery:
+ * running each workload in profile mode must reproduce the paper's
+ * mutability classes for the rows where the dynamic and the static
+ * classification coincide.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clearsim/clearsim.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+struct Classified
+{
+    unsigned executed = 0;
+    unsigned immutable = 0;
+    unsigned likely = 0;
+    unsigned mutable_ = 0;
+};
+
+Classified
+classify(const std::string &workload, std::uint64_t seed)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    cfg.profileMode = true;
+    WorkloadParams params;
+    params.opsPerThread = 24;
+    params.seed = seed;
+    const RunResult run = runOnce(cfg, workload, params);
+
+    Classified result;
+    for (const auto &[pc, profile] : run.htm.regions) {
+        (void)pc;
+        if (profile.invocations == 0)
+            continue;
+        ++result.executed;
+        if (!profile.sawIndirection)
+            ++result.immutable;
+        else if (!profile.footprintChanged)
+            ++result.likely;
+        else
+            ++result.mutable_;
+    }
+    return result;
+}
+
+TEST(CharacterizationTest, ArrayswapIsFullyImmutable)
+{
+    const Classified c = classify("arrayswap", 7);
+    EXPECT_EQ(c.executed, 2u);
+    EXPECT_EQ(c.immutable, 2u);
+}
+
+TEST(CharacterizationTest, MwobjectIsImmutable)
+{
+    const Classified c = classify("mwobject", 7);
+    EXPECT_EQ(c.executed, 1u);
+    EXPECT_EQ(c.immutable, 1u);
+}
+
+TEST(CharacterizationTest, BitcoinIsLikelyImmutable)
+{
+    // Listing 2: one indirection over a pointer nobody writes.
+    const Classified c = classify("bitcoin", 7);
+    EXPECT_EQ(c.executed, 1u);
+    EXPECT_EQ(c.likely, 1u);
+}
+
+TEST(CharacterizationTest, GenomeIsFullyMutable)
+{
+    const Classified c = classify("genome", 7);
+    EXPECT_EQ(c.executed, 5u);
+    EXPECT_EQ(c.immutable, 0u);
+    EXPECT_GE(c.mutable_, 4u);
+}
+
+TEST(CharacterizationTest, KmeansMatchesPaperExactly)
+{
+    for (const char *name : {"kmeans-h", "kmeans-l"}) {
+        const Classified c = classify(name, 7);
+        EXPECT_EQ(c.executed, 3u) << name;
+        EXPECT_EQ(c.immutable, 1u) << name;
+        EXPECT_EQ(c.likely, 2u) << name;
+    }
+}
+
+TEST(CharacterizationTest, Ssca2MatchesPaperExactly)
+{
+    const Classified c = classify("ssca2", 7);
+    EXPECT_EQ(c.executed, 3u);
+    EXPECT_EQ(c.immutable, 2u);
+    EXPECT_EQ(c.likely, 1u);
+}
+
+TEST(CharacterizationTest, LabyrinthHasNoImmutableRegions)
+{
+    const Classified c = classify("labyrinth", 7);
+    EXPECT_EQ(c.executed, 3u);
+    EXPECT_EQ(c.immutable, 0u);
+}
+
+TEST(CharacterizationTest, SortedListHasTheStatsRegionImmutable)
+{
+    const Classified c = classify("sorted-list", 7);
+    EXPECT_EQ(c.executed, 3u);
+    EXPECT_EQ(c.immutable, 1u);
+    EXPECT_GE(c.mutable_ + c.likely, 2u);
+}
+
+TEST(CharacterizationTest, EveryWorkloadExecutesAllItsRegions)
+{
+    WorkloadParams params;
+    for (const std::string &name : workloadNames()) {
+        const Classified c = classify(name, 13);
+        const unsigned declared =
+            makeWorkload(name, params)->numRegions();
+        EXPECT_EQ(c.executed, declared) << name;
+    }
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Integration tests: bit-exact reproducibility. Two runs with the
+ * same seed must produce identical cycle counts and statistics;
+ * different seeds should diverge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clearsim/clearsim.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+using Fingerprint =
+    std::tuple<Cycle, std::uint64_t, std::uint64_t, std::uint64_t,
+               std::uint64_t>;
+
+Fingerprint
+runFingerprint(const std::string &workload, const char *config,
+               std::uint64_t seed)
+{
+    SystemConfig cfg = makeConfigByName(config);
+    WorkloadParams params;
+    params.opsPerThread = 8;
+    params.seed = seed;
+    const RunResult r = runOnce(cfg, workload, params);
+    return {r.cycles, r.htm.commits, r.htm.aborts,
+            r.htm.committedUops, r.htm.abortedUops};
+}
+
+class Determinism
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(Determinism, SameSeedSameRun)
+{
+    for (const char *config : {"B", "W"}) {
+        EXPECT_EQ(runFingerprint(GetParam(), config, 5),
+                  runFingerprint(GetParam(), config, 5))
+            << "config " << config;
+    }
+}
+
+TEST_P(Determinism, DifferentSeedsDiverge)
+{
+    EXPECT_NE(std::get<0>(runFingerprint(GetParam(), "B", 5)),
+              std::get<0>(runFingerprint(GetParam(), "B", 6)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SampledWorkloads, Determinism,
+    ::testing::Values("arrayswap", "bitcoin", "bst", "hashmap",
+                      "queue", "kmeans-h", "vacation-l"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Integration tests: every workload runs to completion under every
+ * configuration, all invariants hold, and the machine ends clean
+ * (no held locks, no fallback holders, no power token).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clearsim/clearsim.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+struct Case
+{
+    std::string workload;
+    std::string config;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string name =
+        info.param.workload + "_" + info.param.config;
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+class WorkloadIntegration : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadIntegration, RunsCleanAndConsistent)
+{
+    const Case &param = GetParam();
+    SystemConfig cfg = makeConfigByName(param.config);
+    WorkloadParams params;
+    params.opsPerThread = 10;
+    params.seed = 99;
+
+    System sys(cfg, params.seed);
+    auto workload = makeWorkload(param.workload, params);
+    const Cycle cycles = runWorkloadThreads(sys, *workload);
+    EXPECT_GT(cycles, 0u);
+
+    // Workload-specific invariants (atomicity end to end).
+    const auto issues = workload->verify(sys);
+    for (const std::string &issue : issues)
+        ADD_FAILURE() << issue;
+
+    // Machine-level cleanliness.
+    const HtmStats &stats = sys.stats();
+    EXPECT_GT(stats.commits, 0u);
+    std::uint64_t by_mode = 0;
+    for (unsigned m = 0; m < kNumExecModes; ++m)
+        by_mode += stats.commitsByMode[m];
+    EXPECT_EQ(by_mode, stats.commits);
+    EXPECT_EQ(stats.commitsByRetries.total() +
+                  stats.fallbackCommitRetries.total(),
+              stats.commits);
+
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        EXPECT_EQ(sys.mem().locks().heldCount(
+                      static_cast<CoreId>(c)),
+                  0u);
+    EXPECT_FALSE(sys.fallback().writerHeld());
+    EXPECT_EQ(sys.fallback().readerCount(), 0u);
+    EXPECT_EQ(sys.power().holder(), kNoCore);
+
+    // Baseline configurations must never use CLEAR machinery.
+    if (param.config == "B" || param.config == "P") {
+        EXPECT_EQ(stats.nsClAttempts, 0u);
+        EXPECT_EQ(stats.sClAttempts, 0u);
+        EXPECT_EQ(stats.cachelineLocksAcquired, 0u);
+    }
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const std::string &w : workloadNames()) {
+        for (const char *c : {"B", "P", "C", "W"})
+            cases.push_back(Case{w, c});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloadsAllConfigs,
+                         WorkloadIntegration,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,69 @@
+/** @file Unit tests for the simulated DRAM backing store. */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(BackingStoreTest, UnwrittenReadsZero)
+{
+    BackingStore store;
+    EXPECT_EQ(store.read(0x20000), 0u);
+}
+
+TEST(BackingStoreTest, ReadBackWrites)
+{
+    BackingStore store;
+    store.write(0x20000, 0xdeadbeef);
+    EXPECT_EQ(store.read(0x20000), 0xdeadbeefu);
+}
+
+TEST(BackingStoreTest, WordGranular)
+{
+    BackingStore store;
+    store.write(0x20000, 1);
+    store.write(0x20008, 2);
+    EXPECT_EQ(store.read(0x20000), 1u);
+    EXPECT_EQ(store.read(0x20003), 1u); // same word
+    EXPECT_EQ(store.read(0x20008), 2u);
+}
+
+TEST(BackingStoreTest, AllocationsDoNotOverlap)
+{
+    BackingStore store;
+    const Addr a = store.allocate(100);
+    const Addr b = store.allocate(100);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(BackingStoreTest, AllocationAlignment)
+{
+    BackingStore store;
+    store.allocate(3);
+    const Addr a = store.allocate(8, 64);
+    EXPECT_EQ(a % 64, 0u);
+    const Addr line = store.allocateLines(2);
+    EXPECT_EQ(line % kLineBytes, 0u);
+}
+
+TEST(BackingStoreTest, AllocateLinesReservesFullLines)
+{
+    BackingStore store;
+    const Addr a = store.allocateLines(2);
+    const Addr b = store.allocateLines(1);
+    EXPECT_GE(b, a + 2 * kLineBytes);
+}
+
+TEST(BackingStoreTest, AddressZeroIsNeverAllocated)
+{
+    BackingStore store;
+    // Simulated data structures use 0 as a null pointer.
+    EXPECT_GT(store.allocate(8), 0u);
+}
+
+} // namespace
+} // namespace clearsim

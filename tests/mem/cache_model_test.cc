@@ -1,0 +1,131 @@
+/** @file Unit tests for the set-associative cache tag model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+// 4 sets x 2 ways; lines i and i+4 map to the same set.
+CacheModel
+smallCache()
+{
+    return CacheModel(4, 2);
+}
+
+TEST(CacheModelTest, InsertThenContains)
+{
+    CacheModel c = smallCache();
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_TRUE(c.insert(1).inserted);
+    EXPECT_TRUE(c.contains(1));
+}
+
+TEST(CacheModelTest, LruEviction)
+{
+    CacheModel c = smallCache();
+    c.insert(0);
+    c.insert(4);
+    c.touch(0); // 4 becomes LRU
+    const CacheInsertResult r = c.insert(8);
+    EXPECT_TRUE(r.inserted);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victim, 4u);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(4));
+}
+
+TEST(CacheModelTest, InsertOfResidentLineTouches)
+{
+    CacheModel c = smallCache();
+    c.insert(0);
+    c.insert(4);
+    c.insert(0); // refresh 0; 4 is LRU
+    c.insert(8);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(4));
+}
+
+TEST(CacheModelTest, PinnedLinesAreNotVictims)
+{
+    CacheModel c = smallCache();
+    c.insert(0);
+    c.pin(0);
+    c.insert(4);
+    c.insert(8); // must evict 4, not pinned 0
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(4));
+    EXPECT_TRUE(c.contains(8));
+}
+
+TEST(CacheModelTest, AllWaysPinnedFailsInsert)
+{
+    CacheModel c = smallCache();
+    c.insert(0);
+    c.insert(4);
+    c.pin(0);
+    c.pin(4);
+    const CacheInsertResult r = c.insert(8);
+    EXPECT_FALSE(r.inserted);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(4));
+}
+
+TEST(CacheModelTest, UnpinAllReleases)
+{
+    CacheModel c = smallCache();
+    c.insert(0);
+    c.insert(4);
+    c.pin(0);
+    c.pin(4);
+    c.unpinAll();
+    EXPECT_TRUE(c.insert(8).inserted);
+}
+
+TEST(CacheModelTest, InvalidateRemovesLineAndPin)
+{
+    CacheModel c = smallCache();
+    c.insert(0);
+    c.pin(0);
+    c.invalidate(0);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.isPinned(0));
+}
+
+TEST(CacheModelTest, FreeWaysForCountsUnpinned)
+{
+    CacheModel c = smallCache();
+    EXPECT_EQ(c.freeWaysFor(0), 2u);
+    c.insert(0);
+    c.pin(0);
+    EXPECT_EQ(c.freeWaysFor(0), 1u);
+    c.insert(4);
+    c.pin(4);
+    EXPECT_EQ(c.freeWaysFor(0), 0u);
+    EXPECT_EQ(c.freeWaysFor(1), 2u); // other set unaffected
+}
+
+TEST(CacheModelTest, SetMapping)
+{
+    CacheModel c = smallCache();
+    EXPECT_EQ(c.setOf(0), 0u);
+    EXPECT_EQ(c.setOf(5), 1u);
+    EXPECT_EQ(c.setOf(7), 3u);
+    EXPECT_EQ(c.setOf(8), 0u);
+}
+
+TEST(CacheModelTest, ResetClearsEverything)
+{
+    CacheModel c = smallCache();
+    c.insert(1);
+    c.pin(1);
+    c.reset();
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_EQ(c.freeWaysFor(1), 2u);
+}
+
+} // namespace
+} // namespace clearsim

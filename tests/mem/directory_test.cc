@@ -1,0 +1,125 @@
+/** @file Unit tests for the full-map directory. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mem/directory.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(DirectoryTest, FirstReadMakesSharer)
+{
+    Directory dir(16, 4);
+    const DirectoryResult r = dir.onRead(0, 100);
+    EXPECT_FALSE(r.remoteTransfer);
+    EXPECT_TRUE(r.invalidate.empty());
+    EXPECT_TRUE(dir.isSharer(0, 100));
+    EXPECT_FALSE(dir.isExclusive(0, 100));
+}
+
+TEST(DirectoryTest, WriteMakesExclusive)
+{
+    Directory dir(16, 4);
+    dir.onWrite(1, 100);
+    EXPECT_TRUE(dir.isExclusive(1, 100));
+    EXPECT_TRUE(dir.isSharer(1, 100));
+}
+
+TEST(DirectoryTest, WriteInvalidatesSharers)
+{
+    Directory dir(16, 4);
+    dir.onRead(0, 100);
+    dir.onRead(2, 100);
+    const DirectoryResult r = dir.onWrite(1, 100);
+    EXPECT_EQ(r.invalidate.size(), 2u);
+    EXPECT_TRUE(std::count(r.invalidate.begin(), r.invalidate.end(),
+                           0));
+    EXPECT_TRUE(std::count(r.invalidate.begin(), r.invalidate.end(),
+                           2));
+    EXPECT_TRUE(dir.isExclusive(1, 100));
+    EXPECT_FALSE(dir.isSharer(0, 100));
+}
+
+TEST(DirectoryTest, WriteInvalidatesRemoteOwner)
+{
+    Directory dir(16, 4);
+    dir.onWrite(0, 100);
+    const DirectoryResult r = dir.onWrite(1, 100);
+    EXPECT_TRUE(r.remoteTransfer);
+    ASSERT_EQ(r.invalidate.size(), 1u);
+    EXPECT_EQ(r.invalidate[0], 0);
+    EXPECT_TRUE(dir.isExclusive(1, 100));
+}
+
+TEST(DirectoryTest, ReadDowngradesRemoteOwner)
+{
+    Directory dir(16, 4);
+    dir.onWrite(0, 100);
+    const DirectoryResult r = dir.onRead(1, 100);
+    EXPECT_TRUE(r.remoteTransfer);
+    EXPECT_TRUE(r.invalidate.empty());
+    EXPECT_FALSE(dir.isExclusive(0, 100));
+    EXPECT_TRUE(dir.isSharer(0, 100));
+    EXPECT_TRUE(dir.isSharer(1, 100));
+}
+
+TEST(DirectoryTest, OwnReadAfterWriteIsSilent)
+{
+    Directory dir(16, 4);
+    dir.onWrite(0, 100);
+    const DirectoryResult r = dir.onRead(0, 100);
+    EXPECT_FALSE(r.remoteTransfer);
+    EXPECT_TRUE(dir.isExclusive(0, 100));
+}
+
+TEST(DirectoryTest, RepeatWriteByOwnerIsSilent)
+{
+    Directory dir(16, 4);
+    dir.onWrite(0, 100);
+    const DirectoryResult r = dir.onWrite(0, 100);
+    EXPECT_TRUE(r.invalidate.empty());
+    EXPECT_FALSE(r.remoteTransfer);
+}
+
+TEST(DirectoryTest, DropSharerRemovesState)
+{
+    Directory dir(16, 4);
+    dir.onWrite(0, 100);
+    dir.dropSharer(0, 100);
+    EXPECT_FALSE(dir.isSharer(0, 100));
+    EXPECT_TRUE(dir.holders(100).empty());
+}
+
+TEST(DirectoryTest, HoldersListsEveryone)
+{
+    Directory dir(16, 4);
+    dir.onRead(0, 100);
+    dir.onRead(3, 100);
+    const auto holders = dir.holders(100);
+    EXPECT_EQ(holders.size(), 2u);
+}
+
+TEST(DirectoryTest, SetIndexIsLineModuloSets)
+{
+    Directory dir(16, 4);
+    EXPECT_EQ(dir.setOf(0), 0u);
+    EXPECT_EQ(dir.setOf(17), 1u);
+    EXPECT_EQ(dir.setOf(15), 15u);
+    EXPECT_EQ(dir.sets(), 16u);
+}
+
+TEST(DirectoryTest, LinesAreIndependent)
+{
+    Directory dir(16, 4);
+    dir.onWrite(0, 100);
+    dir.onWrite(1, 200);
+    EXPECT_TRUE(dir.isExclusive(0, 100));
+    EXPECT_TRUE(dir.isExclusive(1, 200));
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,154 @@
+/** @file Unit tests for the cacheline lock manager. */
+
+#include <gtest/gtest.h>
+
+#include "mem/lock_manager.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(LockManagerTest, TryLockAndHolder)
+{
+    LockManager locks;
+    EXPECT_FALSE(locks.isLocked(10));
+    EXPECT_TRUE(locks.tryLock(10, 0));
+    EXPECT_TRUE(locks.isLocked(10));
+    EXPECT_TRUE(locks.isLockedBy(10, 0));
+    EXPECT_EQ(locks.holder(10), 0);
+    EXPECT_FALSE(locks.tryLock(10, 1));
+    EXPECT_TRUE(locks.tryLock(10, 0)); // reentrant for holder
+}
+
+TEST(LockManagerTest, UnlockWakesWaiters)
+{
+    LockManager locks;
+    locks.tryLock(10, 0);
+    int woken = 0;
+    locks.onUnlock(10, [&] { ++woken; });
+    locks.onUnlock(10, [&] { ++woken; });
+    EXPECT_EQ(woken, 0);
+    locks.unlock(10, 0);
+    EXPECT_EQ(woken, 2);
+    EXPECT_FALSE(locks.isLocked(10));
+}
+
+TEST(LockManagerTest, OnUnlockOfFreeLineFiresImmediately)
+{
+    LockManager locks;
+    int fired = 0;
+    locks.onUnlock(99, [&] { ++fired; });
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(LockManagerTest, UnlockAllReleasesEverything)
+{
+    LockManager locks;
+    locks.tryLock(1, 0);
+    locks.tryLock(2, 0);
+    locks.tryLock(3, 1);
+    EXPECT_EQ(locks.heldCount(0), 2u);
+    int woken = 0;
+    locks.onUnlock(1, [&] { ++woken; });
+    locks.onUnlock(2, [&] { ++woken; });
+    locks.unlockAll(0);
+    EXPECT_EQ(woken, 2);
+    EXPECT_EQ(locks.heldCount(0), 0u);
+    EXPECT_TRUE(locks.isLockedBy(3, 1));
+}
+
+TEST(LockManagerTest, ClassifyFreeLine)
+{
+    LockManager locks;
+    EXPECT_EQ(locks.classifyAccess(5, 0, true),
+              LockedLineResponse::Free);
+    EXPECT_EQ(locks.classifyAccess(5, 0, false),
+              LockedLineResponse::Free);
+}
+
+TEST(LockManagerTest, ClassifyOwnLockIsFree)
+{
+    LockManager locks;
+    locks.tryLock(5, 2);
+    EXPECT_EQ(locks.classifyAccess(5, 2, true),
+              LockedLineResponse::Free);
+}
+
+TEST(LockManagerTest, NackableRequestsGetNacked)
+{
+    // The Figure 5 deadlock fix: nack-able loads abort instead of
+    // waiting on a remotely locked line.
+    LockManager locks;
+    locks.tryLock(5, 0);
+    EXPECT_EQ(locks.classifyAccess(5, 1, true),
+              LockedLineResponse::Nack);
+}
+
+TEST(LockManagerTest, NonNackableRequestsGetRetry)
+{
+    // The Figure 6 fix: ordinary requests are told to retry so the
+    // directory entry is not held in a transient state.
+    LockManager locks;
+    locks.tryLock(5, 0);
+    EXPECT_EQ(locks.classifyAccess(5, 1, false),
+              LockedLineResponse::Retry);
+}
+
+TEST(LockManagerTest, DirSetLockBlocksLineLocks)
+{
+    LockManager locks;
+    locks.configureDirSets(16);
+    EXPECT_TRUE(locks.tryLockDirSet(3, 0));
+    // Line 19 maps to set 3.
+    EXPECT_TRUE(locks.dirSetLockedByOther(19, 1));
+    EXPECT_FALSE(locks.tryLock(19, 1));
+    EXPECT_TRUE(locks.tryLock(19, 0)); // holder may lock inside
+    locks.unlock(19, 0);
+    locks.unlockDirSet(3, 0);
+    EXPECT_TRUE(locks.tryLock(19, 1));
+}
+
+TEST(LockManagerTest, DirSetUnlockWakesSetWaiters)
+{
+    LockManager locks;
+    locks.configureDirSets(16);
+    locks.tryLockDirSet(3, 0);
+    int woken = 0;
+    locks.onDirSetUnlock(3, [&] { ++woken; });
+    locks.unlockDirSet(3, 0);
+    EXPECT_EQ(woken, 1);
+}
+
+TEST(LockManagerTest, DirSetLockDoesNotBlockOtherSets)
+{
+    LockManager locks;
+    locks.configureDirSets(16);
+    locks.tryLockDirSet(3, 0);
+    EXPECT_TRUE(locks.tryLock(20, 1)); // set 4
+}
+
+TEST(LockManagerTest, StatsCount)
+{
+    LockManager locks;
+    locks.tryLock(1, 0);
+    locks.tryLock(2, 0);
+    locks.countNack();
+    locks.countRetry();
+    EXPECT_EQ(locks.totalLocks(), 2u);
+    EXPECT_EQ(locks.totalNacks(), 1u);
+    EXPECT_EQ(locks.totalRetries(), 1u);
+}
+
+TEST(LockManagerTest, ResetClears)
+{
+    LockManager locks;
+    locks.tryLock(1, 0);
+    locks.tryLockDirSet(2, 0);
+    locks.reset();
+    EXPECT_FALSE(locks.isLocked(1));
+    EXPECT_TRUE(locks.tryLockDirSet(2, 1));
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,147 @@
+/** @file Unit tests for the memory hierarchy facade. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mem/memory_system.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg = makeBaselineConfig();
+    cfg.numCores = 4;
+    return cfg;
+}
+
+TEST(MemorySystemTest, ColdMissThenHit)
+{
+    MemorySystem mem(testConfig());
+    const MemAccessResult miss = mem.access(0, 100, false, false);
+    EXPECT_EQ(miss.serviceLevel, 4u);
+    EXPECT_EQ(miss.latency, testConfig().cache.memLatency);
+
+    const MemAccessResult hit = mem.access(0, 100, false, false);
+    EXPECT_EQ(hit.serviceLevel, 1u);
+    EXPECT_EQ(hit.latency, testConfig().cache.l1Latency);
+}
+
+TEST(MemorySystemTest, L3HitForOtherCore)
+{
+    MemorySystem mem(testConfig());
+    mem.access(0, 100, false, false); // fills L3
+    const MemAccessResult r = mem.access(1, 100, false, false);
+    EXPECT_EQ(r.serviceLevel, 3u);
+}
+
+TEST(MemorySystemTest, RemoteExclusiveTransferChargesCrossbar)
+{
+    const SystemConfig cfg = testConfig();
+    MemorySystem mem(cfg);
+    mem.access(0, 100, true, false); // core 0 owns exclusively
+    const MemAccessResult r = mem.access(1, 100, false, false);
+    EXPECT_TRUE(r.remoteTransfer);
+    EXPECT_GE(r.latency,
+              cfg.cache.l3Latency + cfg.cache.remoteLatency);
+}
+
+TEST(MemorySystemTest, WriteInvalidatesOtherCores)
+{
+    MemorySystem mem(testConfig());
+    mem.access(0, 100, false, false);
+    mem.access(1, 100, false, false);
+    const MemAccessResult r = mem.access(2, 100, true, false);
+    EXPECT_EQ(r.invalidated.size(), 2u);
+    // The victims lost their L1 copies.
+    const MemAccessResult again = mem.access(0, 100, false, false);
+    EXPECT_NE(again.serviceLevel, 1u);
+}
+
+TEST(MemorySystemTest, UpgradeMissOnWriteToSharedLine)
+{
+    const SystemConfig cfg = testConfig();
+    MemorySystem mem(cfg);
+    mem.access(0, 100, false, false);
+    mem.access(1, 100, false, false);
+    // Core 0 has the data but not the permission.
+    const MemAccessResult r = mem.access(0, 100, true, false);
+    EXPECT_GE(r.latency, cfg.cache.remoteLatency);
+    EXPECT_EQ(r.invalidated.size(), 1u);
+    EXPECT_TRUE(mem.hasExclusive(0, 100));
+}
+
+TEST(MemorySystemTest, HasExclusiveRequiresL1AndOwnership)
+{
+    MemorySystem mem(testConfig());
+    EXPECT_FALSE(mem.hasExclusive(0, 100));
+    mem.access(0, 100, false, false);
+    EXPECT_FALSE(mem.hasExclusive(0, 100)); // shared only
+    mem.access(0, 100, true, false);
+    EXPECT_TRUE(mem.hasExclusive(0, 100));
+}
+
+TEST(MemorySystemTest, PinnedSetOverflowsIntoCapacityEvent)
+{
+    SystemConfig cfg = testConfig();
+    MemorySystem mem(cfg);
+    // Fill one L1 set (l1Ways lines mapping to set 0) with pins.
+    const unsigned ways = cfg.cache.l1Ways;
+    const unsigned sets = cfg.cache.l1Sets;
+    for (unsigned i = 0; i < ways; ++i) {
+        const MemAccessResult r =
+            mem.access(0, i * sets, false, true);
+        EXPECT_FALSE(r.capacityOverflow);
+    }
+    const MemAccessResult r = mem.access(0, ways * sets, false, true);
+    EXPECT_TRUE(r.capacityOverflow);
+    EXPECT_TRUE(mem.wouldOverflow(0, ways * sets));
+
+    mem.unpinAll(0);
+    const MemAccessResult after =
+        mem.access(0, ways * sets, false, true);
+    EXPECT_FALSE(after.capacityOverflow);
+}
+
+TEST(MemorySystemTest, DropLineRemovesOwnership)
+{
+    MemorySystem mem(testConfig());
+    mem.access(0, 100, true, false);
+    mem.dropLine(0, 100);
+    EXPECT_FALSE(mem.hasExclusive(0, 100));
+    EXPECT_FALSE(mem.directory().isSharer(0, 100));
+}
+
+TEST(MemorySystemTest, StatsAccumulate)
+{
+    MemorySystem mem(testConfig());
+    mem.access(0, 100, false, false);
+    mem.access(0, 100, false, false);
+    EXPECT_EQ(mem.stats().memAccesses, 1u);
+    EXPECT_EQ(mem.stats().l1Hits, 1u);
+}
+
+TEST(MemorySystemTest, DirSetMatchesDirectory)
+{
+    MemorySystem mem(testConfig());
+    EXPECT_EQ(mem.dirSetOf(12345),
+              mem.directory().setOf(12345));
+}
+
+TEST(MemorySystemTest, ResetTimingStateKeepsStore)
+{
+    MemorySystem mem(testConfig());
+    mem.store().write(0x20000, 7);
+    mem.access(0, 100, true, true);
+    mem.resetTimingState();
+    EXPECT_EQ(mem.store().read(0x20000), 7u);
+    EXPECT_FALSE(mem.hasExclusive(0, 100));
+    const MemAccessResult r = mem.access(0, 100, false, false);
+    EXPECT_EQ(r.serviceLevel, 4u);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the derived-metric computations (RunResult) and the
+ * energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "metrics/run_result.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(EnergyModelTest, StaticScalesWithCyclesAndCores)
+{
+    EnergyParams p;
+    HtmStats htm;
+    MemStats mem;
+    const EnergyBreakdown e1 = computeEnergy(p, 1000, 4, htm, mem);
+    const EnergyBreakdown e2 = computeEnergy(p, 2000, 4, htm, mem);
+    const EnergyBreakdown e3 = computeEnergy(p, 1000, 8, htm, mem);
+    EXPECT_DOUBLE_EQ(e2.staticEnergy, 2 * e1.staticEnergy);
+    EXPECT_DOUBLE_EQ(e3.staticEnergy, 2 * e1.staticEnergy);
+    EXPECT_DOUBLE_EQ(e1.dynamicEnergy, 0.0);
+}
+
+TEST(EnergyModelTest, AbortedWorkCostsDynamicEnergy)
+{
+    EnergyParams p;
+    HtmStats clean;
+    clean.committedUops = 100;
+    HtmStats wasteful = clean;
+    wasteful.abortedUops = 400;
+    wasteful.aborts = 10;
+    MemStats mem;
+    const double e_clean =
+        computeEnergy(p, 100, 1, clean, mem).dynamicEnergy;
+    const double e_waste =
+        computeEnergy(p, 100, 1, wasteful, mem).dynamicEnergy;
+    EXPECT_GT(e_waste, e_clean);
+    EXPECT_NEAR(e_waste - e_clean,
+                400 * p.perUop + 10 * p.perAbort, 1e-9);
+}
+
+TEST(EnergyModelTest, MemoryLevelsHaveIncreasingCost)
+{
+    EnergyParams p;
+    EXPECT_LT(p.perL1Access, p.perL2Access);
+    EXPECT_LT(p.perL2Access, p.perL3Access);
+    EXPECT_LT(p.perL3Access, p.perMemAccess);
+
+    HtmStats htm;
+    MemStats mem;
+    mem.memAccesses = 10;
+    const double dram =
+        computeEnergy(p, 0, 1, htm, mem).dynamicEnergy;
+    MemStats mem2;
+    mem2.l1Hits = 10;
+    const double l1 =
+        computeEnergy(p, 0, 1, htm, mem2).dynamicEnergy;
+    EXPECT_GT(dram, l1);
+}
+
+RunResult
+syntheticResult()
+{
+    RunResult r;
+    r.cycles = 1000;
+    r.htm.commits = 100;
+    r.htm.commitsByMode = {50, 20, 10, 20};
+    r.htm.aborts = 40;
+    r.htm.abortsByCategory = {20, 10, 6, 4};
+    // 60 commits at 0 retries, 25 at 1, 10 at 3; 5 fallback at 4.
+    for (int i = 0; i < 55; ++i)
+        r.htm.commitsByRetries.record(0);
+    for (int i = 0; i < 25; ++i)
+        r.htm.commitsByRetries.record(1);
+    for (int i = 0; i < 15; ++i)
+        r.htm.commitsByRetries.record(3);
+    for (int i = 0; i < 5; ++i)
+        r.htm.fallbackCommitRetries.record(4);
+    return r;
+}
+
+TEST(RunResultTest, AbortsPerCommit)
+{
+    EXPECT_DOUBLE_EQ(syntheticResult().abortsPerCommit(), 0.4);
+}
+
+TEST(RunResultTest, CommitModeFractionsSumToOne)
+{
+    const auto f = syntheticResult().commitModeFractions();
+    EXPECT_DOUBLE_EQ(f[0] + f[1] + f[2] + f[3], 1.0);
+    EXPECT_DOUBLE_EQ(f[0], 0.5);
+}
+
+TEST(RunResultTest, AbortCategoryFractions)
+{
+    const auto f = syntheticResult().abortCategoryFractions();
+    EXPECT_DOUBLE_EQ(f[0], 0.5);
+    EXPECT_DOUBLE_EQ(f[1], 0.25);
+    EXPECT_DOUBLE_EQ(f[2], 0.15);
+    EXPECT_DOUBLE_EQ(f[3], 0.1);
+}
+
+TEST(RunResultTest, RetryBreakdownExcludesZeroRetries)
+{
+    const auto b = syntheticResult().retryBreakdown();
+    // Retried commits: 25 (1-retry) + 15 (3-retry) + 5 fallback.
+    EXPECT_DOUBLE_EQ(b.oneRetry, 25.0 / 45.0);
+    EXPECT_DOUBLE_EQ(b.multiRetry, 15.0 / 45.0);
+    EXPECT_DOUBLE_EQ(b.fallback, 5.0 / 45.0);
+    EXPECT_DOUBLE_EQ(b.retriedShare, 45.0 / 100.0);
+}
+
+TEST(RunResultTest, EmptyRunsAreSafe)
+{
+    RunResult r;
+    EXPECT_DOUBLE_EQ(r.abortsPerCommit(), 0.0);
+    EXPECT_DOUBLE_EQ(r.retryBreakdown().oneRetry, 0.0);
+    EXPECT_DOUBLE_EQ(r.discoveryOverheadShare(32), 0.0);
+}
+
+TEST(RunResultTest, DiscoveryOverheadShare)
+{
+    RunResult r;
+    r.cycles = 1000;
+    r.htm.discoveryFailedModeCycles = 3200;
+    EXPECT_DOUBLE_EQ(r.discoveryOverheadShare(32), 0.1);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,63 @@
+/** @file Tests of the formatted stats report. */
+
+#include <gtest/gtest.h>
+
+#include "clearsim/clearsim.hh"
+#include "metrics/stats_report.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(StatsReportTest, ContainsEveryKeyAndHeader)
+{
+    SystemConfig cfg = makeClearConfig();
+    WorkloadParams params;
+    params.opsPerThread = 6;
+    params.seed = 12;
+    const RunResult run = runOnce(cfg, "mwobject", params);
+    const std::string report = statsReportString(run, cfg.numCores);
+
+    for (const char *key :
+         {"clearsim stats: mwobject [C]", "sim.cycles",
+          "tx.commits", "tx.commits.ns_cl", "tx.aborts",
+          "tx.aborts.memory_conflict", "tx.aborts_per_commit",
+          "clear.cacheline_locks", "clear.discovery_share",
+          "fallback.acquisitions", "mem.l1_hits",
+          "mem.dram_accesses", "energy.static", "energy.total"}) {
+        EXPECT_NE(report.find(key), std::string::npos)
+            << "missing key: " << key;
+    }
+}
+
+TEST(StatsReportTest, CommitsLinesAreConsistent)
+{
+    SystemConfig cfg = makeBaselineConfig();
+    WorkloadParams params;
+    params.opsPerThread = 4;
+    params.seed = 13;
+    const RunResult run = runOnce(cfg, "stack", params);
+    const std::string report = statsReportString(run, cfg.numCores);
+
+    // The report must state the same commit total as the stats.
+    const std::string needle = "tx.commits";
+    const auto pos = report.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    const auto eol = report.find('\n', pos);
+    const std::string line = report.substr(pos, eol - pos);
+    EXPECT_NE(line.find(std::to_string(run.htm.commits)),
+              std::string::npos);
+}
+
+TEST(StatsReportTest, EmptyRunDoesNotCrash)
+{
+    RunResult run;
+    run.workload = "none";
+    run.config = "B";
+    const std::string report = statsReportString(run, 32);
+    EXPECT_NE(report.find("tx.commits"), std::string::npos);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Property tests of the substrate layers under randomized
+ * operation sequences: the directory's single-writer/multi-reader
+ * invariant, cache-model LRU consistency, and event-queue ordering
+ * under random scheduling patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/cache_model.hh"
+#include "mem/directory.hh"
+#include "sim/event_queue.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+class DirectoryProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DirectoryProperty, SingleWriterMultiReaderInvariant)
+{
+    Rng rng(GetParam());
+    Directory dir(64, 16);
+
+    for (int step = 0; step < 5000; ++step) {
+        const LineAddr line = rng.nextBelow(32);
+        const CoreId core =
+            static_cast<CoreId>(rng.nextBelow(16));
+        const double p = rng.nextDouble();
+        if (p < 0.45) {
+            dir.onRead(core, line);
+            EXPECT_TRUE(dir.isSharer(core, line));
+        } else if (p < 0.9) {
+            dir.onWrite(core, line);
+            // After a write, the writer is the sole holder.
+            EXPECT_TRUE(dir.isExclusive(core, line));
+            EXPECT_EQ(dir.holders(line).size(), 1u);
+        } else {
+            dir.dropSharer(core, line);
+            EXPECT_FALSE(dir.isSharer(core, line));
+        }
+
+        // Global invariant: at most one exclusive owner per line,
+        // and an owner implies no other sharers.
+        unsigned owners = 0;
+        for (unsigned c = 0; c < 16; ++c) {
+            if (dir.isExclusive(static_cast<CoreId>(c), line))
+                ++owners;
+        }
+        EXPECT_LE(owners, 1u);
+        if (owners == 1)
+            EXPECT_EQ(dir.holders(line).size(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryProperty,
+                         ::testing::Values(1, 2, 3));
+
+class CacheModelProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CacheModelProperty, OccupancyNeverExceedsWays)
+{
+    Rng rng(GetParam() + 100);
+    CacheModel cache(8, 4);
+    std::vector<LineAddr> inserted;
+
+    for (int step = 0; step < 4000; ++step) {
+        const LineAddr line = rng.nextBelow(64);
+        const double p = rng.nextDouble();
+        if (p < 0.6) {
+            const CacheInsertResult r = cache.insert(line);
+            if (r.inserted)
+                inserted.push_back(line);
+        } else if (p < 0.75) {
+            cache.pin(line);
+        } else if (p < 0.9) {
+            cache.unpin(line);
+        } else {
+            cache.invalidate(line);
+        }
+
+        // Per set, at most `ways` resident lines.
+        for (unsigned set = 0; set < 8; ++set) {
+            unsigned resident = 0;
+            for (LineAddr l = set; l < 64; l += 8)
+                resident += cache.contains(l);
+            EXPECT_LE(resident, 4u);
+        }
+    }
+    cache.unpinAll();
+    // After unpinning, any line can be inserted again.
+    EXPECT_TRUE(cache.insert(rng.nextBelow(64)).inserted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheModelProperty,
+                         ::testing::Values(1, 2, 3));
+
+TEST(EventQueueProperty, RandomSchedulesExecuteInOrder)
+{
+    Rng rng(77);
+    EventQueue queue;
+    std::vector<std::pair<Cycle, int>> executed;
+
+    // Seed a chain of events that randomly schedule more events.
+    int next_id = 0;
+    std::function<void(int)> spawn = [&](int depth) {
+        const int id = next_id++;
+        executed.push_back({queue.now(), id});
+        if (depth <= 0)
+            return;
+        const unsigned children = 1 + rng.nextBelow(2);
+        for (unsigned c = 0; c < children; ++c) {
+            queue.scheduleAfter(rng.nextBelow(50),
+                                [&spawn, depth] {
+                                    spawn(depth - 1);
+                                });
+        }
+    };
+    queue.schedule(0, [&spawn] { spawn(9); });
+    queue.run();
+
+    // Timestamps observed by handlers must be non-decreasing.
+    for (std::size_t i = 1; i < executed.size(); ++i)
+        EXPECT_GE(executed[i].first, executed[i - 1].first);
+    EXPECT_GT(executed.size(), 50u);
+}
+
+} // namespace
+} // namespace clearsim

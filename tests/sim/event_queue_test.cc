@@ -1,0 +1,93 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsAtZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, FifoTieBreakAtSameCycle)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelative)
+{
+    EventQueue q;
+    Cycle seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(5, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 5)
+            q.scheduleAfter(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 4u);
+}
+
+TEST(EventQueueTest, RunRespectsLimit)
+{
+    EventQueue q;
+    int ran = 0;
+    q.schedule(10, [&] { ++ran; });
+    q.schedule(20, [&] { ++ran; });
+    q.run(15);
+    EXPECT_EQ(ran, 1);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueueTest, CountsExecutedEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 7u);
+}
+
+} // namespace
+} // namespace clearsim

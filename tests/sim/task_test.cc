@@ -1,0 +1,170 @@
+/** @file Unit tests for the coroutine task type. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SimTask
+setFlag(bool &flag)
+{
+    flag = true;
+    co_return;
+}
+
+TEST(TaskTest, LazyStart)
+{
+    bool ran = false;
+    SimTask task = setFlag(ran);
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(task.done());
+    task.start();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(task.done());
+}
+
+SimTask
+outer(bool &inner_ran, bool &after)
+{
+    co_await setFlag(inner_ran);
+    after = true;
+}
+
+TEST(TaskTest, NestedAwaitRunsChildFirst)
+{
+    bool inner = false;
+    bool after = false;
+    SimTask task = outer(inner, after);
+    task.start();
+    EXPECT_TRUE(inner);
+    EXPECT_TRUE(after);
+}
+
+Task<int>
+makeValue(int v)
+{
+    co_return v * 2;
+}
+
+SimTask
+awaitValue(int &out)
+{
+    out = co_await makeValue(21);
+}
+
+TEST(TaskTest, ValueTaskReturnsValue)
+{
+    int out = 0;
+    SimTask task = awaitValue(out);
+    task.start();
+    EXPECT_EQ(out, 42);
+}
+
+SimTask
+throwing()
+{
+    throw std::runtime_error("boom");
+    co_return; // unreachable; makes this a coroutine
+}
+
+SimTask
+catching(bool &caught)
+{
+    try {
+        co_await throwing();
+    } catch (const std::runtime_error &) {
+        caught = true;
+    }
+}
+
+TEST(TaskTest, ExceptionPropagatesAcrossAwait)
+{
+    bool caught = false;
+    SimTask task = catching(caught);
+    task.start();
+    EXPECT_TRUE(caught);
+    EXPECT_TRUE(task.done());
+}
+
+SimTask
+delayed(EventQueue &q, Cycle delay, Cycle &resumed_at)
+{
+    co_await delayFor(q, delay);
+    resumed_at = q.now();
+}
+
+TEST(TaskTest, DelayAwaiterParksOnQueue)
+{
+    EventQueue q;
+    Cycle resumed_at = 0;
+    SimTask task = delayed(q, 25, resumed_at);
+    task.start();
+    EXPECT_FALSE(task.done());
+    q.run();
+    EXPECT_TRUE(task.done());
+    EXPECT_EQ(resumed_at, 25u);
+}
+
+TEST(TaskTest, ZeroDelayDoesNotSuspend)
+{
+    EventQueue q;
+    Cycle resumed_at = 99;
+    SimTask task = delayed(q, 0, resumed_at);
+    task.start();
+    EXPECT_TRUE(task.done());
+    EXPECT_EQ(resumed_at, 0u);
+}
+
+SimTask
+twoStage(EventQueue &q, std::vector<Cycle> &stamps)
+{
+    co_await delayFor(q, 10);
+    stamps.push_back(q.now());
+    co_await delayFor(q, 10);
+    stamps.push_back(q.now());
+}
+
+TEST(TaskTest, InterleavedTasksShareTheQueue)
+{
+    EventQueue q;
+    std::vector<Cycle> a_stamps;
+    std::vector<Cycle> b_stamps;
+    SimTask a = twoStage(q, a_stamps);
+    SimTask b = twoStage(q, b_stamps);
+    a.start();
+    b.start();
+    q.run();
+    EXPECT_EQ(a_stamps, (std::vector<Cycle>{10, 20}));
+    EXPECT_EQ(b_stamps, (std::vector<Cycle>{10, 20}));
+}
+
+TEST(TaskTest, MoveTransfersOwnership)
+{
+    bool ran = false;
+    SimTask a = setFlag(ran);
+    SimTask b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.start();
+    EXPECT_TRUE(ran);
+}
+
+TEST(TaskTest, DestroyWithoutStartIsSafe)
+{
+    bool ran = false;
+    {
+        SimTask task = setFlag(ran);
+        (void)task;
+    }
+    EXPECT_FALSE(ran);
+}
+
+} // namespace
+} // namespace clearsim

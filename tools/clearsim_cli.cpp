@@ -1,0 +1,245 @@
+/**
+ * @file
+ * clearsim command-line runner.
+ *
+ * Runs one or more workloads under one or more configurations and
+ * prints either a human table or CSV, without recompiling anything:
+ *
+ *   clearsim_cli --workload bitcoin --config C --ops 32 --seed 7
+ *   clearsim_cli --workload all --config B,P,C,W --csv
+ *   clearsim_cli --workload bst --retries 6 --threads 16
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clearsim/clearsim.hh"
+#include "metrics/stats_report.hh"
+
+#include <iostream>
+
+using namespace clearsim;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::vector<std::string> workloads = {"bitcoin"};
+    std::vector<std::string> configs = {"B", "P", "C", "W"};
+    unsigned ops = 32;
+    unsigned threads = 32;
+    unsigned retries = 4;
+    unsigned scale = 1;
+    std::uint64_t seed = 42;
+    bool csv = false;
+    bool verify = true;
+    bool trace = false;
+    bool profile = false;
+    bool stats = false;
+};
+
+std::vector<std::string>
+splitCsvList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: clearsim_cli [options]\n"
+        "  --workload <name[,name...]|all>  (default bitcoin)\n"
+        "  --config <B|P|C|W[,...]>         (default B,P,C,W)\n"
+        "  --ops <n>        AR invocations per thread (default 32)\n"
+        "  --threads <n>    simulated threads (default 32)\n"
+        "  --retries <n>    retry limit before fallback (default 4)\n"
+        "  --scale <n>      data-structure scale factor (default 1)\n"
+        "  --seed <n>       master seed (default 42)\n"
+        "  --csv            machine-readable output\n"
+        "  --no-verify      skip invariant checking\n"
+        "  --list           list workloads and exit\n");
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            const std::string v = value();
+            opts.workloads =
+                v == "all" ? workloadNames() : splitCsvList(v);
+        } else if (arg == "--config") {
+            opts.configs = splitCsvList(value());
+        } else if (arg == "--ops") {
+            opts.ops = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        } else if (arg == "--scale") {
+            opts.scale = static_cast<unsigned>(
+                std::atoi(value().c_str()));
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--trace") {
+            opts.trace = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--no-verify") {
+            opts.verify = false;
+        } else if (arg == "--list") {
+            for (const std::string &name : workloadNames())
+                std::printf("%s\n", name.c_str());
+            std::exit(0);
+        } else {
+            usage();
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = parseArgs(argc, argv);
+
+    if (opts.csv) {
+        std::printf("workload,config,retries,seed,cycles,commits,"
+                    "aborts,aborts_per_commit,spec,scl,nscl,"
+                    "fallback,energy\n");
+    } else {
+        std::printf("%-12s %-4s %12s %10s %8s %8s %8s %8s\n",
+                    "workload", "cfg", "cycles", "aborts/c",
+                    "spec%", "s-cl%", "ns-cl%", "fallbk%");
+    }
+
+    for (const std::string &workload : opts.workloads) {
+        for (const std::string &config : opts.configs) {
+            SystemConfig cfg = makeConfigByName(config);
+            cfg.maxRetries = opts.retries;
+            if (opts.profile)
+                cfg.profileMode = true;
+            if (opts.threads < cfg.numCores)
+                cfg.numCores = opts.threads;
+            WorkloadParams params;
+            params.threads = opts.threads;
+            params.opsPerThread = opts.ops;
+            params.scale = opts.scale;
+            params.seed = opts.seed;
+
+            RunResult run;
+            if (opts.trace || opts.profile) {
+                System sys(cfg, params.seed);
+                if (opts.trace) {
+                    sys.setTraceSink([](const TraceEvent &e) {
+                        std::fprintf(
+                            stderr,
+                            "%10llu core%-3u pc=0x%llx %-17s %-8s "
+                            "%s retries=%u\n",
+                            static_cast<unsigned long long>(
+                                e.cycle),
+                            unsigned(e.core),
+                            static_cast<unsigned long long>(e.pc),
+                            traceKindName(e.kind),
+                            execModeName(e.mode),
+                            abortReasonName(e.reason),
+                            e.countedRetries);
+                    });
+                }
+                auto w = makeWorkload(workload, params);
+                run.workload = workload;
+                run.config = cfg.name;
+                run.cycles = runWorkloadThreads(sys, *w);
+                run.htm = sys.stats();
+                run.mem = sys.mem().stats();
+                run.energy = computeEnergy(EnergyParams{},
+                                           run.cycles, cfg.numCores,
+                                           run.htm, run.mem);
+            } else {
+                run = runOnce(cfg, workload, params, opts.verify);
+            }
+            if (opts.profile) {
+                std::fprintf(stderr,
+                             "# region profiles for %s [%s]\n"
+                             "# %-10s %10s %10s %10s %8s %6s %8s\n",
+                             workload.c_str(), config.c_str(), "pc",
+                             "invocs", "retrying", "immut-rt",
+                             "maxlines", "indir", "fpchange");
+                for (const auto &[pc, prof] : run.htm.regions) {
+                    std::fprintf(
+                        stderr,
+                        "  0x%-9llx %10llu %10llu %10llu %8llu "
+                        "%6s %8s\n",
+                        static_cast<unsigned long long>(pc),
+                        static_cast<unsigned long long>(
+                            prof.invocations),
+                        static_cast<unsigned long long>(
+                            prof.retryingInvocations),
+                        static_cast<unsigned long long>(
+                            prof.immutableRetries),
+                        static_cast<unsigned long long>(
+                            prof.maxFootprintLines),
+                        prof.sawIndirection ? "yes" : "no",
+                        prof.footprintChanged ? "yes" : "no");
+                }
+            }
+            if (opts.stats)
+                writeStatsReport(std::cerr, run, cfg.numCores);
+            const auto modes = run.commitModeFractions();
+
+            if (opts.csv) {
+                std::printf(
+                    "%s,%s,%u,%llu,%llu,%llu,%llu,%.4f,%.4f,%.4f,"
+                    "%.4f,%.4f,%.1f\n",
+                    workload.c_str(), config.c_str(), opts.retries,
+                    static_cast<unsigned long long>(opts.seed),
+                    static_cast<unsigned long long>(run.cycles),
+                    static_cast<unsigned long long>(
+                        run.htm.commits),
+                    static_cast<unsigned long long>(run.htm.aborts),
+                    run.abortsPerCommit(), modes[0], modes[1],
+                    modes[2], modes[3], run.energy.total());
+            } else {
+                std::printf(
+                    "%-12s %-4s %12llu %10.2f %7.1f%% %7.1f%% "
+                    "%7.1f%% %7.1f%%\n",
+                    workload.c_str(), config.c_str(),
+                    static_cast<unsigned long long>(run.cycles),
+                    run.abortsPerCommit(), 100 * modes[0],
+                    100 * modes[1], 100 * modes[2], 100 * modes[3]);
+            }
+        }
+    }
+    return 0;
+}
