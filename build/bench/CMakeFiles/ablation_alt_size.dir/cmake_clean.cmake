@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alt_size.dir/ablation_alt_size.cpp.o"
+  "CMakeFiles/ablation_alt_size.dir/ablation_alt_size.cpp.o.d"
+  "ablation_alt_size"
+  "ablation_alt_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alt_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scl_policy.dir/ablation_scl_policy.cpp.o"
+  "CMakeFiles/ablation_scl_policy.dir/ablation_scl_policy.cpp.o.d"
+  "ablation_scl_policy"
+  "ablation_scl_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sle_scope.dir/ablation_sle_scope.cpp.o"
+  "CMakeFiles/ablation_sle_scope.dir/ablation_sle_scope.cpp.o.d"
+  "ablation_sle_scope"
+  "ablation_sle_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sle_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_sle_scope.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_energy.dir/fig10_energy.cpp.o"
+  "CMakeFiles/fig10_energy.dir/fig10_energy.cpp.o.d"
+  "fig10_energy"
+  "fig10_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

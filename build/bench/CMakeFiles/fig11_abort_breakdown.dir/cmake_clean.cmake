@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_abort_breakdown.dir/fig11_abort_breakdown.cpp.o"
+  "CMakeFiles/fig11_abort_breakdown.dir/fig11_abort_breakdown.cpp.o.d"
+  "fig11_abort_breakdown"
+  "fig11_abort_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_abort_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_commit_modes.dir/fig12_commit_modes.cpp.o"
+  "CMakeFiles/fig12_commit_modes.dir/fig12_commit_modes.cpp.o.d"
+  "fig12_commit_modes"
+  "fig12_commit_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_commit_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

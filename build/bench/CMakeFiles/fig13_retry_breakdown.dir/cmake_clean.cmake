@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_retry_breakdown.dir/fig13_retry_breakdown.cpp.o"
+  "CMakeFiles/fig13_retry_breakdown.dir/fig13_retry_breakdown.cpp.o.d"
+  "fig13_retry_breakdown"
+  "fig13_retry_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_retry_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

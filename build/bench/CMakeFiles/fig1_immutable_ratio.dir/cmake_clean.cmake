@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_immutable_ratio.dir/fig1_immutable_ratio.cpp.o"
+  "CMakeFiles/fig1_immutable_ratio.dir/fig1_immutable_ratio.cpp.o.d"
+  "fig1_immutable_ratio"
+  "fig1_immutable_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_immutable_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_execution_time.dir/fig8_execution_time.cpp.o"
+  "CMakeFiles/fig8_execution_time.dir/fig8_execution_time.cpp.o.d"
+  "fig8_execution_time"
+  "fig8_execution_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_execution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

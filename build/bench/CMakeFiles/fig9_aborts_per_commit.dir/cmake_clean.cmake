@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_aborts_per_commit.dir/fig9_aborts_per_commit.cpp.o"
+  "CMakeFiles/fig9_aborts_per_commit.dir/fig9_aborts_per_commit.cpp.o.d"
+  "fig9_aborts_per_commit"
+  "fig9_aborts_per_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_aborts_per_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

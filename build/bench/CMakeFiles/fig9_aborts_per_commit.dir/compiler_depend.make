@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_aborts_per_commit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_configuration.dir/table2_configuration.cpp.o"
+  "CMakeFiles/table2_configuration.dir/table2_configuration.cpp.o.d"
+  "table2_configuration"
+  "table2_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

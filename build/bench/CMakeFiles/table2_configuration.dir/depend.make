@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_configuration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_transfer.dir/bank_transfer.cpp.o"
+  "CMakeFiles/bank_transfer.dir/bank_transfer.cpp.o.d"
+  "bank_transfer"
+  "bank_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

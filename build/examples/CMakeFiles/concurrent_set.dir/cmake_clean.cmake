@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_set.dir/concurrent_set.cpp.o"
+  "CMakeFiles/concurrent_set.dir/concurrent_set.cpp.o.d"
+  "concurrent_set"
+  "concurrent_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("cpu")
+subdirs("htm")
+subdirs("core")
+subdirs("workloads")
+subdirs("energy")
+subdirs("metrics")
+subdirs("harness")

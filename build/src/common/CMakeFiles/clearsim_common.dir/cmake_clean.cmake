@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_common.dir/config.cc.o"
+  "CMakeFiles/clearsim_common.dir/config.cc.o.d"
+  "CMakeFiles/clearsim_common.dir/log.cc.o"
+  "CMakeFiles/clearsim_common.dir/log.cc.o.d"
+  "CMakeFiles/clearsim_common.dir/rng.cc.o"
+  "CMakeFiles/clearsim_common.dir/rng.cc.o.d"
+  "CMakeFiles/clearsim_common.dir/stats.cc.o"
+  "CMakeFiles/clearsim_common.dir/stats.cc.o.d"
+  "libclearsim_common.a"
+  "libclearsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alt.cc" "src/core/CMakeFiles/clearsim_clear.dir/alt.cc.o" "gcc" "src/core/CMakeFiles/clearsim_clear.dir/alt.cc.o.d"
+  "/root/repo/src/core/crt.cc" "src/core/CMakeFiles/clearsim_clear.dir/crt.cc.o" "gcc" "src/core/CMakeFiles/clearsim_clear.dir/crt.cc.o.d"
+  "/root/repo/src/core/ert.cc" "src/core/CMakeFiles/clearsim_clear.dir/ert.cc.o" "gcc" "src/core/CMakeFiles/clearsim_clear.dir/ert.cc.o.d"
+  "/root/repo/src/core/region_executor.cc" "src/core/CMakeFiles/clearsim_clear.dir/region_executor.cc.o" "gcc" "src/core/CMakeFiles/clearsim_clear.dir/region_executor.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/clearsim_clear.dir/system.cc.o" "gcc" "src/core/CMakeFiles/clearsim_clear.dir/system.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/clearsim_clear.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/clearsim_clear.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/clearsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/clearsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clearsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

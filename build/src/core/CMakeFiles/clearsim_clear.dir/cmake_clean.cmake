@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_clear.dir/alt.cc.o"
+  "CMakeFiles/clearsim_clear.dir/alt.cc.o.d"
+  "CMakeFiles/clearsim_clear.dir/crt.cc.o"
+  "CMakeFiles/clearsim_clear.dir/crt.cc.o.d"
+  "CMakeFiles/clearsim_clear.dir/ert.cc.o"
+  "CMakeFiles/clearsim_clear.dir/ert.cc.o.d"
+  "CMakeFiles/clearsim_clear.dir/region_executor.cc.o"
+  "CMakeFiles/clearsim_clear.dir/region_executor.cc.o.d"
+  "CMakeFiles/clearsim_clear.dir/system.cc.o"
+  "CMakeFiles/clearsim_clear.dir/system.cc.o.d"
+  "CMakeFiles/clearsim_clear.dir/trace.cc.o"
+  "CMakeFiles/clearsim_clear.dir/trace.cc.o.d"
+  "libclearsim_clear.a"
+  "libclearsim_clear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_clear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_energy.dir/energy_model.cc.o"
+  "CMakeFiles/clearsim_energy.dir/energy_model.cc.o.d"
+  "libclearsim_energy.a"
+  "libclearsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_harness.dir/csv_export.cc.o"
+  "CMakeFiles/clearsim_harness.dir/csv_export.cc.o.d"
+  "CMakeFiles/clearsim_harness.dir/runner.cc.o"
+  "CMakeFiles/clearsim_harness.dir/runner.cc.o.d"
+  "CMakeFiles/clearsim_harness.dir/sweep_cache.cc.o"
+  "CMakeFiles/clearsim_harness.dir/sweep_cache.cc.o.d"
+  "libclearsim_harness.a"
+  "libclearsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/conflict_manager.cc" "src/htm/CMakeFiles/clearsim_htm.dir/conflict_manager.cc.o" "gcc" "src/htm/CMakeFiles/clearsim_htm.dir/conflict_manager.cc.o.d"
+  "/root/repo/src/htm/fallback_lock.cc" "src/htm/CMakeFiles/clearsim_htm.dir/fallback_lock.cc.o" "gcc" "src/htm/CMakeFiles/clearsim_htm.dir/fallback_lock.cc.o.d"
+  "/root/repo/src/htm/tx_context.cc" "src/htm/CMakeFiles/clearsim_htm.dir/tx_context.cc.o" "gcc" "src/htm/CMakeFiles/clearsim_htm.dir/tx_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clearsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/clearsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_htm.dir/conflict_manager.cc.o"
+  "CMakeFiles/clearsim_htm.dir/conflict_manager.cc.o.d"
+  "CMakeFiles/clearsim_htm.dir/fallback_lock.cc.o"
+  "CMakeFiles/clearsim_htm.dir/fallback_lock.cc.o.d"
+  "CMakeFiles/clearsim_htm.dir/tx_context.cc.o"
+  "CMakeFiles/clearsim_htm.dir/tx_context.cc.o.d"
+  "libclearsim_htm.a"
+  "libclearsim_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

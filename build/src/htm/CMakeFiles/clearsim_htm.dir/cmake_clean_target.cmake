@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclearsim_htm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for clearsim_htm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/clearsim_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/clearsim_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/cache_model.cc" "src/mem/CMakeFiles/clearsim_mem.dir/cache_model.cc.o" "gcc" "src/mem/CMakeFiles/clearsim_mem.dir/cache_model.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/mem/CMakeFiles/clearsim_mem.dir/directory.cc.o" "gcc" "src/mem/CMakeFiles/clearsim_mem.dir/directory.cc.o.d"
+  "/root/repo/src/mem/lock_manager.cc" "src/mem/CMakeFiles/clearsim_mem.dir/lock_manager.cc.o" "gcc" "src/mem/CMakeFiles/clearsim_mem.dir/lock_manager.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/clearsim_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/clearsim_mem.dir/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clearsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_mem.dir/backing_store.cc.o"
+  "CMakeFiles/clearsim_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/clearsim_mem.dir/cache_model.cc.o"
+  "CMakeFiles/clearsim_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/clearsim_mem.dir/directory.cc.o"
+  "CMakeFiles/clearsim_mem.dir/directory.cc.o.d"
+  "CMakeFiles/clearsim_mem.dir/lock_manager.cc.o"
+  "CMakeFiles/clearsim_mem.dir/lock_manager.cc.o.d"
+  "CMakeFiles/clearsim_mem.dir/memory_system.cc.o"
+  "CMakeFiles/clearsim_mem.dir/memory_system.cc.o.d"
+  "libclearsim_mem.a"
+  "libclearsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_metrics.dir/stats_report.cc.o"
+  "CMakeFiles/clearsim_metrics.dir/stats_report.cc.o.d"
+  "libclearsim_metrics.a"
+  "libclearsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

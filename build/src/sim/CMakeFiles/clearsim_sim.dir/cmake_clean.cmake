@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/clearsim_sim.dir/event_queue.cc.o.d"
+  "libclearsim_sim.a"
+  "libclearsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

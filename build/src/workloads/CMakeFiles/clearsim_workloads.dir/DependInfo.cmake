@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/arrayswap.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/arrayswap.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/arrayswap.cc.o.d"
+  "/root/repo/src/workloads/bitcoin.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/bitcoin.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/bitcoin.cc.o.d"
+  "/root/repo/src/workloads/bst.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/bst.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/bst.cc.o.d"
+  "/root/repo/src/workloads/deque.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/deque.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/deque.cc.o.d"
+  "/root/repo/src/workloads/hashmap.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/hashmap.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/hashmap.cc.o.d"
+  "/root/repo/src/workloads/mwobject.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/mwobject.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/mwobject.cc.o.d"
+  "/root/repo/src/workloads/queue.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/queue.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/queue.cc.o.d"
+  "/root/repo/src/workloads/sorted_list.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/sorted_list.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/sorted_list.cc.o.d"
+  "/root/repo/src/workloads/stack.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/stack.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/stack.cc.o.d"
+  "/root/repo/src/workloads/stamp.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/stamp.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/stamp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/clearsim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/clearsim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/clearsim_clear.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/clearsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/clearsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clearsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_workloads.dir/arrayswap.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/arrayswap.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/bitcoin.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/bitcoin.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/bst.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/bst.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/deque.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/deque.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/hashmap.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/hashmap.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/mwobject.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/mwobject.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/queue.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/queue.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/sorted_list.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/sorted_list.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/stack.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/stack.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/stamp.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/stamp.cc.o.d"
+  "CMakeFiles/clearsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/clearsim_workloads.dir/workload.cc.o.d"
+  "libclearsim_workloads.a"
+  "libclearsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

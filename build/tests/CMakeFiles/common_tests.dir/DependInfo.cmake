@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cc" "tests/CMakeFiles/common_tests.dir/common/config_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/config_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/clearsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/clearsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/clearsim_clear.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/clearsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/clearsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/clearsim_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clearsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/clearsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clearsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/config_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/config_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/stats_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/stats_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/alt_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/alt_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/clear_behavior_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/clear_behavior_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/crt_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/crt_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/ert_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/ert_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/executor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/executor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/sle_scope_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/sle_scope_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/trace_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/trace_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_tests.dir/cpu/core_resources_test.cc.o"
+  "CMakeFiles/cpu_tests.dir/cpu/core_resources_test.cc.o.d"
+  "CMakeFiles/cpu_tests.dir/cpu/tx_value_test.cc.o"
+  "CMakeFiles/cpu_tests.dir/cpu/tx_value_test.cc.o.d"
+  "cpu_tests"
+  "cpu_tests.pdb"
+  "cpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

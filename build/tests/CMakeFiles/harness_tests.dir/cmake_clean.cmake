@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_tests.dir/harness/csv_export_test.cc.o"
+  "CMakeFiles/harness_tests.dir/harness/csv_export_test.cc.o.d"
+  "CMakeFiles/harness_tests.dir/harness/harness_test.cc.o"
+  "CMakeFiles/harness_tests.dir/harness/harness_test.cc.o.d"
+  "CMakeFiles/harness_tests.dir/metrics/metrics_test.cc.o"
+  "CMakeFiles/harness_tests.dir/metrics/metrics_test.cc.o.d"
+  "CMakeFiles/harness_tests.dir/metrics/stats_report_test.cc.o"
+  "CMakeFiles/harness_tests.dir/metrics/stats_report_test.cc.o.d"
+  "harness_tests"
+  "harness_tests.pdb"
+  "harness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_tests.dir/htm/conflict_manager_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/conflict_manager_test.cc.o.d"
+  "CMakeFiles/htm_tests.dir/htm/fallback_lock_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/fallback_lock_test.cc.o.d"
+  "CMakeFiles/htm_tests.dir/htm/footprint_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/footprint_test.cc.o.d"
+  "CMakeFiles/htm_tests.dir/htm/htm_types_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/htm_types_test.cc.o.d"
+  "CMakeFiles/htm_tests.dir/htm/power_token_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/power_token_test.cc.o.d"
+  "CMakeFiles/htm_tests.dir/htm/tx_context_test.cc.o"
+  "CMakeFiles/htm_tests.dir/htm/tx_context_test.cc.o.d"
+  "htm_tests"
+  "htm_tests.pdb"
+  "htm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/characterization_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/characterization_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/workload_integration_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/workload_integration_test.cc.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem/backing_store_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/backing_store_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/cache_model_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/cache_model_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/directory_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/directory_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/lock_manager_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/lock_manager_test.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/memory_system_test.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/memory_system_test.cc.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+  "mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/atomicity_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/atomicity_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/lock_protocol_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/lock_protocol_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/random_region_fuzz_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/random_region_fuzz_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/substrate_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/substrate_property_test.cc.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/task_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/task_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

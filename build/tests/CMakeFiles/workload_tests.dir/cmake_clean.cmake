@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workloads/workload_unit_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workloads/workload_unit_test.cc.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clearsim_cli.dir/clearsim_cli.cpp.o"
+  "CMakeFiles/clearsim_cli.dir/clearsim_cli.cpp.o.d"
+  "clearsim_cli"
+  "clearsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clearsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
