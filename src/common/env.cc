@@ -1,0 +1,59 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+std::uint64_t
+parseUnsignedOrDie(const char *text, const char *what,
+                   std::uint64_t min_value, std::uint64_t max_value)
+{
+    if (!text || !*text)
+        fatal("%s: empty value (expected an integer in [%llu, %llu])",
+              what, static_cast<unsigned long long>(min_value),
+              static_cast<unsigned long long>(max_value));
+
+    // strtoull accepts leading whitespace, '+', '-' (wrapping the
+    // negation!) and hex prefixes; require plain decimal digits.
+    for (const char *p = text; *p; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            fatal("%s: invalid value '%s' (expected an integer in "
+                  "[%llu, %llu])",
+                  what, text,
+                  static_cast<unsigned long long>(min_value),
+                  static_cast<unsigned long long>(max_value));
+    }
+
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || end == text || *end)
+        fatal("%s: value '%s' out of range (expected an integer in "
+              "[%llu, %llu])",
+              what, text, static_cast<unsigned long long>(min_value),
+              static_cast<unsigned long long>(max_value));
+
+    if (parsed < min_value || parsed > max_value)
+        fatal("%s: value %llu out of range [%llu, %llu]", what,
+              parsed, static_cast<unsigned long long>(min_value),
+              static_cast<unsigned long long>(max_value));
+
+    return parsed;
+}
+
+std::uint64_t
+envUnsignedOr(const char *name, std::uint64_t fallback,
+              std::uint64_t min_value, std::uint64_t max_value)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    return parseUnsignedOrDie(value, name, min_value, max_value);
+}
+
+} // namespace clearsim

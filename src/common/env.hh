@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Strict parsing of numeric knobs from the environment and the
+ * command line.
+ *
+ * The CLEARSIM_* environment variables and the CLI flags control
+ * experiment scale; a silently mis-parsed knob (atoi turning
+ * garbage into 0, a negative wrapping to a huge unsigned) produces
+ * figures that look real but are not. These helpers therefore
+ * reject anything that is not a plain decimal integer within the
+ * caller's range, with a fatal() naming the offending knob.
+ */
+
+#ifndef CLEARSIM_COMMON_ENV_HH
+#define CLEARSIM_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace clearsim
+{
+
+/**
+ * Parse @p text as a plain decimal unsigned integer.
+ *
+ * fatal()s, naming @p what, when text is empty, has a sign or any
+ * non-digit character, overflows, or falls outside
+ * [min_value, max_value].
+ */
+std::uint64_t parseUnsignedOrDie(const char *text, const char *what,
+                                 std::uint64_t min_value,
+                                 std::uint64_t max_value);
+
+/**
+ * Read environment variable @p name as a bounded unsigned integer.
+ * @return @p fallback when the variable is unset;
+ *         otherwise parseUnsignedOrDie() of its value
+ */
+std::uint64_t envUnsignedOr(const char *name, std::uint64_t fallback,
+                            std::uint64_t min_value,
+                            std::uint64_t max_value);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_ENV_HH

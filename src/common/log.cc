@@ -1,6 +1,7 @@
 #include "common/log.hh"
 
 #include <cstdarg>
+#include <mutex>
 
 namespace clearsim
 {
@@ -8,6 +9,18 @@ namespace clearsim
 namespace
 {
 LogLevel globalLevel = LogLevel::Warn;
+
+/**
+ * Serializes whole messages to stderr: the parallel sweep executor
+ * calls the log sink from worker threads, and interleaved vfprintf
+ * chunks would garble the output.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
 } // namespace
 
 LogLevel
@@ -27,6 +40,7 @@ logMessage(LogLevel level, const char *fmt, ...)
 {
     if (static_cast<int>(level) > static_cast<int>(globalLevel))
         return;
+    std::lock_guard<std::mutex> lock(logMutex());
     std::va_list args;
     va_start(args, fmt);
     std::vfprintf(stderr, fmt, args);
@@ -37,6 +51,7 @@ logMessage(LogLevel level, const char *fmt, ...)
 void
 fatal(const char *fmt, ...)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fputs("fatal: ", stderr);
     std::va_list args;
     va_start(args, fmt);
@@ -49,6 +64,7 @@ fatal(const char *fmt, ...)
 void
 panic(const char *fmt, ...)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fputs("panic: ", stderr);
     std::va_list args;
     va_start(args, fmt);

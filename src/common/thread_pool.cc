@@ -1,0 +1,85 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace clearsim
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = std::max(threads, 1u);
+    workers_.reserve(count);
+    for (unsigned t = 0; t < count; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(job));
+        ++inFlight_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+bool
+ThreadPool::waitFor(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return allDone_.wait_for(lock, timeout,
+                             [this] { return inFlight_ == 0; });
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    return std::max(std::thread::hardware_concurrency(), 1u);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
+        allDone_.notify_all();
+    }
+}
+
+} // namespace clearsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A small fixed-size worker pool for embarrassingly parallel jobs.
+ *
+ * The experiment harness enumerates every (workload, config,
+ * retry-limit, seed) point of a sweep as an independent simulation
+ * and fans them out over CLEARSIM_JOBS OS threads (gem5-style
+ * multi-run orchestration). The pool is deliberately minimal: FIFO
+ * job queue, submit/wait, no futures — results are written into
+ * pre-allocated slots by the jobs themselves, which keeps the
+ * reduction step deterministic regardless of execution order.
+ */
+
+#ifndef CLEARSIM_COMMON_THREAD_POOL_HH
+#define CLEARSIM_COMMON_THREAD_POOL_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace clearsim
+{
+
+/** A fixed set of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for pending jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Safe to call from any thread. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /**
+     * Block until every submitted job has finished or @p timeout
+     * elapses.
+     * @retval true when the pool drained within the timeout
+     */
+    bool waitFor(std::chrono::milliseconds timeout);
+
+    /** Number of worker threads. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * The default worker count: hardware_concurrency(), with a
+     * floor of 1 for platforms that report 0.
+     */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0; ///< queued + currently running jobs
+    bool stopping_ = false;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_THREAD_POOL_HH

@@ -36,6 +36,13 @@ maybeExportCsv(const std::string &name, const CsvTable &table)
     for (const auto &row : table.rows)
         writeRow(row);
 
+    out.flush();
+    if (!out.good()) {
+        logMessage(LogLevel::Warn, "short write to CSV %s",
+                   path.c_str());
+        return false;
+    }
+
     std::fprintf(stderr, "[clearsim] wrote %s\n", path.c_str());
     return true;
 }

@@ -1,10 +1,14 @@
 #include "harness/runner.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/log.hh"
+#include "common/thread_pool.hh"
 #include "core/system.hh"
 
 namespace clearsim
@@ -56,30 +60,277 @@ splitCsv(const char *value)
     return out;
 }
 
+/**
+ * The quantities of one sweep point (one runOnce) that the cell
+ * reduction needs. Workers write each point into its own
+ * pre-allocated slot, so no synchronization is needed on the
+ * results and the reduction order is fixed regardless of which
+ * thread finished when.
+ */
+struct PointResult
+{
+    double cycles = 0.0;
+    double energy = 0.0;
+    double discoveryShare = 0.0;
+    HtmStats htm;
+};
+
+/**
+ * A sweep flattened into an indexable job list. Point index
+ * i = (cell * retryLimits.size() + retry) * seeds + seed, i.e.
+ * cells outermost, seeds innermost — the same nesting the serial
+ * loops always used.
+ */
+struct SweepPlan
+{
+    const SweepOptions *opts = nullptr;
+    std::vector<SweepKey> cells; ///< (workload, config)
+
+    std::size_t
+    pointsPerCell() const
+    {
+        return opts->retryLimits.size() * opts->seeds;
+    }
+
+    std::size_t
+    totalPoints() const
+    {
+        return cells.size() * pointsPerCell();
+    }
+};
+
+void
+validateSweep(const SweepOptions &opts)
+{
+    if (opts.seeds == 0)
+        fatal("sweep needs at least one seed per point "
+              "(CLEARSIM_SEEDS >= 1)");
+    if (opts.retryLimits.empty())
+        fatal("sweep needs at least one retry limit "
+              "(CLEARSIM_RETRIES)");
+}
+
+PointResult
+runPoint(const SweepPlan &plan, std::size_t index)
+{
+    const SweepOptions &opts = *plan.opts;
+    const std::size_t per_cell = plan.pointsPerCell();
+    const SweepKey &cell = plan.cells[index / per_cell];
+    const std::size_t within = index % per_cell;
+    const unsigned retries = opts.retryLimits[within / opts.seeds];
+    const std::size_t seed_index = within % opts.seeds;
+
+    SystemConfig cfg = makeConfigByName(cell.second);
+    cfg.maxRetries = retries;
+    WorkloadParams params = opts.params;
+    params.seed = opts.params.seed + 1000003ull * seed_index;
+
+    const RunResult run = runOnce(cfg, cell.first, params);
+    PointResult point;
+    point.cycles = static_cast<double>(run.cycles);
+    point.energy = run.energy.total();
+    point.discoveryShare = run.discoveryOverheadShare(cfg.numCores);
+    point.htm = run.htm;
+    return point;
+}
+
+/**
+ * Throttled stderr progress for long sweeps: nothing for the first
+ * second (keeps tests and small runs quiet), then points done,
+ * runs/s and an ETA roughly once a second.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::size_t total_points,
+                     std::size_t points_per_cell, unsigned jobs)
+        : total_(total_points), pointsPerCell_(points_per_cell),
+          jobs_(jobs), start_(Clock::now()), lastReport_(start_)
+    {
+    }
+
+    /** One point finished. Safe to call from worker threads. */
+    void
+    markDone()
+    {
+        done_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Print a progress line if a second passed. Coordinator only. */
+    void
+    maybeReport()
+    {
+        const Clock::time_point now = Clock::now();
+        if (now - lastReport_ < std::chrono::seconds(1))
+            return;
+        lastReport_ = now;
+        reported_ = true;
+
+        const std::size_t done =
+            done_.load(std::memory_order_relaxed);
+        const double elapsed = secondsSince(start_, now);
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta =
+            rate > 0.0
+                ? static_cast<double>(total_ - done) / rate
+                : 0.0;
+        std::fprintf(stderr,
+                     "[clearsim] sweep: %zu/%zu runs "
+                     "(%zu/%zu cells), %.1f runs/s, eta %.0fs\n",
+                     done, total_, done / pointsPerCell_,
+                     total_ / pointsPerCell_, rate, eta);
+    }
+
+    /** Print the closing throughput line if progress was shown. */
+    void
+    finish()
+    {
+        if (!reported_)
+            return;
+        const double elapsed = secondsSince(start_, Clock::now());
+        std::fprintf(stderr,
+                     "[clearsim] sweep done: %zu runs in %.1fs "
+                     "(%.1f runs/s on %u jobs)\n",
+                     total_, elapsed,
+                     elapsed > 0.0
+                         ? static_cast<double>(total_) / elapsed
+                         : 0.0,
+                     jobs_);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static double
+    secondsSince(Clock::time_point from, Clock::time_point to)
+    {
+        return std::chrono::duration<double>(to - from).count();
+    }
+
+    const std::size_t total_;
+    const std::size_t pointsPerCell_;
+    const unsigned jobs_;
+    const Clock::time_point start_;
+    Clock::time_point lastReport_;
+    std::atomic<std::size_t> done_{0};
+    bool reported_ = false;
+};
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    return requested != 0 ? requested : ThreadPool::defaultThreads();
+}
+
+/**
+ * Execute every point of the plan on @p jobs threads (inline when
+ * jobs == 1). Slot-indexed results make the output independent of
+ * scheduling.
+ */
+std::vector<PointResult>
+runAllPoints(const SweepPlan &plan, unsigned jobs)
+{
+    const std::size_t total = plan.totalPoints();
+    std::vector<PointResult> points(total);
+    ProgressReporter progress(total, plan.pointsPerCell(), jobs);
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < total; ++i) {
+            points[i] = runPoint(plan, i);
+            progress.markDone();
+            progress.maybeReport();
+        }
+    } else {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < total; ++i) {
+            pool.submit([&plan, &points, &progress, i] {
+                points[i] = runPoint(plan, i);
+                progress.markDone();
+            });
+        }
+        while (!pool.waitFor(std::chrono::milliseconds(250)))
+            progress.maybeReport();
+    }
+    progress.finish();
+    return points;
+}
+
+/**
+ * Reduce one cell's points: per retry limit, trimmed means over the
+ * seeds; keep the limit with the lowest mean cycle count (first
+ * wins ties, like the original serial sweep).
+ */
+CellResult
+reduceCell(const SweepPlan &plan, std::size_t cell_index,
+           const std::vector<PointResult> &points)
+{
+    const SweepOptions &opts = *plan.opts;
+    const std::size_t base = cell_index * plan.pointsPerCell();
+
+    CellResult best;
+    best.workload = plan.cells[cell_index].first;
+    best.config = plan.cells[cell_index].second;
+    bool have_best = false;
+
+    for (std::size_t r = 0; r < opts.retryLimits.size(); ++r) {
+        std::vector<double> cycles;
+        std::vector<double> energies;
+        std::vector<double> shares;
+        HtmStats merged;
+        for (unsigned s = 0; s < opts.seeds; ++s) {
+            const PointResult &point =
+                points[base + r * opts.seeds + s];
+            cycles.push_back(point.cycles);
+            energies.push_back(point.energy);
+            shares.push_back(point.discoveryShare);
+            merged.merge(point.htm);
+        }
+        const double mean_cycles =
+            trimmedMean(cycles, opts.trimEachSide);
+        if (!have_best || mean_cycles < best.cycles) {
+            have_best = true;
+            best.bestRetryLimit = opts.retryLimits[r];
+            best.cycles = mean_cycles;
+            best.energy = trimmedMean(energies, opts.trimEachSide);
+            best.htm = merged;
+            best.discoveryShare =
+                trimmedMean(shares, opts.trimEachSide);
+            best.numCores =
+                makeConfigByName(best.config).numCores;
+        }
+    }
+    return best;
+}
+
 } // namespace
 
 SweepOptions
 SweepOptions::fromEnv()
 {
     SweepOptions opts;
-    opts.params.opsPerThread = 16;
-    if (const char *v = std::getenv("CLEARSIM_OPS"))
-        opts.params.opsPerThread =
-            static_cast<unsigned>(std::atoi(v));
-    if (const char *v = std::getenv("CLEARSIM_SEEDS"))
-        opts.seeds = static_cast<unsigned>(std::atoi(v));
-    if (const char *v = std::getenv("CLEARSIM_TRIM"))
-        opts.trimEachSide = static_cast<unsigned>(std::atoi(v));
+    opts.params.opsPerThread = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_OPS", 16, 1, 100000000));
+    opts.seeds = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_SEEDS", opts.seeds, 1, 100000));
+    opts.trimEachSide = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_TRIM", opts.trimEachSide, 0,
+                      100000));
     if (const char *v = std::getenv("CLEARSIM_RETRIES")) {
         opts.retryLimits.clear();
         for (const std::string &r : splitCsv(v))
             opts.retryLimits.push_back(
-                static_cast<unsigned>(std::atoi(r.c_str())));
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    r.c_str(), "CLEARSIM_RETRIES", 0, 1000000)));
+        if (opts.retryLimits.empty())
+            fatal("CLEARSIM_RETRIES: no retry limits in '%s'", v);
     }
     if (const char *v = std::getenv("CLEARSIM_WORKLOADS"))
         opts.workloads = splitCsv(v);
     if (opts.workloads.empty())
         opts.workloads = workloadNames();
+    opts.jobs = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_JOBS", 0, 1, 1024));
     return opts;
 }
 
@@ -87,56 +338,31 @@ CellResult
 runCell(const std::string &config_name,
         const std::string &workload_name, const SweepOptions &opts)
 {
-    CellResult best;
-    best.workload = workload_name;
-    best.config = config_name;
-    bool have_best = false;
-
-    for (unsigned retries : opts.retryLimits) {
-        SystemConfig cfg = makeConfigByName(config_name);
-        cfg.maxRetries = retries;
-
-        std::vector<double> cycles;
-        std::vector<double> energies;
-        std::vector<double> shares;
-        HtmStats merged;
-        for (unsigned s = 0; s < opts.seeds; ++s) {
-            WorkloadParams params = opts.params;
-            params.seed = opts.params.seed + 1000003ull * s;
-            const RunResult run =
-                runOnce(cfg, workload_name, params);
-            cycles.push_back(static_cast<double>(run.cycles));
-            energies.push_back(run.energy.total());
-            shares.push_back(
-                run.discoveryOverheadShare(cfg.numCores));
-            merged.merge(run.htm);
-        }
-        const double mean_cycles =
-            trimmedMean(cycles, opts.trimEachSide);
-        if (!have_best || mean_cycles < best.cycles) {
-            have_best = true;
-            best.bestRetryLimit = retries;
-            best.cycles = mean_cycles;
-            best.energy = trimmedMean(energies, opts.trimEachSide);
-            best.htm = merged;
-            best.discoveryShare =
-                trimmedMean(shares, opts.trimEachSide);
-            best.numCores = cfg.numCores;
-        }
-    }
-    return best;
+    validateSweep(opts);
+    SweepPlan plan;
+    plan.opts = &opts;
+    plan.cells.push_back({workload_name, config_name});
+    const std::vector<PointResult> points =
+        runAllPoints(plan, resolveJobs(opts.jobs));
+    return reduceCell(plan, 0, points);
 }
 
 std::map<SweepKey, CellResult>
 runSweep(const SweepOptions &opts)
 {
+    validateSweep(opts);
+    SweepPlan plan;
+    plan.opts = &opts;
+    for (const std::string &workload : opts.workloads)
+        for (const std::string &config : opts.configs)
+            plan.cells.push_back({workload, config});
+
+    const std::vector<PointResult> points =
+        runAllPoints(plan, resolveJobs(opts.jobs));
+
     std::map<SweepKey, CellResult> results;
-    for (const std::string &workload : opts.workloads) {
-        for (const std::string &config : opts.configs) {
-            results[{workload, config}] =
-                runCell(config, workload, opts);
-        }
-    }
+    for (std::size_t c = 0; c < plan.cells.size(); ++c)
+        results[plan.cells[c]] = reduceCell(plan, c, points);
     return results;
 }
 

@@ -9,14 +9,23 @@
  * mean. The bench binaries for Figures 8-13 are thin wrappers over
  * runSweep().
  *
+ * Every (workload, config, retry limit, seed) point is an
+ * independent deterministic simulation, so runSweep() fans the
+ * points out over a pool of CLEARSIM_JOBS OS threads and reduces
+ * the per-point results in a fixed order. Sweep results — and the
+ * sweep-cache CSV derived from them — are byte-identical for every
+ * job count; CLEARSIM_JOBS only changes wall-clock time.
+ *
  * Environment knobs let the full paper-scale sweep be requested
- * without recompiling:
- *   CLEARSIM_OPS      ops per thread          (default 16)
- *   CLEARSIM_SEEDS    seeds per point         (default 3)
+ * without recompiling (malformed values are rejected with fatal()):
+ *   CLEARSIM_OPS      ops per thread          (default 16, >= 1)
+ *   CLEARSIM_SEEDS    seeds per point         (default 3, >= 1)
  *   CLEARSIM_RETRIES  comma list of limits    (default "1,2,4,8")
  *   CLEARSIM_TRIM     samples trimmed per side (default 0;
  *                     the paper uses 10 seeds / trim 3)
  *   CLEARSIM_WORKLOADS comma list             (default all 19)
+ *   CLEARSIM_JOBS     worker threads          (default
+ *                     hardware_concurrency(); 1 = serial)
  */
 
 #ifndef CLEARSIM_HARNESS_RUNNER_HH
@@ -49,6 +58,12 @@ struct SweepOptions
     unsigned trimEachSide = 0;
     WorkloadParams params;
 
+    /**
+     * Worker threads running sweep points; 0 = one per hardware
+     * thread. Never affects results, only wall-clock time.
+     */
+    unsigned jobs = 0;
+
     /** Apply the CLEARSIM_* environment overrides. */
     static SweepOptions fromEnv();
 };
@@ -69,6 +84,7 @@ struct CellResult
 /**
  * Run one cell: sweep the retry limits, each with opts.seeds seeds,
  * and keep the limit with the best trimmed-mean execution time.
+ * Points run on opts.jobs threads like runSweep().
  */
 CellResult runCell(const std::string &config_name,
                    const std::string &workload_name,
@@ -77,7 +93,11 @@ CellResult runCell(const std::string &config_name,
 /** Key: (workload, config). */
 using SweepKey = std::pair<std::string, std::string>;
 
-/** Run the full sweep. */
+/**
+ * Run the full sweep on opts.jobs worker threads, printing
+ * progress (points done, runs/s, ETA) to stderr while it takes
+ * longer than a second. Results are independent of the job count.
+ */
 std::map<SweepKey, CellResult> runSweep(const SweepOptions &opts);
 
 // ---------------------------------------------------------------

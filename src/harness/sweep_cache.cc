@@ -1,8 +1,12 @@
 #include "harness/sweep_cache.hh"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "common/log.hh"
@@ -34,7 +38,8 @@ CellSummary::fromCell(const CellResult &cell)
 std::uint64_t
 sweepOptionsHash(const SweepOptions &opts)
 {
-    // FNV-1a over the option fields.
+    // FNV-1a over the option fields. Deliberately excludes
+    // opts.jobs: the worker-thread count never changes results.
     std::uint64_t h = 0xcbf29ce484222325ull;
     auto mix = [&h](std::uint64_t v) {
         h ^= v;
@@ -68,54 +73,137 @@ sweepCachePath()
     return "clearsim_sweep_cache.csv";
 }
 
+namespace
+{
+
+constexpr char kCacheHeaderPrefix[] = "# clearsim-sweep-cache ";
+
+/** Data columns of one cache row (see saveSweepCache). */
+constexpr std::size_t kCacheColumns =
+    7 + kNumExecModes + 1 + kNumAbortCategories + 4;
+
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string::size_type start = 0;
+    for (;;) {
+        const std::string::size_type comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+bool
+parseU64Field(const std::string &field, std::uint64_t &out)
+{
+    const char *begin = field.data();
+    const char *end = begin + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out, 10);
+    return ec == std::errc() && ptr == end;
+}
+
+bool
+parseUnsignedField(const std::string &field, unsigned &out)
+{
+    std::uint64_t wide = 0;
+    if (!parseU64Field(field, wide) ||
+        wide > std::numeric_limits<unsigned>::max()) {
+        return false;
+    }
+    out = static_cast<unsigned>(wide);
+    return true;
+}
+
+bool
+parseDoubleField(const std::string &field, double &out)
+{
+    if (field.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    if (errno == ERANGE || end != field.c_str() + field.size())
+        return false;
+    out = value;
+    return true;
+}
+
+/** Parse one data row; false on any malformed field. */
+bool
+parseCacheRow(const std::vector<std::string> &fields,
+              CellSummary &s)
+{
+    std::size_t i = 0;
+    s.workload = fields[i++];
+    s.config = fields[i++];
+    if (s.workload.empty() || s.config.empty())
+        return false;
+    bool ok = parseUnsignedField(fields[i++], s.bestRetryLimit);
+    ok = ok && parseDoubleField(fields[i++], s.cycles);
+    ok = ok && parseDoubleField(fields[i++], s.energy);
+    ok = ok && parseDoubleField(fields[i++], s.discoveryShare);
+    ok = ok && parseU64Field(fields[i++], s.commits);
+    for (auto &m : s.commitsByMode)
+        ok = ok && parseU64Field(fields[i++], m);
+    ok = ok && parseU64Field(fields[i++], s.aborts);
+    for (auto &a : s.abortsByCategory)
+        ok = ok && parseU64Field(fields[i++], a);
+    ok = ok && parseU64Field(fields[i++], s.commitsRetry0);
+    ok = ok && parseU64Field(fields[i++], s.commitsRetry1);
+    ok = ok && parseU64Field(fields[i++], s.commitsNonFallback);
+    ok = ok && parseU64Field(fields[i++], s.commitsFallback);
+    return ok;
+}
+
+} // namespace
+
 bool
 loadSweepCache(const std::string &path, std::uint64_t hash,
                SweepSummary &out)
 {
+    out.clear();
     std::ifstream in(path);
     if (!in)
         return false;
     std::string header;
     if (!std::getline(in, header))
         return false;
-    std::uint64_t file_hash = 0;
-    if (std::sscanf(header.c_str(), "# clearsim-sweep-cache %llx",
-                    reinterpret_cast<unsigned long long *>(
-                        &file_hash)) != 1 ||
-        file_hash != hash) {
+    if (header.rfind(kCacheHeaderPrefix, 0) != 0)
         return false;
-    }
+    unsigned long long file_hash = 0;
+    const char *hash_begin =
+        header.data() + sizeof(kCacheHeaderPrefix) - 1;
+    const char *hash_end = header.data() + header.size();
+    const auto [ptr, ec] =
+        std::from_chars(hash_begin, hash_end, file_hash, 16);
+    if (ec != std::errc() || ptr != hash_end || file_hash != hash)
+        return false;
 
     std::string line;
+    std::size_t line_number = 1;
     while (std::getline(in, line)) {
+        ++line_number;
         if (line.empty() || line[0] == '#')
             continue;
-        std::stringstream ss(line);
+        const std::vector<std::string> fields = splitFields(line);
         CellSummary s;
-        std::string field;
-        auto next = [&]() -> std::string {
-            std::getline(ss, field, ',');
-            return field;
-        };
-        s.workload = next();
-        s.config = next();
-        s.bestRetryLimit =
-            static_cast<unsigned>(std::atoi(next().c_str()));
-        s.cycles = std::atof(next().c_str());
-        s.energy = std::atof(next().c_str());
-        s.discoveryShare = std::atof(next().c_str());
-        s.commits = std::strtoull(next().c_str(), nullptr, 10);
-        for (auto &m : s.commitsByMode)
-            m = std::strtoull(next().c_str(), nullptr, 10);
-        s.aborts = std::strtoull(next().c_str(), nullptr, 10);
-        for (auto &a : s.abortsByCategory)
-            a = std::strtoull(next().c_str(), nullptr, 10);
-        s.commitsRetry0 = std::strtoull(next().c_str(), nullptr, 10);
-        s.commitsRetry1 = std::strtoull(next().c_str(), nullptr, 10);
-        s.commitsNonFallback =
-            std::strtoull(next().c_str(), nullptr, 10);
-        s.commitsFallback =
-            std::strtoull(next().c_str(), nullptr, 10);
+        if (fields.size() != kCacheColumns ||
+            !parseCacheRow(fields, s)) {
+            // A corrupt row means the file cannot be trusted at
+            // all; discard everything so the caller re-runs the
+            // sweep instead of serving zero-filled cells.
+            logMessage(LogLevel::Warn,
+                       "sweep cache %s: malformed line %zu; "
+                       "ignoring cache",
+                       path.c_str(), line_number);
+            out.clear();
+            return false;
+        }
         out[{s.workload, s.config}] = s;
     }
     return !out.empty();
@@ -131,7 +219,11 @@ saveSweepCache(const std::string &path, std::uint64_t hash,
                    "could not write sweep cache to %s", path.c_str());
         return;
     }
-    out << "# clearsim-sweep-cache " << std::hex << hash << std::dec
+    // max_digits10 so cycles/energy round-trip bit-exactly: a
+    // reloaded cache must be indistinguishable from a fresh sweep.
+    out << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    out << kCacheHeaderPrefix << std::hex << hash << std::dec
         << "\n";
     for (const auto &[key, s] : summary) {
         out << s.workload << ',' << s.config << ','
@@ -146,6 +238,10 @@ saveSweepCache(const std::string &path, std::uint64_t hash,
             << ',' << s.commitsNonFallback << ','
             << s.commitsFallback << "\n";
     }
+    out.flush();
+    if (!out.good())
+        logMessage(LogLevel::Warn,
+                   "short write to sweep cache %s", path.c_str());
 }
 
 SweepSummary

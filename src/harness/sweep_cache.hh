@@ -8,6 +8,13 @@
  * the sweep options, and the rest reuse it. Delete the cache file
  * (default ./clearsim_sweep_cache.csv, override with
  * CLEARSIM_CACHE) or change any CLEARSIM_* knob to force a re-run.
+ * (CLEARSIM_JOBS is excluded from the hash: the job count never
+ * changes results, so caches are shared across it.)
+ *
+ * Floats are written with max_digits10 so a cache round-trip is
+ * bit-exact, and loading validates every row — a stale hash, a
+ * wrong column count or any unparsable field discards the whole
+ * file and the sweep re-runs, rather than serving corrupt cells.
  */
 
 #ifndef CLEARSIM_HARNESS_SWEEP_CACHE_HH

@@ -90,6 +90,28 @@ TEST(TrimmedMeanTest, EmptyIsZero)
     EXPECT_DOUBLE_EQ(trimmedMean({}, 1), 0.0);
 }
 
+// Degenerate trims: whenever 2 * trim >= n the trim would consume
+// every sample (or more), so the intended fallback is the plain
+// mean of all samples rather than 0/0.
+
+TEST(TrimmedMeanTest, SingleSampleSurvivesAnyTrim)
+{
+    EXPECT_DOUBLE_EQ(trimmedMean({7}, 0), 7.0);
+    EXPECT_DOUBLE_EQ(trimmedMean({7}, 1), 7.0);
+    EXPECT_DOUBLE_EQ(trimmedMean({7}, 100), 7.0);
+}
+
+TEST(TrimmedMeanTest, TrimExactlyHalfFallsBackToMean)
+{
+    // trim 2 on 4 samples would leave nothing: plain mean.
+    EXPECT_DOUBLE_EQ(trimmedMean({1, 2, 3, 4}, 2), 2.5);
+}
+
+TEST(TrimmedMeanTest, TrimJustUnderHalfKeepsTheMiddle)
+{
+    EXPECT_DOUBLE_EQ(trimmedMean({0, 10, 20, 30, 40}, 2), 20.0);
+}
+
 TEST(MeanTest, Basics)
 {
     EXPECT_DOUBLE_EQ(mean({2, 4}), 3.0);

@@ -1,0 +1,79 @@
+/** @file Unit tests for the worker pool behind the sweep executor. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(ThreadPoolTest, RunsAllSubmittedJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenAskedForZero)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitForReportsBusyThenDrained)
+{
+    ThreadPool pool(1);
+    std::atomic<bool> release{false};
+    pool.submit([&release] {
+        while (!release)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    EXPECT_FALSE(pool.waitFor(std::chrono::milliseconds(5)));
+    release = true;
+    EXPECT_TRUE(pool.waitFor(std::chrono::seconds(10)));
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPoolTest, JobsMaySubmitMoreJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&pool, &count] {
+        ++count;
+        pool.submit([&count] { ++count; });
+    });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+} // namespace
+} // namespace clearsim

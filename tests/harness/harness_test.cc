@@ -1,13 +1,16 @@
 /**
  * @file
  * Tests of the experiment harness: runOnce determinism, retry-limit
- * selection, env parsing, and the sweep cache round trip.
+ * selection, env parsing/validation, and the sweep cache round trip
+ * including corruption handling.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "clearsim/clearsim.hh"
 #include "harness/sweep_cache.hh"
@@ -100,6 +103,96 @@ TEST(RunnerTest, DefaultWorkloadListIsAll19)
     EXPECT_EQ(opts.workloads.size(), 19u);
 }
 
+TEST(RunnerTest, EnvParsesJobs)
+{
+    setenv("CLEARSIM_JOBS", "4", 1);
+    EXPECT_EQ(SweepOptions::fromEnv().jobs, 4u);
+    unsetenv("CLEARSIM_JOBS");
+    EXPECT_EQ(SweepOptions::fromEnv().jobs, 0u); // 0 = auto
+}
+
+// Malformed CLEARSIM_* knobs must terminate with a clear fatal()
+// naming the knob instead of silently becoming 0 (atoi) or a huge
+// wrapped unsigned (negatives).
+
+class RunnerEnvDeathTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    }
+
+    void
+    TearDown() override
+    {
+        for (const char *name :
+             {"CLEARSIM_OPS", "CLEARSIM_SEEDS", "CLEARSIM_TRIM",
+              "CLEARSIM_RETRIES", "CLEARSIM_JOBS"})
+            unsetenv(name);
+    }
+};
+
+TEST_F(RunnerEnvDeathTest, RejectsGarbageOps)
+{
+    setenv("CLEARSIM_OPS", "banana", 1);
+    EXPECT_EXIT(SweepOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "CLEARSIM_OPS");
+}
+
+TEST_F(RunnerEnvDeathTest, RejectsNegativeSeeds)
+{
+    setenv("CLEARSIM_SEEDS", "-3", 1);
+    EXPECT_EXIT(SweepOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "CLEARSIM_SEEDS");
+}
+
+TEST_F(RunnerEnvDeathTest, RejectsZeroSeeds)
+{
+    setenv("CLEARSIM_SEEDS", "0", 1);
+    EXPECT_EXIT(SweepOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "CLEARSIM_SEEDS");
+}
+
+TEST_F(RunnerEnvDeathTest, RejectsTrailingJunkTrim)
+{
+    setenv("CLEARSIM_TRIM", "3x", 1);
+    EXPECT_EXIT(SweepOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "CLEARSIM_TRIM");
+}
+
+TEST_F(RunnerEnvDeathTest, RejectsGarbageInRetryList)
+{
+    setenv("CLEARSIM_RETRIES", "1,x,4", 1);
+    EXPECT_EXIT(SweepOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "CLEARSIM_RETRIES");
+}
+
+TEST_F(RunnerEnvDeathTest, RejectsEmptyRetryList)
+{
+    setenv("CLEARSIM_RETRIES", ",,", 1);
+    EXPECT_EXIT(SweepOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "CLEARSIM_RETRIES");
+}
+
+TEST_F(RunnerEnvDeathTest, RejectsZeroJobs)
+{
+    setenv("CLEARSIM_JOBS", "0", 1);
+    EXPECT_EXIT(SweepOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "CLEARSIM_JOBS");
+}
+
+TEST_F(RunnerEnvDeathTest, RunSweepRejectsZeroSeedOptions)
+{
+    SweepOptions opts;
+    opts.workloads = {"mwobject"};
+    opts.configs = {"B"};
+    opts.seeds = 0;
+    EXPECT_EXIT(runSweep(opts), ::testing::ExitedWithCode(1),
+                "seed");
+}
+
 TEST(SweepCacheTest, OptionHashDiscriminates)
 {
     SweepOptions a = SweepOptions::fromEnv();
@@ -154,6 +247,186 @@ TEST(SweepCacheTest, MissingFileLoadsNothing)
     SweepSummary loaded;
     EXPECT_FALSE(loadSweepCache("/tmp/definitely_not_there.csv", 1,
                                 loaded));
+}
+
+namespace cache_helpers
+{
+
+CellSummary
+sampleCell()
+{
+    CellSummary cell;
+    cell.workload = "bitcoin";
+    cell.config = "C";
+    cell.bestRetryLimit = 4;
+    cell.cycles = 1234.5;
+    cell.energy = 99.25;
+    cell.discoveryShare = 0.0125;
+    cell.commits = 100;
+    cell.commitsByMode = {40, 50, 5, 5};
+    cell.aborts = 77;
+    cell.abortsByCategory = {70, 3, 2, 2};
+    cell.commitsRetry0 = 40;
+    cell.commitsRetry1 = 30;
+    cell.commitsNonFallback = 95;
+    cell.commitsFallback = 5;
+    return cell;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+}
+
+} // namespace cache_helpers
+
+TEST(SweepCacheTest, RoundTripPreservesFullDoublePrecision)
+{
+    using namespace cache_helpers;
+    SweepSummary summary;
+    CellSummary cell = sampleCell();
+    // Values that need more than the default 6 significant digits:
+    // the old ostream-default writer silently perturbed these, so a
+    // cache hit differed from a fresh sweep.
+    cell.cycles = 123456789.87654321;
+    cell.energy = 1.0 / 3.0;
+    cell.discoveryShare = 0.123456789012345678;
+    summary[{cell.workload, cell.config}] = cell;
+
+    const std::string path = "/tmp/clearsim_cache_precision.csv";
+    saveSweepCache(path, 0x12, summary);
+    SweepSummary loaded;
+    ASSERT_TRUE(loadSweepCache(path, 0x12, loaded));
+    const CellSummary &got = loaded.at({cell.workload, cell.config});
+    EXPECT_EQ(got.cycles, cell.cycles);   // bit-exact, not NEAR
+    EXPECT_EQ(got.energy, cell.energy);
+    EXPECT_EQ(got.discoveryShare, cell.discoveryShare);
+    std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, CorruptTrailingLineRejectsWholeFile)
+{
+    using namespace cache_helpers;
+    SweepSummary summary;
+    const CellSummary cell = sampleCell();
+    summary[{cell.workload, cell.config}] = cell;
+    const std::string path = "/tmp/clearsim_cache_corrupt1.csv";
+    saveSweepCache(path, 0x33, summary);
+
+    std::ofstream append(path, std::ios::app);
+    append << "truncated,line\n";
+    append.close();
+
+    SweepSummary loaded;
+    EXPECT_FALSE(loadSweepCache(path, 0x33, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, NonNumericFieldRejectsWholeFile)
+{
+    using namespace cache_helpers;
+    SweepSummary summary;
+    const CellSummary cell = sampleCell();
+    summary[{cell.workload, cell.config}] = cell;
+    const std::string path = "/tmp/clearsim_cache_corrupt2.csv";
+    saveSweepCache(path, 0x44, summary);
+
+    // Corrupt the commits column of the (only) data row.
+    std::string text = readFile(path);
+    const auto pos = text.find(",100,");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 5, ",1x0,");
+    writeFile(path, text);
+
+    SweepSummary loaded;
+    EXPECT_FALSE(loadSweepCache(path, 0x44, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, ExtraColumnRejectsWholeFile)
+{
+    using namespace cache_helpers;
+    SweepSummary summary;
+    const CellSummary cell = sampleCell();
+    summary[{cell.workload, cell.config}] = cell;
+    const std::string path = "/tmp/clearsim_cache_corrupt3.csv";
+    saveSweepCache(path, 0x55, summary);
+
+    std::string text = readFile(path);
+    ASSERT_FALSE(text.empty());
+    ASSERT_EQ(text.back(), '\n');
+    text.insert(text.size() - 1, ",999");
+    writeFile(path, text);
+
+    SweepSummary loaded;
+    EXPECT_FALSE(loadSweepCache(path, 0x55, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, MalformedHeaderHashRejects)
+{
+    using namespace cache_helpers;
+    const std::string path = "/tmp/clearsim_cache_corrupt4.csv";
+    writeFile(path, "# clearsim-sweep-cache zz!!\nbitcoin,C\n");
+    SweepSummary loaded;
+    EXPECT_FALSE(loadSweepCache(path, 0x66, loaded));
+    writeFile(path, "not a cache at all\n");
+    EXPECT_FALSE(loadSweepCache(path, 0x66, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, SweepWithCacheRerunsOnCorruptFile)
+{
+    using namespace cache_helpers;
+    SweepOptions opts;
+    opts.workloads = {"mwobject"};
+    opts.configs = {"B"};
+    opts.retryLimits = {2};
+    opts.seeds = 1;
+    opts.params.opsPerThread = 4;
+
+    const std::string path = "/tmp/clearsim_cache_fallback.csv";
+    setenv("CLEARSIM_CACHE", path.c_str(), 1);
+
+    // A file whose header hash matches these options but whose body
+    // is garbage: sweepWithCache must re-run the sweep, not serve
+    // zero-filled cells.
+    char header[64];
+    std::snprintf(header, sizeof(header),
+                  "# clearsim-sweep-cache %llx\n",
+                  static_cast<unsigned long long>(
+                      sweepOptionsHash(opts)));
+    writeFile(path, std::string(header) + "mwobject,B,garbage\n");
+
+    const SweepSummary summary = sweepWithCache(opts);
+    unsetenv("CLEARSIM_CACHE");
+    ASSERT_EQ(summary.size(), 1u);
+    const CellSummary &cell = summary.at({"mwobject", "B"});
+    EXPECT_GT(cell.cycles, 0.0);
+    EXPECT_GT(cell.commits, 0u);
+
+    // And it must have overwritten the corrupt file with a valid
+    // cache for the next bench binary.
+    SweepSummary reloaded;
+    EXPECT_TRUE(
+        loadSweepCache(path, sweepOptionsHash(opts), reloaded));
+    EXPECT_EQ(reloaded.at({"mwobject", "B"}).commits, cell.commits);
+    std::remove(path.c_str());
 }
 
 } // namespace

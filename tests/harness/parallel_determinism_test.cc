@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The contract of the parallel sweep executor: CLEARSIM_JOBS only
+ * changes wall-clock time, never results. A sweep run serially
+ * (jobs = 1) and the same sweep fanned out over a worker pool
+ * (jobs = 4) must produce identical CellResults and byte-identical
+ * sweep-cache CSVs.
+ *
+ * Registered under the ctest label "determinism"
+ * (ctest -L determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "clearsim/clearsim.hh"
+#include "harness/sweep_cache.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SweepOptions
+smallSweep()
+{
+    SweepOptions opts;
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.configs = {"B", "C"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 3;
+    opts.params.opsPerThread = 4;
+    return opts;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+expectIdenticalCells(const CellResult &a, const CellResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.bestRetryLimit, b.bestRetryLimit);
+    EXPECT_EQ(a.cycles, b.cycles); // bit-exact, not NEAR
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.discoveryShare, b.discoveryShare);
+    EXPECT_EQ(a.numCores, b.numCores);
+    EXPECT_EQ(a.htm.commits, b.htm.commits);
+    EXPECT_EQ(a.htm.aborts, b.htm.aborts);
+    EXPECT_EQ(a.htm.commitsByMode, b.htm.commitsByMode);
+    EXPECT_EQ(a.htm.abortsByCategory, b.htm.abortsByCategory);
+    EXPECT_EQ(a.htm.commitsByRetries.total(),
+              b.htm.commitsByRetries.total());
+    EXPECT_EQ(a.htm.commitsByRetries.count(0),
+              b.htm.commitsByRetries.count(0));
+    EXPECT_EQ(a.htm.commitsByRetries.count(1),
+              b.htm.commitsByRetries.count(1));
+    EXPECT_EQ(a.htm.fallbackCommitRetries.total(),
+              b.htm.fallbackCommitRetries.total());
+    EXPECT_EQ(a.htm.committedUops, b.htm.committedUops);
+    EXPECT_EQ(a.htm.abortedUops, b.htm.abortedUops);
+}
+
+TEST(ParallelSweepTest, ResultsIndependentOfJobCount)
+{
+    SweepOptions opts = smallSweep();
+    opts.jobs = 1;
+    const auto serial = runSweep(opts);
+    opts.jobs = 4;
+    const auto parallel = runSweep(opts);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &[key, cell] : serial) {
+        ASSERT_TRUE(parallel.count(key))
+            << key.first << "/" << key.second;
+        expectIdenticalCells(cell, parallel.at(key));
+    }
+}
+
+TEST(ParallelSweepTest, CacheCsvBytesIdenticalAcrossJobCounts)
+{
+    SweepOptions opts = smallSweep();
+
+    opts.jobs = 1;
+    SweepSummary serial;
+    for (const auto &[key, cell] : runSweep(opts))
+        serial[key] = CellSummary::fromCell(cell);
+
+    opts.jobs = 4;
+    SweepSummary parallel;
+    for (const auto &[key, cell] : runSweep(opts))
+        parallel[key] = CellSummary::fromCell(cell);
+
+    const std::string path_a = "/tmp/clearsim_det_serial.csv";
+    const std::string path_b = "/tmp/clearsim_det_parallel.csv";
+    const std::uint64_t hash = sweepOptionsHash(opts);
+    saveSweepCache(path_a, hash, serial);
+    saveSweepCache(path_b, hash, parallel);
+
+    const std::string bytes_a = readFile(path_a);
+    const std::string bytes_b = readFile(path_b);
+    ASSERT_FALSE(bytes_a.empty());
+    EXPECT_EQ(bytes_a, bytes_b);
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(ParallelSweepTest, RunCellIndependentOfJobCount)
+{
+    SweepOptions opts = smallSweep();
+    opts.jobs = 1;
+    const CellResult serial = runCell("C", "mwobject", opts);
+    opts.jobs = 3;
+    const CellResult parallel = runCell("C", "mwobject", opts);
+    expectIdenticalCells(serial, parallel);
+}
+
+} // namespace
+} // namespace clearsim

@@ -10,14 +10,17 @@
  *   clearsim_cli --workload bst --retries 6 --threads 16
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "clearsim/clearsim.hh"
+#include "common/env.hh"
 #include "metrics/stats_report.hh"
 
 #include <iostream>
@@ -93,19 +96,21 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--config") {
             opts.configs = splitCsvList(value());
         } else if (arg == "--ops") {
-            opts.ops = static_cast<unsigned>(
-                std::atoi(value().c_str()));
+            opts.ops = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--ops", 1, 100000000));
         } else if (arg == "--threads") {
-            opts.threads = static_cast<unsigned>(
-                std::atoi(value().c_str()));
+            opts.threads = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--threads", 1, 4096));
         } else if (arg == "--retries") {
-            opts.retries = static_cast<unsigned>(
-                std::atoi(value().c_str()));
+            opts.retries = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--retries", 0, 1000000));
         } else if (arg == "--scale") {
-            opts.scale = static_cast<unsigned>(
-                std::atoi(value().c_str()));
+            opts.scale = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--scale", 1, 1000000));
         } else if (arg == "--seed") {
-            opts.seed = std::strtoull(value().c_str(), nullptr, 10);
+            opts.seed = parseUnsignedOrDie(
+                value().c_str(), "--seed", 0,
+                std::numeric_limits<std::uint64_t>::max());
         } else if (arg == "--csv") {
             opts.csv = true;
         } else if (arg == "--trace") {
