@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "clearsim/clearsim.hh"
@@ -39,8 +40,8 @@ main()
     for (const std::string &w : workloads) {
         std::printf("%-12s", w.c_str());
         for (unsigned alt : alt_sizes) {
-            SystemConfig cfg = makeClearConfig();
-            cfg.clear.altEntries = alt;
+            const SystemConfig cfg = makeConfigFromSpec(
+                "C:altEntries=" + std::to_string(alt));
             const RunResult run = runOnce(cfg, w, params);
             const double locked_share =
                 run.htm.commits

@@ -23,12 +23,9 @@ namespace
 
 RunResult
 runVariant(const std::string &workload, const WorkloadParams &params,
-           bool lock_all_reads, bool failed_mode)
+           const std::string &spec)
 {
-    SystemConfig cfg = makeClearConfig();
-    cfg.clear.sclLockAllReads = lock_all_reads;
-    cfg.clear.failedModeDiscovery = failed_mode;
-    return runOnce(cfg, workload, params);
+    return runOnce(makeConfigFromSpec(spec), workload, params);
 }
 
 } // namespace
@@ -53,9 +50,11 @@ main()
                 "writes+CRT", "lock-all", "no-failed-mode");
 
     for (const std::string &w : workloads) {
-        const RunResult writes = runVariant(w, params, false, true);
-        const RunResult all = runVariant(w, params, true, true);
-        const RunResult nofm = runVariant(w, params, false, false);
+        const RunResult writes = runVariant(w, params, "C");
+        const RunResult all =
+            runVariant(w, params, "C+scl-all-reads");
+        const RunResult nofm =
+            runVariant(w, params, "C+no-failed-mode");
         std::printf("%-12s %12llu %12llu %14llu\n", w.c_str(),
                     static_cast<unsigned long long>(writes.cycles),
                     static_cast<unsigned long long>(all.cycles),

@@ -41,9 +41,8 @@ main()
         double cycles[2];
         double fallback[2];
         for (int scope = 0; scope < 2; ++scope) {
-            SystemConfig cfg = makeClearConfig();
-            cfg.scope = scope == 0 ? SpeculationScope::InCore
-                                   : SpeculationScope::OutOfCore;
+            const SystemConfig cfg =
+                makeConfigFromSpec(scope == 0 ? "C+sle" : "C+htm");
             const RunResult run = runOnce(cfg, w, params);
             cycles[scope] = static_cast<double>(run.cycles);
             fallback[scope] =

@@ -38,6 +38,11 @@
 #include "mem/directory.hh"
 #include "mem/lock_manager.hh"
 #include "mem/memory_system.hh"
+#include "policy/backoff_policy.hh"
+#include "policy/config_registry.hh"
+#include "policy/conflict_policy.hh"
+#include "policy/policy_set.hh"
+#include "policy/retry_policy.hh"
 #include "sim/event_queue.hh"
 #include "sim/task.hh"
 #include "workloads/workload.hh"

@@ -1,7 +1,5 @@
 #include "common/config.hh"
 
-#include "common/log.hh"
-
 namespace clearsim
 {
 
@@ -43,21 +41,6 @@ makeClearPowerConfig()
     cfg.clear.enabled = true;
     cfg.name = "W";
     return cfg;
-}
-
-SystemConfig
-makeConfigByName(const std::string &name)
-{
-    if (name == "B")
-        return makeBaselineConfig();
-    if (name == "P")
-        return makePowerTmConfig();
-    if (name == "C")
-        return makeClearConfig();
-    if (name == "W")
-        return makeClearPowerConfig();
-    fatal("unknown configuration '%s' (expected B, P, C or W)",
-          name.c_str());
 }
 
 } // namespace clearsim

@@ -192,7 +192,12 @@ SystemConfig makePowerTmConfig();     ///< P: PowerTM
 SystemConfig makeClearConfig();       ///< C: CLEAR over requester-wins
 SystemConfig makeClearPowerConfig();  ///< W: CLEAR over PowerTM
 
-/** Make one of B/P/C/W by letter; fatal() on anything else. */
+/**
+ * Build a configuration from a ConfigRegistry spec string such as
+ * "C", "C+scl-all-reads" or "B:maxRetries=4" (defined with the
+ * registry in policy/config_registry.cc). fatal()s on an unknown
+ * preset, naming the registered ones.
+ */
 SystemConfig makeConfigByName(const std::string &name);
 
 } // namespace clearsim

@@ -131,7 +131,7 @@ RegionExecutor::waitFallbackRelease(bool writer_only)
 {
     co_await FallbackReleaseAwaiter(
         sys_.fallback(), sys_.queue(),
-        sys_.config().timing.fallbackSpinInterval, writer_only);
+        sys_.policies().backoff().fallbackSpinDelay(), writer_only);
 }
 
 SimTask
@@ -149,6 +149,10 @@ RegionExecutor::runRegion(RegionPc pc)
     HtmStats &stats = sys_.stats();
     Ert &ert = sys_.ert(core_);
     Crt &crt = sys_.crt(core_);
+    const RetryPolicy &retry_policy = sys_.policies().retry();
+    const ConflictResolutionPolicy &conflict_policy =
+        sys_.policies().conflict();
+    const BackoffPolicy &backoff_policy = sys_.policies().backoff();
 
     tx.beginInvocation(pc);
 
@@ -196,7 +200,7 @@ RegionExecutor::runRegion(RegionPc pc)
 
     for (;;) {
         if (next != RetryMode::Fallback &&
-            counted_retries >= cfg.maxRetries) {
+            retry_policy.exhausted(counted_retries)) {
             next = RetryMode::Fallback;
         }
 
@@ -232,7 +236,7 @@ RegionExecutor::runRegion(RegionPc pc)
                   nscl ? ExecMode::NsCl : ExecMode::SCl, reason,
                   counted_retries);
             stats.recordAbort(reason);
-            if (countsTowardRetryLimit(reason)) {
+            if (retry_policy.countsRetry(reason)) {
                 ++counted_retries;
                 any_counted_abort = true;
             }
@@ -240,18 +244,13 @@ RegionExecutor::runRegion(RegionPc pc)
                 crt.insert(line);
                 ++stats.crtInsertions;
             }
-            if (reason == AbortReason::MemoryConflict ||
-                reason == AbortReason::Nacked) {
-                // A memory conflict on a non-locked read: the CRT
-                // now holds it, so S-CL is retried with it locked.
-                next = RetryMode::SCl;
-            } else {
-                // Section 4.4.2: any other abort marks the region
-                // non-discoverable.
+            const LockedAbortDecision after =
+                retry_policy.decideAfterLockedAbort(reason);
+            if (after.disableDiscovery) {
                 ert.lookupOrInsert(pc).isConvertible = false;
                 ++stats.discoveryDisabled;
-                next = RetryMode::SpeculativeRetry;
             }
+            next = after.next;
             if (reason == AbortReason::OtherFallback ||
                 reason == AbortReason::ExplicitFallback) {
                 co_await waitFallbackRelease();
@@ -261,16 +260,12 @@ RegionExecutor::runRegion(RegionPc pc)
 
         // --- speculative attempt ---
 
-        if (counted_retries > 0 && cfg.timing.retryBackoffBase > 0) {
-            // Linear backoff with a per-core stagger de-clusters
-            // retries of the transactions that just collided.
-            const Cycle backoff =
-                cfg.timing.retryBackoffBase * counted_retries +
-                (core_ % 8) * 9;
+        const Cycle backoff = backoff_policy.speculativeRetryDelay(
+            counted_retries, core_);
+        if (backoff > 0)
             co_await delayFor(sys_.queue(), backoff);
-        }
 
-        if (cfg.htmPolicy == HtmPolicy::PowerTm && any_counted_abort)
+        if (conflict_policy.usesPowerToken() && any_counted_abort)
             sys_.power().tryAcquire(core_);
 
         if (sys_.fallback().writerHeld()) {
@@ -336,7 +331,13 @@ RegionExecutor::runRegion(RegionPc pc)
                 e.isImmutable = e.isImmutable && !tx.sawIndirection();
         }
 
-        next = decideRetryMode(pc, discovery);
+        next = retry_policy.decideRetryMode(
+            gatherRetryInput(pc, discovery));
+        if (next == RetryMode::SCl || next == RetryMode::NsCl) {
+            // The footprint that justified the locked mode builds
+            // the S-CL / NS-CL lock plan.
+            savedFootprint_ = tx.footprint();
+        }
 
         if (reason == AbortReason::OtherFallback ||
             reason == AbortReason::ExplicitFallback) {
@@ -365,34 +366,20 @@ RegionExecutor::runRegion(RegionPc pc)
     tx.endInvocation();
 }
 
-RetryMode
-RegionExecutor::decideRetryMode(RegionPc pc, bool discovery_ran)
+RetryDecisionInput
+RegionExecutor::gatherRetryInput(RegionPc pc, bool discovery_ran)
 {
-    const SystemConfig &cfg = sys_.config();
     TxContext &tx = sys_.tx(core_);
 
-    // Baseline (and profile-mode) policy: plain speculative retry.
-    if (!cfg.clear.enabled || !discovery_ran)
-        return RetryMode::SpeculativeRetry;
-
-    // Figure 2, top: did the core structures overflow?
-    if (tx.structuresOverflowed() || !tx.discoveryComplete())
-        return RetryMode::SpeculativeRetry;
-
-    // Figure 2, middle: can the hardware lock the address set?
-    if (!sys_.alt().lockable(tx.footprint()))
-        return RetryMode::SpeculativeRetry;
-
+    RetryDecisionInput in;
+    in.discoveryRan = discovery_ran;
+    in.structuresOverflowed = tx.structuresOverflowed();
+    in.discoveryComplete = tx.discoveryComplete();
+    in.footprintLockable = sys_.alt().lockable(tx.footprint());
     const ErtEntry *e = sys_.ert(core_).find(pc);
-    if (e && !e->isConvertible)
-        return RetryMode::SpeculativeRetry;
-
-    savedFootprint_ = tx.footprint();
-
-    // Figure 2, bottom: any indirections?
-    if (tx.sawIndirection())
-        return RetryMode::SCl;
-    return RetryMode::NsCl;
+    in.regionConvertible = !e || e->isConvertible;
+    in.sawIndirection = tx.sawIndirection();
+    return in;
 }
 
 Task<bool>
@@ -407,7 +394,7 @@ RegionExecutor::runSpeculative(RegionPc pc, bool discovery)
     // fallback executor starts), it read-locks it, like the
     // cacheline-locked modes do. Fallback writers wait for it.
     const bool power_mode =
-        cfg.htmPolicy == HtmPolicy::PowerTm &&
+        sys_.policies().conflict().usesPowerToken() &&
         sys_.power().isHolder(core_);
     if (power_mode) {
         while (!sys_.fallback().tryAcquireRead(core_))
@@ -566,7 +553,7 @@ RegionExecutor::runLocker(TxContext &tx)
         while (!locks.tryLockDirSet(group.dirSet, core_)) {
             co_await DirSetUnlockAwaiter(
                 locks, sys_.queue(), group.dirSet,
-                cfg.timing.lockRetryBackoff);
+                sys_.policies().backoff().lockRetryDelay());
             if (tx.doomed())
                 break;
         }
@@ -595,7 +582,8 @@ RegionExecutor::runLocker(TxContext &tx)
 Task<bool>
 RegionExecutor::acquireOne(TxContext &tx, LockPlanEntry &entry)
 {
-    const SystemConfig &cfg = sys_.config();
+    const Cycle lock_backoff =
+        sys_.policies().backoff().lockRetryDelay();
     LockManager &locks = sys_.mem().locks();
 
     for (;;) {
@@ -635,11 +623,10 @@ RegionExecutor::acquireOne(TxContext &tx, LockPlanEntry &entry)
         if (locks.dirSetLockedByOther(entry.line, core_)) {
             co_await DirSetUnlockAwaiter(
                 locks, sys_.queue(), locks.dirSetOf(entry.line),
-                cfg.timing.lockRetryBackoff);
+                lock_backoff);
         } else {
             co_await LineUnlockAwaiter(locks, sys_.queue(),
-                                       entry.line,
-                                       cfg.timing.lockRetryBackoff);
+                                       entry.line, lock_backoff);
         }
     }
 }

@@ -2,13 +2,18 @@
  * @file
  * RegionExecutor: the per-core atomic-region retry driver.
  *
- * Implements the full execution policy of one AR invocation:
+ * Mechanises one AR invocation against the policies the System's
+ * PolicySet selected:
  *
- *  - baseline speculative attempts with requester-wins or PowerTM;
+ *  - baseline speculative attempts, with the power token taken when
+ *    the ConflictResolutionPolicy uses one;
  *  - CLEAR discovery (footprint + taint tracking, failed-mode
  *    continuation) gated by the ERT;
- *  - the decision tree of Figure 2 choosing NS-CL, S-CL,
- *    speculative retry or fallback for each re-execution;
+ *  - mode selection for each re-execution delegated to the
+ *    RetryPolicy (the Figure 2 tree lives in policy/retry_policy.hh;
+ *    the executor gathers the RetryDecisionInput snapshot and
+ *    applies the verdict);
+ *  - waits charged per the BackoffPolicy;
  *  - the cacheline locker coroutine acquiring locks in
  *    lexicographical (directory set) order with group/set locking
  *    and the Hit-bit fast path (Section 5);
@@ -22,19 +27,11 @@
 
 #include "core/system.hh"
 #include "htm/footprint.hh"
+#include "policy/retry_policy.hh"
 #include "sim/task.hh"
 
 namespace clearsim
 {
-
-/** How the next attempt of a failed AR should execute. */
-enum class RetryMode : std::uint8_t
-{
-    SpeculativeRetry,
-    SCl,
-    NsCl,
-    Fallback,
-};
 
 /** Per-core region retry driver. */
 class RegionExecutor
@@ -74,8 +71,12 @@ class RegionExecutor
     /** Acquire one planned line. @retval false if doomed. */
     Task<bool> acquireOne(TxContext &tx, LockPlanEntry &entry);
 
-    /** Decide the mode of the next attempt after an abort. */
-    RetryMode decideRetryMode(RegionPc pc, bool discovery_ran);
+    /**
+     * Snapshot what the RetryPolicy inspects (discovery outcome,
+     * ALT lockability, ERT verdict) from the live structures.
+     */
+    RetryDecisionInput gatherRetryInput(RegionPc pc,
+                                        bool discovery_ran);
 
     /**
      * Park until the fallback lock frees up, with the configured

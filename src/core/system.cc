@@ -7,7 +7,8 @@ namespace clearsim
 {
 
 System::System(const SystemConfig &cfg, std::uint64_t seed)
-    : cfg_(cfg), mem_(cfg), conflicts_(cfg, power_), rng_(seed),
+    : cfg_(cfg), policies_(cfg), mem_(cfg), conflicts_(cfg, power_),
+      rng_(seed),
       alt_(cfg.clear.altEntries, cfg.cache.dirSets, cfg.cache.l1Sets,
            cfg.cache.l1Ways)
 {

@@ -30,6 +30,7 @@
 #include "htm/power_token.hh"
 #include "htm/tx_context.hh"
 #include "mem/memory_system.hh"
+#include "policy/policy_set.hh"
 #include "sim/event_queue.hh"
 #include "sim/task.hh"
 
@@ -57,6 +58,9 @@ class System
     System &operator=(const System &) = delete;
 
     const SystemConfig &config() const { return cfg_; }
+
+    /** The execution policies the configuration selected. */
+    const PolicySet &policies() const { return policies_; }
 
     EventQueue &queue() { return queue_; }
     MemorySystem &mem() { return mem_; }
@@ -104,6 +108,7 @@ class System
 
   private:
     SystemConfig cfg_;
+    PolicySet policies_;
     EventQueue queue_;
     MemorySystem mem_;
     PowerToken power_;

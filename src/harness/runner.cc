@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include "common/log.hh"
 #include "common/thread_pool.hh"
 #include "core/system.hh"
+#include "policy/config_registry.hh"
 
 namespace clearsim
 {
@@ -100,7 +102,7 @@ struct SweepPlan
 };
 
 void
-validateSweep(const SweepOptions &opts)
+validateSweepShape(const SweepOptions &opts)
 {
     if (opts.seeds == 0)
         fatal("sweep needs at least one seed per point "
@@ -108,6 +110,41 @@ validateSweep(const SweepOptions &opts)
     if (opts.retryLimits.empty())
         fatal("sweep needs at least one retry limit "
               "(CLEARSIM_RETRIES)");
+}
+
+/**
+ * Resolve every config spec and workload name before the first
+ * point runs: a typo fails immediately instead of fatal()ing
+ * mid-sweep after minutes of simulation.
+ */
+void
+validateSelections(const std::vector<std::string> &configs,
+                   const std::vector<std::string> &workloads)
+{
+    if (configs.empty())
+        fatal("sweep needs at least one configuration "
+              "(CLEARSIM_CONFIGS)");
+    if (workloads.empty())
+        fatal("sweep needs at least one workload "
+              "(CLEARSIM_WORKLOADS)");
+
+    const ConfigRegistry &registry = ConfigRegistry::instance();
+    for (const std::string &spec : configs) {
+        SystemConfig cfg;
+        std::string error;
+        if (!registry.tryMake(spec, cfg, error))
+            fatal("sweep configuration: %s", error.c_str());
+    }
+    const std::vector<std::string> &known = workloadNames();
+    for (const std::string &workload : workloads) {
+        if (std::find(known.begin(), known.end(), workload) ==
+            known.end()) {
+            fatal("sweep workload: unknown workload '%s' "
+                  "(known: run with --list-workloads or see "
+                  "workloadNames())",
+                  workload.c_str());
+        }
+    }
 }
 
 PointResult
@@ -329,6 +366,13 @@ SweepOptions::fromEnv()
         opts.workloads = splitCsv(v);
     if (opts.workloads.empty())
         opts.workloads = workloadNames();
+    if (const char *v = std::getenv("CLEARSIM_CONFIGS")) {
+        opts.configs = splitCsv(v);
+        if (opts.configs.empty())
+            fatal("CLEARSIM_CONFIGS: no configuration specs in "
+                  "'%s'",
+                  v);
+    }
     opts.jobs = static_cast<unsigned>(
         envUnsignedOr("CLEARSIM_JOBS", 0, 1, 1024));
     return opts;
@@ -338,7 +382,8 @@ CellResult
 runCell(const std::string &config_name,
         const std::string &workload_name, const SweepOptions &opts)
 {
-    validateSweep(opts);
+    validateSweepShape(opts);
+    validateSelections({config_name}, {workload_name});
     SweepPlan plan;
     plan.opts = &opts;
     plan.cells.push_back({workload_name, config_name});
@@ -350,7 +395,8 @@ runCell(const std::string &config_name,
 std::map<SweepKey, CellResult>
 runSweep(const SweepOptions &opts)
 {
-    validateSweep(opts);
+    validateSweepShape(opts);
+    validateSelections(opts.configs, opts.workloads);
     SweepPlan plan;
     plan.opts = &opts;
     for (const std::string &workload : opts.workloads)

@@ -24,8 +24,14 @@
  *   CLEARSIM_TRIM     samples trimmed per side (default 0;
  *                     the paper uses 10 seeds / trim 3)
  *   CLEARSIM_WORKLOADS comma list             (default all 19)
+ *   CLEARSIM_CONFIGS  comma list of config registry specs
+ *                     (default "B,P,C,W"; e.g. "C,C+scl-all-reads")
  *   CLEARSIM_JOBS     worker threads          (default
  *                     hardware_concurrency(); 1 = serial)
+ *
+ * Config specs and workload names are validated up front — the
+ * sweep fatal()s before the first simulation, naming the bad entry
+ * and the registered alternatives.
  */
 
 #ifndef CLEARSIM_HARNESS_RUNNER_HH
@@ -51,6 +57,7 @@ RunResult runOnce(const SystemConfig &cfg,
 /** Options of a sweep over (configs x workloads). */
 struct SweepOptions
 {
+    /** ConfigRegistry spec strings ("B", "C+scl-all-reads", ...). */
     std::vector<std::string> configs = {"B", "P", "C", "W"};
     std::vector<std::string> workloads; ///< empty = all 19
     std::vector<unsigned> retryLimits = {1, 2, 4, 8};

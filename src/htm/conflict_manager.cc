@@ -7,7 +7,8 @@ namespace clearsim
 
 ConflictManager::ConflictManager(const SystemConfig &cfg,
                                  PowerToken &power)
-    : cfg_(cfg), power_(power), participants_(cfg.numCores, nullptr)
+    : cfg_(cfg), policy_(makeConflictPolicy(cfg)), power_(power),
+      participants_(cfg.numCores, nullptr)
 {
 }
 
@@ -76,14 +77,22 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
     if (conflicting == 0)
         return outcome;
 
-    const bool reqPower = power_.isHolder(requester);
+    RequesterView req;
+    req.cls = cls;
+    req.powerMode = power_.isHolder(requester);
     const bool reqIsScl = cls == RequesterClass::SclUnlocked ||
                           cls == RequesterClass::SclLocking;
-    const bool clearOnPower = cfg_.clear.enabled &&
-                              cfg_.htmPolicy == HtmPolicy::PowerTm;
+
+    // Non-speculative and NS-CL requesters cannot abort; they
+    // always win (their victims were reachable only because the
+    // request is part of enforcing mutual exclusion).
+    const bool canLose =
+        cls == RequesterClass::Speculative || reqIsScl;
 
     // Pass 1: can any holder force the requester to abort? If so,
-    // the request is answered with a nack and nobody else is harmed.
+    // the request is answered with a nack and nobody else is
+    // harmed. The policy owns the priority rules (PowerTM, CLEAR's
+    // Section 5.2 S-CL/power nacks).
     std::vector<TxParticipant *> victims;
     for (unsigned c = 0; c < cfg_.numCores; ++c) {
         if (!(conflicting & (1ull << c)))
@@ -92,35 +101,15 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
         if (!holder || !holder->conflictable())
             continue;
 
-        const bool holderPower = holder->inPowerMode();
-        const bool holderScl = holder->execMode() == ExecMode::SCl;
+        HolderView view;
+        view.powerMode = holder->inPowerMode();
+        view.sclMode = holder->execMode() == ExecMode::SCl;
 
-        // Non-speculative and NS-CL requesters cannot abort; they
-        // always win (their victims were reachable only because the
-        // request is part of enforcing mutual exclusion).
-        const bool canLose = cls == RequesterClass::Speculative ||
-                             reqIsScl;
-
-        if (canLose) {
-            // PowerTM priority: a power-mode holder nacks the
-            // request and the requester aborts.
-            if (cfg_.htmPolicy == HtmPolicy::PowerTm && holderPower &&
-                !reqPower) {
-                outcome.abortSelf = true;
-                outcome.selfReason = AbortReason::Nacked;
-                ++resolved_;
-                return outcome;
-            }
-            // Section 5.2: with CLEAR over PowerTM, S-CL and power
-            // transactions do not abort each other; the holder
-            // answers with a nack and the requester aborts.
-            if (clearOnPower &&
-                ((holderScl && reqPower) || (holderPower && reqIsScl))) {
-                outcome.abortSelf = true;
-                outcome.selfReason = AbortReason::Nacked;
-                ++resolved_;
-                return outcome;
-            }
+        if (canLose && policy_->holderNacksRequester(req, view)) {
+            outcome.abortSelf = true;
+            outcome.selfReason = AbortReason::Nacked;
+            ++resolved_;
+            return outcome;
         }
         victims.push_back(holder);
     }

@@ -14,6 +14,7 @@
 #define CLEARSIM_HTM_CONFLICT_MANAGER_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "common/types.hh"
 #include "htm/htm_types.hh"
 #include "htm/power_token.hh"
+#include "policy/conflict_policy.hh"
 
 namespace clearsim
 {
@@ -56,23 +58,6 @@ class TxParticipant
     virtual void doomRemote(AbortReason reason, LineAddr line) = 0;
 };
 
-/** Who is issuing the request being arbitrated. */
-enum class RequesterClass : std::uint8_t
-{
-    /** Load/store of a plain speculative transaction. */
-    Speculative,
-    /** Load of a failed-mode discovery (flagged non-aborting). */
-    FailedDiscovery,
-    /** Non-locked load inside an S-CL execution. */
-    SclUnlocked,
-    /** S-CL locker acquiring a planned cacheline lock. */
-    SclLocking,
-    /** NS-CL locker acquiring a planned cacheline lock. */
-    NsClLocking,
-    /** Non-speculative access (fallback execution). */
-    NonSpeculative,
-};
-
 /** Outcome of arbitrating one request. */
 struct ArbitrationOutcome
 {
@@ -86,6 +71,12 @@ struct ArbitrationOutcome
 class ConflictManager
 {
   public:
+    /**
+     * The conflict-resolution rules are delegated to the
+     * ConflictResolutionPolicy the configuration selects
+     * (requester-wins or PowerTM, with the Section 5.2 CLEAR
+     * interaction when enabled).
+     */
     ConflictManager(const SystemConfig &cfg, PowerToken &power);
 
     /** Register the participant occupying a core slot. */
@@ -122,6 +113,9 @@ class ConflictManager
     /** Total conflicts resolved (stats). */
     std::uint64_t conflictsResolved() const { return resolved_; }
 
+    /** The resolution policy in force. */
+    const ConflictResolutionPolicy &policy() const { return *policy_; }
+
     /** Drop all registry state (between runs). */
     void reset();
 
@@ -133,6 +127,7 @@ class ConflictManager
     };
 
     SystemConfig cfg_;
+    std::unique_ptr<ConflictResolutionPolicy> policy_;
     PowerToken &power_;
     std::vector<TxParticipant *> participants_;
     std::unordered_map<LineAddr, LineSets> lines_;

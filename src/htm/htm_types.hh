@@ -100,6 +100,23 @@ countsTowardRetryLimit(AbortReason reason)
            reason != AbortReason::OtherFallback;
 }
 
+/** Who is issuing the request being arbitrated. */
+enum class RequesterClass : std::uint8_t
+{
+    /** Load/store of a plain speculative transaction. */
+    Speculative,
+    /** Load of a failed-mode discovery (flagged non-aborting). */
+    FailedDiscovery,
+    /** Non-locked load inside an S-CL execution. */
+    SclUnlocked,
+    /** S-CL locker acquiring a planned cacheline lock. */
+    SclLocking,
+    /** NS-CL locker acquiring a planned cacheline lock. */
+    NsClLocking,
+    /** Non-speculative access (fallback execution). */
+    NonSpeculative,
+};
+
 /**
  * Exception thrown from a memory-op awaitable to unwind an aborted
  * AR body coroutine back to its region driver.

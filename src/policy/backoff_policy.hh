@@ -1,0 +1,91 @@
+/**
+ * @file
+ * BackoffPolicy: how long a core waits before contending again.
+ *
+ * Covers the three waits of the retry loop: the linear backoff
+ * before a counted speculative retry, the re-issue delay after a
+ * Retry response from a locked line or directory set, and the spin
+ * interval on a taken fallback lock. RegionExecutor charges
+ * whatever the policy returns, so alternative backoff shapes
+ * (exponential, randomized) drop in without touching the executor.
+ */
+
+#ifndef CLEARSIM_POLICY_BACKOFF_POLICY_HH
+#define CLEARSIM_POLICY_BACKOFF_POLICY_HH
+
+#include <memory>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+struct SystemConfig;
+
+/** Wait-time policy of the retry loop. */
+class BackoffPolicy
+{
+  public:
+    virtual ~BackoffPolicy() = default;
+
+    /**
+     * Cycles to wait before the next speculative attempt after
+     * @p counted_retries counted aborts (0 on the first attempt).
+     */
+    virtual Cycle speculativeRetryDelay(unsigned counted_retries,
+                                        CoreId core) const = 0;
+
+    /** Backoff before re-issuing a request a lock Retry-answered. */
+    virtual Cycle lockRetryDelay() const = 0;
+
+    /** Interval between spins on a taken fallback lock. */
+    virtual Cycle fallbackSpinDelay() const = 0;
+
+    /** Short policy name for diagnostics. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * The paper's timing: linear speculative backoff with a per-core
+ * stagger, fixed lock-retry and fallback-spin intervals.
+ */
+class LinearBackoffPolicy : public BackoffPolicy
+{
+  public:
+    LinearBackoffPolicy(Cycle retry_base, Cycle lock_retry,
+                        Cycle fallback_spin)
+        : retryBase_(retry_base), lockRetry_(lock_retry),
+          fallbackSpin_(fallback_spin)
+    {
+    }
+
+    Cycle
+    speculativeRetryDelay(unsigned counted_retries,
+                          CoreId core) const override
+    {
+        if (counted_retries == 0 || retryBase_ == 0)
+            return 0;
+        // Linear backoff with a per-core stagger de-clusters
+        // retries of the transactions that just collided.
+        return retryBase_ * counted_retries + (core % 8) * 9;
+    }
+
+    Cycle lockRetryDelay() const override { return lockRetry_; }
+
+    Cycle fallbackSpinDelay() const override { return fallbackSpin_; }
+
+    const char *name() const override { return "linear"; }
+
+  private:
+    Cycle retryBase_;
+    Cycle lockRetry_;
+    Cycle fallbackSpin_;
+};
+
+/** Build the backoff policy a configuration calls for. */
+std::unique_ptr<BackoffPolicy>
+makeBackoffPolicy(const SystemConfig &cfg);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_POLICY_BACKOFF_POLICY_HH

@@ -1,0 +1,353 @@
+#include "policy/config_registry.hh"
+
+#include <charconv>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** Strict full-string decimal parse (no signs, no suffixes). */
+bool
+parseValue(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out, 10);
+    return ec == std::errc() && ptr == end;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+} // namespace
+
+ConfigRegistry &
+ConfigRegistry::instance()
+{
+    static ConfigRegistry registry;
+    return registry;
+}
+
+ConfigRegistry::ConfigRegistry()
+{
+    registerPreset("B",
+                   "baseline best-effort HTM (TSX-like "
+                   "requester-wins conflicts)",
+                   makeBaselineConfig);
+    registerPreset("P",
+                   "PowerTM: one prioritized power-mode "
+                   "transaction system-wide",
+                   makePowerTmConfig);
+    registerPreset("C",
+                   "CLEAR over requester-wins (the paper's main "
+                   "configuration)",
+                   makeClearConfig);
+    registerPreset("W", "CLEAR over PowerTM (Section 5.2 rules)",
+                   makeClearPowerConfig);
+
+    registerModifier("scl-all-reads",
+                     "S-CL locks every learned address instead of "
+                     "writes plus CRT reads",
+                     [](SystemConfig &cfg) {
+                         cfg.clear.sclLockAllReads = true;
+                     });
+    registerModifier("no-failed-mode",
+                     "disable failed-mode discovery continuation "
+                     "(Section 4.1)",
+                     [](SystemConfig &cfg) {
+                         cfg.clear.failedModeDiscovery = false;
+                     });
+    registerModifier("sle",
+                     "in-core (SLE) speculation: ROB/LQ/SQ bound "
+                     "the region",
+                     [](SystemConfig &cfg) {
+                         cfg.scope = SpeculationScope::InCore;
+                     });
+    registerModifier("htm",
+                     "out-of-core (HTM) speculation (the default)",
+                     [](SystemConfig &cfg) {
+                         cfg.scope = SpeculationScope::OutOfCore;
+                     });
+    registerModifier("profile",
+                     "measurement-only mode: keep executing past "
+                     "conflicts to record full footprints",
+                     [](SystemConfig &cfg) {
+                         cfg.profileMode = true;
+                     });
+
+    auto add = [this](const char *name, const char *description,
+                      std::uint64_t min_value, std::uint64_t max_value,
+                      std::function<void(SystemConfig &, std::uint64_t)>
+                          apply) {
+        overrides_.push_back({name, description, min_value, max_value,
+                              std::move(apply)});
+    };
+    add("maxRetries", "speculative retries before fallback", 0,
+        1000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.maxRetries = static_cast<unsigned>(v);
+        });
+    add("numCores", "simulated cores (conflict masks cap at 64)", 1,
+        64, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.numCores = static_cast<unsigned>(v);
+        });
+    add("altEntries", "Addresses-to-Lock Table entries", 1, 65536,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.clear.altEntries = static_cast<unsigned>(v);
+        });
+    add("ertEntries", "Explored Region Table entries", 1, 65536,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.clear.ertEntries = static_cast<unsigned>(v);
+        });
+    add("crtEntries", "Conflicting Reads Table entries", 1,
+        1u << 20, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.clear.crtEntries = static_cast<unsigned>(v);
+        });
+    add("crtWays", "CRT associativity", 1, 4096,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.clear.crtWays = static_cast<unsigned>(v);
+        });
+    add("sqFullSaturation", "SQ-Full counter saturation value", 0,
+        255, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.clear.sqFullSaturation = static_cast<unsigned>(v);
+        });
+    add("sqEntries", "store-queue entries", 1, 65536,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.core.sqEntries = static_cast<unsigned>(v);
+        });
+    add("robEntries", "reorder-buffer entries", 1, 1u << 20,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.core.robEntries = static_cast<unsigned>(v);
+        });
+    add("lqEntries", "load-queue entries", 1, 65536,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.core.lqEntries = static_cast<unsigned>(v);
+        });
+    add("retryBackoffBase", "linear retry backoff base cycles", 0,
+        1000000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.timing.retryBackoffBase = v;
+        });
+    add("lockRetryBackoff", "locked-line re-issue backoff cycles", 0,
+        1000000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.timing.lockRetryBackoff = v;
+        });
+    add("fallbackSpinInterval", "fallback-lock spin interval cycles",
+        1, 1000000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.timing.fallbackSpinInterval = v;
+        });
+    add("thinkTimeMean", "mean cycles between two regions", 0,
+        1000000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.timing.thinkTimeMean = v;
+        });
+}
+
+void
+ConfigRegistry::registerPreset(const std::string &name,
+                               const std::string &description,
+                               std::function<SystemConfig()> make)
+{
+    CLEARSIM_ASSERT(!name.empty() &&
+                        name.find_first_of("+:=,") == std::string::npos,
+                    "preset name must be non-empty and free of "
+                    "spec separators");
+    for (ConfigPreset &preset : presets_) {
+        if (preset.name == name) {
+            preset.description = description;
+            preset.make = std::move(make);
+            return;
+        }
+    }
+    presets_.push_back({name, description, std::move(make)});
+}
+
+void
+ConfigRegistry::registerModifier(
+    const std::string &name, const std::string &description,
+    std::function<void(SystemConfig &)> apply)
+{
+    CLEARSIM_ASSERT(!name.empty() &&
+                        name.find_first_of("+:=,") == std::string::npos,
+                    "modifier name must be non-empty and free of "
+                    "spec separators");
+    for (ConfigModifier &mod : modifiers_) {
+        if (mod.name == name) {
+            mod.description = description;
+            mod.apply = std::move(apply);
+            return;
+        }
+    }
+    modifiers_.push_back({name, description, std::move(apply)});
+}
+
+std::vector<std::string>
+ConfigRegistry::presetNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(presets_.size());
+    for (const ConfigPreset &preset : presets_)
+        names.push_back(preset.name);
+    return names;
+}
+
+bool
+ConfigRegistry::hasPreset(const std::string &name) const
+{
+    return findPreset(name) != nullptr;
+}
+
+const ConfigPreset *
+ConfigRegistry::findPreset(const std::string &name) const
+{
+    for (const ConfigPreset &preset : presets_) {
+        if (preset.name == name)
+            return &preset;
+    }
+    return nullptr;
+}
+
+const ConfigModifier *
+ConfigRegistry::findModifier(const std::string &name) const
+{
+    for (const ConfigModifier &mod : modifiers_) {
+        if (mod.name == name)
+            return &mod;
+    }
+    return nullptr;
+}
+
+const ConfigOverrideKey *
+ConfigRegistry::findOverride(const std::string &name) const
+{
+    for (const ConfigOverrideKey &key : overrides_) {
+        if (key.name == name)
+            return &key;
+    }
+    return nullptr;
+}
+
+std::string
+ConfigRegistry::presetListForErrors() const
+{
+    return joinNames(presetNames());
+}
+
+bool
+ConfigRegistry::tryMake(const std::string &spec, SystemConfig &out,
+                        std::string &error) const
+{
+    if (spec.empty()) {
+        error = "empty configuration spec (registered presets: " +
+                presetListForErrors() + ")";
+        return false;
+    }
+
+    std::string::size_type pos = spec.find_first_of("+:");
+    const std::string base = spec.substr(0, pos);
+    const ConfigPreset *preset = findPreset(base);
+    if (!preset) {
+        error = "unknown configuration '" + base +
+                "' (registered presets: " + presetListForErrors() +
+                "; see --list-configs)";
+        return false;
+    }
+    out = preset->make();
+
+    while (pos != std::string::npos) {
+        const char sep = spec[pos];
+        const std::string::size_type next =
+            spec.find_first_of("+:", pos + 1);
+        const std::string token =
+            spec.substr(pos + 1, next == std::string::npos
+                                     ? std::string::npos
+                                     : next - pos - 1);
+        pos = next;
+
+        if (sep == '+') {
+            const ConfigModifier *mod = findModifier(token);
+            if (!mod) {
+                std::vector<std::string> names;
+                for (const ConfigModifier &m : modifiers_)
+                    names.push_back(m.name);
+                error = "spec '" + spec + "': unknown modifier '+" +
+                        token + "' (known modifiers: " +
+                        joinNames(names) + ")";
+                return false;
+            }
+            mod->apply(out);
+            continue;
+        }
+
+        const std::string::size_type eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            error = "spec '" + spec + "': override ':" + token +
+                    "' is not of the form key=value";
+            return false;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        const ConfigOverrideKey *override_key = findOverride(key);
+        if (!override_key) {
+            std::vector<std::string> names;
+            for (const ConfigOverrideKey &k : overrides_)
+                names.push_back(k.name);
+            error = "spec '" + spec + "': unknown override key '" +
+                    key + "' (known keys: " + joinNames(names) + ")";
+            return false;
+        }
+        std::uint64_t parsed = 0;
+        if (!parseValue(value, parsed) ||
+            parsed < override_key->minValue ||
+            parsed > override_key->maxValue) {
+            error = "spec '" + spec + "': " + key + "='" + value +
+                    "' is not an integer in [" +
+                    std::to_string(override_key->minValue) + ", " +
+                    std::to_string(override_key->maxValue) + "]";
+            return false;
+        }
+        override_key->apply(out, parsed);
+    }
+
+    // The spec itself names the variant: plain presets keep their
+    // letter, composed specs stay distinguishable in sweep keys,
+    // CSVs and reports.
+    out.name = spec;
+    return true;
+}
+
+SystemConfig
+ConfigRegistry::make(const std::string &spec) const
+{
+    SystemConfig cfg;
+    std::string error;
+    if (!tryMake(spec, cfg, error))
+        fatal("%s", error.c_str());
+    return cfg;
+}
+
+SystemConfig
+makeConfigFromSpec(const std::string &spec)
+{
+    return ConfigRegistry::instance().make(spec);
+}
+
+SystemConfig
+makeConfigByName(const std::string &name)
+{
+    return ConfigRegistry::instance().make(name);
+}
+
+} // namespace clearsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ConfigRegistry: named configuration presets plus a spec-string
+ * parser, replacing the four hardcoded make*Config() factories.
+ *
+ * A *preset* is a named, described SystemConfig factory ("B", "P",
+ * "C", "W" are registered at startup; tests and tools can register
+ * more). A *spec string* composes a preset with modifiers and
+ * parameter overrides without recompiling:
+ *
+ *   "C"                      the C preset as-is
+ *   "C+scl-all-reads"        C with a named boolean modifier
+ *   "B:maxRetries=4"         B with a numeric field override
+ *   "C+sle:altEntries=8"     both, in any order after the preset
+ *
+ * The CLI (--config), the harness sweeps (SweepOptions::configs /
+ * CLEARSIM_CONFIGS) and the ablation benches all select variants
+ * through specs, so every experiment axis is data, not code.
+ */
+
+#ifndef CLEARSIM_POLICY_CONFIG_REGISTRY_HH
+#define CLEARSIM_POLICY_CONFIG_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace clearsim
+{
+
+/** One named, described SystemConfig factory. */
+struct ConfigPreset
+{
+    std::string name;
+    std::string description;
+    std::function<SystemConfig()> make;
+};
+
+/** One named boolean tweak applicable via "+name". */
+struct ConfigModifier
+{
+    std::string name;
+    std::string description;
+    std::function<void(SystemConfig &)> apply;
+};
+
+/** One numeric field override applicable via ":key=value". */
+struct ConfigOverrideKey
+{
+    std::string name;
+    std::string description;
+    std::uint64_t minValue;
+    std::uint64_t maxValue;
+    std::function<void(SystemConfig &, std::uint64_t)> apply;
+};
+
+/** The process-wide preset/modifier/override registry. */
+class ConfigRegistry
+{
+  public:
+    /** The singleton, with the built-in entries registered. */
+    static ConfigRegistry &instance();
+
+    /**
+     * Register (or replace) a preset. The registered name must not
+     * contain the spec separators '+', ':' or '=' or a comma.
+     */
+    void registerPreset(const std::string &name,
+                        const std::string &description,
+                        std::function<SystemConfig()> make);
+
+    /** Register (or replace) a "+name" modifier. */
+    void registerModifier(const std::string &name,
+                          const std::string &description,
+                          std::function<void(SystemConfig &)> apply);
+
+    const std::vector<ConfigPreset> &presets() const
+    {
+        return presets_;
+    }
+
+    const std::vector<ConfigModifier> &modifiers() const
+    {
+        return modifiers_;
+    }
+
+    const std::vector<ConfigOverrideKey> &overrideKeys() const
+    {
+        return overrides_;
+    }
+
+    /** Registered preset names, in registration order. */
+    std::vector<std::string> presetNames() const;
+
+    /** True if @p name is a registered preset (exact match). */
+    bool hasPreset(const std::string &name) const;
+
+    /**
+     * Build a configuration from a spec string.
+     * @retval false with @p error filled on any parse or lookup
+     *         failure; @p out is then unspecified
+     */
+    bool tryMake(const std::string &spec, SystemConfig &out,
+                 std::string &error) const;
+
+    /** Build from a spec string; fatal() with the error on failure. */
+    SystemConfig make(const std::string &spec) const;
+
+  private:
+    ConfigRegistry();
+
+    const ConfigPreset *findPreset(const std::string &name) const;
+    const ConfigModifier *findModifier(const std::string &name) const;
+    const ConfigOverrideKey *
+    findOverride(const std::string &name) const;
+
+    /** "B, P, C, W" for error messages. */
+    std::string presetListForErrors() const;
+
+    std::vector<ConfigPreset> presets_;
+    std::vector<ConfigModifier> modifiers_;
+    std::vector<ConfigOverrideKey> overrides_;
+};
+
+/**
+ * Build a configuration from a registry spec string; fatal() naming
+ * the registered presets on failure. Shorthand for
+ * ConfigRegistry::instance().make(spec).
+ */
+SystemConfig makeConfigFromSpec(const std::string &spec);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_POLICY_CONFIG_REGISTRY_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * ConflictResolutionPolicy: who survives a read/write-set conflict.
+ *
+ * The baseline HTM resolves conflicts requester-wins (Intel TSX);
+ * PowerTM grants one retrying transaction system-wide priority, and
+ * CLEAR over PowerTM adds the Section 5.2 nack rules between S-CL
+ * and power-mode transactions. These rules used to live as
+ * `cfg.htmPolicy == ...` branches inside ConflictManager::arbitrate
+ * and RegionExecutor; this interface concentrates them so a new
+ * resolution scheme is one subclass, not a branch audit.
+ */
+
+#ifndef CLEARSIM_POLICY_CONFLICT_POLICY_HH
+#define CLEARSIM_POLICY_CONFLICT_POLICY_HH
+
+#include <memory>
+
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+
+struct SystemConfig;
+
+/** The requester side of one arbitrated request. */
+struct RequesterView
+{
+    RequesterClass cls = RequesterClass::Speculative;
+
+    /** The requester holds the PowerTM token. */
+    bool powerMode = false;
+};
+
+/** One conflicting holder, as the policy sees it. */
+struct HolderView
+{
+    /** The holder runs in PowerTM power mode. */
+    bool powerMode = false;
+
+    /** The holder executes in S-CL mode. */
+    bool sclMode = false;
+};
+
+/** Baseline conflict-resolution policy of a configuration. */
+class ConflictResolutionPolicy
+{
+  public:
+    virtual ~ConflictResolutionPolicy() = default;
+
+    /**
+     * True if retrying transactions compete for the PowerTM token:
+     * the executor acquires it after a counted abort, and a holder
+     * read-locks the fallback lock instead of subscribing to it.
+     */
+    virtual bool usesPowerToken() const = 0;
+
+    /**
+     * May this holder nack the requester, so the requester aborts
+     * and the holder survives? Consulted once per conflicting
+     * holder, only for requesters that can lose at all (plain
+     * speculative and S-CL requests; NS-CL and non-speculative
+     * requests always win). When false for every holder, the
+     * requester wins and the holders are doomed.
+     */
+    virtual bool
+    holderNacksRequester(const RequesterView &requester,
+                         const HolderView &holder) const = 0;
+
+    /** Short policy name for diagnostics. */
+    virtual const char *name() const = 0;
+};
+
+/** Intel TSX-like: the requesting core always wins. */
+class RequesterWinsPolicy : public ConflictResolutionPolicy
+{
+  public:
+    bool usesPowerToken() const override { return false; }
+
+    bool
+    holderNacksRequester(const RequesterView &,
+                         const HolderView &) const override
+    {
+        return false;
+    }
+
+    const char *name() const override { return "requester-wins"; }
+};
+
+/**
+ * PowerTM priority: the single power-mode transaction wins against
+ * non-power requesters. With CLEAR layered on top, S-CL and
+ * power-mode transactions nack each other instead of aborting each
+ * other (Section 5.2).
+ */
+class PowerTmPolicy : public ConflictResolutionPolicy
+{
+  public:
+    /** @param clear_interop apply the Section 5.2 S-CL rules */
+    explicit PowerTmPolicy(bool clear_interop)
+        : clearInterop_(clear_interop)
+    {
+    }
+
+    bool usesPowerToken() const override { return true; }
+
+    bool
+    holderNacksRequester(const RequesterView &requester,
+                         const HolderView &holder) const override
+    {
+        if (holder.powerMode && !requester.powerMode)
+            return true;
+        if (clearInterop_) {
+            const bool reqScl =
+                requester.cls == RequesterClass::SclUnlocked ||
+                requester.cls == RequesterClass::SclLocking;
+            if ((holder.sclMode && requester.powerMode) ||
+                (holder.powerMode && reqScl)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const char *name() const override { return "powertm"; }
+
+  private:
+    bool clearInterop_;
+};
+
+/** Build the conflict policy a configuration calls for. */
+std::unique_ptr<ConflictResolutionPolicy>
+makeConflictPolicy(const SystemConfig &cfg);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_POLICY_CONFLICT_POLICY_HH

@@ -1,0 +1,39 @@
+#include "policy/policy_set.hh"
+
+#include "common/config.hh"
+
+namespace clearsim
+{
+
+std::unique_ptr<RetryPolicy>
+makeRetryPolicy(const SystemConfig &cfg)
+{
+    if (cfg.clear.enabled)
+        return std::make_unique<ClearRetryPolicy>(cfg.maxRetries);
+    return std::make_unique<BaselineRetryPolicy>(cfg.maxRetries);
+}
+
+std::unique_ptr<ConflictResolutionPolicy>
+makeConflictPolicy(const SystemConfig &cfg)
+{
+    if (cfg.htmPolicy == HtmPolicy::PowerTm)
+        return std::make_unique<PowerTmPolicy>(cfg.clear.enabled);
+    return std::make_unique<RequesterWinsPolicy>();
+}
+
+std::unique_ptr<BackoffPolicy>
+makeBackoffPolicy(const SystemConfig &cfg)
+{
+    return std::make_unique<LinearBackoffPolicy>(
+        cfg.timing.retryBackoffBase, cfg.timing.lockRetryBackoff,
+        cfg.timing.fallbackSpinInterval);
+}
+
+PolicySet::PolicySet(const SystemConfig &cfg)
+    : retry_(makeRetryPolicy(cfg)),
+      conflict_(makeConflictPolicy(cfg)),
+      backoff_(makeBackoffPolicy(cfg))
+{
+}
+
+} // namespace clearsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * PolicySet: the three execution policies of one configuration.
+ *
+ * A System owns one PolicySet, built once from its SystemConfig;
+ * RegionExecutor and ConflictManager consult the policies instead
+ * of branching on configuration enums. The policies are stateless
+ * (all per-invocation bookkeeping stays in the executor), so one
+ * set serves every core.
+ */
+
+#ifndef CLEARSIM_POLICY_POLICY_SET_HH
+#define CLEARSIM_POLICY_POLICY_SET_HH
+
+#include <memory>
+
+#include "policy/backoff_policy.hh"
+#include "policy/conflict_policy.hh"
+#include "policy/retry_policy.hh"
+
+namespace clearsim
+{
+
+struct SystemConfig;
+
+/** The execution policies selected by one configuration. */
+class PolicySet
+{
+  public:
+    explicit PolicySet(const SystemConfig &cfg);
+
+    PolicySet(const PolicySet &) = delete;
+    PolicySet &operator=(const PolicySet &) = delete;
+
+    const RetryPolicy &retry() const { return *retry_; }
+    const ConflictResolutionPolicy &conflict() const
+    {
+        return *conflict_;
+    }
+    const BackoffPolicy &backoff() const { return *backoff_; }
+
+  private:
+    std::unique_ptr<RetryPolicy> retry_;
+    std::unique_ptr<ConflictResolutionPolicy> conflict_;
+    std::unique_ptr<BackoffPolicy> backoff_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_POLICY_POLICY_SET_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * RetryPolicy: which mode a failed atomic region re-executes in.
+ *
+ * Owns the paper's Figure 2 decision tree plus the counted-retry
+ * bookkeeping (which aborts consume the retry budget, when the
+ * budget forces the fallback path). The decision is computed from a
+ * RetryDecisionInput snapshot so policies can be driven — and unit
+ * tested — without a System, TxContext or memory hierarchy behind
+ * them; RegionExecutor gathers the snapshot from the live machinery
+ * and applies the verdict.
+ */
+
+#ifndef CLEARSIM_POLICY_RETRY_POLICY_HH
+#define CLEARSIM_POLICY_RETRY_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+
+struct SystemConfig;
+
+/** How the next attempt of a failed AR should execute. */
+enum class RetryMode : std::uint8_t
+{
+    SpeculativeRetry,
+    SCl,
+    NsCl,
+    Fallback,
+};
+
+/**
+ * Everything Figure 2 inspects when choosing the next mode after an
+ * aborted speculative attempt, decoupled from the live structures.
+ */
+struct RetryDecisionInput
+{
+    /** Discovery was active during the aborted attempt. */
+    bool discoveryRan = false;
+
+    /** The footprint/SQ tracking structures overflowed. */
+    bool structuresOverflowed = false;
+
+    /** Discovery saw the whole region (complete footprint). */
+    bool discoveryComplete = false;
+
+    /** The ALT can lock the discovered footprint. */
+    bool footprintLockable = false;
+
+    /** ERT verdict for the region (true when no entry exists). */
+    bool regionConvertible = true;
+
+    /** The attempt dereferenced a speculatively-read value. */
+    bool sawIndirection = false;
+};
+
+/** Verdict after an NS-CL / S-CL attempt aborted (Section 4.4.2). */
+struct LockedAbortDecision
+{
+    RetryMode next = RetryMode::SpeculativeRetry;
+
+    /** Mark the region non-convertible in the ERT. */
+    bool disableDiscovery = false;
+};
+
+/** The re-execution policy of one configuration. */
+class RetryPolicy
+{
+  public:
+    explicit RetryPolicy(unsigned max_retries)
+        : maxRetries_(max_retries)
+    {
+    }
+
+    virtual ~RetryPolicy() = default;
+
+    /** Counted speculative retries allowed before fallback. */
+    unsigned maxRetries() const { return maxRetries_; }
+
+    /** True once the counted-retry budget forces the fallback. */
+    bool
+    exhausted(unsigned counted_retries) const
+    {
+        return counted_retries >= maxRetries_;
+    }
+
+    /**
+     * True if this abort consumes the retry budget. Fallback-lock
+     * aborts do not (Section 7).
+     */
+    virtual bool
+    countsRetry(AbortReason reason) const
+    {
+        return countsTowardRetryLimit(reason);
+    }
+
+    /** Figure 2: pick the mode of the next attempt. */
+    virtual RetryMode
+    decideRetryMode(const RetryDecisionInput &in) const = 0;
+
+    /**
+     * Pick the next mode after a cacheline-locked attempt aborted.
+     * A memory conflict or nack on a non-locked read re-runs S-CL
+     * with the line (now CRT-held) locked; anything else marks the
+     * region non-discoverable and falls back to speculation.
+     */
+    virtual LockedAbortDecision
+    decideAfterLockedAbort(AbortReason reason) const
+    {
+        LockedAbortDecision d;
+        if (reason == AbortReason::MemoryConflict ||
+            reason == AbortReason::Nacked) {
+            d.next = RetryMode::SCl;
+        } else {
+            d.next = RetryMode::SpeculativeRetry;
+            d.disableDiscovery = true;
+        }
+        return d;
+    }
+
+    /** Short policy name for diagnostics. */
+    virtual const char *name() const = 0;
+
+  private:
+    unsigned maxRetries_;
+};
+
+/** Baseline HTM retry loop: always retry speculatively. */
+class BaselineRetryPolicy : public RetryPolicy
+{
+  public:
+    using RetryPolicy::RetryPolicy;
+
+    RetryMode
+    decideRetryMode(const RetryDecisionInput &) const override
+    {
+        return RetryMode::SpeculativeRetry;
+    }
+
+    const char *name() const override { return "baseline"; }
+};
+
+/** CLEAR: the full Figure 2 tree over the discovery outcome. */
+class ClearRetryPolicy : public RetryPolicy
+{
+  public:
+    using RetryPolicy::RetryPolicy;
+
+    RetryMode
+    decideRetryMode(const RetryDecisionInput &in) const override
+    {
+        // Figure 2, top: discovery must have run and captured the
+        // complete footprint within the core structures.
+        if (!in.discoveryRan)
+            return RetryMode::SpeculativeRetry;
+        if (in.structuresOverflowed || !in.discoveryComplete)
+            return RetryMode::SpeculativeRetry;
+
+        // Figure 2, middle: the hardware must be able to lock the
+        // address set, and the ERT must not have vetoed the region.
+        if (!in.footprintLockable)
+            return RetryMode::SpeculativeRetry;
+        if (!in.regionConvertible)
+            return RetryMode::SpeculativeRetry;
+
+        // Figure 2, bottom: indirections force the speculative
+        // locked mode.
+        return in.sawIndirection ? RetryMode::SCl : RetryMode::NsCl;
+    }
+
+    const char *name() const override { return "clear"; }
+};
+
+/** Build the retry policy a configuration calls for. */
+std::unique_ptr<RetryPolicy>
+makeRetryPolicy(const SystemConfig &cfg);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_POLICY_RETRY_POLICY_HH

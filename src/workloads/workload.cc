@@ -1,5 +1,7 @@
 #include "workloads/workload.hh"
 
+#include <map>
+
 #include "common/log.hh"
 
 namespace clearsim
@@ -30,6 +32,34 @@ workloadNames()
         "vacation-l", "yada",
     };
     return names;
+}
+
+std::string
+workloadDescription(const std::string &name)
+{
+    static const std::map<std::string, std::string> descriptions = {
+        {"arrayswap", "swap two random slots of a shared array"},
+        {"bitcoin", "per-miner balance updates, hot shared total"},
+        {"bst", "unbalanced binary search tree insert/lookup mix"},
+        {"deque", "double-ended queue, pushes/pops at both ends"},
+        {"hashmap", "open-chaining hash map insert/lookup mix"},
+        {"mwobject", "multi-word object read-modify-write"},
+        {"queue", "FIFO queue, enqueue/dequeue contention"},
+        {"stack", "LIFO stack, all threads on one hot top"},
+        {"sorted-list", "sorted linked list with long traversals"},
+        {"bayes", "STAMP: Bayesian network structure learning"},
+        {"genome", "STAMP: gene sequencing segment matching"},
+        {"intruder", "STAMP: network intrusion detection"},
+        {"kmeans-h", "STAMP: k-means clustering, high contention"},
+        {"kmeans-l", "STAMP: k-means clustering, low contention"},
+        {"labyrinth", "STAMP: maze routing, large footprints"},
+        {"ssca2", "STAMP: graph kernel, tiny transactions"},
+        {"vacation-h", "STAMP: travel booking, high contention"},
+        {"vacation-l", "STAMP: travel booking, low contention"},
+        {"yada", "STAMP: Delaunay mesh refinement"},
+    };
+    const auto it = descriptions.find(name);
+    return it == descriptions.end() ? std::string() : it->second;
 }
 
 std::unique_ptr<Workload>

@@ -108,6 +108,9 @@ class Workload
 /** All registered workload names, in the paper's Table 1 order. */
 const std::vector<std::string> &workloadNames();
 
+/** One-line description of a workload; empty for unknown names. */
+std::string workloadDescription(const std::string &name);
+
 /** Instantiate a workload by name; fatal() on unknown names. */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        const WorkloadParams &params);

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Behaviour-preservation proof for the policy-layer refactor: the
+ * sweep-cache CSV of the four B/P/C/W presets must be byte-identical
+ * to a golden file generated with the pre-refactor code
+ * (tests/data/sweep_golden.csv). Any change to retry decisions,
+ * conflict arbitration, backoff timing or CSV formatting shows up
+ * as a diff here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/sweep_cache.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(SweepGoldenTest, PresetSweepCsvIsByteIdenticalToGolden)
+{
+    // The exact options the golden file was generated with.
+    SweepOptions opts;
+    opts.configs = {"B", "P", "C", "W"};
+    opts.workloads = {"bitcoin", "bst"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 2;
+    opts.params.opsPerThread = 8;
+    opts.params.seed = 42;
+
+    const auto cells = runSweep(opts);
+    SweepSummary summary;
+    for (const auto &[key, cell] : cells)
+        summary[key] = CellSummary::fromCell(cell);
+
+    const std::string path =
+        testing::TempDir() + "clearsim_sweep_golden_check.csv";
+    saveSweepCache(path, sweepOptionsHash(opts), summary);
+
+    const std::string golden =
+        readFile(std::string(CLEARSIM_TEST_DATA_DIR) +
+                 "/sweep_golden.csv");
+    const std::string fresh = readFile(path);
+    std::remove(path.c_str());
+
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(fresh, golden)
+        << "sweep results diverged from the pre-refactor golden "
+           "file; the B/P/C/W presets are no longer "
+           "behaviour-preserving";
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,78 @@
+/** @file Unit tests for BackoffPolicy. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "policy/backoff_policy.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(LinearBackoffPolicyTest, FirstAttemptWaitsNothing)
+{
+    const LinearBackoffPolicy policy(/*retry_base=*/50,
+                                     /*lock_retry=*/12,
+                                     /*fallback_spin=*/30);
+    for (CoreId core = 0; core < 16; ++core)
+        EXPECT_EQ(policy.speculativeRetryDelay(0, core), 0u);
+}
+
+TEST(LinearBackoffPolicyTest, ZeroBaseDisablesBackoff)
+{
+    const LinearBackoffPolicy policy(/*retry_base=*/0,
+                                     /*lock_retry=*/12,
+                                     /*fallback_spin=*/30);
+    EXPECT_EQ(policy.speculativeRetryDelay(1, 0), 0u);
+    EXPECT_EQ(policy.speculativeRetryDelay(5, 3), 0u);
+}
+
+TEST(LinearBackoffPolicyTest, DelayGrowsLinearly)
+{
+    const LinearBackoffPolicy policy(/*retry_base=*/50,
+                                     /*lock_retry=*/12,
+                                     /*fallback_spin=*/30);
+    EXPECT_EQ(policy.speculativeRetryDelay(1, 0), 50u);
+    EXPECT_EQ(policy.speculativeRetryDelay(2, 0), 100u);
+    EXPECT_EQ(policy.speculativeRetryDelay(3, 0), 150u);
+}
+
+TEST(LinearBackoffPolicyTest, PerCoreStaggerDeclustersRetries)
+{
+    const LinearBackoffPolicy policy(/*retry_base=*/50,
+                                     /*lock_retry=*/12,
+                                     /*fallback_spin=*/30);
+    // Each of 8 neighbouring cores gets a distinct offset...
+    EXPECT_EQ(policy.speculativeRetryDelay(1, 0), 50u);
+    EXPECT_EQ(policy.speculativeRetryDelay(1, 1), 59u);
+    EXPECT_EQ(policy.speculativeRetryDelay(1, 7), 50u + 7 * 9);
+    // ...and the stagger wraps modulo 8.
+    EXPECT_EQ(policy.speculativeRetryDelay(1, 8),
+              policy.speculativeRetryDelay(1, 0));
+}
+
+TEST(LinearBackoffPolicyTest, FixedLockAndFallbackIntervals)
+{
+    const LinearBackoffPolicy policy(/*retry_base=*/50,
+                                     /*lock_retry=*/12,
+                                     /*fallback_spin=*/30);
+    EXPECT_EQ(policy.lockRetryDelay(), 12u);
+    EXPECT_EQ(policy.fallbackSpinDelay(), 30u);
+}
+
+TEST(BackoffPolicyFactoryTest, TimingConfigPropagates)
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.timing.retryBackoffBase = 25;
+    cfg.timing.lockRetryBackoff = 7;
+    cfg.timing.fallbackSpinInterval = 19;
+    const auto policy = makeBackoffPolicy(cfg);
+    EXPECT_STREQ(policy->name(), "linear");
+    EXPECT_EQ(policy->speculativeRetryDelay(2, 0), 50u);
+    EXPECT_EQ(policy->lockRetryDelay(), 7u);
+    EXPECT_EQ(policy->fallbackSpinDelay(), 19u);
+}
+
+} // namespace
+} // namespace clearsim

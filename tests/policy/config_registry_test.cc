@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the ConfigRegistry and its spec-string grammar
+ * (preset[+modifier...][:key=value...]).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/config.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SystemConfig
+mustMake(const std::string &spec)
+{
+    SystemConfig cfg;
+    std::string error;
+    const bool ok =
+        ConfigRegistry::instance().tryMake(spec, cfg, error);
+    EXPECT_TRUE(ok) << "spec '" << spec << "': " << error;
+    return cfg;
+}
+
+std::string
+mustFail(const std::string &spec)
+{
+    SystemConfig cfg;
+    std::string error;
+    EXPECT_FALSE(
+        ConfigRegistry::instance().tryMake(spec, cfg, error))
+        << "spec '" << spec << "' unexpectedly parsed";
+    return error;
+}
+
+TEST(ConfigRegistryTest, FourPresetsAreRegistered)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    for (const char *name : {"B", "P", "C", "W"})
+        EXPECT_TRUE(reg.hasPreset(name)) << name;
+    EXPECT_FALSE(reg.hasPreset("X"));
+
+    const std::vector<std::string> names = reg.presetNames();
+    EXPECT_EQ(names.size(), reg.presets().size());
+    EXPECT_NE(std::find(names.begin(), names.end(), "C"),
+              names.end());
+}
+
+TEST(ConfigRegistryTest, PlainPresetsMatchTheLegacyFactories)
+{
+    EXPECT_FALSE(mustMake("B").clear.enabled);
+    EXPECT_EQ(mustMake("B").htmPolicy, HtmPolicy::RequesterWins);
+    EXPECT_EQ(mustMake("P").htmPolicy, HtmPolicy::PowerTm);
+    EXPECT_TRUE(mustMake("C").clear.enabled);
+    EXPECT_TRUE(mustMake("W").clear.enabled);
+    EXPECT_EQ(mustMake("W").htmPolicy, HtmPolicy::PowerTm);
+}
+
+TEST(ConfigRegistryTest, SpecBecomesTheConfigName)
+{
+    EXPECT_EQ(mustMake("C").name, "C");
+    EXPECT_EQ(mustMake("C+scl-all-reads").name, "C+scl-all-reads");
+    EXPECT_EQ(mustMake("B:maxRetries=8").name, "B:maxRetries=8");
+}
+
+TEST(ConfigRegistryTest, ModifiersApply)
+{
+    EXPECT_FALSE(mustMake("C").clear.sclLockAllReads);
+    EXPECT_TRUE(mustMake("C+scl-all-reads").clear.sclLockAllReads);
+    EXPECT_TRUE(mustMake("C").clear.failedModeDiscovery);
+    EXPECT_FALSE(
+        mustMake("C+no-failed-mode").clear.failedModeDiscovery);
+    EXPECT_EQ(mustMake("C+sle").scope, SpeculationScope::InCore);
+    EXPECT_EQ(mustMake("C+htm").scope, SpeculationScope::OutOfCore);
+    EXPECT_TRUE(mustMake("C+profile").profileMode);
+
+    // Modifiers compose left to right.
+    const SystemConfig cfg = mustMake("C+sle+scl-all-reads");
+    EXPECT_EQ(cfg.scope, SpeculationScope::InCore);
+    EXPECT_TRUE(cfg.clear.sclLockAllReads);
+}
+
+TEST(ConfigRegistryTest, OverridesApply)
+{
+    EXPECT_EQ(mustMake("B:maxRetries=8").maxRetries, 8u);
+    EXPECT_EQ(mustMake("C:altEntries=16").clear.altEntries, 16u);
+    EXPECT_EQ(mustMake("C:numCores=16").numCores, 16u);
+    EXPECT_EQ(mustMake("C:retryBackoffBase=0").timing
+                  .retryBackoffBase,
+              0u);
+
+    // Overrides and modifiers mix in one spec.
+    const SystemConfig cfg =
+        mustMake("C+scl-all-reads:maxRetries=2:altEntries=8");
+    EXPECT_TRUE(cfg.clear.sclLockAllReads);
+    EXPECT_EQ(cfg.maxRetries, 2u);
+    EXPECT_EQ(cfg.clear.altEntries, 8u);
+}
+
+TEST(ConfigRegistryTest, UnknownPresetListsTheRegisteredOnes)
+{
+    const std::string error = mustFail("Z");
+    EXPECT_NE(error.find("unknown configuration 'Z'"),
+              std::string::npos)
+        << error;
+    // The message must name the actual registered presets.
+    for (const char *name : {"B", "P", "C", "W"})
+        EXPECT_NE(error.find(name), std::string::npos) << error;
+}
+
+TEST(ConfigRegistryTest, UnknownModifierListsTheKnownOnes)
+{
+    const std::string error = mustFail("C+bogus");
+    EXPECT_NE(error.find("unknown modifier '+bogus'"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("scl-all-reads"), std::string::npos)
+        << error;
+}
+
+TEST(ConfigRegistryTest, UnknownOverrideKeyListsTheKnownOnes)
+{
+    const std::string error = mustFail("C:bogus=1");
+    EXPECT_NE(error.find("unknown override key 'bogus'"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("maxRetries"), std::string::npos) << error;
+}
+
+TEST(ConfigRegistryTest, MalformedSpecsAreRejected)
+{
+    mustFail("");
+    mustFail("C:maxRetries");        // no '='
+    mustFail("C:=4");                // empty key
+    mustFail("C:maxRetries=");       // empty value
+    mustFail("C:maxRetries=abc");    // not an integer
+    mustFail("C:maxRetries=-1");     // signs rejected
+    mustFail("C:maxRetries=4x");     // trailing garbage
+    mustFail("C:numCores=0");        // below the minimum
+    mustFail("C:numCores=65");       // above the maximum
+    mustFail("C+");                  // empty modifier
+}
+
+TEST(ConfigRegistryTest, DescriptionsAreNonEmpty)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    for (const ConfigPreset &p : reg.presets())
+        EXPECT_FALSE(p.description.empty()) << p.name;
+    for (const ConfigModifier &m : reg.modifiers())
+        EXPECT_FALSE(m.description.empty()) << m.name;
+    for (const ConfigOverrideKey &k : reg.overrideKeys())
+        EXPECT_FALSE(k.description.empty()) << k.name;
+}
+
+TEST(ConfigRegistryTest, MakeConfigByNameUsesTheRegistry)
+{
+    // The legacy entry point accepts full spec strings now.
+    EXPECT_EQ(makeConfigByName("C").name, "C");
+    EXPECT_EQ(makeConfigByName("C:maxRetries=3").maxRetries, 3u);
+    EXPECT_EQ(makeConfigFromSpec("W").htmPolicy, HtmPolicy::PowerTm);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for ConflictResolutionPolicy: requester-wins, PowerTM
+ * priority, and the Section 5.2 S-CL/power nack rules of CLEAR over
+ * PowerTM — exercised through RequesterView/HolderView pairs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "policy/conflict_policy.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+RequesterView
+requester(RequesterClass cls, bool power = false)
+{
+    RequesterView view;
+    view.cls = cls;
+    view.powerMode = power;
+    return view;
+}
+
+HolderView
+holder(bool power, bool scl)
+{
+    HolderView view;
+    view.powerMode = power;
+    view.sclMode = scl;
+    return view;
+}
+
+TEST(RequesterWinsPolicyTest, NeverNacks)
+{
+    const RequesterWinsPolicy policy;
+    EXPECT_FALSE(policy.usesPowerToken());
+    for (const RequesterClass cls :
+         {RequesterClass::Speculative, RequesterClass::SclUnlocked,
+          RequesterClass::SclLocking}) {
+        EXPECT_FALSE(policy.holderNacksRequester(
+            requester(cls), holder(false, false)));
+        EXPECT_FALSE(policy.holderNacksRequester(
+            requester(cls), holder(true, true)));
+    }
+}
+
+TEST(PowerTmPolicyTest, PowerHolderNacksNonPowerRequester)
+{
+    const PowerTmPolicy policy(/*clear_interop=*/false);
+    EXPECT_TRUE(policy.usesPowerToken());
+    EXPECT_TRUE(policy.holderNacksRequester(
+        requester(RequesterClass::Speculative),
+        holder(/*power=*/true, /*scl=*/false)));
+    EXPECT_FALSE(policy.holderNacksRequester(
+        requester(RequesterClass::Speculative),
+        holder(/*power=*/false, /*scl=*/false)));
+}
+
+TEST(PowerTmPolicyTest, PowerRequesterIsNotNackedByPowerHolder)
+{
+    // There is a single power token system-wide, but the rule must
+    // still be asymmetric: a power-mode requester never loses to a
+    // power-mode holder.
+    const PowerTmPolicy policy(/*clear_interop=*/false);
+    EXPECT_FALSE(policy.holderNacksRequester(
+        requester(RequesterClass::Speculative, /*power=*/true),
+        holder(/*power=*/true, /*scl=*/false)));
+}
+
+TEST(PowerTmPolicyTest, WithoutClearInteropSclIsNotSpecial)
+{
+    const PowerTmPolicy policy(/*clear_interop=*/false);
+    // An S-CL holder does not nack a power requester...
+    EXPECT_FALSE(policy.holderNacksRequester(
+        requester(RequesterClass::Speculative, /*power=*/true),
+        holder(/*power=*/false, /*scl=*/true)));
+    // ...and an S-CL requester is treated like any non-power one.
+    EXPECT_TRUE(policy.holderNacksRequester(
+        requester(RequesterClass::SclUnlocked),
+        holder(/*power=*/true, /*scl=*/false)));
+}
+
+TEST(PowerTmPolicyTest, ClearInteropAppliesSection52)
+{
+    const PowerTmPolicy policy(/*clear_interop=*/true);
+    // S-CL holder nacks a power-mode requester instead of dying.
+    EXPECT_TRUE(policy.holderNacksRequester(
+        requester(RequesterClass::Speculative, /*power=*/true),
+        holder(/*power=*/false, /*scl=*/true)));
+    // Power holder nacks S-CL requests (both flavours).
+    EXPECT_TRUE(policy.holderNacksRequester(
+        requester(RequesterClass::SclUnlocked),
+        holder(/*power=*/true, /*scl=*/false)));
+    EXPECT_TRUE(policy.holderNacksRequester(
+        requester(RequesterClass::SclLocking),
+        holder(/*power=*/true, /*scl=*/false)));
+    // Plain speculative vs plain holder stays requester-wins.
+    EXPECT_FALSE(policy.holderNacksRequester(
+        requester(RequesterClass::Speculative),
+        holder(/*power=*/false, /*scl=*/false)));
+    // S-CL holder vs non-power speculative requester: the holder
+    // has no priority of its own; the requester wins.
+    EXPECT_FALSE(policy.holderNacksRequester(
+        requester(RequesterClass::Speculative),
+        holder(/*power=*/false, /*scl=*/true)));
+}
+
+TEST(ConflictPolicyFactoryTest, ConfigSelectsThePolicy)
+{
+    EXPECT_STREQ(makeConflictPolicy(makeBaselineConfig())->name(),
+                 "requester-wins");
+    EXPECT_STREQ(makeConflictPolicy(makeClearConfig())->name(),
+                 "requester-wins");
+    EXPECT_STREQ(makeConflictPolicy(makePowerTmConfig())->name(),
+                 "powertm");
+    EXPECT_STREQ(makeConflictPolicy(makeClearPowerConfig())->name(),
+                 "powertm");
+
+    EXPECT_FALSE(
+        makeConflictPolicy(makeBaselineConfig())->usesPowerToken());
+    EXPECT_TRUE(
+        makeConflictPolicy(makePowerTmConfig())->usesPowerToken());
+}
+
+TEST(ConflictPolicyFactoryTest, ClearInteropOnlyUnderW)
+{
+    // P: PowerTM without CLEAR — no Section 5.2 rules.
+    const auto p = makeConflictPolicy(makePowerTmConfig());
+    EXPECT_FALSE(p->holderNacksRequester(
+        requester(RequesterClass::Speculative, /*power=*/true),
+        holder(/*power=*/false, /*scl=*/true)));
+
+    // W: CLEAR over PowerTM — S-CL holders nack power requesters.
+    const auto w = makeConflictPolicy(makeClearPowerConfig());
+    EXPECT_TRUE(w->holderNacksRequester(
+        requester(RequesterClass::Speculative, /*power=*/true),
+        holder(/*power=*/false, /*scl=*/true)));
+}
+
+} // namespace
+} // namespace clearsim

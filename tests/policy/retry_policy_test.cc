@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for RetryPolicy: every branch of the Figure 2 decision
+ * tree, driven through RetryDecisionInput snapshots — no System,
+ * TxContext or memory hierarchy behind them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "policy/retry_policy.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** Input that satisfies every Figure 2 precondition for NS-CL. */
+RetryDecisionInput
+perfectDiscovery()
+{
+    RetryDecisionInput in;
+    in.discoveryRan = true;
+    in.structuresOverflowed = false;
+    in.discoveryComplete = true;
+    in.footprintLockable = true;
+    in.regionConvertible = true;
+    in.sawIndirection = false;
+    return in;
+}
+
+TEST(ClearRetryPolicyTest, NoDiscoveryRetriesSpeculatively)
+{
+    const ClearRetryPolicy policy(4);
+    RetryDecisionInput in = perfectDiscovery();
+    in.discoveryRan = false;
+    EXPECT_EQ(policy.decideRetryMode(in),
+              RetryMode::SpeculativeRetry);
+}
+
+TEST(ClearRetryPolicyTest, OverflowRetriesSpeculatively)
+{
+    const ClearRetryPolicy policy(4);
+    RetryDecisionInput in = perfectDiscovery();
+    in.structuresOverflowed = true;
+    EXPECT_EQ(policy.decideRetryMode(in),
+              RetryMode::SpeculativeRetry);
+}
+
+TEST(ClearRetryPolicyTest, IncompleteDiscoveryRetriesSpeculatively)
+{
+    const ClearRetryPolicy policy(4);
+    RetryDecisionInput in = perfectDiscovery();
+    in.discoveryComplete = false;
+    EXPECT_EQ(policy.decideRetryMode(in),
+              RetryMode::SpeculativeRetry);
+}
+
+TEST(ClearRetryPolicyTest, UnlockableFootprintRetriesSpeculatively)
+{
+    const ClearRetryPolicy policy(4);
+    RetryDecisionInput in = perfectDiscovery();
+    in.footprintLockable = false;
+    EXPECT_EQ(policy.decideRetryMode(in),
+              RetryMode::SpeculativeRetry);
+}
+
+TEST(ClearRetryPolicyTest, ErtVetoRetriesSpeculatively)
+{
+    const ClearRetryPolicy policy(4);
+    RetryDecisionInput in = perfectDiscovery();
+    in.regionConvertible = false;
+    EXPECT_EQ(policy.decideRetryMode(in),
+              RetryMode::SpeculativeRetry);
+}
+
+TEST(ClearRetryPolicyTest, CleanDiscoveryConvertsToNsCl)
+{
+    const ClearRetryPolicy policy(4);
+    EXPECT_EQ(policy.decideRetryMode(perfectDiscovery()),
+              RetryMode::NsCl);
+}
+
+TEST(ClearRetryPolicyTest, IndirectionForcesSCl)
+{
+    const ClearRetryPolicy policy(4);
+    RetryDecisionInput in = perfectDiscovery();
+    in.sawIndirection = true;
+    EXPECT_EQ(policy.decideRetryMode(in), RetryMode::SCl);
+}
+
+TEST(BaselineRetryPolicyTest, AlwaysRetriesSpeculatively)
+{
+    const BaselineRetryPolicy policy(4);
+    // Even a perfect discovery outcome never converts: the baseline
+    // has no cacheline-locked modes.
+    EXPECT_EQ(policy.decideRetryMode(perfectDiscovery()),
+              RetryMode::SpeculativeRetry);
+    RetryDecisionInput in = perfectDiscovery();
+    in.sawIndirection = true;
+    EXPECT_EQ(policy.decideRetryMode(in),
+              RetryMode::SpeculativeRetry);
+}
+
+TEST(RetryPolicyTest, FallbackAbortsDoNotCountTowardTheLimit)
+{
+    const ClearRetryPolicy policy(4);
+    EXPECT_TRUE(policy.countsRetry(AbortReason::MemoryConflict));
+    EXPECT_TRUE(policy.countsRetry(AbortReason::Nacked));
+    EXPECT_TRUE(policy.countsRetry(AbortReason::CapacityOverflow));
+    EXPECT_TRUE(policy.countsRetry(AbortReason::Deviation));
+    EXPECT_TRUE(policy.countsRetry(AbortReason::Explicit));
+    EXPECT_FALSE(policy.countsRetry(AbortReason::ExplicitFallback));
+    EXPECT_FALSE(policy.countsRetry(AbortReason::OtherFallback));
+}
+
+TEST(RetryPolicyTest, ExhaustedAtTheConfiguredBudget)
+{
+    const BaselineRetryPolicy policy(4);
+    EXPECT_EQ(policy.maxRetries(), 4u);
+    EXPECT_FALSE(policy.exhausted(0));
+    EXPECT_FALSE(policy.exhausted(3));
+    EXPECT_TRUE(policy.exhausted(4));
+    EXPECT_TRUE(policy.exhausted(5));
+
+    // maxRetries=0 means the first abort already goes to fallback.
+    const BaselineRetryPolicy none(0);
+    EXPECT_TRUE(none.exhausted(0));
+}
+
+TEST(RetryPolicyTest, LockedAbortConflictRerunsSCl)
+{
+    const ClearRetryPolicy policy(4);
+    for (const AbortReason reason :
+         {AbortReason::MemoryConflict, AbortReason::Nacked}) {
+        const LockedAbortDecision d =
+            policy.decideAfterLockedAbort(reason);
+        EXPECT_EQ(d.next, RetryMode::SCl);
+        EXPECT_FALSE(d.disableDiscovery);
+    }
+}
+
+TEST(RetryPolicyTest, LockedAbortDeviationDisablesDiscovery)
+{
+    const ClearRetryPolicy policy(4);
+    for (const AbortReason reason :
+         {AbortReason::Deviation, AbortReason::CapacityOverflow,
+          AbortReason::OtherFallback, AbortReason::Explicit}) {
+        const LockedAbortDecision d =
+            policy.decideAfterLockedAbort(reason);
+        EXPECT_EQ(d.next, RetryMode::SpeculativeRetry);
+        EXPECT_TRUE(d.disableDiscovery);
+    }
+}
+
+TEST(RetryPolicyFactoryTest, ConfigSelectsThePolicy)
+{
+    const auto baseline = makeRetryPolicy(makeBaselineConfig());
+    EXPECT_STREQ(baseline->name(), "baseline");
+
+    const auto power = makeRetryPolicy(makePowerTmConfig());
+    EXPECT_STREQ(power->name(), "baseline");
+
+    const auto clear = makeRetryPolicy(makeClearConfig());
+    EXPECT_STREQ(clear->name(), "clear");
+
+    const auto clear_power =
+        makeRetryPolicy(makeClearPowerConfig());
+    EXPECT_STREQ(clear_power->name(), "clear");
+}
+
+TEST(RetryPolicyFactoryTest, MaxRetriesPropagates)
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.maxRetries = 7;
+    const auto policy = makeRetryPolicy(cfg);
+    EXPECT_EQ(policy->maxRetries(), 7u);
+    EXPECT_FALSE(policy->exhausted(6));
+    EXPECT_TRUE(policy->exhausted(7));
+}
+
+} // namespace
+} // namespace clearsim

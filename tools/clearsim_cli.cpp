@@ -8,8 +8,14 @@
  *   clearsim_cli --workload bitcoin --config C --ops 32 --seed 7
  *   clearsim_cli --workload all --config B,P,C,W --csv
  *   clearsim_cli --workload bst --retries 6 --threads 16
+ *   clearsim_cli --config C+scl-all-reads,C:maxRetries=8
+ *
+ * --config accepts ConfigRegistry spec strings: a preset name
+ * optionally extended with +modifiers and :key=value overrides.
+ * --list-configs prints everything the registry knows about.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -66,7 +72,9 @@ usage()
         stderr,
         "usage: clearsim_cli [options]\n"
         "  --workload <name[,name...]|all>  (default bitcoin)\n"
-        "  --config <B|P|C|W[,...]>         (default B,P,C,W)\n"
+        "  --config <spec[,spec...]>        (default B,P,C,W)\n"
+        "                   spec = preset[+modifier...][:key=value...]\n"
+        "                   e.g. C, C+scl-all-reads, B:maxRetries=8\n"
         "  --ops <n>        AR invocations per thread (default 32)\n"
         "  --threads <n>    simulated threads (default 32)\n"
         "  --retries <n>    retry limit before fallback (default 4)\n"
@@ -74,8 +82,74 @@ usage()
         "  --seed <n>       master seed (default 42)\n"
         "  --csv            machine-readable output\n"
         "  --no-verify      skip invariant checking\n"
-        "  --list           list workloads and exit\n");
+        "  --list-configs   list config presets/modifiers and exit\n"
+        "  --list-workloads list workloads and exit (alias: --list)\n");
     std::exit(2);
+}
+
+[[noreturn]] void
+listWorkloads()
+{
+    for (const std::string &name : workloadNames())
+        std::printf("%-14s %s\n", name.c_str(),
+                    workloadDescription(name).c_str());
+    std::exit(0);
+}
+
+[[noreturn]] void
+listConfigs()
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    std::printf("presets:\n");
+    for (const ConfigPreset &p : reg.presets())
+        std::printf("  %-16s %s\n", p.name.c_str(),
+                    p.description.c_str());
+    std::printf("modifiers (append as +name):\n");
+    for (const ConfigModifier &m : reg.modifiers())
+        std::printf("  +%-15s %s\n", m.name.c_str(),
+                    m.description.c_str());
+    std::printf("overrides (append as :key=value):\n");
+    for (const ConfigOverrideKey &k : reg.overrideKeys())
+        std::printf("  :%-15s %s\n", k.name.c_str(),
+                    k.description.c_str());
+    std::printf("spec grammar: preset[+modifier...][:key=value...]\n"
+                "  e.g. C+scl-all-reads, B:maxRetries=8, "
+                "C+sle:numCores=16\n");
+    std::exit(0);
+}
+
+/**
+ * Resolve every config spec and workload name before any run, so a
+ * typo in the third entry fails fast with the registry's list of
+ * valid names instead of after minutes of simulation.
+ */
+void
+validateCliSelections(const CliOptions &opts)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    for (const std::string &spec : opts.configs) {
+        SystemConfig cfg;
+        std::string error;
+        if (!reg.tryMake(spec, cfg, error)) {
+            std::fprintf(stderr, "clearsim_cli: --config %s: %s\n",
+                         spec.c_str(), error.c_str());
+            std::exit(2);
+        }
+    }
+    const std::vector<std::string> known = workloadNames();
+    for (const std::string &w : opts.workloads) {
+        if (std::find(known.begin(), known.end(), w) ==
+            known.end()) {
+            std::string names;
+            for (const std::string &k : known)
+                names += (names.empty() ? "" : ", ") + k;
+            std::fprintf(stderr,
+                         "clearsim_cli: unknown workload '%s' "
+                         "(known: %s)\n",
+                         w.c_str(), names.c_str());
+            std::exit(2);
+        }
+    }
 }
 
 CliOptions
@@ -121,10 +195,10 @@ parseArgs(int argc, char **argv)
             opts.stats = true;
         } else if (arg == "--no-verify") {
             opts.verify = false;
-        } else if (arg == "--list") {
-            for (const std::string &name : workloadNames())
-                std::printf("%s\n", name.c_str());
-            std::exit(0);
+        } else if (arg == "--list" || arg == "--list-workloads") {
+            listWorkloads();
+        } else if (arg == "--list-configs") {
+            listConfigs();
         } else {
             usage();
         }
@@ -138,6 +212,7 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
+    validateCliSelections(opts);
 
     if (opts.csv) {
         std::printf("workload,config,retries,seed,cycles,commits,"
