@@ -19,7 +19,7 @@
 #include "core/ert.hh"
 #include "core/region_executor.hh"
 #include "core/system.hh"
-#include "core/trace.hh"
+#include "common/trace.hh"
 #include "cpu/core_resources.hh"
 #include "energy/energy_model.hh"
 #include "harness/runner.hh"

@@ -1,0 +1,536 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+// ---------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------
+
+std::string
+jsonQuote(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_)
+        return;
+    if (!hasSibling_.empty()) {
+        if (hasSibling_.back())
+            out_.push_back(',');
+        hasSibling_.back() = true;
+    }
+}
+
+void
+JsonWriter::beforeValue()
+{
+    separate();
+    pendingKey_ = false;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_.push_back('{');
+    hasSibling_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    CLEARSIM_ASSERT(!hasSibling_.empty(), "endObject with no open container");
+    hasSibling_.pop_back();
+    out_.push_back('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_.push_back('[');
+    hasSibling_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    CLEARSIM_ASSERT(!hasSibling_.empty(), "endArray with no open container");
+    hasSibling_.pop_back();
+    out_.push_back(']');
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    separate();
+    out_ += jsonQuote(name);
+    out_.push_back(':');
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    out_ += jsonQuote(text);
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(number));
+    out_ += buf;
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(number));
+    out_ += buf;
+}
+
+void
+JsonWriter::value(double number)
+{
+    beforeValue();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    out_ += buf;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out_ += flag ? "true" : "false";
+}
+
+void
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+}
+
+// ---------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::asDouble() const
+{
+    switch (type) {
+      case Type::Uint:
+        return static_cast<double>(uintValue);
+      case Type::Int:
+        return static_cast<double>(intValue);
+      case Type::Double:
+        return doubleValue;
+      default:
+        return 0.0;
+    }
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    switch (type) {
+      case Type::Uint:
+        return uintValue;
+      case Type::Int:
+        return intValue < 0 ? 0 : static_cast<std::uint64_t>(intValue);
+      case Type::Double:
+        return doubleValue < 0.0
+            ? 0 : static_cast<std::uint64_t>(doubleValue);
+      default:
+        return 0;
+    }
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view. */
+class JsonParser
+{
+  public:
+    JsonParser(std::string_view input, std::string &error)
+        : input_(input), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != input_.size())
+            return fail("trailing content after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *message)
+    {
+        error_ = std::string(message) + " at offset " +
+                 std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < input_.size() &&
+               (input_[pos_] == ' ' || input_[pos_] == '\t' ||
+                input_[pos_] == '\n' || input_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *text)
+    {
+        const std::size_t len = std::string_view(text).size();
+        if (input_.substr(pos_, len) != text)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= input_.size())
+            return fail("unexpected end of input");
+        const char c = input_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.text);
+          case 't':
+            if (!literal("true"))
+                return fail("invalid literal");
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("invalid literal");
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("invalid literal");
+            out.type = JsonValue::Type::Null;
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < input_.size() && input_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string name;
+            if (pos_ >= input_.size() || input_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(name))
+                return false;
+            skipSpace();
+            if (pos_ >= input_.size() || input_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipSpace();
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.members.emplace_back(std::move(name),
+                                     std::move(member));
+            skipSpace();
+            if (pos_ >= input_.size())
+                return fail("unterminated object");
+            if (input_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (input_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < input_.size() && input_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            JsonValue item;
+            if (!parseValue(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipSpace();
+            if (pos_ >= input_.size())
+                return fail("unterminated array");
+            if (input_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (input_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < input_.size()) {
+            const char c = input_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= input_.size())
+                    return fail("unterminated escape");
+                const char esc = input_[pos_];
+                switch (esc) {
+                  case '"':
+                    out.push_back('"');
+                    break;
+                  case '\\':
+                    out.push_back('\\');
+                    break;
+                  case '/':
+                    out.push_back('/');
+                    break;
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'b':
+                    out.push_back('\b');
+                    break;
+                  case 'f':
+                    out.push_back('\f');
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 >= input_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = input_[pos_ + 1 + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("invalid \\u escape");
+                    }
+                    pos_ += 4;
+                    // Only the exports' own escapes (< 0x20) need
+                    // decoding; encode other codepoints as UTF-8.
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(
+                            static_cast<char>(0xC0 | (code >> 6)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out.push_back(
+                            static_cast<char>(0xE0 | (code >> 12)));
+                        out.push_back(static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape character");
+                }
+                ++pos_;
+                continue;
+            }
+            out.push_back(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < input_.size() && input_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < input_.size()) {
+            const char c = input_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string token(input_.substr(start, pos_ - start));
+        char *end = nullptr;
+        if (integral) {
+            if (token[0] == '-') {
+                errno = 0;
+                const long long v =
+                    std::strtoll(token.c_str(), &end, 10);
+                if (errno != 0 || *end != '\0')
+                    return fail("invalid integer");
+                out.type = JsonValue::Type::Int;
+                out.intValue = v;
+                out.doubleValue = static_cast<double>(v);
+                return true;
+            }
+            errno = 0;
+            const unsigned long long v =
+                std::strtoull(token.c_str(), &end, 10);
+            if (errno != 0 || *end != '\0')
+                return fail("invalid integer");
+            out.type = JsonValue::Type::Uint;
+            out.uintValue = v;
+            out.doubleValue = static_cast<double>(v);
+            return true;
+        }
+        errno = 0;
+        const double v = std::strtod(token.c_str(), &end);
+        if (*end != '\0')
+            return fail("invalid number");
+        out.type = JsonValue::Type::Double;
+        out.doubleValue = v;
+        return true;
+    }
+
+    std::string_view input_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view input, JsonValue &out, std::string &error)
+{
+    out = JsonValue{};
+    JsonParser parser(input, error);
+    return parser.parseDocument(out);
+}
+
+} // namespace clearsim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal JSON toolkit for the observability exports.
+ *
+ * JsonWriter produces deterministic output: keys appear exactly in
+ * the order the caller emits them, integers print losslessly, and
+ * doubles use a fixed shortest-round-trip format ("%.17g"), so the
+ * same data always serializes to the same bytes.
+ *
+ * The parser is the inverse used by trace_report and the round-trip
+ * tests: it keeps object member order, distinguishes integers from
+ * doubles (a number without '.', 'e' or 'E' parses losslessly into
+ * 64 bits), and rejects trailing garbage.
+ */
+
+#ifndef CLEARSIM_COMMON_JSON_HH
+#define CLEARSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace clearsim
+{
+
+/** Append-only JSON serializer with caller-controlled key order. */
+class JsonWriter
+{
+  public:
+    /** Serialized text accumulates into @p out. */
+    explicit JsonWriter(std::string &out) : out_(out) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next value() pairs with it. */
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(unsigned number) { value(std::uint64_t(number)); }
+    void value(int number) { value(std::int64_t(number)); }
+    void value(double number);
+    void value(bool flag);
+    void null();
+
+  private:
+    /** Insert the separating comma if a sibling was written. */
+    void separate();
+
+    /** A value (not a key) is about to be written. */
+    void beforeValue();
+
+    std::string &out_;
+    /** One flag per open container: a sibling was already written. */
+    std::vector<bool> hasSibling_;
+    bool pendingKey_ = false;
+};
+
+/** Escape and double-quote a string for JSON output. */
+std::string jsonQuote(std::string_view text);
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        /** Integral number that fit losslessly in uint64/int64. */
+        Uint,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    std::uint64_t uintValue = 0;
+    std::int64_t intValue = 0;
+    double doubleValue = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    /** Object members in document order. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Object member by key, or nullptr. */
+    const JsonValue *find(std::string_view key) const;
+
+    bool isNumber() const
+    {
+        return type == Type::Uint || type == Type::Int ||
+               type == Type::Double;
+    }
+
+    /** Numeric value widened to double (0 for non-numbers). */
+    double asDouble() const;
+
+    /** Numeric value as uint64 (0 for non-numbers / negatives). */
+    std::uint64_t asUint() const;
+};
+
+/**
+ * Parse a complete JSON document. Trailing whitespace is allowed,
+ * trailing content is an error.
+ * @retval false with @p error describing the failure position.
+ */
+bool parseJson(std::string_view input, JsonValue &out,
+               std::string &error);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_JSON_HH

@@ -49,6 +49,17 @@ logMessage(LogLevel level, const char *fmt, ...)
 }
 
 void
+logStatus(const char *fmt, ...)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+}
+
+void
 fatal(const char *fmt, ...)
 {
     std::lock_guard<std::mutex> lock(logMutex());

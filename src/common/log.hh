@@ -38,6 +38,16 @@ void logMessage(LogLevel level, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
 /**
+ * Unconditional user-facing status line to stderr ("wrote file X",
+ * sweep progress). Unlike logMessage() it ignores the verbosity
+ * level, but shares the same mutex, so status lines from worker
+ * threads never interleave with log or error output. A trailing
+ * newline is appended.
+ */
+void logStatus(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
  * Terminate with an error message for a condition caused by the user
  * (bad configuration, invalid arguments). Exits with status 1.
  */

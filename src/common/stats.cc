@@ -61,6 +61,201 @@ BoundedHistogram::merge(const BoundedHistogram &other)
     sum_ += other.sum_;
 }
 
+std::uint64_t
+BoundedHistogram::percentile(double p) const
+{
+    CLEARSIM_ASSERT(p > 0.0 && p <= 100.0,
+                    "percentile must be in (0, 100]");
+    if (total_ == 0)
+        return 0;
+    // Nearest rank: the smallest value whose cumulative count
+    // reaches ceil(p/100 * total). The epsilon keeps binary float
+    // artifacts (0.95 * 20 == 19.000000000000004) from bumping the
+    // rank past an exact boundary.
+    const std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(
+        p * static_cast<double>(total_) / 100.0 - 1e-9));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank)
+            return i;
+    }
+    return buckets_.size(); // rank lands in the overflow bucket
+}
+
+std::uint64_t
+BoundedHistogram::maxValue() const
+{
+    if (overflow_ != 0)
+        return buckets_.size();
+    for (std::size_t i = buckets_.size(); i-- > 0;) {
+        if (buckets_[i] != 0)
+            return i;
+    }
+    return 0;
+}
+
+void
+Distribution::record(std::uint64_t value)
+{
+    if (!samples_.empty() && value < samples_.back())
+        sorted_ = false;
+    samples_.push_back(value);
+    sum_ += value;
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return static_cast<double>(sum_) /
+           static_cast<double>(samples_.size());
+}
+
+std::uint64_t
+Distribution::maxValue() const
+{
+    if (samples_.empty())
+        return 0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    return samples_.back();
+}
+
+std::uint64_t
+Distribution::percentile(double p) const
+{
+    CLEARSIM_ASSERT(p > 0.0 && p <= 100.0,
+                    "percentile must be in (0, 100]");
+    if (samples_.empty())
+        return 0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const std::size_t n = samples_.size();
+    // See BoundedHistogram::percentile for the epsilon.
+    std::size_t rank = static_cast<std::size_t>(std::ceil(
+        p * static_cast<double>(n) / 100.0 - 1e-9));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples_[rank - 1];
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+    sum_ += other.sum_;
+}
+
+void
+Distribution::clear()
+{
+    samples_.clear();
+    sorted_ = true;
+    sum_ = 0;
+}
+
+DistSummary
+DistSummary::of(const Distribution &dist)
+{
+    DistSummary s;
+    s.count = dist.count();
+    s.sum = dist.sum();
+    s.mean = dist.mean();
+    s.p50 = dist.percentile(50.0);
+    s.p95 = dist.percentile(95.0);
+    s.max = dist.maxValue();
+    return s;
+}
+
+DistSummary
+DistSummary::of(const BoundedHistogram &hist)
+{
+    DistSummary s;
+    s.count = hist.total();
+    s.sum = hist.sum();
+    s.mean = hist.mean();
+    s.p50 = hist.percentile(50.0);
+    s.p95 = hist.percentile(95.0);
+    s.max = hist.maxValue();
+    return s;
+}
+
+void
+StatsRegistry::addCounter(const std::string &name,
+                          const std::string &desc,
+                          std::uint64_t value)
+{
+    auto it = counterIndex_.find(name);
+    if (it != counterIndex_.end()) {
+        counters_[it->second].value = value;
+        return;
+    }
+    counterIndex_[name] = counters_.size();
+    order_.push_back({EntryKind::Counter, counters_.size()});
+    counters_.push_back({name, desc, value});
+}
+
+void
+StatsRegistry::addScalar(const std::string &name,
+                         const std::string &desc, double value)
+{
+    auto it = scalarIndex_.find(name);
+    if (it != scalarIndex_.end()) {
+        scalars_[it->second].value = value;
+        return;
+    }
+    scalarIndex_[name] = scalars_.size();
+    order_.push_back({EntryKind::Scalar, scalars_.size()});
+    scalars_.push_back({name, desc, value});
+}
+
+void
+StatsRegistry::addDistribution(const std::string &name,
+                               const std::string &desc,
+                               const DistSummary &summary)
+{
+    auto it = distIndex_.find(name);
+    if (it != distIndex_.end()) {
+        distributions_[it->second].summary = summary;
+        return;
+    }
+    distIndex_[name] = distributions_.size();
+    order_.push_back({EntryKind::Distribution, distributions_.size()});
+    distributions_.push_back({name, desc, summary});
+}
+
+bool
+StatsRegistry::counterValue(const std::string &name,
+                            std::uint64_t &value) const
+{
+    auto it = counterIndex_.find(name);
+    if (it == counterIndex_.end())
+        return false;
+    value = counters_[it->second].value;
+    return true;
+}
+
+bool
+StatsRegistry::scalarValue(const std::string &name,
+                           double &value) const
+{
+    auto it = scalarIndex_.find(name);
+    if (it == scalarIndex_.end())
+        return false;
+    value = scalars_[it->second].value;
+    return true;
+}
+
 double
 trimmedMean(std::vector<double> samples, std::size_t trim_each_side)
 {

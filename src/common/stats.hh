@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace clearsim
@@ -56,11 +57,189 @@ class BoundedHistogram
     /** Merge another histogram of the same capacity into this one. */
     void merge(const BoundedHistogram &other);
 
+    /**
+     * Nearest-rank percentile of the recorded samples: the smallest
+     * value v such that at least ceil(p/100 * total) samples are
+     * <= v. Samples in the overflow bucket report capacity() (the
+     * histogram only knows they are at least that large). 0 when
+     * empty. @p p must be in (0, 100].
+     */
+    std::uint64_t percentile(double p) const;
+
+    /**
+     * Largest recorded value; saturates at capacity() when any
+     * sample overflowed. 0 when empty.
+     */
+    std::uint64_t maxValue() const;
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
     std::uint64_t sum_ = 0;
+};
+
+/**
+ * An exact scalar distribution: stores every recorded sample and
+ * answers count/sum/mean/max plus nearest-rank percentiles. Used
+ * for the quantities whose spread the observability layer reports
+ * (cycles in backoff, lock-hold cycles). Samples are kept verbatim,
+ * so merging and percentile extraction are deterministic.
+ */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void record(std::uint64_t value);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return samples_.size(); }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Mean (0 when empty). */
+    double mean() const;
+
+    /** Largest sample (0 when empty). */
+    std::uint64_t maxValue() const;
+
+    /**
+     * Nearest-rank percentile: the sample at rank
+     * ceil(p/100 * count) of the sorted samples. 0 when empty.
+     * @p p must be in (0, 100].
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Append another distribution's samples. */
+    void merge(const Distribution &other);
+
+    /** Drop all samples. */
+    void clear();
+
+  private:
+    /** Sorted lazily by the percentile queries. */
+    mutable std::vector<std::uint64_t> samples_;
+    mutable bool sorted_ = true;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * Summary of a scalar distribution: the moments and nearest-rank
+ * percentiles the observability exports report. Computable from a
+ * Distribution (exact samples) or a BoundedHistogram (bucketed), so
+ * the registry can publish both under one shape.
+ */
+struct DistSummary
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t max = 0;
+
+    static DistSummary of(const Distribution &dist);
+    static DistSummary of(const BoundedHistogram &hist);
+};
+
+/**
+ * A registry of named statistics: integer counters, floating-point
+ * scalars, and distribution summaries, each with a description.
+ * Entries keep registration order — also across kinds, via order()
+ * — which makes every export (text report, JSON) deterministic and
+ * self-describing. RunResult publishes all of its counters into one
+ * registry; exporters iterate it instead of hard-coding field lists.
+ */
+class StatsRegistry
+{
+  public:
+    struct CounterEntry
+    {
+        std::string name;
+        std::string desc;
+        std::uint64_t value = 0;
+    };
+
+    struct ScalarEntry
+    {
+        std::string name;
+        std::string desc;
+        double value = 0.0;
+    };
+
+    struct DistributionEntry
+    {
+        std::string name;
+        std::string desc;
+        DistSummary summary;
+    };
+
+    /** What kind of entry an order() element refers to. */
+    enum class EntryKind
+    {
+        Counter,
+        Scalar,
+        Distribution,
+    };
+
+    /** One element of the unified registration order. */
+    struct OrderRef
+    {
+        EntryKind kind = EntryKind::Counter;
+        /** Index into the matching per-kind vector. */
+        std::size_t index = 0;
+    };
+
+    /** Register (or re-set) an integer counter. */
+    void addCounter(const std::string &name, const std::string &desc,
+                    std::uint64_t value);
+
+    /** Register (or re-set) a floating-point scalar. */
+    void addScalar(const std::string &name, const std::string &desc,
+                   double value);
+
+    /** Register (or replace) a distribution summary. */
+    void addDistribution(const std::string &name,
+                         const std::string &desc,
+                         const DistSummary &summary);
+
+    /** Counters in registration order. */
+    const std::vector<CounterEntry> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Scalars in registration order. */
+    const std::vector<ScalarEntry> &scalars() const
+    {
+        return scalars_;
+    }
+
+    /** Distribution summaries in registration order. */
+    const std::vector<DistributionEntry> &distributions() const
+    {
+        return distributions_;
+    }
+
+    /** All entries across kinds, in first-registration order. */
+    const std::vector<OrderRef> &order() const { return order_; }
+
+    /** Look up a counter value by name; false if absent. */
+    bool counterValue(const std::string &name,
+                      std::uint64_t &value) const;
+
+    /** Look up a scalar value by name; false if absent. */
+    bool scalarValue(const std::string &name, double &value) const;
+
+  private:
+    std::vector<CounterEntry> counters_;
+    std::vector<ScalarEntry> scalars_;
+    std::vector<DistributionEntry> distributions_;
+    std::vector<OrderRef> order_;
+    std::unordered_map<std::string, std::size_t> counterIndex_;
+    std::unordered_map<std::string, std::size_t> scalarIndex_;
+    std::unordered_map<std::string, std::size_t> distIndex_;
 };
 
 /**

@@ -1,0 +1,158 @@
+#include "common/trace.hh"
+
+#include <cstring>
+
+namespace clearsim
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::AttemptBegin:
+        return "begin";
+      case TraceKind::Commit:
+        return "commit";
+      case TraceKind::Abort:
+        return "abort";
+      case TraceKind::FallbackAcquired:
+        return "fallback-acquired";
+      case TraceKind::LineLockAcquired:
+        return "lock-acquired";
+      case TraceKind::LineLockReleased:
+        return "lock-released";
+      case TraceKind::LineLockNacked:
+        return "lock-nacked";
+      case TraceKind::LineLockRetried:
+        return "lock-retried";
+      case TraceKind::DirSetLockAcquired:
+        return "dirset-acquired";
+      case TraceKind::DirSetLockReleased:
+        return "dirset-released";
+      case TraceKind::DirInvalidate:
+        return "invalidate";
+      case TraceKind::ConflictVerdict:
+        return "conflict-verdict";
+      case TraceKind::FallbackContended:
+        return "fallback-contended";
+      case TraceKind::FallbackReadAcquired:
+        return "fallback-read";
+      case TraceKind::FallbackReleased:
+        return "fallback-released";
+      case TraceKind::BackoffWait:
+        return "backoff";
+    }
+    return "?";
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Speculative:
+        return "spec";
+      case ExecMode::SCl:
+        return "s-cl";
+      case ExecMode::NsCl:
+        return "ns-cl";
+      case ExecMode::Fallback:
+        return "fallback";
+    }
+    return "?";
+}
+
+const char *
+abortReasonName(AbortReason reason)
+{
+    switch (reason) {
+      case AbortReason::None:
+        return "none";
+      case AbortReason::MemoryConflict:
+        return "conflict";
+      case AbortReason::Nacked:
+        return "nacked";
+      case AbortReason::ExplicitFallback:
+        return "explicit-fallback";
+      case AbortReason::OtherFallback:
+        return "other-fallback";
+      case AbortReason::CapacityOverflow:
+        return "capacity";
+      case AbortReason::Deviation:
+        return "deviation";
+      case AbortReason::Explicit:
+        return "explicit";
+    }
+    return "?";
+}
+
+const char *
+backoffWaitName(BackoffWaitKind wait)
+{
+    switch (wait) {
+      case BackoffWaitKind::SpeculativeRetry:
+        return "retry";
+      case BackoffWaitKind::LockRetry:
+        return "lock-retry";
+      case BackoffWaitKind::FallbackSpin:
+        return "spin";
+    }
+    return "?";
+}
+
+bool
+traceKindFromName(const char *name, TraceKind &kind)
+{
+    for (unsigned k = 0; k < kNumTraceKinds; ++k) {
+        const TraceKind candidate = static_cast<TraceKind>(k);
+        if (std::strcmp(name, traceKindName(candidate)) == 0) {
+            kind = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+execModeFromName(const char *name, ExecMode &mode)
+{
+    for (unsigned m = 0; m < kNumExecModes; ++m) {
+        const ExecMode candidate = static_cast<ExecMode>(m);
+        if (std::strcmp(name, execModeName(candidate)) == 0) {
+            mode = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+abortReasonFromName(const char *name, AbortReason &reason)
+{
+    for (unsigned r = 0;
+         r <= static_cast<unsigned>(AbortReason::Explicit); ++r) {
+        const AbortReason candidate = static_cast<AbortReason>(r);
+        if (std::strcmp(name, abortReasonName(candidate)) == 0) {
+            reason = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+backoffWaitFromName(const char *name, BackoffWaitKind &wait)
+{
+    for (unsigned w = 0;
+         w <= static_cast<unsigned>(BackoffWaitKind::FallbackSpin);
+         ++w) {
+        const BackoffWaitKind candidate =
+            static_cast<BackoffWaitKind>(w);
+        if (std::strcmp(name, backoffWaitName(candidate)) == 0) {
+            wait = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace clearsim

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Execution tracing: the observability substrate of the simulator.
+ *
+ * An optional per-System trace sink receives one TraceEvent per
+ * lifecycle action of a simulated transaction, across every layer:
+ * attempt begin/commit/abort and fallback acquisition (region
+ * executor), cacheline lock acquire/release/nack (lock manager),
+ * directory invalidations, conflict-arbitration verdicts (conflict
+ * manager), fallback-lock contention, and backoff waits. Each event
+ * carries a typed payload describing the layer-specific detail.
+ *
+ * Emission costs exactly one branch per event site when no sink is
+ * installed: components hold a `const Tracer *` that is null unless
+ * tracing is active, and the region executor checks
+ * `System::tracing()` before building an event.
+ *
+ * This header lives in common/ so that every layer (mem, htm, core)
+ * can emit without upward link dependencies; it only uses the
+ * header-only vocabulary of htm/htm_types.hh.
+ */
+
+#ifndef CLEARSIM_COMMON_TRACE_HH
+#define CLEARSIM_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <variant>
+
+#include "common/types.hh"
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+
+/** What happened. */
+enum class TraceKind : std::uint8_t
+{
+    /** An execution attempt started (mode says how). */
+    AttemptBegin,
+    /** The invocation committed (mode + counted retries). */
+    Commit,
+    /** An attempt aborted (reason; payload names the culprit line). */
+    Abort,
+    /** The fallback lock was acquired exclusively. */
+    FallbackAcquired,
+
+    // --- cacheline locking (mem layer) ---
+    /** A cacheline lock was acquired. */
+    LineLockAcquired,
+    /** A cacheline lock was released (payload has hold cycles). */
+    LineLockReleased,
+    /** A request to a locked line was nacked (Figure 5 fix). */
+    LineLockNacked,
+    /** A request to a locked line was told to retry (Figure 6 fix). */
+    LineLockRetried,
+    /** A directory-set lock was acquired (group locking). */
+    DirSetLockAcquired,
+    /** A directory-set lock was released. */
+    DirSetLockReleased,
+    /** A write invalidated remote sharers (directory). */
+    DirInvalidate,
+
+    // --- conflict arbitration (htm layer) ---
+    /** An arbitration resolved (payload: winner, victim count). */
+    ConflictVerdict,
+
+    // --- fallback lock contention (htm layer) ---
+    /** An acquisition attempt found the fallback lock busy. */
+    FallbackContended,
+    /** The fallback lock was acquired shared (NS-CL/S-CL/power). */
+    FallbackReadAcquired,
+    /** A fallback hold was released (payload: remaining readers). */
+    FallbackReleased,
+
+    // --- waits (policy layer decisions, charged by the executor) ---
+    /** A backoff wait was charged (payload: which wait, cycles). */
+    BackoffWait,
+};
+
+/** Number of TraceKind values, for array-indexed aggregation. */
+constexpr unsigned kNumTraceKinds = 16;
+
+/** Which of the three BackoffPolicy waits a BackoffWait event is. */
+enum class BackoffWaitKind : std::uint8_t
+{
+    /** Linear backoff before a counted speculative retry. */
+    SpeculativeRetry,
+    /** Re-issue delay after a Retry response from a locked line. */
+    LockRetry,
+    /** Spin interval on a taken fallback lock. */
+    FallbackSpin,
+};
+
+// --- typed payloads -------------------------------------------------
+
+/** Payload of LineLock{Acquired,Released,Nacked,Retried}. */
+struct LockPayload
+{
+    LineAddr line = 0;
+    /** Cycles the lock was held (LineLockReleased only). */
+    Cycle holdCycles = 0;
+};
+
+/** Payload of DirSetLock{Acquired,Released}. */
+struct DirSetPayload
+{
+    unsigned set = 0;
+};
+
+/** Payload of DirInvalidate. */
+struct InvalidatePayload
+{
+    LineAddr line = 0;
+    /** Number of remote copies invalidated. */
+    unsigned invalidated = 0;
+};
+
+/** Payload of ConflictVerdict. */
+struct ConflictPayload
+{
+    LineAddr line = 0;
+    /** Conflicting holders doomed by the requester (when it wins). */
+    unsigned victims = 0;
+    /** False when the requester was nacked by a holder. */
+    bool requesterWins = true;
+};
+
+/** Payload of Fallback{Contended,ReadAcquired,Released}. */
+struct FallbackPayload
+{
+    /** Shared holders after the event. */
+    unsigned readers = 0;
+    /** An exclusive (fallback) writer holds the lock. */
+    bool writerHeld = false;
+};
+
+/** Payload of BackoffWait. */
+struct BackoffPayload
+{
+    BackoffWaitKind wait = BackoffWaitKind::SpeculativeRetry;
+    Cycle cycles = 0;
+};
+
+/** Payload of Abort: the line whose conflict doomed the attempt. */
+struct AbortPayload
+{
+    /** Culprit cacheline, or 0 when the abort has no single line. */
+    LineAddr line = 0;
+};
+
+/** The per-kind detail of a trace event. */
+using TracePayload =
+    std::variant<std::monostate, LockPayload, DirSetPayload,
+                 InvalidatePayload, ConflictPayload, FallbackPayload,
+                 BackoffPayload, AbortPayload>;
+
+/** One trace record. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    CoreId core = 0;
+    RegionPc pc = 0;
+    TraceKind kind = TraceKind::AttemptBegin;
+    ExecMode mode = ExecMode::Speculative;
+    AbortReason reason = AbortReason::None;
+    unsigned countedRetries = 0;
+    TracePayload payload{};
+};
+
+/** Receives every trace event of a System. */
+using TraceSink = std::function<void(const TraceEvent &)>;
+
+/**
+ * The per-System event funnel. System owns one Tracer; components
+ * below core/ (lock manager, directory, conflict manager, fallback
+ * lock) hold a `const Tracer *` that System sets to the Tracer while
+ * a sink is installed and to null otherwise, so a disabled trace
+ * costs those sites exactly one null-pointer branch.
+ */
+class Tracer
+{
+  public:
+    /** Install (or clear, with an empty function) the sink. */
+    void setSink(TraceSink sink) { sink_ = std::move(sink); }
+
+    /** True if a sink is installed. */
+    bool active() const { return static_cast<bool>(sink_); }
+
+    /**
+     * Bind the simulated clock used to stamp events emitted through
+     * emitAt(). Layers that know the cycle themselves fill it in
+     * the event and use emit() directly.
+     */
+    void bindClock(const Cycle *now) { now_ = now; }
+
+    /** Forward a fully-built event to the sink, if any. */
+    void
+    emit(const TraceEvent &event) const
+    {
+        if (sink_)
+            sink_(event);
+    }
+
+    /**
+     * Build and forward an event stamped with the bound clock.
+     * Intended for component layers that do not track time.
+     */
+    void
+    emitAt(TraceKind kind, CoreId core, TracePayload payload) const
+    {
+        if (!sink_)
+            return;
+        TraceEvent event;
+        event.cycle = now_ ? *now_ : 0;
+        event.core = core;
+        event.kind = kind;
+        event.payload = std::move(payload);
+        sink_(event);
+    }
+
+  private:
+    TraceSink sink_;
+    const Cycle *now_ = nullptr;
+};
+
+/** Short name of a trace kind ("begin", "commit", ...). */
+const char *traceKindName(TraceKind kind);
+
+/** Short name of an execution mode ("spec", "s-cl", ...). */
+const char *execModeName(ExecMode mode);
+
+/** Short name of an abort reason ("conflict", "nacked", ...). */
+const char *abortReasonName(AbortReason reason);
+
+/** Short name of a backoff wait ("retry", "lock-retry", "spin"). */
+const char *backoffWaitName(BackoffWaitKind wait);
+
+/** Parse a kind name back to the enum; false if unknown. */
+bool traceKindFromName(const char *name, TraceKind &kind);
+
+/** Parse a mode name back to the enum; false if unknown. */
+bool execModeFromName(const char *name, ExecMode &mode);
+
+/** Parse a reason name back to the enum; false if unknown. */
+bool abortReasonFromName(const char *name, AbortReason &reason);
+
+/** Parse a backoff-wait name back to the enum; false if unknown. */
+bool backoffWaitFromName(const char *name, BackoffWaitKind &wait);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_TRACE_HH

@@ -129,9 +129,28 @@ RegionExecutor::RegionExecutor(System &sys, CoreId core)
 SimTask
 RegionExecutor::waitFallbackRelease(bool writer_only)
 {
+    const Cycle start = sys_.queue().now();
     co_await FallbackReleaseAwaiter(
         sys_.fallback(), sys_.queue(),
         sys_.policies().backoff().fallbackSpinDelay(), writer_only);
+    noteBackoff(BackoffWaitKind::FallbackSpin,
+                sys_.queue().now() - start);
+}
+
+void
+RegionExecutor::noteBackoff(BackoffWaitKind kind, Cycle waited)
+{
+    if (waited == 0)
+        return;
+    sys_.stats().backoffWaits.record(waited);
+    if (sys_.tracing()) {
+        TxContext &tx = sys_.tx(core_);
+        sys_.emitTrace(TraceEvent{sys_.queue().now(), core_,
+                                  tx.regionPc(),
+                                  TraceKind::BackoffWait, tx.mode(),
+                                  AbortReason::None, 0,
+                                  BackoffPayload{kind, waited}});
+    }
 }
 
 SimTask
@@ -139,10 +158,12 @@ RegionExecutor::runRegion(RegionPc pc)
 {
     const SystemConfig &cfg = sys_.config();
     auto trace = [this, pc](TraceKind kind, ExecMode mode,
-                            AbortReason reason, unsigned retries) {
+                            AbortReason reason, unsigned retries,
+                            TracePayload payload = {}) {
         if (sys_.tracing()) {
             sys_.emitTrace(TraceEvent{sys_.queue().now(), core_, pc,
-                                      kind, mode, reason, retries});
+                                      kind, mode, reason, retries,
+                                      std::move(payload)});
         }
     };
     TxContext &tx = sys_.tx(core_);
@@ -234,7 +255,7 @@ RegionExecutor::runRegion(RegionPc pc)
             const AbortReason reason = tx.doomReason();
             trace(TraceKind::Abort,
                   nscl ? ExecMode::NsCl : ExecMode::SCl, reason,
-                  counted_retries);
+                  counted_retries, AbortPayload{tx.doomLine()});
             stats.recordAbort(reason);
             if (retry_policy.countsRetry(reason)) {
                 ++counted_retries;
@@ -262,8 +283,10 @@ RegionExecutor::runRegion(RegionPc pc)
 
         const Cycle backoff = backoff_policy.speculativeRetryDelay(
             counted_retries, core_);
-        if (backoff > 0)
+        if (backoff > 0) {
             co_await delayFor(sys_.queue(), backoff);
+            noteBackoff(BackoffWaitKind::SpeculativeRetry, backoff);
+        }
 
         if (conflict_policy.usesPowerToken() && any_counted_abort)
             sys_.power().tryAcquire(core_);
@@ -271,7 +294,8 @@ RegionExecutor::runRegion(RegionPc pc)
         if (sys_.fallback().writerHeld()) {
             // Explicit fallback: wanted to start, lock was taken.
             trace(TraceKind::Abort, ExecMode::Speculative,
-                  AbortReason::ExplicitFallback, counted_retries);
+                  AbortReason::ExplicitFallback, counted_retries,
+                  AbortPayload{sys_.fallback().line()});
             stats.recordAbort(AbortReason::ExplicitFallback);
             co_await waitFallbackRelease();
             continue;
@@ -302,7 +326,7 @@ RegionExecutor::runRegion(RegionPc pc)
         // --- aborted speculative attempt ---
         const AbortReason reason = tx.doomReason();
         trace(TraceKind::Abort, ExecMode::Speculative, reason,
-              counted_retries);
+              counted_retries, AbortPayload{tx.doomLine()});
         stats.recordAbort(reason);
         if (countsTowardRetryLimit(reason)) {
             ++counted_retries;
@@ -482,7 +506,7 @@ RegionExecutor::runCacheLocked(bool nscl)
 
     // XEND: bulk-unlock all held cachelines, then release the
     // fallback read lock.
-    sys_.mem().locks().unlockAll(core_);
+    sys_.mem().locks().unlockAll(core_, sys_.queue().now());
     sys_.fallback().releaseRead(core_);
     co_return committed;
 }
@@ -539,7 +563,8 @@ RegionExecutor::runLocker(TxContext &tx)
             for (std::size_t i = group.begin; i < group.end; ++i) {
                 if (!plan[i].needsLock)
                     continue;
-                const bool got = locks.tryLock(plan[i].line, core_);
+                const bool got = locks.tryLock(plan[i].line, core_,
+                                               sys_.queue().now());
                 CLEARSIM_ASSERT(got, "hit-path lock must succeed");
                 ++sys_.stats().cachelineLocksAcquired;
                 plan[i].locked = true;
@@ -551,9 +576,12 @@ RegionExecutor::runLocker(TxContext &tx)
 
         // Slow path: lock the directory set, then each member.
         while (!locks.tryLockDirSet(group.dirSet, core_)) {
+            const Cycle wait_start = sys_.queue().now();
             co_await DirSetUnlockAwaiter(
                 locks, sys_.queue(), group.dirSet,
                 sys_.policies().backoff().lockRetryDelay());
+            noteBackoff(BackoffWaitKind::LockRetry,
+                        sys_.queue().now() - wait_start);
             if (tx.doomed())
                 break;
         }
@@ -590,7 +618,7 @@ RegionExecutor::acquireOne(TxContext &tx, LockPlanEntry &entry)
         if (tx.doomed())
             co_return false;
 
-        if (locks.tryLock(entry.line, core_)) {
+        if (locks.tryLock(entry.line, core_, sys_.queue().now())) {
             // The lock request is an exclusive-intent access:
             // arbitrate against speculative holders.
             const RequesterClass cls =
@@ -601,7 +629,7 @@ RegionExecutor::acquireOne(TxContext &tx, LockPlanEntry &entry)
                 core_, entry.line, true, cls);
             if (out.abortSelf) {
                 // Section 5.2: nacked by a power-mode transaction.
-                locks.unlock(entry.line, core_);
+                locks.unlock(entry.line, core_, sys_.queue().now());
                 tx.doomLocal(out.selfReason);
                 co_return false;
             }
@@ -620,6 +648,7 @@ RegionExecutor::acquireOne(TxContext &tx, LockPlanEntry &entry)
         }
 
         // Held elsewhere: wait for the blocking resource.
+        const Cycle wait_start = sys_.queue().now();
         if (locks.dirSetLockedByOther(entry.line, core_)) {
             co_await DirSetUnlockAwaiter(
                 locks, sys_.queue(), locks.dirSetOf(entry.line),
@@ -628,6 +657,8 @@ RegionExecutor::acquireOne(TxContext &tx, LockPlanEntry &entry)
             co_await LineUnlockAwaiter(locks, sys_.queue(),
                                        entry.line, lock_backoff);
         }
+        noteBackoff(BackoffWaitKind::LockRetry,
+                    sys_.queue().now() - wait_start);
     }
 }
 

@@ -87,6 +87,13 @@ class RegionExecutor
      */
     SimTask waitFallbackRelease(bool writer_only = true);
 
+    /**
+     * Record a completed backoff wait: feeds the cycles-in-backoff
+     * distribution and emits a BackoffWait trace event. No-op for
+     * zero-cycle waits.
+     */
+    void noteBackoff(BackoffWaitKind kind, Cycle waited);
+
     System &sys_;
     CoreId core_;
 

@@ -35,6 +35,22 @@ System::System(const SystemConfig &cfg, std::uint64_t seed)
 
 System::~System() = default;
 
+void
+System::setTraceSink(TraceSink sink)
+{
+    tracer_.setSink(std::move(sink));
+    tracer_.bindClock(queue_.nowPtr());
+
+    // Attach (or detach) the component layers: they see a non-null
+    // tracer only while a sink is installed, so the disabled path
+    // stays a single null-pointer branch per event site.
+    const Tracer *t = tracer_.active() ? &tracer_ : nullptr;
+    mem_.locks().attachTracer(t);
+    mem_.directory().attachTracer(t);
+    conflicts_.attachTracer(t);
+    fallback_->attachTracer(t);
+}
+
 SimTask
 System::runRegion(CoreId core, RegionPc pc, BodyFn body)
 {

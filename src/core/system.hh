@@ -23,7 +23,7 @@
 #include "core/alt.hh"
 #include "core/crt.hh"
 #include "core/ert.hh"
-#include "core/trace.hh"
+#include "common/trace.hh"
 #include "htm/conflict_manager.hh"
 #include "htm/fallback_lock.hh"
 #include "htm/htm_stats.hh"
@@ -70,19 +70,23 @@ class System
     HtmStats &stats() { return stats_; }
     Rng &rng() { return rng_; }
 
-    /** Install (or clear) the trace sink. */
-    void setTraceSink(TraceSink sink) { trace_ = std::move(sink); }
+    /**
+     * Install (or clear) the trace sink. While a sink is installed,
+     * every layer of the machine — lock manager, directory,
+     * conflict manager, fallback lock, and the region executor —
+     * reports its lifecycle events to it; without one, each event
+     * site costs a single branch.
+     */
+    void setTraceSink(TraceSink sink);
+
+    /** The event funnel components emit through. */
+    const Tracer &tracer() const { return tracer_; }
 
     /** Emit a trace event if a sink is installed. */
-    void
-    emitTrace(const TraceEvent &event)
-    {
-        if (trace_)
-            trace_(event);
-    }
+    void emitTrace(const TraceEvent &event) { tracer_.emit(event); }
 
     /** True if tracing is active. */
-    bool tracing() const { return static_cast<bool>(trace_); }
+    bool tracing() const { return tracer_.active(); }
 
     TxContext &tx(CoreId core) { return *txs_[core]; }
     Ert &ert(CoreId core) { return erts_[core]; }
@@ -110,6 +114,7 @@ class System
     SystemConfig cfg_;
     PolicySet policies_;
     EventQueue queue_;
+    Tracer tracer_;
     MemorySystem mem_;
     PowerToken power_;
     ConflictManager conflicts_;
@@ -121,7 +126,6 @@ class System
     std::vector<Ert> erts_;
     std::vector<Crt> crts_;
     std::vector<std::unique_ptr<RegionExecutor>> executors_;
-    TraceSink trace_;
 };
 
 } // namespace clearsim

@@ -1,13 +1,31 @@
 #include "harness/csv_export.hh"
 
-#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "common/log.hh"
 
 namespace clearsim
 {
+
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\r\n") == std::string::npos)
+        return cell;
+    std::string quoted;
+    quoted.reserve(cell.size() + 2);
+    quoted.push_back('"');
+    for (char c : cell) {
+        if (c == '"')
+            quoted.push_back('"');
+        quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+}
 
 bool
 maybeExportCsv(const std::string &name, const CsvTable &table)
@@ -16,19 +34,23 @@ maybeExportCsv(const std::string &name, const CsvTable &table)
     if (!dir || !*dir)
         return false;
 
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        fatal("CLEARSIM_CSV_DIR: cannot create %s: %s", dir,
+              ec.message().c_str());
+    }
+
     const std::string path = std::string(dir) + "/" + name + ".csv";
     std::ofstream out(path);
-    if (!out) {
-        logMessage(LogLevel::Warn, "cannot write CSV to %s",
-                   path.c_str());
-        return false;
-    }
+    if (!out)
+        fatal("cannot write CSV to %s", path.c_str());
 
     auto writeRow = [&out](const std::vector<std::string> &row) {
         for (std::size_t i = 0; i < row.size(); ++i) {
             if (i)
                 out << ',';
-            out << row[i];
+            out << csvQuote(row[i]);
         }
         out << '\n';
     };
@@ -37,13 +59,10 @@ maybeExportCsv(const std::string &name, const CsvTable &table)
         writeRow(row);
 
     out.flush();
-    if (!out.good()) {
-        logMessage(LogLevel::Warn, "short write to CSV %s",
-                   path.c_str());
-        return false;
-    }
+    if (!out.good())
+        fatal("short write to CSV %s", path.c_str());
 
-    std::fprintf(stderr, "[clearsim] wrote %s\n", path.c_str());
+    logStatus("[clearsim] wrote %s", path.c_str());
     return true;
 }
 

@@ -24,9 +24,21 @@ struct CsvTable
 };
 
 /**
+ * Quote a cell per RFC 4180: returned verbatim unless it contains a
+ * comma, double quote, CR or LF, in which case it is wrapped in
+ * double quotes with embedded quotes doubled.
+ */
+std::string csvQuote(const std::string &cell);
+
+/**
  * Write the table to `$CLEARSIM_CSV_DIR/<name>.csv` if the
- * environment variable is set.
- * @retval true if a file was written
+ * environment variable is set. The directory tree is created if
+ * missing; cells are quoted per RFC 4180 (csvQuote()).
+ *
+ * Failing to create the directory or write the file is fatal():
+ * the user asked for the export, so silently dropping it would
+ * waste the whole run.
+ * @retval true if a file was written, false if the env var is unset
  */
 bool maybeExportCsv(const std::string &name, const CsvTable &table);
 

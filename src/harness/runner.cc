@@ -30,6 +30,7 @@ runOnce(const SystemConfig &cfg, const std::string &workload_name,
     result.config = cfg.name;
     result.seed = params.seed;
     result.maxRetries = cfg.maxRetries;
+    result.numCores = cfg.numCores;
     result.cycles = runWorkloadThreads(sys, *workload);
 
     if (check_invariants) {
@@ -40,6 +41,7 @@ runOnce(const SystemConfig &cfg, const std::string &workload_name,
 
     result.htm = sys.stats();
     result.mem = sys.mem().stats();
+    result.lockHoldCycles = sys.mem().locks().holdCycles();
     result.energy = computeEnergy(EnergyParams{}, result.cycles,
                                   cfg.numCores, result.htm,
                                   result.mem);
@@ -212,11 +214,10 @@ class ProgressReporter
             rate > 0.0
                 ? static_cast<double>(total_ - done) / rate
                 : 0.0;
-        std::fprintf(stderr,
-                     "[clearsim] sweep: %zu/%zu runs "
-                     "(%zu/%zu cells), %.1f runs/s, eta %.0fs\n",
-                     done, total_, done / pointsPerCell_,
-                     total_ / pointsPerCell_, rate, eta);
+        logStatus("[clearsim] sweep: %zu/%zu runs "
+                  "(%zu/%zu cells), %.1f runs/s, eta %.0fs",
+                  done, total_, done / pointsPerCell_,
+                  total_ / pointsPerCell_, rate, eta);
     }
 
     /** Print the closing throughput line if progress was shown. */
@@ -226,14 +227,13 @@ class ProgressReporter
         if (!reported_)
             return;
         const double elapsed = secondsSince(start_, Clock::now());
-        std::fprintf(stderr,
-                     "[clearsim] sweep done: %zu runs in %.1fs "
-                     "(%.1f runs/s on %u jobs)\n",
-                     total_, elapsed,
-                     elapsed > 0.0
-                         ? static_cast<double>(total_) / elapsed
-                         : 0.0,
-                     jobs_);
+        logStatus("[clearsim] sweep done: %zu runs in %.1fs "
+                  "(%.1f runs/s on %u jobs)",
+                  total_, elapsed,
+                  elapsed > 0.0
+                      ? static_cast<double>(total_) / elapsed
+                      : 0.0,
+                  jobs_);
     }
 
   private:

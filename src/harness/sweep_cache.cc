@@ -251,16 +251,14 @@ sweepWithCache(const SweepOptions &opts)
     const std::string path = sweepCachePath();
     SweepSummary summary;
     if (loadSweepCache(path, hash, summary)) {
-        std::fprintf(stderr,
-                     "[clearsim] reusing sweep cache %s (%zu cells)\n",
-                     path.c_str(), summary.size());
+        logStatus("[clearsim] reusing sweep cache %s (%zu cells)",
+                  path.c_str(), summary.size());
         return summary;
     }
-    std::fprintf(stderr,
-                 "[clearsim] running sweep: %zu workloads x %zu "
-                 "configs x %zu retry limits x %u seeds...\n",
-                 opts.workloads.size(), opts.configs.size(),
-                 opts.retryLimits.size(), opts.seeds);
+    logStatus("[clearsim] running sweep: %zu workloads x %zu "
+              "configs x %zu retry limits x %u seeds...",
+              opts.workloads.size(), opts.configs.size(),
+              opts.retryLimits.size(), opts.seeds);
     const auto cells = runSweep(opts);
     for (const auto &[key, cell] : cells)
         summary[key] = CellSummary::fromCell(cell);

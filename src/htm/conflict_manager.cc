@@ -109,6 +109,10 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
             outcome.abortSelf = true;
             outcome.selfReason = AbortReason::Nacked;
             ++resolved_;
+            if (tracer_) {
+                tracer_->emitAt(TraceKind::ConflictVerdict, requester,
+                                ConflictPayload{line, 0, false});
+            }
             return outcome;
         }
         victims.push_back(holder);
@@ -118,6 +122,12 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
     for (TxParticipant *victim : victims) {
         victim->doomRemote(AbortReason::MemoryConflict, line);
         ++resolved_;
+    }
+    if (tracer_ && !victims.empty()) {
+        tracer_->emitAt(
+            TraceKind::ConflictVerdict, requester,
+            ConflictPayload{
+                line, static_cast<unsigned>(victims.size()), true});
     }
     return outcome;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "htm/htm_types.hh"
 #include "htm/power_token.hh"
@@ -116,6 +117,9 @@ class ConflictManager
     /** The resolution policy in force. */
     const ConflictResolutionPolicy &policy() const { return *policy_; }
 
+    /** Report arbitration verdicts through t (null = disabled). */
+    void attachTracer(const Tracer *t) { tracer_ = t; }
+
     /** Drop all registry state (between runs). */
     void reset();
 
@@ -132,6 +136,7 @@ class ConflictManager
     std::vector<TxParticipant *> participants_;
     std::unordered_map<LineAddr, LineSets> lines_;
     std::uint64_t resolved_ = 0;
+    const Tracer *tracer_ = nullptr;
 };
 
 } // namespace clearsim

@@ -11,8 +11,14 @@ namespace clearsim
 bool
 FallbackLock::tryAcquireWrite(CoreId core)
 {
-    if (writer_ != kNoCore || readers_ != 0)
+    if (writer_ != kNoCore || readers_ != 0) {
+        if (tracer_) {
+            tracer_->emitAt(
+                TraceKind::FallbackContended, core,
+                FallbackPayload{readers_, writer_ != kNoCore});
+        }
         return false;
+    }
     writer_ = core;
     ++writerAcqs_;
 
@@ -34,25 +40,40 @@ FallbackLock::releaseWrite(CoreId core)
     CLEARSIM_ASSERT(writer_ == core,
                     "releaseWrite by a core that is not the writer");
     writer_ = kNoCore;
+    if (tracer_) {
+        tracer_->emitAt(TraceKind::FallbackReleased, core,
+                        FallbackPayload{readers_, false});
+    }
     fireWaiters();
 }
 
 bool
 FallbackLock::tryAcquireRead(CoreId core)
 {
-    (void)core;
-    if (writer_ != kNoCore)
+    if (writer_ != kNoCore) {
+        if (tracer_) {
+            tracer_->emitAt(TraceKind::FallbackContended, core,
+                            FallbackPayload{readers_, true});
+        }
         return false;
+    }
     ++readers_;
+    if (tracer_) {
+        tracer_->emitAt(TraceKind::FallbackReadAcquired, core,
+                        FallbackPayload{readers_, false});
+    }
     return true;
 }
 
 void
 FallbackLock::releaseRead(CoreId core)
 {
-    (void)core;
     CLEARSIM_ASSERT(readers_ > 0, "releaseRead with no readers");
     --readers_;
+    if (tracer_) {
+        tracer_->emitAt(TraceKind::FallbackReleased, core,
+                        FallbackPayload{readers_, false});
+    }
     if (readers_ == 0)
         fireWaiters();
 }

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "htm/conflict_manager.hh"
 
@@ -88,6 +89,9 @@ class FallbackLock
     /** Total exclusive acquisitions (stats). */
     std::uint64_t writerAcquisitions() const { return writerAcqs_; }
 
+    /** Report contention events through t (null = disabled). */
+    void attachTracer(const Tracer *t) { tracer_ = t; }
+
     /** Drop all state. */
     void reset();
 
@@ -100,6 +104,7 @@ class FallbackLock
     std::vector<std::pair<CoreId, TxParticipant *>> subscribers_;
     std::vector<WakeCallback> waiters_;
     std::uint64_t writerAcqs_ = 0;
+    const Tracer *tracer_ = nullptr;
 };
 
 } // namespace clearsim

@@ -95,6 +95,14 @@ struct HtmStats
     // --- fallback lock ---
     std::uint64_t fallbackAcquisitions = 0;
 
+    // --- backoff ---
+    /**
+     * Cycles spent in each backoff wait (speculative retry delays,
+     * lock-retry waits, fallback spins). Feeds the
+     * cycles-in-backoff distribution of the stats export.
+     */
+    Distribution backoffWaits;
+
     // --- per-static-region profiling (Table 1, Figure 1) ---
     std::map<RegionPc, RegionProfile> regions;
 
@@ -176,6 +184,7 @@ struct HtmStats
         crtInsertions += other.crtInsertions;
         discoveryDisabled += other.discoveryDisabled;
         fallbackAcquisitions += other.fallbackAcquisitions;
+        backoffWaits.merge(other.backoffWaits);
         for (const auto &[pc, profile] : other.regions) {
             RegionProfile &mine = regions[pc];
             mine.invocations += profile.invocations;

@@ -109,6 +109,7 @@ TxContext::beginAttempt(ExecMode mode, bool discovery_active)
     mode_ = mode;
     discoveryActive_ = discovery_active;
     doomReason_ = AbortReason::None;
+    doomLine_ = 0;
     failedMode_ = false;
     failedModeStart_ = 0;
     failedModeStoreBase_ = 0;
@@ -151,10 +152,12 @@ TxContext::findPlanEntry(LineAddr line)
 }
 
 void
-TxContext::doomLocal(AbortReason reason)
+TxContext::doomLocal(AbortReason reason, LineAddr line)
 {
-    if (doomReason_ == AbortReason::None)
+    if (doomReason_ == AbortReason::None) {
         doomReason_ = reason;
+        doomLine_ = line;
+    }
 }
 
 void
@@ -168,7 +171,7 @@ TxContext::doomRemote(AbortReason reason, LineAddr line)
         readSet_.count(line) != 0 && writeSet_.count(line) == 0) {
         conflictingReads_.push_back(line);
     }
-    doomLocal(reason);
+    doomLocal(reason, line);
 }
 
 bool
@@ -278,13 +281,13 @@ TxContext::resolveLineLock(LineAddr line, bool is_write)
         if (resp == LockedLineResponse::Free)
             co_return;
         if (resp == LockedLineResponse::Nack) {
-            mem_.locks().countNack();
-            doomLocal(AbortReason::Nacked);
+            mem_.locks().countNack(line, core_);
+            doomLocal(AbortReason::Nacked, line);
             // A nacked load has no data: discovery cannot continue.
             throw TxAbort{doomReason_};
         }
         // Retry response: wait for the unlock, back off, re-issue.
-        mem_.locks().countRetry();
+        mem_.locks().countRetry(line, core_);
         co_await LockWaitAwaiter(mem_.locks(), queue_, line,
                                  cfg_.timing.lockRetryBackoff);
         if (doomed() && !failedMode_)
@@ -411,7 +414,7 @@ TxContext::load(Addr addr)
         const ArbitrationOutcome out =
             conflicts_.arbitrate(core_, line, false, cls);
         if (out.abortSelf) {
-            doomLocal(out.selfReason);
+            doomLocal(out.selfReason, line);
             handleDoomAtBoundary();
         }
     }
@@ -508,7 +511,7 @@ TxContext::store(Addr addr, TxValue value)
         const ArbitrationOutcome out =
             conflicts_.arbitrate(core_, line, true, cls);
         if (out.abortSelf) {
-            doomLocal(out.selfReason);
+            doomLocal(out.selfReason, line);
             handleDoomAtBoundary();
         }
     }

@@ -183,6 +183,10 @@ class TxContext : public TxParticipant
     bool active() const { return active_; }
     bool doomed() const { return doomReason_ != AbortReason::None; }
     AbortReason doomReason() const { return doomReason_; }
+
+    /** Culprit cacheline of the doom (0 if unknown/none). */
+    LineAddr doomLine() const { return doomLine_; }
+
     bool inFailedMode() const { return failedMode_; }
 
     /** Footprint of the current/last attempt. */
@@ -216,8 +220,11 @@ class TxContext : public TxParticipant
     /** Current region PC. */
     RegionPc regionPc() const { return pc_; }
 
-    /** Doom the running attempt locally (e.g., nacked request). */
-    void doomLocal(AbortReason reason);
+    /**
+     * Doom the running attempt locally (e.g., nacked request).
+     * @param line conflicting cacheline if known (abort attribution)
+     */
+    void doomLocal(AbortReason reason, LineAddr line = 0);
 
     // ------------------------------------------------------------
     // TxParticipant interface
@@ -279,6 +286,7 @@ class TxContext : public TxParticipant
     ExecMode mode_ = ExecMode::Speculative;
     bool discoveryActive_ = false;
     AbortReason doomReason_ = AbortReason::None;
+    LineAddr doomLine_ = 0;
     bool failedMode_ = false;
     Cycle failedModeStart_ = 0;
     std::uint64_t failedModeStoreBase_ = 0;

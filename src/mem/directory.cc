@@ -57,6 +57,13 @@ Directory::onWrite(CoreId core, LineAddr line)
     }
     e.owner = core;
     e.sharers = 0;
+    if (tracer_ && !result.invalidate.empty()) {
+        tracer_->emitAt(
+            TraceKind::DirInvalidate, core,
+            InvalidatePayload{
+                line,
+                static_cast<unsigned>(result.invalidate.size())});
+    }
     return result;
 }
 

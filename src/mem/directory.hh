@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace clearsim
@@ -73,6 +74,9 @@ class Directory
     /** Number of directory sets. */
     unsigned sets() const { return dirSets_; }
 
+    /** Report invalidation events through t (null = disabled). */
+    void attachTracer(const Tracer *t) { tracer_ = t; }
+
     /** Drop all state. */
     void reset();
 
@@ -86,6 +90,7 @@ class Directory
     unsigned dirSets_;
     unsigned numCores_;
     std::unordered_map<LineAddr, Entry> entries_;
+    const Tracer *tracer_ = nullptr;
 };
 
 } // namespace clearsim

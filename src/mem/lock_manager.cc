@@ -38,7 +38,7 @@ LockManager::configureDirSets(unsigned dir_sets)
 }
 
 bool
-LockManager::tryLock(LineAddr line, CoreId core)
+LockManager::tryLock(LineAddr line, CoreId core, Cycle now)
 {
     if (dirSetLockedByOther(line, core))
         return false;
@@ -48,17 +48,35 @@ LockManager::tryLock(LineAddr line, CoreId core)
     if (state.holder != kNoCore)
         return false;
     state.holder = core;
+    state.acquiredAt = now;
     held_[core].push_back(line);
     ++totalLocks_;
+    if (tracer_) {
+        tracer_->emitAt(TraceKind::LineLockAcquired, core,
+                        LockPayload{line, 0});
+    }
     return true;
 }
 
 void
-LockManager::unlock(LineAddr line, CoreId core)
+LockManager::noteRelease(LineAddr line, CoreId core, Cycle acquired_at,
+                         Cycle now)
+{
+    const Cycle held = now >= acquired_at ? now - acquired_at : 0;
+    holdCycles_.record(held);
+    if (tracer_) {
+        tracer_->emitAt(TraceKind::LineLockReleased, core,
+                        LockPayload{line, held});
+    }
+}
+
+void
+LockManager::unlock(LineAddr line, CoreId core, Cycle now)
 {
     auto it = locks_.find(line);
     CLEARSIM_ASSERT(it != locks_.end() && it->second.holder == core,
                     "unlock of a line not held by this core");
+    noteRelease(line, core, it->second.acquiredAt, now);
     it->second.holder = kNoCore;
     std::vector<WakeCallback> waiters = std::move(it->second.waiters);
     it->second.waiters.clear();
@@ -74,7 +92,7 @@ LockManager::unlock(LineAddr line, CoreId core)
 }
 
 void
-LockManager::unlockAll(CoreId core)
+LockManager::unlockAll(CoreId core, Cycle now)
 {
     auto it = held_.find(core);
     if (it == held_.end())
@@ -86,6 +104,7 @@ LockManager::unlockAll(CoreId core)
         CLEARSIM_ASSERT(lockIt != locks_.end() &&
                         lockIt->second.holder == core,
                         "unlockAll found inconsistent lock state");
+        noteRelease(line, core, lockIt->second.acquiredAt, now);
         lockIt->second.holder = kNoCore;
         std::vector<WakeCallback> waiters =
             std::move(lockIt->second.waiters);
@@ -127,6 +146,10 @@ LockManager::tryLockDirSet(unsigned set, CoreId core)
     if (state.holder != kNoCore)
         return false;
     state.holder = core;
+    if (tracer_) {
+        tracer_->emitAt(TraceKind::DirSetLockAcquired, core,
+                        DirSetPayload{set});
+    }
     return true;
 }
 
@@ -139,6 +162,10 @@ LockManager::unlockDirSet(unsigned set, CoreId core)
     it->second.holder = kNoCore;
     std::vector<WakeCallback> waiters = std::move(it->second.waiters);
     setLocks_.erase(it);
+    if (tracer_) {
+        tracer_->emitAt(TraceKind::DirSetLockReleased, core,
+                        DirSetPayload{set});
+    }
     for (auto &cb : waiters)
         cb();
 }
@@ -179,6 +206,7 @@ LockManager::reset()
     locks_.clear();
     setLocks_.clear();
     held_.clear();
+    holdCycles_.clear();
 }
 
 } // namespace clearsim

@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace clearsim
@@ -73,15 +75,17 @@ class LockManager
 
     /**
      * Try to acquire the line lock for core.
+     * @param now current cycle, recorded as the acquisition time so
+     *        release can report the hold duration (0 = untimed)
      * @retval true on success (also when core already holds it).
      */
-    bool tryLock(LineAddr line, CoreId core);
+    bool tryLock(LineAddr line, CoreId core, Cycle now = 0);
 
     /** Release one line lock; wakes all waiters. */
-    void unlock(LineAddr line, CoreId core);
+    void unlock(LineAddr line, CoreId core, Cycle now = 0);
 
     /** Release every lock held by core (bulk unlock at AR end). */
-    void unlockAll(CoreId core);
+    void unlockAll(CoreId core, Cycle now = 0);
 
     /** Number of lines core currently holds locked. */
     unsigned heldCount(CoreId core) const;
@@ -130,11 +134,39 @@ class LockManager
     /** Total retry responses issued (stats). */
     std::uint64_t totalRetries() const { return totalRetries_; }
 
-    /** Count a nack (called by the memory system). */
-    void countNack() { ++totalNacks_; }
+    /**
+     * Count a nack (called by the HTM layer when a nackable request
+     * hits a locked line); traced as LineLockNacked.
+     */
+    void
+    countNack(LineAddr line = 0, CoreId requester = kNoCore)
+    {
+        ++totalNacks_;
+        if (tracer_) {
+            tracer_->emitAt(TraceKind::LineLockNacked, requester,
+                            LockPayload{line, 0});
+        }
+    }
 
-    /** Count a retry response (called by the memory system). */
-    void countRetry() { ++totalRetries_; }
+    /**
+     * Count a retry response (the requester re-issues later);
+     * traced as LineLockRetried.
+     */
+    void
+    countRetry(LineAddr line = 0, CoreId requester = kNoCore)
+    {
+        ++totalRetries_;
+        if (tracer_) {
+            tracer_->emitAt(TraceKind::LineLockRetried, requester,
+                            LockPayload{line, 0});
+        }
+    }
+
+    /** Distribution of lock-hold durations, in cycles. */
+    const Distribution &holdCycles() const { return holdCycles_; }
+
+    /** Report lifecycle events through t (null = disabled). */
+    void attachTracer(const Tracer *t) { tracer_ = t; }
 
     /** Drop all locks and waiters. */
     void reset();
@@ -143,8 +175,13 @@ class LockManager
     struct LockState
     {
         CoreId holder = kNoCore;
+        Cycle acquiredAt = 0;
         std::vector<WakeCallback> waiters;
     };
+
+    /** Record and trace one release of a held line. */
+    void noteRelease(LineAddr line, CoreId core, Cycle acquired_at,
+                     Cycle now);
 
     unsigned dirSets_ = 4096;
     std::unordered_map<LineAddr, LockState> locks_;
@@ -153,6 +190,8 @@ class LockManager
     std::uint64_t totalLocks_ = 0;
     std::uint64_t totalNacks_ = 0;
     std::uint64_t totalRetries_ = 0;
+    Distribution holdCycles_;
+    const Tracer *tracer_ = nullptr;
 };
 
 } // namespace clearsim

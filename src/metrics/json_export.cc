@@ -1,0 +1,125 @@
+#include "metrics/json_export.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/json.hh"
+#include "metrics/stats_report.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+void
+writeRun(JsonWriter &json, const RunResult &run)
+{
+    const StatsRegistry reg = buildStatsRegistry(run, run.numCores);
+
+    json.beginObject();
+    json.key("workload");
+    json.value(run.workload);
+    json.key("config");
+    json.value(run.config);
+    json.key("seed");
+    json.value(run.seed);
+    json.key("max_retries");
+    json.value(run.maxRetries);
+    json.key("cores");
+    json.value(run.numCores);
+
+    json.key("counters");
+    json.beginObject();
+    for (const auto &entry : reg.counters()) {
+        json.key(entry.name);
+        json.value(entry.value);
+    }
+    json.endObject();
+
+    json.key("scalars");
+    json.beginObject();
+    for (const auto &entry : reg.scalars()) {
+        json.key(entry.name);
+        json.value(entry.value);
+    }
+    json.endObject();
+
+    json.key("distributions");
+    json.beginObject();
+    for (const auto &entry : reg.distributions()) {
+        json.key(entry.name);
+        json.beginObject();
+        json.key("count");
+        json.value(entry.summary.count);
+        json.key("sum");
+        json.value(entry.summary.sum);
+        json.key("mean");
+        json.value(entry.summary.mean);
+        json.key("p50");
+        json.value(entry.summary.p50);
+        json.key("p95");
+        json.value(entry.summary.p95);
+        json.key("max");
+        json.value(entry.summary.max);
+        json.endObject();
+    }
+    json.endObject();
+
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+statsJsonString(const std::vector<RunResult> &runs)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("schema");
+    json.value(kStatsJsonSchema);
+    json.key("runs");
+    json.beginArray();
+    for (const RunResult &run : runs)
+        writeRun(json, run);
+    json.endArray();
+    json.endObject();
+    out.push_back('\n');
+    return out;
+}
+
+bool
+writeStatsJson(const std::string &path,
+               const std::vector<RunResult> &runs, std::string &error)
+{
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec) {
+            error = "cannot create " +
+                    target.parent_path().string() + ": " +
+                    ec.message();
+            return false;
+        }
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        error = "cannot open " + path + ": " +
+                std::strerror(errno);
+        return false;
+    }
+    os << statsJsonString(runs);
+    os.flush();
+    if (!os) {
+        error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace clearsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Machine-readable stats export: the `--stats-json` document.
+ *
+ * Schema "clearsim-stats-v1" (all keys always present, fixed order):
+ *
+ * @code{.json}
+ * {
+ *   "schema": "clearsim-stats-v1",
+ *   "runs": [
+ *     {
+ *       "workload": "<name>",
+ *       "config": "<name>",
+ *       "seed": <uint>,
+ *       "max_retries": <uint>,
+ *       "cores": <uint>,
+ *       "counters": { "<name>": <uint>, ... },
+ *       "scalars": { "<name>": <double>, ... },
+ *       "distributions": {
+ *         "<name>": { "count": <uint>, "sum": <uint>,
+ *                     "mean": <double>, "p50": <uint>,
+ *                     "p95": <uint>, "max": <uint> }, ...
+ *       }
+ *     }, ...
+ *   ]
+ * }
+ * @endcode
+ *
+ * The entries come from buildStatsRegistry(), so the JSON and the
+ * text stats report always list the same statistics in the same
+ * order; serialization is deterministic byte-for-byte for identical
+ * runs (lossless integers, "%.17g" doubles, fixed key order).
+ */
+
+#ifndef CLEARSIM_METRICS_JSON_EXPORT_HH
+#define CLEARSIM_METRICS_JSON_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "metrics/run_result.hh"
+
+namespace clearsim
+{
+
+/** Schema identifier written into every stats document. */
+inline constexpr const char *kStatsJsonSchema = "clearsim-stats-v1";
+
+/** Serialize the runs as one clearsim-stats-v1 document. */
+std::string statsJsonString(const std::vector<RunResult> &runs);
+
+/**
+ * Write statsJsonString(runs) to @p path, creating parent
+ * directories as needed.
+ * @retval false with @p error describing the failure.
+ */
+bool writeStatsJson(const std::string &path,
+                    const std::vector<RunResult> &runs,
+                    std::string &error);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_METRICS_JSON_EXPORT_HH

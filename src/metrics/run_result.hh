@@ -26,11 +26,16 @@ struct RunResult
     std::string config;
     std::uint64_t seed = 0;
     unsigned maxRetries = 0;
+    /** Cores the run simulated (0 when the producer predates it). */
+    unsigned numCores = 0;
 
     Cycle cycles = 0;
     HtmStats htm;
     MemStats mem;
     EnergyBreakdown energy;
+
+    /** Cacheline lock-hold durations (cycles), from the LockManager. */
+    Distribution lockHoldCycles;
 
     /** Figure 9: aborts per committed transaction. */
     double abortsPerCommit() const { return htm.abortsPerCommit(); }

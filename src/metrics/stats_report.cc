@@ -10,14 +10,14 @@ namespace
 {
 
 void
-line(std::ostream &os, const char *key, std::uint64_t value)
+line(std::ostream &os, const std::string &key, std::uint64_t value)
 {
     os << std::left << std::setw(40) << key << std::right
        << std::setw(16) << value << "\n";
 }
 
 void
-lineF(std::ostream &os, const char *key, double value)
+lineF(std::ostream &os, const std::string &key, double value)
 {
     os << std::left << std::setw(40) << key << std::right
        << std::setw(16) << std::fixed << std::setprecision(4)
@@ -25,6 +25,120 @@ lineF(std::ostream &os, const char *key, double value)
 }
 
 } // namespace
+
+StatsRegistry
+buildStatsRegistry(const RunResult &run, unsigned num_cores)
+{
+    StatsRegistry reg;
+    auto mode = [&](ExecMode m) {
+        return run.htm.commitsByMode[static_cast<unsigned>(m)];
+    };
+    auto category = [&](AbortCategory c) {
+        return run.htm.abortsByCategory[static_cast<unsigned>(c)];
+    };
+
+    reg.addCounter("sim.cycles", "simulated cycles", run.cycles);
+    reg.addCounter("sim.cores", "simulated cores", num_cores);
+
+    const HtmStats &h = run.htm;
+    reg.addCounter("tx.commits", "committed atomic regions",
+                   h.commits);
+    reg.addCounter("tx.commits.speculative",
+                   "commits in speculative mode",
+                   mode(ExecMode::Speculative));
+    reg.addCounter("tx.commits.s_cl", "commits in S-CL mode",
+                   mode(ExecMode::SCl));
+    reg.addCounter("tx.commits.ns_cl", "commits in NS-CL mode",
+                   mode(ExecMode::NsCl));
+    reg.addCounter("tx.commits.fallback",
+                   "commits under the fallback lock",
+                   mode(ExecMode::Fallback));
+    reg.addCounter("tx.commits.first_try",
+                   "commits with zero counted retries",
+                   h.commitsByRetries.count(0));
+    reg.addCounter("tx.commits.one_retry",
+                   "commits after exactly one counted retry",
+                   h.commitsByRetries.count(1));
+
+    reg.addCounter("tx.aborts", "aborted execution attempts",
+                   h.aborts);
+    reg.addCounter("tx.aborts.memory_conflict",
+                   "aborts from memory conflicts (Fig. 11)",
+                   category(AbortCategory::MemoryConflict));
+    reg.addCounter("tx.aborts.explicit_fallback",
+                   "aborts on start with the fallback lock held",
+                   category(AbortCategory::ExplicitFallback));
+    reg.addCounter("tx.aborts.other_fallback",
+                   "aborts from a fallback acquisition elsewhere",
+                   category(AbortCategory::OtherFallback));
+    reg.addCounter("tx.aborts.others",
+                   "capacity, explicit and other aborts",
+                   category(AbortCategory::Others));
+    reg.addScalar("tx.aborts_per_commit",
+                  "aborts per committed region (Fig. 9)",
+                  run.abortsPerCommit());
+
+    reg.addCounter("tx.uops.committed",
+                   "micro-ops retired by committed attempts",
+                   h.committedUops);
+    reg.addCounter("tx.uops.aborted",
+                   "micro-ops discarded by aborted attempts",
+                   h.abortedUops);
+
+    reg.addCounter("clear.ns_cl_attempts", "NS-CL attempts started",
+                   h.nsClAttempts);
+    reg.addCounter("clear.s_cl_attempts", "S-CL attempts started",
+                   h.sClAttempts);
+    reg.addCounter("clear.cacheline_locks",
+                   "cacheline locks acquired", h.cachelineLocksAcquired);
+    reg.addCounter("clear.crt_insertions",
+                   "conflicting-reads-table insertions",
+                   h.crtInsertions);
+    reg.addCounter("clear.discovery_disabled",
+                   "regions whose discovery was disabled",
+                   h.discoveryDisabled);
+    reg.addCounter("clear.discovery_cycles",
+                   "cycles in failed-mode discovery",
+                   h.discoveryFailedModeCycles);
+    reg.addScalar("clear.discovery_share",
+                  "share of core-cycles in failed-mode discovery",
+                  run.discoveryOverheadShare(num_cores));
+
+    reg.addCounter("fallback.acquisitions",
+                   "exclusive fallback-lock acquisitions",
+                   h.fallbackAcquisitions);
+
+    const MemStats &m = run.mem;
+    reg.addCounter("mem.l1_hits", "L1 hits", m.l1Hits);
+    reg.addCounter("mem.l2_hits", "L2 hits", m.l2Hits);
+    reg.addCounter("mem.l3_hits", "L3 hits", m.l3Hits);
+    reg.addCounter("mem.dram_accesses", "DRAM accesses",
+                   m.memAccesses);
+    reg.addCounter("mem.invalidations", "coherence invalidations",
+                   m.invalidations);
+    reg.addCounter("mem.remote_transfers",
+                   "remote cache-to-cache transfers",
+                   m.remoteTransfers);
+
+    reg.addScalar("energy.static", "static energy (model units)",
+                  run.energy.staticEnergy);
+    reg.addScalar("energy.dynamic", "dynamic energy (model units)",
+                  run.energy.dynamicEnergy);
+    reg.addScalar("energy.total", "total energy (model units)",
+                  run.energy.total());
+
+    reg.addDistribution("tx.retries_to_commit",
+                        "counted retries per non-fallback commit",
+                        DistSummary::of(h.commitsByRetries));
+    reg.addDistribution("tx.backoff_cycles",
+                        "cycles per backoff wait (retry delays, "
+                        "lock waits, fallback spins)",
+                        DistSummary::of(h.backoffWaits));
+    reg.addDistribution("lock.hold_cycles",
+                        "cycles each cacheline lock was held",
+                        DistSummary::of(run.lockHoldCycles));
+    return reg;
+}
 
 void
 writeStatsReport(std::ostream &os, const RunResult &run,
@@ -34,65 +148,30 @@ writeStatsReport(std::ostream &os, const RunResult &run,
        << run.config << "] seed=" << run.seed
        << " retries=" << run.maxRetries << " ----------\n";
 
-    line(os, "sim.cycles", run.cycles);
-    line(os, "sim.cores", num_cores);
-
-    const HtmStats &h = run.htm;
-    line(os, "tx.commits", h.commits);
-    line(os, "tx.commits.speculative",
-         h.commitsByMode[static_cast<unsigned>(
-             ExecMode::Speculative)]);
-    line(os, "tx.commits.s_cl",
-         h.commitsByMode[static_cast<unsigned>(ExecMode::SCl)]);
-    line(os, "tx.commits.ns_cl",
-         h.commitsByMode[static_cast<unsigned>(ExecMode::NsCl)]);
-    line(os, "tx.commits.fallback",
-         h.commitsByMode[static_cast<unsigned>(
-             ExecMode::Fallback)]);
-    line(os, "tx.commits.first_try", h.commitsByRetries.count(0));
-    line(os, "tx.commits.one_retry", h.commitsByRetries.count(1));
-
-    line(os, "tx.aborts", h.aborts);
-    line(os, "tx.aborts.memory_conflict",
-         h.abortsByCategory[static_cast<unsigned>(
-             AbortCategory::MemoryConflict)]);
-    line(os, "tx.aborts.explicit_fallback",
-         h.abortsByCategory[static_cast<unsigned>(
-             AbortCategory::ExplicitFallback)]);
-    line(os, "tx.aborts.other_fallback",
-         h.abortsByCategory[static_cast<unsigned>(
-             AbortCategory::OtherFallback)]);
-    line(os, "tx.aborts.others",
-         h.abortsByCategory[static_cast<unsigned>(
-             AbortCategory::Others)]);
-    lineF(os, "tx.aborts_per_commit", run.abortsPerCommit());
-
-    line(os, "tx.uops.committed", h.committedUops);
-    line(os, "tx.uops.aborted", h.abortedUops);
-
-    line(os, "clear.ns_cl_attempts", h.nsClAttempts);
-    line(os, "clear.s_cl_attempts", h.sClAttempts);
-    line(os, "clear.cacheline_locks", h.cachelineLocksAcquired);
-    line(os, "clear.crt_insertions", h.crtInsertions);
-    line(os, "clear.discovery_disabled", h.discoveryDisabled);
-    line(os, "clear.discovery_cycles",
-         h.discoveryFailedModeCycles);
-    lineF(os, "clear.discovery_share",
-          run.discoveryOverheadShare(num_cores));
-
-    line(os, "fallback.acquisitions", h.fallbackAcquisitions);
-
-    const MemStats &m = run.mem;
-    line(os, "mem.l1_hits", m.l1Hits);
-    line(os, "mem.l2_hits", m.l2Hits);
-    line(os, "mem.l3_hits", m.l3Hits);
-    line(os, "mem.dram_accesses", m.memAccesses);
-    line(os, "mem.invalidations", m.invalidations);
-    line(os, "mem.remote_transfers", m.remoteTransfers);
-
-    lineF(os, "energy.static", run.energy.staticEnergy);
-    lineF(os, "energy.dynamic", run.energy.dynamicEnergy);
-    lineF(os, "energy.total", run.energy.total());
+    const StatsRegistry reg = buildStatsRegistry(run, num_cores);
+    for (const StatsRegistry::OrderRef &ref : reg.order()) {
+        switch (ref.kind) {
+          case StatsRegistry::EntryKind::Counter: {
+            const auto &e = reg.counters()[ref.index];
+            line(os, e.name, e.value);
+            break;
+          }
+          case StatsRegistry::EntryKind::Scalar: {
+            const auto &e = reg.scalars()[ref.index];
+            lineF(os, e.name, e.value);
+            break;
+          }
+          case StatsRegistry::EntryKind::Distribution: {
+            const auto &e = reg.distributions()[ref.index];
+            line(os, e.name + ".count", e.summary.count);
+            lineF(os, e.name + ".mean", e.summary.mean);
+            line(os, e.name + ".p50", e.summary.p50);
+            line(os, e.name + ".p95", e.summary.p95);
+            line(os, e.name + ".max", e.summary.max);
+            break;
+          }
+        }
+    }
 }
 
 std::string

@@ -6,6 +6,12 @@
  * count, aborts by category, CLEAR machinery activity, memory
  * hierarchy traffic, energy split — as an aligned key/value block
  * suitable for logs and diffing between runs.
+ *
+ * The report is driven by a StatsRegistry: buildStatsRegistry
+ * publishes every quantity of a RunResult under a stable dotted
+ * name, and both the text renderer here and the JSON exporter
+ * (metrics/json_export.hh) iterate that registry, so the two
+ * outputs can never disagree about what a run contains.
  */
 
 #ifndef CLEARSIM_METRICS_STATS_REPORT_HH
@@ -14,10 +20,20 @@
 #include <ostream>
 #include <string>
 
+#include "common/stats.hh"
 #include "metrics/run_result.hh"
 
 namespace clearsim
 {
+
+/**
+ * Publish every quantity of a run into a registry: counters,
+ * derived scalars, and the distribution summaries
+ * (retries-to-commit, cycles-in-backoff, lock-hold cycles).
+ * Names and order match the text report exactly.
+ */
+StatsRegistry buildStatsRegistry(const RunResult &run,
+                                 unsigned num_cores);
 
 /** Write the full stats block of a run to a stream. */
 void writeStatsReport(std::ostream &os, const RunResult &run,

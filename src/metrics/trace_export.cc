@@ -1,0 +1,462 @@
+#include "metrics/trace_export.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** Hex-format an address as 0x... (the JSONL address encoding). */
+std::string
+hexAddr(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Parse a 0x-prefixed (or plain) hex/decimal address. */
+bool
+parseAddr(const JsonValue &value, std::uint64_t &out)
+{
+    if (value.isNumber()) {
+        out = value.asUint();
+        return true;
+    }
+    if (value.type != JsonValue::Type::String)
+        return false;
+    const std::string &s = value.text;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoull(s.c_str(), &end, 0);
+    return errno == 0 && end != s.c_str() && *end == '\0';
+}
+
+/** Append the payload-specific keys of an event. */
+void
+writePayload(JsonWriter &json, const TraceEvent &event)
+{
+    if (const auto *lock = std::get_if<LockPayload>(&event.payload)) {
+        json.key("line");
+        json.value(hexAddr(lock->line));
+        if (event.kind == TraceKind::LineLockReleased) {
+            json.key("hold");
+            json.value(static_cast<std::uint64_t>(lock->holdCycles));
+        }
+        return;
+    }
+    if (const auto *set = std::get_if<DirSetPayload>(&event.payload)) {
+        json.key("set");
+        json.value(set->set);
+        return;
+    }
+    if (const auto *inv =
+            std::get_if<InvalidatePayload>(&event.payload)) {
+        json.key("line");
+        json.value(hexAddr(inv->line));
+        json.key("invalidated");
+        json.value(inv->invalidated);
+        return;
+    }
+    if (const auto *conflict =
+            std::get_if<ConflictPayload>(&event.payload)) {
+        json.key("line");
+        json.value(hexAddr(conflict->line));
+        json.key("victims");
+        json.value(conflict->victims);
+        json.key("requester_wins");
+        json.value(conflict->requesterWins);
+        return;
+    }
+    if (const auto *fb =
+            std::get_if<FallbackPayload>(&event.payload)) {
+        json.key("readers");
+        json.value(fb->readers);
+        json.key("writer_held");
+        json.value(fb->writerHeld);
+        return;
+    }
+    if (const auto *backoff =
+            std::get_if<BackoffPayload>(&event.payload)) {
+        json.key("wait");
+        json.value(backoffWaitName(backoff->wait));
+        json.key("wait_cycles");
+        json.value(static_cast<std::uint64_t>(backoff->cycles));
+        return;
+    }
+    if (const auto *abort =
+            std::get_if<AbortPayload>(&event.payload)) {
+        json.key("line");
+        json.value(hexAddr(abort->line));
+        return;
+    }
+}
+
+/** Reconstruct the payload from the parsed object, by kind. */
+bool
+readPayload(const JsonValue &obj, TraceEvent &event,
+            std::string &error)
+{
+    auto addr = [&](const char *name, std::uint64_t &out) {
+        const JsonValue *v = obj.find(name);
+        return v != nullptr && parseAddr(*v, out);
+    };
+    auto uint = [&](const char *name, std::uint64_t &out) {
+        const JsonValue *v = obj.find(name);
+        if (v == nullptr || !v->isNumber())
+            return false;
+        out = v->asUint();
+        return true;
+    };
+    auto boolean = [&](const char *name, bool &out) {
+        const JsonValue *v = obj.find(name);
+        if (v == nullptr || v->type != JsonValue::Type::Bool)
+            return false;
+        out = v->boolean;
+        return true;
+    };
+
+    switch (event.kind) {
+      case TraceKind::AttemptBegin:
+      case TraceKind::Commit:
+      case TraceKind::FallbackAcquired:
+        return true;
+      case TraceKind::Abort: {
+        AbortPayload p;
+        if (!addr("line", p.line))
+            return false;
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::LineLockAcquired:
+      case TraceKind::LineLockNacked:
+      case TraceKind::LineLockRetried:
+      case TraceKind::LineLockReleased: {
+        LockPayload p;
+        if (!addr("line", p.line))
+            return false;
+        if (event.kind == TraceKind::LineLockReleased) {
+            std::uint64_t hold = 0;
+            if (!uint("hold", hold))
+                return false;
+            p.holdCycles = hold;
+        }
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::DirSetLockAcquired:
+      case TraceKind::DirSetLockReleased: {
+        DirSetPayload p;
+        std::uint64_t set = 0;
+        if (!uint("set", set))
+            return false;
+        p.set = static_cast<unsigned>(set);
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::DirInvalidate: {
+        InvalidatePayload p;
+        std::uint64_t n = 0;
+        if (!addr("line", p.line) || !uint("invalidated", n))
+            return false;
+        p.invalidated = static_cast<unsigned>(n);
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::ConflictVerdict: {
+        ConflictPayload p;
+        std::uint64_t victims = 0;
+        if (!addr("line", p.line) || !uint("victims", victims) ||
+            !boolean("requester_wins", p.requesterWins)) {
+            return false;
+        }
+        p.victims = static_cast<unsigned>(victims);
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::FallbackContended:
+      case TraceKind::FallbackReadAcquired:
+      case TraceKind::FallbackReleased: {
+        FallbackPayload p;
+        std::uint64_t readers = 0;
+        if (!uint("readers", readers) ||
+            !boolean("writer_held", p.writerHeld)) {
+            return false;
+        }
+        p.readers = static_cast<unsigned>(readers);
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::BackoffWait: {
+        BackoffPayload p;
+        const JsonValue *wait = obj.find("wait");
+        std::uint64_t cycles = 0;
+        if (wait == nullptr ||
+            wait->type != JsonValue::Type::String ||
+            !backoffWaitFromName(wait->text.c_str(), p.wait) ||
+            !uint("wait_cycles", cycles)) {
+            return false;
+        }
+        p.cycles = cycles;
+        event.payload = p;
+        return true;
+      }
+    }
+    error = "unknown trace kind";
+    return false;
+}
+
+} // namespace
+
+std::string
+traceEventToJson(const TraceEvent &event)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("cycle");
+    json.value(static_cast<std::uint64_t>(event.cycle));
+    json.key("core");
+    json.value(static_cast<unsigned>(event.core));
+    json.key("kind");
+    json.value(traceKindName(event.kind));
+    json.key("mode");
+    json.value(execModeName(event.mode));
+    json.key("reason");
+    json.value(abortReasonName(event.reason));
+    json.key("retries");
+    json.value(event.countedRetries);
+    json.key("pc");
+    json.value(hexAddr(event.pc));
+    writePayload(json, event);
+    json.endObject();
+    return out;
+}
+
+bool
+traceEventFromJson(const std::string &line, TraceEvent &event,
+                   std::string &error)
+{
+    JsonValue obj;
+    if (!parseJson(line, obj, error))
+        return false;
+    if (obj.type != JsonValue::Type::Object) {
+        error = "trace line is not a JSON object";
+        return false;
+    }
+
+    event = TraceEvent{};
+    const JsonValue *cycle = obj.find("cycle");
+    const JsonValue *core = obj.find("core");
+    const JsonValue *kind = obj.find("kind");
+    const JsonValue *mode = obj.find("mode");
+    const JsonValue *reason = obj.find("reason");
+    const JsonValue *retries = obj.find("retries");
+    const JsonValue *pc = obj.find("pc");
+    if (!cycle || !cycle->isNumber() || !core || !core->isNumber() ||
+        !kind || kind->type != JsonValue::Type::String || !mode ||
+        mode->type != JsonValue::Type::String || !reason ||
+        reason->type != JsonValue::Type::String || !retries ||
+        !retries->isNumber() || !pc) {
+        error = "trace line is missing required fields";
+        return false;
+    }
+    event.cycle = cycle->asUint();
+    event.core = static_cast<CoreId>(core->asUint());
+    event.countedRetries =
+        static_cast<unsigned>(retries->asUint());
+    std::uint64_t pc_value = 0;
+    if (!parseAddr(*pc, pc_value)) {
+        error = "invalid pc";
+        return false;
+    }
+    event.pc = pc_value;
+    if (!traceKindFromName(kind->text.c_str(), event.kind)) {
+        error = "unknown trace kind '" + kind->text + "'";
+        return false;
+    }
+    if (!execModeFromName(mode->text.c_str(), event.mode)) {
+        error = "unknown exec mode '" + mode->text + "'";
+        return false;
+    }
+    if (!abortReasonFromName(reason->text.c_str(), event.reason)) {
+        error = "unknown abort reason '" + reason->text + "'";
+        return false;
+    }
+    if (!readPayload(obj, event, error)) {
+        if (error.empty())
+            error = "invalid payload for kind '" + kind->text + "'";
+        return false;
+    }
+    return true;
+}
+
+void
+TraceJsonlWriter::write(const TraceEvent &event)
+{
+    os_ << traceEventToJson(event) << '\n';
+    ++count_;
+}
+
+bool
+readTraceJsonl(std::istream &is, std::vector<TraceEvent> &out,
+               std::string &error)
+{
+    out.clear();
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        TraceEvent event;
+        std::string line_error;
+        if (!traceEventFromJson(line, event, line_error)) {
+            error = "line " + std::to_string(line_no) + ": " +
+                    line_error;
+            return false;
+        }
+        out.push_back(std::move(event));
+    }
+    return true;
+}
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("displayTimeUnit");
+    json.value("ns");
+    json.key("traceEvents");
+    json.beginArray();
+
+    auto common = [&](const TraceEvent &event, const char *phase,
+                      const char *name) {
+        json.beginObject();
+        json.key("name");
+        json.value(name);
+        json.key("ph");
+        json.value(phase);
+        json.key("ts");
+        json.value(static_cast<std::uint64_t>(event.cycle));
+        json.key("pid");
+        json.value(0);
+        json.key("tid");
+        json.value(static_cast<unsigned>(event.core));
+    };
+    auto args = [&](const TraceEvent &event) {
+        json.key("args");
+        json.beginObject();
+        json.key("pc");
+        json.value(hexAddr(event.pc));
+        json.key("mode");
+        json.value(execModeName(event.mode));
+        json.key("reason");
+        json.value(abortReasonName(event.reason));
+        json.key("retries");
+        json.value(event.countedRetries);
+        json.endObject();
+        json.endObject();
+    };
+
+    for (const TraceEvent &event : events) {
+        switch (event.kind) {
+          case TraceKind::AttemptBegin:
+            common(event, "B", "attempt");
+            args(event);
+            break;
+          case TraceKind::Commit:
+          case TraceKind::Abort:
+            common(event, "E", "attempt");
+            args(event);
+            break;
+          default:
+            common(event, "i", traceKindName(event.kind));
+            json.key("s");
+            json.value("t");
+            args(event);
+            break;
+        }
+    }
+
+    json.endArray();
+    json.endObject();
+    os << out << '\n';
+}
+
+AbortAttribution
+attributeAborts(const std::vector<TraceEvent> &events)
+{
+    AbortAttribution attribution;
+    std::map<std::pair<RegionPc, LineAddr>, AbortAttributionRow>
+        rows;
+    for (const TraceEvent &event : events) {
+        if (event.kind != TraceKind::Abort)
+            continue;
+        const unsigned category =
+            static_cast<unsigned>(categorize(event.reason));
+        LineAddr line = 0;
+        if (const auto *p = std::get_if<AbortPayload>(&event.payload))
+            line = p->line;
+        AbortAttributionRow &row = rows[{event.pc, line}];
+        row.pc = event.pc;
+        row.line = line;
+        ++row.byCategory[category];
+        ++row.total;
+        ++attribution.totals[category];
+        ++attribution.totalAborts;
+    }
+    attribution.rows.reserve(rows.size());
+    for (auto &[key, row] : rows)
+        attribution.rows.push_back(row);
+    std::sort(attribution.rows.begin(), attribution.rows.end(),
+              [](const AbortAttributionRow &a,
+                 const AbortAttributionRow &b) {
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  if (a.pc != b.pc)
+                      return a.pc < b.pc;
+                  return a.line < b.line;
+              });
+    return attribution;
+}
+
+void
+writeAbortAttributionTable(std::ostream &os,
+                           const AbortAttribution &attribution)
+{
+    os << std::left << std::setw(12) << "pc" << std::setw(14)
+       << "line" << std::right << std::setw(10) << "conflict"
+       << std::setw(10) << "expl-fb" << std::setw(10) << "other-fb"
+       << std::setw(10) << "others" << std::setw(10) << "total"
+       << "\n";
+    for (const AbortAttributionRow &row : attribution.rows) {
+        os << std::left << std::setw(12) << hexAddr(row.pc)
+           << std::setw(14) << hexAddr(row.line) << std::right;
+        for (unsigned c = 0; c < kNumAbortCategories; ++c)
+            os << std::setw(10) << row.byCategory[c];
+        os << std::setw(10) << row.total << "\n";
+    }
+    os << std::left << std::setw(26) << "total" << std::right;
+    for (unsigned c = 0; c < kNumAbortCategories; ++c)
+        os << std::setw(10) << attribution.totals[c];
+    os << std::setw(10) << attribution.totalAborts << "\n";
+}
+
+} // namespace clearsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Machine-readable trace export and offline aggregation.
+ *
+ * Two on-disk formats for a System's trace-event stream:
+ *
+ *  - JSONL: one JSON object per event, fixed key order, lossless
+ *    integers — byte-identical for identical simulations, so traces
+ *    can be diffed and golden-tested. readTraceJsonl() is the exact
+ *    inverse.
+ *  - Chrome trace_event JSON: attempts become duration (B/E) slices
+ *    per core, everything else instant events; loads directly into
+ *    Perfetto / chrome://tracing.
+ *
+ * attributeAborts() aggregates a trace into the abort-attribution
+ * table behind tools' `trace_report`: per (region pc, culprit line),
+ * aborts split by Figure 11 category. Its category totals equal the
+ * HtmStats abortsByCategory counters of the same run by
+ * construction (one Abort event is emitted exactly where
+ * recordAbort() is called).
+ */
+
+#ifndef CLEARSIM_METRICS_TRACE_EXPORT_HH
+#define CLEARSIM_METRICS_TRACE_EXPORT_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+
+/** Serialize one event as a single-line JSON object (no newline). */
+std::string traceEventToJson(const TraceEvent &event);
+
+/** Parse one JSONL line back into an event. */
+bool traceEventFromJson(const std::string &line, TraceEvent &event,
+                        std::string &error);
+
+/**
+ * Streaming JSONL sink: install `std::ref(writer)` (or a lambda
+ * forwarding to write()) as a System's trace sink to stream every
+ * event to @p os, one line each.
+ */
+class TraceJsonlWriter
+{
+  public:
+    explicit TraceJsonlWriter(std::ostream &os) : os_(os) {}
+
+    void write(const TraceEvent &event);
+
+    void operator()(const TraceEvent &event) { write(event); }
+
+    /** Events written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Read a whole JSONL trace. Empty lines are skipped.
+ * @retval false with @p error naming the first bad line (1-based).
+ */
+bool readTraceJsonl(std::istream &is, std::vector<TraceEvent> &out,
+                    std::string &error);
+
+/**
+ * Write the events as a Chrome trace_event document ("traceEvents"
+ * array, microsecond timestamps = cycles). AttemptBegin opens a
+ * duration slice on the core's track; Commit/Abort closes it;
+ * other kinds become instant events.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events);
+
+/** Abort counts of one (region, culprit line) pair. */
+struct AbortAttributionRow
+{
+    RegionPc pc = 0;
+    LineAddr line = 0;
+    std::array<std::uint64_t, kNumAbortCategories> byCategory{};
+    std::uint64_t total = 0;
+};
+
+/** The abort-attribution table of a trace. */
+struct AbortAttribution
+{
+    /** Rows sorted by descending total (ties: pc, then line). */
+    std::vector<AbortAttributionRow> rows;
+    /** Per-category totals; match HtmStats::abortsByCategory. */
+    std::array<std::uint64_t, kNumAbortCategories> totals{};
+    std::uint64_t totalAborts = 0;
+};
+
+/** Aggregate every Abort event of a trace. */
+AbortAttribution
+attributeAborts(const std::vector<TraceEvent> &events);
+
+/** Render the attribution as an aligned text table. */
+void writeAbortAttributionTable(std::ostream &os,
+                                const AbortAttribution &attribution);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_METRICS_TRACE_EXPORT_HH

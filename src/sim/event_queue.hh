@@ -30,6 +30,13 @@ class EventQueue
     /** Current simulated time in cycles. */
     Cycle now() const { return now_; }
 
+    /**
+     * Stable pointer to the clock, for binding into a Tracer (the
+     * mem-layer components stamp trace events through it without a
+     * dependency on the event queue).
+     */
+    const Cycle *nowPtr() const { return &now_; }
+
     /** Schedule cb to run at absolute cycle when (>= now). */
     void schedule(Cycle when, Callback cb);
 

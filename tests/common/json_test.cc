@@ -1,0 +1,159 @@
+/** @file Unit tests for the JSON writer and parser. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(JsonWriterTest, ObjectKeysKeepOrder)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("b");
+    json.value(std::uint64_t(1));
+    json.key("a");
+    json.value("x");
+    json.key("c");
+    json.value(true);
+    json.endObject();
+    EXPECT_EQ(out, "{\"b\":1,\"a\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriterTest, NestedContainers)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("xs");
+    json.beginArray();
+    json.value(1);
+    json.value(-2);
+    json.beginObject();
+    json.key("k");
+    json.null();
+    json.endObject();
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(out, "{\"xs\":[1,-2,{\"k\":null}]}");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripLosslessly)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginArray();
+    json.value(0.1);
+    json.value(3.0);
+    json.endArray();
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(parseJson(out, parsed, error)) << error;
+    ASSERT_EQ(parsed.items.size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.items[0].asDouble(), 0.1);
+    EXPECT_DOUBLE_EQ(parsed.items[1].asDouble(), 3.0);
+}
+
+TEST(JsonQuoteTest, EscapesSpecials)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonQuote("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(jsonQuote(std::string("a\x01") + "b"),
+              "\"a\\u0001b\"");
+}
+
+TEST(JsonParserTest, ParsesIntegersLosslessly)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(
+        parseJson("18446744073709551615", v, error)) << error;
+    EXPECT_EQ(v.type, JsonValue::Type::Uint);
+    EXPECT_EQ(v.asUint(), 18446744073709551615ull);
+
+    ASSERT_TRUE(parseJson("-42", v, error)) << error;
+    EXPECT_EQ(v.type, JsonValue::Type::Int);
+    EXPECT_EQ(v.intValue, -42);
+
+    ASSERT_TRUE(parseJson("1.5", v, error)) << error;
+    EXPECT_EQ(v.type, JsonValue::Type::Double);
+}
+
+TEST(JsonParserTest, ObjectMembersKeepOrderAndFind)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parseJson("{\"z\":1,\"a\":{\"n\":true}}", v, error))
+        << error;
+    ASSERT_EQ(v.members.size(), 2u);
+    EXPECT_EQ(v.members[0].first, "z");
+    EXPECT_EQ(v.members[1].first, "a");
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    const JsonValue *n = a->find("n");
+    ASSERT_NE(n, nullptr);
+    EXPECT_TRUE(n->boolean);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, StringEscapes)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parseJson(R"("a\"\\\nA")", v, error)) << error;
+    EXPECT_EQ(v.text, "a\"\\\nA");
+}
+
+TEST(JsonParserTest, RejectsTrailingContent)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson("{} x", v, error));
+    EXPECT_FALSE(parseJson("1 2", v, error));
+    EXPECT_TRUE(parseJson("{}  \n", v, error));
+}
+
+TEST(JsonParserTest, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson("", v, error));
+    EXPECT_FALSE(parseJson("{", v, error));
+    EXPECT_FALSE(parseJson("[1,]", v, error));
+    EXPECT_FALSE(parseJson("{\"a\"}", v, error));
+    EXPECT_FALSE(parseJson("\"unterminated", v, error));
+    EXPECT_FALSE(parseJson("nul", v, error));
+}
+
+TEST(JsonRoundTripTest, WriterOutputReparses)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("name");
+    json.value("tab\tand \"quote\"");
+    json.key("big");
+    json.value(std::uint64_t(9007199254740993ull));
+    json.key("neg");
+    json.value(std::int64_t(-7));
+    json.endObject();
+
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parseJson(out, v, error)) << error;
+    EXPECT_EQ(v.find("name")->text, "tab\tand \"quote\"");
+    EXPECT_EQ(v.find("big")->asUint(), 9007199254740993ull);
+    EXPECT_EQ(v.find("neg")->intValue, -7);
+}
+
+} // namespace
+} // namespace clearsim

@@ -131,5 +131,135 @@ TEST(FormatFixedTest, Decimals)
     EXPECT_EQ(formatFixed(2.0, 0), "2");
 }
 
+TEST(DistributionTest, CountSumMeanMax)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.maxValue(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.record(4);
+    d.record(10);
+    d.record(1);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 15u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_EQ(d.maxValue(), 10u);
+}
+
+TEST(DistributionTest, NearestRankPercentiles)
+{
+    Distribution d;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        d.record(v);
+    // Nearest rank: the sample at rank ceil(p/100 * n).
+    EXPECT_EQ(d.percentile(50.0), 50u);
+    EXPECT_EQ(d.percentile(95.0), 95u);
+    EXPECT_EQ(d.percentile(100.0), 100u);
+    EXPECT_EQ(d.percentile(1.0), 1u);
+}
+
+TEST(DistributionTest, PercentileOfSmallSamples)
+{
+    Distribution d;
+    d.record(7);
+    EXPECT_EQ(d.percentile(50.0), 7u);
+    EXPECT_EQ(d.percentile(95.0), 7u);
+    d.record(3);
+    // ceil(0.5 * 2) = 1 -> the smaller sample.
+    EXPECT_EQ(d.percentile(50.0), 3u);
+    EXPECT_EQ(d.percentile(95.0), 7u);
+}
+
+TEST(DistributionTest, MergeAppendsSamples)
+{
+    Distribution a;
+    Distribution b;
+    a.record(1);
+    b.record(9);
+    b.record(5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.sum(), 15u);
+    EXPECT_EQ(a.maxValue(), 9u);
+    EXPECT_EQ(a.percentile(50.0), 5u);
+}
+
+TEST(BoundedHistogramTest, NearestRankPercentiles)
+{
+    BoundedHistogram h(8);
+    for (int i = 0; i < 9; ++i)
+        h.record(0);
+    h.record(6);
+    // 10 samples: p50 -> rank 5 (a zero), p95 -> rank 10 (the 6).
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    EXPECT_EQ(h.percentile(95.0), 6u);
+    EXPECT_EQ(h.maxValue(), 6u);
+}
+
+TEST(BoundedHistogramTest, PercentileOverflowSaturates)
+{
+    BoundedHistogram h(4);
+    h.record(100);
+    EXPECT_EQ(h.percentile(50.0), 4u);
+    EXPECT_EQ(h.maxValue(), 4u);
+}
+
+TEST(DistSummaryTest, OfDistributionAndHistogramAgree)
+{
+    Distribution d;
+    BoundedHistogram h(16);
+    for (std::uint64_t v : {1u, 2u, 2u, 3u, 10u}) {
+        d.record(v);
+        h.record(v);
+    }
+    const DistSummary sd = DistSummary::of(d);
+    const DistSummary sh = DistSummary::of(h);
+    EXPECT_EQ(sd.count, 5u);
+    EXPECT_EQ(sd.sum, 18u);
+    EXPECT_DOUBLE_EQ(sd.mean, 18.0 / 5.0);
+    EXPECT_EQ(sd.p50, 2u);
+    EXPECT_EQ(sd.p95, 10u);
+    EXPECT_EQ(sd.max, 10u);
+    EXPECT_EQ(sh.count, sd.count);
+    EXPECT_EQ(sh.sum, sd.sum);
+    EXPECT_DOUBLE_EQ(sh.mean, sd.mean);
+    EXPECT_EQ(sh.p50, sd.p50);
+    EXPECT_EQ(sh.p95, sd.p95);
+    EXPECT_EQ(sh.max, sd.max);
+}
+
+TEST(StatsRegistryTest, KeepsCrossKindRegistrationOrder)
+{
+    StatsRegistry reg;
+    reg.addCounter("a", "first", 1);
+    reg.addScalar("b", "second", 2.0);
+    reg.addCounter("c", "third", 3);
+    reg.addDistribution("d", "fourth", DistSummary{});
+
+    const auto &order = reg.order();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0].kind, StatsRegistry::EntryKind::Counter);
+    EXPECT_EQ(reg.counters()[order[0].index].name, "a");
+    EXPECT_EQ(order[1].kind, StatsRegistry::EntryKind::Scalar);
+    EXPECT_EQ(reg.scalars()[order[1].index].name, "b");
+    EXPECT_EQ(order[2].kind, StatsRegistry::EntryKind::Counter);
+    EXPECT_EQ(reg.counters()[order[2].index].name, "c");
+    EXPECT_EQ(order[3].kind,
+              StatsRegistry::EntryKind::Distribution);
+    EXPECT_EQ(reg.distributions()[order[3].index].name, "d");
+}
+
+TEST(StatsRegistryTest, ReRegisteringUpdatesInPlace)
+{
+    StatsRegistry reg;
+    reg.addCounter("a", "first", 1);
+    reg.addCounter("a", "first", 7);
+    ASSERT_EQ(reg.counters().size(), 1u);
+    ASSERT_EQ(reg.order().size(), 1u);
+    std::uint64_t value = 0;
+    EXPECT_TRUE(reg.counterValue("a", value));
+    EXPECT_EQ(value, 7u);
+}
+
 } // namespace
 } // namespace clearsim

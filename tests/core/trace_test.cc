@@ -93,6 +93,82 @@ TEST(TraceTest, ContendedRunEmitsAborts)
     EXPECT_GE(begins, commits);
 }
 
+/**
+ * A contended CLEAR run exercises the component-level lifecycle
+ * events: cacheline locking (with hold durations), conflict
+ * verdicts and abort payloads naming the culprit line.
+ */
+TEST(TraceTest, ContendedClearRunEmitsLifecycleEvents)
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 6;
+    System sys(cfg, 2);
+    std::vector<TraceEvent> events;
+    sys.setTraceSink(
+        [&events](const TraceEvent &e) { events.push_back(e); });
+
+    const Addr counter = sys.mem().store().allocateLines(1);
+    std::vector<SimTask> workers;
+    for (unsigned c = 0; c < 6; ++c) {
+        workers.push_back([](System &sys, CoreId core,
+                             Addr counter) -> SimTask {
+            for (int i = 0; i < 10; ++i) {
+                co_await sys.runRegion(
+                    core, 0x700, [counter](TxContext &tx) {
+                        return incBody(tx, counter);
+                    });
+            }
+        }(sys, static_cast<CoreId>(c), counter));
+    }
+    for (auto &w : workers)
+        w.start();
+    sys.runToCompletion(100'000'000ull);
+
+    unsigned acquired = 0;
+    unsigned released = 0;
+    unsigned verdicts = 0;
+    unsigned invalidates = 0;
+    for (const TraceEvent &e : events) {
+        switch (e.kind) {
+          case TraceKind::LineLockAcquired:
+            ++acquired;
+            break;
+          case TraceKind::LineLockReleased: {
+            ++released;
+            const auto *lock = std::get_if<LockPayload>(&e.payload);
+            ASSERT_NE(lock, nullptr);
+            EXPECT_NE(lock->line, 0u);
+            break;
+          }
+          case TraceKind::ConflictVerdict: {
+            ++verdicts;
+            const auto *conflict =
+                std::get_if<ConflictPayload>(&e.payload);
+            ASSERT_NE(conflict, nullptr);
+            EXPECT_NE(conflict->line, 0u);
+            if (conflict->requesterWins)
+                EXPECT_GT(conflict->victims, 0u);
+            break;
+          }
+          case TraceKind::DirInvalidate:
+            ++invalidates;
+            break;
+          default:
+            break;
+        }
+    }
+    // CLEAR locks lines for retries; every acquire is released.
+    EXPECT_EQ(acquired, sys.stats().cachelineLocksAcquired);
+    EXPECT_EQ(released, acquired);
+    EXPECT_GT(verdicts, 0u);
+    EXPECT_GT(invalidates, 0u);
+    // Stamped in simulation order: cycles never go backwards, and
+    // the run advances past cycle 0.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].cycle, events[i - 1].cycle);
+    EXPECT_GT(events.back().cycle, 0u);
+}
+
 TEST(TraceTest, NameHelpers)
 {
     EXPECT_STREQ(traceKindName(TraceKind::Commit), "commit");

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -45,13 +46,60 @@ TEST(CsvExportTest, WritesHeaderAndRows)
     std::remove("/tmp/csv_export_test_rw.csv");
 }
 
-TEST(CsvExportTest, UnwritableDirReturnsFalse)
+TEST(CsvExportTest, CreatesMissingDirectoryTree)
 {
-    setenv("CLEARSIM_CSV_DIR", "/nonexistent_dir_xyz", 1);
+    std::string dir = "/tmp/clearsim_csv_test_tree/a/b";
+    std::filesystem::remove_all("/tmp/clearsim_csv_test_tree");
+    setenv("CLEARSIM_CSV_DIR", dir.c_str(), 1);
     CsvTable table;
     table.header = {"x"};
-    EXPECT_FALSE(maybeExportCsv("nope", table));
+    table.rows = {{"1"}};
+    EXPECT_TRUE(maybeExportCsv("nested", table));
     unsetenv("CLEARSIM_CSV_DIR");
+    EXPECT_TRUE(std::filesystem::exists(dir + "/nested.csv"));
+    std::filesystem::remove_all("/tmp/clearsim_csv_test_tree");
+}
+
+TEST(CsvExportTest, QuotesCellsPerRfc4180)
+{
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote(""), "");
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("two\nlines"), "\"two\nlines\"");
+    EXPECT_EQ(csvQuote("cr\rhere"), "\"cr\rhere\"");
+
+    setenv("CLEARSIM_CSV_DIR", "/tmp", 1);
+    CsvTable table;
+    table.header = {"name", "note"};
+    table.rows = {{"a,b", "say \"hi\""}};
+    EXPECT_TRUE(maybeExportCsv("csv_export_test_quote", table));
+    unsetenv("CLEARSIM_CSV_DIR");
+
+    std::ifstream in("/tmp/csv_export_test_quote.csv");
+    ASSERT_TRUE(static_cast<bool>(in));
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "name,note");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"a,b\",\"say \"\"hi\"\"\"");
+    std::remove("/tmp/csv_export_test_quote.csv");
+}
+
+/**
+ * An uncreatable CLEARSIM_CSV_DIR (a path component is a regular
+ * file) is fatal: the user asked for the export.
+ */
+TEST(CsvExportDeathTest, UncreatableDirIsFatal)
+{
+    { std::ofstream f("/tmp/clearsim_csv_test_file"); f << "x"; }
+    setenv("CLEARSIM_CSV_DIR", "/tmp/clearsim_csv_test_file/sub", 1);
+    CsvTable table;
+    table.header = {"x"};
+    EXPECT_EXIT(maybeExportCsv("nope", table),
+                testing::ExitedWithCode(1), "cannot create");
+    unsetenv("CLEARSIM_CSV_DIR");
+    std::remove("/tmp/clearsim_csv_test_file");
 }
 
 } // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Determinism contract of the observability exports: the serialized
+ * trace (JSONL) and the clearsim-stats-v1 JSON of a run are
+ * byte-identical across repeats and across CLEARSIM_JOBS settings.
+ * A simulation is a single-threaded event-queue program and the
+ * serializers use fixed key order and lossless number formats, so
+ * nothing about the bytes may vary.
+ *
+ * Registered under the ctest label "determinism"
+ * (ctest -L determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "clearsim/clearsim.hh"
+#include "metrics/json_export.hh"
+#include "metrics/trace_export.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** Run a contended workload and serialize its trace as JSONL. */
+std::string
+tracedRunJsonl()
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 8;
+    System sys(cfg, 3);
+    std::ostringstream os;
+    TraceJsonlWriter writer(os);
+    sys.setTraceSink(std::ref(writer));
+
+    WorkloadParams params;
+    params.threads = 8;
+    params.opsPerThread = 8;
+    params.seed = 3;
+    auto workload = makeWorkload("bitcoin", params);
+    runWorkloadThreads(sys, *workload);
+    return os.str();
+}
+
+std::string
+statsJsonOfRun()
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 8;
+    WorkloadParams params;
+    params.threads = 8;
+    params.opsPerThread = 8;
+    params.seed = 3;
+    return statsJsonString({runOnce(cfg, "bitcoin", params)});
+}
+
+TEST(ObservabilityDeterminismTest, TraceJsonlBytesIdentical)
+{
+    setenv("CLEARSIM_JOBS", "1", 1);
+    const std::string serial = tracedRunJsonl();
+    setenv("CLEARSIM_JOBS", "4", 1);
+    const std::string parallel = tracedRunJsonl();
+    unsetenv("CLEARSIM_JOBS");
+
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, tracedRunJsonl()); // and across repeats
+}
+
+TEST(ObservabilityDeterminismTest, StatsJsonBytesIdentical)
+{
+    setenv("CLEARSIM_JOBS", "1", 1);
+    const std::string serial = statsJsonOfRun();
+    setenv("CLEARSIM_JOBS", "4", 1);
+    const std::string parallel = statsJsonOfRun();
+    unsetenv("CLEARSIM_JOBS");
+
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, statsJsonOfRun());
+}
+
+/** The traced run and the untraced run agree on the statistics:
+ *  installing a sink must never perturb simulation behavior. */
+TEST(ObservabilityDeterminismTest, TracingDoesNotPerturbResults)
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 8;
+    WorkloadParams params;
+    params.threads = 8;
+    params.opsPerThread = 8;
+    params.seed = 3;
+
+    const RunResult untraced = runOnce(cfg, "bitcoin", params);
+
+    System sys(cfg, params.seed);
+    std::uint64_t events = 0;
+    sys.setTraceSink([&events](const TraceEvent &) { ++events; });
+    auto workload = makeWorkload("bitcoin", params);
+    const Cycle cycles = runWorkloadThreads(sys, *workload);
+
+    EXPECT_GT(events, 0u);
+    EXPECT_EQ(cycles, untraced.cycles);
+    EXPECT_EQ(sys.stats().commits, untraced.htm.commits);
+    EXPECT_EQ(sys.stats().aborts, untraced.htm.aborts);
+    EXPECT_EQ(sys.stats().abortsByCategory,
+              untraced.htm.abortsByCategory);
+}
+
+} // namespace
+} // namespace clearsim

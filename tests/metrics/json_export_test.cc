@@ -1,0 +1,139 @@
+/** @file Tests of the clearsim-stats-v1 JSON export. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "harness/runner.hh"
+#include "metrics/json_export.hh"
+#include "metrics/stats_report.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+RunResult
+sampleRun()
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 4;
+    WorkloadParams params;
+    params.threads = 4;
+    params.opsPerThread = 8;
+    params.seed = 7;
+    return runOnce(cfg, "bitcoin", params);
+}
+
+TEST(StatsJsonTest, DocumentShape)
+{
+    const RunResult run = sampleRun();
+    const std::string doc = statsJsonString({run});
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(doc, root, error)) << error;
+    EXPECT_EQ(root.find("schema")->text, kStatsJsonSchema);
+    const JsonValue *runs = root.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->items.size(), 1u);
+
+    const JsonValue &r = runs->items[0];
+    EXPECT_EQ(r.find("workload")->text, "bitcoin");
+    EXPECT_EQ(r.find("config")->text, run.config);
+    EXPECT_EQ(r.find("seed")->asUint(), 7u);
+    EXPECT_EQ(r.find("max_retries")->asUint(), run.maxRetries);
+    EXPECT_EQ(r.find("cores")->asUint(), 4u);
+    ASSERT_NE(r.find("counters"), nullptr);
+    ASSERT_NE(r.find("scalars"), nullptr);
+    ASSERT_NE(r.find("distributions"), nullptr);
+}
+
+/**
+ * The JSON mirrors the registry: every entry appears under its kind
+ * with the registry's value, in registration order.
+ */
+TEST(StatsJsonTest, MirrorsStatsRegistry)
+{
+    const RunResult run = sampleRun();
+    const StatsRegistry reg = buildStatsRegistry(run, run.numCores);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(statsJsonString({run}), root, error));
+    const JsonValue &r = root.find("runs")->items[0];
+
+    const JsonValue *counters = r.find("counters");
+    ASSERT_EQ(counters->members.size(), reg.counters().size());
+    for (std::size_t i = 0; i < reg.counters().size(); ++i) {
+        EXPECT_EQ(counters->members[i].first,
+                  reg.counters()[i].name);
+        EXPECT_EQ(counters->members[i].second.asUint(),
+                  reg.counters()[i].value);
+    }
+
+    const JsonValue *scalars = r.find("scalars");
+    ASSERT_EQ(scalars->members.size(), reg.scalars().size());
+    for (std::size_t i = 0; i < reg.scalars().size(); ++i) {
+        EXPECT_EQ(scalars->members[i].first, reg.scalars()[i].name);
+        EXPECT_DOUBLE_EQ(scalars->members[i].second.asDouble(),
+                         reg.scalars()[i].value);
+    }
+
+    const JsonValue *dists = r.find("distributions");
+    ASSERT_EQ(dists->members.size(), reg.distributions().size());
+    for (std::size_t i = 0; i < reg.distributions().size(); ++i) {
+        const auto &entry = reg.distributions()[i];
+        const JsonValue &d = dists->members[i].second;
+        EXPECT_EQ(dists->members[i].first, entry.name);
+        EXPECT_EQ(d.find("count")->asUint(), entry.summary.count);
+        EXPECT_EQ(d.find("sum")->asUint(), entry.summary.sum);
+        EXPECT_DOUBLE_EQ(d.find("mean")->asDouble(),
+                         entry.summary.mean);
+        EXPECT_EQ(d.find("p50")->asUint(), entry.summary.p50);
+        EXPECT_EQ(d.find("p95")->asUint(), entry.summary.p95);
+        EXPECT_EQ(d.find("max")->asUint(), entry.summary.max);
+    }
+}
+
+TEST(StatsJsonTest, SameRunSerializesIdentically)
+{
+    const RunResult a = sampleRun();
+    const RunResult b = sampleRun();
+    EXPECT_EQ(statsJsonString({a}), statsJsonString({b}));
+}
+
+TEST(StatsJsonTest, WriteCreatesParentDirectories)
+{
+    const std::string dir = "/tmp/clearsim_json_test_tree";
+    std::filesystem::remove_all(dir);
+    const std::string path = dir + "/a/b/stats.json";
+    std::string error;
+    ASSERT_TRUE(writeStatsJson(path, {sampleRun()}, error))
+        << error;
+
+    std::ifstream in(path);
+    ASSERT_TRUE(static_cast<bool>(in));
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue root;
+    EXPECT_TRUE(parseJson(ss.str(), root, error)) << error;
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StatsJsonTest, WriteReportsFailure)
+{
+    { std::ofstream f("/tmp/clearsim_json_test_file"); f << "x"; }
+    std::string error;
+    EXPECT_FALSE(writeStatsJson(
+        "/tmp/clearsim_json_test_file/sub/stats.json", {}, error));
+    EXPECT_FALSE(error.empty());
+    std::filesystem::remove("/tmp/clearsim_json_test_file");
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,294 @@
+/** @file Tests of JSONL/Chrome trace export and abort attribution. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/region_executor.hh"
+#include "core/system.hh"
+#include "metrics/trace_export.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TraceEvent
+makeEvent(TraceKind kind, TracePayload payload = {})
+{
+    TraceEvent e;
+    e.cycle = 1234;
+    e.core = 3;
+    e.pc = 0x700;
+    e.kind = kind;
+    e.mode = ExecMode::SCl;
+    e.reason = AbortReason::Nacked;
+    e.countedRetries = 2;
+    e.payload = std::move(payload);
+    return e;
+}
+
+void
+expectRoundTrip(const TraceEvent &event)
+{
+    const std::string line = traceEventToJson(event);
+    TraceEvent back;
+    std::string error;
+    ASSERT_TRUE(traceEventFromJson(line, back, error))
+        << line << ": " << error;
+    EXPECT_EQ(traceEventToJson(back), line);
+    EXPECT_EQ(back.cycle, event.cycle);
+    EXPECT_EQ(back.core, event.core);
+    EXPECT_EQ(back.pc, event.pc);
+    EXPECT_EQ(back.kind, event.kind);
+    EXPECT_EQ(back.mode, event.mode);
+    EXPECT_EQ(back.reason, event.reason);
+    EXPECT_EQ(back.countedRetries, event.countedRetries);
+}
+
+TEST(TraceJsonlTest, GoldenLine)
+{
+    TraceEvent e;
+    e.cycle = 254;
+    e.core = 5;
+    e.pc = 0x4100;
+    e.kind = TraceKind::AttemptBegin;
+    EXPECT_EQ(traceEventToJson(e),
+              "{\"cycle\":254,\"core\":5,\"kind\":\"begin\","
+              "\"mode\":\"spec\",\"reason\":\"none\",\"retries\":0,"
+              "\"pc\":\"0x4100\"}");
+}
+
+TEST(TraceJsonlTest, GoldenLineWithPayload)
+{
+    TraceEvent e = makeEvent(TraceKind::LineLockReleased,
+                             LockPayload{0x412, 37});
+    EXPECT_EQ(traceEventToJson(e),
+              "{\"cycle\":1234,\"core\":3,\"kind\":\"lock-released\","
+              "\"mode\":\"s-cl\",\"reason\":\"nacked\","
+              "\"retries\":2,\"pc\":\"0x700\",\"line\":\"0x412\","
+              "\"hold\":37}");
+}
+
+TEST(TraceJsonlTest, EveryPayloadKindRoundTrips)
+{
+    expectRoundTrip(makeEvent(TraceKind::AttemptBegin));
+    expectRoundTrip(makeEvent(TraceKind::Commit));
+    expectRoundTrip(makeEvent(TraceKind::FallbackAcquired));
+    expectRoundTrip(
+        makeEvent(TraceKind::Abort, AbortPayload{0x412}));
+    expectRoundTrip(makeEvent(TraceKind::LineLockAcquired,
+                              LockPayload{0x412, 0}));
+    expectRoundTrip(makeEvent(TraceKind::LineLockReleased,
+                              LockPayload{0x412, 99}));
+    expectRoundTrip(makeEvent(TraceKind::LineLockNacked,
+                              LockPayload{0x412, 0}));
+    expectRoundTrip(makeEvent(TraceKind::LineLockRetried,
+                              LockPayload{0x412, 0}));
+    expectRoundTrip(makeEvent(TraceKind::DirSetLockAcquired,
+                              DirSetPayload{7}));
+    expectRoundTrip(makeEvent(TraceKind::DirSetLockReleased,
+                              DirSetPayload{7}));
+    expectRoundTrip(makeEvent(TraceKind::DirInvalidate,
+                              InvalidatePayload{0x412, 3}));
+    expectRoundTrip(makeEvent(TraceKind::ConflictVerdict,
+                              ConflictPayload{0x412, 2, true}));
+    expectRoundTrip(makeEvent(TraceKind::ConflictVerdict,
+                              ConflictPayload{0x412, 0, false}));
+    expectRoundTrip(makeEvent(TraceKind::FallbackContended,
+                              FallbackPayload{1, true}));
+    expectRoundTrip(makeEvent(TraceKind::FallbackReadAcquired,
+                              FallbackPayload{2, false}));
+    expectRoundTrip(makeEvent(TraceKind::FallbackReleased,
+                              FallbackPayload{0, false}));
+    expectRoundTrip(makeEvent(
+        TraceKind::BackoffWait,
+        BackoffPayload{BackoffWaitKind::LockRetry, 64}));
+}
+
+TEST(TraceJsonlTest, PayloadFieldsSurvive)
+{
+    TraceEvent back;
+    std::string error;
+    ASSERT_TRUE(traceEventFromJson(
+        traceEventToJson(makeEvent(TraceKind::ConflictVerdict,
+                                   ConflictPayload{0x412, 2, true})),
+        back, error));
+    const auto *conflict = std::get_if<ConflictPayload>(&back.payload);
+    ASSERT_NE(conflict, nullptr);
+    EXPECT_EQ(conflict->line, 0x412u);
+    EXPECT_EQ(conflict->victims, 2u);
+    EXPECT_TRUE(conflict->requesterWins);
+
+    ASSERT_TRUE(traceEventFromJson(
+        traceEventToJson(makeEvent(
+            TraceKind::BackoffWait,
+            BackoffPayload{BackoffWaitKind::FallbackSpin, 64})),
+        back, error));
+    const auto *backoff = std::get_if<BackoffPayload>(&back.payload);
+    ASSERT_NE(backoff, nullptr);
+    EXPECT_EQ(backoff->wait, BackoffWaitKind::FallbackSpin);
+    EXPECT_EQ(backoff->cycles, 64u);
+}
+
+TEST(TraceJsonlTest, RejectsBadLines)
+{
+    TraceEvent e;
+    std::string error;
+    EXPECT_FALSE(traceEventFromJson("not json", e, error));
+    EXPECT_FALSE(traceEventFromJson("{}", e, error));
+    EXPECT_FALSE(traceEventFromJson(
+        "{\"cycle\":1,\"core\":0,\"kind\":\"bogus\","
+        "\"mode\":\"spec\",\"reason\":\"none\",\"retries\":0,"
+        "\"pc\":\"0x0\"}",
+        e, error));
+    // A lock event without its line payload is invalid.
+    EXPECT_FALSE(traceEventFromJson(
+        "{\"cycle\":1,\"core\":0,\"kind\":\"lock-acquired\","
+        "\"mode\":\"spec\",\"reason\":\"none\",\"retries\":0,"
+        "\"pc\":\"0x0\"}",
+        e, error));
+}
+
+TEST(TraceJsonlTest, StreamRoundTripAndErrorLineNumber)
+{
+    std::vector<TraceEvent> events = {
+        makeEvent(TraceKind::AttemptBegin),
+        makeEvent(TraceKind::Abort, AbortPayload{0x10}),
+        makeEvent(TraceKind::Commit),
+    };
+    std::ostringstream os;
+    TraceJsonlWriter writer(os);
+    for (const TraceEvent &e : events)
+        writer.write(e);
+    EXPECT_EQ(writer.count(), 3u);
+
+    std::istringstream is(os.str());
+    std::vector<TraceEvent> back;
+    std::string error;
+    ASSERT_TRUE(readTraceJsonl(is, back, error)) << error;
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[1].kind, TraceKind::Abort);
+
+    std::istringstream bad(os.str() + "\ngarbage\n");
+    EXPECT_FALSE(readTraceJsonl(bad, back, error));
+    EXPECT_NE(error.find("line 5"), std::string::npos) << error;
+}
+
+TEST(ChromeTraceTest, ProducesValidJsonWithSlices)
+{
+    std::vector<TraceEvent> events = {
+        makeEvent(TraceKind::AttemptBegin),
+        makeEvent(TraceKind::LineLockAcquired,
+                  LockPayload{0x412, 0}),
+        makeEvent(TraceKind::Commit),
+    };
+    std::ostringstream os;
+    writeChromeTrace(os, events);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, error)) << error;
+    const JsonValue *trace = doc.find("traceEvents");
+    ASSERT_NE(trace, nullptr);
+    ASSERT_EQ(trace->items.size(), 3u);
+    EXPECT_EQ(trace->items[0].find("ph")->text, "B");
+    EXPECT_EQ(trace->items[1].find("ph")->text, "i");
+    EXPECT_EQ(trace->items[2].find("ph")->text, "E");
+    EXPECT_EQ(trace->items[0].find("tid")->asUint(), 3u);
+    EXPECT_EQ(trace->items[0].find("ts")->asUint(), 1234u);
+}
+
+TEST(AbortAttributionTest, AggregatesAndSorts)
+{
+    auto abortEvent = [](RegionPc pc, LineAddr line,
+                         AbortReason reason) {
+        TraceEvent e;
+        e.kind = TraceKind::Abort;
+        e.pc = pc;
+        e.reason = reason;
+        e.payload = AbortPayload{line};
+        return e;
+    };
+    std::vector<TraceEvent> events = {
+        abortEvent(0x700, 0x10, AbortReason::MemoryConflict),
+        abortEvent(0x700, 0x10, AbortReason::Nacked),
+        abortEvent(0x700, 0x20, AbortReason::ExplicitFallback),
+        abortEvent(0x800, 0x10, AbortReason::CapacityOverflow),
+        makeEvent(TraceKind::Commit), // ignored
+    };
+    const AbortAttribution attribution = attributeAborts(events);
+    EXPECT_EQ(attribution.totalAborts, 4u);
+    ASSERT_EQ(attribution.rows.size(), 3u);
+    // (0x700, 0x10) leads with 2 aborts, both memory conflicts
+    // (Nacked folds into MemoryConflict, as in Figure 11).
+    EXPECT_EQ(attribution.rows[0].pc, 0x700u);
+    EXPECT_EQ(attribution.rows[0].line, 0x10u);
+    EXPECT_EQ(attribution.rows[0].total, 2u);
+    EXPECT_EQ(attribution.rows[0].byCategory[static_cast<unsigned>(
+                  AbortCategory::MemoryConflict)],
+              2u);
+    EXPECT_EQ(attribution.totals[static_cast<unsigned>(
+                  AbortCategory::MemoryConflict)],
+              2u);
+    EXPECT_EQ(attribution.totals[static_cast<unsigned>(
+                  AbortCategory::ExplicitFallback)],
+              1u);
+    EXPECT_EQ(attribution.totals[static_cast<unsigned>(
+                  AbortCategory::Others)],
+              1u);
+}
+
+SimTask
+incBody(TxContext &tx, Addr counter)
+{
+    TxValue v = co_await tx.load(counter);
+    co_await tx.store(counter, v + TxValue(1));
+}
+
+/**
+ * The acceptance cross-check: the per-category totals of the
+ * trace-derived attribution equal HtmStats::abortsByCategory of the
+ * same run (one Abort event per recordAbort() call).
+ */
+TEST(AbortAttributionTest, TotalsMatchHtmStats)
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 6;
+    System sys(cfg, 2);
+    std::vector<TraceEvent> events;
+    sys.setTraceSink(
+        [&events](const TraceEvent &e) { events.push_back(e); });
+
+    const Addr counter = sys.mem().store().allocateLines(1);
+    std::vector<SimTask> workers;
+    for (unsigned c = 0; c < 6; ++c) {
+        workers.push_back([](System &sys, CoreId core,
+                             Addr counter) -> SimTask {
+            for (int i = 0; i < 20; ++i) {
+                co_await sys.runRegion(
+                    core, 0x700, [counter](TxContext &tx) {
+                        return incBody(tx, counter);
+                    });
+            }
+        }(sys, static_cast<CoreId>(c), counter));
+    }
+    for (auto &w : workers)
+        w.start();
+    sys.runToCompletion(100'000'000ull);
+
+    const AbortAttribution attribution = attributeAborts(events);
+    EXPECT_EQ(attribution.totalAborts, sys.stats().aborts);
+    ASSERT_GT(attribution.totalAborts, 0u);
+    for (unsigned c = 0; c < kNumAbortCategories; ++c) {
+        EXPECT_EQ(attribution.totals[c],
+                  sys.stats().abortsByCategory[c])
+            << "category " << c;
+    }
+}
+
+} // namespace
+} // namespace clearsim

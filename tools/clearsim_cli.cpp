@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -27,7 +28,10 @@
 
 #include "clearsim/clearsim.hh"
 #include "common/env.hh"
+#include "common/log.hh"
+#include "metrics/json_export.hh"
 #include "metrics/stats_report.hh"
+#include "metrics/trace_export.hh"
 
 #include <iostream>
 
@@ -50,6 +54,9 @@ struct CliOptions
     bool trace = false;
     bool profile = false;
     bool stats = false;
+    std::string statsJsonPath;
+    std::string traceOutPath;
+    std::string traceFormat = "jsonl";
 };
 
 std::vector<std::string>
@@ -81,6 +88,12 @@ usage()
         "  --scale <n>      data-structure scale factor (default 1)\n"
         "  --seed <n>       master seed (default 42)\n"
         "  --csv            machine-readable output\n"
+        "  --stats          per-run stats report to stderr\n"
+        "  --stats-json <f> write clearsim-stats-v1 JSON to <f>\n"
+        "  --trace          human-readable trace to stderr\n"
+        "  --trace-out <f>  write the trace-event stream to <f>\n"
+        "  --trace-format <jsonl|chrome>  --trace-out format\n"
+        "                   (default jsonl; chrome loads in Perfetto)\n"
         "  --no-verify      skip invariant checking\n"
         "  --list-configs   list config presets/modifiers and exit\n"
         "  --list-workloads list workloads and exit (alias: --list)\n");
@@ -193,6 +206,19 @@ parseArgs(int argc, char **argv)
             opts.profile = true;
         } else if (arg == "--stats") {
             opts.stats = true;
+        } else if (arg == "--stats-json") {
+            opts.statsJsonPath = value();
+        } else if (arg == "--trace-out") {
+            opts.traceOutPath = value();
+        } else if (arg == "--trace-format") {
+            opts.traceFormat = value();
+            if (opts.traceFormat != "jsonl" &&
+                opts.traceFormat != "chrome") {
+                std::fprintf(stderr,
+                             "clearsim_cli: --trace-format must be "
+                             "jsonl or chrome\n");
+                std::exit(2);
+            }
         } else if (arg == "--no-verify") {
             opts.verify = false;
         } else if (arg == "--list" || arg == "--list-workloads") {
@@ -224,6 +250,10 @@ main(int argc, char **argv)
                     "spec%", "s-cl%", "ns-cl%", "fallbk%");
     }
 
+    std::vector<RunResult> allRuns;
+    std::vector<TraceEvent> traceEvents;
+    const bool collectTrace = !opts.traceOutPath.empty();
+
     for (const std::string &workload : opts.workloads) {
         for (const std::string &config : opts.configs) {
             SystemConfig cfg = makeConfigByName(config);
@@ -239,10 +269,14 @@ main(int argc, char **argv)
             params.seed = opts.seed;
 
             RunResult run;
-            if (opts.trace || opts.profile) {
+            if (opts.trace || opts.profile || collectTrace) {
                 System sys(cfg, params.seed);
-                if (opts.trace) {
-                    sys.setTraceSink([](const TraceEvent &e) {
+                if (opts.trace || collectTrace) {
+                    sys.setTraceSink([&](const TraceEvent &e) {
+                        if (collectTrace)
+                            traceEvents.push_back(e);
+                        if (!opts.trace)
+                            return;
                         std::fprintf(
                             stderr,
                             "%10llu core%-3u pc=0x%llx %-17s %-8s "
@@ -260,15 +294,22 @@ main(int argc, char **argv)
                 auto w = makeWorkload(workload, params);
                 run.workload = workload;
                 run.config = cfg.name;
+                run.seed = params.seed;
+                run.maxRetries = cfg.maxRetries;
+                run.numCores = cfg.numCores;
                 run.cycles = runWorkloadThreads(sys, *w);
                 run.htm = sys.stats();
                 run.mem = sys.mem().stats();
+                run.lockHoldCycles =
+                    sys.mem().locks().holdCycles();
                 run.energy = computeEnergy(EnergyParams{},
                                            run.cycles, cfg.numCores,
                                            run.htm, run.mem);
             } else {
                 run = runOnce(cfg, workload, params, opts.verify);
             }
+            if (!opts.statsJsonPath.empty())
+                allRuns.push_back(run);
             if (opts.profile) {
                 std::fprintf(stderr,
                              "# region profiles for %s [%s]\n"
@@ -320,6 +361,40 @@ main(int argc, char **argv)
                     100 * modes[1], 100 * modes[2], 100 * modes[3]);
             }
         }
+    }
+
+    if (collectTrace) {
+        std::ofstream os(opts.traceOutPath,
+                         std::ios::binary | std::ios::trunc);
+        if (!os) {
+            fatal("cannot open --trace-out file %s",
+                  opts.traceOutPath.c_str());
+        }
+        if (opts.traceFormat == "chrome") {
+            writeChromeTrace(os, traceEvents);
+        } else {
+            TraceJsonlWriter writer(os);
+            for (const TraceEvent &e : traceEvents)
+                writer.write(e);
+        }
+        os.flush();
+        if (!os) {
+            fatal("write to --trace-out file %s failed",
+                  opts.traceOutPath.c_str());
+        }
+        logStatus("[clearsim] wrote %llu trace events to %s",
+                  static_cast<unsigned long long>(
+                      traceEvents.size()),
+                  opts.traceOutPath.c_str());
+    }
+
+    if (!opts.statsJsonPath.empty()) {
+        std::string error;
+        if (!writeStatsJson(opts.statsJsonPath, allRuns, error))
+            fatal("--stats-json: %s", error.c_str());
+        logStatus("[clearsim] wrote stats for %llu runs to %s",
+                  static_cast<unsigned long long>(allRuns.size()),
+                  opts.statsJsonPath.c_str());
     }
     return 0;
 }

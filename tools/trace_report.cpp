@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Offline trace aggregator.
+ *
+ * Reads a JSONL trace written by `clearsim_cli --trace-out` and
+ * prints summaries:
+ *
+ *   trace_report aborts <trace.jsonl>   abort-attribution table:
+ *                                       per (region pc, culprit
+ *                                       line), aborts split by the
+ *                                       Figure 11 categories
+ *   trace_report summary <trace.jsonl>  event counts per kind
+ *   trace_report chrome <trace.jsonl>   re-emit as Chrome
+ *                                       trace_event JSON (stdout),
+ *                                       for Perfetto
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "metrics/trace_export.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_report <aborts|summary|chrome> "
+                 "<trace.jsonl>\n"
+                 "  aborts   abort-attribution table "
+                 "(region/line -> category counts)\n"
+                 "  summary  event counts per trace kind\n"
+                 "  chrome   convert to Chrome trace_event JSON "
+                 "on stdout\n");
+    std::exit(2);
+}
+
+std::vector<TraceEvent>
+loadTrace(const char *path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "trace_report: cannot open %s\n", path);
+        std::exit(1);
+    }
+    std::vector<TraceEvent> events;
+    std::string error;
+    if (!readTraceJsonl(is, events, error)) {
+        std::fprintf(stderr, "trace_report: %s: %s\n", path,
+                     error.c_str());
+        std::exit(1);
+    }
+    return events;
+}
+
+void
+reportSummary(const std::vector<TraceEvent> &events)
+{
+    std::uint64_t byKind[kNumTraceKinds] = {};
+    for (const TraceEvent &event : events)
+        ++byKind[static_cast<unsigned>(event.kind)];
+    for (unsigned k = 0; k < kNumTraceKinds; ++k) {
+        if (byKind[k] == 0)
+            continue;
+        std::printf("%-20s %12llu\n",
+                    traceKindName(static_cast<TraceKind>(k)),
+                    static_cast<unsigned long long>(byKind[k]));
+    }
+    std::printf("%-20s %12llu\n", "total",
+                static_cast<unsigned long long>(events.size()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3)
+        usage();
+    const char *mode = argv[1];
+    const std::vector<TraceEvent> events = loadTrace(argv[2]);
+
+    if (std::strcmp(mode, "aborts") == 0) {
+        writeAbortAttributionTable(std::cout,
+                                   attributeAborts(events));
+    } else if (std::strcmp(mode, "summary") == 0) {
+        reportSummary(events);
+    } else if (std::strcmp(mode, "chrome") == 0) {
+        writeChromeTrace(std::cout, events);
+    } else {
+        usage();
+    }
+    return 0;
+}
