@@ -1,0 +1,36 @@
+#include "analysis/analyze.hh"
+
+#include "analysis/region_ir.hh"
+#include "core/system.hh"
+
+namespace clearsim
+{
+
+AnalyzeOutcome
+analyzeWorkload(const AnalyzeRequest &request)
+{
+    SystemConfig cfg = makeConfigByName(request.config);
+    cfg.maxRetries = request.maxRetries;
+    if (request.params.threads < cfg.numCores)
+        cfg.numCores = request.params.threads;
+
+    AnalyzeOutcome outcome;
+    outcome.config = cfg;
+
+    System sys(cfg, request.params.seed);
+    RegionRecorder recorder(cfg);
+    sys.setRegionRecorder(&recorder);
+
+    auto workload = makeWorkload(request.workload, request.params);
+    outcome.cycles = runWorkloadThreads(sys, *workload);
+    outcome.dynamicStats = sys.stats();
+
+    const Analyzer analyzer(cfg);
+    outcome.analysis = analyzer.analyze(recorder.models());
+    outcome.analysis.workload = request.workload;
+    outcome.analysis.config = request.config;
+    outcome.analysis.seed = request.params.seed;
+    return outcome;
+}
+
+} // namespace clearsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ahead-of-run analysis orchestration.
+ *
+ * analyzeWorkload() performs one capture run: it builds a System
+ * for the requested configuration, installs a RegionRecorder,
+ * executes the workload exactly as a measurement run would, and
+ * feeds the captured RegionModels through the Analyzer's passes.
+ *
+ * Because the recorder never perturbs execution, the capture run is
+ * cycle-identical to a plain run with the same (configuration,
+ * seed). The returned dynamic statistics are therefore the very
+ * statistics a matching measurement run produces, which is what the
+ * static-dominates-dynamic property tests exploit.
+ */
+
+#ifndef CLEARSIM_ANALYSIS_ANALYZE_HH
+#define CLEARSIM_ANALYSIS_ANALYZE_HH
+
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "htm/htm_stats.hh"
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+/** One capture-and-analyze request. */
+struct AnalyzeRequest
+{
+    /** ConfigRegistry spec string ("C", "B:maxRetries=8", ...). */
+    std::string config = "C";
+
+    /** Workload name from the registry. */
+    std::string workload = "bitcoin";
+
+    WorkloadParams params;
+
+    /** Retry limit applied to the capture configuration. */
+    unsigned maxRetries = 4;
+};
+
+/** Everything one capture run yields. */
+struct AnalyzeOutcome
+{
+    /** The static analysis (verdicts, proofs, conflict graph). */
+    AnalysisResult analysis;
+
+    /** The configuration the capture ran under. */
+    SystemConfig config;
+
+    /** Dynamic counters of the capture run (cross-check input). */
+    HtmStats dynamicStats;
+
+    /** Total simulated cycles of the capture run. */
+    Cycle cycles = 0;
+};
+
+/** Run one capture and analyze it. fatal()s on unknown names. */
+AnalyzeOutcome analyzeWorkload(const AnalyzeRequest &request);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_ANALYSIS_ANALYZE_HH

@@ -1,0 +1,324 @@
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+
+#include "core/alt.hh"
+#include "core/crt.hh"
+#include "htm/footprint.hh"
+
+namespace clearsim
+{
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Eligible:
+        return "ELIGIBLE";
+      case Verdict::CapacityDoomed:
+        return "CAPACITY-DOOMED";
+      case Verdict::UnboundedIndirection:
+        return "UNBOUNDED-INDIRECTION";
+      case Verdict::LockOrderRisk:
+        return "LOCK-ORDER-RISK";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** The (directory set, line) key that orders lock acquisition. */
+std::pair<unsigned, LineAddr>
+lockKey(LineAddr line, unsigned dir_sets)
+{
+    return {static_cast<unsigned>(line & (dir_sets - 1)), line};
+}
+
+/** Sort lines into the lexicographical acquisition order. */
+std::vector<LineAddr>
+acquisitionOrder(std::vector<LineAddr> lines, unsigned dir_sets)
+{
+    std::sort(lines.begin(), lines.end(),
+              [dir_sets](LineAddr a, LineAddr b) {
+                  return lockKey(a, dir_sets) < lockKey(b, dir_sets);
+              });
+    return lines;
+}
+
+/** Build the worst-case discovery footprint of a model. */
+Footprint
+worstFootprint(const RegionModel &model, const SystemConfig &cfg)
+{
+    Footprint fp(footprintCapacity(cfg.clear));
+    for (LineAddr line : model.worstLines) {
+        const bool wrote =
+            std::binary_search(model.worstWriteLines.begin(),
+                               model.worstWriteLines.end(), line);
+        fp.record(line, wrote);
+    }
+    return fp;
+}
+
+} // namespace
+
+CapacityFindings
+Analyzer::capacityPass(const RegionModel &model) const
+{
+    CapacityFindings out;
+    out.maxLines = model.maxDistinctLines;
+    out.maxWriteLines = model.maxWriteLines;
+    out.maxUops = model.maxUops;
+    out.maxLoads = model.maxLoads;
+    out.maxStores = model.maxStores;
+    out.maxL1SetLines = model.maxL1SetLines;
+
+    const CoreConfig &core = cfg_.core;
+    out.windowOverflow = cfg_.scope == SpeculationScope::InCore &&
+                         (model.maxUops > core.robEntries ||
+                          model.maxLoads > core.lqEntries ||
+                          model.maxStores > core.sqEntries);
+    out.predictsSqFull = model.maxStores > core.sqEntries;
+    out.predictsPinOverflow =
+        model.maxL1SetLines > cfg_.cache.l1Ways;
+    out.footprintTrackable =
+        model.maxDistinctLines <= footprintCapacity(cfg_.clear);
+
+    if (model.worstLines.empty()) {
+        // Nothing to lock: trivially holdable.
+        out.altLockable = true;
+    } else {
+        const Alt alt(cfg_.clear.altEntries, cfg_.cache.dirSets,
+                      cfg_.cache.l1Sets, cfg_.cache.l1Ways);
+        out.altLockable =
+            alt.lockable(worstFootprint(model, cfg_)) &&
+            model.maxDistinctLines <= cfg_.clear.altEntries;
+    }
+    return out;
+}
+
+IndirectionFindings
+Analyzer::indirectionPass(const RegionModel &model) const
+{
+    IndirectionFindings out;
+    out.maxChaseDepth = model.maxChaseDepth;
+    out.addrTainted = model.addrTainted;
+    out.branchTainted = model.branchTainted;
+    // Load-derived addresses (or branches steering the access path)
+    // make the footprint data-dependent: a single failed-mode pass
+    // sees one instantiation, not the region's reachable set.
+    out.onePassDiscoverable =
+        !model.addrTainted && !model.branchTainted;
+    return out;
+}
+
+LockOrderFindings
+Analyzer::lockOrderPass(const RegionModel &model) const
+{
+    LockOrderFindings out;
+    if (model.worstLines.empty())
+        return out;
+
+    const Alt alt(cfg_.clear.altEntries, cfg_.cache.dirSets,
+                  cfg_.cache.l1Sets, cfg_.cache.l1Ways);
+    const Footprint fp = worstFootprint(model, cfg_);
+    if (!alt.lockable(fp)) {
+        // No plan can be built; the region serializes through the
+        // fallback lock, which is a total order by itself.
+        return out;
+    }
+
+    const Crt empty_crt(cfg_.clear.crtEntries, cfg_.clear.crtWays);
+    const std::vector<LockPlanEntry> plan =
+        alt.buildPlan(fp, empty_crt, /*lock_all=*/true);
+    out.plannedLocks = plan.size();
+
+    // Proof obligation 1: strictly increasing (dirSet, line) order
+    // across the whole plan — a total order admits no cycle.
+    const unsigned dir_sets = cfg_.cache.dirSets;
+    for (std::size_t i = 1; i < plan.size(); ++i) {
+        if (!(lockKey(plan[i - 1].line, dir_sets) <
+              lockKey(plan[i].line, dir_sets))) {
+            out.provenAcyclic = false;
+            out.violations.push_back(
+                LockOrderViolation{plan[i - 1].line, plan[i].line, 0});
+        }
+    }
+
+    // Proof obligation 2: conflict groups are contiguous runs of one
+    // directory set, in increasing set order (group/set locking
+    // never interleaves two sets).
+    const std::vector<AltGroup> groups = alt.groupsOf(plan);
+    out.conflictGroups = groups.size();
+    unsigned prev_set = 0;
+    bool have_prev = false;
+    for (const AltGroup &group : groups) {
+        for (std::size_t i = group.begin; i < group.end; ++i) {
+            if (!plan[i].needsLock)
+                continue;
+            const unsigned set = static_cast<unsigned>(
+                plan[i].line & (dir_sets - 1));
+            if (set != group.dirSet) {
+                out.provenAcyclic = false;
+                out.violations.push_back(LockOrderViolation{
+                    plan[group.begin].line, plan[i].line, 0});
+            }
+        }
+        if (have_prev && group.dirSet <= prev_set) {
+            out.provenAcyclic = false;
+            out.violations.push_back(LockOrderViolation{
+                plan[group.begin].line, plan[group.begin].line, 0});
+        }
+        prev_set = group.dirSet;
+        have_prev = true;
+    }
+    return out;
+}
+
+void
+Analyzer::crossRegionOrderPass(
+    const std::map<RegionPc, RegionModel> &models,
+    std::vector<RegionAnalysis> &regions) const
+{
+    // Proof obligation 3: any two regions acquire their common lines
+    // in the same relative order, so no cross-region cycle can form.
+    const unsigned dir_sets = cfg_.cache.dirSets;
+    std::map<RegionPc, std::vector<LineAddr>> order;
+    for (const auto &[pc, model] : models)
+        order[pc] = acquisitionOrder(model.worstLines, dir_sets);
+
+    std::map<RegionPc, RegionAnalysis *> byPc;
+    for (RegionAnalysis &r : regions)
+        byPc[r.pc] = &r;
+
+    for (auto a = order.begin(); a != order.end(); ++a) {
+        for (auto b = std::next(a); b != order.end(); ++b) {
+            std::vector<LineAddr> common;
+            std::set_intersection(
+                models.at(a->first).worstLines.begin(),
+                models.at(a->first).worstLines.end(),
+                models.at(b->first).worstLines.begin(),
+                models.at(b->first).worstLines.end(),
+                std::back_inserter(common));
+            if (common.size() < 2)
+                continue;
+            auto filtered = [&common](
+                                const std::vector<LineAddr> &seq) {
+                std::vector<LineAddr> out;
+                for (LineAddr line : seq) {
+                    if (std::binary_search(common.begin(),
+                                           common.end(), line))
+                        out.push_back(line);
+                }
+                return out;
+            };
+            const std::vector<LineAddr> fa = filtered(a->second);
+            const std::vector<LineAddr> fb = filtered(b->second);
+            for (std::size_t i = 0; i < fa.size() && i < fb.size();
+                 ++i) {
+                if (fa[i] == fb[i])
+                    continue;
+                RegionAnalysis &ra = *byPc.at(a->first);
+                RegionAnalysis &rb = *byPc.at(b->first);
+                ra.lockOrder.provenAcyclic = false;
+                ra.lockOrder.violations.push_back(LockOrderViolation{
+                    fa[i], fb[i], b->first});
+                rb.lockOrder.provenAcyclic = false;
+                rb.lockOrder.violations.push_back(LockOrderViolation{
+                    fb[i], fa[i], a->first});
+                break;
+            }
+        }
+    }
+}
+
+void
+Analyzer::conflictGraphPass(
+    const std::map<RegionPc, RegionModel> &models,
+    AnalysisResult &result) const
+{
+    std::map<RegionPc, std::uint64_t> scores;
+    for (auto a = models.begin(); a != models.end(); ++a) {
+        for (auto b = std::next(a); b != models.end(); ++b) {
+            const RegionModel &ma = a->second;
+            const RegionModel &mb = b->second;
+
+            // Lines touched by both regions, classified by who
+            // wrote: write-write sharing weighs double (both
+            // directions conflict), read-write single.
+            std::set<LineAddr> touched_a = ma.readLines;
+            touched_a.insert(ma.writeLines.begin(),
+                             ma.writeLines.end());
+            ConflictEdge edge;
+            edge.a = a->first;
+            edge.b = b->first;
+            for (LineAddr line : touched_a) {
+                const bool wa = ma.writeLines.count(line) != 0;
+                const bool wb = mb.writeLines.count(line) != 0;
+                const bool rb = mb.readLines.count(line) != 0;
+                if (!wb && !rb)
+                    continue;
+                if (wa && wb)
+                    ++edge.sharedWriteWrite;
+                else if (wa || wb)
+                    ++edge.sharedReadWrite;
+            }
+            edge.score =
+                2 * edge.sharedWriteWrite + edge.sharedReadWrite;
+            if (edge.score == 0)
+                continue;
+            scores[edge.a] += edge.score;
+            scores[edge.b] += edge.score;
+            result.edges.push_back(edge);
+        }
+    }
+    for (RegionAnalysis &region : result.regions)
+        region.conflictScore = scores[region.pc];
+}
+
+AnalysisResult
+Analyzer::analyze(
+    const std::map<RegionPc, RegionModel> &models) const
+{
+    AnalysisResult result;
+    result.limits.robEntries = cfg_.core.robEntries;
+    result.limits.lqEntries = cfg_.core.lqEntries;
+    result.limits.sqEntries = cfg_.core.sqEntries;
+    result.limits.l1Ways = cfg_.cache.l1Ways;
+    result.limits.altEntries = cfg_.clear.altEntries;
+    result.limits.footprintCapacity = footprintCapacity(cfg_.clear);
+    result.regions.reserve(models.size());
+
+    for (const auto &[pc, model] : models) {
+        RegionAnalysis region;
+        region.pc = pc;
+        region.capacity = capacityPass(model);
+        region.indirection = indirectionPass(model);
+        region.lockOrder = lockOrderPass(model);
+        region.observedInvocations = model.invocations;
+        region.observedAttempts = model.attempts;
+        region.observedCommits = model.committedAttempts;
+        result.regions.push_back(std::move(region));
+    }
+
+    crossRegionOrderPass(models, result.regions);
+    conflictGraphPass(models, result);
+
+    for (RegionAnalysis &region : result.regions) {
+        const CapacityFindings &cap = region.capacity;
+        if (cap.windowOverflow || cap.predictsSqFull ||
+            cap.predictsPinOverflow || !cap.footprintTrackable ||
+            !cap.altLockable) {
+            region.verdict = Verdict::CapacityDoomed;
+        } else if (!region.indirection.onePassDiscoverable) {
+            region.verdict = Verdict::UnboundedIndirection;
+        } else if (!region.lockOrder.provenAcyclic) {
+            region.verdict = Verdict::LockOrderRisk;
+        } else {
+            region.verdict = Verdict::Eligible;
+        }
+    }
+    return result;
+}
+
+} // namespace clearsim

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The static analysis passes over captured RegionModels.
+ *
+ * Four passes, mirroring the paper's eligibility reasoning:
+ *
+ *  1. Capacity: worst-case distinct-cacheline footprint, micro-op /
+ *     load / store counts and L1 way pressure, checked against the
+ *     configured core window (ROB/LQ/SQ), the footprint recording
+ *     bound and the ALT lock capacity. Predicts capacity and
+ *     SQ-Full aborts before any measurement run.
+ *  2. Indirection: maximum pointer-chase depth and address/branch
+ *     taint. A region whose addresses derive from in-AR loads has a
+ *     data-dependent footprint that one failed-mode discovery pass
+ *     cannot pin down (the paper's indirection bit).
+ *  3. Lock order: mechanically verifies that the region's worst-case
+ *     lock plan acquires cachelines in strictly increasing
+ *     (directory set, line) order with contiguous set groups, and
+ *     that any two regions acquire their common lines in a
+ *     consistent order — the Figure 5/6 deadlock-freedom argument,
+ *     proven rather than assumed. Violations name the line pairs.
+ *  4. Conflict graph: pairwise read/write-set overlap between
+ *     regions, scored 2 per shared written line and 1 per
+ *     read-write shared line, ranking regions by conflict density.
+ *
+ * Verdict hierarchy (first match wins):
+ *   CAPACITY-DOOMED > UNBOUNDED-INDIRECTION > LOCK-ORDER-RISK >
+ *   ELIGIBLE.
+ * An ELIGIBLE region provably fits every speculative and locking
+ * structure, so a matching measurement run can never abort it with
+ * a capacity or SQ-Full cause — the property the cross-check tests
+ * assert.
+ */
+
+#ifndef CLEARSIM_ANALYSIS_ANALYZER_HH
+#define CLEARSIM_ANALYSIS_ANALYZER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/region_ir.hh"
+#include "common/config.hh"
+
+namespace clearsim
+{
+
+/** Final eligibility verdict of one region. */
+enum class Verdict : std::uint8_t
+{
+    Eligible,
+    CapacityDoomed,
+    UnboundedIndirection,
+    LockOrderRisk,
+};
+
+/** Verdict name as printed in reports ("ELIGIBLE", ...). */
+const char *verdictName(Verdict verdict);
+
+/** Pass 1 output: structure-capacity checks. */
+struct CapacityFindings
+{
+    std::uint64_t maxLines = 0;
+    std::uint64_t maxWriteLines = 0;
+    std::uint64_t maxUops = 0;
+    std::uint64_t maxLoads = 0;
+    std::uint64_t maxStores = 0;
+    std::uint64_t maxL1SetLines = 0;
+
+    /** Exceeds the in-core speculative window (SLE scope only). */
+    bool windowOverflow = false;
+
+    /** Failed-mode discovery would run the SQ dry. */
+    bool predictsSqFull = false;
+
+    /** More same-set lines than L1 ways: cannot pin the read/write
+     *  set, speculative attempts capacity-abort. */
+    bool predictsPinOverflow = false;
+
+    /** The footprint fits the discovery recording bound. */
+    bool footprintTrackable = true;
+
+    /** Worst-case footprint fits the ALT and can be held locked. */
+    bool altLockable = true;
+};
+
+/** Pass 2 output: address/branch provenance. */
+struct IndirectionFindings
+{
+    std::uint16_t maxChaseDepth = 0;
+    bool addrTainted = false;
+    bool branchTainted = false;
+
+    /** One failed-mode pass discovers the whole footprint. */
+    bool onePassDiscoverable = true;
+};
+
+/** One offending acquisition-order pair. */
+struct LockOrderViolation
+{
+    LineAddr first = 0;
+    LineAddr second = 0;
+
+    /** Other region involved (0: within this region's own plan). */
+    RegionPc otherRegion = 0;
+};
+
+/** Pass 3 output: the deadlock-freedom proof for one region. */
+struct LockOrderFindings
+{
+    /** Acquisition order verified acyclic (no violations). */
+    bool provenAcyclic = true;
+
+    /** Entries of the verified worst-case lock plan. */
+    std::uint64_t plannedLocks = 0;
+
+    /** Lexicographical conflict groups in that plan. */
+    std::uint64_t conflictGroups = 0;
+
+    std::vector<LockOrderViolation> violations;
+};
+
+/** Pass 4 output: one static conflict-graph edge. */
+struct ConflictEdge
+{
+    RegionPc a = 0;
+    RegionPc b = 0;
+    std::uint64_t sharedWriteWrite = 0;
+    std::uint64_t sharedReadWrite = 0;
+
+    /** 2 * sharedWriteWrite + sharedReadWrite. */
+    std::uint64_t score = 0;
+};
+
+/** Complete analysis of one region. */
+struct RegionAnalysis
+{
+    RegionPc pc = 0;
+    Verdict verdict = Verdict::Eligible;
+    CapacityFindings capacity;
+    IndirectionFindings indirection;
+    LockOrderFindings lockOrder;
+
+    /** Sum of incident conflict-edge scores. */
+    std::uint64_t conflictScore = 0;
+
+    /** Observed sample sizes behind the static bounds. */
+    std::uint64_t observedInvocations = 0;
+    std::uint64_t observedAttempts = 0;
+    std::uint64_t observedCommits = 0;
+};
+
+/** The configured bounds the capacity pass checked against. */
+struct AnalysisLimits
+{
+    std::uint64_t robEntries = 0;
+    std::uint64_t lqEntries = 0;
+    std::uint64_t sqEntries = 0;
+    std::uint64_t l1Ways = 0;
+    std::uint64_t altEntries = 0;
+    std::uint64_t footprintCapacity = 0;
+};
+
+/** Analysis of one (workload, config) capture. */
+struct AnalysisResult
+{
+    std::string workload;
+    std::string config;
+    std::uint64_t seed = 0;
+
+    AnalysisLimits limits;
+
+    /** Per-region verdicts, sorted by pc. */
+    std::vector<RegionAnalysis> regions;
+
+    /** Conflict edges with score > 0, sorted by (a, b). */
+    std::vector<ConflictEdge> edges;
+};
+
+/** Runs the four passes against one configuration. */
+class Analyzer
+{
+  public:
+    explicit Analyzer(const SystemConfig &cfg) : cfg_(cfg) {}
+
+    /** Analyze one capture's models into per-region verdicts. */
+    AnalysisResult
+    analyze(const std::map<RegionPc, RegionModel> &models) const;
+
+  private:
+    CapacityFindings capacityPass(const RegionModel &model) const;
+    IndirectionFindings indirectionPass(const RegionModel &model) const;
+    LockOrderFindings lockOrderPass(const RegionModel &model) const;
+
+    /** Cross-region order consistency; appends to both sides. */
+    void crossRegionOrderPass(
+        const std::map<RegionPc, RegionModel> &models,
+        std::vector<RegionAnalysis> &regions) const;
+
+    void conflictGraphPass(
+        const std::map<RegionPc, RegionModel> &models,
+        AnalysisResult &result) const;
+
+    SystemConfig cfg_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,156 @@
+#include "analysis/region_ir.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+RegionRecorder::RegionRecorder(const SystemConfig &cfg) : cfg_(cfg)
+{
+}
+
+RegionRecorder::AttemptState &
+RegionRecorder::state(CoreId core)
+{
+    if (core >= perCore_.size())
+        perCore_.resize(core + 1);
+    return perCore_[core];
+}
+
+void
+RegionRecorder::onInvocationBegin(CoreId core, RegionPc pc)
+{
+    (void)core;
+    RegionModel &model = models_[pc];
+    model.pc = pc;
+    ++model.invocations;
+}
+
+void
+RegionRecorder::onInvocationEnd(CoreId core)
+{
+    (void)core;
+}
+
+void
+RegionRecorder::onAttemptBegin(CoreId core, RegionPc pc,
+                               ExecMode mode)
+{
+    (void)mode;
+    AttemptState &st = state(core);
+    st = AttemptState{};
+    st.active = true;
+    st.pc = pc;
+}
+
+void
+RegionRecorder::onOp(CoreId core, const IrOp &op)
+{
+    AttemptState &st = state(core);
+    if (!st.active)
+        return;
+    switch (op.kind) {
+      case IrOpKind::Load:
+        ++st.uops;
+        ++st.loads;
+        st.lines.emplace(op.line, false);
+        st.maxChase = std::max(st.maxChase, op.chaseDepth);
+        st.addrTainted |= op.tainted;
+        break;
+      case IrOpKind::Store:
+        ++st.uops;
+        ++st.stores;
+        st.lines[op.line] = true;
+        st.maxChase = std::max(st.maxChase, op.chaseDepth);
+        st.addrTainted |= op.tainted;
+        break;
+      case IrOpKind::Alu:
+        st.uops += op.count;
+        break;
+      case IrOpKind::AddrUse:
+        // The feeding alu(1) already arrived as an Alu op; this op
+        // only contributes provenance.
+        st.maxChase = std::max(st.maxChase, op.chaseDepth);
+        st.addrTainted |= op.tainted;
+        break;
+      case IrOpKind::Branch:
+        st.maxChase = std::max(st.maxChase, op.chaseDepth);
+        st.branchTainted |= op.tainted;
+        break;
+    }
+}
+
+void
+RegionRecorder::onAttemptEnd(CoreId core, bool reached_end,
+                             bool committed)
+{
+    AttemptState &st = state(core);
+    if (!st.active)
+        return;
+    st.active = false;
+
+    RegionModel &model = models_[st.pc];
+    model.pc = st.pc;
+    ++model.attempts;
+    if (committed)
+        ++model.committedAttempts;
+    if (reached_end)
+        ++model.completeAttempts;
+
+    const std::uint64_t distinct = st.lines.size();
+    std::uint64_t writes = 0;
+    std::map<unsigned, std::uint64_t> per_set;
+    std::uint64_t worst_set = 0;
+    const unsigned set_mask = cfg_.cache.l1Sets - 1;
+    for (const auto &[line, wrote] : st.lines) {
+        if (wrote) {
+            ++writes;
+            model.writeLines.insert(line);
+        } else {
+            model.readLines.insert(line);
+        }
+        worst_set = std::max(
+            worst_set,
+            ++per_set[static_cast<unsigned>(line & set_mask)]);
+    }
+
+    model.maxDistinctLines = std::max(model.maxDistinctLines, distinct);
+    model.maxWriteLines = std::max(model.maxWriteLines, writes);
+    model.maxUops = std::max(model.maxUops, st.uops);
+    model.maxLoads = std::max(model.maxLoads, st.loads);
+    model.maxStores = std::max(model.maxStores, st.stores);
+    model.maxL1SetLines = std::max(model.maxL1SetLines, worst_set);
+    model.maxChaseDepth = std::max(model.maxChaseDepth, st.maxChase);
+    model.addrTainted |= st.addrTainted;
+    model.branchTainted |= st.branchTainted;
+
+    if (!reached_end)
+        return;
+
+    // --- complete attempts feed footprint variation and the
+    // worst-case (lock-plan) footprint ---
+
+    std::vector<LineAddr> lines;
+    lines.reserve(st.lines.size());
+    for (const auto &[line, wrote] : st.lines)
+        lines.push_back(line); // std::map iteration: already sorted
+
+    auto first = firstComplete_.find(st.pc);
+    if (first == firstComplete_.end())
+        firstComplete_.emplace(st.pc, lines);
+    else if (first->second != lines)
+        model.footprintVaries = true;
+
+    if (lines.size() > model.worstLines.size()) {
+        model.worstLines = std::move(lines);
+        model.worstWriteLines.clear();
+        for (const auto &[line, wrote] : st.lines) {
+            if (wrote)
+                model.worstWriteLines.push_back(line);
+        }
+    }
+}
+
+} // namespace clearsim

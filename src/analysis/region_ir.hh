@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Region IR capture: RegionRecorder implements the htm layer's
+ * RegionRecordSink and folds the per-operation callback stream into
+ * one RegionModel per static atomic region.
+ *
+ * The recorder aggregates on the fly — it never stores whole op
+ * lists — so capturing a long run costs O(regions * footprint)
+ * memory. All aggregate maxima are uncapped: unlike the runtime
+ * Footprint, which stops recording at its capacity bound, the model
+ * keeps exact distinct-line counts, which is what lets the static
+ * capacity pass dominate every dynamically observed value.
+ *
+ * Because recording hooks are a null-unless-installed pointer in
+ * TxContext, a capture run is cycle-identical to a plain run with
+ * the same (configuration, seed); the models therefore describe
+ * exactly the executions a matching measurement run performs.
+ */
+
+#ifndef CLEARSIM_ANALYSIS_REGION_IR_HH
+#define CLEARSIM_ANALYSIS_REGION_IR_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/config.hh"
+#include "htm/region_record.hh"
+
+namespace clearsim
+{
+
+/** Aggregated static model of one atomic region. */
+struct RegionModel
+{
+    RegionPc pc = 0;
+
+    /** Invocations that began while recording. */
+    std::uint64_t invocations = 0;
+
+    /** Execution attempts observed (all modes). */
+    std::uint64_t attempts = 0;
+
+    /** Attempts that committed. */
+    std::uint64_t committedAttempts = 0;
+
+    /** Attempts whose body ran to the region's end. */
+    std::uint64_t completeAttempts = 0;
+
+    // --- per-attempt maxima (uncapped) ---
+
+    /** Largest distinct-cacheline footprint of any attempt. */
+    std::uint64_t maxDistinctLines = 0;
+
+    /** Largest distinct written-line count of any attempt. */
+    std::uint64_t maxWriteLines = 0;
+
+    /** Largest micro-op / load / store count of any attempt. */
+    std::uint64_t maxUops = 0;
+    std::uint64_t maxLoads = 0;
+    std::uint64_t maxStores = 0;
+
+    /** Worst same-L1-set line count of any attempt (way pressure). */
+    std::uint64_t maxL1SetLines = 0;
+
+    /** Deepest pointer chase feeding an address or branch. */
+    std::uint16_t maxChaseDepth = 0;
+
+    // --- provenance flags ---
+
+    /** Some memory address derived from an in-AR load. */
+    bool addrTainted = false;
+
+    /** Some branch condition derived from an in-AR load. */
+    bool branchTainted = false;
+
+    /** Two complete attempts touched different line sets. */
+    bool footprintVaries = false;
+
+    // --- union sets over all attempts (conflict graph inputs) ---
+
+    std::set<LineAddr> readLines;
+    std::set<LineAddr> writeLines;
+
+    /**
+     * Line set of the largest complete attempt (sorted), with the
+     * written subset: the footprint a worst-case discovery would
+     * learn, and the basis of the lock-order proof.
+     */
+    std::vector<LineAddr> worstLines;
+    std::vector<LineAddr> worstWriteLines;
+};
+
+/** RegionRecordSink that aggregates the stream into RegionModels. */
+class RegionRecorder : public RegionRecordSink
+{
+  public:
+    /** @param cfg the configuration of the System recorded from
+     *        (cache geometry shapes the per-set pressure metric) */
+    explicit RegionRecorder(const SystemConfig &cfg);
+
+    void onInvocationBegin(CoreId core, RegionPc pc) override;
+    void onInvocationEnd(CoreId core) override;
+    void onAttemptBegin(CoreId core, RegionPc pc,
+                        ExecMode mode) override;
+    void onOp(CoreId core, const IrOp &op) override;
+    void onAttemptEnd(CoreId core, bool reached_end,
+                      bool committed) override;
+
+    /** Models keyed (and thus deterministically ordered) by pc. */
+    const std::map<RegionPc, RegionModel> &models() const
+    {
+        return models_;
+    }
+
+  private:
+    /** In-flight per-core attempt aggregation. */
+    struct AttemptState
+    {
+        bool active = false;
+        RegionPc pc = 0;
+        /** line -> attempt wrote it */
+        std::map<LineAddr, bool> lines;
+        std::uint64_t uops = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint16_t maxChase = 0;
+        bool addrTainted = false;
+        bool branchTainted = false;
+    };
+
+    AttemptState &state(CoreId core);
+
+    SystemConfig cfg_;
+    std::vector<AttemptState> perCore_;
+    std::map<RegionPc, RegionModel> models_;
+
+    /**
+     * First complete attempt's line set per region, for the
+     * footprint-variation flag.
+     */
+    std::map<RegionPc, std::vector<LineAddr>> firstComplete_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_ANALYSIS_REGION_IR_HH

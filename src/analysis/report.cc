@@ -1,0 +1,258 @@
+#include "analysis/report.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+void
+writeCapacity(JsonWriter &json, const CapacityFindings &cap)
+{
+    json.beginObject();
+    json.key("max_lines");
+    json.value(cap.maxLines);
+    json.key("max_write_lines");
+    json.value(cap.maxWriteLines);
+    json.key("max_uops");
+    json.value(cap.maxUops);
+    json.key("max_loads");
+    json.value(cap.maxLoads);
+    json.key("max_stores");
+    json.value(cap.maxStores);
+    json.key("max_l1_set_lines");
+    json.value(cap.maxL1SetLines);
+    json.key("window_overflow");
+    json.value(cap.windowOverflow);
+    json.key("predicts_sq_full");
+    json.value(cap.predictsSqFull);
+    json.key("predicts_pin_overflow");
+    json.value(cap.predictsPinOverflow);
+    json.key("footprint_trackable");
+    json.value(cap.footprintTrackable);
+    json.key("alt_lockable");
+    json.value(cap.altLockable);
+    json.endObject();
+}
+
+void
+writeIndirection(JsonWriter &json, const IndirectionFindings &ind)
+{
+    json.beginObject();
+    json.key("max_chase_depth");
+    json.value(std::uint64_t(ind.maxChaseDepth));
+    json.key("addr_tainted");
+    json.value(ind.addrTainted);
+    json.key("branch_tainted");
+    json.value(ind.branchTainted);
+    json.key("one_pass_discoverable");
+    json.value(ind.onePassDiscoverable);
+    json.endObject();
+}
+
+void
+writeLockOrder(JsonWriter &json, const LockOrderFindings &lock)
+{
+    json.beginObject();
+    json.key("proven_acyclic");
+    json.value(lock.provenAcyclic);
+    json.key("planned_locks");
+    json.value(lock.plannedLocks);
+    json.key("conflict_groups");
+    json.value(lock.conflictGroups);
+    json.key("violations");
+    json.beginArray();
+    for (const LockOrderViolation &v : lock.violations) {
+        json.beginObject();
+        json.key("first");
+        json.value(v.first);
+        json.key("second");
+        json.value(v.second);
+        json.key("other_region");
+        json.value(v.otherRegion);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+writeRegion(JsonWriter &json, const RegionAnalysis &region)
+{
+    json.beginObject();
+    json.key("pc");
+    json.value(region.pc);
+    json.key("verdict");
+    json.value(verdictName(region.verdict));
+    json.key("capacity");
+    writeCapacity(json, region.capacity);
+    json.key("indirection");
+    writeIndirection(json, region.indirection);
+    json.key("lock_order");
+    writeLockOrder(json, region.lockOrder);
+    json.key("conflict_score");
+    json.value(region.conflictScore);
+    json.key("observed");
+    json.beginObject();
+    json.key("invocations");
+    json.value(region.observedInvocations);
+    json.key("attempts");
+    json.value(region.observedAttempts);
+    json.key("commits");
+    json.value(region.observedCommits);
+    json.endObject();
+    json.endObject();
+}
+
+void
+writeAnalysis(JsonWriter &json, const AnalysisResult &analysis)
+{
+    json.beginObject();
+    json.key("workload");
+    json.value(analysis.workload);
+    json.key("config");
+    json.value(analysis.config);
+    json.key("seed");
+    json.value(analysis.seed);
+    json.key("limits");
+    json.beginObject();
+    json.key("rob");
+    json.value(analysis.limits.robEntries);
+    json.key("lq");
+    json.value(analysis.limits.lqEntries);
+    json.key("sq");
+    json.value(analysis.limits.sqEntries);
+    json.key("l1_ways");
+    json.value(analysis.limits.l1Ways);
+    json.key("alt_entries");
+    json.value(analysis.limits.altEntries);
+    json.key("footprint_capacity");
+    json.value(analysis.limits.footprintCapacity);
+    json.endObject();
+    json.key("regions");
+    json.beginArray();
+    for (const RegionAnalysis &region : analysis.regions)
+        writeRegion(json, region);
+    json.endArray();
+    json.key("conflict_edges");
+    json.beginArray();
+    for (const ConflictEdge &edge : analysis.edges) {
+        json.beginObject();
+        json.key("a");
+        json.value(edge.a);
+        json.key("b");
+        json.value(edge.b);
+        json.key("write_write");
+        json.value(edge.sharedWriteWrite);
+        json.key("read_write");
+        json.value(edge.sharedReadWrite);
+        json.key("score");
+        json.value(edge.score);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+analysisJsonString(const std::vector<AnalysisResult> &analyses)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("schema");
+    json.value(kAnalysisJsonSchema);
+    json.key("analyses");
+    json.beginArray();
+    for (const AnalysisResult &analysis : analyses)
+        writeAnalysis(json, analysis);
+    json.endArray();
+    json.endObject();
+    out.push_back('\n');
+    return out;
+}
+
+bool
+writeAnalysisJson(const std::string &path,
+                  const std::vector<AnalysisResult> &analyses,
+                  std::string &error)
+{
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec) {
+            error = "cannot create " +
+                    target.parent_path().string() + ": " +
+                    ec.message();
+            return false;
+        }
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        error = "cannot open " + path + ": " + std::strerror(errno);
+        return false;
+    }
+    os << analysisJsonString(analyses);
+    os.flush();
+    if (!os) {
+        error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+void
+writeAnalysisTable(std::ostream &os, const AnalysisResult &analysis)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "# %s [%s] seed=%llu\n"
+                  "# %-10s %-22s %6s %6s %6s %6s %5s %6s %6s\n",
+                  analysis.workload.c_str(), analysis.config.c_str(),
+                  static_cast<unsigned long long>(analysis.seed),
+                  "pc", "verdict", "lines", "uops", "loads",
+                  "stores", "chase", "locks", "confl");
+    os << line;
+    for (const RegionAnalysis &region : analysis.regions) {
+        std::snprintf(
+            line, sizeof(line),
+            "  0x%-9llx %-22s %6llu %6llu %6llu %6llu %5u %6llu "
+            "%6llu\n",
+            static_cast<unsigned long long>(region.pc),
+            verdictName(region.verdict),
+            static_cast<unsigned long long>(region.capacity.maxLines),
+            static_cast<unsigned long long>(region.capacity.maxUops),
+            static_cast<unsigned long long>(
+                region.capacity.maxLoads),
+            static_cast<unsigned long long>(
+                region.capacity.maxStores),
+            unsigned(region.indirection.maxChaseDepth),
+            static_cast<unsigned long long>(
+                region.lockOrder.plannedLocks),
+            static_cast<unsigned long long>(region.conflictScore));
+        os << line;
+        for (const LockOrderViolation &v : region.lockOrder.violations) {
+            std::snprintf(
+                line, sizeof(line),
+                "    ! lock-order violation: line 0x%llx before "
+                "0x%llx (vs region 0x%llx)\n",
+                static_cast<unsigned long long>(v.first),
+                static_cast<unsigned long long>(v.second),
+                static_cast<unsigned long long>(v.otherRegion));
+            os << line;
+        }
+    }
+}
+
+} // namespace clearsim

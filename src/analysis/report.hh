@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Serialization of analysis results: the `clearsim-analysis-v1`
+ * JSON document and the human verdict table.
+ *
+ * Schema "clearsim-analysis-v1" (all keys always present, fixed
+ * order, integers only — no doubles — so the document is
+ * byte-stable across platforms and runs):
+ *
+ * @code{.json}
+ * {
+ *   "schema": "clearsim-analysis-v1",
+ *   "analyses": [
+ *     {
+ *       "workload": "<name>", "config": "<name>", "seed": <uint>,
+ *       "limits": { "rob": u, "lq": u, "sq": u, "l1_ways": u,
+ *                   "alt_entries": u, "footprint_capacity": u },
+ *       "regions": [
+ *         { "pc": u, "verdict": "<ELIGIBLE|...>",
+ *           "capacity": { "max_lines": u, "max_write_lines": u,
+ *             "max_uops": u, "max_loads": u, "max_stores": u,
+ *             "max_l1_set_lines": u, "window_overflow": b,
+ *             "predicts_sq_full": b, "predicts_pin_overflow": b,
+ *             "footprint_trackable": b, "alt_lockable": b },
+ *           "indirection": { "max_chase_depth": u,
+ *             "addr_tainted": b, "branch_tainted": b,
+ *             "one_pass_discoverable": b },
+ *           "lock_order": { "proven_acyclic": b,
+ *             "planned_locks": u, "conflict_groups": u,
+ *             "violations": [ { "first": u, "second": u,
+ *                               "other_region": u } ] },
+ *           "conflict_score": u,
+ *           "observed": { "invocations": u, "attempts": u,
+ *                         "commits": u } } ],
+ *       "conflict_edges": [
+ *         { "a": u, "b": u, "write_write": u, "read_write": u,
+ *           "score": u } ]
+ *     } ]
+ * }
+ * @endcode
+ */
+
+#ifndef CLEARSIM_ANALYSIS_REPORT_HH
+#define CLEARSIM_ANALYSIS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+
+namespace clearsim
+{
+
+/** Schema identifier of the analysis JSON document. */
+inline constexpr const char *kAnalysisJsonSchema =
+    "clearsim-analysis-v1";
+
+/** Serialize analyses as one clearsim-analysis-v1 document. */
+std::string analysisJsonString(
+    const std::vector<AnalysisResult> &analyses);
+
+/**
+ * Write analysisJsonString() to @p path, creating parent
+ * directories as needed.
+ * @retval false with @p error describing the failure.
+ */
+bool writeAnalysisJson(const std::string &path,
+                       const std::vector<AnalysisResult> &analyses,
+                       std::string &error);
+
+/** Print the human verdict table for one analysis. */
+void writeAnalysisTable(std::ostream &os,
+                        const AnalysisResult &analysis);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_ANALYSIS_REPORT_HH

@@ -10,6 +10,10 @@
 #ifndef CLEARSIM_CLEARSIM_HH
 #define CLEARSIM_CLEARSIM_HH
 
+#include "analysis/analyze.hh"
+#include "analysis/analyzer.hh"
+#include "analysis/region_ir.hh"
+#include "analysis/report.hh"
 #include "common/config.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -32,6 +36,7 @@
 #include "htm/htm_stats.hh"
 #include "htm/htm_types.hh"
 #include "htm/power_token.hh"
+#include "htm/region_record.hh"
 #include "htm/tx_context.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache_model.hh"

@@ -186,6 +186,22 @@ struct SystemConfig
     std::string name = "B";
 };
 
+/**
+ * Recording capacity of the discovery footprint, derived from the
+ * configured ALT size: recording must extend past the ALT so that
+ * "just fits" is distinguishable from "overflows", and it keeps a
+ * floor of 64 lines so the Table 1 / Figure 1 mutability profiles
+ * resolve footprints well beyond the lockable bound. Every
+ * Footprint construction site (TxContext, RegionExecutor, the
+ * static analyzer) derives its capacity from this one function, so
+ * runtime and analyzer always agree on the overflow bound.
+ */
+constexpr unsigned
+footprintCapacity(const ClearConfig &clear)
+{
+    return clear.altEntries * 2 > 64 ? clear.altEntries * 2 : 64;
+}
+
 /** The four evaluated configurations (Section 7). */
 SystemConfig makeBaselineConfig();    ///< B: requester-wins
 SystemConfig makePowerTmConfig();     ///< P: PowerTM

@@ -1,5 +1,7 @@
 #include "common/rng.hh"
 
+#include "common/log.hh"
+
 namespace clearsim
 {
 
@@ -50,6 +52,7 @@ Rng::next()
 std::uint64_t
 Rng::nextBelow(std::uint64_t bound)
 {
+    CLEARSIM_ASSERT(bound != 0, "nextBelow requires a nonzero bound");
     // Debiased via rejection sampling on the top of the range.
     const std::uint64_t threshold = -bound % bound;
     for (;;) {

@@ -122,7 +122,8 @@ class DirSetUnlockAwaiter
 } // namespace
 
 RegionExecutor::RegionExecutor(System &sys, CoreId core)
-    : sys_(sys), core_(core)
+    : sys_(sys), core_(core),
+      savedFootprint_(footprintCapacity(sys.config().clear))
 {
 }
 
@@ -184,7 +185,7 @@ RegionExecutor::runRegion(RegionPc pc)
     ExecMode committed_mode = ExecMode::Speculative;
 
     // Per-invocation mutability profiling (Table 1 / Figure 1).
-    Footprint first_footprint{64};
+    Footprint first_footprint{footprintCapacity(cfg.clear)};
     bool first_complete = false;
     bool have_first = false;
     bool retry_compared = false;
@@ -193,6 +194,25 @@ RegionExecutor::runRegion(RegionPc pc)
     bool footprint_changed = false;
     bool saw_indirection = false;
     std::uint64_t max_lines = 0;
+
+    // Per-attempt resource maxima and abort attribution: the
+    // dynamic side of the static analyzer's dominance cross-check
+    // (tests/property/static_dynamic_bounds_test.cc).
+    std::uint64_t capacity_aborts = 0;
+    std::uint64_t sq_full_aborts = 0;
+    std::uint64_t max_uops = 0;
+    std::uint64_t max_loads = 0;
+    std::uint64_t max_stores = 0;
+
+    auto note_attempt = [&]() {
+        const CoreResources &r = tx.resources();
+        if (r.uops() > max_uops)
+            max_uops = r.uops();
+        if (r.loads() > max_loads)
+            max_loads = r.loads();
+        if (r.stores() > max_stores)
+            max_stores = r.stores();
+    };
 
     auto capture_profile = [&]() {
         saw_indirection |= tx.sawIndirection();
@@ -213,7 +233,8 @@ RegionExecutor::runRegion(RegionPc pc)
                 // first retry.
                 retry_compared = true;
                 comparable_retry = true;
-                if (same && first_footprint.size() <= 32)
+                if (same &&
+                    first_footprint.size() <= cfg.clear.altEntries)
                     immutable_retry = true;
             }
         }
@@ -233,6 +254,7 @@ RegionExecutor::runRegion(RegionPc pc)
                   AbortReason::None, counted_retries);
             committed_mode = ExecMode::Fallback;
             ++attempts_made;
+            note_attempt();
             break;
         }
 
@@ -247,6 +269,7 @@ RegionExecutor::runRegion(RegionPc pc)
                   AbortReason::None, counted_retries);
             const bool committed = co_await runCacheLocked(nscl);
             ++attempts_made;
+            note_attempt();
             if (committed) {
                 committed_mode = nscl ? ExecMode::NsCl : ExecMode::SCl;
                 ert.recordCommit(pc);
@@ -257,6 +280,8 @@ RegionExecutor::runRegion(RegionPc pc)
                   nscl ? ExecMode::NsCl : ExecMode::SCl, reason,
                   counted_retries, AbortPayload{tx.doomLine()});
             stats.recordAbort(reason);
+            if (reason == AbortReason::CapacityOverflow)
+                ++capacity_aborts;
             if (retry_policy.countsRetry(reason)) {
                 ++counted_retries;
                 any_counted_abort = true;
@@ -309,6 +334,7 @@ RegionExecutor::runRegion(RegionPc pc)
         const bool committed =
             co_await runSpeculative(pc, discovery);
         ++attempts_made;
+        note_attempt();
 
         if (discovery)
             capture_profile();
@@ -328,6 +354,10 @@ RegionExecutor::runRegion(RegionPc pc)
         trace(TraceKind::Abort, ExecMode::Speculative, reason,
               counted_retries, AbortPayload{tx.doomLine()});
         stats.recordAbort(reason);
+        if (reason == AbortReason::CapacityOverflow)
+            ++capacity_aborts;
+        if (tx.sqOverflowed())
+            ++sq_full_aborts;
         if (countsTowardRetryLimit(reason)) {
             ++counted_retries;
             any_counted_abort = true;
@@ -386,6 +416,14 @@ RegionExecutor::runRegion(RegionPc pc)
     profile.footprintChanged |= footprint_changed;
     if (max_lines > profile.maxFootprintLines)
         profile.maxFootprintLines = max_lines;
+    profile.capacityAborts += capacity_aborts;
+    profile.sqFullAborts += sq_full_aborts;
+    if (max_uops > profile.maxAttemptUops)
+        profile.maxAttemptUops = max_uops;
+    if (max_loads > profile.maxAttemptLoads)
+        profile.maxAttemptLoads = max_loads;
+    if (max_stores > profile.maxAttemptStores)
+        profile.maxAttemptStores = max_stores;
 
     tx.endInvocation();
 }

@@ -101,8 +101,9 @@ class RegionExecutor
     BodyFn body_;
 
     /** Footprint saved by the last completed discovery, used to
-     *  build S-CL / NS-CL lock plans. */
-    Footprint savedFootprint_{64};
+     *  build S-CL / NS-CL lock plans. Capacity follows the
+     *  configured ALT size (footprintCapacity). */
+    Footprint savedFootprint_;
 
     /** The in-flight locker coroutine of the current attempt. */
     SimTask locker_;

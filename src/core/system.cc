@@ -51,6 +51,13 @@ System::setTraceSink(TraceSink sink)
     fallback_->attachTracer(t);
 }
 
+void
+System::setRegionRecorder(RegionRecordSink *recorder)
+{
+    for (auto &tx : txs_)
+        tx->setRecorder(recorder);
+}
+
 SimTask
 System::runRegion(CoreId core, RegionPc pc, BodyFn body)
 {

@@ -88,6 +88,16 @@ class System
     /** True if tracing is active. */
     bool tracing() const { return tracer_.active(); }
 
+    /**
+     * Install (or clear, with nullptr) the region-record sink on
+     * every core's TxContext. While installed, each body operation
+     * of every attempt is lifted into the analysis IR
+     * (htm/region_record.hh); recording never perturbs execution,
+     * so a recording run is cycle-identical to a plain run with the
+     * same configuration and seed.
+     */
+    void setRegionRecorder(RegionRecordSink *recorder);
+
     TxContext &tx(CoreId core) { return *txs_[core]; }
     Ert &ert(CoreId core) { return erts_[core]; }
     Crt &crt(CoreId core) { return crts_[core]; }

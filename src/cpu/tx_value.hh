@@ -14,6 +14,14 @@
  * an address marks the AR as containing an indirection; branching on
  * a tainted value marks a value-dependent control flow. Both clear
  * the AR's Is Immutable property.
+ *
+ * Alongside the single hardware bit, TxValue carries the pointer-
+ * chase depth: the longest chain of dependent in-AR loads feeding
+ * the value (0 for region-invariant values, 1 for a directly loaded
+ * value, n for a value reached through n dependent loads). The
+ * depth does not influence execution; it is the address-provenance
+ * edge the static analyzer (src/analysis) consumes to bound how
+ * many discovery passes a region's footprint needs.
  */
 
 #ifndef CLEARSIM_CPU_TX_VALUE_HH
@@ -42,11 +50,21 @@ class TxValue
     {
     }
 
+    /** Construct with explicit taint and pointer-chase depth. */
+    constexpr TxValue(std::uint64_t value, bool tainted,
+                      std::uint16_t depth)
+        : value_(value), depth_(depth), tainted_(tainted)
+    {
+    }
+
     /** The numeric value. */
     constexpr std::uint64_t raw() const { return value_; }
 
     /** True if this value depends on a load inside the AR. */
     constexpr bool tainted() const { return tainted_; }
+
+    /** Longest chain of dependent in-AR loads feeding this value. */
+    constexpr std::uint16_t chaseDepth() const { return depth_; }
 
     /** Signed view of the value. */
     constexpr std::int64_t rawSigned() const
@@ -54,67 +72,75 @@ class TxValue
         return static_cast<std::int64_t>(value_);
     }
 
-    // Arithmetic/logic: value semantics with taint union.
+    // Arithmetic/logic: value semantics with taint union and
+    // chase-depth max (the provenance of a combined value is its
+    // deepest source chain).
     friend constexpr TxValue
     operator+(TxValue a, TxValue b)
     {
-        return {a.value_ + b.value_, a.tainted_ || b.tainted_};
+        return {a.value_ + b.value_, a.tainted_ || b.tainted_,
+                maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator-(TxValue a, TxValue b)
     {
-        return {a.value_ - b.value_, a.tainted_ || b.tainted_};
+        return {a.value_ - b.value_, a.tainted_ || b.tainted_,
+                maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator*(TxValue a, TxValue b)
     {
-        return {a.value_ * b.value_, a.tainted_ || b.tainted_};
+        return {a.value_ * b.value_, a.tainted_ || b.tainted_,
+                maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator/(TxValue a, TxValue b)
     {
         return {b.value_ ? a.value_ / b.value_ : 0,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator%(TxValue a, TxValue b)
     {
         return {b.value_ ? a.value_ % b.value_ : 0,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator&(TxValue a, TxValue b)
     {
-        return {a.value_ & b.value_, a.tainted_ || b.tainted_};
+        return {a.value_ & b.value_, a.tainted_ || b.tainted_,
+                maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator|(TxValue a, TxValue b)
     {
-        return {a.value_ | b.value_, a.tainted_ || b.tainted_};
+        return {a.value_ | b.value_, a.tainted_ || b.tainted_,
+                maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator^(TxValue a, TxValue b)
     {
-        return {a.value_ ^ b.value_, a.tainted_ || b.tainted_};
+        return {a.value_ ^ b.value_, a.tainted_ || b.tainted_,
+                maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator<<(TxValue a, unsigned shift)
     {
-        return {a.value_ << shift, a.tainted_};
+        return {a.value_ << shift, a.tainted_, a.depth_};
     }
 
     friend constexpr TxValue
     operator>>(TxValue a, unsigned shift)
     {
-        return {a.value_ >> shift, a.tainted_};
+        return {a.value_ >> shift, a.tainted_, a.depth_};
     }
 
     // Comparisons yield 0/1 TxValues so that the taint of the
@@ -123,46 +149,53 @@ class TxValue
     operator==(TxValue a, TxValue b)
     {
         return {a.value_ == b.value_ ? 1ull : 0ull,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator!=(TxValue a, TxValue b)
     {
         return {a.value_ != b.value_ ? 1ull : 0ull,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator<(TxValue a, TxValue b)
     {
         return {a.value_ < b.value_ ? 1ull : 0ull,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator<=(TxValue a, TxValue b)
     {
         return {a.value_ <= b.value_ ? 1ull : 0ull,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator>(TxValue a, TxValue b)
     {
         return {a.value_ > b.value_ ? 1ull : 0ull,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
     friend constexpr TxValue
     operator>=(TxValue a, TxValue b)
     {
         return {a.value_ >= b.value_ ? 1ull : 0ull,
-                a.tainted_ || b.tainted_};
+                a.tainted_ || b.tainted_, maxDepth(a, b)};
     }
 
   private:
+    static constexpr std::uint16_t
+    maxDepth(const TxValue &a, const TxValue &b)
+    {
+        return a.depth_ > b.depth_ ? a.depth_ : b.depth_;
+    }
+
     std::uint64_t value_ = 0;
+    std::uint16_t depth_ = 0;
     bool tainted_ = false;
 };
 

@@ -55,6 +55,24 @@ struct RegionProfile
 
     /** Largest footprint (in cachelines) observed. */
     std::uint64_t maxFootprintLines = 0;
+
+    // --- abort attribution / per-attempt maxima (the dynamic side
+    // of the static analyzer's dominance cross-check) ---
+
+    /** Aborts of this region with a capacity/structure cause. */
+    std::uint64_t capacityAborts = 0;
+
+    /** Aborts whose failed-mode discovery ran out of SQ entries. */
+    std::uint64_t sqFullAborts = 0;
+
+    /** Largest micro-op count of any single attempt. */
+    std::uint64_t maxAttemptUops = 0;
+
+    /** Largest load count of any single attempt. */
+    std::uint64_t maxAttemptLoads = 0;
+
+    /** Largest store count of any single attempt. */
+    std::uint64_t maxAttemptStores = 0;
 };
 
 /** All counters for one run of one workload under one config. */
@@ -195,6 +213,14 @@ struct HtmStats
             mine.footprintChanged |= profile.footprintChanged;
             if (profile.maxFootprintLines > mine.maxFootprintLines)
                 mine.maxFootprintLines = profile.maxFootprintLines;
+            mine.capacityAborts += profile.capacityAborts;
+            mine.sqFullAborts += profile.sqFullAborts;
+            if (profile.maxAttemptUops > mine.maxAttemptUops)
+                mine.maxAttemptUops = profile.maxAttemptUops;
+            if (profile.maxAttemptLoads > mine.maxAttemptLoads)
+                mine.maxAttemptLoads = profile.maxAttemptLoads;
+            if (profile.maxAttemptStores > mine.maxAttemptStores)
+                mine.maxAttemptStores = profile.maxAttemptStores;
         }
     }
 };

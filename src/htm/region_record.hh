@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Region-recording interface: the hook layer that lifts atomic-region
+ * executions into the analyzable IR consumed by src/analysis.
+ *
+ * A RegionRecordSink installed on a System (System::setRegionRecorder)
+ * receives one callback per body operation of every execution attempt,
+ * in program order, together with the address provenance that the
+ * TxValue taint machinery tracks (cpu/tx_value.hh): whether the
+ * address or branch condition derived from an in-AR load, and through
+ * how many dependent loads (the pointer-chase depth).
+ *
+ * The hooks mirror the Tracer discipline: a null-unless-installed
+ * pointer per TxContext, so the disabled path costs one branch per
+ * operation and a recording run is cycle-identical to a plain run.
+ */
+
+#ifndef CLEARSIM_HTM_REGION_RECORD_HH
+#define CLEARSIM_HTM_REGION_RECORD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "htm/htm_types.hh"
+
+namespace clearsim
+{
+
+/** Kind of one recorded IR operation. */
+enum class IrOpKind : std::uint8_t
+{
+    Load,    ///< transactional load of a cacheline
+    Store,   ///< transactional (buffered) store
+    Alu,     ///< batch of ALU/branch micro-ops
+    AddrUse, ///< a TxValue was materialized as a memory address
+    Branch,  ///< control flow depended on a TxValue
+};
+
+/**
+ * One operation of the region IR. Loads and stores carry the line
+ * they touch and the provenance of the address that named it; ALU
+ * ops carry the batch size; AddrUse/Branch carry the provenance of
+ * the consumed value.
+ */
+struct IrOp
+{
+    IrOpKind kind = IrOpKind::Alu;
+
+    /** Touched cacheline (Load/Store only). */
+    LineAddr line = 0;
+
+    /** Micro-ops in this op (Alu batch size; 1 for Load/Store). */
+    std::uint32_t count = 1;
+
+    /**
+     * Pointer-chase depth of the address (Load/Store/AddrUse) or
+     * condition (Branch): the longest chain of in-AR loads feeding
+     * the value, 0 for region-invariant values.
+     */
+    std::uint16_t chaseDepth = 0;
+
+    /** The value derived from an in-AR load (indirection taint). */
+    bool tainted = false;
+};
+
+/** Ordered IR of one execution attempt of a region. */
+struct RegionAttemptIr
+{
+    RegionPc pc = 0;
+    ExecMode mode = ExecMode::Speculative;
+    std::vector<IrOp> ops;
+
+    /** The body ran to the region's end (footprint complete). */
+    bool reachedEnd = false;
+
+    /** The attempt committed. */
+    bool committed = false;
+};
+
+/**
+ * Receiver of region-recording callbacks. Implemented by the
+ * analysis layer (analysis/region_ir.hh); the htm layer only
+ * depends on this interface.
+ */
+class RegionRecordSink
+{
+  public:
+    virtual ~RegionRecordSink() = default;
+
+    /** A new invocation of the region at pc starts on core. */
+    virtual void onInvocationBegin(CoreId core, RegionPc pc) = 0;
+
+    /** The invocation on core committed. */
+    virtual void onInvocationEnd(CoreId core) = 0;
+
+    /** An execution attempt starts on core. */
+    virtual void onAttemptBegin(CoreId core, RegionPc pc,
+                                ExecMode mode) = 0;
+
+    /** One body operation executed on core (program order). */
+    virtual void onOp(CoreId core, const IrOp &op) = 0;
+
+    /**
+     * The attempt on core ended.
+     * @param reached_end body ran to the region's end
+     * @param committed the attempt committed
+     */
+    virtual void onAttemptEnd(CoreId core, bool reached_end,
+                              bool committed) = 0;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HTM_REGION_RECORD_HH

@@ -1,5 +1,7 @@
 #include "htm/tx_context.hh"
 
+#include <limits>
+
 #include "common/log.hh"
 
 namespace clearsim
@@ -84,8 +86,13 @@ TxContext::TxContext(CoreId core, const SystemConfig &cfg,
     : core_(core), cfg_(cfg), queue_(queue), mem_(mem),
       conflicts_(conflicts), fallback_(fallback), power_(power),
       stats_(stats), resources_(cfg.core, cfg.scope),
-      footprint_(64)
+      footprint_(footprintCapacity(cfg.clear))
 {
+    // The analyzer and the retry policy both reason about the
+    // recording bound; it must extend past the lockable (ALT) bound
+    // or "just fits" and "overflows" would be indistinguishable.
+    CLEARSIM_ASSERT(footprintCapacity(cfg.clear) > cfg.clear.altEntries,
+                    "footprint capacity must exceed the ALT size");
     conflicts_.registerParticipant(core, this);
 }
 
@@ -93,12 +100,16 @@ void
 TxContext::beginInvocation(RegionPc pc)
 {
     pc_ = pc;
+    if (recorder_)
+        recorder_->onInvocationBegin(core_, pc);
 }
 
 void
 TxContext::endInvocation()
 {
     power_.release(core_);
+    if (recorder_)
+        recorder_->onInvocationEnd(core_);
 }
 
 void
@@ -125,12 +136,16 @@ TxContext::beginAttempt(ExecMode mode, bool discovery_active)
     writeBuffer_.clear();
     conflictingReads_.clear();
     pendingAluUops_ = 0;
+    pendingAddrDepth_ = 0;
+    pendingAddrTainted_ = false;
     lockPlan_.clear();
     lockPlanIndex_.clear();
     lockerDone_ = true;
     lockerWaiter_ = nullptr;
     waitingPlannedLock_ = false;
     plannedWaiter_ = nullptr;
+    if (recorder_)
+        recorder_->onAttemptBegin(core_, pc_, mode);
 }
 
 void
@@ -240,6 +255,10 @@ TxContext::alu(unsigned n)
 {
     resources_.countAlu(n);
     pendingAluUops_ += n;
+    if (recorder_) {
+        recorder_->onOp(core_,
+                        IrOp{IrOpKind::Alu, 0, n, 0, false});
+    }
 }
 
 Addr
@@ -248,6 +267,13 @@ TxContext::toAddr(const TxValue &value)
     alu(1);
     if (value.tainted())
         indirectionSeen_ = true;
+    pendingAddrDepth_ = value.chaseDepth();
+    pendingAddrTainted_ = value.tainted();
+    if (recorder_) {
+        recorder_->onOp(core_,
+                        IrOp{IrOpKind::AddrUse, 0, 1,
+                             value.chaseDepth(), value.tainted()});
+    }
     return value.raw();
 }
 
@@ -257,6 +283,11 @@ TxContext::branchOn(const TxValue &value)
     alu(1);
     if (value.tainted())
         taintedBranchSeen_ = true;
+    if (recorder_) {
+        recorder_->onOp(core_,
+                        IrOp{IrOpKind::Branch, 0, 1,
+                             value.chaseDepth(), value.tainted()});
+    }
     return value.raw() != 0;
 }
 
@@ -357,6 +388,14 @@ TxContext::load(Addr addr)
     resources_.countLoad();
     const Cycle alu_extra = takePendingAluCycles();
     const LineAddr line = lineOf(addr);
+    const std::uint16_t addr_depth = pendingAddrDepth_;
+    const bool addr_tainted = pendingAddrTainted_;
+    pendingAddrDepth_ = 0;
+    pendingAddrTainted_ = false;
+    if (recorder_) {
+        recorder_->onOp(core_, IrOp{IrOpKind::Load, line, 1,
+                                    addr_depth, addr_tainted});
+    }
     if (discoveryActive_)
         recordAccess(line, false);
 
@@ -439,7 +478,14 @@ TxContext::load(Addr addr)
     if (doomed() && !failedMode_)
         handleDoomAtBoundary();
 
-    co_return TxValue(readData(addr), true);
+    // The loaded value sits one dependent load deeper than the
+    // value that named its address (saturating; depth only feeds
+    // the analyzer's provenance view, never execution).
+    const std::uint16_t depth =
+        addr_depth == std::numeric_limits<std::uint16_t>::max()
+            ? addr_depth
+            : static_cast<std::uint16_t>(addr_depth + 1);
+    co_return TxValue(readData(addr), true, depth);
 }
 
 SimTask
@@ -452,6 +498,14 @@ TxContext::store(Addr addr, TxValue value)
     resources_.countStore();
     const Cycle alu_extra = takePendingAluCycles();
     const LineAddr line = lineOf(addr);
+    const std::uint16_t addr_depth = pendingAddrDepth_;
+    const bool addr_tainted = pendingAddrTainted_;
+    pendingAddrDepth_ = 0;
+    pendingAddrTainted_ = false;
+    if (recorder_) {
+        recorder_->onOp(core_, IrOp{IrOpKind::Store, line, 1,
+                                    addr_depth, addr_tainted});
+    }
     if (discoveryActive_)
         recordAccess(line, true);
 
@@ -558,6 +612,8 @@ TxContext::commit()
     stats_.committedUops += resources_.uops();
     releaseAttemptState(true);
     active_ = false;
+    if (recorder_)
+        recorder_->onAttemptEnd(core_, true, true);
     co_return true;
 }
 
@@ -580,6 +636,8 @@ TxContext::abortAttempt(bool reached_end)
     writeBuffer_.clear();
     releaseAttemptState(false);
     active_ = false;
+    if (recorder_)
+        recorder_->onAttemptEnd(core_, reached_end, false);
 }
 
 void

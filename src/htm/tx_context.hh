@@ -33,6 +33,7 @@
 #include "htm/htm_stats.hh"
 #include "htm/htm_types.hh"
 #include "htm/power_token.hh"
+#include "htm/region_record.hh"
 #include "mem/memory_system.hh"
 #include "sim/task.hh"
 
@@ -226,6 +227,18 @@ class TxContext : public TxParticipant
      */
     void doomLocal(AbortReason reason, LineAddr line = 0);
 
+    /**
+     * Install (or clear, with nullptr) the region-record sink.
+     * While installed, every body operation is reported to it in
+     * program order with address provenance; without one, each
+     * operation costs a single null-pointer branch, so a recording
+     * run is cycle-identical to a plain run.
+     */
+    void setRecorder(RegionRecordSink *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     // ------------------------------------------------------------
     // TxParticipant interface
     // ------------------------------------------------------------
@@ -295,6 +308,19 @@ class TxContext : public TxParticipant
     bool structOverflowEvent_ = false;
     bool indirectionSeen_ = false;
     bool taintedBranchSeen_ = false;
+
+    /** Analysis hook; null unless a recording run is active. */
+    RegionRecordSink *recorder_ = nullptr;
+
+    /**
+     * Provenance of the most recent toAddr() result, consumed by
+     * the next load/store as its address provenance. A best-effort
+     * attribution: bodies that materialize several addresses before
+     * using them under-attribute per-op depth, but the per-region
+     * maximum is always captured at the AddrUse op itself.
+     */
+    std::uint16_t pendingAddrDepth_ = 0;
+    bool pendingAddrTainted_ = false;
 
     CoreResources resources_;
     Footprint footprint_;

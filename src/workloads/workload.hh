@@ -99,6 +99,10 @@ class Workload
     thinkTime(System &sys, Rng &rng)
     {
         const Cycle mean = sys.config().timing.thinkTimeMean;
+        // thinkTimeMean == 0 means "no think time": nextBelow(0)
+        // has no valid result (and its modulus would divide by 0).
+        if (mean == 0)
+            return 0;
         return mean / 2 + rng.nextBelow(mean);
     }
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Golden test of the clearsim-analysis-v1 document: a capture run
+ * with pinned parameters must serialize byte-for-byte to the
+ * committed tests/data/analysis_golden.json, and repeated captures
+ * must be byte-identical. Regenerate the golden after intentional
+ * schema or analysis changes with:
+ *
+ *   clearsim_analyze --workload bitcoin,hashmap --config C \
+ *       --ops 8 --threads 8 --seed 42 --quiet \
+ *       --json tests/data/analysis_golden.json
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hh"
+#include "analysis/report.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+AnalyzeRequest
+goldenRequest(const std::string &workload)
+{
+    AnalyzeRequest request;
+    request.config = "C";
+    request.workload = workload;
+    request.maxRetries = 4;
+    request.params.threads = 8;
+    request.params.opsPerThread = 8;
+    request.params.scale = 1;
+    request.params.seed = 42;
+    return request;
+}
+
+std::string
+goldenDocument()
+{
+    std::vector<AnalysisResult> analyses;
+    for (const char *workload : {"bitcoin", "hashmap"})
+        analyses.push_back(
+            analyzeWorkload(goldenRequest(workload)).analysis);
+    return analysisJsonString(analyses);
+}
+
+TEST(AnalysisGolden, MatchesCommittedDocument)
+{
+    const std::string path =
+        std::string(CLEARSIM_TEST_DATA_DIR) + "/analysis_golden.json";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing golden file: " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    EXPECT_EQ(goldenDocument(), buffer.str())
+        << "analysis output drifted from " << path
+        << " — regenerate it if the change is intentional "
+           "(command in this file's header)";
+}
+
+TEST(AnalysisGolden, CaptureIsByteStable)
+{
+    EXPECT_EQ(goldenDocument(), goldenDocument());
+}
+
+} // namespace
+} // namespace clearsim

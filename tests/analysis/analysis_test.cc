@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Unit tests of the static analyzer: recorder aggregation, the four
+ * passes on synthetic region models, and the report serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/region_ir.hh"
+#include "analysis/report.hh"
+#include "common/json.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 4;
+    return cfg;
+}
+
+IrOp
+loadOp(LineAddr line, std::uint16_t depth = 0, bool tainted = false)
+{
+    return IrOp{IrOpKind::Load, line, 1, depth, tainted};
+}
+
+IrOp
+storeOp(LineAddr line, std::uint16_t depth = 0, bool tainted = false)
+{
+    return IrOp{IrOpKind::Store, line, 1, depth, tainted};
+}
+
+TEST(RegionRecorder, AggregatesAttemptMaxima)
+{
+    RegionRecorder rec(testConfig());
+    rec.onInvocationBegin(0, 0x100);
+    rec.onAttemptBegin(0, 0x100, ExecMode::Speculative);
+    rec.onOp(0, IrOp{IrOpKind::Alu, 0, 5, 0, false});
+    rec.onOp(0, loadOp(10));
+    rec.onOp(0, loadOp(11));
+    rec.onOp(0, storeOp(10));
+    rec.onAttemptEnd(0, true, true);
+    rec.onInvocationEnd(0);
+
+    const auto &models = rec.models();
+    ASSERT_EQ(models.size(), 1u);
+    const RegionModel &m = models.at(0x100);
+    EXPECT_EQ(m.invocations, 1u);
+    EXPECT_EQ(m.attempts, 1u);
+    EXPECT_EQ(m.committedAttempts, 1u);
+    EXPECT_EQ(m.completeAttempts, 1u);
+    EXPECT_EQ(m.maxDistinctLines, 2u);
+    EXPECT_EQ(m.maxWriteLines, 1u);
+    EXPECT_EQ(m.maxUops, 8u); // 5 alu + 2 loads + 1 store
+    EXPECT_EQ(m.maxLoads, 2u);
+    EXPECT_EQ(m.maxStores, 1u);
+    EXPECT_FALSE(m.addrTainted);
+    EXPECT_FALSE(m.footprintVaries);
+    ASSERT_EQ(m.worstLines.size(), 2u);
+    EXPECT_EQ(m.worstWriteLines,
+              std::vector<LineAddr>({LineAddr(10)}));
+    // Line 10 was written (read-then-write folds into the write
+    // set); line 11 only read.
+    EXPECT_TRUE(m.writeLines.count(10));
+    EXPECT_TRUE(m.readLines.count(11));
+}
+
+TEST(RegionRecorder, TracksProvenanceAndVariation)
+{
+    RegionRecorder rec(testConfig());
+    rec.onInvocationBegin(1, 0x200);
+    rec.onAttemptBegin(1, 0x200, ExecMode::Speculative);
+    rec.onOp(1, IrOp{IrOpKind::AddrUse, 0, 1, 2, true});
+    rec.onOp(1, loadOp(20, 2, true));
+    rec.onAttemptEnd(1, true, false);
+    rec.onAttemptBegin(1, 0x200, ExecMode::Speculative);
+    rec.onOp(1, loadOp(21));
+    rec.onOp(1, IrOp{IrOpKind::Branch, 0, 1, 3, true});
+    rec.onAttemptEnd(1, true, true);
+    rec.onInvocationEnd(1);
+
+    const RegionModel &m = rec.models().at(0x200);
+    EXPECT_EQ(m.attempts, 2u);
+    EXPECT_TRUE(m.addrTainted);
+    EXPECT_TRUE(m.branchTainted);
+    EXPECT_EQ(m.maxChaseDepth, 3u);
+    // The two complete attempts touched different lines.
+    EXPECT_TRUE(m.footprintVaries);
+}
+
+TEST(RegionRecorder, CountsL1SetPressure)
+{
+    const SystemConfig cfg = testConfig();
+    RegionRecorder rec(cfg);
+    rec.onInvocationBegin(0, 0x300);
+    rec.onAttemptBegin(0, 0x300, ExecMode::Speculative);
+    // Three lines mapping to the same L1 set, one elsewhere.
+    const unsigned sets = cfg.cache.l1Sets;
+    rec.onOp(0, loadOp(7));
+    rec.onOp(0, loadOp(7 + sets));
+    rec.onOp(0, loadOp(7 + 2 * sets));
+    rec.onOp(0, loadOp(8));
+    rec.onAttemptEnd(0, true, true);
+
+    EXPECT_EQ(rec.models().at(0x300).maxL1SetLines, 3u);
+}
+
+RegionModel
+syntheticModel(RegionPc pc, unsigned lines, unsigned writes)
+{
+    RegionModel m;
+    m.pc = pc;
+    m.invocations = 1;
+    m.attempts = 1;
+    m.committedAttempts = 1;
+    m.completeAttempts = 1;
+    for (unsigned i = 0; i < lines; ++i) {
+        // Spread lines over sets to avoid accidental way pressure.
+        const LineAddr line = pc * 1000 + i * 131;
+        m.worstLines.push_back(line);
+        if (i < writes) {
+            m.writeLines.insert(line);
+            m.worstWriteLines.push_back(line);
+        } else {
+            m.readLines.insert(line);
+        }
+    }
+    std::sort(m.worstLines.begin(), m.worstLines.end());
+    std::sort(m.worstWriteLines.begin(), m.worstWriteLines.end());
+    m.maxDistinctLines = lines;
+    m.maxWriteLines = writes;
+    m.maxUops = 3 * lines;
+    m.maxLoads = lines;
+    m.maxStores = writes;
+    m.maxL1SetLines = 1;
+    return m;
+}
+
+TEST(Analyzer, EligibleRegion)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    models[0x10] = syntheticModel(0x10, 4, 2);
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    ASSERT_EQ(result.regions.size(), 1u);
+    const RegionAnalysis &r = result.regions[0];
+    EXPECT_EQ(r.verdict, Verdict::Eligible);
+    EXPECT_TRUE(r.capacity.altLockable);
+    EXPECT_TRUE(r.indirection.onePassDiscoverable);
+    EXPECT_TRUE(r.lockOrder.provenAcyclic);
+    EXPECT_EQ(r.lockOrder.plannedLocks, 4u);
+}
+
+TEST(Analyzer, SqOverflowIsCapacityDoomed)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    RegionModel m = syntheticModel(0x10, 4, 2);
+    m.maxStores = cfg.core.sqEntries + 1;
+    models[0x10] = m;
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    EXPECT_EQ(result.regions[0].verdict, Verdict::CapacityDoomed);
+    EXPECT_TRUE(result.regions[0].capacity.predictsSqFull);
+}
+
+TEST(Analyzer, AltOverflowIsCapacityDoomed)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    models[0x10] =
+        syntheticModel(0x10, cfg.clear.altEntries + 1, 1);
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    EXPECT_EQ(result.regions[0].verdict, Verdict::CapacityDoomed);
+    EXPECT_FALSE(result.regions[0].capacity.altLockable);
+}
+
+TEST(Analyzer, L1WayPressureIsCapacityDoomed)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    RegionModel m = syntheticModel(0x10, 4, 2);
+    m.maxL1SetLines = cfg.cache.l1Ways + 1;
+    models[0x10] = m;
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    EXPECT_EQ(result.regions[0].verdict, Verdict::CapacityDoomed);
+    EXPECT_TRUE(result.regions[0].capacity.predictsPinOverflow);
+}
+
+TEST(Analyzer, TaintedAddressIsUnboundedIndirection)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    RegionModel m = syntheticModel(0x10, 4, 2);
+    m.addrTainted = true;
+    m.maxChaseDepth = 3;
+    models[0x10] = m;
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    EXPECT_EQ(result.regions[0].verdict,
+              Verdict::UnboundedIndirection);
+    EXPECT_FALSE(result.regions[0].indirection.onePassDiscoverable);
+    EXPECT_EQ(result.regions[0].indirection.maxChaseDepth, 3u);
+}
+
+TEST(Analyzer, CapacityOutranksIndirection)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    RegionModel m = syntheticModel(0x10, cfg.clear.altEntries + 5, 1);
+    m.addrTainted = true;
+    models[0x10] = m;
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    EXPECT_EQ(result.regions[0].verdict, Verdict::CapacityDoomed);
+}
+
+TEST(Analyzer, LockOrderProofCoversGroups)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    RegionModel m = syntheticModel(0x10, 0, 0);
+    // Two lines in directory set 5, one in set 9: two groups.
+    const LineAddr dir_sets = cfg.cache.dirSets;
+    for (LineAddr line : {LineAddr(5), LineAddr(5 + dir_sets),
+                          LineAddr(9)}) {
+        m.worstLines.push_back(line);
+        m.readLines.insert(line);
+    }
+    std::sort(m.worstLines.begin(), m.worstLines.end());
+    m.maxDistinctLines = 3;
+    m.maxLoads = 3;
+    m.maxUops = 3;
+    m.maxL1SetLines = 1;
+    models[0x10] = m;
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    const LockOrderFindings &lock = result.regions[0].lockOrder;
+    EXPECT_TRUE(lock.provenAcyclic);
+    EXPECT_EQ(lock.plannedLocks, 3u);
+    EXPECT_EQ(lock.conflictGroups, 2u);
+    EXPECT_TRUE(lock.violations.empty());
+}
+
+TEST(Analyzer, CrossRegionCommonLinesConsistent)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    RegionModel a = syntheticModel(0x10, 0, 0);
+    RegionModel b = syntheticModel(0x20, 0, 0);
+    b.pc = 0x20;
+    for (LineAddr line : {LineAddr(100), LineAddr(200),
+                          LineAddr(300)}) {
+        a.worstLines.push_back(line);
+        a.writeLines.insert(line);
+        b.worstLines.push_back(line);
+        b.writeLines.insert(line);
+    }
+    a.maxDistinctLines = b.maxDistinctLines = 3;
+    a.maxL1SetLines = b.maxL1SetLines = 1;
+    models[0x10] = a;
+    models[0x20] = b;
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    for (const RegionAnalysis &r : result.regions)
+        EXPECT_TRUE(r.lockOrder.provenAcyclic);
+}
+
+TEST(Analyzer, ConflictGraphScoresOverlap)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    RegionModel a = syntheticModel(0x10, 0, 0);
+    RegionModel b = syntheticModel(0x20, 0, 0);
+    b.pc = 0x20;
+    // Line 1: both write (score 2). Line 2: a writes, b reads
+    // (score 1). Line 3: both read (score 0). Line 4: only a.
+    a.writeLines = {1, 2};
+    a.readLines = {3, 4};
+    b.writeLines = {1};
+    b.readLines = {2, 3};
+    models[0x10] = a;
+    models[0x20] = b;
+
+    const AnalysisResult result = Analyzer(cfg).analyze(models);
+    ASSERT_EQ(result.edges.size(), 1u);
+    const ConflictEdge &edge = result.edges[0];
+    EXPECT_EQ(edge.sharedWriteWrite, 1u);
+    EXPECT_EQ(edge.sharedReadWrite, 1u);
+    EXPECT_EQ(edge.score, 3u);
+    EXPECT_EQ(result.regions[0].conflictScore, 3u);
+    EXPECT_EQ(result.regions[1].conflictScore, 3u);
+}
+
+TEST(Analyzer, LimitsFollowConfiguredAltSize)
+{
+    SystemConfig cfg = testConfig();
+    cfg.clear.altEntries = 128;
+    const AnalysisResult result =
+        Analyzer(cfg).analyze({});
+    EXPECT_EQ(result.limits.altEntries, 128u);
+    // The footprint bound is derived, not the hardcoded 64.
+    EXPECT_EQ(result.limits.footprintCapacity, 256u);
+    EXPECT_EQ(result.limits.robEntries, cfg.core.robEntries);
+    EXPECT_EQ(result.limits.sqEntries, cfg.core.sqEntries);
+}
+
+TEST(Analyzer, VerdictNames)
+{
+    EXPECT_STREQ(verdictName(Verdict::Eligible), "ELIGIBLE");
+    EXPECT_STREQ(verdictName(Verdict::CapacityDoomed),
+                 "CAPACITY-DOOMED");
+    EXPECT_STREQ(verdictName(Verdict::UnboundedIndirection),
+                 "UNBOUNDED-INDIRECTION");
+    EXPECT_STREQ(verdictName(Verdict::LockOrderRisk),
+                 "LOCK-ORDER-RISK");
+}
+
+TEST(AnalysisReport, JsonRoundTripsAndIsStable)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    models[0x10] = syntheticModel(0x10, 4, 2);
+    models[0x20] = syntheticModel(0x20, 2, 1);
+
+    AnalysisResult analysis = Analyzer(cfg).analyze(models);
+    analysis.workload = "synthetic";
+    analysis.config = "C";
+    analysis.seed = 7;
+
+    const std::string doc1 = analysisJsonString({analysis});
+    const std::string doc2 = analysisJsonString({analysis});
+    EXPECT_EQ(doc1, doc2);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(doc1, root, error)) << error;
+    ASSERT_NE(root.find("schema"), nullptr);
+    EXPECT_EQ(root.find("schema")->text, kAnalysisJsonSchema);
+    const JsonValue *analyses = root.find("analyses");
+    ASSERT_NE(analyses, nullptr);
+    ASSERT_EQ(analyses->items.size(), 1u);
+    const JsonValue &entry = analyses->items[0];
+    EXPECT_EQ(entry.find("workload")->text, "synthetic");
+    const JsonValue *regions = entry.find("regions");
+    ASSERT_NE(regions, nullptr);
+    ASSERT_EQ(regions->items.size(), 2u);
+    // Regions sorted by pc; every value is an integer or bool (no
+    // doubles anywhere, the byte-stability contract).
+    EXPECT_EQ(regions->items[0].find("pc")->asUint(), 0x10u);
+    EXPECT_EQ(regions->items[1].find("pc")->asUint(), 0x20u);
+    const JsonValue *cap = regions->items[0].find("capacity");
+    ASSERT_NE(cap, nullptr);
+    for (const auto &[key, value] : cap->members) {
+        EXPECT_TRUE(value.type == JsonValue::Type::Uint ||
+                    value.type == JsonValue::Type::Bool)
+            << key;
+    }
+}
+
+} // namespace
+} // namespace clearsim

@@ -67,6 +67,28 @@ TEST(ConfigTest, MakeByName)
         EXPECT_EQ(makeConfigByName(name).name, name);
 }
 
+TEST(ConfigTest, FootprintCapacityTracksAltSize)
+{
+    // Floor of 64 for the default and smaller ALTs; 2x the ALT once
+    // the ALT outgrows half the floor, so recording always extends
+    // past the lockable bound.
+    ClearConfig clear;
+    EXPECT_EQ(clear.altEntries, 32u);
+    EXPECT_EQ(footprintCapacity(clear), 64u);
+    clear.altEntries = 8;
+    EXPECT_EQ(footprintCapacity(clear), 64u);
+    clear.altEntries = 33;
+    EXPECT_EQ(footprintCapacity(clear), 66u);
+    clear.altEntries = 128;
+    EXPECT_EQ(footprintCapacity(clear), 256u);
+    // The capacity strictly exceeds the ALT: "just fits" is always
+    // distinguishable from "overflows".
+    for (unsigned alt : {1u, 16u, 32u, 64u, 100u, 1024u}) {
+        clear.altEntries = alt;
+        EXPECT_GT(footprintCapacity(clear), alt);
+    }
+}
+
 TEST(TypesTest, LineArithmetic)
 {
     EXPECT_EQ(lineOf(0), 0u);

@@ -103,6 +103,12 @@ TEST(RngTest, OutputLooksUniform)
         EXPECT_NEAR(count, n / 16, n / 16 / 3);
 }
 
+TEST(RngTest, NextBelowZeroBoundDies)
+{
+    Rng rng(41);
+    EXPECT_DEATH(rng.nextBelow(0), "nonzero bound");
+}
+
 TEST(RngTest, NoShortCycle)
 {
     Rng rng(37);

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Property tests tying the static analyzer to the dynamic machine:
+ *
+ *  - Non-perturbation: a capture run is cycle- and stats-identical
+ *    to a plain run with the same (configuration, seed).
+ *  - Dominance: every static per-region bound is >= the matching
+ *    dynamically observed value (footprint lines, uops, loads,
+ *    stores) of the same run.
+ *  - Soundness of ELIGIBLE: a region the analyzer declares ELIGIBLE
+ *    never suffers a capacity or SQ-Full abort dynamically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyze.hh"
+#include "core/system.hh"
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+const std::vector<std::pair<std::string, std::string>> kCases = {
+    {"bitcoin", "C"},   {"bitcoin", "B"},  {"hashmap", "C"},
+    {"arrayswap", "C"}, {"bst", "C"},      {"queue", "B"},
+    {"intruder", "C"},
+};
+
+AnalyzeRequest
+caseRequest(const std::string &workload, const std::string &config)
+{
+    AnalyzeRequest request;
+    request.config = config;
+    request.workload = workload;
+    request.maxRetries = 4;
+    request.params.threads = 8;
+    request.params.opsPerThread = 8;
+    request.params.scale = 1;
+    request.params.seed = 11;
+    return request;
+}
+
+const RegionAnalysis *
+findRegion(const AnalysisResult &analysis, RegionPc pc)
+{
+    for (const RegionAnalysis &r : analysis.regions) {
+        if (r.pc == pc)
+            return &r;
+    }
+    return nullptr;
+}
+
+TEST(StaticDynamicBounds, CaptureDoesNotPerturbExecution)
+{
+    for (const auto &[workload, config] : kCases) {
+        SCOPED_TRACE(workload + "/" + config);
+        const AnalyzeRequest request = caseRequest(workload, config);
+        const AnalyzeOutcome outcome = analyzeWorkload(request);
+
+        // Plain run: same resolved configuration and seed, no
+        // recorder installed.
+        System sys(outcome.config, request.params.seed);
+        auto plain = makeWorkload(workload, request.params);
+        const Cycle cycles = runWorkloadThreads(sys, *plain);
+
+        EXPECT_EQ(cycles, outcome.cycles);
+        EXPECT_EQ(sys.stats().commits, outcome.dynamicStats.commits);
+        EXPECT_EQ(sys.stats().aborts, outcome.dynamicStats.aborts);
+    }
+}
+
+TEST(StaticDynamicBounds, StaticBoundsDominateDynamicObservations)
+{
+    for (const auto &[workload, config] : kCases) {
+        SCOPED_TRACE(workload + "/" + config);
+        const AnalyzeOutcome outcome =
+            analyzeWorkload(caseRequest(workload, config));
+
+        ASSERT_FALSE(outcome.dynamicStats.regions.empty());
+        for (const auto &[pc, profile] :
+             outcome.dynamicStats.regions) {
+            SCOPED_TRACE("region pc=" + std::to_string(pc));
+            const RegionAnalysis *r =
+                findRegion(outcome.analysis, pc);
+            ASSERT_NE(r, nullptr)
+                << "dynamically profiled region missing from the "
+                   "static analysis";
+
+            // The recorder is uncapped while the runtime Footprint
+            // stops recording at its capacity, so the static line
+            // bound dominates the dynamic one.
+            EXPECT_GE(r->capacity.maxLines,
+                      profile.maxFootprintLines);
+            EXPECT_GE(r->capacity.maxUops, profile.maxAttemptUops);
+            EXPECT_GE(r->capacity.maxLoads,
+                      profile.maxAttemptLoads);
+            EXPECT_GE(r->capacity.maxStores,
+                      profile.maxAttemptStores);
+            EXPECT_GE(r->observedInvocations, profile.invocations);
+
+            // Indirection: if the machine saw a load-derived
+            // address or branch, the taint pass must have too.
+            if (profile.sawIndirection) {
+                EXPECT_TRUE(r->indirection.addrTainted ||
+                            r->indirection.branchTainted);
+            }
+        }
+    }
+}
+
+TEST(StaticDynamicBounds, EligibleRegionsNeverCapacityAbort)
+{
+    for (const auto &[workload, config] : kCases) {
+        SCOPED_TRACE(workload + "/" + config);
+        const AnalyzeOutcome outcome =
+            analyzeWorkload(caseRequest(workload, config));
+
+        for (const RegionAnalysis &r : outcome.analysis.regions) {
+            if (r.verdict != Verdict::Eligible)
+                continue;
+            SCOPED_TRACE("region pc=" + std::to_string(r.pc));
+            const auto it = outcome.dynamicStats.regions.find(r.pc);
+            if (it == outcome.dynamicStats.regions.end())
+                continue;
+            EXPECT_EQ(it->second.capacityAborts, 0u)
+                << "ELIGIBLE region capacity-aborted";
+            EXPECT_EQ(it->second.sqFullAborts, 0u)
+                << "ELIGIBLE region hit SQ-Full";
+        }
+    }
+}
+
+TEST(StaticDynamicBounds, AnalysisIsDeterministic)
+{
+    const AnalyzeOutcome a =
+        analyzeWorkload(caseRequest("bitcoin", "C"));
+    const AnalyzeOutcome b =
+        analyzeWorkload(caseRequest("bitcoin", "C"));
+    ASSERT_EQ(a.analysis.regions.size(), b.analysis.regions.size());
+    EXPECT_EQ(a.cycles, b.cycles);
+    for (std::size_t i = 0; i < a.analysis.regions.size(); ++i) {
+        const RegionAnalysis &ra = a.analysis.regions[i];
+        const RegionAnalysis &rb = b.analysis.regions[i];
+        EXPECT_EQ(ra.pc, rb.pc);
+        EXPECT_EQ(ra.verdict, rb.verdict);
+        EXPECT_EQ(ra.capacity.maxLines, rb.capacity.maxLines);
+        EXPECT_EQ(ra.conflictScore, rb.conflictScore);
+    }
+}
+
+} // namespace
+} // namespace clearsim

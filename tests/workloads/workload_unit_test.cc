@@ -134,6 +134,54 @@ TEST(WorkloadFrameworkTest, ScaleParameterGrowsStructures)
               sys_small.mem().store().brk());
 }
 
+class ThinkTimeProbe : public Workload
+{
+  public:
+    using Workload::Workload;
+    const char *name() const override { return "probe"; }
+    unsigned numRegions() const override { return 0; }
+    void init(System &) override {}
+    SimTask thread(System &, CoreId) override { co_return; }
+    std::vector<std::string> verify(System &) const override
+    {
+        return {};
+    }
+
+    static Cycle probe(System &sys, Rng &rng)
+    {
+        return thinkTime(sys, rng);
+    }
+};
+
+TEST(WorkloadFrameworkTest, ZeroThinkTimeMeanYieldsZeroDelay)
+{
+    // thinkTimeMean == 0 must short-circuit: reaching
+    // Rng::nextBelow(0) would be a modulo-by-zero.
+    SystemConfig cfg = makeBaselineConfig();
+    cfg.timing.thinkTimeMean = 0;
+    System sys(cfg, 1);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(ThinkTimeProbe::probe(sys, rng), 0u);
+}
+
+TEST(WorkloadFrameworkTest, ZeroThinkTimeRunCompletes)
+{
+    // End-to-end: a full contended run with no think time at all.
+    WorkloadParams params;
+    params.threads = 4;
+    params.opsPerThread = 8;
+    params.seed = 6;
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 4;
+    cfg.timing.thinkTimeMean = 0;
+    System sys(cfg, params.seed);
+    auto workload = makeWorkload("bitcoin", params);
+    runWorkloadThreads(sys, *workload);
+    EXPECT_TRUE(workload->verify(sys).empty());
+    EXPECT_EQ(sys.stats().commits, 4u * 8u);
+}
+
 TEST(WorkloadFrameworkTest, ThreadCountCappedByCores)
 {
     WorkloadParams params;

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * clearsim_analyze: the ahead-of-run region analyzer CLI.
+ *
+ * Performs a capture run per (workload, config) pair, runs the
+ * static analysis passes, and prints a verdict table and/or writes
+ * the clearsim-analysis-v1 JSON document:
+ *
+ *   clearsim_analyze --workload bitcoin --config C
+ *   clearsim_analyze --workload all --config C --json verdicts.json
+ *   clearsim_analyze --workload bst,hashmap --seed 7 --ops 16
+ *
+ * The JSON output is byte-stable: identical inputs always produce
+ * identical bytes, across runs and regardless of CLEARSIM_JOBS.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clearsim/clearsim.hh"
+#include "common/env.hh"
+#include "common/log.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+struct AnalyzeOptions
+{
+    std::vector<std::string> workloads = {"bitcoin"};
+    std::vector<std::string> configs = {"C"};
+    unsigned ops = 32;
+    unsigned threads = 32;
+    unsigned retries = 4;
+    unsigned scale = 1;
+    std::uint64_t seed = 42;
+    std::string jsonPath;
+    bool quiet = false;
+};
+
+std::vector<std::string>
+splitCsvList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: clearsim_analyze [options]\n"
+        "  --workload <name[,name...]|all>  (default bitcoin)\n"
+        "  --config <spec[,spec...]>        (default C)\n"
+        "                   spec = preset[+modifier...][:key=value...]\n"
+        "  --ops <n>        AR invocations per thread (default 32)\n"
+        "  --threads <n>    simulated threads (default 32)\n"
+        "  --retries <n>    retry limit before fallback (default 4)\n"
+        "  --scale <n>      data-structure scale factor (default 1)\n"
+        "  --seed <n>       master seed (default 42)\n"
+        "  --json <file>    write clearsim-analysis-v1 JSON to <file>\n"
+        "  --quiet          suppress the verdict table\n");
+    std::exit(2);
+}
+
+AnalyzeOptions
+parseArgs(int argc, char **argv)
+{
+    AnalyzeOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            const std::string v = value();
+            opts.workloads =
+                v == "all" ? workloadNames() : splitCsvList(v);
+        } else if (arg == "--config") {
+            opts.configs = splitCsvList(value());
+        } else if (arg == "--ops") {
+            opts.ops = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--ops", 1, 100000000));
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--threads", 1, 4096));
+        } else if (arg == "--retries") {
+            opts.retries = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--retries", 0, 1000000));
+        } else if (arg == "--scale") {
+            opts.scale = static_cast<unsigned>(parseUnsignedOrDie(
+                value().c_str(), "--scale", 1, 1000000));
+        } else if (arg == "--seed") {
+            opts.seed = parseUnsignedOrDie(
+                value().c_str(), "--seed", 0,
+                std::numeric_limits<std::uint64_t>::max());
+        } else if (arg == "--json") {
+            opts.jsonPath = value();
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            usage();
+        }
+    }
+    return opts;
+}
+
+void
+validateSelections(const AnalyzeOptions &opts)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    for (const std::string &spec : opts.configs) {
+        SystemConfig cfg;
+        std::string error;
+        if (!reg.tryMake(spec, cfg, error)) {
+            std::fprintf(stderr,
+                         "clearsim_analyze: --config %s: %s\n",
+                         spec.c_str(), error.c_str());
+            std::exit(2);
+        }
+    }
+    const std::vector<std::string> known = workloadNames();
+    for (const std::string &w : opts.workloads) {
+        if (std::find(known.begin(), known.end(), w) ==
+            known.end()) {
+            std::fprintf(stderr,
+                         "clearsim_analyze: unknown workload '%s'\n",
+                         w.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const AnalyzeOptions opts = parseArgs(argc, argv);
+    validateSelections(opts);
+
+    std::vector<AnalysisResult> analyses;
+    for (const std::string &workload : opts.workloads) {
+        for (const std::string &config : opts.configs) {
+            AnalyzeRequest request;
+            request.config = config;
+            request.workload = workload;
+            request.maxRetries = opts.retries;
+            request.params.threads = opts.threads;
+            request.params.opsPerThread = opts.ops;
+            request.params.scale = opts.scale;
+            request.params.seed = opts.seed;
+
+            AnalyzeOutcome outcome = analyzeWorkload(request);
+            if (!opts.quiet)
+                writeAnalysisTable(std::cout, outcome.analysis);
+            analyses.push_back(std::move(outcome.analysis));
+        }
+    }
+
+    if (!opts.jsonPath.empty()) {
+        std::string error;
+        if (!writeAnalysisJson(opts.jsonPath, analyses, error))
+            fatal("--json: %s", error.c_str());
+        logStatus("[clearsim] wrote %llu analyses to %s",
+                  static_cast<unsigned long long>(analyses.size()),
+                  opts.jsonPath.c_str());
+    }
+    return 0;
+}

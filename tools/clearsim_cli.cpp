@@ -54,6 +54,8 @@ struct CliOptions
     bool trace = false;
     bool profile = false;
     bool stats = false;
+    bool analyze = false;
+    std::string analysisJsonPath;
     std::string statsJsonPath;
     std::string traceOutPath;
     std::string traceFormat = "jsonl";
@@ -88,6 +90,10 @@ usage()
         "  --scale <n>      data-structure scale factor (default 1)\n"
         "  --seed <n>       master seed (default 42)\n"
         "  --csv            machine-readable output\n"
+        "  --analyze        static region analysis instead of a\n"
+        "                   measurement run (verdict table)\n"
+        "  --analysis-json <f>  write clearsim-analysis-v1 to <f>\n"
+        "                   (implies --analyze)\n"
         "  --stats          per-run stats report to stderr\n"
         "  --stats-json <f> write clearsim-stats-v1 JSON to <f>\n"
         "  --trace          human-readable trace to stderr\n"
@@ -206,6 +212,11 @@ parseArgs(int argc, char **argv)
             opts.profile = true;
         } else if (arg == "--stats") {
             opts.stats = true;
+        } else if (arg == "--analyze") {
+            opts.analyze = true;
+        } else if (arg == "--analysis-json") {
+            opts.analyze = true;
+            opts.analysisJsonPath = value();
         } else if (arg == "--stats-json") {
             opts.statsJsonPath = value();
         } else if (arg == "--trace-out") {
@@ -239,6 +250,38 @@ main(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
     validateCliSelections(opts);
+
+    if (opts.analyze) {
+        // Analysis mode: capture runs + static passes, no
+        // measurement table.
+        std::vector<AnalysisResult> analyses;
+        for (const std::string &workload : opts.workloads) {
+            for (const std::string &config : opts.configs) {
+                AnalyzeRequest request;
+                request.config = config;
+                request.workload = workload;
+                request.maxRetries = opts.retries;
+                request.params.threads = opts.threads;
+                request.params.opsPerThread = opts.ops;
+                request.params.scale = opts.scale;
+                request.params.seed = opts.seed;
+                AnalyzeOutcome outcome = analyzeWorkload(request);
+                writeAnalysisTable(std::cout, outcome.analysis);
+                analyses.push_back(std::move(outcome.analysis));
+            }
+        }
+        if (!opts.analysisJsonPath.empty()) {
+            std::string error;
+            if (!writeAnalysisJson(opts.analysisJsonPath, analyses,
+                                   error))
+                fatal("--analysis-json: %s", error.c_str());
+            logStatus("[clearsim] wrote %llu analyses to %s",
+                      static_cast<unsigned long long>(
+                          analyses.size()),
+                      opts.analysisJsonPath.c_str());
+        }
+        return 0;
+    }
 
     if (opts.csv) {
         std::printf("workload,config,retries,seed,cycles,commits,"
