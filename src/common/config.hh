@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "fault/fault_config.hh"
 
 namespace clearsim
 {
@@ -173,6 +174,14 @@ struct SystemConfig
     ClearConfig clear;
 
     HtmTimingConfig timing;
+
+    /**
+     * Fault-injection plan (fault/fault_config.hh). The default plan
+     * injects nothing; System only builds a FaultInjector when
+     * fault.anyActive(), so disabled fault injection is
+     * cycle-identical to pre-fault-layer builds.
+     */
+    FaultConfig fault;
 
     /**
      * Measurement-only mode: keep executing after a conflict so the

@@ -41,6 +41,10 @@ traceKindName(TraceKind kind)
         return "fallback-released";
       case TraceKind::BackoffWait:
         return "backoff";
+      case TraceKind::FaultDelay:
+        return "fault-delay";
+      case TraceKind::FaultVerdict:
+        return "fault-verdict";
     }
     return "?";
 }
@@ -99,6 +103,32 @@ backoffWaitName(BackoffWaitKind wait)
     return "?";
 }
 
+const char *
+faultKindName(FaultKind fault)
+{
+    switch (fault) {
+      case FaultKind::EventJitter:
+        return "event-jitter";
+      case FaultKind::SpuriousNack:
+        return "spurious-nack";
+      case FaultKind::SpuriousRetry:
+        return "spurious-retry";
+      case FaultKind::RetryDelay:
+        return "retry-delay";
+      case FaultKind::GrantDefer:
+        return "grant-defer";
+      case FaultKind::SharerEvict:
+        return "sharer-evict";
+      case FaultKind::ForcedAbort:
+        return "forced-abort";
+      case FaultKind::ConflictFlip:
+        return "conflict-flip";
+      case FaultKind::FallbackHold:
+        return "fallback-hold";
+    }
+    return "?";
+}
+
 bool
 traceKindFromName(const char *name, TraceKind &kind)
 {
@@ -149,6 +179,20 @@ backoffWaitFromName(const char *name, BackoffWaitKind &wait)
             static_cast<BackoffWaitKind>(w);
         if (std::strcmp(name, backoffWaitName(candidate)) == 0) {
             wait = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+faultKindFromName(const char *name, FaultKind &fault)
+{
+    for (unsigned f = 0;
+         f <= static_cast<unsigned>(FaultKind::FallbackHold); ++f) {
+        const FaultKind candidate = static_cast<FaultKind>(f);
+        if (std::strcmp(name, faultKindName(candidate)) == 0) {
+            fault = candidate;
             return true;
         }
     }

@@ -77,10 +77,16 @@ enum class TraceKind : std::uint8_t
     // --- waits (policy layer decisions, charged by the executor) ---
     /** A backoff wait was charged (payload: which wait, cycles). */
     BackoffWait,
+
+    // --- fault injection (fault layer) ---
+    /** An injected fault delayed something (payload: kind, cycles). */
+    FaultDelay,
+    /** An injected fault altered a protocol decision. */
+    FaultVerdict,
 };
 
 /** Number of TraceKind values, for array-indexed aggregation. */
-constexpr unsigned kNumTraceKinds = 16;
+constexpr unsigned kNumTraceKinds = 18;
 
 /** Which of the three BackoffPolicy waits a BackoffWait event is. */
 enum class BackoffWaitKind : std::uint8_t
@@ -150,11 +156,44 @@ struct AbortPayload
     LineAddr line = 0;
 };
 
+/** Which fault class an injected fault belongs to. */
+enum class FaultKind : std::uint8_t
+{
+    /** Scheduled event delayed by a random jitter. */
+    EventJitter,
+    /** Free-line lock check answered with a spurious NACK. */
+    SpuriousNack,
+    /** Free-line lock check answered with a spurious Retry. */
+    SpuriousRetry,
+    /** Extra delay added to a lock-retry backoff. */
+    RetryDelay,
+    /** A lock-release wakeup was deferred ("lost" grant). */
+    GrantDefer,
+    /** A directory sharer bit was spuriously evicted. */
+    SharerEvict,
+    /** A transactional access was forced to abort. */
+    ForcedAbort,
+    /** A conflict verdict was flipped against the requester. */
+    ConflictFlip,
+    /** The fallback lock hold was extended. */
+    FallbackHold,
+};
+
+/** Payload of FaultDelay / FaultVerdict. */
+struct FaultPayload
+{
+    FaultKind fault = FaultKind::EventJitter;
+    /** Affected cacheline, or 0 when none applies. */
+    LineAddr line = 0;
+    /** Injected delay in cycles (FaultDelay only). */
+    Cycle cycles = 0;
+};
+
 /** The per-kind detail of a trace event. */
 using TracePayload =
     std::variant<std::monostate, LockPayload, DirSetPayload,
                  InvalidatePayload, ConflictPayload, FallbackPayload,
-                 BackoffPayload, AbortPayload>;
+                 BackoffPayload, AbortPayload, FaultPayload>;
 
 /** One trace record. */
 struct TraceEvent
@@ -237,6 +276,9 @@ const char *abortReasonName(AbortReason reason);
 /** Short name of a backoff wait ("retry", "lock-retry", "spin"). */
 const char *backoffWaitName(BackoffWaitKind wait);
 
+/** Short name of a fault kind ("event-jitter", "forced-abort", ...). */
+const char *faultKindName(FaultKind fault);
+
 /** Parse a kind name back to the enum; false if unknown. */
 bool traceKindFromName(const char *name, TraceKind &kind);
 
@@ -248,6 +290,9 @@ bool abortReasonFromName(const char *name, AbortReason &reason);
 
 /** Parse a backoff-wait name back to the enum; false if unknown. */
 bool backoffWaitFromName(const char *name, BackoffWaitKind &wait);
+
+/** Parse a fault-kind name back to the enum; false if unknown. */
+bool faultKindFromName(const char *name, FaultKind &fault);
 
 } // namespace clearsim
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 
 namespace clearsim
 {
@@ -726,6 +727,15 @@ RegionExecutor::runFallback()
     } catch (const TxAbort &) {
     }
     CLEARSIM_ASSERT(committed, "fallback execution must commit");
+
+    // Fault seam: stretch the fallback hold, turning every waiter
+    // into a convoy (the paper's worst case for subscribers).
+    if (FaultInjector *faults = sys_.faults()) {
+        const Cycle extra = faults->extendFallbackHold(core_);
+        if (extra != 0)
+            co_await delayFor(sys_.queue(), extra);
+    }
+
     sys_.fallback().releaseWrite(core_);
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "core/region_executor.hh"
+#include "fault/fault_injector.hh"
+#include "fault/invariant_checker.hh"
 
 namespace clearsim
 {
@@ -31,6 +33,29 @@ System::System(const SystemConfig &cfg, std::uint64_t seed)
         executors_.push_back(std::make_unique<RegionExecutor>(
             *this, static_cast<CoreId>(c)));
     }
+
+    if (cfg.fault.anyActive()) {
+        faults_ = std::make_unique<FaultInjector>(cfg.fault);
+        faults_->bindQueue(&queue_);
+        queue_.setPerturber([this] {
+            return faults_->perturbSchedule();
+        });
+        mem_.locks().setWakeDeliverer(
+            [this](LockManager::WakeCallback cb) {
+                faults_->deliverWake(std::move(cb));
+            });
+        conflicts_.setFaults(faults_.get());
+        for (auto &tx : txs_)
+            tx->setFaults(faults_.get());
+    }
+
+    if (cfg.fault.watchdog) {
+        checker_ = std::make_unique<InvariantChecker>(cfg_);
+        checker_->attachLocks(&mem_.locks());
+        // Activate the tracer now so the checker taps every event
+        // even before (or without) a user sink.
+        applySink();
+    }
 }
 
 System::~System() = default;
@@ -38,7 +63,34 @@ System::~System() = default;
 void
 System::setTraceSink(TraceSink sink)
 {
-    tracer_.setSink(std::move(sink));
+    userSink_ = std::move(sink);
+    applySink();
+}
+
+void
+System::applySink()
+{
+    // The invariant checker taps the stream ahead of any user sink;
+    // it never mutates the event, so the user sees exactly what the
+    // checker saw.
+    TraceSink effective;
+    if (checker_ != nullptr) {
+        InvariantChecker *checker = checker_.get();
+        if (userSink_) {
+            TraceSink user = userSink_;
+            effective = [checker, user](const TraceEvent &event) {
+                checker->onTrace(event);
+                user(event);
+            };
+        } else {
+            effective = [checker](const TraceEvent &event) {
+                checker->onTrace(event);
+            };
+        }
+    } else {
+        effective = userSink_;
+    }
+    tracer_.setSink(std::move(effective));
     tracer_.bindClock(queue_.nowPtr());
 
     // Attach (or detach) the component layers: they see a non-null
@@ -49,6 +101,8 @@ System::setTraceSink(TraceSink sink)
     mem_.directory().attachTracer(t);
     conflicts_.attachTracer(t);
     fallback_->attachTracer(t);
+    if (faults_ != nullptr)
+        faults_->attachTracer(t);
 }
 
 void
@@ -77,7 +131,22 @@ System::runRegion(CoreId core, RegionPc pc, BodyFn body)
 Cycle
 System::runToCompletion(Cycle limit)
 {
-    queue_.run(limit);
+    if (checker_ == nullptr) {
+        queue_.run(limit);
+    } else {
+        // Step one event at a time so the watchdog can observe
+        // progress (and raise a violation) at event granularity
+        // instead of only after the queue drains.
+        while (!queue_.empty() && queue_.nextCycle() <= limit) {
+            queue_.runOne();
+            checker_->afterEvent(queue_.now(), !queue_.empty());
+            if (checker_->violated())
+                checker_->raise();
+        }
+        checker_->atEnd(queue_.now());
+        if (checker_->violated())
+            checker_->raise();
+    }
     if (!queue_.empty())
         fatal("simulation exceeded the cycle limit (%llu)",
               static_cast<unsigned long long>(limit));

@@ -37,6 +37,8 @@
 namespace clearsim
 {
 
+class FaultInjector;
+class InvariantChecker;
 class RegionExecutor;
 
 /** A factory invoked once per execution attempt of an AR body. */
@@ -89,6 +91,24 @@ class System
     bool tracing() const { return tracer_.active(); }
 
     /**
+     * The fault injector, or nullptr when the configuration's fault
+     * plan is inactive. Seam sites (lock manager, TxContext,
+     * conflict manager, region executor) hold this pointer and pay
+     * one branch when it is null, mirroring the Tracer discipline —
+     * a run without faults is cycle-identical to a pre-fault build.
+     */
+    FaultInjector *faults() { return faults_.get(); }
+
+    /**
+     * The invariant checker + watchdog, or nullptr unless
+     * fault.watchdog is set. When installed, it taps the trace
+     * stream (before any user sink) and is stepped after every
+     * event by runToCompletion(), which throws
+     * InvariantViolationError on a latched violation.
+     */
+    InvariantChecker *checker() { return checker_.get(); }
+
+    /**
      * Install (or clear, with nullptr) the region-record sink on
      * every core's TxContext. While installed, each body operation
      * of every attempt is lifted into the analysis IR
@@ -121,6 +141,9 @@ class System
     Cycle runToCompletion(Cycle limit = kNoCycle);
 
   private:
+    /** Re-derive the effective sink (checker tap + user sink). */
+    void applySink();
+
     SystemConfig cfg_;
     PolicySet policies_;
     EventQueue queue_;
@@ -136,6 +159,10 @@ class System
     std::vector<Ert> erts_;
     std::vector<Crt> crts_;
     std::vector<std::unique_ptr<RegionExecutor>> executors_;
+    std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<InvariantChecker> checker_;
+    /** The externally installed sink, kept apart from the tap. */
+    TraceSink userSink_;
 };
 
 } // namespace clearsim

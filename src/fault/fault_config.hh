@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fault-injection configuration.
+ *
+ * A FaultConfig is the declarative half of a fault plan: a set of
+ * per-seam probabilities (expressed in permille so the ConfigRegistry
+ * integer grammar can carry them) and magnitudes, plus the dedicated
+ * fault seed. The FaultInjector (fault/fault_injector.hh) is the
+ * executable half; it draws every decision from an Rng seeded by
+ * `seed` alone, so a run is replayable from (config spec, fault.seed)
+ * with no wall-clock or address-dependent state.
+ *
+ * This header is header-only and depends only on common/types.hh so
+ * that common/config.hh can embed a FaultConfig in SystemConfig
+ * without a link-time dependency on the fault library (the same
+ * layering trick common/trace.hh uses with htm/htm_types.hh).
+ */
+
+#ifndef CLEARSIM_FAULT_FAULT_CONFIG_HH
+#define CLEARSIM_FAULT_FAULT_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+/**
+ * Declarative fault plan. All probabilities are permille (0..1000);
+ * a value of 0 disables that fault class. The default-constructed
+ * plan injects nothing, and System only instantiates a FaultInjector
+ * when anyActive() is true, so the zero plan is bit-identical to a
+ * build without the fault layer.
+ */
+struct FaultConfig
+{
+    /**
+     * Seed of the dedicated fault Rng stream. Kept separate from the
+     * workload seed so the same workload randomness can be replayed
+     * under different fault schedules and vice versa.
+     */
+    std::uint64_t seed = 0;
+
+    // --- event queue seam (sim/event_queue) ---
+
+    /** Permille of scheduled events delayed by a random jitter. */
+    unsigned eventJitterPermille = 0;
+
+    /** Maximum jitter, in cycles, added to a perturbed event. */
+    Cycle eventJitterMax = 0;
+
+    // --- memory seam (mem/lock_manager + mem/directory) ---
+
+    /** Permille of free-line lock checks turned into spurious NACKs
+     *  (only where the requester is abortable). */
+    unsigned nackPermille = 0;
+
+    /** Permille of free-line lock checks turned into spurious Retry
+     *  responses (a delayed directory retry). */
+    unsigned retryPermille = 0;
+
+    /** Maximum extra delay, in cycles, added to a lock-retry wait. */
+    Cycle retryDelayExtraMax = 0;
+
+    /** Permille of lock-release wakeups deferred ("lost" grants that
+     *  are re-delivered after grantDeferMax cycles at most). */
+    unsigned grantDeferPermille = 0;
+
+    /** Maximum deferral, in cycles, of a deferred lock grant. */
+    Cycle grantDeferMax = 0;
+
+    /** Permille of directory reads that spuriously evict the
+     *  requester's sharer bit again (forces a re-fetch next time). */
+    unsigned evictPermille = 0;
+
+    // --- HTM seam (htm/tx_context + htm/conflict_manager) ---
+
+    /** Permille of transactional accesses that force an abort of the
+     *  running attempt (only in abortable modes). */
+    unsigned forcedAbortPermille = 0;
+
+    /** Permille of conflict verdicts adversarially flipped so the
+     *  requester loses where it would have won. */
+    unsigned conflictFlipPermille = 0;
+
+    /** Extra cycles the fallback path holds the fallback lock. */
+    Cycle fallbackHoldExtra = 0;
+
+    // --- watchdog (fault/invariant_checker) ---
+
+    /** Install the InvariantChecker + watchdog for this run. */
+    bool watchdog = false;
+
+    /**
+     * Progress horizon, in cycles: the watchdog reports a livelock
+     * if no region commits for this long while work is pending.
+     */
+    Cycle horizon = 2'000'000;
+
+    /** True when any fault class can fire. */
+    bool
+    anyActive() const
+    {
+        return eventJitterPermille != 0 || nackPermille != 0 ||
+               retryPermille != 0 || grantDeferPermille != 0 ||
+               evictPermille != 0 || forcedAbortPermille != 0 ||
+               conflictFlipPermille != 0 || fallbackHoldExtra != 0;
+    }
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_FAULT_FAULT_CONFIG_HH

@@ -1,0 +1,159 @@
+#include "fault/fault_injector.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+#include "sim/event_queue.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/**
+ * Expand the user-visible fault seed into the injector stream. The
+ * constant keeps seed 0 (the default) from colliding with the
+ * workload Rng's default stream.
+ */
+constexpr std::uint64_t kFaultSeedSalt = 0xfa017d5eed000001ull;
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed ^ kFaultSeedSalt)
+{
+}
+
+bool
+FaultInjector::chance(unsigned permille)
+{
+    if (permille == 0)
+        return false;
+    return rng_.nextBelow(1000) < permille;
+}
+
+Cycle
+FaultInjector::magnitude(Cycle max)
+{
+    if (max == 0)
+        return 0;
+    return 1 + rng_.nextBelow(max);
+}
+
+void
+FaultInjector::note(TraceKind kind, FaultKind fault, CoreId core,
+                    LineAddr line, Cycle cycles)
+{
+    ++counts_[static_cast<unsigned>(fault)];
+    if (tracer_)
+        tracer_->emitAt(kind, core, FaultPayload{fault, line, cycles});
+}
+
+Cycle
+FaultInjector::perturbSchedule()
+{
+    if (!chance(cfg_.eventJitterPermille))
+        return 0;
+    const Cycle jitter = magnitude(cfg_.eventJitterMax);
+    if (jitter != 0) {
+        note(TraceKind::FaultDelay, FaultKind::EventJitter, kNoCore, 0,
+             jitter);
+    }
+    return jitter;
+}
+
+FaultInjector::FreeResponse
+FaultInjector::perturbFreeResponse(LineAddr line, CoreId core,
+                                   bool nackable)
+{
+    if (nackable && chance(cfg_.nackPermille)) {
+        note(TraceKind::FaultVerdict, FaultKind::SpuriousNack, core,
+             line, 0);
+        return FreeResponse::Nack;
+    }
+    if (chance(cfg_.retryPermille)) {
+        note(TraceKind::FaultVerdict, FaultKind::SpuriousRetry, core,
+             line, 0);
+        return FreeResponse::Retry;
+    }
+    return FreeResponse::Keep;
+}
+
+Cycle
+FaultInjector::extraRetryDelay(LineAddr line, CoreId core)
+{
+    if (cfg_.retryDelayExtraMax == 0)
+        return 0;
+    const Cycle extra = magnitude(cfg_.retryDelayExtraMax);
+    note(TraceKind::FaultDelay, FaultKind::RetryDelay, core, line,
+         extra);
+    return extra;
+}
+
+void
+FaultInjector::deliverWake(std::function<void()> wake)
+{
+    if (queue_ != nullptr && chance(cfg_.grantDeferPermille)) {
+        const Cycle defer = magnitude(cfg_.grantDeferMax);
+        if (defer != 0) {
+            note(TraceKind::FaultDelay, FaultKind::GrantDefer, kNoCore,
+                 0, defer);
+            queue_->scheduleAfter(defer, std::move(wake));
+            return;
+        }
+    }
+    wake();
+}
+
+bool
+FaultInjector::dropSharerAfterRead(LineAddr line, CoreId core)
+{
+    if (!chance(cfg_.evictPermille))
+        return false;
+    note(TraceKind::FaultVerdict, FaultKind::SharerEvict, core, line,
+         0);
+    return true;
+}
+
+bool
+FaultInjector::forceAbort(LineAddr line, CoreId core)
+{
+    if (!chance(cfg_.forcedAbortPermille))
+        return false;
+    note(TraceKind::FaultVerdict, FaultKind::ForcedAbort, core, line,
+         0);
+    return true;
+}
+
+bool
+FaultInjector::flipVerdict(LineAddr line, CoreId requester)
+{
+    if (!chance(cfg_.conflictFlipPermille))
+        return false;
+    note(TraceKind::FaultVerdict, FaultKind::ConflictFlip, requester,
+         line, 0);
+    return true;
+}
+
+Cycle
+FaultInjector::extendFallbackHold(CoreId core)
+{
+    if (cfg_.fallbackHoldExtra == 0)
+        return 0;
+    const Cycle extra = magnitude(cfg_.fallbackHoldExtra);
+    note(TraceKind::FaultDelay, FaultKind::FallbackHold, core, 0,
+         extra);
+    return extra;
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t count : counts_)
+        total += count;
+    return total;
+}
+
+} // namespace clearsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The deterministic fault injector.
+ *
+ * One FaultInjector per System, constructed only when the run's
+ * FaultConfig has any active fault class, draws every injection
+ * decision from a private xoshiro256** stream seeded purely by
+ * `fault.seed`. Because the simulation is single-threaded and
+ * event-ordered, the sequence of decision points — and therefore the
+ * whole fault schedule — is a pure function of (config spec,
+ * fault.seed): no wall clock, no addresses, no global state.
+ *
+ * The injector perturbs three protocol-critical seams:
+ *
+ *  - event queue: bounded random delay of scheduled events
+ *    (EventQueue::setPerturber -> perturbSchedule());
+ *  - memory system: spurious NACK/Retry responses on free lines,
+ *    stretched lock-retry backoffs, deferred ("lost then
+ *    re-delivered") lock-grant wakeups, spurious directory sharer
+ *    evictions;
+ *  - HTM: forced aborts of abortable attempts, adversarially
+ *    flipped conflict verdicts, extended fallback-lock holds.
+ *
+ * Liveness is preserved by construction: grants are deferred, never
+ * dropped; NACKs are only injected where the protocol allows an
+ * abort; forced aborts never target the must-commit modes (NS-CL,
+ * fallback). Every injected fault is traced as FaultDelay or
+ * FaultVerdict so the JSONL trace shows the complete schedule.
+ */
+
+#ifndef CLEARSIM_FAULT_FAULT_INJECTOR_HH
+#define CLEARSIM_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hh"
+#include "common/trace.hh"
+#include "common/types.hh"
+#include "fault/fault_config.hh"
+
+namespace clearsim
+{
+
+class EventQueue;
+
+/** Number of FaultKind values, for array-indexed counters. */
+constexpr unsigned kNumFaultKinds = 9;
+
+/** Seed-driven fault source; see file comment for the seam map. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg);
+
+    /** Report injections through t (null = silent). */
+    void attachTracer(const Tracer *t) { tracer_ = t; }
+
+    /** Bind the queue used to re-deliver deferred lock grants. */
+    void bindQueue(EventQueue *queue) { queue_ = queue; }
+
+    // --- seam: sim/event_queue ---
+
+    /**
+     * Jitter, in cycles, to add to the event being scheduled
+     * (0 = unperturbed). Installed as the queue's perturber.
+     */
+    Cycle perturbSchedule();
+
+    // --- seam: mem/lock_manager ---
+
+    /** How perturbFreeResponse() altered a Free classification. */
+    enum class FreeResponse
+    {
+        Keep,  ///< no fault: the line really is free
+        Nack,  ///< answer with a spurious NACK
+        Retry, ///< answer with a spurious Retry
+    };
+
+    /**
+     * Possibly turn a Free lock classification into a spurious
+     * NACK or Retry. Nack is only injected when the requester is
+     * nackable (abortable); Retry is always safe because every
+     * retry loop re-checks the line state.
+     */
+    FreeResponse perturbFreeResponse(LineAddr line, CoreId core,
+                                     bool nackable);
+
+    /** Extra cycles to add to a lock-retry backoff (0 = none). */
+    Cycle extraRetryDelay(LineAddr line, CoreId core);
+
+    /**
+     * Deliver a lock-grant wakeup, possibly deferring it by a
+     * bounded random delay (a "lost" grant that is re-delivered).
+     * Immediate delivery calls wake() synchronously, exactly like
+     * the unperturbed lock manager.
+     */
+    void deliverWake(std::function<void()> wake);
+
+    // --- seam: mem/directory ---
+
+    /** Spuriously evict the reader's sharer bit after a read? */
+    bool dropSharerAfterRead(LineAddr line, CoreId core);
+
+    // --- seam: htm/tx_context + htm/conflict_manager + executor ---
+
+    /** Force the running (abortable) attempt to abort here? */
+    bool forceAbort(LineAddr line, CoreId core);
+
+    /**
+     * Flip a conflict verdict the requester would have won into a
+     * requester-loses verdict (only offered where the requester can
+     * lose, i.e. is abortable).
+     */
+    bool flipVerdict(LineAddr line, CoreId requester);
+
+    /** Extra cycles to hold the fallback lock (0 = none). */
+    Cycle extendFallbackHold(CoreId core);
+
+    // --- accounting ---
+
+    /** Number of injections of one fault kind so far. */
+    std::uint64_t
+    injected(FaultKind fault) const
+    {
+        return counts_[static_cast<unsigned>(fault)];
+    }
+
+    /** Total injections across all fault kinds. */
+    std::uint64_t totalInjected() const;
+
+    const FaultConfig &config() const { return cfg_; }
+
+  private:
+    /** Bernoulli draw in permille; permille == 0 draws nothing. */
+    bool chance(unsigned permille);
+
+    /** Uniform delay in [1, max]; max == 0 yields 0. */
+    Cycle magnitude(Cycle max);
+
+    /** Count and trace one injection. */
+    void note(TraceKind kind, FaultKind fault, CoreId core,
+              LineAddr line, Cycle cycles);
+
+    FaultConfig cfg_;
+    Rng rng_;
+    const Tracer *tracer_ = nullptr;
+    EventQueue *queue_ = nullptr;
+    std::uint64_t counts_[kNumFaultKinds] = {};
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,48 @@
+#include "fault/fault_plans.hh"
+
+namespace clearsim
+{
+
+const std::vector<FaultPlanInfo> &
+faultPlans()
+{
+    static const std::vector<FaultPlanInfo> plans = {
+        {"faults-nack-storm",
+         "spurious NACK/Retry storm on the lock manager"},
+        {"faults-delay-jitter",
+         "event jitter plus deferred lock grants"},
+        {"faults-forced-abort",
+         "forced aborts, flipped verdicts, fallback convoys"},
+    };
+    return plans;
+}
+
+bool
+applyFaultPlan(const std::string &name, FaultConfig &cfg)
+{
+    if (name == "faults-nack-storm") {
+        cfg.nackPermille = 80;
+        cfg.retryPermille = 120;
+        cfg.retryDelayExtraMax = 200;
+        cfg.watchdog = true;
+        return true;
+    }
+    if (name == "faults-delay-jitter") {
+        cfg.eventJitterPermille = 300;
+        cfg.eventJitterMax = 64;
+        cfg.grantDeferPermille = 200;
+        cfg.grantDeferMax = 300;
+        cfg.watchdog = true;
+        return true;
+    }
+    if (name == "faults-forced-abort") {
+        cfg.forcedAbortPermille = 15;
+        cfg.conflictFlipPermille = 50;
+        cfg.fallbackHoldExtra = 500;
+        cfg.watchdog = true;
+        return true;
+    }
+    return false;
+}
+
+} // namespace clearsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Canned fault plans.
+ *
+ * Three named presets cover the stress axes the paper's hardest
+ * cases live on (NACK storms, timing races, abort storms). Each is
+ * exposed as a ConfigRegistry modifier (`C+faults-nack-storm`) and
+ * sets the corresponding FaultConfig knobs plus the watchdog, so a
+ * fault run is self-checking by default. All plans preserve
+ * liveness by construction — the CI fault-matrix job asserts zero
+ * invariant violations under every plan.
+ */
+
+#ifndef CLEARSIM_FAULT_FAULT_PLANS_HH
+#define CLEARSIM_FAULT_FAULT_PLANS_HH
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_config.hh"
+
+namespace clearsim
+{
+
+/** A canned plan: registry modifier name + one-line description. */
+struct FaultPlanInfo
+{
+    const char *name;
+    const char *description;
+};
+
+/** The canned plans, in registration order. */
+const std::vector<FaultPlanInfo> &faultPlans();
+
+/**
+ * Apply a canned plan's knobs (and enable the watchdog) on cfg.
+ * @retval false if name is not a canned plan
+ */
+bool applyFaultPlan(const std::string &name, FaultConfig &cfg);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_FAULT_FAULT_PLANS_HH

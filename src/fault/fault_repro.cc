@@ -1,0 +1,123 @@
+#include "fault/fault_repro.hh"
+
+#include <cstdlib>
+
+namespace clearsim
+{
+
+namespace
+{
+
+bool
+parseUnsigned(const std::string &value, std::uint64_t &out)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+std::string
+makeReproString(const ReproSpec &spec)
+{
+    std::string text = "repro{workload=";
+    text += spec.workload;
+    text += ";config=";
+    text += spec.config;
+    text += ";threads=" + std::to_string(spec.threads);
+    text += ";ops=" + std::to_string(spec.ops);
+    text += ";scale=" + std::to_string(spec.scale);
+    text += ";seed=" + std::to_string(spec.seed);
+    text += "}";
+    return text;
+}
+
+bool
+parseReproString(const std::string &text, ReproSpec &out,
+                 std::string *error)
+{
+    const std::string prefix = "repro{";
+    if (text.size() < prefix.size() + 1 ||
+        text.compare(0, prefix.size(), prefix) != 0 ||
+        text.back() != '}') {
+        if (error != nullptr)
+            *error = "not a repro{...} string";
+        return false;
+    }
+    const std::string body = text.substr(
+        prefix.size(), text.size() - prefix.size() - 1);
+
+    ReproSpec spec;
+    bool haveWorkload = false;
+    bool haveConfig = false;
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        std::size_t end = body.find(';', pos);
+        if (end == std::string::npos)
+            end = body.size();
+        const std::string field = body.substr(pos, end - pos);
+        pos = end + 1;
+        if (field.empty())
+            continue;
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            if (error != nullptr)
+                *error = "field without '=': " + field;
+            return false;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        std::uint64_t number = 0;
+        if (key == "workload") {
+            spec.workload = value;
+            haveWorkload = true;
+        } else if (key == "config") {
+            spec.config = value;
+            haveConfig = true;
+        } else if (key == "threads") {
+            if (!parseUnsigned(value, number)) {
+                if (error != nullptr)
+                    *error = "bad threads value: " + value;
+                return false;
+            }
+            spec.threads = static_cast<unsigned>(number);
+        } else if (key == "ops") {
+            if (!parseUnsigned(value, number)) {
+                if (error != nullptr)
+                    *error = "bad ops value: " + value;
+                return false;
+            }
+            spec.ops = static_cast<unsigned>(number);
+        } else if (key == "scale") {
+            if (!parseUnsigned(value, number)) {
+                if (error != nullptr)
+                    *error = "bad scale value: " + value;
+                return false;
+            }
+            spec.scale = static_cast<unsigned>(number);
+        } else if (key == "seed") {
+            if (!parseUnsigned(value, number)) {
+                if (error != nullptr)
+                    *error = "bad seed value: " + value;
+                return false;
+            }
+            spec.seed = number;
+        } else {
+            if (error != nullptr)
+                *error = "unknown repro field: " + key;
+            return false;
+        }
+    }
+    if (!haveWorkload || !haveConfig) {
+        if (error != nullptr)
+            *error = "repro string missing workload or config";
+        return false;
+    }
+    out = spec;
+    return true;
+}
+
+} // namespace clearsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Repro strings: the minimized, self-contained description of one
+ * simulated run.
+ *
+ * A violation report must let a human (or a test) re-create the
+ * exact failing run. Because every run is a pure function of the
+ * config spec (which carries the fault plan and fault.seed) plus
+ * the workload parameters, the repro string is just those fields:
+ *
+ *   repro{workload=genome;config=C+faults-nack-storm:fault.seed=7;
+ *         threads=8;ops=16;scale=1;seed=42}
+ *
+ * parseReproString() is the exact inverse of makeReproString(), so
+ * the death-style watchdog tests replay the violation from the
+ * string alone.
+ */
+
+#ifndef CLEARSIM_FAULT_FAULT_REPRO_HH
+#define CLEARSIM_FAULT_FAULT_REPRO_HH
+
+#include <cstdint>
+#include <string>
+
+namespace clearsim
+{
+
+/** The fields of a repro string. */
+struct ReproSpec
+{
+    std::string workload;
+    /** Full ConfigRegistry spec, fault plan and seed included. */
+    std::string config;
+    unsigned threads = 0;
+    unsigned ops = 0;
+    unsigned scale = 1;
+    std::uint64_t seed = 0;
+};
+
+/** Render spec as a repro string. */
+std::string makeReproString(const ReproSpec &spec);
+
+/**
+ * Parse a repro string produced by makeReproString().
+ * @retval false on malformed input; *error names the problem
+ */
+bool parseReproString(const std::string &text, ReproSpec &out,
+                      std::string *error);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_FAULT_FAULT_REPRO_HH

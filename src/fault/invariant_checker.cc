@@ -1,0 +1,305 @@
+#include "fault/invariant_checker.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "mem/lock_manager.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** Ring capacity: enough context to see a violation's run-up. */
+constexpr std::size_t kRingCapacity = 48;
+
+/** Events between two periodic lock-state audits. */
+constexpr std::uint64_t kAuditInterval = 1024;
+
+std::string
+formatEvent(const TraceEvent &event)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "[%12" PRIu64 "] core=%-3u %-17s mode=%-8s",
+                  static_cast<std::uint64_t>(event.cycle),
+                  static_cast<unsigned>(event.core),
+                  traceKindName(event.kind), execModeName(event.mode));
+    std::string line = buf;
+    if (event.reason != AbortReason::None) {
+        line += " reason=";
+        line += abortReasonName(event.reason);
+    }
+    if (const auto *lock = std::get_if<LockPayload>(&event.payload)) {
+        std::snprintf(buf, sizeof buf, " line=%" PRIu64,
+                      static_cast<std::uint64_t>(lock->line));
+        line += buf;
+    } else if (const auto *fault =
+                   std::get_if<FaultPayload>(&event.payload)) {
+        std::snprintf(buf, sizeof buf, " fault=%s line=%" PRIu64
+                      " cycles=%" PRIu64,
+                      faultKindName(fault->fault),
+                      static_cast<std::uint64_t>(fault->line),
+                      static_cast<std::uint64_t>(fault->cycles));
+        line += buf;
+    }
+    return line;
+}
+
+} // namespace
+
+InvariantChecker::InvariantChecker(const SystemConfig &cfg)
+    : cfg_(cfg), cores_(cfg.numCores)
+{
+}
+
+void
+InvariantChecker::flag(const char *invariant, std::string detail)
+{
+    if (violated())
+        return;
+    invariant_ = invariant;
+    detail_ = std::move(detail);
+}
+
+void
+InvariantChecker::onTrace(const TraceEvent &event)
+{
+    ++seenEvents_;
+    if (ring_.size() == kRingCapacity)
+        ring_.pop_front();
+    ring_.push_back(event);
+    if (violated())
+        return;
+
+    const bool knownCore = event.core < cores_.size();
+    char buf[160];
+    switch (event.kind) {
+      case TraceKind::AttemptBegin: {
+        if (!knownCore)
+            break;
+        CoreState &state = cores_[event.core];
+        state.mode = event.mode;
+        state.inAttempt = true;
+        state.haveLast = false;
+        state.retriesAtBegin = event.countedRetries;
+        if (locks_ != nullptr &&
+            locks_->heldCount(event.core) != 0) {
+            std::snprintf(buf, sizeof buf,
+                          "core %u begins a %s attempt while still "
+                          "holding %u line lock(s)",
+                          static_cast<unsigned>(event.core),
+                          execModeName(event.mode),
+                          locks_->heldCount(event.core));
+            flag("lock-leak", buf);
+            violationCycle_ = event.cycle;
+        }
+        break;
+      }
+      case TraceKind::Commit: {
+        ++commits_;
+        lastProgress_ = event.cycle;
+        // The machine's retry-bound contract, mode by mode. The
+        // fallback path is the sanctioned escape hatch, so it is
+        // exempt; every other commit must have stayed under the
+        // counted-retry budget (the executor diverts to fallback
+        // the moment the budget is exhausted), and a converted
+        // (NS-CL) retry is CLEAR's single retry — it must commit
+        // without consuming any further counted retries.
+        if (event.mode != ExecMode::Fallback &&
+            cfg_.maxRetries != 0 &&
+            event.countedRetries >= cfg_.maxRetries) {
+            std::snprintf(buf, sizeof buf,
+                          "core %u committed a %s attempt with %u "
+                          "counted retries; the budget (%u) must "
+                          "divert to the fallback path",
+                          static_cast<unsigned>(event.core),
+                          execModeName(event.mode),
+                          event.countedRetries, cfg_.maxRetries);
+            flag("single-retry-bound", buf);
+            violationCycle_ = event.cycle;
+        } else if (event.mode == ExecMode::NsCl && knownCore &&
+                   cores_[event.core].inAttempt &&
+                   event.countedRetries !=
+                       cores_[event.core].retriesAtBegin) {
+            std::snprintf(buf, sizeof buf,
+                          "core %u entered NS-CL with %u counted "
+                          "retries but committed with %u; the "
+                          "converted retry is CLEAR's single retry "
+                          "and must not consume the budget",
+                          static_cast<unsigned>(event.core),
+                          cores_[event.core].retriesAtBegin,
+                          event.countedRetries);
+            flag("single-retry-bound", buf);
+            violationCycle_ = event.cycle;
+        }
+        if (knownCore)
+            cores_[event.core].inAttempt = false;
+        break;
+      }
+      case TraceKind::Abort: {
+        if (knownCore)
+            cores_[event.core].inAttempt = false;
+        if (event.mode == ExecMode::NsCl &&
+            event.reason != AbortReason::Deviation) {
+            std::snprintf(buf, sizeof buf,
+                          "core %u aborted an NS-CL attempt "
+                          "(reason %s); NS-CL must commit",
+                          static_cast<unsigned>(event.core),
+                          abortReasonName(event.reason));
+            flag("ns-cl-must-commit", buf);
+            violationCycle_ = event.cycle;
+        } else if (event.mode == ExecMode::Fallback) {
+            std::snprintf(buf, sizeof buf,
+                          "core %u aborted a fallback execution "
+                          "(reason %s); the fallback path must "
+                          "commit",
+                          static_cast<unsigned>(event.core),
+                          abortReasonName(event.reason));
+            flag("fallback-must-commit", buf);
+            violationCycle_ = event.cycle;
+        }
+        break;
+      }
+      case TraceKind::LineLockAcquired: {
+        if (!knownCore)
+            break;
+        CoreState &state = cores_[event.core];
+        if (!state.inAttempt || (state.mode != ExecMode::SCl &&
+                                 state.mode != ExecMode::NsCl)) {
+            break;
+        }
+        const auto *lock = std::get_if<LockPayload>(&event.payload);
+        if (lock == nullptr)
+            break;
+        const unsigned set = static_cast<unsigned>(
+            lock->line & (cfg_.cache.dirSets - 1));
+        if (state.haveLast &&
+            (set < state.lastSet ||
+             (set == state.lastSet && lock->line <= state.lastLine))) {
+            std::snprintf(buf, sizeof buf,
+                          "core %u locked line %" PRIu64 " (dir set "
+                          "%u) after line %" PRIu64 " (dir set %u); "
+                          "lexicographical (set, line) order is "
+                          "required",
+                          static_cast<unsigned>(event.core),
+                          static_cast<std::uint64_t>(lock->line), set,
+                          static_cast<std::uint64_t>(state.lastLine),
+                          state.lastSet);
+            flag("lock-order", buf);
+            violationCycle_ = event.cycle;
+        }
+        state.haveLast = true;
+        state.lastSet = set;
+        state.lastLine = lock->line;
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+InvariantChecker::audit(Cycle now, bool at_end)
+{
+    if (locks_ == nullptr || violated())
+        return;
+    std::string why;
+    if (!locks_->auditState(&why)) {
+        flag("zero-owner-lock", why);
+        violationCycle_ = now;
+        return;
+    }
+    if (!at_end)
+        return;
+    for (unsigned core = 0; core < cfg_.numCores; ++core) {
+        const unsigned held = locks_->heldCount(core);
+        if (held == 0)
+            continue;
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "core %u ended the run still holding %u line "
+                      "lock(s)", core, held);
+        flag("lock-leak", buf);
+        violationCycle_ = now;
+        return;
+    }
+}
+
+void
+InvariantChecker::afterEvent(Cycle now, bool work_pending)
+{
+    if (violated())
+        return;
+    if (work_pending && cfg_.fault.horizon != 0 &&
+        now > lastProgress_ &&
+        now - lastProgress_ > cfg_.fault.horizon) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "no region committed between cycle %" PRIu64
+                      " and cycle %" PRIu64 " (horizon %" PRIu64
+                      " cycles): livelock",
+                      static_cast<std::uint64_t>(lastProgress_),
+                      static_cast<std::uint64_t>(now),
+                      static_cast<std::uint64_t>(cfg_.fault.horizon));
+        flag("global-progress", buf);
+        violationCycle_ = now;
+        return;
+    }
+    if (++sinceAudit_ >= kAuditInterval) {
+        sinceAudit_ = 0;
+        audit(now, false);
+    }
+}
+
+void
+InvariantChecker::atEnd(Cycle now)
+{
+    audit(now, true);
+}
+
+void
+InvariantChecker::noteDeadlock(Cycle now, unsigned unfinished)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "event queue drained at cycle %" PRIu64 " with %u "
+                  "workload thread(s) unfinished: deadlock",
+                  static_cast<std::uint64_t>(now), unfinished);
+    flag("deadlock", buf);
+    violationCycle_ = now;
+}
+
+std::string
+InvariantChecker::report() const
+{
+    std::string text = "invariant violated: ";
+    text += invariant_.empty() ? "(none)" : invariant_;
+    text += "\n  ";
+    text += detail_;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "\n  cycle: %" PRIu64,
+                  static_cast<std::uint64_t>(violationCycle_));
+    text += buf;
+    text += "\n  repro: ";
+    text += repro_.empty() ? "(not recorded)" : repro_;
+    std::snprintf(buf, sizeof buf,
+                  "\n  recent trace (last %zu of %" PRIu64
+                  " events):", ring_.size(), seenEvents_);
+    text += buf;
+    for (const TraceEvent &event : ring_) {
+        text += "\n    ";
+        text += formatEvent(event);
+    }
+    return text;
+}
+
+void
+InvariantChecker::raise() const
+{
+    throw InvariantViolationError(invariant_, report());
+}
+
+} // namespace clearsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Runtime invariant checker and livelock/deadlock watchdog.
+ *
+ * Wired into core/System exactly like the Tracer: null unless
+ * active, zero-cost when off. When installed (fault.watchdog), the
+ * checker taps the trace stream (System chains it before any user
+ * sink) and is stepped by the event loop after every event, so it
+ * continuously asserts the paper's safety properties while the
+ * simulation runs:
+ *
+ *  - single-retry-bound: no non-fallback commit consumes the full
+ *    counted-retry budget (exhaustion must divert to the fallback
+ *    path), and a converted NS-CL retry — the paper's single retry
+ *    — commits without consuming any counted retry;
+ *  - ns-cl-must-commit / fallback-must-commit: the pessimistic
+ *    modes never abort (NS-CL may still deviate, which re-runs);
+ *  - lock-order: cache-locked attempts acquire line locks in
+ *    strictly increasing lexicographical (directory set, line)
+ *    order — the dynamic twin of the PR-4 static proof;
+ *  - lock-leak: a core never starts an attempt, or ends the run,
+ *    still holding line locks;
+ *  - zero-owner-lock: the lock manager's cross-structure state
+ *    stays consistent — no line locked without a tracked owner, no
+ *    waiter parked on an unlocked line (LockManager::auditState);
+ *  - global-progress: some region commits within every horizon
+ *    window while work is pending (livelock watchdog);
+ *  - deadlock: the event queue must not drain while workload
+ *    threads are unfinished.
+ *
+ * Violations are latched, never thrown from inside the trace sink
+ * (which runs coroutine-deep): the System event loop calls raise()
+ * between events, throwing an InvariantViolationError whose message
+ * names the invariant and carries a bounded ring of recent trace
+ * events plus the run's repro string.
+ */
+
+#ifndef CLEARSIM_FAULT_INVARIANT_CHECKER_HH
+#define CLEARSIM_FAULT_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/trace.hh"
+#include "common/types.hh"
+
+namespace clearsim
+{
+
+class LockManager;
+
+/** Thrown (outside coroutines) when a run violates an invariant. */
+class InvariantViolationError : public std::runtime_error
+{
+  public:
+    InvariantViolationError(std::string invariant,
+                            const std::string &what)
+        : std::runtime_error(what), invariant_(std::move(invariant))
+    {
+    }
+
+    /** Name of the violated invariant ("lock-order", ...). */
+    const std::string &invariant() const { return invariant_; }
+
+  private:
+    std::string invariant_;
+};
+
+/** See the file comment for the invariant catalogue. */
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(const SystemConfig &cfg);
+
+    /** Bind the lock manager consulted for leak/consistency audits. */
+    void attachLocks(const LockManager *locks) { locks_ = locks; }
+
+    /** Record the repro string printed with any violation. */
+    void setRepro(std::string repro) { repro_ = std::move(repro); }
+
+    const std::string &repro() const { return repro_; }
+
+    /** Trace tap: System chains this before the user sink. */
+    void onTrace(const TraceEvent &event);
+
+    /**
+     * Stepped by the System event loop after every event.
+     * @param now current cycle
+     * @param work_pending true while the queue has events
+     */
+    void afterEvent(Cycle now, bool work_pending);
+
+    /** Final audit once the queue drains. */
+    void atEnd(Cycle now);
+
+    /** Latch a deadlock (queue drained, threads unfinished). */
+    void noteDeadlock(Cycle now, unsigned unfinished);
+
+    /** True once any invariant has been violated. */
+    bool violated() const { return !invariant_.empty(); }
+
+    /** Name of the first violated invariant; empty when clean. */
+    const std::string &invariant() const { return invariant_; }
+
+    /** Full diagnostic: violation, repro string, trace ring. */
+    std::string report() const;
+
+    /** Throw the latched violation as InvariantViolationError. */
+    [[noreturn]] void raise() const;
+
+  private:
+    /** Latch the first violation (later ones are ignored). */
+    void flag(const char *invariant, std::string detail);
+
+    /** Run the lock-manager consistency + leak audits. */
+    void audit(Cycle now, bool at_end);
+
+    /** Per-core attempt state driving the lock-order check. */
+    struct CoreState
+    {
+        ExecMode mode = ExecMode::Speculative;
+        bool inAttempt = false;
+        bool haveLast = false;
+        unsigned lastSet = 0;
+        LineAddr lastLine = 0;
+        unsigned retriesAtBegin = 0;
+    };
+
+    SystemConfig cfg_;
+    const LockManager *locks_ = nullptr;
+    std::vector<CoreState> cores_;
+    std::deque<TraceEvent> ring_;
+    std::uint64_t seenEvents_ = 0;
+    std::uint64_t commits_ = 0;
+    Cycle lastProgress_ = 0;
+    std::uint64_t sinceAudit_ = 0;
+    std::string invariant_;
+    std::string detail_;
+    Cycle violationCycle_ = 0;
+    std::string repro_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_FAULT_INVARIANT_CHECKER_HH

@@ -6,11 +6,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/env.hh"
 #include "common/log.hh"
 #include "common/thread_pool.hh"
 #include "core/system.hh"
+#include "fault/fault_repro.hh"
+#include "fault/invariant_checker.hh"
 #include "policy/config_registry.hh"
 
 namespace clearsim
@@ -25,6 +28,19 @@ runOnce(const SystemConfig &cfg, const std::string &workload_name,
     System sys(cfg, params.seed);
     auto workload = makeWorkload(workload_name, params);
 
+    if (InvariantChecker *checker = sys.checker()) {
+        // Any violation report names the exact (spec, params) pair
+        // that replays this run bit-for-bit.
+        ReproSpec spec;
+        spec.workload = workload_name;
+        spec.config = cfg.name;
+        spec.threads = params.threads;
+        spec.ops = params.opsPerThread;
+        spec.scale = params.scale;
+        spec.seed = params.seed;
+        checker->setRepro(makeReproString(spec));
+    }
+
     RunResult result;
     result.workload = workload_name;
     result.config = cfg.name;
@@ -34,9 +50,13 @@ runOnce(const SystemConfig &cfg, const std::string &workload_name,
     result.cycles = runWorkloadThreads(sys, *workload);
 
     if (check_invariants) {
-        for (const std::string &issue : workload->verify(sys))
-            fatal("%s [%s]: %s", workload_name.c_str(),
-                  cfg.name.c_str(), issue.c_str());
+        // Thrown, not fatal(): one damaged sweep point must not
+        // tear down the whole run (the sweep marks the cell failed
+        // and carries on; direct callers report and exit nonzero).
+        for (const std::string &issue : workload->verify(sys)) {
+            throw std::runtime_error(workload_name + " [" +
+                                     cfg.name + "]: " + issue);
+        }
     }
 
     result.htm = sys.stats();
@@ -77,6 +97,11 @@ struct PointResult
     double energy = 0.0;
     double discoveryShare = 0.0;
     HtmStats htm;
+
+    /** The point threw; error/repro identify and replay it. */
+    bool failed = false;
+    std::string error;
+    std::string repro;
 };
 
 /**
@@ -161,11 +186,32 @@ runPoint(const SweepPlan &plan, std::size_t index)
 
     SystemConfig cfg = makeConfigByName(cell.second);
     cfg.maxRetries = retries;
+    // Name the config after the full spec including the point's
+    // retry limit, so the repro string replays this exact point.
+    cfg.name = cell.second + ":maxRetries=" + std::to_string(retries);
     WorkloadParams params = opts.params;
     params.seed = opts.params.seed + 1000003ull * seed_index;
 
-    const RunResult run = runOnce(cfg, cell.first, params);
     PointResult point;
+    RunResult run;
+    try {
+        run = runOnce(cfg, cell.first, params);
+    } catch (const std::exception &err) {
+        // One crashing or invariant-violating point must not take
+        // the sweep down: record what failed and how to replay it,
+        // and let every other point finish.
+        ReproSpec spec;
+        spec.workload = cell.first;
+        spec.config = cfg.name;
+        spec.threads = params.threads;
+        spec.ops = params.opsPerThread;
+        spec.scale = params.scale;
+        spec.seed = params.seed;
+        point.failed = true;
+        point.error = err.what();
+        point.repro = makeReproString(spec);
+        return point;
+    }
     point.cycles = static_cast<double>(run.cycles);
     point.energy = run.energy.total();
     point.discoveryShare = run.discoveryOverheadShare(cfg.numCores);
@@ -262,35 +308,68 @@ resolveJobs(unsigned requested)
 
 /**
  * Execute every point of the plan on @p jobs threads (inline when
- * jobs == 1). Slot-indexed results make the output independent of
- * scheduling.
+ * jobs == 1), filling the caller-owned @p points slot by slot.
+ * Slot-indexed results make the output independent of scheduling.
+ * When @p cell_done is non-null, it runs on the coordinator thread
+ * once for each cell, as soon as all of that cell's points have
+ * finished — the hook behind per-cell sweep checkpointing.
  */
-std::vector<PointResult>
-runAllPoints(const SweepPlan &plan, unsigned jobs)
+void
+runAllPoints(const SweepPlan &plan, unsigned jobs,
+             std::vector<PointResult> &points,
+             const std::function<void(std::size_t)> &cell_done)
 {
     const std::size_t total = plan.totalPoints();
-    std::vector<PointResult> points(total);
-    ProgressReporter progress(total, plan.pointsPerCell(), jobs);
+    const std::size_t per_cell = plan.pointsPerCell();
+    ProgressReporter progress(total, per_cell, jobs);
+
+    std::vector<std::atomic<std::size_t>> cellDone(
+        plan.cells.size());
+    std::vector<bool> reported(plan.cells.size(), false);
+    // Coordinator-side scan for cells whose last point just landed.
+    // The acquire load pairs with the workers' release increments,
+    // so every point slot of a complete cell is visible before
+    // cell_done reduces it.
+    auto drainCompleted = [&] {
+        if (!cell_done)
+            return;
+        for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+            if (!reported[c] &&
+                cellDone[c].load(std::memory_order_acquire) ==
+                    per_cell) {
+                reported[c] = true;
+                cell_done(c);
+            }
+        }
+    };
 
     if (jobs <= 1) {
         for (std::size_t i = 0; i < total; ++i) {
             points[i] = runPoint(plan, i);
+            cellDone[i / per_cell].fetch_add(
+                1, std::memory_order_release);
             progress.markDone();
             progress.maybeReport();
+            drainCompleted();
         }
     } else {
         ThreadPool pool(jobs);
         for (std::size_t i = 0; i < total; ++i) {
-            pool.submit([&plan, &points, &progress, i] {
+            pool.submit([&plan, &points, &progress, &cellDone,
+                         per_cell, i] {
                 points[i] = runPoint(plan, i);
+                cellDone[i / per_cell].fetch_add(
+                    1, std::memory_order_release);
                 progress.markDone();
             });
         }
-        while (!pool.waitFor(std::chrono::milliseconds(250)))
+        while (!pool.waitFor(std::chrono::milliseconds(250))) {
             progress.maybeReport();
+            drainCompleted();
+        }
+        drainCompleted();
     }
     progress.finish();
-    return points;
 }
 
 /**
@@ -309,6 +388,19 @@ reduceCell(const SweepPlan &plan, std::size_t cell_index,
     best.workload = plan.cells[cell_index].first;
     best.config = plan.cells[cell_index].second;
     bool have_best = false;
+
+    // Any failed point poisons the cell: report the first failure
+    // in slot order (deterministic regardless of which thread hit
+    // it first) instead of aggregating garbage.
+    for (std::size_t p = 0; p < plan.pointsPerCell(); ++p) {
+        const PointResult &point = points[base + p];
+        if (!point.failed)
+            continue;
+        best.failed = true;
+        best.error = point.error;
+        best.repro = point.repro;
+        return best;
+    }
 
     for (std::size_t r = 0; r < opts.retryLimits.size(); ++r) {
         std::vector<double> cycles;
@@ -387,28 +479,44 @@ runCell(const std::string &config_name,
     SweepPlan plan;
     plan.opts = &opts;
     plan.cells.push_back({workload_name, config_name});
-    const std::vector<PointResult> points =
-        runAllPoints(plan, resolveJobs(opts.jobs));
+    std::vector<PointResult> points(plan.totalPoints());
+    runAllPoints(plan, resolveJobs(opts.jobs), points, nullptr);
     return reduceCell(plan, 0, points);
 }
 
 std::map<SweepKey, CellResult>
 runSweep(const SweepOptions &opts)
 {
+    return runSweep(opts, {}, nullptr);
+}
+
+std::map<SweepKey, CellResult>
+runSweep(const SweepOptions &opts, const std::set<SweepKey> &skip,
+         const std::function<void(const CellResult &)> &on_cell)
+{
     validateSweepShape(opts);
     validateSelections(opts.configs, opts.workloads);
     SweepPlan plan;
     plan.opts = &opts;
     for (const std::string &workload : opts.workloads)
-        for (const std::string &config : opts.configs)
-            plan.cells.push_back({workload, config});
-
-    const std::vector<PointResult> points =
-        runAllPoints(plan, resolveJobs(opts.jobs));
+        for (const std::string &config : opts.configs) {
+            const SweepKey key{workload, config};
+            if (skip.find(key) == skip.end())
+                plan.cells.push_back(key);
+        }
 
     std::map<SweepKey, CellResult> results;
-    for (std::size_t c = 0; c < plan.cells.size(); ++c)
-        results[plan.cells[c]] = reduceCell(plan, c, points);
+    if (plan.cells.empty())
+        return results;
+
+    std::vector<PointResult> points(plan.totalPoints());
+    runAllPoints(plan, resolveJobs(opts.jobs), points,
+                 [&](std::size_t c) {
+                     CellResult cell = reduceCell(plan, c, points);
+                     if (on_cell)
+                         on_cell(cell);
+                     results[plan.cells[c]] = std::move(cell);
+                 });
     return results;
 }
 

@@ -37,7 +37,9 @@
 #ifndef CLEARSIM_HARNESS_RUNNER_HH
 #define CLEARSIM_HARNESS_RUNNER_HH
 
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,7 +50,14 @@
 namespace clearsim
 {
 
-/** One fully-specified simulation run. */
+/**
+ * One fully-specified simulation run. Throws std::runtime_error
+ * when workload verification finds a damaged data structure, and
+ * propagates InvariantViolationError from watchdog-enabled runs —
+ * sweep callers catch per point (the cell is marked failed, the
+ * sweep continues); direct callers let it reach their top-level
+ * handler.
+ */
 RunResult runOnce(const SystemConfig &cfg,
                   const std::string &workload_name,
                   const WorkloadParams &params,
@@ -86,6 +95,16 @@ struct CellResult
     HtmStats htm;             ///< merged over the seeds of the best
     double discoveryShare = 0.0;
     unsigned numCores = 0;
+
+    /**
+     * True when any point of the cell threw (invariant violation,
+     * verification failure): the numeric fields are meaningless,
+     * error carries the first failing point's message, and repro
+     * carries the repro string replaying that point bit-exactly.
+     */
+    bool failed = false;
+    std::string error;
+    std::string repro;
 };
 
 /**
@@ -106,6 +125,18 @@ using SweepKey = std::pair<std::string, std::string>;
  * longer than a second. Results are independent of the job count.
  */
 std::map<SweepKey, CellResult> runSweep(const SweepOptions &opts);
+
+/**
+ * runSweep with crash-tolerant plumbing: cells in @p skip are not
+ * run at all (they were loaded from a checkpoint), and @p on_cell —
+ * when non-null — is invoked on the coordinator thread as soon as
+ * each cell's points have all finished, in completion order. A
+ * point that throws does not tear the sweep down: its cell comes
+ * back with failed set and every other cell still runs.
+ */
+std::map<SweepKey, CellResult>
+runSweep(const SweepOptions &opts, const std::set<SweepKey> &skip,
+         const std::function<void(const CellResult &)> &on_cell);
 
 // ---------------------------------------------------------------
 // Table-printing helpers shared by the bench binaries.

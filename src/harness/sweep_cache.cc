@@ -213,35 +213,60 @@ void
 saveSweepCache(const std::string &path, std::uint64_t hash,
                const SweepSummary &summary)
 {
-    std::ofstream out(path);
-    if (!out) {
-        logMessage(LogLevel::Warn,
-                   "could not write sweep cache to %s", path.c_str());
-        return;
+    // Write-temp-then-rename: a crash (or SIGKILL) mid-write can
+    // never leave a half-written file under the real name — readers
+    // see either the previous complete cache or the new one.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            logMessage(LogLevel::Warn,
+                       "could not write sweep cache to %s",
+                       tmp.c_str());
+            return;
+        }
+        // max_digits10 so cycles/energy round-trip bit-exactly: a
+        // reloaded cache must be indistinguishable from a fresh
+        // sweep.
+        out << std::setprecision(
+            std::numeric_limits<double>::max_digits10);
+        out << kCacheHeaderPrefix << std::hex << hash << std::dec
+            << "\n";
+        for (const auto &[key, s] : summary) {
+            out << s.workload << ',' << s.config << ','
+                << s.bestRetryLimit << ',' << s.cycles << ','
+                << s.energy << ',' << s.discoveryShare << ','
+                << s.commits;
+            for (auto m : s.commitsByMode)
+                out << ',' << m;
+            out << ',' << s.aborts;
+            for (auto a : s.abortsByCategory)
+                out << ',' << a;
+            out << ',' << s.commitsRetry0 << ',' << s.commitsRetry1
+                << ',' << s.commitsNonFallback << ','
+                << s.commitsFallback << "\n";
+        }
+        out.flush();
+        if (!out.good()) {
+            logMessage(LogLevel::Warn,
+                       "short write to sweep cache %s", tmp.c_str());
+            out.close();
+            std::remove(tmp.c_str());
+            return;
+        }
     }
-    // max_digits10 so cycles/energy round-trip bit-exactly: a
-    // reloaded cache must be indistinguishable from a fresh sweep.
-    out << std::setprecision(
-        std::numeric_limits<double>::max_digits10);
-    out << kCacheHeaderPrefix << std::hex << hash << std::dec
-        << "\n";
-    for (const auto &[key, s] : summary) {
-        out << s.workload << ',' << s.config << ','
-            << s.bestRetryLimit << ',' << s.cycles << ',' << s.energy
-            << ',' << s.discoveryShare << ',' << s.commits;
-        for (auto m : s.commitsByMode)
-            out << ',' << m;
-        out << ',' << s.aborts;
-        for (auto a : s.abortsByCategory)
-            out << ',' << a;
-        out << ',' << s.commitsRetry0 << ',' << s.commitsRetry1
-            << ',' << s.commitsNonFallback << ','
-            << s.commitsFallback << "\n";
-    }
-    out.flush();
-    if (!out.good())
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         logMessage(LogLevel::Warn,
-                   "short write to sweep cache %s", path.c_str());
+                   "could not move sweep cache %s into place",
+                   tmp.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+std::string
+sweepCheckpointPath(const std::string &cache_path)
+{
+    return cache_path + ".ckpt";
 }
 
 SweepSummary
@@ -255,15 +280,56 @@ sweepWithCache(const SweepOptions &opts)
                   path.c_str(), summary.size());
         return summary;
     }
+
+    // A checkpoint (same format, same hash discipline) holds every
+    // cell completed by a previous run of this exact sweep that was
+    // killed before finishing. Those cells are not re-run.
+    const std::string ckpt = sweepCheckpointPath(path);
+    SweepSummary done;
+    std::set<SweepKey> skip;
+    if (loadSweepCache(ckpt, hash, done)) {
+        for (const auto &[key, s] : done)
+            skip.insert(key);
+        logStatus("[clearsim] resuming sweep from checkpoint %s "
+                  "(%zu cells already done)",
+                  ckpt.c_str(), done.size());
+    }
+
     logStatus("[clearsim] running sweep: %zu workloads x %zu "
               "configs x %zu retry limits x %u seeds...",
               opts.workloads.size(), opts.configs.size(),
               opts.retryLimits.size(), opts.seeds);
-    const auto cells = runSweep(opts);
-    for (const auto &[key, cell] : cells)
-        summary[key] = CellSummary::fromCell(cell);
-    saveSweepCache(path, hash, summary);
-    return summary;
+    std::vector<CellResult> failures;
+    runSweep(opts, skip, [&](const CellResult &cell) {
+        if (cell.failed) {
+            failures.push_back(cell);
+            return;
+        }
+        done[{cell.workload, cell.config}] =
+            CellSummary::fromCell(cell);
+        // Checkpoint after every completed cell, atomically: a
+        // kill at any instant loses at most the in-flight cells.
+        saveSweepCache(ckpt, hash, done);
+    });
+
+    if (!failures.empty()) {
+        for (const CellResult &cell : failures) {
+            logMessage(LogLevel::Warn,
+                       "sweep cell FAILED: %s [%s]\n  error: %s\n"
+                       "  repro: %s",
+                       cell.workload.c_str(), cell.config.c_str(),
+                       cell.error.c_str(), cell.repro.c_str());
+        }
+        fatal("%zu sweep cell(s) failed (completed cells are "
+              "checkpointed in %s; re-run to resume)",
+              failures.size(), ckpt.c_str());
+    }
+
+    // Only a fully successful sweep becomes the real cache; the
+    // checkpoint has served its purpose.
+    saveSweepCache(path, hash, done);
+    std::remove(ckpt.c_str());
+    return done;
 }
 
 } // namespace clearsim

@@ -70,13 +70,28 @@ std::string sweepCachePath();
 bool loadSweepCache(const std::string &path, std::uint64_t hash,
                     SweepSummary &out);
 
-/** Write the cache. */
+/**
+ * Write the cache atomically (temp file + rename): a crash mid-save
+ * never leaves a torn file under @p path.
+ */
 void saveSweepCache(const std::string &path, std::uint64_t hash,
                     const SweepSummary &summary);
+
+/** Checkpoint path of an in-progress sweep ("<cache>.ckpt"). */
+std::string sweepCheckpointPath(const std::string &cache_path);
 
 /**
  * The one-stop entry for the figure benches: load the cached sweep
  * for these options, or run it and cache it.
+ *
+ * Crash tolerance: completed cells are checkpointed (atomically)
+ * to sweepCheckpointPath() as the sweep runs, and a rerun of the
+ * same options resumes from the checkpoint instead of starting
+ * over — the final CSV is byte-identical either way. Failing cells
+ * (a point threw: invariant violation, damaged data structure) do
+ * not stop the remaining cells; after the sweep they are reported
+ * with their repro strings and the process exits nonzero, leaving
+ * the checkpoint in place.
  */
 SweepSummary sweepWithCache(const SweepOptions &opts);
 

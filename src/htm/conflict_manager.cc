@@ -1,6 +1,7 @@
 #include "htm/conflict_manager.hh"
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 
 namespace clearsim
 {
@@ -116,6 +117,21 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
             return outcome;
         }
         victims.push_back(holder);
+    }
+
+    // Fault seam: adversarially flip a verdict the requester was
+    // about to win into a nack (only offered where the requester
+    // can lose; must-commit requesters always keep their win).
+    if (faults_ != nullptr && canLose && !victims.empty() &&
+        faults_->flipVerdict(line, requester)) {
+        outcome.abortSelf = true;
+        outcome.selfReason = AbortReason::Nacked;
+        ++resolved_;
+        if (tracer_) {
+            tracer_->emitAt(TraceKind::ConflictVerdict, requester,
+                            ConflictPayload{line, 0, false});
+        }
+        return outcome;
     }
 
     // Pass 2: the requester wins; doom every conflicting holder.

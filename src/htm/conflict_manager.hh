@@ -28,6 +28,8 @@
 namespace clearsim
 {
 
+class FaultInjector;
+
 /**
  * What a transaction must expose so the conflict manager can
  * arbitrate against it. Implemented by TxContext.
@@ -120,6 +122,12 @@ class ConflictManager
     /** Report arbitration verdicts through t (null = disabled). */
     void attachTracer(const Tracer *t) { tracer_ = t; }
 
+    /**
+     * Adversarial verdicts through f (null = faithful arbitration):
+     * a winning requester that could lose may be flipped to a nack.
+     */
+    void setFaults(FaultInjector *faults) { faults_ = faults; }
+
     /** Drop all registry state (between runs). */
     void reset();
 
@@ -137,6 +145,7 @@ class ConflictManager
     std::unordered_map<LineAddr, LineSets> lines_;
     std::uint64_t resolved_ = 0;
     const Tracer *tracer_ = nullptr;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace clearsim

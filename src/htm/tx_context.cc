@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 
 namespace clearsim
 {
@@ -307,8 +308,28 @@ TxContext::resolveLineLock(LineAddr line, bool is_write)
             failedMode_ ||
             (mode_ == ExecMode::SCl &&
              !mem_.locks().isLockedBy(line, core_));
-        const LockedLineResponse resp =
+        LockedLineResponse resp =
             mem_.locks().classifyAccess(line, core_, nackable);
+        if (resp == LockedLineResponse::Free && faults_ != nullptr &&
+            !mem_.locks().isLockedBy(line, core_)) {
+            // Fault seam: a genuinely free line may still answer
+            // with a spurious NACK (only where the protocol could
+            // nack, i.e. the requester can abort) or a spurious
+            // Retry (always safe: the wait below fires immediately
+            // and the loop re-checks, modelling a delayed directory
+            // retry). Never perturbed for self-held lines.
+            switch (faults_->perturbFreeResponse(line, core_,
+                                                 nackable)) {
+              case FaultInjector::FreeResponse::Keep:
+                break;
+              case FaultInjector::FreeResponse::Nack:
+                resp = LockedLineResponse::Nack;
+                break;
+              case FaultInjector::FreeResponse::Retry:
+                resp = LockedLineResponse::Retry;
+                break;
+            }
+        }
         if (resp == LockedLineResponse::Free)
             co_return;
         if (resp == LockedLineResponse::Nack) {
@@ -319,8 +340,10 @@ TxContext::resolveLineLock(LineAddr line, bool is_write)
         }
         // Retry response: wait for the unlock, back off, re-issue.
         mem_.locks().countRetry(line, core_);
-        co_await LockWaitAwaiter(mem_.locks(), queue_, line,
-                                 cfg_.timing.lockRetryBackoff);
+        Cycle backoff = cfg_.timing.lockRetryBackoff;
+        if (faults_ != nullptr)
+            backoff += faults_->extraRetryDelay(line, core_);
+        co_await LockWaitAwaiter(mem_.locks(), queue_, line, backoff);
         if (doomed() && !failedMode_)
             handleDoomAtBoundary();
     }
@@ -399,6 +422,15 @@ TxContext::load(Addr addr)
     if (discoveryActive_)
         recordAccess(line, false);
 
+    // Fault seam: force this (abortable) attempt to abort here, as
+    // if a remote conflict had hit the accessed line. Must-commit
+    // modes (NS-CL, fallback) are never targeted.
+    if (faults_ != nullptr && conflictable() &&
+        faults_->forceAbort(line, core_)) {
+        doomLocal(AbortReason::MemoryConflict, line);
+        handleDoomAtBoundary();
+    }
+
     // In-core (SLE) speculation: the whole AR must fit the window.
     // Non-speculative modes (NS-CL, fallback) retire freely
     // (Section 4.4.1) and are exempt.
@@ -474,6 +506,13 @@ TxContext::load(Addr addr)
         throw TxAbort{doomReason_};
     }
 
+    // Fault seam: spuriously evict the fresh sharer bit again (a
+    // timing-only perturbation: the next access re-fetches).
+    if (faults_ != nullptr && !pin &&
+        faults_->dropSharerAfterRead(line, core_)) {
+        mem_.directory().dropSharer(core_, line);
+    }
+
     co_await delayFor(queue_, res.latency + alu_extra);
     if (doomed() && !failedMode_)
         handleDoomAtBoundary();
@@ -508,6 +547,13 @@ TxContext::store(Addr addr, TxValue value)
     }
     if (discoveryActive_)
         recordAccess(line, true);
+
+    // Fault seam: forced abort, as in load().
+    if (faults_ != nullptr && conflictable() &&
+        faults_->forceAbort(line, core_)) {
+        doomLocal(AbortReason::MemoryConflict, line);
+        handleDoomAtBoundary();
+    }
 
     if (failedMode_) {
         // Stores are held in the SQ: no cache or coherence action

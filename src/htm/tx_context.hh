@@ -40,6 +40,8 @@
 namespace clearsim
 {
 
+class FaultInjector;
+
 /** One cacheline of an S-CL / NS-CL lock plan. */
 struct LockPlanEntry
 {
@@ -239,6 +241,15 @@ class TxContext : public TxParticipant
         recorder_ = recorder;
     }
 
+    /**
+     * Install (or clear, with nullptr) the fault injector. While
+     * installed, accesses may be forced to abort, free lines may
+     * answer with spurious NACK/Retry responses, and lock-retry
+     * backoffs may be stretched; without one, each seam costs a
+     * single null-pointer branch.
+     */
+    void setFaults(FaultInjector *faults) { faults_ = faults; }
+
     // ------------------------------------------------------------
     // TxParticipant interface
     // ------------------------------------------------------------
@@ -311,6 +322,9 @@ class TxContext : public TxParticipant
 
     /** Analysis hook; null unless a recording run is active. */
     RegionRecordSink *recorder_ = nullptr;
+
+    /** Fault seam; null unless fault injection is active. */
+    FaultInjector *faults_ = nullptr;
 
     /**
      * Provenance of the most recent toAddr() result, consumed by

@@ -88,7 +88,7 @@ LockManager::unlock(LineAddr line, CoreId core, Cycle now)
                 lines.end());
 
     for (auto &cb : waiters)
-        cb();
+        deliverWake(std::move(cb));
 }
 
 void
@@ -112,7 +112,7 @@ LockManager::unlockAll(CoreId core, Cycle now)
         if (waiters.empty())
             locks_.erase(lockIt);
         for (auto &cb : waiters)
-            cb();
+            deliverWake(std::move(cb));
     }
 }
 
@@ -167,7 +167,7 @@ LockManager::unlockDirSet(unsigned set, CoreId core)
                         DirSetPayload{set});
     }
     for (auto &cb : waiters)
-        cb();
+        deliverWake(std::move(cb));
 }
 
 bool
@@ -198,6 +198,62 @@ LockManager::onUnlock(LineAddr line, WakeCallback cb)
         return;
     }
     it->second.waiters.push_back(std::move(cb));
+}
+
+bool
+LockManager::auditState(std::string *why) const
+{
+    for (const auto &[line, state] : locks_) {
+        if (state.holder == kNoCore) {
+            if (!state.waiters.empty()) {
+                if (why != nullptr) {
+                    *why = std::to_string(state.waiters.size()) +
+                           " waiter(s) parked on unlocked line " +
+                           std::to_string(line);
+                }
+                return false;
+            }
+            continue;
+        }
+        auto heldIt = held_.find(state.holder);
+        const bool tracked =
+            heldIt != held_.end() &&
+            std::find(heldIt->second.begin(), heldIt->second.end(),
+                      line) != heldIt->second.end();
+        if (!tracked) {
+            if (why != nullptr) {
+                *why = "line " + std::to_string(line) +
+                       " locked by core " +
+                       std::to_string(state.holder) +
+                       " but missing from its held-set";
+            }
+            return false;
+        }
+    }
+    for (const auto &[core, lines] : held_) {
+        for (LineAddr line : lines) {
+            auto it = locks_.find(line);
+            if (it == locks_.end() || it->second.holder != core) {
+                if (why != nullptr) {
+                    *why = "held-set of core " +
+                           std::to_string(core) + " lists line " +
+                           std::to_string(line) +
+                           " it does not hold";
+                }
+                return false;
+            }
+        }
+    }
+    for (const auto &[set, state] : setLocks_) {
+        if (state.holder == kNoCore) {
+            if (why != nullptr) {
+                *why = "directory-set lock " + std::to_string(set) +
+                       " has no owner";
+            }
+            return false;
+        }
+    }
+    return true;
 }
 
 void

@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -168,6 +170,26 @@ class LockManager
     /** Report lifecycle events through t (null = disabled). */
     void attachTracer(const Tracer *t) { tracer_ = t; }
 
+    /**
+     * Route lock-grant wakeups through d (null restores synchronous
+     * delivery). The fault layer installs a deliverer that defers a
+     * random subset of grants, modelling lost-then-redelivered
+     * grant messages without dropping any wakeup.
+     */
+    void setWakeDeliverer(std::function<void(WakeCallback)> d)
+    {
+        deliverer_ = std::move(d);
+    }
+
+    /**
+     * Cross-structure consistency audit for the invariant checker:
+     * every locked line must be tracked by its holder's held-set
+     * and vice versa, no waiter may be parked on an unlocked line,
+     * and no directory-set lock may survive without an owner.
+     * @retval false on inconsistency; *why describes the first one
+     */
+    bool auditState(std::string *why) const;
+
     /** Drop all locks and waiters. */
     void reset();
 
@@ -183,6 +205,16 @@ class LockManager
     void noteRelease(LineAddr line, CoreId core, Cycle acquired_at,
                      Cycle now);
 
+    /** Fire one waiter, through the deliverer when one is set. */
+    void
+    deliverWake(WakeCallback cb)
+    {
+        if (deliverer_)
+            deliverer_(std::move(cb));
+        else
+            cb();
+    }
+
     unsigned dirSets_ = 4096;
     std::unordered_map<LineAddr, LockState> locks_;
     std::unordered_map<unsigned, LockState> setLocks_;
@@ -192,6 +224,7 @@ class LockManager
     std::uint64_t totalRetries_ = 0;
     Distribution holdCycles_;
     const Tracer *tracer_ = nullptr;
+    std::function<void(WakeCallback)> deliverer_;
 };
 
 } // namespace clearsim

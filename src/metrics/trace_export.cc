@@ -103,6 +103,16 @@ writePayload(JsonWriter &json, const TraceEvent &event)
         json.value(hexAddr(abort->line));
         return;
     }
+    if (const auto *fault =
+            std::get_if<FaultPayload>(&event.payload)) {
+        json.key("fault");
+        json.value(faultKindName(fault->fault));
+        json.key("line");
+        json.value(hexAddr(fault->line));
+        json.key("cycles");
+        json.value(static_cast<std::uint64_t>(fault->cycles));
+        return;
+    }
 }
 
 /** Reconstruct the payload from the parsed object, by kind. */
@@ -208,6 +218,21 @@ readPayload(const JsonValue &obj, TraceEvent &event,
             wait->type != JsonValue::Type::String ||
             !backoffWaitFromName(wait->text.c_str(), p.wait) ||
             !uint("wait_cycles", cycles)) {
+            return false;
+        }
+        p.cycles = cycles;
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::FaultDelay:
+      case TraceKind::FaultVerdict: {
+        FaultPayload p;
+        const JsonValue *fault = obj.find("fault");
+        std::uint64_t cycles = 0;
+        if (fault == nullptr ||
+            fault->type != JsonValue::Type::String ||
+            !faultKindFromName(fault->text.c_str(), p.fault) ||
+            !addr("line", p.line) || !uint("cycles", cycles)) {
             return false;
         }
         p.cycles = cycles;

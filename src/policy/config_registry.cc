@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "common/log.hh"
+#include "fault/fault_plans.hh"
 
 namespace clearsim
 {
@@ -89,6 +90,19 @@ ConfigRegistry::ConfigRegistry()
                      [](SystemConfig &cfg) {
                          cfg.profileMode = true;
                      });
+    registerModifier("watchdog",
+                     "install the invariant checker + livelock "
+                     "watchdog (no faults injected by itself)",
+                     [](SystemConfig &cfg) {
+                         cfg.fault.watchdog = true;
+                     });
+    for (const FaultPlanInfo &plan : faultPlans()) {
+        const std::string plan_name = plan.name;
+        registerModifier(plan_name, plan.description,
+                         [plan_name](SystemConfig &cfg) {
+                             applyFaultPlan(plan_name, cfg.fault);
+                         });
+    }
 
     auto add = [this](const char *name, const char *description,
                       std::uint64_t min_value, std::uint64_t max_value,
@@ -152,6 +166,62 @@ ConfigRegistry::ConfigRegistry()
     add("thinkTimeMean", "mean cycles between two regions", 0,
         1000000000, [](SystemConfig &cfg, std::uint64_t v) {
             cfg.timing.thinkTimeMean = v;
+        });
+    add("fault.seed", "fault-injection Rng seed", 0,
+        ~std::uint64_t(0), [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.seed = v;
+        });
+    add("fault.jitter", "permille of events given schedule jitter", 0,
+        1000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.eventJitterPermille = static_cast<unsigned>(v);
+        });
+    add("fault.jitter-max", "max event jitter, cycles", 0, 1000000,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.eventJitterMax = v;
+        });
+    add("fault.nack", "permille of free-line checks nacked", 0, 1000,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.nackPermille = static_cast<unsigned>(v);
+        });
+    add("fault.retry", "permille of free-line checks retried", 0,
+        1000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.retryPermille = static_cast<unsigned>(v);
+        });
+    add("fault.retry-delay", "max extra lock-retry delay, cycles", 0,
+        1000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.retryDelayExtraMax = v;
+        });
+    add("fault.grant-defer", "permille of lock grants deferred", 0,
+        1000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.grantDeferPermille = static_cast<unsigned>(v);
+        });
+    add("fault.grant-defer-max", "max grant deferral, cycles", 1,
+        1000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.grantDeferMax = v;
+        });
+    add("fault.evict", "permille of reads losing their sharer bit",
+        0, 1000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.evictPermille = static_cast<unsigned>(v);
+        });
+    add("fault.forced-abort", "permille of accesses force-aborted",
+        0, 1000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.forcedAbortPermille = static_cast<unsigned>(v);
+        });
+    add("fault.conflict-flip", "permille of verdicts flipped to nack",
+        0, 1000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.conflictFlipPermille = static_cast<unsigned>(v);
+        });
+    add("fault.fallback-hold", "extra fallback-lock hold, cycles", 0,
+        1000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.fallbackHoldExtra = v;
+        });
+    add("fault.watchdog", "install the invariant checker (0/1)", 0, 1,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.watchdog = v != 0;
+        });
+    add("fault.horizon", "watchdog progress horizon, cycles", 1,
+        ~std::uint64_t(0), [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.fault.horizon = v;
         });
 }
 

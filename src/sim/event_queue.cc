@@ -11,6 +11,8 @@ void
 EventQueue::schedule(Cycle when, Callback cb)
 {
     CLEARSIM_ASSERT(when >= now_, "cannot schedule an event in the past");
+    if (perturber_)
+        when += perturber_();
     heap_.push(Event{when, nextSeq_++, std::move(cb)});
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -43,8 +44,26 @@ class EventQueue
     /** Schedule cb to run delay cycles from now. */
     void scheduleAfter(Cycle delay, Callback cb);
 
+    /**
+     * Install a scheduling perturber (null to remove). When set,
+     * every schedule() adds the returned jitter to the event's
+     * cycle, bounded-delaying commutable events; used by the fault
+     * layer. Costs one branch per schedule when absent.
+     */
+    void setPerturber(std::function<Cycle()> perturber)
+    {
+        perturber_ = std::move(perturber);
+    }
+
     /** True if no events are pending. */
     bool empty() const { return heap_.empty(); }
+
+    /** Cycle of the earliest pending event (kNoCycle when empty). */
+    Cycle
+    nextCycle() const
+    {
+        return heap_.empty() ? kNoCycle : heap_.top().when;
+    }
 
     /** Number of pending events. */
     std::size_t size() const { return heap_.size(); }
@@ -84,6 +103,7 @@ class EventQueue
     };
 
     std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::function<Cycle()> perturber_;
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/log.hh"
+#include "fault/invariant_checker.hh"
 
 namespace clearsim
 {
@@ -113,8 +114,20 @@ runWorkloadThreads(System &sys, Workload &workload)
     const Cycle limit = static_cast<Cycle>(4) * 1000 * 1000 * 1000;
     const Cycle cycles = sys.runToCompletion(limit);
 
+    unsigned unfinished = 0;
     for (auto &task : tasks) {
-        CLEARSIM_ASSERT(task.done(),
+        if (!task.done())
+            ++unfinished;
+    }
+    if (unfinished != 0) {
+        // With a watchdog installed, report the deadlock as a
+        // diagnosable invariant violation (with trace ring and
+        // repro string) instead of asserting out.
+        if (InvariantChecker *checker = sys.checker()) {
+            checker->noteDeadlock(cycles, unfinished);
+            checker->raise();
+        }
+        CLEARSIM_ASSERT(unfinished == 0,
                         "a workload thread never finished "
                         "(simulated deadlock)");
     }

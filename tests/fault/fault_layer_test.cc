@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests of the fault-injection layer: the injector's
+ * determinism contract (every decision a pure function of
+ * fault.seed), its liveness guards, the canned fault plans, the
+ * `fault.*` ConfigRegistry grammar, and repro-string round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "fault/fault_plans.hh"
+#include "fault/fault_repro.hh"
+#include "policy/config_registry.hh"
+#include "sim/event_queue.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** A plan with every fault class active. */
+FaultConfig
+everythingPlan(std::uint64_t seed)
+{
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.eventJitterPermille = 500;
+    cfg.eventJitterMax = 16;
+    cfg.nackPermille = 100;
+    cfg.retryPermille = 100;
+    cfg.retryDelayExtraMax = 32;
+    cfg.grantDeferPermille = 300;
+    cfg.grantDeferMax = 24;
+    cfg.evictPermille = 150;
+    cfg.forcedAbortPermille = 50;
+    cfg.conflictFlipPermille = 80;
+    cfg.fallbackHoldExtra = 12;
+    return cfg;
+}
+
+/**
+ * Drive every decision seam a fixed number of times and flatten the
+ * outcomes into one comparable sequence.
+ */
+std::vector<std::uint64_t>
+drawSequence(FaultInjector &inj, unsigned draws)
+{
+    std::vector<std::uint64_t> seq;
+    for (unsigned i = 0; i < draws; ++i) {
+        const LineAddr line = 64 + i;
+        const CoreId core = static_cast<CoreId>(i % 4);
+        seq.push_back(inj.perturbSchedule());
+        seq.push_back(static_cast<std::uint64_t>(
+            inj.perturbFreeResponse(line, core, (i % 2) == 0)));
+        seq.push_back(inj.extraRetryDelay(line, core));
+        seq.push_back(inj.dropSharerAfterRead(line, core) ? 1 : 0);
+        seq.push_back(inj.forceAbort(line, core) ? 1 : 0);
+        seq.push_back(inj.flipVerdict(line, core) ? 1 : 0);
+        seq.push_back(inj.extendFallbackHold(core));
+    }
+    return seq;
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule)
+{
+    FaultInjector a(everythingPlan(7));
+    FaultInjector b(everythingPlan(7));
+    EXPECT_EQ(drawSequence(a, 500), drawSequence(b, 500));
+    EXPECT_EQ(a.totalInjected(), b.totalInjected());
+    for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+        EXPECT_EQ(a.injected(static_cast<FaultKind>(k)),
+                  b.injected(static_cast<FaultKind>(k)));
+    }
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule)
+{
+    FaultInjector a(everythingPlan(7));
+    FaultInjector b(everythingPlan(8));
+    EXPECT_NE(drawSequence(a, 500), drawSequence(b, 500));
+}
+
+TEST(FaultInjectorTest, ZeroPlanInjectsNothing)
+{
+    FaultConfig cfg;
+    EXPECT_FALSE(cfg.anyActive());
+    FaultInjector inj(cfg);
+    for (const std::uint64_t v : drawSequence(inj, 200))
+        EXPECT_EQ(v, 0u); // Keep == 0, no delays, no flips
+    EXPECT_EQ(inj.totalInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, NackNeverTargetsUnNackableRequests)
+{
+    // Liveness guard: a spurious NACK may only hit requests the
+    // protocol already allows to abort.
+    FaultConfig cfg;
+    cfg.seed = 3;
+    cfg.nackPermille = 1000;
+    FaultInjector inj(cfg);
+    for (unsigned i = 0; i < 200; ++i) {
+        EXPECT_EQ(inj.perturbFreeResponse(64 + i, 0, false),
+                  FaultInjector::FreeResponse::Keep);
+    }
+    EXPECT_EQ(inj.injected(FaultKind::SpuriousNack), 0u);
+    for (unsigned i = 0; i < 200; ++i) {
+        EXPECT_EQ(inj.perturbFreeResponse(64 + i, 0, true),
+                  FaultInjector::FreeResponse::Nack);
+    }
+    EXPECT_EQ(inj.injected(FaultKind::SpuriousNack), 200u);
+}
+
+TEST(FaultInjectorTest, DeferredGrantIsRedeliveredNeverDropped)
+{
+    FaultConfig cfg;
+    cfg.seed = 11;
+    cfg.grantDeferPermille = 1000;
+    cfg.grantDeferMax = 50;
+    FaultInjector inj(cfg);
+    EventQueue queue;
+    inj.bindQueue(&queue);
+
+    unsigned delivered = 0;
+    for (unsigned i = 0; i < 20; ++i)
+        inj.deliverWake([&delivered] { ++delivered; });
+    // Every grant was deferred (permille 1000), none delivered yet.
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_FALSE(queue.empty());
+    while (!queue.empty())
+        queue.runOne();
+    EXPECT_EQ(delivered, 20u);
+    EXPECT_EQ(inj.injected(FaultKind::GrantDefer), 20u);
+}
+
+TEST(FaultPlansTest, CannedPlansRegisteredAndApplied)
+{
+    const auto &plans = faultPlans();
+    ASSERT_EQ(plans.size(), 3u);
+    for (const FaultPlanInfo &plan : plans) {
+        FaultConfig cfg;
+        ASSERT_TRUE(applyFaultPlan(plan.name, cfg)) << plan.name;
+        EXPECT_TRUE(cfg.watchdog) << plan.name;
+        EXPECT_TRUE(cfg.anyActive()) << plan.name;
+    }
+    FaultConfig cfg;
+    EXPECT_FALSE(applyFaultPlan("faults-no-such-plan", cfg));
+    EXPECT_FALSE(cfg.anyActive());
+}
+
+TEST(FaultPlansTest, PlansAreConfigRegistryModifiers)
+{
+    const SystemConfig nack =
+        makeConfigFromSpec("C+faults-nack-storm:fault.seed=7");
+    EXPECT_EQ(nack.fault.nackPermille, 80u);
+    EXPECT_EQ(nack.fault.retryPermille, 120u);
+    EXPECT_EQ(nack.fault.retryDelayExtraMax, 200u);
+    EXPECT_EQ(nack.fault.seed, 7u);
+    EXPECT_TRUE(nack.fault.watchdog);
+
+    const SystemConfig jitter =
+        makeConfigFromSpec("C+faults-delay-jitter");
+    EXPECT_EQ(jitter.fault.eventJitterPermille, 300u);
+    EXPECT_EQ(jitter.fault.eventJitterMax, 64u);
+    EXPECT_EQ(jitter.fault.grantDeferPermille, 200u);
+    EXPECT_EQ(jitter.fault.grantDeferMax, 300u);
+
+    const SystemConfig aborts =
+        makeConfigFromSpec("B+faults-forced-abort");
+    EXPECT_EQ(aborts.fault.forcedAbortPermille, 15u);
+    EXPECT_EQ(aborts.fault.conflictFlipPermille, 50u);
+    EXPECT_EQ(aborts.fault.fallbackHoldExtra, 500u);
+}
+
+TEST(FaultPlansTest, FaultKeysCoverEveryKnob)
+{
+    const SystemConfig cfg = makeConfigFromSpec(
+        "B:fault.seed=99:fault.jitter=5:fault.jitter-max=9"
+        ":fault.nack=1:fault.retry=2:fault.retry-delay=7"
+        ":fault.grant-defer=2:fault.grant-defer-max=11"
+        ":fault.evict=3:fault.forced-abort=4:fault.conflict-flip=6"
+        ":fault.fallback-hold=8:fault.watchdog=1:fault.horizon=1000");
+    EXPECT_EQ(cfg.fault.seed, 99u);
+    EXPECT_EQ(cfg.fault.eventJitterPermille, 5u);
+    EXPECT_EQ(cfg.fault.eventJitterMax, 9u);
+    EXPECT_EQ(cfg.fault.nackPermille, 1u);
+    EXPECT_EQ(cfg.fault.retryPermille, 2u);
+    EXPECT_EQ(cfg.fault.retryDelayExtraMax, 7u);
+    EXPECT_EQ(cfg.fault.grantDeferPermille, 2u);
+    EXPECT_EQ(cfg.fault.grantDeferMax, 11u);
+    EXPECT_EQ(cfg.fault.evictPermille, 3u);
+    EXPECT_EQ(cfg.fault.forcedAbortPermille, 4u);
+    EXPECT_EQ(cfg.fault.conflictFlipPermille, 6u);
+    EXPECT_EQ(cfg.fault.fallbackHoldExtra, 8u);
+    EXPECT_TRUE(cfg.fault.watchdog);
+    EXPECT_EQ(cfg.fault.horizon, 1000u);
+    EXPECT_TRUE(cfg.fault.anyActive());
+
+    // The watchdog alone activates no fault class: such a run is
+    // cycle-identical to a plain one, just self-checking.
+    const SystemConfig watch = makeConfigFromSpec("C+watchdog");
+    EXPECT_TRUE(watch.fault.watchdog);
+    EXPECT_FALSE(watch.fault.anyActive());
+}
+
+TEST(FaultReproTest, RoundTrip)
+{
+    ReproSpec spec;
+    spec.workload = "genome";
+    spec.config = "C+faults-nack-storm:fault.seed=7:maxRetries=4";
+    spec.threads = 8;
+    spec.ops = 16;
+    spec.scale = 2;
+    spec.seed = 42;
+    const std::string text = makeReproString(spec);
+    EXPECT_EQ(text.rfind("repro{", 0), 0u);
+
+    ReproSpec parsed;
+    std::string error;
+    ASSERT_TRUE(parseReproString(text, parsed, &error)) << error;
+    EXPECT_EQ(parsed.workload, spec.workload);
+    EXPECT_EQ(parsed.config, spec.config);
+    EXPECT_EQ(parsed.threads, spec.threads);
+    EXPECT_EQ(parsed.ops, spec.ops);
+    EXPECT_EQ(parsed.scale, spec.scale);
+    EXPECT_EQ(parsed.seed, spec.seed);
+}
+
+TEST(FaultReproTest, RejectsMalformedStrings)
+{
+    ReproSpec out;
+    std::string error;
+    EXPECT_FALSE(parseReproString("not a repro", out, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseReproString(
+        "repro{workload=a;threads=1}", out, &error));
+    EXPECT_FALSE(parseReproString(
+        "repro{workload=a;config=B;bogus=1}", out, &error));
+    EXPECT_FALSE(parseReproString(
+        "repro{workload=a;config=B;threads=x;ops=1;scale=1;seed=1}",
+        out, &error));
+}
+
+} // namespace
+} // namespace clearsim

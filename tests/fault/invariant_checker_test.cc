@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests of the runtime InvariantChecker: each invariant in the
+ * catalogue is violated synthetically (crafted trace events, a
+ * seeded LockManager, a stalled clock) and the latched diagnostic —
+ * invariant name, detail text, repro string — is pinned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/invariant_checker.hh"
+#include "mem/lock_manager.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SystemConfig
+checkerConfig(const char *spec = "C+watchdog")
+{
+    return makeConfigFromSpec(spec);
+}
+
+TraceEvent
+event(Cycle cycle, CoreId core, TraceKind kind, ExecMode mode,
+      unsigned counted_retries, TracePayload payload = {})
+{
+    return TraceEvent{cycle, core,           0,      kind,
+                      mode,  AbortReason::None, counted_retries,
+                      payload};
+}
+
+TEST(InvariantCheckerTest, CleanRunStaysClean)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    checker.onTrace(event(10, 0, TraceKind::AttemptBegin,
+                          ExecMode::Speculative, 0));
+    checker.onTrace(
+        event(20, 0, TraceKind::Commit, ExecMode::Speculative, 0));
+    checker.afterEvent(20, true);
+    checker.atEnd(20);
+    EXPECT_FALSE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "");
+}
+
+TEST(InvariantCheckerTest, ExhaustedNonFallbackCommitViolates)
+{
+    const SystemConfig cfg = checkerConfig();
+    ASSERT_GT(cfg.maxRetries, 0u);
+    InvariantChecker checker(cfg);
+    checker.onTrace(event(10, 1, TraceKind::AttemptBegin,
+                          ExecMode::Speculative, cfg.maxRetries));
+    checker.onTrace(event(20, 1, TraceKind::Commit,
+                          ExecMode::Speculative, cfg.maxRetries));
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "single-retry-bound");
+    EXPECT_NE(checker.report().find(
+                  "must divert to the fallback path"),
+              std::string::npos)
+        << checker.report();
+}
+
+TEST(InvariantCheckerTest, FallbackCommitIsExemptFromRetryBound)
+{
+    // The fallback path is the sanctioned escape hatch: it commits
+    // carrying the full accumulated retry count legally.
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    checker.onTrace(event(10, 0, TraceKind::AttemptBegin,
+                          ExecMode::Fallback, cfg.maxRetries + 3));
+    checker.onTrace(event(20, 0, TraceKind::Commit,
+                          ExecMode::Fallback, cfg.maxRetries + 3));
+    EXPECT_FALSE(checker.violated());
+}
+
+TEST(InvariantCheckerTest, NsClCommitMustNotConsumeBudget)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    // Legal: the converted retry begins and commits with the same
+    // counted-retry total.
+    checker.onTrace(
+        event(10, 0, TraceKind::AttemptBegin, ExecMode::NsCl, 1));
+    checker.onTrace(
+        event(20, 0, TraceKind::Commit, ExecMode::NsCl, 1));
+    EXPECT_FALSE(checker.violated());
+
+    // Illegal: the NS-CL attempt consumed a counted retry on the
+    // way to its commit.
+    checker.onTrace(
+        event(30, 0, TraceKind::AttemptBegin, ExecMode::NsCl, 1));
+    checker.onTrace(
+        event(40, 0, TraceKind::Commit, ExecMode::NsCl, 2));
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "single-retry-bound");
+    EXPECT_NE(
+        checker.report().find("CLEAR's single retry"),
+        std::string::npos)
+        << checker.report();
+}
+
+TEST(InvariantCheckerTest, NsClAbortViolates)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    TraceEvent abort = event(10, 2, TraceKind::Abort,
+                             ExecMode::NsCl, 1);
+    abort.reason = AbortReason::MemoryConflict;
+    checker.onTrace(abort);
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "ns-cl-must-commit");
+    EXPECT_NE(checker.report().find("NS-CL must commit"),
+              std::string::npos);
+}
+
+TEST(InvariantCheckerTest, NsClDeviationAbortIsLegal)
+{
+    // A deviation (the region took a different path than the locked
+    // footprint) re-runs the region; it is not a protocol violation.
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    TraceEvent abort = event(10, 2, TraceKind::Abort,
+                             ExecMode::NsCl, 1);
+    abort.reason = AbortReason::Deviation;
+    checker.onTrace(abort);
+    EXPECT_FALSE(checker.violated());
+}
+
+TEST(InvariantCheckerTest, FallbackAbortViolates)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    TraceEvent abort = event(10, 0, TraceKind::Abort,
+                             ExecMode::Fallback, 0);
+    abort.reason = AbortReason::MemoryConflict;
+    checker.onTrace(abort);
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "fallback-must-commit");
+    EXPECT_NE(checker.report().find("the fallback path must"),
+              std::string::npos);
+}
+
+TEST(InvariantCheckerTest, LockOrderViolationIsCaught)
+{
+    const SystemConfig cfg = checkerConfig();
+    ASSERT_GE(cfg.cache.dirSets, 4u);
+    InvariantChecker checker(cfg);
+    checker.onTrace(
+        event(10, 0, TraceKind::AttemptBegin, ExecMode::SCl, 1));
+    // In-order (set 2 then set 3): legal.
+    checker.onTrace(event(11, 0, TraceKind::LineLockAcquired,
+                          ExecMode::SCl, 1, LockPayload{2, 0}));
+    checker.onTrace(event(12, 0, TraceKind::LineLockAcquired,
+                          ExecMode::SCl, 1, LockPayload{3, 0}));
+    EXPECT_FALSE(checker.violated());
+    // Out of order (set 3 then set 2): the Figure 5 deadlock seed.
+    checker.onTrace(event(13, 0, TraceKind::LineLockAcquired,
+                          ExecMode::SCl, 1, LockPayload{2, 0}));
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "lock-order");
+    EXPECT_NE(checker.report().find(
+                  "lexicographical (set, line) order is required"),
+              std::string::npos)
+        << checker.report();
+}
+
+TEST(InvariantCheckerTest, LockLeakAtAttemptBegin)
+{
+    const SystemConfig cfg = checkerConfig();
+    LockManager locks;
+    locks.configureDirSets(cfg.cache.dirSets);
+    ASSERT_TRUE(locks.tryLock(64, 0));
+
+    InvariantChecker checker(cfg);
+    checker.attachLocks(&locks);
+    checker.onTrace(event(10, 0, TraceKind::AttemptBegin,
+                          ExecMode::Speculative, 0));
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "lock-leak");
+    EXPECT_NE(checker.report().find(
+                  "while still holding 1 line lock(s)"),
+              std::string::npos)
+        << checker.report();
+}
+
+TEST(InvariantCheckerTest, LockLeakAtRunEnd)
+{
+    const SystemConfig cfg = checkerConfig();
+    LockManager locks;
+    locks.configureDirSets(cfg.cache.dirSets);
+    ASSERT_TRUE(locks.tryLock(128, 3));
+
+    InvariantChecker checker(cfg);
+    checker.attachLocks(&locks);
+    checker.atEnd(500);
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "lock-leak");
+    EXPECT_NE(checker.report().find(
+                  "ended the run still holding 1 line lock(s)"),
+              std::string::npos)
+        << checker.report();
+
+    // Cleanly released locks leave no leak.
+    locks.unlock(128, 3);
+    InvariantChecker clean(cfg);
+    clean.attachLocks(&locks);
+    clean.atEnd(500);
+    EXPECT_FALSE(clean.violated());
+}
+
+TEST(InvariantCheckerTest, LivelockPastHorizon)
+{
+    const SystemConfig cfg =
+        checkerConfig("C+watchdog:fault.horizon=1000");
+    InvariantChecker checker(cfg);
+    // Work pending, clock far past the horizon, no commit yet.
+    checker.afterEvent(900, true);
+    EXPECT_FALSE(checker.violated());
+    checker.afterEvent(1500, true);
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "global-progress");
+    EXPECT_NE(checker.report().find("livelock"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, CommitsResetTheProgressHorizon)
+{
+    const SystemConfig cfg =
+        checkerConfig("C+watchdog:fault.horizon=1000");
+    InvariantChecker checker(cfg);
+    checker.onTrace(
+        event(900, 0, TraceKind::Commit, ExecMode::Speculative, 0));
+    checker.afterEvent(1500, true);
+    EXPECT_FALSE(checker.violated());
+    // A drained queue is never a livelock, no matter the clock.
+    checker.afterEvent(900000, false);
+    EXPECT_FALSE(checker.violated());
+}
+
+TEST(InvariantCheckerTest, DeadlockIsNamed)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    checker.noteDeadlock(77, 2);
+    ASSERT_TRUE(checker.violated());
+    EXPECT_EQ(checker.invariant(), "deadlock");
+    EXPECT_NE(checker.report().find(
+                  "2 workload thread(s) unfinished: deadlock"),
+              std::string::npos)
+        << checker.report();
+}
+
+TEST(InvariantCheckerTest, FirstViolationIsLatched)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    checker.noteDeadlock(10, 1);
+    checker.onTrace(event(20, 0, TraceKind::Commit,
+                          ExecMode::Speculative, cfg.maxRetries));
+    EXPECT_EQ(checker.invariant(), "deadlock");
+}
+
+TEST(InvariantCheckerTest, ReportCarriesReproAndTraceRing)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    checker.setRepro("repro{workload=w;config=C+watchdog;threads=2;"
+                     "ops=1;scale=1;seed=9}");
+    checker.onTrace(event(10, 0, TraceKind::AttemptBegin,
+                          ExecMode::Speculative, 0));
+    checker.noteDeadlock(50, 1);
+    const std::string report = checker.report();
+    EXPECT_NE(report.find("invariant violated: deadlock"),
+              std::string::npos);
+    EXPECT_NE(report.find("repro: repro{workload=w;"),
+              std::string::npos);
+    EXPECT_NE(report.find("recent trace (last 1 of 1 events):"),
+              std::string::npos)
+        << report;
+
+    EXPECT_THROW(checker.raise(), InvariantViolationError);
+    try {
+        checker.raise();
+    } catch (const InvariantViolationError &err) {
+        EXPECT_EQ(err.invariant(), "deadlock");
+        EXPECT_EQ(err.what(), report);
+    }
+}
+
+TEST(InvariantCheckerTest, UnrecordedReproIsMarked)
+{
+    const SystemConfig cfg = checkerConfig();
+    InvariantChecker checker(cfg);
+    checker.noteDeadlock(50, 1);
+    EXPECT_NE(checker.report().find("repro: (not recorded)"),
+              std::string::npos);
+}
+
+TEST(InvariantCheckerDeathTest, FatalViolationPrintsDiagnostic)
+{
+    // The fatal path (a top-level handler printing what() before
+    // dying) must land the named invariant, the detail line and the
+    // repro string on stderr.
+    EXPECT_DEATH(
+        {
+            const SystemConfig cfg = checkerConfig();
+            InvariantChecker checker(cfg);
+            checker.setRepro("repro{workload=w;config=C+watchdog;"
+                             "threads=2;ops=1;scale=1;seed=9}");
+            checker.noteDeadlock(50, 1);
+            try {
+                checker.raise();
+            } catch (const InvariantViolationError &err) {
+                std::fprintf(stderr, "%s\n", err.what());
+                std::abort();
+            }
+        },
+        "invariant violated: deadlock(.|\n)*workload thread\\(s\\) "
+        "unfinished(.|\n)*repro: repro\\{workload=w;");
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Crash tolerance of the sweep harness:
+ *
+ *  - a cell whose point throws (watchdog violation) is reported
+ *    FAILED with a repro string and the remaining cells still run;
+ *  - the per-cell checkpoint makes a sweep resumable: a partial
+ *    checkpoint (including one left by a SIGKILL mid-sweep) is
+ *    picked up by the next run and the final cache CSV is
+ *    byte-identical to an uninterrupted sweep;
+ *  - a truncated or corrupted cache/checkpoint is detected,
+ *    discarded and recovered from, never served.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "clearsim/clearsim.hh"
+#include "fault/fault_repro.hh"
+#include "harness/sweep_cache.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** Set an environment variable for one scope, then restore it. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value)
+        : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        ::setenv(name, value.c_str(), 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/** A small, benign sweep (4 cells, no faults). */
+SweepOptions
+benignSweep()
+{
+    SweepOptions opts;
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.configs = {"B", "C"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 3;
+    opts.params.opsPerThread = 4;
+    opts.jobs = 1;
+    return opts;
+}
+
+/**
+ * A forced-abort storm against an inexhaustible retry budget: every
+ * point of this config livelocks and the watchdog throws.
+ */
+constexpr char kLivelockConfig[] =
+    "B:fault.forced-abort=1000:fault.watchdog=1"
+    ":fault.horizon=20000";
+
+TEST(SweepCrashTest, FailingCellDoesNotStopTheSweep)
+{
+    SweepOptions opts;
+    opts.workloads = {"mwobject"};
+    opts.configs = {"B", kLivelockConfig};
+    opts.retryLimits = {1000000};
+    opts.seeds = 1;
+    opts.params.opsPerThread = 4;
+    opts.jobs = 2;
+
+    unsigned cells_reported = 0;
+    const auto results =
+        runSweep(opts, {}, [&cells_reported](const CellResult &) {
+            ++cells_reported;
+        });
+    EXPECT_EQ(cells_reported, 2u);
+    ASSERT_EQ(results.size(), 2u);
+
+    const CellResult &ok = results.at({"mwobject", "B"});
+    EXPECT_FALSE(ok.failed) << ok.error;
+    EXPECT_GT(ok.htm.commits, 0u);
+
+    const CellResult &bad =
+        results.at({"mwobject", kLivelockConfig});
+    ASSERT_TRUE(bad.failed);
+    EXPECT_NE(bad.error.find("global-progress"), std::string::npos)
+        << bad.error;
+
+    // The repro string replays the exact failing point: it names
+    // the per-point config, retry limit included.
+    ReproSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseReproString(bad.repro, spec, &error))
+        << error << " in " << bad.repro;
+    EXPECT_EQ(spec.workload, "mwobject");
+    EXPECT_NE(spec.config.find(kLivelockConfig), std::string::npos);
+    EXPECT_NE(spec.config.find(":maxRetries=1000000"),
+              std::string::npos)
+        << spec.config;
+}
+
+TEST(SweepCrashTest, TruncatedCacheIsDiscarded)
+{
+    const std::string path = "/tmp/clearsim_trunc_cache.csv";
+    SweepOptions opts = benignSweep();
+    const std::uint64_t hash = sweepOptionsHash(opts);
+
+    // A valid single-cell cache loads...
+    CellSummary cell;
+    cell.workload = "mwobject";
+    cell.config = "B";
+    cell.commits = 7;
+    SweepSummary summary;
+    summary[{cell.workload, cell.config}] = cell;
+    saveSweepCache(path, hash, summary);
+    SweepSummary loaded;
+    ASSERT_TRUE(loadSweepCache(path, hash, loaded));
+    ASSERT_EQ(loaded.size(), 1u);
+
+    // ...but any truncation (as a crash without the atomic rename
+    // could have produced) poisons the whole file.
+    const std::string bytes = readFile(path);
+    for (const std::size_t keep :
+         {bytes.size() - 2, bytes.size() / 2, std::size_t{3}}) {
+        std::ofstream out(path, std::ios::trunc);
+        out << bytes.substr(0, keep);
+        out.close();
+        EXPECT_FALSE(loadSweepCache(path, hash, loaded))
+            << "truncated to " << keep << " bytes";
+        EXPECT_TRUE(loaded.empty());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepCrashTest, CheckpointResumeIsByteIdentical)
+{
+    const std::string ref_path = "/tmp/clearsim_resume_ref.csv";
+    const std::string res_path = "/tmp/clearsim_resume_part.csv";
+    std::remove(ref_path.c_str());
+    std::remove(res_path.c_str());
+    const SweepOptions opts = benignSweep();
+    const std::uint64_t hash = sweepOptionsHash(opts);
+
+    // Reference: one uninterrupted sweep.
+    std::string ref_bytes;
+    {
+        ScopedEnv env("CLEARSIM_CACHE", ref_path);
+        sweepWithCache(opts);
+        ref_bytes = readFile(ref_path);
+        ASSERT_FALSE(ref_bytes.empty());
+    }
+
+    // Resumed: seed the checkpoint with two already-done cells (as
+    // a killed run would have left behind), then sweep.
+    SweepSummary done;
+    ASSERT_TRUE(loadSweepCache(ref_path, hash, done));
+    ASSERT_EQ(done.size(), 4u);
+    SweepSummary partial;
+    unsigned taken = 0;
+    for (const auto &[key, cell] : done) {
+        if (taken++ == 2)
+            break;
+        partial[key] = cell;
+    }
+    saveSweepCache(sweepCheckpointPath(res_path), hash, partial);
+    {
+        ScopedEnv env("CLEARSIM_CACHE", res_path);
+        sweepWithCache(opts);
+    }
+
+    EXPECT_EQ(readFile(res_path), ref_bytes);
+    // The checkpoint has served its purpose and is gone.
+    EXPECT_FALSE(fileExists(sweepCheckpointPath(res_path)));
+
+    // A truncated (torn) checkpoint is discarded, not trusted: the
+    // sweep restarts from scratch and still converges byte-exactly.
+    const std::string trunc_path = "/tmp/clearsim_resume_trunc.csv";
+    std::remove(trunc_path.c_str());
+    {
+        std::ofstream out(sweepCheckpointPath(trunc_path),
+                          std::ios::trunc);
+        out << ref_bytes.substr(0, ref_bytes.size() / 2);
+    }
+    {
+        ScopedEnv env("CLEARSIM_CACHE", trunc_path);
+        sweepWithCache(opts);
+    }
+    EXPECT_EQ(readFile(trunc_path), ref_bytes);
+
+    std::remove(ref_path.c_str());
+    std::remove(res_path.c_str());
+    std::remove(trunc_path.c_str());
+}
+
+TEST(SweepCrashTest, SigkilledSweepResumesFromCheckpoint)
+{
+    const std::string ref_path = "/tmp/clearsim_kill_ref.csv";
+    const std::string kill_path = "/tmp/clearsim_kill_run.csv";
+    const std::string ckpt = sweepCheckpointPath(kill_path);
+    std::remove(ref_path.c_str());
+    std::remove(kill_path.c_str());
+    std::remove(ckpt.c_str());
+    const SweepOptions opts = benignSweep();
+
+    // Reference bytes from an uninterrupted sweep.
+    std::string ref_bytes;
+    {
+        ScopedEnv env("CLEARSIM_CACHE", ref_path);
+        sweepWithCache(opts);
+        ref_bytes = readFile(ref_path);
+        ASSERT_FALSE(ref_bytes.empty());
+    }
+
+    // Child: run the sweep and SIGKILL ourselves the moment the
+    // checkpoint holds a completed cell — an arbitrary, ungraceful
+    // death mid-sweep.
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv("CLEARSIM_CACHE", kill_path.c_str(), 1);
+        std::thread watcher([&ckpt] {
+            for (;;) {
+                std::ifstream in(ckpt);
+                std::string text(
+                    (std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+                // Header plus at least one complete data row.
+                if (!text.empty() && !text.ends_with('\n'))
+                    text.clear();
+                std::size_t lines = 0;
+                for (char c : text)
+                    lines += (c == '\n') ? 1 : 0;
+                if (lines >= 2)
+                    ::raise(SIGKILL);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+        watcher.detach();
+        sweepWithCache(opts);
+        ::_exit(0); // finished before the kill landed: also fine
+    }
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    const bool killed =
+        WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool finished = WIFEXITED(status) &&
+                          WEXITSTATUS(status) == 0;
+    ASSERT_TRUE(killed || finished) << "status " << status;
+
+    // Resume (or just reload) in this process: the final cache must
+    // be byte-identical to the uninterrupted reference.
+    {
+        ScopedEnv env("CLEARSIM_CACHE", kill_path);
+        sweepWithCache(opts);
+    }
+    EXPECT_EQ(readFile(kill_path), ref_bytes);
+
+    std::remove(ref_path.c_str());
+    std::remove(kill_path.c_str());
+}
+
+} // namespace
+} // namespace clearsim

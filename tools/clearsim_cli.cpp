@@ -47,6 +47,12 @@ struct CliOptions
     unsigned ops = 32;
     unsigned threads = 32;
     unsigned retries = 4;
+    /**
+     * True once --retries was given. Without it the config spec's
+     * own maxRetries (default or an explicit ":maxRetries=N" key)
+     * wins, so a repro spec replays through the CLI unaltered.
+     */
+    bool retriesGiven = false;
     unsigned scale = 1;
     std::uint64_t seed = 42;
     bool csv = false;
@@ -197,6 +203,7 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--retries") {
             opts.retries = static_cast<unsigned>(parseUnsignedOrDie(
                 value().c_str(), "--retries", 0, 1000000));
+            opts.retriesGiven = true;
         } else if (arg == "--scale") {
             opts.scale = static_cast<unsigned>(parseUnsignedOrDie(
                 value().c_str(), "--scale", 1, 1000000));
@@ -260,7 +267,10 @@ main(int argc, char **argv)
                 AnalyzeRequest request;
                 request.config = config;
                 request.workload = workload;
-                request.maxRetries = opts.retries;
+                request.maxRetries =
+                    opts.retriesGiven
+                        ? opts.retries
+                        : makeConfigByName(config).maxRetries;
                 request.params.threads = opts.threads;
                 request.params.opsPerThread = opts.ops;
                 request.params.scale = opts.scale;
@@ -296,11 +306,13 @@ main(int argc, char **argv)
     std::vector<RunResult> allRuns;
     std::vector<TraceEvent> traceEvents;
     const bool collectTrace = !opts.traceOutPath.empty();
+    unsigned failedRuns = 0;
 
     for (const std::string &workload : opts.workloads) {
         for (const std::string &config : opts.configs) {
             SystemConfig cfg = makeConfigByName(config);
-            cfg.maxRetries = opts.retries;
+            if (opts.retriesGiven)
+                cfg.maxRetries = opts.retries;
             if (opts.profile)
                 cfg.profileMode = true;
             if (opts.threads < cfg.numCores)
@@ -312,6 +324,7 @@ main(int argc, char **argv)
             params.seed = opts.seed;
 
             RunResult run;
+            try {
             if (opts.trace || opts.profile || collectTrace) {
                 System sys(cfg, params.seed);
                 if (opts.trace || collectTrace) {
@@ -351,6 +364,18 @@ main(int argc, char **argv)
             } else {
                 run = runOnce(cfg, workload, params, opts.verify);
             }
+            } catch (const std::exception &err) {
+                // Invariant violations and verification failures
+                // are reported per (workload, config) combination;
+                // the remaining combinations still run and the
+                // process exits nonzero at the end.
+                ++failedRuns;
+                std::fprintf(stderr,
+                             "[clearsim] FAILED %s [%s]:\n%s\n",
+                             workload.c_str(), config.c_str(),
+                             err.what());
+                continue;
+            }
             if (!opts.statsJsonPath.empty())
                 allRuns.push_back(run);
             if (opts.profile) {
@@ -386,7 +411,8 @@ main(int argc, char **argv)
                 std::printf(
                     "%s,%s,%u,%llu,%llu,%llu,%llu,%.4f,%.4f,%.4f,"
                     "%.4f,%.4f,%.1f\n",
-                    workload.c_str(), config.c_str(), opts.retries,
+                    workload.c_str(), config.c_str(),
+                    cfg.maxRetries,
                     static_cast<unsigned long long>(opts.seed),
                     static_cast<unsigned long long>(run.cycles),
                     static_cast<unsigned long long>(
@@ -438,6 +464,11 @@ main(int argc, char **argv)
         logStatus("[clearsim] wrote stats for %llu runs to %s",
                   static_cast<unsigned long long>(allRuns.size()),
                   opts.statsJsonPath.c_str());
+    }
+    if (failedRuns != 0) {
+        std::fprintf(stderr, "[clearsim] %u run(s) failed\n",
+                     failedRuns);
+        return 1;
     }
     return 0;
 }
