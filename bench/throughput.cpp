@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Simulator throughput benchmark: the tracked perf trajectory.
+ *
+ * Runs the fig8-shaped sweep grid (workloads x B/P/C/W configs x
+ * retry limits x seeds) point by point on the calling thread and
+ * reports two throughput figures:
+ *
+ *  - sweep-points/sec: complete runOnce() simulations per second,
+ *    the number that bounds every design-space-exploration sweep;
+ *  - simulated-cycles/sec: simulated core cycles retired per
+ *    wall-clock second, the classic discrete-event-simulator metric
+ *    (robust against grids whose points simulate different spans).
+ *
+ * Each repetition runs the identical deterministic grid; the best
+ * repetition is reported (minimum wall time), which is the standard
+ * way to strip scheduler noise from a throughput figure. Results
+ * are written to BENCH_throughput.json (clearsim-bench-v1) for
+ * scripts/bench_ci.sh to gate regressions against a pinned
+ * baseline; see docs/PERFORMANCE.md.
+ *
+ * Environment (validated like every other CLEARSIM_* knob):
+ *   CLEARSIM_WORKLOADS / CLEARSIM_CONFIGS / CLEARSIM_RETRIES /
+ *   CLEARSIM_SEEDS / CLEARSIM_OPS    grid override (defaults:
+ *                                    all workloads, B,P,C,W,
+ *                                    retries 1,4, 2 seeds, 16 ops)
+ *   CLEARSIM_BENCH_REPS              timed repetitions (default 3)
+ *   CLEARSIM_BENCH_WARMUP            warmup repetitions (default 1)
+ *   CLEARSIM_BENCH_OUT               output path (default
+ *                                    BENCH_throughput.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clearsim/clearsim.hh"
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const char *value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** The benchmark grid: fig8 cells at a CI-sized working set. */
+struct Grid
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> configs{"B", "P", "C", "W"};
+    std::vector<unsigned> retryLimits{1, 4};
+    unsigned seeds = 2;
+    unsigned ops = 16;
+
+    std::size_t
+    points() const
+    {
+        return workloads.size() * configs.size() *
+               retryLimits.size() * seeds;
+    }
+
+    static Grid
+    fromEnv()
+    {
+        Grid grid;
+        grid.workloads = workloadNames();
+        if (const char *v = std::getenv("CLEARSIM_WORKLOADS"))
+            grid.workloads = splitList(v);
+        if (const char *v = std::getenv("CLEARSIM_CONFIGS"))
+            grid.configs = splitList(v);
+        if (const char *v = std::getenv("CLEARSIM_RETRIES")) {
+            grid.retryLimits.clear();
+            for (const std::string &r : splitList(v))
+                grid.retryLimits.push_back(
+                    static_cast<unsigned>(parseUnsignedOrDie(
+                        r.c_str(), "CLEARSIM_RETRIES", 0, 1000000)));
+        }
+        grid.seeds = static_cast<unsigned>(
+            envUnsignedOr("CLEARSIM_SEEDS", grid.seeds, 1, 1000));
+        grid.ops = static_cast<unsigned>(
+            envUnsignedOr("CLEARSIM_OPS", grid.ops, 1, 100000000));
+        if (grid.workloads.empty())
+            fatal("CLEARSIM_WORKLOADS: empty workload list");
+        if (grid.configs.empty())
+            fatal("CLEARSIM_CONFIGS: empty config list");
+        if (grid.retryLimits.empty())
+            fatal("CLEARSIM_RETRIES: empty retry list");
+        return grid;
+    }
+};
+
+/** One timed pass over the whole grid. */
+struct RepResult
+{
+    double seconds = 0.0;
+    std::uint64_t simCycles = 0;
+};
+
+RepResult
+runGrid(const Grid &grid)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+
+    std::uint64_t cycles = 0;
+    for (const std::string &workload : grid.workloads) {
+        for (const std::string &config : grid.configs) {
+            for (unsigned retries : grid.retryLimits) {
+                SystemConfig cfg = makeConfigByName(config);
+                cfg.maxRetries = retries;
+                cfg.name = config + ":maxRetries=" +
+                           std::to_string(retries);
+                for (unsigned s = 0; s < grid.seeds; ++s) {
+                    WorkloadParams params;
+                    params.opsPerThread = grid.ops;
+                    params.seed =
+                        params.seed + 1000003ull * s;
+                    const RunResult run =
+                        runOnce(cfg, workload, params);
+                    cycles += run.cycles;
+                }
+            }
+        }
+    }
+
+    RepResult rep;
+    rep.seconds =
+        std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    rep.simCycles = cycles;
+    return rep;
+}
+
+std::string
+joinList(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += ",";
+        out += item;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Grid grid = Grid::fromEnv();
+    const unsigned reps = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_BENCH_REPS", 3, 1, 100));
+    const unsigned warmup = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_BENCH_WARMUP", 1, 0, 100));
+    std::string out_path = "BENCH_throughput.json";
+    if (const char *v = std::getenv("CLEARSIM_BENCH_OUT"))
+        out_path = v;
+    if (argc > 1)
+        out_path = argv[1];
+
+    const std::size_t points = grid.points();
+    std::printf("throughput bench: %zu points "
+                "(%zu workloads x %zu configs x %zu retries x "
+                "%u seeds, %u ops), %u warmup + %u timed reps\n",
+                points, grid.workloads.size(), grid.configs.size(),
+                grid.retryLimits.size(), grid.seeds, grid.ops,
+                warmup, reps);
+
+    for (unsigned i = 0; i < warmup; ++i)
+        runGrid(grid);
+
+    std::vector<RepResult> results;
+    RepResult best;
+    for (unsigned i = 0; i < reps; ++i) {
+        const RepResult rep = runGrid(grid);
+        if (i != 0 && rep.simCycles != results.front().simCycles) {
+            // Identical grids must simulate identical work; a
+            // drifting cycle count means nondeterminism, and a
+            // nondeterministic benchmark gates nothing.
+            panic("rep %u simulated %llu cycles, rep 0 %llu",
+                  i,
+                  static_cast<unsigned long long>(rep.simCycles),
+                  static_cast<unsigned long long>(
+                      results.front().simCycles));
+        }
+        results.push_back(rep);
+        if (best.seconds == 0.0 || rep.seconds < best.seconds)
+            best = rep;
+        std::printf("  rep %u: %.3fs  %.1f points/s  "
+                    "%.3g sim-cycles/s\n",
+                    i, rep.seconds,
+                    static_cast<double>(points) / rep.seconds,
+                    static_cast<double>(rep.simCycles) /
+                        rep.seconds);
+    }
+
+    const double pps = static_cast<double>(points) / best.seconds;
+    const double cps =
+        static_cast<double>(best.simCycles) / best.seconds;
+    std::printf("best: %.3fs  %.1f sweep-points/s  "
+                "%.4g simulated-cycles/s\n",
+                best.seconds, pps, cps);
+
+    std::string doc;
+    JsonWriter json(doc);
+    json.beginObject();
+    json.key("schema");
+    json.value("clearsim-bench-v1");
+    json.key("bench");
+    json.value("throughput");
+    json.key("grid");
+    json.beginObject();
+    json.key("workloads");
+    json.value(joinList(grid.workloads));
+    json.key("configs");
+    json.value(joinList(grid.configs));
+    json.key("retry_limits");
+    json.beginArray();
+    for (unsigned r : grid.retryLimits)
+        json.value(r);
+    json.endArray();
+    json.key("seeds");
+    json.value(grid.seeds);
+    json.key("ops");
+    json.value(grid.ops);
+    json.key("points");
+    json.value(static_cast<std::uint64_t>(points));
+    json.endObject();
+    json.key("reps");
+    json.beginArray();
+    for (const RepResult &rep : results) {
+        json.beginObject();
+        json.key("seconds");
+        json.value(rep.seconds);
+        json.key("points_per_sec");
+        json.value(static_cast<double>(points) / rep.seconds);
+        json.key("sim_cycles_per_sec");
+        json.value(static_cast<double>(rep.simCycles) /
+                   rep.seconds);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("total_sim_cycles");
+    json.value(best.simCycles);
+    json.key("best");
+    json.beginObject();
+    json.key("seconds");
+    json.value(best.seconds);
+    json.key("points_per_sec");
+    json.value(pps);
+    json.key("sim_cycles_per_sec");
+    json.value(cps);
+    json.endObject();
+    json.endObject();
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write %s", out_path.c_str());
+    out << doc << "\n";
+    out.close();
+    logStatus("[clearsim] wrote %s", out_path.c_str());
+    return 0;
+}

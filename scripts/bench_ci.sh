@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+#
+# Performance-regression gate for the throughput benchmark.
+#
+# Compares a clearsim-bench-v1 document against the pinned baseline
+# in bench/baselines/ and fails when either metric (sweep-points/sec
+# or simulated-cycles/sec) drops more than the tolerance below the
+# baseline. Improvements always pass; refresh the baseline with
+# --update after a deliberate speedup so the gate ratchets forward.
+#
+# Usage:
+#   scripts/bench_ci.sh [--update] [current.json [baseline.json]]
+#
+#   current.json   bench output to check (default: BENCH_throughput.json
+#                  in the working directory; if absent the script runs
+#                  build/bench/throughput to produce it)
+#   baseline.json  pinned reference (default:
+#                  bench/baselines/BENCH_throughput.baseline.json)
+#
+# Environment:
+#   BENCH_TOLERANCE_PCT  allowed regression percentage (default 10)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+    update=1
+    shift
+fi
+
+current="${1:-BENCH_throughput.json}"
+baseline="${2:-$repo_root/bench/baselines/BENCH_throughput.baseline.json}"
+tolerance="${BENCH_TOLERANCE_PCT:-10}"
+
+if [[ ! -f "$current" ]]; then
+    bench_bin="$repo_root/build/bench/throughput"
+    if [[ ! -x "$bench_bin" ]]; then
+        echo "bench_ci: $current not found and $bench_bin not built" >&2
+        exit 2
+    fi
+    echo "bench_ci: running $bench_bin -> $current"
+    "$bench_bin" "$current"
+fi
+
+if [[ "$update" == 1 ]]; then
+    cp "$current" "$baseline"
+    echo "bench_ci: baseline updated from $current"
+    exit 0
+fi
+
+if [[ ! -f "$baseline" ]]; then
+    echo "bench_ci: baseline $baseline missing" >&2
+    echo "bench_ci: run 'scripts/bench_ci.sh --update $current' to pin one" >&2
+    exit 2
+fi
+
+python3 - "$baseline" "$current" "$tolerance" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, tolerance_pct = sys.argv[1:4]
+tolerance = float(tolerance_pct) / 100.0
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "clearsim-bench-v1":
+        sys.exit(f"bench_ci: {path} is not a clearsim-bench-v1 document")
+    return doc
+
+base = load(baseline_path)
+cur = load(current_path)
+
+if base["grid"] != cur["grid"]:
+    sys.exit("bench_ci: grid mismatch between baseline and current run;\n"
+             f"  baseline: {base['grid']}\n"
+             f"  current:  {cur['grid']}\n"
+             "  (re-pin the baseline when the bench grid changes)")
+
+failed = False
+for metric in ("points_per_sec", "sim_cycles_per_sec"):
+    b = base["best"][metric]
+    c = cur["best"][metric]
+    floor = b * (1.0 - tolerance)
+    delta = (c / b - 1.0) * 100.0
+    status = "OK " if c >= floor else "FAIL"
+    print(f"bench_ci: {status} {metric}: baseline {b:.4g}, "
+          f"current {c:.4g} ({delta:+.1f}%, floor {floor:.4g})")
+    if c < floor:
+        failed = True
+
+if failed:
+    sys.exit(f"bench_ci: throughput regressed more than {tolerance_pct}% "
+             "below the pinned baseline")
+print("bench_ci: within tolerance")
+EOF

@@ -1,0 +1,89 @@
+#include "common/arena.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/**
+ * Coroutine frames cluster around a handful of sizes (one per
+ * coroutine function), so a few 64-byte-granular buckets capture
+ * nearly all of them. Blocks are recycled per thread; the pool
+ * frees everything it still holds when its thread exits, so leak
+ * checkers see a clean heap.
+ */
+constexpr std::size_t kFrameGranule = 64;
+constexpr std::size_t kFrameClasses = 16; // up to 1024 bytes
+
+struct FreeBlock
+{
+    FreeBlock *next;
+};
+
+struct FramePool
+{
+    FreeBlock *buckets[kFrameClasses] = {};
+    std::size_t cachedBytes = 0;
+
+    ~FramePool()
+    {
+        for (FreeBlock *head : buckets) {
+            while (head != nullptr) {
+                FreeBlock *next = head->next;
+                ::operator delete(head);
+                head = next;
+            }
+        }
+    }
+};
+
+thread_local FramePool tlsFramePool;
+
+constexpr std::size_t
+frameClass(std::size_t n)
+{
+    return (n + kFrameGranule - 1) / kFrameGranule;
+}
+
+} // namespace
+
+void *
+frameAlloc(std::size_t n)
+{
+    const std::size_t cls = frameClass(n);
+    if (cls == 0 || cls > kFrameClasses)
+        return ::operator new(n);
+    FramePool &pool = tlsFramePool;
+    FreeBlock *&head = pool.buckets[cls - 1];
+    if (head != nullptr) {
+        void *p = head;
+        head = head->next;
+        pool.cachedBytes -= cls * kFrameGranule;
+        return p;
+    }
+    return ::operator new(cls * kFrameGranule);
+}
+
+void
+frameFree(void *p, std::size_t n) noexcept
+{
+    const std::size_t cls = frameClass(n);
+    if (cls == 0 || cls > kFrameClasses) {
+        ::operator delete(p);
+        return;
+    }
+    FramePool &pool = tlsFramePool;
+    auto *block = static_cast<FreeBlock *>(p);
+    block->next = pool.buckets[cls - 1];
+    pool.buckets[cls - 1] = block;
+    pool.cachedBytes += cls * kFrameGranule;
+}
+
+std::size_t
+framePoolCachedBytes()
+{
+    return tlsFramePool.cachedBytes;
+}
+
+} // namespace clearsim

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Slab/arena allocation for the simulator hot path.
+ *
+ * Three building blocks, all single-threaded by design (one System
+ * and its event queue live entirely on one sweep worker thread):
+ *
+ *  - Arena: a bump allocator over geometrically reusable slabs.
+ *    Allocation is a pointer increment; deallocation only exists in
+ *    bulk (reset() rewinds to the first slab, keeping every slab for
+ *    reuse). Destructors are the caller's business — the arena hands
+ *    out raw storage.
+ *
+ *  - SlotPool<T>: a typed free list on top of an Arena. acquire()
+ *    placement-constructs a T in a recycled slot (or fresh arena
+ *    storage), release() destroys it and pushes the slot back. The
+ *    event queue runs on one of these: after warm-up, scheduling an
+ *    event allocates nothing.
+ *
+ *  - frameAlloc()/frameFree(): a size-bucketed thread-local free
+ *    list for C++20 coroutine frames. Every simulated memory access
+ *    creates and destroys a Task<> frame; routing those through the
+ *    general-purpose heap dominated the allocation profile. Frames
+ *    above the largest bucket fall through to operator new.
+ */
+
+#ifndef CLEARSIM_COMMON_ARENA_HH
+#define CLEARSIM_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace clearsim
+{
+
+/** Bump allocator over reusable slabs. Storage only, no dtors. */
+class Arena
+{
+  public:
+    explicit Arena(std::size_t slab_bytes = 64 * 1024)
+        : slabBytes_(slab_bytes)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    ~Arena()
+    {
+        for (const Slab &slab : slabs_)
+            ::operator delete(slab.data);
+    }
+
+    /** Allocate bytes with the given power-of-two alignment. */
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        // Align the absolute address: slab bases only carry the
+        // default operator-new alignment, so aligning the offset
+        // alone would under-align over-aligned types.
+        std::size_t at = alignedOffset(align);
+        if (current_ >= slabs_.size() ||
+            at + bytes > slabs_[current_].size) {
+            nextSlab(bytes + align);
+            at = alignedOffset(align);
+        }
+        offset_ = at + bytes;
+        return slabs_[current_].data + at;
+    }
+
+    /** Typed allocation (construction is the caller's job). */
+    template <typename T>
+    T *
+    allocate(std::size_t count = 1)
+    {
+        return static_cast<T *>(allocate(sizeof(T) * count,
+                                         alignof(T)));
+    }
+
+    /**
+     * Rewind to empty, keeping every slab for reuse. Invalidates
+     * all outstanding allocations.
+     */
+    void
+    reset()
+    {
+        current_ = 0;
+        offset_ = 0;
+    }
+
+    /** Slabs held (reused across reset()). */
+    std::size_t slabCount() const { return slabs_.size(); }
+
+  private:
+    struct Slab
+    {
+        char *data = nullptr;
+        std::size_t size = 0;
+    };
+
+    /** Slab offset of the next align-aligned absolute address. */
+    std::size_t
+    alignedOffset(std::size_t align) const
+    {
+        if (current_ >= slabs_.size())
+            return offset_;
+        const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(
+            slabs_[current_].data);
+        return ((base + offset_ + align - 1) & ~(align - 1)) - base;
+    }
+
+    /** Advance to a slab with at least need free bytes. */
+    void
+    nextSlab(std::size_t need)
+    {
+        const std::size_t from =
+            slabs_.empty() ? 0 : current_ + 1;
+        for (std::size_t i = from; i < slabs_.size(); ++i) {
+            if (slabs_[i].size >= need) {
+                current_ = i;
+                offset_ = 0;
+                return;
+            }
+        }
+        const std::size_t size =
+            need > slabBytes_ ? need : slabBytes_;
+        slabs_.push_back(
+            Slab{static_cast<char *>(::operator new(size)), size});
+        current_ = slabs_.size() - 1;
+        offset_ = 0;
+    }
+
+    std::vector<Slab> slabs_;
+    std::size_t current_ = 0;
+    std::size_t offset_ = 0;
+    std::size_t slabBytes_;
+};
+
+/**
+ * Typed object pool: arena-backed slots recycled through a free
+ * list. acquire()/release() pair construction with destruction;
+ * the storage itself is never returned to the system until the
+ * pool dies.
+ */
+template <typename T>
+class SlotPool
+{
+  public:
+    explicit SlotPool(std::size_t slab_bytes = 64 * 1024)
+        : arena_(slab_bytes)
+    {
+    }
+
+    SlotPool(const SlotPool &) = delete;
+    SlotPool &operator=(const SlotPool &) = delete;
+
+    /** Construct a T in a pooled slot. */
+    template <typename... Args>
+    T *
+    acquire(Args &&...args)
+    {
+        Slot *slot = free_;
+        if (slot != nullptr)
+            free_ = slot->next;
+        else
+            slot = arena_.template allocate<Slot>();
+        ++live_;
+        return ::new (static_cast<void *>(slot->storage))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Destroy a pooled T and recycle its slot. */
+    void
+    release(T *object)
+    {
+        object->~T();
+        Slot *slot = reinterpret_cast<Slot *>(object);
+        slot->next = free_;
+        free_ = slot;
+        --live_;
+    }
+
+    /** Objects currently acquired and not yet released. */
+    std::size_t liveCount() const { return live_; }
+
+  private:
+    union Slot
+    {
+        Slot *next;
+        alignas(T) unsigned char storage[sizeof(T)];
+    };
+
+    Arena arena_;
+    Slot *free_ = nullptr;
+    std::size_t live_ = 0;
+};
+
+/**
+ * Allocate a coroutine frame of n bytes from the calling thread's
+ * frame pool (size-bucketed free lists; large frames fall through
+ * to operator new). Alignment is that of operator new.
+ */
+void *frameAlloc(std::size_t n);
+
+/** Return a frame to the calling thread's pool. */
+void frameFree(void *p, std::size_t n) noexcept;
+
+/** Pooled frame bytes currently on the calling thread's free lists. */
+std::size_t framePoolCachedBytes();
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_ARENA_HH

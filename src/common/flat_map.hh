@@ -1,0 +1,475 @@
+/**
+ * @file
+ * FlatMap: open-addressing hash map for the simulator hot path.
+ *
+ * The lock manager, directory, footprint, conflict registry and
+ * write buffer all key small structs by integer addresses; the
+ * node-based std::unordered_map pays one heap allocation and one
+ * pointer chase per entry there. FlatMap stores slots contiguously
+ * with linear probing and backward-shift deletion (no tombstones),
+ * so lookups touch one cache line in the common case, clear()
+ * keeps its storage for reuse across attempts, and erase never
+ * degrades the table.
+ *
+ * Deliberately minimal: the key is assumed integral (hashed with a
+ * splitmix64-style mixer), iteration order is the slot order (only
+ * order-insensitive call sites may iterate), and references into
+ * the table are invalidated by any insertion or erasure.
+ */
+
+#ifndef CLEARSIM_COMMON_FLAT_MAP_HH
+#define CLEARSIM_COMMON_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace clearsim
+{
+
+/** splitmix64 finalizer: avalanches dense integer keys. */
+struct IntKeyHash
+{
+    std::size_t
+    operator()(std::uint64_t x) const
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+};
+
+/** Open-addressing map from an integral key to V. */
+template <typename K, typename V, typename Hash = IntKeyHash>
+class FlatMap
+{
+    static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                  "FlatMap keys must be integral");
+
+  public:
+    /** One occupied entry; live slots expose key and value. */
+    struct Slot
+    {
+        K key;
+        V value;
+    };
+
+    FlatMap() = default;
+
+    FlatMap(FlatMap &&other) noexcept { swap(other); }
+
+    FlatMap &
+    operator=(FlatMap &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            swap(other);
+        }
+        return *this;
+    }
+
+    FlatMap(const FlatMap &other) { copyFrom(other); }
+
+    FlatMap &
+    operator=(const FlatMap &other)
+    {
+        if (this != &other) {
+            destroy();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    ~FlatMap() { destroy(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Value for key, or nullptr. Stable until the next mutation. */
+    V *
+    find(K key)
+    {
+        if (size_ == 0)
+            return nullptr;
+        std::size_t i = indexFor(key);
+        while (full_[i]) {
+            if (slots_[i].key == key)
+                return &slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(K key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(K key) const { return find(key) != nullptr; }
+
+    /** Value for key, default-constructed on first use. */
+    V &
+    operator[](K key)
+    {
+        if (needsGrowth())
+            grow();
+        std::size_t i = indexFor(key);
+        while (full_[i]) {
+            if (slots_[i].key == key)
+                return slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        ::new (static_cast<void *>(&slots_[i])) Slot{key, V{}};
+        full_[i] = 1;
+        ++size_;
+        return slots_[i].value;
+    }
+
+    /**
+     * Remove key's entry (backward-shift: subsequent displaced
+     * slots move up, so probe chains never grow stale).
+     * @retval false if key was absent.
+     */
+    bool
+    erase(K key)
+    {
+        if (size_ == 0)
+            return false;
+        std::size_t i = indexFor(key);
+        while (true) {
+            if (!full_[i])
+                return false;
+            if (slots_[i].key == key)
+                break;
+            i = (i + 1) & mask_;
+        }
+        slots_[i].~Slot();
+        full_[i] = 0;
+        --size_;
+        // Backward shift: pull every displaced follower one hole up.
+        std::size_t hole = i;
+        std::size_t j = i;
+        while (true) {
+            j = (j + 1) & mask_;
+            if (!full_[j])
+                break;
+            const std::size_t ideal = indexFor(slots_[j].key);
+            if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+                ::new (static_cast<void *>(&slots_[hole]))
+                    Slot(std::move(slots_[j]));
+                full_[hole] = 1;
+                slots_[j].~Slot();
+                full_[j] = 0;
+                hole = j;
+            }
+        }
+        return true;
+    }
+
+    /** Drop every entry but keep the table storage for reuse. */
+    void
+    clear()
+    {
+        // An empty table already has every full_ flag down, and
+        // trivially destructible slots (every hot instantiation:
+        // integral keys, trivial values) need no destructor walk.
+        if (slots_ == nullptr || size_ == 0)
+            return;
+        if constexpr (!std::is_trivially_destructible_v<Slot>) {
+            for (std::size_t i = 0; i <= mask_; ++i) {
+                if (full_[i])
+                    slots_[i].~Slot();
+            }
+        }
+        size_ = 0;
+        std::memset(full_, 0, mask_ + 1);
+    }
+
+    /** Pre-size the table for n entries without rehashing later. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = kMinCapacity;
+        while (cap * 3 < n * 4)
+            cap *= 2;
+        if (slots_ == nullptr || cap > mask_ + 1)
+            rehash(cap);
+    }
+
+    // Slot iteration, in table order. Only order-insensitive
+    // call sites (audits, bulk releases of independent entries)
+    // may rely on it.
+    class iterator
+    {
+      public:
+        iterator(FlatMap *map, std::size_t i) : map_(map), at_(i)
+        {
+            settle();
+        }
+
+        Slot &operator*() const { return map_->slots_[at_]; }
+        Slot *operator->() const { return &map_->slots_[at_]; }
+
+        iterator &
+        operator++()
+        {
+            ++at_;
+            settle();
+            return *this;
+        }
+
+        bool
+        operator!=(const iterator &other) const
+        {
+            return at_ != other.at_;
+        }
+
+      private:
+        void
+        settle()
+        {
+            const std::size_t cap =
+                map_->slots_ == nullptr ? 0 : map_->mask_ + 1;
+            while (at_ < cap && !map_->full_[at_])
+                ++at_;
+        }
+
+        FlatMap *map_;
+        std::size_t at_;
+    };
+
+    class const_iterator
+    {
+      public:
+        const_iterator(const FlatMap *map, std::size_t i)
+            : map_(map), at_(i)
+        {
+            settle();
+        }
+
+        const Slot &operator*() const { return map_->slots_[at_]; }
+        const Slot *operator->() const { return &map_->slots_[at_]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++at_;
+            settle();
+            return *this;
+        }
+
+        bool
+        operator!=(const const_iterator &other) const
+        {
+            return at_ != other.at_;
+        }
+
+      private:
+        void
+        settle()
+        {
+            const std::size_t cap =
+                map_->slots_ == nullptr ? 0 : map_->mask_ + 1;
+            while (at_ < cap && !map_->full_[at_])
+                ++at_;
+        }
+
+        const FlatMap *map_;
+        std::size_t at_;
+    };
+
+    iterator begin() { return iterator(this, 0); }
+
+    iterator
+    end()
+    {
+        return iterator(this,
+                        slots_ == nullptr ? 0 : mask_ + 1);
+    }
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+
+    const_iterator
+    end() const
+    {
+        return const_iterator(this,
+                              slots_ == nullptr ? 0 : mask_ + 1);
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 16;
+
+    std::size_t
+    indexFor(K key) const
+    {
+        return Hash{}(static_cast<std::uint64_t>(key)) & mask_;
+    }
+
+    bool
+    needsGrowth() const
+    {
+        // Max load factor 3/4.
+        return slots_ == nullptr ||
+               (size_ + 1) * 4 > (mask_ + 1) * 3;
+    }
+
+    void grow() { rehash(slots_ == nullptr ? kMinCapacity
+                                           : (mask_ + 1) * 2); }
+
+    void
+    rehash(std::size_t capacity)
+    {
+        Slot *old_slots = slots_;
+        unsigned char *old_full = full_;
+        const std::size_t old_cap =
+            old_slots == nullptr ? 0 : mask_ + 1;
+
+        slots_ = static_cast<Slot *>(::operator new(
+            capacity * sizeof(Slot), std::align_val_t(alignof(Slot))));
+        full_ = static_cast<unsigned char *>(
+            ::operator new(capacity));
+        std::memset(full_, 0, capacity);
+        mask_ = capacity - 1;
+
+        for (std::size_t i = 0; i < old_cap; ++i) {
+            if (!old_full[i])
+                continue;
+            std::size_t j = indexFor(old_slots[i].key);
+            while (full_[j])
+                j = (j + 1) & mask_;
+            ::new (static_cast<void *>(&slots_[j]))
+                Slot(std::move(old_slots[i]));
+            full_[j] = 1;
+            old_slots[i].~Slot();
+        }
+        if (old_slots != nullptr) {
+            ::operator delete(old_slots,
+                              std::align_val_t(alignof(Slot)));
+            ::operator delete(old_full);
+        }
+    }
+
+    void
+    destroy()
+    {
+        if (slots_ == nullptr)
+            return;
+        clear();
+        ::operator delete(slots_, std::align_val_t(alignof(Slot)));
+        ::operator delete(full_);
+        slots_ = nullptr;
+        full_ = nullptr;
+        mask_ = 0;
+    }
+
+    void
+    copyFrom(const FlatMap &other)
+    {
+        if (other.slots_ == nullptr)
+            return;
+        const std::size_t cap = other.mask_ + 1;
+        slots_ = static_cast<Slot *>(::operator new(
+            cap * sizeof(Slot), std::align_val_t(alignof(Slot))));
+        full_ = static_cast<unsigned char *>(::operator new(cap));
+        std::memcpy(full_, other.full_, cap);
+        mask_ = other.mask_;
+        size_ = other.size_;
+        for (std::size_t i = 0; i < cap; ++i) {
+            if (full_[i]) {
+                ::new (static_cast<void *>(&slots_[i]))
+                    Slot(other.slots_[i]);
+            }
+        }
+    }
+
+    void
+    swap(FlatMap &other)
+    {
+        std::swap(slots_, other.slots_);
+        std::swap(full_, other.full_);
+        std::swap(mask_, other.mask_);
+        std::swap(size_, other.size_);
+    }
+
+    Slot *slots_ = nullptr;
+    unsigned char *full_ = nullptr;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Open-addressing set of integral keys: a FlatMap with an empty
+ * payload and key-only iteration. Same caveats as FlatMap apply
+ * (slot-order iteration, references invalidated by mutation).
+ */
+template <typename K, typename Hash = IntKeyHash>
+class FlatSet
+{
+    struct Empty
+    {
+    };
+
+  public:
+    void insert(K key) { map_[key]; }
+
+    bool contains(K key) const { return map_.contains(key); }
+
+    std::size_t count(K key) const
+    {
+        return map_.contains(key) ? 1 : 0;
+    }
+
+    bool erase(K key) { return map_.erase(key); }
+
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+
+    void clear() { map_.clear(); }
+    void reserve(std::size_t n) { map_.reserve(n); }
+
+    class const_iterator
+    {
+        using Inner =
+            typename FlatMap<K, Empty, Hash>::const_iterator;
+
+      public:
+        explicit const_iterator(Inner it) : it_(it) {}
+
+        K operator*() const { return it_->key; }
+
+        const_iterator &
+        operator++()
+        {
+            ++it_;
+            return *this;
+        }
+
+        bool
+        operator!=(const const_iterator &other) const
+        {
+            return it_ != other.it_;
+        }
+
+      private:
+        Inner it_;
+    };
+
+    const_iterator begin() const
+    {
+        return const_iterator(map_.begin());
+    }
+
+    const_iterator end() const { return const_iterator(map_.end()); }
+
+  private:
+    FlatMap<K, Empty, Hash> map_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_FLAT_MAP_HH

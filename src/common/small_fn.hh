@@ -1,0 +1,133 @@
+/**
+ * @file
+ * InlineCallback: a non-allocating std::function<void()> stand-in.
+ *
+ * Event callbacks are the most frequently constructed objects in
+ * the simulator; almost all of them capture a coroutine handle or
+ * a this-pointer plus a word or two. InlineCallback stores such
+ * callables in place (no heap traffic, no virtual dispatch beyond
+ * one indirect call) and falls back to the heap only for captures
+ * larger than its inline capacity. Move-only, so popping an event
+ * moves the callable out instead of copying it.
+ */
+
+#ifndef CLEARSIM_COMMON_SMALL_FN_HH
+#define CLEARSIM_COMMON_SMALL_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace clearsim
+{
+
+/** Move-only void() callable with Capacity bytes of inline storage. */
+template <std::size_t Capacity>
+class InlineCallback
+{
+  public:
+    InlineCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_))
+                Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+        : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(buf_, other.buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= Capacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn *(*static_cast<Fn **>(src));
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_COMMON_SMALL_FN_HH

@@ -43,6 +43,17 @@ constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
 /** Sentinel for "no cycle scheduled". */
 constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
 
+/**
+ * Cycle addition saturating at kNoCycle instead of wrapping: a
+ * delay or jitter that would overflow simulated time clamps to
+ * "never" rather than silently landing in the past.
+ */
+constexpr Cycle
+saturatingAdd(Cycle base, Cycle delta)
+{
+    return delta > kNoCycle - base ? kNoCycle : base + delta;
+}
+
 /** Map a byte address to the cacheline that contains it. */
 constexpr LineAddr
 lineOf(Addr addr)

@@ -92,7 +92,7 @@ FaultInjector::extraRetryDelay(LineAddr line, CoreId core)
 }
 
 void
-FaultInjector::deliverWake(std::function<void()> wake)
+FaultInjector::deliverWake(InlineCallback<48> wake)
 {
     if (queue_ != nullptr && chance(cfg_.grantDeferPermille)) {
         const Cycle defer = magnitude(cfg_.grantDeferMax);

@@ -35,6 +35,7 @@
 #include <functional>
 
 #include "common/rng.hh"
+#include "common/small_fn.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "fault/fault_config.hh"
@@ -95,7 +96,7 @@ class FaultInjector
      * Immediate delivery calls wake() synchronously, exactly like
      * the unperturbed lock manager.
      */
-    void deliverWake(std::function<void()> wake);
+    void deliverWake(InlineCallback<48> wake);
 
     // --- seam: mem/directory ---
 

@@ -11,6 +11,8 @@ ConflictManager::ConflictManager(const SystemConfig &cfg,
     : cfg_(cfg), policy_(makeConflictPolicy(cfg)), power_(power),
       participants_(cfg.numCores, nullptr)
 {
+    CLEARSIM_ASSERT(cfg.numCores <= 64,
+                    "reader/writer masks are 64-bit");
 }
 
 void
@@ -36,23 +38,23 @@ ConflictManager::addWrite(CoreId core, LineAddr line)
 void
 ConflictManager::remove(CoreId core, LineAddr line)
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
+    LineSets *sets = lines_.find(line);
+    if (sets == nullptr)
         return;
     const std::uint64_t mask = ~(1ull << core);
-    it->second.readers &= mask;
-    it->second.writers &= mask;
-    if (it->second.readers == 0 && it->second.writers == 0)
-        lines_.erase(it);
+    sets->readers &= mask;
+    sets->writers &= mask;
+    if (sets->readers == 0 && sets->writers == 0)
+        lines_.erase(line);
 }
 
 bool
 ConflictManager::hasRemoteWriter(CoreId core, LineAddr line) const
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
+    const LineSets *sets = lines_.find(line);
+    if (sets == nullptr)
         return false;
-    return (it->second.writers & ~(1ull << core)) != 0;
+    return (sets->writers & ~(1ull << core)) != 0;
 }
 
 ArbitrationOutcome
@@ -67,13 +69,13 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
     if (cls == RequesterClass::FailedDiscovery)
         return outcome;
 
-    auto it = lines_.find(line);
-    if (it == lines_.end())
+    const LineSets *sets = lines_.find(line);
+    if (sets == nullptr)
         return outcome;
 
-    std::uint64_t conflicting = it->second.writers;
+    std::uint64_t conflicting = sets->writers;
     if (is_write)
-        conflicting |= it->second.readers;
+        conflicting |= sets->readers;
     conflicting &= ~(1ull << requester);
     if (conflicting == 0)
         return outcome;
@@ -94,7 +96,11 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
     // the request is answered with a nack and nobody else is
     // harmed. The policy owns the priority rules (PowerTM, CLEAR's
     // Section 5.2 S-CL/power nacks).
-    std::vector<TxParticipant *> victims;
+    // The reader/writer masks are 64-bit, so 64 cores is already a
+    // hard design bound; a stack array avoids a heap allocation on
+    // every contested arbitration.
+    TxParticipant *victims[64];
+    unsigned numVictims = 0;
     for (unsigned c = 0; c < cfg_.numCores; ++c) {
         if (!(conflicting & (1ull << c)))
             continue;
@@ -116,13 +122,13 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
             }
             return outcome;
         }
-        victims.push_back(holder);
+        victims[numVictims++] = holder;
     }
 
     // Fault seam: adversarially flip a verdict the requester was
     // about to win into a nack (only offered where the requester
     // can lose; must-commit requesters always keep their win).
-    if (faults_ != nullptr && canLose && !victims.empty() &&
+    if (faults_ != nullptr && canLose && numVictims != 0 &&
         faults_->flipVerdict(line, requester)) {
         outcome.abortSelf = true;
         outcome.selfReason = AbortReason::Nacked;
@@ -135,15 +141,13 @@ ConflictManager::arbitrate(CoreId requester, LineAddr line,
     }
 
     // Pass 2: the requester wins; doom every conflicting holder.
-    for (TxParticipant *victim : victims) {
-        victim->doomRemote(AbortReason::MemoryConflict, line);
+    for (unsigned v = 0; v < numVictims; ++v) {
+        victims[v]->doomRemote(AbortReason::MemoryConflict, line);
         ++resolved_;
     }
-    if (tracer_ && !victims.empty()) {
-        tracer_->emitAt(
-            TraceKind::ConflictVerdict, requester,
-            ConflictPayload{
-                line, static_cast<unsigned>(victims.size()), true});
+    if (tracer_ && numVictims != 0) {
+        tracer_->emitAt(TraceKind::ConflictVerdict, requester,
+                        ConflictPayload{line, numVictims, true});
     }
     return outcome;
 }

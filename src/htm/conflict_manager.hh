@@ -15,10 +15,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "htm/htm_types.hh"
@@ -142,7 +142,7 @@ class ConflictManager
     std::unique_ptr<ConflictResolutionPolicy> policy_;
     PowerToken &power_;
     std::vector<TxParticipant *> participants_;
-    std::unordered_map<LineAddr, LineSets> lines_;
+    FlatMap<LineAddr, LineSets> lines_;
     std::uint64_t resolved_ = 0;
     const Tracer *tracer_ = nullptr;
     FaultInjector *faults_ = nullptr;

@@ -10,9 +10,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace clearsim
@@ -45,16 +45,25 @@ class Footprint
     bool
     record(LineAddr line, bool wrote)
     {
-        auto it = index_.find(line);
-        if (it != index_.end()) {
-            entries_[it->second].wrote |= wrote;
+        // Word-granular accesses hit the same 64-byte line in runs,
+        // so remembering the last entry skips the hash probe for
+        // the common repeat.
+        if (!entries_.empty() && entries_[last_].line == line) {
+            entries_[last_].wrote |= wrote;
+            return true;
+        }
+        std::size_t *at = index_.find(line);
+        if (at != nullptr) {
+            last_ = *at;
+            entries_[*at].wrote |= wrote;
             return true;
         }
         if (entries_.size() >= capacity_) {
             overflowed_ = true;
             return false;
         }
-        index_.emplace(line, entries_.size());
+        index_[line] = entries_.size();
+        last_ = entries_.size();
         entries_.push_back(FootprintEntry{line, wrote});
         return true;
     }
@@ -68,15 +77,15 @@ class Footprint
     /** True if line was recorded. */
     bool contains(LineAddr line) const
     {
-        return index_.count(line) != 0;
+        return index_.contains(line);
     }
 
     /** True if line was recorded as written. */
     bool
     wrote(LineAddr line) const
     {
-        auto it = index_.find(line);
-        return it != index_.end() && entries_[it->second].wrote;
+        const std::size_t *at = index_.find(line);
+        return at != nullptr && entries_[*at].wrote;
     }
 
     const std::vector<FootprintEntry> &entries() const
@@ -109,12 +118,15 @@ class Footprint
         entries_.clear();
         index_.clear();
         overflowed_ = false;
+        last_ = 0;
     }
 
   private:
     std::size_t capacity_;
     std::vector<FootprintEntry> entries_;
-    std::unordered_map<LineAddr, std::size_t> index_;
+    FlatMap<LineAddr, std::size_t> index_;
+    /** Index of the most recently recorded entry (0 when empty). */
+    std::size_t last_ = 0;
     bool overflowed_ = false;
 };
 

@@ -205,11 +205,8 @@ TxContext::inPowerMode() const
 }
 
 void
-TxContext::handleDoomAtBoundary()
+TxContext::handleDoomSlow()
 {
-    if (doomReason_ == AbortReason::None || failedMode_)
-        return;
-
     // Section 4.1: on a conflict, a discovery-enabled speculative
     // attempt does not abort; it continues in failed mode so the
     // whole footprint can be learned.
@@ -226,12 +223,6 @@ TxContext::handleDoomAtBoundary()
     throw TxAbort{doomReason_};
 }
 
-void
-TxContext::recordAccess(LineAddr line, bool wrote)
-{
-    footprint_.record(line, wrote);
-}
-
 Cycle
 TxContext::takePendingAluCycles()
 {
@@ -245,9 +236,9 @@ std::uint64_t
 TxContext::readData(Addr addr) const
 {
     const Addr word = addr & ~Addr(7);
-    auto it = writeBuffer_.find(word);
-    if (it != writeBuffer_.end())
-        return it->second;
+    const std::uint64_t *data = writeBuffer_.find(word);
+    if (data != nullptr)
+        return *data;
     return mem_.store().read(word);
 }
 

@@ -20,10 +20,10 @@
 #include <coroutine>
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "cpu/core_resources.hh"
 #include "cpu/tx_value.hh"
@@ -262,11 +262,27 @@ class TxContext : public TxParticipant
   private:
     friend class PlannedLockAwaiter;
 
-    /** Throw TxAbort or transition into failed-mode discovery. */
-    void handleDoomAtBoundary();
+    /**
+     * Throw TxAbort or transition into failed-mode discovery. The
+     * not-doomed fast path (the overwhelming majority of the checks
+     * at access boundaries) stays inline.
+     */
+    void
+    handleDoomAtBoundary()
+    {
+        if (doomReason_ == AbortReason::None || failedMode_)
+            return;
+        handleDoomSlow();
+    }
+
+    /** The doomed tail of handleDoomAtBoundary(). */
+    void handleDoomSlow();
 
     /** Record an access in the discovery footprint. */
-    void recordAccess(LineAddr line, bool wrote);
+    void recordAccess(LineAddr line, bool wrote)
+    {
+        footprint_.record(line, wrote);
+    }
 
     /** Fold pending ALU work into the next memory op's latency. */
     Cycle takePendingAluCycles();
@@ -338,9 +354,9 @@ class TxContext : public TxParticipant
 
     CoreResources resources_;
     Footprint footprint_;
-    std::unordered_set<LineAddr> readSet_;
-    std::unordered_set<LineAddr> writeSet_;
-    std::unordered_map<Addr, std::uint64_t> writeBuffer_;
+    FlatSet<LineAddr> readSet_;
+    FlatSet<LineAddr> writeSet_;
+    FlatMap<Addr, std::uint64_t> writeBuffer_;
     std::vector<LineAddr> conflictingReads_;
     unsigned pendingAluUops_ = 0;
 

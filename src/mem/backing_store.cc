@@ -26,8 +26,8 @@ std::uint64_t
 BackingStore::read(Addr addr) const
 {
     const Addr word = addr & ~Addr(7);
-    auto it = words_.find(word);
-    return it == words_.end() ? 0 : it->second;
+    const std::uint64_t *value = words_.find(word);
+    return value == nullptr ? 0 : *value;
 }
 
 void

@@ -13,8 +13,8 @@
 #define CLEARSIM_MEM_BACKING_STORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace clearsim
@@ -49,7 +49,7 @@ class BackingStore
     Addr brk() const { return brk_; }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> words_;
+    FlatMap<Addr, std::uint64_t> words_;
     // Simulated allocations start above zero so that address 0 can
     // serve as a null pointer inside simulated data structures.
     Addr brk_ = 0x10000;

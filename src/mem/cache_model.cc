@@ -1,52 +1,22 @@
 #include "mem/cache_model.hh"
 
+#include <cstring>
+
 #include "common/log.hh"
 
 namespace clearsim
 {
 
 CacheModel::CacheModel(unsigned sets, unsigned ways)
-    : sets_(sets), ways_(ways), ways_storage_(sets * ways)
+    : sets_(sets), ways_(ways),
+      ways_storage_(static_cast<Way *>(
+          std::calloc(std::size_t(sets) * ways, sizeof(Way))))
 {
     CLEARSIM_ASSERT(sets != 0 && (sets & (sets - 1)) == 0,
                     "cache sets must be a power of two");
     CLEARSIM_ASSERT(ways != 0, "cache must have at least one way");
-}
-
-unsigned
-CacheModel::setOf(LineAddr line) const
-{
-    return static_cast<unsigned>(line & (sets_ - 1));
-}
-
-CacheModel::Way *
-CacheModel::find(LineAddr line)
-{
-    Way *base = &ways_storage_[setOf(line) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].line == line)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const CacheModel::Way *
-CacheModel::find(LineAddr line) const
-{
-    return const_cast<CacheModel *>(this)->find(line);
-}
-
-bool
-CacheModel::contains(LineAddr line) const
-{
-    return find(line) != nullptr;
-}
-
-void
-CacheModel::touch(LineAddr line)
-{
-    if (Way *w = find(line))
-        w->lastUse = ++useCounter_;
+    CLEARSIM_ASSERT(ways_storage_ != nullptr,
+                    "tag array allocation failed");
 }
 
 CacheInsertResult
@@ -56,6 +26,7 @@ CacheModel::insert(LineAddr line)
     if (Way *w = find(line)) {
         w->lastUse = ++useCounter_;
         result.inserted = true;
+        result.hit = true;
         return result;
     }
 
@@ -98,8 +69,13 @@ CacheModel::invalidate(LineAddr line)
 void
 CacheModel::pin(LineAddr line)
 {
-    if (Way *w = find(line))
-        w->pinned = true;
+    if (Way *w = find(line)) {
+        if (!w->pinned) {
+            w->pinned = true;
+            pinnedWays_.push_back(static_cast<std::uint32_t>(
+                w - ways_storage_.get()));
+        }
+    }
 }
 
 void
@@ -112,8 +88,12 @@ CacheModel::unpin(LineAddr line)
 void
 CacheModel::unpinAll()
 {
-    for (Way &w : ways_storage_)
-        w.pinned = false;
+    // pinnedWays_ may hold stale indices (lines unpinned or
+    // invalidated since), but clearing an already clear flag is
+    // harmless and "drop every pin" is exactly the postcondition.
+    for (std::uint32_t idx : pinnedWays_)
+        ways_storage_[idx].pinned = false;
+    pinnedWays_.clear();
 }
 
 bool
@@ -138,8 +118,9 @@ CacheModel::freeWaysFor(LineAddr line) const
 void
 CacheModel::reset()
 {
-    for (Way &w : ways_storage_)
-        w = Way{};
+    std::memset(ways_storage_.get(), 0,
+                std::size_t(sets_) * ways_ * sizeof(Way));
+    pinnedWays_.clear();
     useCounter_ = 0;
 }
 

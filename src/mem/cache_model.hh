@@ -15,6 +15,9 @@
 #define CLEARSIM_MEM_CACHE_MODEL_HH
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hh"
@@ -27,6 +30,8 @@ struct CacheInsertResult
 {
     /** True if the line is now resident. */
     bool inserted = false;
+    /** True if the line was already resident before the insert. */
+    bool hit = false;
     /** True if a valid, different line was evicted to make room. */
     bool evicted = false;
     /** The evicted line (valid only if evicted). */
@@ -44,10 +49,29 @@ class CacheModel
     CacheModel(unsigned sets, unsigned ways);
 
     /** True if line is resident. Does not update LRU. */
-    bool contains(LineAddr line) const;
+    bool contains(LineAddr line) const { return find(line) != nullptr; }
 
     /** Touch a resident line, moving it to MRU. No-op if absent. */
-    void touch(LineAddr line);
+    void
+    touch(LineAddr line)
+    {
+        if (Way *w = find(line))
+            w->lastUse = ++useCounter_;
+    }
+
+    /**
+     * Touch the line if resident and report whether it was. One tag
+     * scan where contains()+touch() would take two.
+     */
+    bool
+    touchIfPresent(LineAddr line)
+    {
+        Way *w = find(line);
+        if (w == nullptr)
+            return false;
+        w->lastUse = ++useCounter_;
+        return true;
+    }
 
     /**
      * Insert a line (touching it if already resident). Pinned lines
@@ -80,7 +104,10 @@ class CacheModel
     unsigned freeWaysFor(LineAddr line) const;
 
     /** Set index for a line. */
-    unsigned setOf(LineAddr line) const;
+    unsigned setOf(LineAddr line) const
+    {
+        return static_cast<unsigned>(line & (sets_ - 1));
+    }
 
     unsigned sets() const { return sets_; }
     unsigned ways() const { return ways_; }
@@ -89,20 +116,61 @@ class CacheModel
     void reset();
 
   private:
+    /**
+     * Fully trivial (no default member initializers): ways live
+     * only in calloc()/memset()-zeroed storage, and all-zero bytes
+     * are the reset state (invalid, unpinned, never used).
+     */
     struct Way
     {
-        LineAddr line = 0;
-        bool valid = false;
-        bool pinned = false;
-        std::uint64_t lastUse = 0;
+        LineAddr line;
+        bool valid;
+        bool pinned;
+        std::uint64_t lastUse;
+    };
+    static_assert(std::is_trivial_v<Way> &&
+                      std::is_trivially_copyable_v<Way>,
+                  "tag array relies on zero-filled trivial storage");
+
+    struct FreeDeleter
+    {
+        void operator()(Way *p) const { std::free(p); }
     };
 
-    Way *find(LineAddr line);
-    const Way *find(LineAddr line) const;
+    Way *
+    find(LineAddr line)
+    {
+        Way *base = &ways_storage_[setOf(line) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].valid && base[w].line == line)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    const Way *
+    find(LineAddr line) const
+    {
+        return const_cast<CacheModel *>(this)->find(line);
+    }
 
     unsigned sets_;
     unsigned ways_;
-    std::vector<Way> ways_storage_;
+    /**
+     * calloc-backed so a freshly constructed tag array maps lazy
+     * zero pages instead of eagerly memsetting megabytes: sweeps
+     * build one hierarchy per point but touch only a tiny fraction
+     * of the sets. The all-zero byte pattern IS the reset state
+     * (invalid, unpinned, never used).
+     */
+    std::unique_ptr<Way[], FreeDeleter> ways_storage_;
+    /**
+     * Indices of ways pinned since the last unpinAll(), so the bulk
+     * release at transaction end is O(pins) instead of a sweep over
+     * the whole tag array. Entries may go stale (unpin/invalidate
+     * clear only the flag); unpinAll tolerates that.
+     */
+    std::vector<std::uint32_t> pinnedWays_;
     std::uint64_t useCounter_ = 0;
 };
 

@@ -70,46 +70,43 @@ Directory::onWrite(CoreId core, LineAddr line)
 void
 Directory::dropSharer(CoreId core, LineAddr line)
 {
-    auto it = entries_.find(line);
-    if (it == entries_.end())
+    Entry *e = entries_.find(line);
+    if (e == nullptr)
         return;
-    Entry &e = it->second;
-    if (e.owner == core)
-        e.owner = kNoCore;
-    e.sharers &= ~(1ull << core);
-    if (e.owner == kNoCore && e.sharers == 0)
-        entries_.erase(it);
+    if (e->owner == core)
+        e->owner = kNoCore;
+    e->sharers &= ~(1ull << core);
+    if (e->owner == kNoCore && e->sharers == 0)
+        entries_.erase(line);
 }
 
 bool
 Directory::isExclusive(CoreId core, LineAddr line) const
 {
-    auto it = entries_.find(line);
-    return it != entries_.end() && it->second.owner == core;
+    const Entry *e = entries_.find(line);
+    return e != nullptr && e->owner == core;
 }
 
 bool
 Directory::isSharer(CoreId core, LineAddr line) const
 {
-    auto it = entries_.find(line);
-    if (it == entries_.end())
+    const Entry *e = entries_.find(line);
+    if (e == nullptr)
         return false;
-    const Entry &e = it->second;
-    return e.owner == core || (e.sharers & (1ull << core));
+    return e->owner == core || (e->sharers & (1ull << core));
 }
 
 std::vector<CoreId>
 Directory::holders(LineAddr line) const
 {
     std::vector<CoreId> result;
-    auto it = entries_.find(line);
-    if (it == entries_.end())
+    const Entry *e = entries_.find(line);
+    if (e == nullptr)
         return result;
-    const Entry &e = it->second;
-    if (e.owner != kNoCore)
-        result.push_back(e.owner);
+    if (e->owner != kNoCore)
+        result.push_back(e->owner);
     for (unsigned c = 0; c < numCores_; ++c) {
-        if (e.sharers & (1ull << c))
+        if (e->sharers & (1ull << c))
             result.push_back(static_cast<CoreId>(c));
     }
     return result;

@@ -14,9 +14,9 @@
 #define CLEARSIM_MEM_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 
@@ -89,7 +89,7 @@ class Directory
 
     unsigned dirSets_;
     unsigned numCores_;
-    std::unordered_map<LineAddr, Entry> entries_;
+    FlatMap<LineAddr, Entry> entries_;
     const Tracer *tracer_ = nullptr;
 };
 

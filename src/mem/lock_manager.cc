@@ -11,22 +11,22 @@ namespace clearsim
 bool
 LockManager::isLocked(LineAddr line) const
 {
-    auto it = locks_.find(line);
-    return it != locks_.end() && it->second.holder != kNoCore;
+    const LockState *state = locks_.find(line);
+    return state != nullptr && state->holder != kNoCore;
 }
 
 bool
 LockManager::isLockedBy(LineAddr line, CoreId core) const
 {
-    auto it = locks_.find(line);
-    return it != locks_.end() && it->second.holder == core;
+    const LockState *state = locks_.find(line);
+    return state != nullptr && state->holder == core;
 }
 
 CoreId
 LockManager::holder(LineAddr line) const
 {
-    auto it = locks_.find(line);
-    return it == locks_.end() ? kNoCore : it->second.holder;
+    const LockState *state = locks_.find(line);
+    return state == nullptr ? kNoCore : state->holder;
 }
 
 void
@@ -73,15 +73,15 @@ LockManager::noteRelease(LineAddr line, CoreId core, Cycle acquired_at,
 void
 LockManager::unlock(LineAddr line, CoreId core, Cycle now)
 {
-    auto it = locks_.find(line);
-    CLEARSIM_ASSERT(it != locks_.end() && it->second.holder == core,
+    LockState *state = locks_.find(line);
+    CLEARSIM_ASSERT(state != nullptr && state->holder == core,
                     "unlock of a line not held by this core");
-    noteRelease(line, core, it->second.acquiredAt, now);
-    it->second.holder = kNoCore;
-    std::vector<WakeCallback> waiters = std::move(it->second.waiters);
-    it->second.waiters.clear();
+    noteRelease(line, core, state->acquiredAt, now);
+    state->holder = kNoCore;
+    std::vector<WakeCallback> waiters = std::move(state->waiters);
+    state->waiters.clear();
     if (waiters.empty())
-        locks_.erase(it);
+        locks_.erase(line);
 
     auto &lines = held_[core];
     lines.erase(std::remove(lines.begin(), lines.end(), line),
@@ -94,23 +94,23 @@ LockManager::unlock(LineAddr line, CoreId core, Cycle now)
 void
 LockManager::unlockAll(CoreId core, Cycle now)
 {
-    auto it = held_.find(core);
-    if (it == held_.end())
+    std::vector<LineAddr> *heldLines = held_.find(core);
+    if (heldLines == nullptr)
         return;
-    std::vector<LineAddr> lines = std::move(it->second);
-    it->second.clear();
+    std::vector<LineAddr> lines = std::move(*heldLines);
+    heldLines->clear();
     for (LineAddr line : lines) {
-        auto lockIt = locks_.find(line);
-        CLEARSIM_ASSERT(lockIt != locks_.end() &&
-                        lockIt->second.holder == core,
+        // Re-find per line: a woken waiter may mutate the table.
+        LockState *state = locks_.find(line);
+        CLEARSIM_ASSERT(state != nullptr && state->holder == core,
                         "unlockAll found inconsistent lock state");
-        noteRelease(line, core, lockIt->second.acquiredAt, now);
-        lockIt->second.holder = kNoCore;
+        noteRelease(line, core, state->acquiredAt, now);
+        state->holder = kNoCore;
         std::vector<WakeCallback> waiters =
-            std::move(lockIt->second.waiters);
-        lockIt->second.waiters.clear();
+            std::move(state->waiters);
+        state->waiters.clear();
         if (waiters.empty())
-            locks_.erase(lockIt);
+            locks_.erase(line);
         for (auto &cb : waiters)
             deliverWake(std::move(cb));
     }
@@ -119,18 +119,18 @@ LockManager::unlockAll(CoreId core, Cycle now)
 unsigned
 LockManager::heldCount(CoreId core) const
 {
-    auto it = held_.find(core);
-    return it == held_.end()
-        ? 0 : static_cast<unsigned>(it->second.size());
+    const std::vector<LineAddr> *lines = held_.find(core);
+    return lines == nullptr
+        ? 0 : static_cast<unsigned>(lines->size());
 }
 
 LockedLineResponse
 LockManager::classifyAccess(LineAddr line, CoreId requester,
                             bool nackable) const
 {
-    auto it = locks_.find(line);
-    if (it == locks_.end() || it->second.holder == kNoCore ||
-        it->second.holder == requester) {
+    const LockState *state = locks_.find(line);
+    if (state == nullptr || state->holder == kNoCore ||
+        state->holder == requester) {
         return LockedLineResponse::Free;
     }
     return nackable ? LockedLineResponse::Nack
@@ -156,12 +156,12 @@ LockManager::tryLockDirSet(unsigned set, CoreId core)
 void
 LockManager::unlockDirSet(unsigned set, CoreId core)
 {
-    auto it = setLocks_.find(set);
-    CLEARSIM_ASSERT(it != setLocks_.end() && it->second.holder == core,
+    LockState *state = setLocks_.find(set);
+    CLEARSIM_ASSERT(state != nullptr && state->holder == core,
                     "unlockDirSet of a set not held by this core");
-    it->second.holder = kNoCore;
-    std::vector<WakeCallback> waiters = std::move(it->second.waiters);
-    setLocks_.erase(it);
+    state->holder = kNoCore;
+    std::vector<WakeCallback> waiters = std::move(state->waiters);
+    setLocks_.erase(set);
     if (tracer_) {
         tracer_->emitAt(TraceKind::DirSetLockReleased, core,
                         DirSetPayload{set});
@@ -173,31 +173,31 @@ LockManager::unlockDirSet(unsigned set, CoreId core)
 bool
 LockManager::dirSetLockedByOther(LineAddr line, CoreId core) const
 {
-    auto it = setLocks_.find(dirSetOf(line));
-    return it != setLocks_.end() && it->second.holder != kNoCore &&
-           it->second.holder != core;
+    const LockState *state = setLocks_.find(dirSetOf(line));
+    return state != nullptr && state->holder != kNoCore &&
+           state->holder != core;
 }
 
 void
 LockManager::onDirSetUnlock(unsigned set, WakeCallback cb)
 {
-    auto it = setLocks_.find(set);
-    if (it == setLocks_.end() || it->second.holder == kNoCore) {
+    LockState *state = setLocks_.find(set);
+    if (state == nullptr || state->holder == kNoCore) {
         cb();
         return;
     }
-    it->second.waiters.push_back(std::move(cb));
+    state->waiters.push_back(std::move(cb));
 }
 
 void
 LockManager::onUnlock(LineAddr line, WakeCallback cb)
 {
-    auto it = locks_.find(line);
-    if (it == locks_.end() || it->second.holder == kNoCore) {
+    LockState *state = locks_.find(line);
+    if (state == nullptr || state->holder == kNoCore) {
         cb();
         return;
     }
-    it->second.waiters.push_back(std::move(cb));
+    state->waiters.push_back(std::move(cb));
 }
 
 bool
@@ -215,11 +215,12 @@ LockManager::auditState(std::string *why) const
             }
             continue;
         }
-        auto heldIt = held_.find(state.holder);
+        const std::vector<LineAddr> *heldLines =
+            held_.find(state.holder);
         const bool tracked =
-            heldIt != held_.end() &&
-            std::find(heldIt->second.begin(), heldIt->second.end(),
-                      line) != heldIt->second.end();
+            heldLines != nullptr &&
+            std::find(heldLines->begin(), heldLines->end(),
+                      line) != heldLines->end();
         if (!tracked) {
             if (why != nullptr) {
                 *why = "line " + std::to_string(line) +
@@ -232,8 +233,8 @@ LockManager::auditState(std::string *why) const
     }
     for (const auto &[core, lines] : held_) {
         for (LineAddr line : lines) {
-            auto it = locks_.find(line);
-            if (it == locks_.end() || it->second.holder != core) {
+            const LockState *state = locks_.find(line);
+            if (state == nullptr || state->holder != core) {
                 if (why != nullptr) {
                     *why = "held-set of core " +
                            std::to_string(core) + " lists line " +

@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.hh"
+#include "common/small_fn.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -50,7 +51,12 @@ enum class LockedLineResponse
 class LockManager
 {
   public:
-    using WakeCallback = std::function<void()>;
+    /**
+     * Wake callbacks ride inline in the waiter list (the usual
+     * capture is a queue pointer, a backoff and a coroutine
+     * handle); std::function would heap-allocate each one.
+     */
+    using WakeCallback = InlineCallback<48>;
 
     /**
      * Configure the directory geometry used to map lines to
@@ -216,9 +222,9 @@ class LockManager
     }
 
     unsigned dirSets_ = 4096;
-    std::unordered_map<LineAddr, LockState> locks_;
-    std::unordered_map<unsigned, LockState> setLocks_;
-    std::unordered_map<CoreId, std::vector<LineAddr>> held_;
+    FlatMap<LineAddr, LockState> locks_;
+    FlatMap<unsigned, LockState> setLocks_;
+    FlatMap<CoreId, std::vector<LineAddr>> held_;
     std::uint64_t totalLocks_ = 0;
     std::uint64_t totalNacks_ = 0;
     std::uint64_t totalRetries_ = 0;

@@ -27,23 +27,30 @@ MemorySystem::access(CoreId core, LineAddr line, bool is_write, bool pin)
     CacheModel &l1 = l1_[core];
     CacheModel &l2 = l2_[core];
 
-    const bool l1Hit = l1.contains(line);
-    const bool wasExclusive = directory_.isExclusive(core, line);
+    // touchIfPresent folds the residency probe and the LRU update
+    // into one tag scan. On the upgrade/miss path the insert() below
+    // touches again; the extra useCounter_ tick cannot reorder ways
+    // (each touch sets a fresh maximum), so eviction is unchanged.
+    const bool l1Hit = l1.touchIfPresent(line);
 
-    if (l1Hit && (!is_write || wasExclusive)) {
+    if (l1Hit &&
+        (!is_write || directory_.isExclusive(core, line))) {
         // Pure L1 hit with sufficient permission.
-        l1.touch(line);
         result.latency = cc.l1Latency;
         result.serviceLevel = 1;
         ++stats_.l1Hits;
     } else {
-        // Classify where the data comes from.
+        // The L2 fill doubles as the residency probe (insert()
+        // reports a prior hit), saving a second tag scan. L3 is
+        // probed with contains() because an L3 hit must not update
+        // L3 LRU state.
+        const CacheInsertResult l2r = l2.insert(line);
         if (l1Hit) {
             // Upgrade miss: data present, permission missing.
             result.latency = cc.l1Latency + cc.remoteLatency;
             result.serviceLevel = 1;
             ++stats_.l1Hits;
-        } else if (l2.contains(line)) {
+        } else if (l2r.hit) {
             result.latency = cc.l2Latency;
             result.serviceLevel = 2;
             ++stats_.l2Hits;
@@ -58,10 +65,8 @@ MemorySystem::access(CoreId core, LineAddr line, bool is_write, bool pin)
             l3_.insert(line);
         }
 
-        // Fill the private hierarchy.
-        l2.insert(line);
-        CacheInsertResult ins = l1.insert(line);
-        if (!ins.inserted) {
+        // Fill the L1; a resident line was already touched above.
+        if (!l1Hit && !l1.insert(line).inserted) {
             // Every way of the L1 set is pinned by the transaction.
             result.capacityOverflow = true;
             return result;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.hh"
@@ -7,34 +8,136 @@
 namespace clearsim
 {
 
+EventQueue::~EventQueue() { clearPending(); }
+
+void
+EventQueue::clearPending()
+{
+    for (std::size_t i = 0; i < kWindowCycles; ++i) {
+        Event *event = head_[i];
+        while (event != nullptr) {
+            Event *next = event->next;
+            pool_.release(event);
+            event = next;
+        }
+        head_[i] = nullptr;
+        tail_[i] = nullptr;
+    }
+    for (OverflowRef &ref : overflow_)
+        pool_.release(ref.event);
+    overflow_.clear();
+    bits_.fill(0);
+    ringCount_ = 0;
+}
+
+void
+EventQueue::pushRing(Event *event)
+{
+    const std::size_t idx = event->when & kWindowMask;
+    event->next = nullptr;
+    if (tail_[idx] != nullptr)
+        tail_[idx]->next = event;
+    else
+        head_[idx] = event;
+    tail_[idx] = event;
+    bits_[idx / 64] |= std::uint64_t(1) << (idx % 64);
+    ++ringCount_;
+}
+
 void
 EventQueue::schedule(Cycle when, Callback cb)
 {
     CLEARSIM_ASSERT(when >= now_, "cannot schedule an event in the past");
     if (perturber_)
-        when += perturber_();
-    heap_.push(Event{when, nextSeq_++, std::move(cb)});
+        when = saturatingAdd(when, perturber_());
+    Event *event = pool_.acquire(when, nextSeq_++, std::move(cb));
+    if (when - now_ < kWindowCycles) {
+        pushRing(event);
+    } else {
+        overflow_.push_back(OverflowRef{when, event->seq, event});
+        std::push_heap(overflow_.begin(), overflow_.end(),
+                       OverflowLater{});
+    }
 }
 
 void
 EventQueue::scheduleAfter(Cycle delay, Callback cb)
 {
-    schedule(now_ + delay, std::move(cb));
+    schedule(saturatingAdd(now_, delay), std::move(cb));
+}
+
+Cycle
+EventQueue::nextRingCycle() const
+{
+    if (ringCount_ == 0)
+        return kNoCycle;
+    // Circular scan for the first non-empty bucket at or after
+    // now_. Every ring event lives in [now_, now_ + kWindowCycles),
+    // so the first set bit in circular order is the earliest cycle.
+    const std::size_t start =
+        static_cast<std::size_t>(now_ & kWindowMask);
+    std::size_t word = start / 64;
+    const std::size_t bit = start % 64;
+    std::uint64_t bits = bits_[word] >> bit;
+    if (bits != 0) {
+        const std::size_t dist =
+            static_cast<std::size_t>(__builtin_ctzll(bits));
+        return now_ + dist;
+    }
+    for (std::size_t i = 1; i <= kBitmapWords; ++i) {
+        const std::size_t w = (word + i) % kBitmapWords;
+        if (bits_[w] == 0)
+            continue;
+        const std::size_t idx =
+            w * 64 +
+            static_cast<std::size_t>(__builtin_ctzll(bits_[w]));
+        // On the wrapped revisit of the start word only bits below
+        // `bit` remain unseen; they are necessarily a full window
+        // lap away.
+        if (i == kBitmapWords && idx >= start)
+            break;
+        return now_ + ((idx - start) & kWindowMask);
+    }
+    panic("ring count %zu but no bucket bit set", ringCount_);
+}
+
+void
+EventQueue::drainOverflow()
+{
+    while (!overflow_.empty() &&
+           overflow_[0].when - now_ < kWindowCycles) {
+        std::pop_heap(overflow_.begin(), overflow_.end(),
+                      OverflowLater{});
+        pushRing(overflow_.back().event);
+        overflow_.pop_back();
+    }
 }
 
 bool
 EventQueue::runOne()
 {
-    if (heap_.empty())
+    if (size() == 0)
         return false;
-    // priority_queue::top returns const&; moving the callback out
-    // requires a copy here, which std::function makes cheap enough
-    // relative to the work an event performs.
-    Event ev = heap_.top();
-    heap_.pop();
-    now_ = ev.when;
+    const Cycle next = nextCycle();
+    now_ = next;
+    if (!overflow_.empty())
+        drainOverflow();
+
+    const std::size_t idx = static_cast<std::size_t>(now_ & kWindowMask);
+    Event *event = head_[idx];
+    CLEARSIM_ASSERT(event != nullptr && event->when == now_,
+                    "calendar bucket out of step with nextCycle()");
+    head_[idx] = event->next;
+    if (head_[idx] == nullptr) {
+        tail_[idx] = nullptr;
+        bits_[idx / 64] &= ~(std::uint64_t(1) << (idx % 64));
+    }
+    --ringCount_;
+
+    Callback cb = std::move(event->cb);
+    pool_.release(event);
     ++executed_;
-    ev.cb();
+    cb();
     return true;
 }
 
@@ -42,7 +145,7 @@ std::uint64_t
 EventQueue::run(Cycle limit)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= limit) {
+    while (size() != 0 && nextCycle() <= limit) {
         runOne();
         ++n;
     }

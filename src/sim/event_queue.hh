@@ -6,27 +6,47 @@
  * at the same cycle execute in insertion order (FIFO tie-break via a
  * monotonically increasing sequence number), which makes every run
  * bit-exact reproducible for a given seed.
+ *
+ * Implementation: a calendar queue. Near-future events — the vast
+ * majority: memory latencies, commit/abort penalties, short
+ * backoffs — go into a ring of per-cycle FIFO buckets covering the
+ * next kWindowCycles cycles, found again through a two-level bitmap
+ * scan (O(window/64) worst case, O(1) typical). Far-future events
+ * overflow into a small binary heap and migrate into the ring as
+ * simulated time advances, before any same-cycle event can be
+ * scheduled directly — so the pop order is exactly the (cycle,
+ * sequence) order of the classic heap-of-everything, pinned by a
+ * differential test against a std::priority_queue reference.
+ * Event nodes are recycled through a SlotPool (no allocation per
+ * event after warm-up) and callbacks live inline in the node
+ * (InlineCallback) instead of on the std::function heap.
  */
 
 #ifndef CLEARSIM_SIM_EVENT_QUEUE_HH
 #define CLEARSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <utility>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/small_fn.hh"
 #include "common/types.hh"
 
 namespace clearsim
 {
 
-/** Min-heap of timestamped callbacks driving the simulation. */
+/** Calendar queue of timestamped callbacks driving the simulation. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback<48>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
 
     /** Current simulated time in cycles. */
     Cycle now() const { return now_; }
@@ -38,10 +58,17 @@ class EventQueue
      */
     const Cycle *nowPtr() const { return &now_; }
 
-    /** Schedule cb to run at absolute cycle when (>= now). */
+    /**
+     * Schedule cb to run at absolute cycle when (>= now). A
+     * perturber jitter that would overflow simulated time
+     * saturates at kNoCycle instead of wrapping into the past.
+     */
     void schedule(Cycle when, Callback cb);
 
-    /** Schedule cb to run delay cycles from now. */
+    /**
+     * Schedule cb to run delay cycles from now. now + delay
+     * saturates at kNoCycle instead of wrapping.
+     */
     void scheduleAfter(Cycle delay, Callback cb);
 
     /**
@@ -56,17 +83,24 @@ class EventQueue
     }
 
     /** True if no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size() == 0; }
 
     /** Cycle of the earliest pending event (kNoCycle when empty). */
     Cycle
     nextCycle() const
     {
-        return heap_.empty() ? kNoCycle : heap_.top().when;
+        const Cycle ring = nextRingCycle();
+        const Cycle heap = overflow_.empty() ? kNoCycle
+                                             : overflow_[0].when;
+        return ring < heap ? ring : heap;
     }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t
+    size() const
+    {
+        return ringCount_ + overflow_.size();
+    }
 
     /**
      * Pop and execute the earliest event, advancing now().
@@ -84,17 +118,38 @@ class EventQueue
     std::uint64_t executedEvents() const { return executed_; }
 
   private:
+    /** Cycles covered by the bucket ring (power of two). */
+    static constexpr std::size_t kWindowCycles = 1024;
+    static constexpr std::size_t kWindowMask = kWindowCycles - 1;
+    static constexpr std::size_t kBitmapWords = kWindowCycles / 64;
+
+    /** One pending event; lives in the pool, linked per bucket. */
     struct Event
     {
+        Event(Cycle when_, std::uint64_t seq_, Callback cb_)
+            : when(when_), seq(seq_), cb(std::move(cb_))
+        {
+        }
+
         Cycle when;
         std::uint64_t seq;
+        Event *next = nullptr;
         Callback cb;
     };
 
-    struct Later
+    /** Heap entry for events beyond the ring window. */
+    struct OverflowRef
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Event *event;
+    };
+
+    /** Min-heap order (std::push_heap builds a max-heap). */
+    struct OverflowLater
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const OverflowRef &a, const OverflowRef &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -102,7 +157,31 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Append to the FIFO bucket of event->when (must be in window). */
+    void pushRing(Event *event);
+
+    /**
+     * Migrate overflow events that entered the window [now_,
+     * now_ + kWindowCycles) into their buckets. Heap pops come out
+     * in (when, seq) order and a cycle's bucket is necessarily
+     * still empty when its cycle enters the window, so bucket FIFO
+     * order stays global (when, seq) order.
+     */
+    void drainOverflow();
+
+    /** Earliest bucket cycle in the ring (kNoCycle when empty). */
+    Cycle nextRingCycle() const;
+
+    /** Destroy every pending event (queue teardown). */
+    void clearPending();
+
+    std::array<Event *, kWindowCycles> head_{};
+    std::array<Event *, kWindowCycles> tail_{};
+    /** Bit per bucket: bucket non-empty. */
+    std::array<std::uint64_t, kBitmapWords> bits_{};
+    std::size_t ringCount_ = 0;
+    std::vector<OverflowRef> overflow_;
+    SlotPool<Event> pool_;
     std::function<Cycle()> perturber_;
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;

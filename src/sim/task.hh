@@ -15,10 +15,12 @@
 #define CLEARSIM_SIM_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "sim/event_queue.hh"
 
@@ -37,6 +39,23 @@ struct PromiseBase
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
     bool topLevel = false;
+
+    /**
+     * Every simulated memory access creates and destroys one
+     * coroutine frame; route them through the thread-local frame
+     * pool instead of the general-purpose heap.
+     */
+    static void *
+    operator new(std::size_t bytes)
+    {
+        return frameAlloc(bytes);
+    }
+
+    static void
+    operator delete(void *frame, std::size_t bytes) noexcept
+    {
+        frameFree(frame, bytes);
+    }
 
     std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -1,0 +1,175 @@
+/** @file Unit tests for the slab arena and slot-pool allocators. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/arena.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(ArenaTest, AllocationsAreDisjointAndAligned)
+{
+    Arena arena(256);
+    std::vector<std::pair<char *, std::size_t>> blocks;
+    for (std::size_t sz : {1u, 7u, 16u, 64u, 100u, 3u}) {
+        char *p = static_cast<char *>(arena.allocate(sz, 8));
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+        std::memset(p, 0xAB, sz);
+        blocks.emplace_back(p, sz);
+    }
+    // No two live blocks may overlap.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+            char *a = blocks[i].first;
+            char *b = blocks[j].first;
+            EXPECT_TRUE(a + blocks[i].second <= b ||
+                        b + blocks[j].second <= a);
+        }
+    }
+}
+
+TEST(ArenaTest, GrowsPastOneSlab)
+{
+    Arena arena(128);
+    // Allocate far more than one slab's worth.
+    for (int i = 0; i < 100; ++i) {
+        void *p = arena.allocate(64, 8);
+        ASSERT_NE(p, nullptr);
+        std::memset(p, 0x5C, 64);
+    }
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedSlab)
+{
+    Arena arena(64);
+    void *big = arena.allocate(4096, 16);
+    ASSERT_NE(big, nullptr);
+    std::memset(big, 0x11, 4096);
+    void *small = arena.allocate(8, 8);
+    ASSERT_NE(small, nullptr);
+}
+
+TEST(ArenaTest, ResetReusesStorage)
+{
+    Arena arena(1024);
+    void *first = arena.allocate(100, 8);
+    arena.reset();
+    void *again = arena.allocate(100, 8);
+    // After reset the bump pointer rewinds to the first slab.
+    EXPECT_EQ(first, again);
+}
+
+TEST(ArenaTest, TypedAllocationIsAligned)
+{
+    struct alignas(32) Wide
+    {
+        double d[4];
+    };
+    Arena arena(64);
+    for (int i = 0; i < 10; ++i) {
+        Wide *w = arena.allocate<Wide>(1);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 32, 0u);
+    }
+}
+
+TEST(SlotPoolTest, AcquireConstructsAndReleaseReuses)
+{
+    struct Tracked
+    {
+        explicit Tracked(int v) : value(v) {}
+        int value;
+    };
+
+    SlotPool<Tracked> pool;
+    Tracked *a = pool.acquire(1);
+    Tracked *b = pool.acquire(2);
+    EXPECT_EQ(a->value, 1);
+    EXPECT_EQ(b->value, 2);
+    EXPECT_EQ(pool.liveCount(), 2u);
+
+    pool.release(a);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    // The freed slot is recycled for the next acquire.
+    Tracked *c = pool.acquire(3);
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(c->value, 3);
+    pool.release(b);
+    pool.release(c);
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(SlotPoolTest, RunsDestructorsOnRelease)
+{
+    struct Counting
+    {
+        explicit Counting(int *live) : live_(live) { ++*live_; }
+        ~Counting() { --*live_; }
+        int *live_;
+    };
+
+    int live = 0;
+    SlotPool<Counting> pool;
+    Counting *a = pool.acquire(&live);
+    Counting *b = pool.acquire(&live);
+    EXPECT_EQ(live, 2);
+    pool.release(a);
+    EXPECT_EQ(live, 1);
+    pool.release(b);
+    EXPECT_EQ(live, 0);
+}
+
+TEST(SlotPoolTest, SurvivesChurn)
+{
+    SlotPool<std::uint64_t> pool;
+    std::vector<std::uint64_t *> live;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 20; ++i)
+            live.push_back(pool.acquire(std::uint64_t(i)));
+        // Release every other slot, then acquire over the holes.
+        for (std::size_t i = 0; i < live.size(); i += 2) {
+            pool.release(live[i]);
+            live[i] = pool.acquire(std::uint64_t(round));
+        }
+        for (std::uint64_t *p : live)
+            pool.release(p);
+        live.clear();
+        EXPECT_EQ(pool.liveCount(), 0u);
+    }
+}
+
+TEST(FramePoolTest, RecyclesSameSizeFrames)
+{
+    void *a = frameAlloc(128);
+    ASSERT_NE(a, nullptr);
+    std::memset(a, 0x77, 128);
+    frameFree(a, 128);
+    // The freed frame is cached and handed back for the next
+    // same-class request.
+    void *b = frameAlloc(128);
+    EXPECT_EQ(b, a);
+    frameFree(b, 128);
+    EXPECT_GE(framePoolCachedBytes(), 128u);
+}
+
+TEST(FramePoolTest, LargeFramesBypassThePool)
+{
+    const std::size_t huge = 1 << 20;
+    void *p = frameAlloc(huge);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x33, huge);
+    const std::size_t cachedBefore = framePoolCachedBytes();
+    frameFree(p, huge);
+    // Oversized frames go straight back to the system allocator.
+    EXPECT_EQ(framePoolCachedBytes(), cachedBefore);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit and differential tests for the open-addressing FlatMap.
+ *
+ * The differential suite replays a randomized insert/lookup/erase
+ * workload against std::unordered_map and requires identical
+ * contents at every step, including the backward-shift deletion
+ * paths that keep probe chains compact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/rng.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(FlatMapTest, StartsEmpty)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(7), nullptr);
+    EXPECT_FALSE(map.erase(7));
+}
+
+TEST(FlatMapTest, InsertFindErase)
+{
+    FlatMap<std::uint64_t, std::string> map;
+    map[1] = "one";
+    map[2] = "two";
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(1), nullptr);
+    EXPECT_EQ(*map.find(1), "one");
+    EXPECT_TRUE(map.contains(2));
+    EXPECT_FALSE(map.contains(3));
+
+    EXPECT_TRUE(map.erase(1));
+    EXPECT_FALSE(map.contains(1));
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_FALSE(map.erase(1));
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructs)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_EQ(map[42], 0);
+    map[42] += 5;
+    EXPECT_EQ(map[42], 5);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, GrowsPastInitialCapacity)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        map[k] = k * 3;
+    EXPECT_EQ(map.size(), 10000u);
+    for (std::uint64_t k = 0; k < 10000; ++k) {
+        ASSERT_NE(map.find(k), nullptr);
+        EXPECT_EQ(*map.find(k), k * 3);
+    }
+}
+
+TEST(FlatMapTest, ClearKeepsWorking)
+{
+    FlatMap<std::uint64_t, int> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map[k] = 1;
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(5), nullptr);
+    map[5] = 9;
+    EXPECT_EQ(*map.find(5), 9);
+}
+
+TEST(FlatMapTest, IterationVisitsEveryEntryOnce)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t k = 10; k < 60; ++k)
+        map[k] = k + 1;
+    std::unordered_map<std::uint64_t, std::uint64_t> seen;
+    for (const auto &[key, value] : map)
+        EXPECT_TRUE(seen.emplace(key, value).second);
+    EXPECT_EQ(seen.size(), 50u);
+    for (const auto &[key, value] : seen)
+        EXPECT_EQ(value, key + 1);
+}
+
+TEST(FlatMapTest, CopyIsDeepAndIndependent)
+{
+    FlatMap<std::uint64_t, int> a;
+    for (std::uint64_t k = 0; k < 40; ++k)
+        a[k] = static_cast<int>(k);
+    FlatMap<std::uint64_t, int> b = a;
+    a.erase(3);
+    a[100] = -1;
+    EXPECT_EQ(b.size(), 40u);
+    EXPECT_TRUE(b.contains(3));
+    EXPECT_FALSE(b.contains(100));
+}
+
+TEST(FlatMapTest, MoveLeavesSourceEmpty)
+{
+    FlatMap<std::uint64_t, int> a;
+    a[1] = 10;
+    FlatMap<std::uint64_t, int> b = std::move(a);
+    EXPECT_TRUE(a.empty()); // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(*b.find(1), 10);
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.reserve(1000);
+    map[17] = 1;
+    int *p = map.find(17);
+    for (std::uint64_t k = 0; k < 700; ++k)
+        map[k + 1000] = 2;
+    // With the table pre-sized, no growth invalidated the pointer.
+    EXPECT_EQ(map.find(17), p);
+}
+
+TEST(FlatMapTest, NonTrivialValuesDestructCleanly)
+{
+    FlatMap<std::uint64_t, std::vector<int>> map;
+    for (std::uint64_t k = 0; k < 200; ++k)
+        map[k].assign(10, static_cast<int>(k));
+    for (std::uint64_t k = 0; k < 200; k += 2)
+        EXPECT_TRUE(map.erase(k));
+    for (std::uint64_t k = 1; k < 200; k += 2) {
+        ASSERT_NE(map.find(k), nullptr);
+        EXPECT_EQ(map.find(k)->at(0), static_cast<int>(k));
+    }
+}
+
+/** Replay a random op stream against std::unordered_map. */
+void
+runDifferential(std::uint64_t seed, std::uint64_t key_space,
+                unsigned ops)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(seed);
+
+    for (unsigned i = 0; i < ops; ++i) {
+        const std::uint64_t key = rng.nextBelow(key_space);
+        switch (rng.nextBelow(4)) {
+          case 0: // insert/overwrite
+          case 1:
+            flat[key] = i;
+            ref[key] = i;
+            break;
+          case 2: // erase
+            EXPECT_EQ(flat.erase(key), ref.erase(key) != 0);
+            break;
+          case 3: { // lookup
+            const std::uint64_t *got = flat.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(got, nullptr);
+            } else {
+                ASSERT_NE(got, nullptr);
+                EXPECT_EQ(*got, it->second);
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Full-content audit in both directions.
+    for (const auto &[key, value] : ref) {
+        ASSERT_NE(flat.find(key), nullptr);
+        EXPECT_EQ(*flat.find(key), value);
+    }
+    std::size_t walked = 0;
+    for (const auto &[key, value] : flat) {
+        auto it = ref.find(key);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(value, it->second);
+        ++walked;
+    }
+    EXPECT_EQ(walked, ref.size());
+}
+
+TEST(FlatMapDiffTest, SparseKeys)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        runDifferential(seed, 1u << 20, 20000);
+}
+
+TEST(FlatMapDiffTest, DenseKeysHammerCollisions)
+{
+    // A tiny key space maximizes probe-chain overlap, stressing
+    // backward-shift erase against live neighbors.
+    for (std::uint64_t seed = 10; seed <= 13; ++seed)
+        runDifferential(seed, 48, 20000);
+}
+
+TEST(FlatMapDiffTest, SequentialKeys)
+{
+    // Dense sequential addresses are the common simulator pattern
+    // (word addresses within one allocation).
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    for (std::uint64_t k = 0; k < 5000; ++k) {
+        flat[k * 8] = k;
+        ref[k * 8] = k;
+    }
+    for (std::uint64_t k = 0; k < 5000; k += 3) {
+        EXPECT_EQ(flat.erase(k * 8), ref.erase(k * 8) != 0);
+    }
+    for (const auto &[key, value] : ref) {
+        ASSERT_NE(flat.find(key), nullptr);
+        EXPECT_EQ(*flat.find(key), value);
+    }
+    EXPECT_EQ(flat.size(), ref.size());
+}
+
+} // namespace
+} // namespace clearsim

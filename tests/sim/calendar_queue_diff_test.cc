@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Differential determinism suite for the calendar event queue.
+ *
+ * The simulator's byte-identity guarantees rest on the event queue
+ * popping events in exactly (cycle, schedule-order) sequence — the
+ * contract the old std::priority_queue implementation provided.
+ * These tests replay randomized schedules against a reference model
+ * with that exact ordering and require identical pop sequences,
+ * covering same-cycle FIFO ties, far-future overflow delays, events
+ * scheduling further events, and perturber jitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/event_queue.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** Reference ordering model: a (when, seq) min-heap, like the old
+ *  std::priority_queue-backed queue. */
+class ReferenceQueue
+{
+  public:
+    void
+    schedule(Cycle when, int id)
+    {
+        heap_.push(Entry{when, nextSeq_++, id});
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Pop the earliest (when, seq) entry; returns its id. */
+    int
+    pop(Cycle *when = nullptr)
+    {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (when != nullptr)
+            *when = e.when;
+        return e.id;
+    }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        int id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>,
+                        std::greater<Entry>>
+        heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * Schedule the same randomized workload into both queues and demand
+ * identical pop order. Delays are drawn from mixed ranges so events
+ * land in the calendar ring, in the overflow heap, and on already
+ * occupied cycles (FIFO ties).
+ */
+void
+runDifferential(std::uint64_t seed, unsigned initial_events,
+                Cycle max_delay, unsigned chain_depth)
+{
+    EventQueue q;
+    ReferenceQueue ref;
+    Rng rng(seed);
+    std::vector<int> got;
+    std::vector<int> want;
+    int nextId = 0;
+
+    for (unsigned i = 0; i < initial_events; ++i) {
+        const Cycle when = rng.nextBelow(max_delay) + 1;
+        const int id = nextId++;
+        q.schedule(when, [&got, id] { got.push_back(id); });
+        ref.schedule(when, id);
+    }
+
+    // Drain both queues in lockstep; whenever an event fires, give
+    // it a chance to schedule a follow-up in both worlds.
+    unsigned chained = 0;
+    while (!ref.empty()) {
+        Cycle refWhen = 0;
+        want.push_back(ref.pop(&refWhen));
+        ASSERT_FALSE(q.empty());
+        ASSERT_EQ(q.nextCycle(), refWhen);
+        ASSERT_TRUE(q.runOne());
+        ASSERT_EQ(q.now(), refWhen);
+
+        if (chained < chain_depth) {
+            ++chained;
+            const Cycle delay = rng.nextBelow(max_delay) + 1;
+            const int id = nextId++;
+            q.scheduleAfter(delay,
+                            [&got, id] { got.push_back(id); });
+            ref.schedule(q.now() + delay, id);
+        }
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(got, want);
+}
+
+TEST(CalendarQueueDiffTest, MatchesReferenceWithinWindow)
+{
+    // All delays fit the 1024-cycle calendar window.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed)
+        runDifferential(seed, 200, 1000, 50);
+}
+
+TEST(CalendarQueueDiffTest, MatchesReferenceAcrossOverflow)
+{
+    // Delays up to 100k cycles force heavy overflow-heap traffic
+    // and repeated migration into the ring.
+    for (std::uint64_t seed = 100; seed <= 107; ++seed)
+        runDifferential(seed, 200, 100000, 50);
+}
+
+TEST(CalendarQueueDiffTest, MatchesReferenceWithDenseTies)
+{
+    // Only 4 distinct cycles for 300 events: almost every pop is a
+    // same-cycle FIFO tie-break.
+    for (std::uint64_t seed = 200; seed <= 203; ++seed)
+        runDifferential(seed, 300, 4, 100);
+}
+
+TEST(CalendarQueueDiffTest, MatchesReferenceAtWindowBoundary)
+{
+    // Delays straddle the exact window size, exercising the
+    // in-window/overflow routing decision on both sides.
+    EventQueue q;
+    ReferenceQueue ref;
+    std::vector<int> got;
+    std::vector<int> want;
+    int id = 0;
+    for (Cycle delay : {1023u, 1024u, 1025u, 1023u, 1024u, 1u}) {
+        const int thisId = id++;
+        q.schedule(delay, [&got, thisId] { got.push_back(thisId); });
+        ref.schedule(delay, thisId);
+    }
+    while (!ref.empty()) {
+        want.push_back(ref.pop());
+        ASSERT_TRUE(q.runOne());
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(CalendarQueueDiffTest, MatchesReferenceUnderPerturbation)
+{
+    // A deterministic perturber jitters every schedule; the
+    // reference applies the same jitter stream, so pop order must
+    // still match exactly.
+    EventQueue q;
+    ReferenceQueue ref;
+    Rng qJitter(42);
+    Rng refJitter(42);
+    q.setPerturber(
+        [&qJitter]() -> Cycle { return qJitter.nextBelow(3); });
+
+    Rng rng(7);
+    std::vector<int> got;
+    std::vector<int> want;
+    for (int i = 0; i < 400; ++i) {
+        const Cycle when = rng.nextBelow(5000) + 1;
+        q.schedule(when, [&got, i] { got.push_back(i); });
+        ref.schedule(when + refJitter.nextBelow(3), i);
+    }
+    while (!ref.empty()) {
+        want.push_back(ref.pop());
+        ASSERT_TRUE(q.runOne());
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(CalendarQueueDiffTest, LongRunningChainStaysOrdered)
+{
+    // A self-rescheduling chain sweeps now() across many window
+    // wraps; every hop must land exactly where scheduled.
+    EventQueue q;
+    Cycle expected = 0;
+    int hops = 0;
+    std::function<void()> chain = [&] {
+        EXPECT_EQ(q.now(), expected);
+        if (++hops < 2000) {
+            const Cycle delay = 1 + (hops % 7) * 300;
+            expected = q.now() + delay;
+            q.scheduleAfter(delay, chain);
+        }
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(hops, 2000);
+}
+
+} // namespace
+} // namespace clearsim

@@ -89,5 +89,123 @@ TEST(EventQueueTest, CountsExecutedEvents)
     EXPECT_EQ(q.executedEvents(), 7u);
 }
 
+TEST(EventQueueTest, ExecutedEventsAccumulateAcrossRuns)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.run(10);
+    EXPECT_EQ(q.executedEvents(), 1u);
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 2u);
+}
+
+TEST(EventQueueTest, RunLimitIsInclusive)
+{
+    // An event at exactly the limit cycle must run; now() lands on
+    // the limit, not past it.
+    EventQueue q;
+    int ran = 0;
+    q.schedule(15, [&] { ++ran; });
+    q.schedule(16, [&] { ++ran; });
+    q.run(15);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(q.now(), 15u);
+    EXPECT_EQ(q.nextCycle(), 16u);
+}
+
+TEST(EventQueueTest, NowStaysAtLastExecutedCycle)
+{
+    // run() never advances now() past the last executed event, even
+    // when later events remain pending beyond the limit.
+    EventQueue q;
+    q.schedule(7, [] {});
+    q.schedule(900, [] {});
+    q.run(100);
+    EXPECT_EQ(q.now(), 7u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, NextCycleReportsEarliestPending)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextCycle(), kNoCycle);
+    q.schedule(5000, [] {}); // overflow-range (beyond the ring)
+    q.schedule(3, [] {});    // in-window
+    EXPECT_EQ(q.nextCycle(), 3u);
+    q.runOne();
+    EXPECT_EQ(q.nextCycle(), 5000u);
+    q.runOne();
+    EXPECT_EQ(q.nextCycle(), kNoCycle);
+}
+
+TEST(EventQueueTest, FarFutureEventsExecuteInOrder)
+{
+    // Events far beyond the calendar window spill to the overflow
+    // heap and must still interleave correctly with near events.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(100000, [&] { order.push_back(4); });
+    q.schedule(2, [&] { order.push_back(1); });
+    q.schedule(5000, [&] { order.push_back(3); });
+    q.schedule(1500, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(q.now(), 100000u);
+}
+
+TEST(EventQueueTest, FifoTieBreakSurvivesOverflowMigration)
+{
+    // Same-cycle events scheduled while the cycle was beyond the
+    // window keep their FIFO order after migrating into the ring.
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(20000, [&order, i] { order.push_back(i); });
+    q.schedule(1, [] {});
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterSaturatesNearMaxCycle)
+{
+    // A delay that would overflow Cycle clamps to kNoCycle instead
+    // of wrapping into the past.
+    EventQueue q;
+    bool ran = false;
+    q.schedule(10, [&] {
+        q.scheduleAfter(kNoCycle, [&] { ran = true; });
+    });
+    q.run(1000);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.nextCycle(), kNoCycle);
+    q.runOne();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.now(), kNoCycle);
+}
+
+TEST(EventQueueTest, PerturberJitterSaturates)
+{
+    // Perturbation jitter near kNoCycle saturates instead of
+    // wrapping.
+    EventQueue q;
+    q.setPerturber([] { return kNoCycle; });
+    bool ran = false;
+    q.schedule(5, [&] { ran = true; });
+    EXPECT_EQ(q.nextCycle(), kNoCycle);
+    q.runOne();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(50, [] {});
+    q.runOne();
+    EXPECT_DEATH(q.schedule(10, [] {}),
+                 "cannot schedule an event in the past");
+}
+
 } // namespace
 } // namespace clearsim
