@@ -27,6 +27,8 @@
 #include "cpu/core_resources.hh"
 #include "energy/energy_model.hh"
 #include "harness/runner.hh"
+#include "harness/sweep_cache.hh"
+#include "harness/sweep_engine.hh"
 #include "metrics/run_result.hh"
 #include "metrics/stats_report.hh"
 #include "cpu/tx_value.hh"

@@ -305,6 +305,9 @@ class JsonParser
     bool
     parseObject(JsonValue &out)
     {
+        if (depth_ >= kJsonMaxDepth)
+            return fail("nesting too deep");
+        const DepthGuard guard(depth_);
         out.type = JsonValue::Type::Object;
         ++pos_; // '{'
         skipSpace();
@@ -347,6 +350,9 @@ class JsonParser
     bool
     parseArray(JsonValue &out)
     {
+        if (depth_ >= kJsonMaxDepth)
+            return fail("nesting too deep");
+        const DepthGuard guard(depth_);
         out.type = JsonValue::Type::Array;
         ++pos_; // '['
         skipSpace();
@@ -468,6 +474,11 @@ class JsonParser
     parseNumber(JsonValue &out)
     {
         const std::size_t start = pos_;
+        // JSON numbers may start with '-' but never '+'; strtod
+        // would happily take "+1", so reject it here (fail closed
+        // on wire input rather than accept a superset).
+        if (pos_ < input_.size() && input_[pos_] == '+')
+            return fail("expected a value");
         if (pos_ < input_.size() && input_[pos_] == '-')
             ++pos_;
         bool integral = true;
@@ -518,9 +529,24 @@ class JsonParser
         return true;
     }
 
+    /** Increment the live nesting depth for one container scope. */
+    class DepthGuard
+    {
+      public:
+        explicit DepthGuard(std::size_t &depth) : depth_(depth)
+        {
+            ++depth_;
+        }
+        ~DepthGuard() { --depth_; }
+
+      private:
+        std::size_t &depth_;
+    };
+
     std::string_view input_;
     std::string &error_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 } // namespace

@@ -11,11 +11,19 @@
  * tests: it keeps object member order, distinguishes integers from
  * doubles (a number without '.', 'e' or 'E' parses losslessly into
  * 64 bits), and rejects trailing garbage.
+ *
+ * Since the clearsimd wire protocol feeds it bytes straight off a
+ * socket, the parser must fail closed on adversarial input: nesting
+ * is capped at kJsonMaxDepth (deeper documents are rejected, not
+ * recursed into — no stack overflow), every read is bounds-checked,
+ * and any malformed byte yields false with a position, never a
+ * crash or over-read. tests/common/json_fuzz_test.cc pins this.
  */
 
 #ifndef CLEARSIM_COMMON_JSON_HH
 #define CLEARSIM_COMMON_JSON_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -24,6 +32,14 @@
 
 namespace clearsim
 {
+
+/**
+ * Maximum container nesting the parser accepts. Deep enough for
+ * every document clearsim emits (≤ 8 levels), small enough that a
+ * "[[[[[..." bomb off the wire is rejected long before the
+ * recursive parser could exhaust the stack.
+ */
+constexpr std::size_t kJsonMaxDepth = 64;
 
 /** Append-only JSON serializer with caller-controlled key order. */
 class JsonWriter

@@ -1,0 +1,63 @@
+#include "harness/progress.hh"
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+ProgressReporter::ProgressReporter(std::size_t total_points,
+                                   std::size_t points_per_cell,
+                                   unsigned jobs, ProgressHook hook)
+    : total_(total_points), pointsPerCell_(points_per_cell),
+      jobs_(jobs), start_(Clock::now()), lastReport_(start_),
+      hook_(std::move(hook))
+{
+}
+
+double
+ProgressReporter::secondsSince(Clock::time_point from,
+                               Clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+void
+ProgressReporter::maybeReport()
+{
+    const Clock::time_point now = Clock::now();
+    if (now - lastReport_ < std::chrono::seconds(1))
+        return;
+    lastReport_ = now;
+    reported_ = true;
+
+    const std::size_t done = done_.load(std::memory_order_relaxed);
+    const double elapsed = secondsSince(start_, now);
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    logStatus("[clearsim] sweep: %zu/%zu runs "
+              "(%zu/%zu cells), %.1f runs/s, eta %.0fs",
+              done, total_, done / pointsPerCell_,
+              total_ / pointsPerCell_, rate, eta);
+    if (hook_)
+        hook_(done, total_);
+}
+
+void
+ProgressReporter::finish()
+{
+    if (!reported_)
+        return;
+    const double elapsed = secondsSince(start_, Clock::now());
+    logStatus("[clearsim] sweep done: %zu runs in %.1fs "
+              "(%.1f runs/s on %u jobs)",
+              total_, elapsed,
+              elapsed > 0.0 ? static_cast<double>(total_) / elapsed
+                            : 0.0,
+              jobs_);
+    if (hook_)
+        hook_(done_.load(std::memory_order_relaxed), total_);
+}
+
+} // namespace clearsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Throttled sweep progress reporting, split out of the runner so
+ * every consumer of the sweep engine — the figure benches, the CLI
+ * sweep mode and the clearsimd scheduler — shares one definition of
+ * "progress": points done, runs/s and an ETA, emitted at most once
+ * a second, silent for the first second so tests and small sweeps
+ * stay quiet.
+ *
+ * Besides the stderr status line (logStatus), an optional hook
+ * receives the same (done, total) samples; clearsimd uses it to
+ * stream progress frames to subscribed clients without the engine
+ * knowing anything about the wire.
+ */
+
+#ifndef CLEARSIM_HARNESS_PROGRESS_HH
+#define CLEARSIM_HARNESS_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+namespace clearsim
+{
+
+/** Periodic (done, total) samples of a running sweep. */
+using ProgressHook =
+    std::function<void(std::size_t done, std::size_t total)>;
+
+/**
+ * Throttled stderr progress for long sweeps. markDone() is safe
+ * from worker threads; maybeReport()/finish() must be called from
+ * the coordinating thread only.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::size_t total_points,
+                     std::size_t points_per_cell, unsigned jobs,
+                     ProgressHook hook = nullptr);
+
+    /** One point finished. Safe to call from worker threads. */
+    void
+    markDone()
+    {
+        done_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Points finished so far. */
+    std::size_t
+    done() const
+    {
+        return done_.load(std::memory_order_relaxed);
+    }
+
+    /** Print a progress line if a second passed. Coordinator only. */
+    void maybeReport();
+
+    /** Print the closing throughput line if progress was shown. */
+    void finish();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static double secondsSince(Clock::time_point from,
+                               Clock::time_point to);
+
+    const std::size_t total_;
+    const std::size_t pointsPerCell_;
+    const unsigned jobs_;
+    const Clock::time_point start_;
+    Clock::time_point lastReport_;
+    std::atomic<std::size_t> done_{0};
+    bool reported_ = false;
+    ProgressHook hook_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HARNESS_PROGRESS_HH

@@ -1,8 +1,5 @@
 #include "harness/runner.hh"
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -10,10 +7,10 @@
 
 #include "common/env.hh"
 #include "common/log.hh"
-#include "common/thread_pool.hh"
 #include "core/system.hh"
 #include "fault/fault_repro.hh"
 #include "fault/invariant_checker.hh"
+#include "harness/sweep_engine.hh"
 #include "policy/config_registry.hh"
 
 namespace clearsim
@@ -84,354 +81,6 @@ splitCsv(const char *value)
     return out;
 }
 
-/**
- * The quantities of one sweep point (one runOnce) that the cell
- * reduction needs. Workers write each point into its own
- * pre-allocated slot, so no synchronization is needed on the
- * results and the reduction order is fixed regardless of which
- * thread finished when.
- */
-struct PointResult
-{
-    double cycles = 0.0;
-    double energy = 0.0;
-    double discoveryShare = 0.0;
-    HtmStats htm;
-
-    /** The point threw; error/repro identify and replay it. */
-    bool failed = false;
-    std::string error;
-    std::string repro;
-};
-
-/**
- * A sweep flattened into an indexable job list. Point index
- * i = (cell * retryLimits.size() + retry) * seeds + seed, i.e.
- * cells outermost, seeds innermost — the same nesting the serial
- * loops always used.
- */
-struct SweepPlan
-{
-    const SweepOptions *opts = nullptr;
-    std::vector<SweepKey> cells; ///< (workload, config)
-
-    std::size_t
-    pointsPerCell() const
-    {
-        return opts->retryLimits.size() * opts->seeds;
-    }
-
-    std::size_t
-    totalPoints() const
-    {
-        return cells.size() * pointsPerCell();
-    }
-};
-
-void
-validateSweepShape(const SweepOptions &opts)
-{
-    if (opts.seeds == 0)
-        fatal("sweep needs at least one seed per point "
-              "(CLEARSIM_SEEDS >= 1)");
-    if (opts.retryLimits.empty())
-        fatal("sweep needs at least one retry limit "
-              "(CLEARSIM_RETRIES)");
-}
-
-/**
- * Resolve every config spec and workload name before the first
- * point runs: a typo fails immediately instead of fatal()ing
- * mid-sweep after minutes of simulation.
- */
-void
-validateSelections(const std::vector<std::string> &configs,
-                   const std::vector<std::string> &workloads)
-{
-    if (configs.empty())
-        fatal("sweep needs at least one configuration "
-              "(CLEARSIM_CONFIGS)");
-    if (workloads.empty())
-        fatal("sweep needs at least one workload "
-              "(CLEARSIM_WORKLOADS)");
-
-    const ConfigRegistry &registry = ConfigRegistry::instance();
-    for (const std::string &spec : configs) {
-        SystemConfig cfg;
-        std::string error;
-        if (!registry.tryMake(spec, cfg, error))
-            fatal("sweep configuration: %s", error.c_str());
-    }
-    const std::vector<std::string> &known = workloadNames();
-    for (const std::string &workload : workloads) {
-        if (std::find(known.begin(), known.end(), workload) ==
-            known.end()) {
-            fatal("sweep workload: unknown workload '%s' "
-                  "(known: run with --list-workloads or see "
-                  "workloadNames())",
-                  workload.c_str());
-        }
-    }
-}
-
-PointResult
-runPoint(const SweepPlan &plan, std::size_t index)
-{
-    const SweepOptions &opts = *plan.opts;
-    const std::size_t per_cell = plan.pointsPerCell();
-    const SweepKey &cell = plan.cells[index / per_cell];
-    const std::size_t within = index % per_cell;
-    const unsigned retries = opts.retryLimits[within / opts.seeds];
-    const std::size_t seed_index = within % opts.seeds;
-
-    SystemConfig cfg = makeConfigByName(cell.second);
-    cfg.maxRetries = retries;
-    // Name the config after the full spec including the point's
-    // retry limit, so the repro string replays this exact point.
-    cfg.name = cell.second + ":maxRetries=" + std::to_string(retries);
-    WorkloadParams params = opts.params;
-    params.seed = opts.params.seed + 1000003ull * seed_index;
-
-    PointResult point;
-    RunResult run;
-    try {
-        run = runOnce(cfg, cell.first, params);
-    } catch (const std::exception &err) {
-        // One crashing or invariant-violating point must not take
-        // the sweep down: record what failed and how to replay it,
-        // and let every other point finish.
-        ReproSpec spec;
-        spec.workload = cell.first;
-        spec.config = cfg.name;
-        spec.threads = params.threads;
-        spec.ops = params.opsPerThread;
-        spec.scale = params.scale;
-        spec.seed = params.seed;
-        point.failed = true;
-        point.error = err.what();
-        point.repro = makeReproString(spec);
-        return point;
-    }
-    point.cycles = static_cast<double>(run.cycles);
-    point.energy = run.energy.total();
-    point.discoveryShare = run.discoveryOverheadShare(cfg.numCores);
-    point.htm = run.htm;
-    return point;
-}
-
-/**
- * Throttled stderr progress for long sweeps: nothing for the first
- * second (keeps tests and small runs quiet), then points done,
- * runs/s and an ETA roughly once a second.
- */
-class ProgressReporter
-{
-  public:
-    ProgressReporter(std::size_t total_points,
-                     std::size_t points_per_cell, unsigned jobs)
-        : total_(total_points), pointsPerCell_(points_per_cell),
-          jobs_(jobs), start_(Clock::now()), lastReport_(start_)
-    {
-    }
-
-    /** One point finished. Safe to call from worker threads. */
-    void
-    markDone()
-    {
-        done_.fetch_add(1, std::memory_order_relaxed);
-    }
-
-    /** Print a progress line if a second passed. Coordinator only. */
-    void
-    maybeReport()
-    {
-        const Clock::time_point now = Clock::now();
-        if (now - lastReport_ < std::chrono::seconds(1))
-            return;
-        lastReport_ = now;
-        reported_ = true;
-
-        const std::size_t done =
-            done_.load(std::memory_order_relaxed);
-        const double elapsed = secondsSince(start_, now);
-        const double rate =
-            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
-        const double eta =
-            rate > 0.0
-                ? static_cast<double>(total_ - done) / rate
-                : 0.0;
-        logStatus("[clearsim] sweep: %zu/%zu runs "
-                  "(%zu/%zu cells), %.1f runs/s, eta %.0fs",
-                  done, total_, done / pointsPerCell_,
-                  total_ / pointsPerCell_, rate, eta);
-    }
-
-    /** Print the closing throughput line if progress was shown. */
-    void
-    finish()
-    {
-        if (!reported_)
-            return;
-        const double elapsed = secondsSince(start_, Clock::now());
-        logStatus("[clearsim] sweep done: %zu runs in %.1fs "
-                  "(%.1f runs/s on %u jobs)",
-                  total_, elapsed,
-                  elapsed > 0.0
-                      ? static_cast<double>(total_) / elapsed
-                      : 0.0,
-                  jobs_);
-    }
-
-  private:
-    using Clock = std::chrono::steady_clock;
-
-    static double
-    secondsSince(Clock::time_point from, Clock::time_point to)
-    {
-        return std::chrono::duration<double>(to - from).count();
-    }
-
-    const std::size_t total_;
-    const std::size_t pointsPerCell_;
-    const unsigned jobs_;
-    const Clock::time_point start_;
-    Clock::time_point lastReport_;
-    std::atomic<std::size_t> done_{0};
-    bool reported_ = false;
-};
-
-unsigned
-resolveJobs(unsigned requested)
-{
-    return requested != 0 ? requested : ThreadPool::defaultThreads();
-}
-
-/**
- * Execute every point of the plan on @p jobs threads (inline when
- * jobs == 1), filling the caller-owned @p points slot by slot.
- * Slot-indexed results make the output independent of scheduling.
- * When @p cell_done is non-null, it runs on the coordinator thread
- * once for each cell, as soon as all of that cell's points have
- * finished — the hook behind per-cell sweep checkpointing.
- */
-void
-runAllPoints(const SweepPlan &plan, unsigned jobs,
-             std::vector<PointResult> &points,
-             const std::function<void(std::size_t)> &cell_done)
-{
-    const std::size_t total = plan.totalPoints();
-    const std::size_t per_cell = plan.pointsPerCell();
-    ProgressReporter progress(total, per_cell, jobs);
-
-    std::vector<std::atomic<std::size_t>> cellDone(
-        plan.cells.size());
-    std::vector<bool> reported(plan.cells.size(), false);
-    // Coordinator-side scan for cells whose last point just landed.
-    // The acquire load pairs with the workers' release increments,
-    // so every point slot of a complete cell is visible before
-    // cell_done reduces it.
-    auto drainCompleted = [&] {
-        if (!cell_done)
-            return;
-        for (std::size_t c = 0; c < plan.cells.size(); ++c) {
-            if (!reported[c] &&
-                cellDone[c].load(std::memory_order_acquire) ==
-                    per_cell) {
-                reported[c] = true;
-                cell_done(c);
-            }
-        }
-    };
-
-    if (jobs <= 1) {
-        for (std::size_t i = 0; i < total; ++i) {
-            points[i] = runPoint(plan, i);
-            cellDone[i / per_cell].fetch_add(
-                1, std::memory_order_release);
-            progress.markDone();
-            progress.maybeReport();
-            drainCompleted();
-        }
-    } else {
-        ThreadPool pool(jobs);
-        for (std::size_t i = 0; i < total; ++i) {
-            pool.submit([&plan, &points, &progress, &cellDone,
-                         per_cell, i] {
-                points[i] = runPoint(plan, i);
-                cellDone[i / per_cell].fetch_add(
-                    1, std::memory_order_release);
-                progress.markDone();
-            });
-        }
-        while (!pool.waitFor(std::chrono::milliseconds(250))) {
-            progress.maybeReport();
-            drainCompleted();
-        }
-        drainCompleted();
-    }
-    progress.finish();
-}
-
-/**
- * Reduce one cell's points: per retry limit, trimmed means over the
- * seeds; keep the limit with the lowest mean cycle count (first
- * wins ties, like the original serial sweep).
- */
-CellResult
-reduceCell(const SweepPlan &plan, std::size_t cell_index,
-           const std::vector<PointResult> &points)
-{
-    const SweepOptions &opts = *plan.opts;
-    const std::size_t base = cell_index * plan.pointsPerCell();
-
-    CellResult best;
-    best.workload = plan.cells[cell_index].first;
-    best.config = plan.cells[cell_index].second;
-    bool have_best = false;
-
-    // Any failed point poisons the cell: report the first failure
-    // in slot order (deterministic regardless of which thread hit
-    // it first) instead of aggregating garbage.
-    for (std::size_t p = 0; p < plan.pointsPerCell(); ++p) {
-        const PointResult &point = points[base + p];
-        if (!point.failed)
-            continue;
-        best.failed = true;
-        best.error = point.error;
-        best.repro = point.repro;
-        return best;
-    }
-
-    for (std::size_t r = 0; r < opts.retryLimits.size(); ++r) {
-        std::vector<double> cycles;
-        std::vector<double> energies;
-        std::vector<double> shares;
-        HtmStats merged;
-        for (unsigned s = 0; s < opts.seeds; ++s) {
-            const PointResult &point =
-                points[base + r * opts.seeds + s];
-            cycles.push_back(point.cycles);
-            energies.push_back(point.energy);
-            shares.push_back(point.discoveryShare);
-            merged.merge(point.htm);
-        }
-        const double mean_cycles =
-            trimmedMean(cycles, opts.trimEachSide);
-        if (!have_best || mean_cycles < best.cycles) {
-            have_best = true;
-            best.bestRetryLimit = opts.retryLimits[r];
-            best.cycles = mean_cycles;
-            best.energy = trimmedMean(energies, opts.trimEachSide);
-            best.htm = merged;
-            best.discoveryShare =
-                trimmedMean(shares, opts.trimEachSide);
-            best.numCores =
-                makeConfigByName(best.config).numCores;
-        }
-    }
-    return best;
-}
-
 } // namespace
 
 SweepOptions
@@ -474,14 +123,12 @@ CellResult
 runCell(const std::string &config_name,
         const std::string &workload_name, const SweepOptions &opts)
 {
-    validateSweepShape(opts);
-    validateSelections({config_name}, {workload_name});
-    SweepPlan plan;
-    plan.opts = &opts;
-    plan.cells.push_back({workload_name, config_name});
-    std::vector<PointResult> points(plan.totalPoints());
-    runAllPoints(plan, resolveJobs(opts.jobs), points, nullptr);
-    return reduceCell(plan, 0, points);
+    SweepOptions cell_opts = opts;
+    cell_opts.configs = {config_name};
+    cell_opts.workloads = {workload_name};
+    const SweepOutcome outcome =
+        runSweepGrid(cell_opts, {}, SweepObserver{});
+    return outcome.cells.at({workload_name, config_name});
 }
 
 std::map<SweepKey, CellResult>
@@ -494,30 +141,9 @@ std::map<SweepKey, CellResult>
 runSweep(const SweepOptions &opts, const std::set<SweepKey> &skip,
          const std::function<void(const CellResult &)> &on_cell)
 {
-    validateSweepShape(opts);
-    validateSelections(opts.configs, opts.workloads);
-    SweepPlan plan;
-    plan.opts = &opts;
-    for (const std::string &workload : opts.workloads)
-        for (const std::string &config : opts.configs) {
-            const SweepKey key{workload, config};
-            if (skip.find(key) == skip.end())
-                plan.cells.push_back(key);
-        }
-
-    std::map<SweepKey, CellResult> results;
-    if (plan.cells.empty())
-        return results;
-
-    std::vector<PointResult> points(plan.totalPoints());
-    runAllPoints(plan, resolveJobs(opts.jobs), points,
-                 [&](std::size_t c) {
-                     CellResult cell = reduceCell(plan, c, points);
-                     if (on_cell)
-                         on_cell(cell);
-                     results[plan.cells[c]] = std::move(cell);
-                 });
-    return results;
+    SweepObserver observer;
+    observer.onCell = on_cell;
+    return runSweepGrid(opts, skip, observer).cells;
 }
 
 void

@@ -32,6 +32,11 @@
  * Config specs and workload names are validated up front — the
  * sweep fatal()s before the first simulation, naming the bad entry
  * and the registered alternatives.
+ *
+ * Grid execution itself (point indexing, ThreadPool fan-out, cell
+ * reduction, progress, cancellation) lives in sweep_engine.hh;
+ * runSweep()/runCell() are thin wrappers over runSweepGrid(), and
+ * the clearsimd scheduler drives the same engine directly.
  */
 
 #ifndef CLEARSIM_HARNESS_RUNNER_HH

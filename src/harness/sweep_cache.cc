@@ -162,14 +162,45 @@ parseCacheRow(const std::vector<std::string> &fields,
 
 } // namespace
 
+std::string
+serializeSweepCacheRow(const CellSummary &s)
+{
+    std::ostringstream out;
+    // max_digits10 so cycles/energy round-trip bit-exactly: a
+    // reloaded cache must be indistinguishable from a fresh sweep.
+    out << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    out << s.workload << ',' << s.config << ','
+        << s.bestRetryLimit << ',' << s.cycles << ','
+        << s.energy << ',' << s.discoveryShare << ','
+        << s.commits;
+    for (auto m : s.commitsByMode)
+        out << ',' << m;
+    out << ',' << s.aborts;
+    for (auto a : s.abortsByCategory)
+        out << ',' << a;
+    out << ',' << s.commitsRetry0 << ',' << s.commitsRetry1
+        << ',' << s.commitsNonFallback << ',' << s.commitsFallback;
+    return out.str();
+}
+
+std::string
+serializeSweepCache(std::uint64_t hash, const SweepSummary &summary)
+{
+    std::ostringstream out;
+    out << kCacheHeaderPrefix << std::hex << hash << std::dec
+        << "\n";
+    for (const auto &[key, s] : summary)
+        out << serializeSweepCacheRow(s) << "\n";
+    return out.str();
+}
+
 bool
-loadSweepCache(const std::string &path, std::uint64_t hash,
-               SweepSummary &out)
+parseSweepCache(const std::string &text, std::uint64_t hash,
+                SweepSummary &out)
 {
     out.clear();
-    std::ifstream in(path);
-    if (!in)
-        return false;
+    std::istringstream in(text);
     std::string header;
     if (!std::getline(in, header))
         return false;
@@ -198,15 +229,28 @@ loadSweepCache(const std::string &path, std::uint64_t hash,
             // all; discard everything so the caller re-runs the
             // sweep instead of serving zero-filled cells.
             logMessage(LogLevel::Warn,
-                       "sweep cache %s: malformed line %zu; "
+                       "sweep cache: malformed line %zu; "
                        "ignoring cache",
-                       path.c_str(), line_number);
+                       line_number);
             out.clear();
             return false;
         }
         out[{s.workload, s.config}] = s;
     }
     return !out.empty();
+}
+
+bool
+loadSweepCache(const std::string &path, std::uint64_t hash,
+               SweepSummary &out)
+{
+    out.clear();
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseSweepCache(buffer.str(), hash, out);
 }
 
 void
@@ -217,35 +261,17 @@ saveSweepCache(const std::string &path, std::uint64_t hash,
     // never leave a half-written file under the real name — readers
     // see either the previous complete cache or the new one.
     const std::string tmp = path + ".tmp";
+    const std::string bytes = serializeSweepCache(hash, summary);
     {
-        std::ofstream out(tmp, std::ios::trunc);
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
         if (!out) {
             logMessage(LogLevel::Warn,
                        "could not write sweep cache to %s",
                        tmp.c_str());
             return;
         }
-        // max_digits10 so cycles/energy round-trip bit-exactly: a
-        // reloaded cache must be indistinguishable from a fresh
-        // sweep.
-        out << std::setprecision(
-            std::numeric_limits<double>::max_digits10);
-        out << kCacheHeaderPrefix << std::hex << hash << std::dec
-            << "\n";
-        for (const auto &[key, s] : summary) {
-            out << s.workload << ',' << s.config << ','
-                << s.bestRetryLimit << ',' << s.cycles << ','
-                << s.energy << ',' << s.discoveryShare << ','
-                << s.commits;
-            for (auto m : s.commitsByMode)
-                out << ',' << m;
-            out << ',' << s.aborts;
-            for (auto a : s.abortsByCategory)
-                out << ',' << a;
-            out << ',' << s.commitsRetry0 << ',' << s.commitsRetry1
-                << ',' << s.commitsNonFallback << ','
-                << s.commitsFallback << "\n";
-        }
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
         out.flush();
         if (!out.good()) {
             logMessage(LogLevel::Warn,
@@ -269,25 +295,75 @@ sweepCheckpointPath(const std::string &cache_path)
     return cache_path + ".ckpt";
 }
 
+SweepCacheStore::SweepCacheStore(std::string path)
+    : path_(path.empty() ? sweepCachePath() : std::move(path))
+{
+}
+
+bool
+SweepCacheStore::lookup(const SweepOptions &opts,
+                        SweepSummary &out) const
+{
+    return loadSweepCache(path_, sweepOptionsHash(opts), out);
+}
+
+void
+SweepCacheStore::store(const SweepOptions &opts,
+                       const SweepSummary &summary) const
+{
+    saveSweepCache(path_, sweepOptionsHash(opts), summary);
+}
+
+bool
+SweepCacheStore::loadCheckpoint(const SweepOptions &opts,
+                                SweepSummary &out) const
+{
+    return loadSweepCache(sweepCheckpointPath(path_),
+                          sweepOptionsHash(opts), out);
+}
+
+void
+SweepCacheStore::saveCheckpoint(const SweepOptions &opts,
+                                const SweepSummary &done) const
+{
+    saveSweepCache(sweepCheckpointPath(path_),
+                   sweepOptionsHash(opts), done);
+}
+
+void
+SweepCacheStore::removeCheckpoint() const
+{
+    const std::string ckpt = sweepCheckpointPath(path_);
+    std::remove(ckpt.c_str());
+    // A crash between write-temp and rename can leave the temp
+    // behind too; a finished sweep directory holds only the CSV.
+    std::remove((ckpt + ".tmp").c_str());
+    std::remove((path_ + ".tmp").c_str());
+}
+
 SweepSummary
 sweepWithCache(const SweepOptions &opts)
 {
-    const std::uint64_t hash = sweepOptionsHash(opts);
-    const std::string path = sweepCachePath();
+    const SweepCacheStore store;
     SweepSummary summary;
-    if (loadSweepCache(path, hash, summary)) {
+    if (store.lookup(opts, summary)) {
         logStatus("[clearsim] reusing sweep cache %s (%zu cells)",
-                  path.c_str(), summary.size());
+                  store.path().c_str(), summary.size());
+        // A checkpoint that survived past its final cache (a kill
+        // in the narrow window between the cache rename and the
+        // checkpoint unlink) is dead weight: clean it up so a
+        // completed sweep never leaves a stale .ckpt behind.
+        store.removeCheckpoint();
         return summary;
     }
 
     // A checkpoint (same format, same hash discipline) holds every
     // cell completed by a previous run of this exact sweep that was
     // killed before finishing. Those cells are not re-run.
-    const std::string ckpt = sweepCheckpointPath(path);
+    const std::string ckpt = sweepCheckpointPath(store.path());
     SweepSummary done;
     std::set<SweepKey> skip;
-    if (loadSweepCache(ckpt, hash, done)) {
+    if (store.loadCheckpoint(opts, done)) {
         for (const auto &[key, s] : done)
             skip.insert(key);
         logStatus("[clearsim] resuming sweep from checkpoint %s "
@@ -309,7 +385,7 @@ sweepWithCache(const SweepOptions &opts)
             CellSummary::fromCell(cell);
         // Checkpoint after every completed cell, atomically: a
         // kill at any instant loses at most the in-flight cells.
-        saveSweepCache(ckpt, hash, done);
+        store.saveCheckpoint(opts, done);
     });
 
     if (!failures.empty()) {
@@ -327,8 +403,8 @@ sweepWithCache(const SweepOptions &opts)
 
     // Only a fully successful sweep becomes the real cache; the
     // checkpoint has served its purpose.
-    saveSweepCache(path, hash, done);
-    std::remove(ckpt.c_str());
+    store.store(opts, done);
+    store.removeCheckpoint();
     return done;
 }
 

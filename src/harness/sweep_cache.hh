@@ -64,6 +64,34 @@ std::uint64_t sweepOptionsHash(const SweepOptions &opts);
 std::string sweepCachePath();
 
 /**
+ * The canonical byte serialization of a sweep: the exact bytes
+ * saveSweepCache() writes (header with the options hash, one CSV
+ * row per cell in key order, max_digits10 doubles). This is the
+ * payload clearsimd streams to clients and what clearsim_cli
+ * --sweep writes, so "byte-identical over the wire" reduces to
+ * string equality on this function's output.
+ */
+std::string serializeSweepCache(std::uint64_t hash,
+                                const SweepSummary &summary);
+
+/**
+ * One cell as its cache-CSV row (no trailing newline): the unit
+ * clearsimd streams to subscribers as each cell completes. The
+ * final payload is exactly the header line plus these rows, so a
+ * client can assemble the streamed rows and check them against the
+ * terminal result.
+ */
+std::string serializeSweepCacheRow(const CellSummary &summary);
+
+/**
+ * Parse serializeSweepCache() bytes. The exact inverse used by
+ * loadSweepCache() and by clients validating streamed results.
+ * @retval false when the header, hash or any row is malformed
+ */
+bool parseSweepCache(const std::string &text, std::uint64_t hash,
+                     SweepSummary &out);
+
+/**
  * Load the cached sweep if its options hash matches.
  * @retval false when absent or stale
  */
@@ -79,6 +107,46 @@ void saveSweepCache(const std::string &path, std::uint64_t hash,
 
 /** Checkpoint path of an in-progress sweep ("<cache>.ckpt"). */
 std::string sweepCheckpointPath(const std::string &cache_path);
+
+/**
+ * Read-through view of one on-disk sweep cache: the lookup side of
+ * the cache, separated from "run the sweep" so clearsimd's dedupe
+ * layer can answer "is this exact sweep already on disk?" without
+ * owning any execution machinery.
+ */
+class SweepCacheStore
+{
+  public:
+    /** @p path empty selects sweepCachePath(). */
+    explicit SweepCacheStore(std::string path = "");
+
+    const std::string &path() const { return path_; }
+
+    /** Cached result of exactly these options, if present. */
+    bool lookup(const SweepOptions &opts, SweepSummary &out) const;
+
+    /** Store a completed sweep (atomic write-temp-then-rename). */
+    void store(const SweepOptions &opts,
+               const SweepSummary &summary) const;
+
+    /** Completed cells checkpointed by an interrupted run. */
+    bool loadCheckpoint(const SweepOptions &opts,
+                        SweepSummary &out) const;
+
+    /** Checkpoint the cells completed so far (atomically). */
+    void saveCheckpoint(const SweepOptions &opts,
+                        const SweepSummary &done) const;
+
+    /**
+     * Delete the checkpoint (and any stale write-temp). Called on
+     * clean completion so a finished sweep directory holds only the
+     * final CSV.
+     */
+    void removeCheckpoint() const;
+
+  private:
+    std::string path_;
+};
 
 /**
  * The one-stop entry for the figure benches: load the cached sweep

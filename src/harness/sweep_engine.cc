@@ -1,0 +1,307 @@
+#include "harness/sweep_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+#include "fault/fault_repro.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/**
+ * The quantities of one sweep point (one runOnce) that the cell
+ * reduction needs. Workers write each point into its own
+ * pre-allocated slot, so no synchronization is needed on the
+ * results and the reduction order is fixed regardless of which
+ * thread finished when.
+ */
+struct PointResult
+{
+    double cycles = 0.0;
+    double energy = 0.0;
+    double discoveryShare = 0.0;
+    HtmStats htm;
+
+    /** The point threw; error/repro identify and replay it. */
+    bool failed = false;
+    std::string error;
+    std::string repro;
+};
+
+void
+validateSweepShape(const SweepOptions &opts)
+{
+    if (opts.seeds == 0)
+        fatal("sweep needs at least one seed per point "
+              "(CLEARSIM_SEEDS >= 1)");
+    if (opts.retryLimits.empty())
+        fatal("sweep needs at least one retry limit "
+              "(CLEARSIM_RETRIES)");
+}
+
+/**
+ * Resolve every config spec and workload name before the first
+ * point runs: a typo fails immediately instead of fatal()ing
+ * mid-sweep after minutes of simulation.
+ */
+void
+validateSelections(const std::vector<std::string> &configs,
+                   const std::vector<std::string> &workloads)
+{
+    if (configs.empty())
+        fatal("sweep needs at least one configuration "
+              "(CLEARSIM_CONFIGS)");
+    if (workloads.empty())
+        fatal("sweep needs at least one workload "
+              "(CLEARSIM_WORKLOADS)");
+
+    const ConfigRegistry &registry = ConfigRegistry::instance();
+    for (const std::string &spec : configs) {
+        SystemConfig cfg;
+        std::string error;
+        if (!registry.tryMake(spec, cfg, error))
+            fatal("sweep configuration: %s", error.c_str());
+    }
+    const std::vector<std::string> &known = workloadNames();
+    for (const std::string &workload : workloads) {
+        if (std::find(known.begin(), known.end(), workload) ==
+            known.end()) {
+            fatal("sweep workload: unknown workload '%s' "
+                  "(known: run with --list-workloads or see "
+                  "workloadNames())",
+                  workload.c_str());
+        }
+    }
+}
+
+PointResult
+runPoint(const SweepGrid &grid, std::size_t index)
+{
+    const SweepOptions &opts = grid.options();
+    const std::size_t per_cell = grid.pointsPerCell();
+    const SweepKey &cell = grid.cells()[index / per_cell];
+    const std::size_t within = index % per_cell;
+    const unsigned retries = opts.retryLimits[within / opts.seeds];
+    const std::size_t seed_index = within % opts.seeds;
+
+    SystemConfig cfg = makeConfigByName(cell.second);
+    cfg.maxRetries = retries;
+    // Name the config after the full spec including the point's
+    // retry limit, so the repro string replays this exact point.
+    cfg.name = cell.second + ":maxRetries=" + std::to_string(retries);
+    WorkloadParams params = opts.params;
+    params.seed = opts.params.seed + 1000003ull * seed_index;
+
+    PointResult point;
+    RunResult run;
+    try {
+        run = runOnce(cfg, cell.first, params);
+    } catch (const std::exception &err) {
+        // One crashing or invariant-violating point must not take
+        // the sweep down: record what failed and how to replay it,
+        // and let every other point finish.
+        ReproSpec spec;
+        spec.workload = cell.first;
+        spec.config = cfg.name;
+        spec.threads = params.threads;
+        spec.ops = params.opsPerThread;
+        spec.scale = params.scale;
+        spec.seed = params.seed;
+        point.failed = true;
+        point.error = err.what();
+        point.repro = makeReproString(spec);
+        return point;
+    }
+    point.cycles = static_cast<double>(run.cycles);
+    point.energy = run.energy.total();
+    point.discoveryShare = run.discoveryOverheadShare(cfg.numCores);
+    point.htm = run.htm;
+    return point;
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    return requested != 0 ? requested : ThreadPool::defaultThreads();
+}
+
+/**
+ * Reduce one cell's points: per retry limit, trimmed means over the
+ * seeds; keep the limit with the lowest mean cycle count (first
+ * wins ties, like the original serial sweep).
+ */
+CellResult
+reduceCell(const SweepGrid &grid, std::size_t cell_index,
+           const std::vector<PointResult> &points)
+{
+    const SweepOptions &opts = grid.options();
+    const std::size_t base = cell_index * grid.pointsPerCell();
+
+    CellResult best;
+    best.workload = grid.cells()[cell_index].first;
+    best.config = grid.cells()[cell_index].second;
+    bool have_best = false;
+
+    // Any failed point poisons the cell: report the first failure
+    // in slot order (deterministic regardless of which thread hit
+    // it first) instead of aggregating garbage.
+    for (std::size_t p = 0; p < grid.pointsPerCell(); ++p) {
+        const PointResult &point = points[base + p];
+        if (!point.failed)
+            continue;
+        best.failed = true;
+        best.error = point.error;
+        best.repro = point.repro;
+        return best;
+    }
+
+    for (std::size_t r = 0; r < opts.retryLimits.size(); ++r) {
+        std::vector<double> cycles;
+        std::vector<double> energies;
+        std::vector<double> shares;
+        HtmStats merged;
+        for (unsigned s = 0; s < opts.seeds; ++s) {
+            const PointResult &point =
+                points[base + r * opts.seeds + s];
+            cycles.push_back(point.cycles);
+            energies.push_back(point.energy);
+            shares.push_back(point.discoveryShare);
+            merged.merge(point.htm);
+        }
+        const double mean_cycles =
+            trimmedMean(cycles, opts.trimEachSide);
+        if (!have_best || mean_cycles < best.cycles) {
+            have_best = true;
+            best.bestRetryLimit = opts.retryLimits[r];
+            best.cycles = mean_cycles;
+            best.energy = trimmedMean(energies, opts.trimEachSide);
+            best.htm = merged;
+            best.discoveryShare =
+                trimmedMean(shares, opts.trimEachSide);
+            best.numCores = makeConfigByName(best.config).numCores;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+SweepGrid::SweepGrid(const SweepOptions &opts,
+                     const std::set<SweepKey> &skip)
+    : opts_(&opts)
+{
+    validateSweepShape(opts);
+    validateSelections(opts.configs, opts.workloads);
+    for (const std::string &workload : opts.workloads)
+        for (const std::string &config : opts.configs) {
+            const SweepKey key{workload, config};
+            if (skip.find(key) == skip.end())
+                cells_.push_back(key);
+        }
+}
+
+SweepOutcome
+runSweepGrid(const SweepGrid &grid, const SweepObserver &observer)
+{
+    SweepOutcome outcome;
+    if (grid.cells().empty())
+        return outcome;
+
+    const unsigned jobs = resolveJobs(grid.options().jobs);
+    const std::size_t total = grid.totalPoints();
+    const std::size_t per_cell = grid.pointsPerCell();
+    std::vector<PointResult> points(total);
+    ProgressReporter progress(total, per_cell, jobs,
+                              observer.onProgress);
+
+    // A cancelled sweep stops cheaply: every not-yet-run point sees
+    // the flag and returns without simulating. Points poll a local
+    // atomic, not the observer callback, so worker threads never
+    // race on caller state.
+    std::atomic<bool> cancel{false};
+    auto poll_cancel = [&] {
+        if (observer.cancelled && !cancel.load() &&
+            observer.cancelled()) {
+            cancel.store(true);
+        }
+        return cancel.load();
+    };
+
+    std::vector<std::atomic<std::size_t>> cellDone(
+        grid.cells().size());
+    std::vector<bool> reported(grid.cells().size(), false);
+    // Coordinator-side scan for cells whose last point just landed.
+    // The acquire load pairs with the workers' release increments,
+    // so every point slot of a complete cell is visible before the
+    // reduction runs.
+    auto drainCompleted = [&] {
+        if (cancel.load())
+            return;
+        for (std::size_t c = 0; c < grid.cells().size(); ++c) {
+            if (!reported[c] &&
+                cellDone[c].load(std::memory_order_acquire) ==
+                    per_cell) {
+                reported[c] = true;
+                CellResult cell = reduceCell(grid, c, points);
+                if (observer.onCell)
+                    observer.onCell(cell);
+                outcome.cells[grid.cells()[c]] = std::move(cell);
+            }
+        }
+    };
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < total; ++i) {
+            if (poll_cancel())
+                break;
+            points[i] = runPoint(grid, i);
+            cellDone[i / per_cell].fetch_add(
+                1, std::memory_order_release);
+            progress.markDone();
+            progress.maybeReport();
+            drainCompleted();
+        }
+    } else {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < total; ++i) {
+            pool.submit([&grid, &points, &progress, &cellDone,
+                         &cancel, per_cell, i] {
+                if (cancel.load(std::memory_order_relaxed))
+                    return;
+                points[i] = runPoint(grid, i);
+                cellDone[i / per_cell].fetch_add(
+                    1, std::memory_order_release);
+                progress.markDone();
+            });
+        }
+        while (!pool.waitFor(std::chrono::milliseconds(250))) {
+            poll_cancel();
+            progress.maybeReport();
+            drainCompleted();
+        }
+        poll_cancel();
+        drainCompleted();
+    }
+    progress.finish();
+    outcome.cancelled = cancel.load();
+    return outcome;
+}
+
+SweepOutcome
+runSweepGrid(const SweepOptions &opts,
+             const std::set<SweepKey> &skip,
+             const SweepObserver &observer)
+{
+    const SweepGrid grid(opts, skip);
+    return runSweepGrid(grid, observer);
+}
+
+} // namespace clearsim

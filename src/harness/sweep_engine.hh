@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The sweep engine: grid execution as a reusable component.
+ *
+ * runSweep()/runCell() in runner.hh used to own the whole pipeline
+ * — building the (workload, config, retry, seed) point grid,
+ * fanning points out over the ThreadPool, reducing cells and
+ * printing progress. clearsimd needs the same pipeline without the
+ * CLI policy wrapped around it (it streams cells to clients,
+ * cancels jobs mid-grid and dedupes against the cache), so the
+ * pipeline lives here and both the CLI path and the scheduler are
+ * thin clients of it:
+ *
+ *   SweepGrid     the validated, indexable point grid
+ *   SweepObserver per-cell / progress / cancellation hooks
+ *   runSweepGrid  execute the grid on a ThreadPool
+ *
+ * Determinism contract: for fixed SweepOptions the cell results —
+ * and every serialized form derived from them — are byte-identical
+ * for any job count, any observer, any skip set partition, and
+ * whether the grid was driven by the CLI or by clearsimd. The
+ * ctest -L determinism suite pins this end-to-end.
+ */
+
+#ifndef CLEARSIM_HARNESS_SWEEP_ENGINE_HH
+#define CLEARSIM_HARNESS_SWEEP_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "harness/progress.hh"
+#include "harness/runner.hh"
+
+namespace clearsim
+{
+
+/**
+ * Hooks into a running sweep. All members are optional; a
+ * default-constructed observer reproduces the classic silent sweep.
+ */
+struct SweepObserver
+{
+    /**
+     * Invoked on the coordinator thread as soon as all of a cell's
+     * points have finished, in completion order.
+     */
+    std::function<void(const CellResult &)> onCell;
+
+    /** Throttled (done, total) progress samples (~1/s). */
+    ProgressHook onProgress;
+
+    /**
+     * Polled before every point runs. Returning true stops the
+     * sweep: pending points are skipped, no further onCell fires,
+     * and the outcome comes back with cancelled set. Cells already
+     * reported stay valid (and checkpointed, if the caller
+     * checkpoints).
+     */
+    std::function<bool()> cancelled;
+};
+
+/** What a (possibly cancelled) grid execution produced. */
+struct SweepOutcome
+{
+    /** Completed cells only; cancelled cells are absent. */
+    std::map<SweepKey, CellResult> cells;
+    bool cancelled = false;
+};
+
+/**
+ * The sweep flattened into an indexable job list: cells outermost,
+ * then retry limits, seeds innermost — the same nesting the serial
+ * loops always used, which is what keeps reductions byte-stable.
+ */
+class SweepGrid
+{
+  public:
+    /**
+     * Validate the options (shape, config specs, workload names —
+     * fatal() on the first bad entry, before any simulation) and
+     * build the cell list minus @p skip.
+     */
+    SweepGrid(const SweepOptions &opts,
+              const std::set<SweepKey> &skip);
+
+    const SweepOptions &options() const { return *opts_; }
+    const std::vector<SweepKey> &cells() const { return cells_; }
+
+    std::size_t
+    pointsPerCell() const
+    {
+        return opts_->retryLimits.size() * opts_->seeds;
+    }
+
+    std::size_t
+    totalPoints() const
+    {
+        return cells_.size() * pointsPerCell();
+    }
+
+  private:
+    const SweepOptions *opts_;
+    std::vector<SweepKey> cells_;
+};
+
+/**
+ * Execute every point of the grid on opts.jobs worker threads
+ * (inline when jobs resolves to 1) and reduce the cells. Results
+ * are independent of the job count and of the observer.
+ */
+SweepOutcome runSweepGrid(const SweepGrid &grid,
+                          const SweepObserver &observer);
+
+/** Convenience: build the grid and run it. */
+SweepOutcome runSweepGrid(const SweepOptions &opts,
+                          const std::set<SweepKey> &skip,
+                          const SweepObserver &observer);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HARNESS_SWEEP_ENGINE_HH

@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "fault/fault_plans.hh"
 
@@ -271,6 +272,57 @@ ConfigRegistry::presetNames() const
     for (const ConfigPreset &preset : presets_)
         names.push_back(preset.name);
     return names;
+}
+
+std::string
+ConfigRegistry::catalogueJson() const
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value("clearsim-config-catalogue-v1");
+    w.key("grammar");
+    w.value("preset[+modifier...][:key=value...]");
+    w.key("presets");
+    w.beginArray();
+    for (const ConfigPreset &preset : presets_) {
+        w.beginObject();
+        w.key("name");
+        w.value(preset.name);
+        w.key("description");
+        w.value(preset.description);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("modifiers");
+    w.beginArray();
+    for (const ConfigModifier &mod : modifiers_) {
+        w.beginObject();
+        w.key("name");
+        w.value(mod.name);
+        w.key("description");
+        w.value(mod.description);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("overrides");
+    w.beginArray();
+    for (const ConfigOverrideKey &key : overrides_) {
+        w.beginObject();
+        w.key("name");
+        w.value(key.name);
+        w.key("description");
+        w.value(key.description);
+        w.key("min");
+        w.value(key.minValue);
+        w.key("max");
+        w.value(key.maxValue);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return out;
 }
 
 bool

@@ -94,6 +94,16 @@ class ConfigRegistry
     /** Registered preset names, in registration order. */
     std::vector<std::string> presetNames() const;
 
+    /**
+     * Machine-readable catalogue of the whole spec grammar —
+     * presets, "+name" modifiers (including the canned fault plans
+     * and +watchdog) and ":key=value" override keys with their
+     * ranges — as a deterministic single-line JSON document
+     * ("clearsim-config-catalogue-v1"). Daemon clients use this to
+     * discover what specs the server accepts without sharing code.
+     */
+    std::string catalogueJson() const;
+
     /** True if @p name is a registered preset (exact match). */
     bool hasPreset(const std::string &name) const;
 

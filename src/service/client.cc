@@ -1,0 +1,129 @@
+#include "service/client.hh"
+
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace clearsim
+{
+
+ClientConnection::~ClientConnection()
+{
+    disconnect();
+}
+
+bool
+ClientConnection::connect(const std::string &socket_path,
+                          std::string &error)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    disconnect();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path) {
+        error = "socket path too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        error = "connect(" + socket_path +
+                "): " + std::strerror(errno);
+        disconnect();
+        return false;
+    }
+
+    if (!send(wireHello(), error))
+        return false;
+    WireMessage reply;
+    if (!receive(reply, error)) {
+        if (error.empty())
+            error = "server closed during handshake";
+        return false;
+    }
+    if (reply.type == "error") {
+        error = "server rejected handshake: " +
+                reply.text("message");
+        disconnect();
+        return false;
+    }
+    if (reply.type != "hello-ok" ||
+        reply.text("version") != kWireSchema) {
+        error = "unexpected handshake reply '" + reply.type + "'";
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+ClientConnection::send(const std::string &payload,
+                       std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    if (!writeWireFrame(fd_, payload, error)) {
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+ClientConnection::receive(WireMessage &out, std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    std::string payload;
+    if (!readWireFrame(fd_, payload, error)) {
+        disconnect();
+        return false;
+    }
+    if (!parseWireMessage(payload, out, error)) {
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+ClientConnection::waitForOutcome(
+    WireMessage &out, std::string &error,
+    const std::function<void(const WireMessage &)> &on_event)
+{
+    for (;;) {
+        if (!receive(out, error))
+            return false;
+        if (out.type == "result" || out.type == "failed" ||
+            out.type == "cancelled" || out.type == "error")
+            return true;
+        if (on_event)
+            on_event(out);
+    }
+}
+
+void
+ClientConnection::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace clearsim

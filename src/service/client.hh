@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Client-side connection to a clearsimd daemon.
+ *
+ * Wraps connect + handshake + framed request/response over the
+ * AF_UNIX socket so the clearsim_client tool and the service tests
+ * share one implementation (and one set of protocol bytes).
+ *
+ * The API is deliberately synchronous: send() writes one frame,
+ * receive() blocks for the next server frame. Streaming consumers
+ * loop on receive() until a terminal message ("result", "failed",
+ * "cancelled" or "error") arrives — waitForOutcome() packages that
+ * loop.
+ */
+
+#ifndef CLEARSIM_SERVICE_CLIENT_HH
+#define CLEARSIM_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/wire.hh"
+
+namespace clearsim
+{
+
+class ClientConnection
+{
+  public:
+    ClientConnection() = default;
+
+    /** Disconnects. */
+    ~ClientConnection();
+
+    ClientConnection(const ClientConnection &) = delete;
+    ClientConnection &operator=(const ClientConnection &) = delete;
+
+    /**
+     * Connect to @p socket_path and run the version handshake.
+     * @retval false with @p error set (no connection, no common
+     *         version, protocol violation)
+     */
+    bool connect(const std::string &socket_path, std::string &error);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one serialized message payload as a frame. */
+    bool send(const std::string &payload, std::string &error);
+
+    /**
+     * Block for the next server message.
+     * @retval false on close or protocol violation (@p error set;
+     *         empty on a clean close)
+     */
+    bool receive(WireMessage &out, std::string &error);
+
+    /**
+     * Drain messages until a terminal one arrives, forwarding each
+     * intermediate message ("ack", "progress", "cell") to
+     * @p on_event when non-null. The terminal message is returned
+     * in @p out.
+     * @retval false on close/violation before a terminal message
+     */
+    bool waitForOutcome(
+        WireMessage &out, std::string &error,
+        const std::function<void(const WireMessage &)> &on_event =
+            nullptr);
+
+    void disconnect();
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_CLIENT_HH

@@ -1,0 +1,254 @@
+#include "service/daemon.hh"
+
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** Message types a client may send after the handshake. */
+bool
+isClientRequest(const std::string &type)
+{
+    return type == "run" || type == "sweep" || type == "analyze" ||
+           type == "status" || type == "cancel" ||
+           type == "catalogue" || type == "dlq-list" ||
+           type == "dlq-replay" || type == "dlq-clear";
+}
+
+/**
+ * A write to a vanished peer must come back as an error from
+ * write(), not a process-killing SIGPIPE.
+ */
+void
+ignoreSigpipeOnce()
+{
+    static const bool done = [] {
+        std::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)done;
+}
+
+int
+bindUnixSocket(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        fatal("clearsimd: socket path '%s' is too long",
+              path.c_str());
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("clearsimd: socket(): %s", std::strerror(errno));
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0)
+        fatal("clearsimd: bind(%s): %s", path.c_str(),
+              std::strerror(errno));
+    if (::listen(fd, 16) != 0)
+        fatal("clearsimd: listen(%s): %s", path.c_str(),
+              std::strerror(errno));
+    return fd;
+}
+
+} // namespace
+
+Daemon::Daemon(const Options &options) : options_(options)
+{
+    ignoreSigpipeOnce();
+    listenFd_ = bindUnixSocket(options_.socketPath);
+    scheduler_ = std::make_unique<Scheduler>(
+        options_.scheduler,
+        [this](std::uint64_t connection,
+               const std::string &payload) {
+            return sendFrame(connection, payload);
+        });
+    schedulerThread_ = std::thread([this] { scheduler_->run(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+void
+Daemon::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // The listener was closed by stop().
+            return;
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        auto connection = std::make_shared<Connection>();
+        connection->fd = fd;
+        connection->outbox = std::make_unique<Outbox>(fd);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            connection->id = nextConnectionId_++;
+            connections_[connection->id] = connection;
+        }
+        connection->reader = std::thread(
+            [this, connection] { readerLoop(connection); });
+    }
+}
+
+void
+Daemon::readerLoop(std::shared_ptr<Connection> connection)
+{
+    Mailbox &mailbox = scheduler_->mailbox();
+    std::string payload, error;
+    bool hello_done = false;
+
+    while (readWireFrame(connection->fd, payload, error)) {
+        WireMessage message;
+        if (!parseWireMessage(payload, message, error)) {
+            connection->outbox->push(wireError("", error));
+            error.clear();
+            break;
+        }
+        if (!hello_done) {
+            if (message.type != "hello") {
+                connection->outbox->push(
+                    wireError("", "expected 'hello' before any "
+                                  "other message"));
+                break;
+            }
+            bool supported = false;
+            for (const std::string &version :
+                 message.textList("versions"))
+                supported = supported || version == kWireSchema;
+            if (!supported) {
+                connection->outbox->push(wireError(
+                    "", std::string("no common protocol version "
+                                    "(server speaks ") +
+                            kWireSchema + ")"));
+                break;
+            }
+            connection->outbox->push(wireHelloOk(kWireSchema));
+            hello_done = true;
+            continue;
+        }
+        if (!isClientRequest(message.type)) {
+            connection->outbox->push(
+                wireError(message.text("tag"),
+                          "message type '" + message.type +
+                              "' is not a client request"));
+            break;
+        }
+        Mail mail;
+        mail.kind = MailKind::Request;
+        mail.connection = connection->id;
+        mail.message = std::move(message);
+        if (!mailbox.pushClient(std::move(mail)))
+            break;
+    }
+    // A framing violation (truncated/zero/oversized frame) is
+    // reported before the connection drops; a clean EOF is not.
+    if (!error.empty())
+        connection->outbox->push(wireError("", error));
+
+    // Unsubscribe, flush what the scheduler already sent, then
+    // tear the connection down. The thread handle is parked for
+    // stop() to join — a thread cannot join itself.
+    Mail gone;
+    gone.kind = MailKind::Disconnect;
+    gone.connection = connection->id;
+    mailbox.pushInternal(std::move(gone));
+    connection->outbox->close();
+    ::shutdown(connection->fd, SHUT_RDWR);
+    ::close(connection->fd);
+    connection->fd = -1;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        zombies_.push_back(std::move(connection->reader));
+        connections_.erase(connection->id);
+    }
+    stopped_.notify_all();
+}
+
+bool
+Daemon::sendFrame(std::uint64_t connection,
+                  const std::string &payload)
+{
+    std::shared_ptr<Connection> target;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = connections_.find(connection);
+        if (it == connections_.end())
+            return false;
+        target = it->second;
+    }
+    if (target->outbox->push(payload))
+        return true;
+    if (target->outbox->dead() && target->fd >= 0) {
+        // Slow consumer or vanished peer: unblock its reader so
+        // the connection reaps itself.
+        ::shutdown(target->fd, SHUT_RDWR);
+    }
+    return false;
+}
+
+void
+Daemon::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopped_.wait(lock, [this] { return stopping_.load(); });
+}
+
+void
+Daemon::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+
+    // Stop accepting: closing the listener pops acceptLoop out of
+    // accept().
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // Kick every live connection; the readers tear themselves down.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[id, connection] : connections_)
+            if (connection->fd >= 0)
+                ::shutdown(connection->fd, SHUT_RDWR);
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopped_.wait(lock, [this] { return connections_.empty(); });
+        for (std::thread &zombie : zombies_)
+            if (zombie.joinable())
+                zombie.join();
+        zombies_.clear();
+    }
+
+    scheduler_->stop();
+    if (schedulerThread_.joinable())
+        schedulerThread_.join();
+    ::unlink(options_.socketPath.c_str());
+    stopped_.notify_all();
+}
+
+} // namespace clearsim

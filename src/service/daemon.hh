@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The clearsimd daemon: the socket layer tying the service stack
+ * together.
+ *
+ *   AF_UNIX listener
+ *     accept loop (serve() thread)
+ *       per-connection reader thread  -> handshake, then Mailbox
+ *       per-connection Outbox         <- scheduler streams frames
+ *     Scheduler thread (jobs, dedupe, DLQ)
+ *       Executor thread (one job at a time, engine ThreadPool)
+ *
+ * The handshake is handled right in the reader: the first frame
+ * must be a "hello" offering a version this build speaks, anything
+ * else gets an "error" frame and the connection closes. After
+ * "hello-ok", every valid frame becomes mailbox work; a single
+ * malformed frame (bad JSON, unknown type, unknown field, bad
+ * framing) is a protocol violation that ends the connection —
+ * misbehaving clients are cut off, not accommodated.
+ *
+ * Daemon runs in-process by design: tests construct one on a
+ * temporary socket path and connect through ClientConnection,
+ * which is exactly what tools/clearsimd.cpp does behind a main().
+ */
+
+#ifndef CLEARSIM_SERVICE_DAEMON_HH
+#define CLEARSIM_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/outbox.hh"
+#include "service/scheduler.hh"
+
+namespace clearsim
+{
+
+class Daemon
+{
+  public:
+    struct Options
+    {
+        /** AF_UNIX socket path (unlinked and rebound on start). */
+        std::string socketPath = "clearsimd.sock";
+
+        Scheduler::Options scheduler;
+
+        /** Mailbox capacity (client-request backpressure bound). */
+        std::size_t mailboxCapacity = 64;
+    };
+
+    /**
+     * Bind the socket and start the scheduler, accept and reader
+     * threads. fatal()s when the socket cannot be bound.
+     */
+    explicit Daemon(const Options &options);
+
+    /** stop() if still running. */
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** The bound socket path (what clients connect to). */
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+    /** Block until stop() is called from another thread. */
+    void wait();
+
+    /**
+     * Shut down: stop accepting, close every connection, stop the
+     * scheduler. Idempotent.
+     */
+    void stop();
+
+  private:
+    struct Connection
+    {
+        std::uint64_t id = 0;
+        int fd = -1;
+        std::unique_ptr<Outbox> outbox;
+        std::thread reader;
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> connection);
+    bool sendFrame(std::uint64_t connection,
+                   const std::string &payload);
+    void dropConnection(std::uint64_t id);
+
+    Options options_;
+    int listenFd_ = -1;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::thread schedulerThread_;
+    std::thread acceptThread_;
+
+    std::mutex mutex_;
+    std::condition_variable stopped_;
+    std::map<std::uint64_t, std::shared_ptr<Connection>>
+        connections_;
+
+    /**
+     * Thread handles of readers that tore their own connection
+     * down (a thread cannot join itself); stop() reaps them.
+     */
+    std::vector<std::thread> zombies_;
+    std::uint64_t nextConnectionId_ = 1;
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_DAEMON_HH

@@ -1,0 +1,211 @@
+#include "service/dead_letter.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "fault/fault_repro.hh"
+#include "harness/runner.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+std::string
+entryLine(const DeadLetter &entry)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("id");
+    w.value(entry.jobId);
+    w.key("workload");
+    w.value(entry.workload);
+    w.key("config");
+    w.value(entry.config);
+    w.key("error");
+    w.value(entry.error);
+    w.key("repro");
+    w.value(entry.repro);
+    w.endObject();
+    return out;
+}
+
+void
+writeAtomically(const std::string &path, const std::string &bytes)
+{
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream out(temp,
+                          std::ios::binary | std::ios::trunc);
+        out << bytes;
+        if (!out)
+            fatal("dead-letter queue: cannot write %s",
+                  temp.c_str());
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0)
+        fatal("dead-letter queue: cannot rename %s to %s",
+              temp.c_str(), path.c_str());
+}
+
+} // namespace
+
+DeadLetterQueue::DeadLetterQueue(std::string path)
+    : path_(std::move(path))
+{
+}
+
+std::vector<DeadLetter>
+DeadLetterQueue::load() const
+{
+    std::vector<DeadLetter> entries;
+    std::ifstream in(path_);
+    if (!in)
+        return entries;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        JsonValue doc;
+        std::string error;
+        if (!parseJson(line, doc, error) ||
+            doc.type != JsonValue::Type::Object) {
+            logMessage(LogLevel::Warn,
+                       "dead-letter queue: skipping malformed "
+                       "line %zu",
+                       line_no);
+            continue;
+        }
+        auto text = [&doc](const char *key) {
+            const JsonValue *v = doc.find(key);
+            return v && v->type == JsonValue::Type::String
+                       ? v->text
+                       : std::string();
+        };
+        DeadLetter entry;
+        entry.jobId = text("id");
+        entry.workload = text("workload");
+        entry.config = text("config");
+        entry.error = text("error");
+        entry.repro = text("repro");
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+void
+DeadLetterQueue::append(const DeadLetter &entry) const
+{
+    std::string bytes;
+    for (const DeadLetter &existing : load())
+        bytes += entryLine(existing) + "\n";
+    bytes += entryLine(entry) + "\n";
+    writeAtomically(path_, bytes);
+}
+
+void
+DeadLetterQueue::clear() const
+{
+    writeAtomically(path_, "");
+}
+
+std::string
+DeadLetterQueue::listJson(const std::vector<DeadLetter> &entries)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value("clearsim-dlq-v1");
+    w.key("entries");
+    w.beginArray();
+    for (const DeadLetter &entry : entries) {
+        w.beginObject();
+        w.key("id");
+        w.value(entry.jobId);
+        w.key("workload");
+        w.value(entry.workload);
+        w.key("config");
+        w.value(entry.config);
+        w.key("error");
+        w.value(entry.error);
+        w.key("repro");
+        w.value(entry.repro);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return out;
+}
+
+ReplayOutcome
+DeadLetterQueue::replay(const DeadLetter &entry)
+{
+    ReplayOutcome outcome;
+    ReproSpec spec;
+    std::string error;
+    if (!parseReproString(entry.repro, spec, &error)) {
+        outcome.reproduced = false;
+        outcome.error = "unreplayable entry: " + error;
+        return outcome;
+    }
+    SystemConfig cfg;
+    if (!ConfigRegistry::instance().tryMake(spec.config, cfg,
+                                            error)) {
+        outcome.reproduced = false;
+        outcome.error = "unreplayable entry: " + error;
+        return outcome;
+    }
+    WorkloadParams params;
+    params.threads = spec.threads;
+    params.opsPerThread = spec.ops;
+    params.scale = spec.scale;
+    params.seed = spec.seed;
+    try {
+        runOnce(cfg, spec.workload, params);
+    } catch (const std::exception &ex) {
+        outcome.reproduced = true;
+        outcome.error = ex.what();
+        outcome.sameError = outcome.error == entry.error;
+        return outcome;
+    }
+    return outcome;
+}
+
+std::string
+DeadLetterQueue::replayJson(const std::vector<DeadLetter> &entries,
+                            const std::vector<ReplayOutcome> &outcomes)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value("clearsim-dlq-replay-v1");
+    w.key("replays");
+    w.beginArray();
+    for (std::size_t i = 0;
+         i < entries.size() && i < outcomes.size(); ++i) {
+        w.beginObject();
+        w.key("repro");
+        w.value(entries[i].repro);
+        w.key("reproduced");
+        w.value(outcomes[i].reproduced);
+        w.key("sameError");
+        w.value(outcomes[i].sameError);
+        w.key("error");
+        w.value(outcomes[i].error);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return out;
+}
+
+} // namespace clearsim

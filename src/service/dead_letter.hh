@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Persistent dead-letter queue for failed sweep points.
+ *
+ * When a point of a daemon-run sweep throws (invariant violation,
+ * watchdog livelock verdict, damaged data structure), the cell is
+ * reported failed and the job finishes — but the failure itself
+ * must not evaporate with the job. Each failed cell is appended
+ * here with the exact repro string that replays the failing point
+ * bit-for-bit, so an operator can come back hours later, list the
+ * queue and replay every entry without the original request.
+ *
+ * Format: one JSON object per line (JSONL) —
+ *   {"id":...,"workload":...,"config":...,"error":...,"repro":...}
+ * Appends rewrite the file atomically (temp + rename), the same
+ * crash-safety discipline as the sweep cache: a kill mid-append
+ * never leaves a torn queue. A malformed line poisons nothing: it
+ * is skipped with a warning on load.
+ *
+ * replay() re-executes an entry from its repro string alone and
+ * reports whether the failure reproduced with the same error — the
+ * payload of the client's dlq-replay request.
+ */
+
+#ifndef CLEARSIM_SERVICE_DEAD_LETTER_HH
+#define CLEARSIM_SERVICE_DEAD_LETTER_HH
+
+#include <string>
+#include <vector>
+
+namespace clearsim
+{
+
+/** One dead-lettered point. */
+struct DeadLetter
+{
+    /** Canonical id of the job the point belonged to. */
+    std::string jobId;
+    std::string workload;
+    std::string config;
+    /** The exception message of the original failure. */
+    std::string error;
+    /** Repro string replaying the failing point bit-exactly. */
+    std::string repro;
+};
+
+/** Outcome of replaying one entry. */
+struct ReplayOutcome
+{
+    /** The replay failed again (any error): the entry is live. */
+    bool reproduced = false;
+    /** The replay's error matches the recorded one exactly. */
+    bool sameError = false;
+    /** What the replay produced ("" when it succeeded). */
+    std::string error;
+};
+
+class DeadLetterQueue
+{
+  public:
+    /** Bind to @p path; the file need not exist yet. */
+    explicit DeadLetterQueue(std::string path);
+
+    const std::string &path() const { return path_; }
+
+    /** Entries currently on disk (malformed lines skipped). */
+    std::vector<DeadLetter> load() const;
+
+    /** Append one entry (atomic rewrite). */
+    void append(const DeadLetter &entry) const;
+
+    /** Drop every entry (atomic; the file becomes empty). */
+    void clear() const;
+
+    /** Serialize @p entries as the clearsim-dlq-v1 JSON document. */
+    static std::string listJson(const std::vector<DeadLetter> &entries);
+
+    /**
+     * Re-run @p entry from its repro string. Deterministic: the
+     * same entry always yields the same outcome.
+     */
+    static ReplayOutcome replay(const DeadLetter &entry);
+
+    /** Serialize replay results as clearsim-dlq-replay-v1. */
+    static std::string
+    replayJson(const std::vector<DeadLetter> &entries,
+               const std::vector<ReplayOutcome> &outcomes);
+
+  private:
+    std::string path_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_DEAD_LETTER_HH

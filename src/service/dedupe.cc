@@ -1,0 +1,127 @@
+#include "service/dedupe.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "fault/fault_repro.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** The shared run/analyze canonical form, built on repro strings. */
+std::string
+pointJobId(const char *kind, const std::string &config,
+           const std::string &workload, unsigned retries,
+           const WorkloadParams &params)
+{
+    ReproSpec spec;
+    spec.workload = workload;
+    // Exactly how the sweep engine names a point's config: the
+    // retry limit is one more override, so "C" at retries=4 and
+    // "C:maxRetries=4" are the same job.
+    spec.config = config + ":maxRetries=" + std::to_string(retries);
+    spec.threads = params.threads;
+    spec.ops = params.opsPerThread;
+    spec.scale = params.scale;
+    spec.seed = params.seed;
+    return std::string(kind) + ":" + makeReproString(spec);
+}
+
+} // namespace
+
+std::string
+runJobId(const std::string &config, const std::string &workload,
+         unsigned retries, const WorkloadParams &params)
+{
+    return pointJobId("run", config, workload, retries, params);
+}
+
+std::string
+analyzeJobId(const std::string &config, const std::string &workload,
+             unsigned retries, const WorkloadParams &params)
+{
+    return pointJobId("analyze", config, workload, retries, params);
+}
+
+std::string
+sweepJobId(const SweepOptions &opts)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016" PRIx64,
+                  sweepOptionsHash(opts));
+    return std::string("sweep{") + hex + "}";
+}
+
+const char *
+dedupeStateName(DedupeSource source)
+{
+    switch (source) {
+    case DedupeSource::None:
+        return "queued";
+    case DedupeSource::InFlight:
+        return "dedup-inflight";
+    case DedupeSource::Completed:
+        return "dedup-cached";
+    case DedupeSource::DiskCache:
+        return "dedup-disk";
+    }
+    return "queued";
+}
+
+DedupeIndex::DedupeIndex(SweepCacheStore store)
+    : store_(std::move(store))
+{
+}
+
+void
+DedupeIndex::markInFlight(const std::string &id)
+{
+    inFlight_[id] = true;
+}
+
+void
+DedupeIndex::markCompleted(const std::string &id,
+                           const std::string &format,
+                           const std::string &payload)
+{
+    inFlight_.erase(id);
+    completed_[id] = {format, payload};
+}
+
+void
+DedupeIndex::forget(const std::string &id)
+{
+    inFlight_.erase(id);
+    completed_.erase(id);
+}
+
+DedupeSource
+DedupeIndex::classify(const std::string &id,
+                      const SweepOptions *sweep_opts,
+                      std::string &format,
+                      std::string &payload) const
+{
+    if (inFlight_.count(id))
+        return DedupeSource::InFlight;
+    const auto done = completed_.find(id);
+    if (done != completed_.end()) {
+        format = done->second.format;
+        payload = done->second.payload;
+        return DedupeSource::Completed;
+    }
+    if (sweep_opts) {
+        SweepSummary summary;
+        if (store_.lookup(*sweep_opts, summary)) {
+            format = "sweep-cache-csv";
+            payload = serializeSweepCache(sweepOptionsHash(*sweep_opts),
+                                          summary);
+            return DedupeSource::DiskCache;
+        }
+    }
+    return DedupeSource::None;
+}
+
+} // namespace clearsim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Canonical job identity and request deduplication.
+ *
+ * Two clients asking for the same experiment must cost one
+ * execution. That requires "the same" to be a canonical string, not
+ * an accident of field order or spelling:
+ *
+ *  - a *run* or *analyze* job is identified by its repro-style
+ *    canonical string: the validated ConfigRegistry spec (with the
+ *    retry limit folded in as ":maxRetries=N", exactly like the
+ *    sweep engine names its points) plus the workload parameters in
+ *    fixed order;
+ *  - a *sweep* job is identified by sweepOptionsHash() over its
+ *    SweepOptions — the same hash that keys the on-disk cache, so
+ *    "already requested", "already computed this session" and
+ *    "already on disk from last week" are all one lookup space.
+ *
+ * DedupeIndex answers where a matching result can come from:
+ * nowhere (run it), an in-flight job (subscribe), a finished job
+ * held in memory (reply now), or the on-disk sweep cache (reply
+ * now, read-through via SweepCacheStore).
+ */
+
+#ifndef CLEARSIM_SERVICE_DEDUPE_HH
+#define CLEARSIM_SERVICE_DEDUPE_HH
+
+#include <map>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/sweep_cache.hh"
+
+namespace clearsim
+{
+
+/**
+ * Canonical id of a single-run job. @p config must already be
+ * validated; the result folds the retry limit into the spec and
+ * lists the workload parameters in fixed order.
+ */
+std::string runJobId(const std::string &config,
+                     const std::string &workload, unsigned retries,
+                     const WorkloadParams &params);
+
+/** Canonical id of an analyze job (same shape, "analyze" prefix). */
+std::string analyzeJobId(const std::string &config,
+                         const std::string &workload,
+                         unsigned retries,
+                         const WorkloadParams &params);
+
+/** Canonical id of a sweep job: "sweep{<16-hex options hash>}". */
+std::string sweepJobId(const SweepOptions &opts);
+
+/** Where a duplicate request's answer can come from. */
+enum class DedupeSource
+{
+    /** Nothing matches: execute. */
+    None,
+    /** A job with this id is queued or running: subscribe to it. */
+    InFlight,
+    /** A finished job with this id is in memory: answer from it. */
+    Completed,
+    /** The on-disk sweep cache holds this exact sweep. */
+    DiskCache,
+};
+
+/** Wire "state" value announced in the ack for each source. */
+const char *dedupeStateName(DedupeSource source);
+
+/**
+ * The dedupe index the scheduler consults before queueing work.
+ * Jobs move from in-flight to completed; failed and cancelled jobs
+ * are *removed* instead (a retry of a failed spec should execute
+ * again, not be deduped into the stale failure).
+ */
+class DedupeIndex
+{
+  public:
+    explicit DedupeIndex(SweepCacheStore store = SweepCacheStore(""));
+
+    /** Record a job as queued/running. */
+    void markInFlight(const std::string &id);
+
+    /** Move a job to the completed set, remembering @p payload. */
+    void markCompleted(const std::string &id,
+                       const std::string &format,
+                       const std::string &payload);
+
+    /** Forget a job (failed, cancelled). */
+    void forget(const std::string &id);
+
+    /**
+     * Classify @p id. For Completed, @p format / @p payload are
+     * filled from memory; for sweep ids, a miss falls through to
+     * the on-disk cache, which needs the original options to
+     * validate the hash — pass them via @p sweep_opts (nullptr for
+     * non-sweep jobs).
+     */
+    DedupeSource classify(const std::string &id,
+                          const SweepOptions *sweep_opts,
+                          std::string &format,
+                          std::string &payload) const;
+
+    const SweepCacheStore &store() const { return store_; }
+
+  private:
+    struct CompletedJob
+    {
+        std::string format;
+        std::string payload;
+    };
+
+    SweepCacheStore store_;
+    std::map<std::string, bool> inFlight_;
+    std::map<std::string, CompletedJob> completed_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_DEDUPE_HH

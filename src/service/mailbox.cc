@@ -1,0 +1,95 @@
+#include "service/mailbox.hh"
+
+#include <chrono>
+
+namespace clearsim
+{
+
+Mailbox::Mailbox(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+bool
+Mailbox::pushClient(Mail mail)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    writable_.wait(lock, [this] {
+        return closed_ || client_.size() < capacity_;
+    });
+    if (closed_)
+        return false;
+    client_.push_back(std::move(mail));
+    readable_.notify_one();
+    return true;
+}
+
+bool
+Mailbox::pushInternal(Mail mail)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return false;
+    internal_.push_back(std::move(mail));
+    readable_.notify_one();
+    return true;
+}
+
+bool
+Mailbox::popLocked(Mail &out, std::unique_lock<std::mutex> &lock)
+{
+    if (!internal_.empty()) {
+        out = std::move(internal_.front());
+        internal_.pop_front();
+        return true;
+    }
+    if (!client_.empty()) {
+        out = std::move(client_.front());
+        client_.pop_front();
+        // A slot opened: unblock one waiting reader thread.
+        lock.unlock();
+        writable_.notify_one();
+        return true;
+    }
+    return false;
+}
+
+bool
+Mailbox::pop(Mail &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    readable_.wait(lock, [this] {
+        return closed_ || !internal_.empty() || !client_.empty();
+    });
+    return popLocked(out, lock);
+}
+
+bool
+Mailbox::popFor(Mail &out, std::uint64_t ms)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    readable_.wait_for(lock, std::chrono::milliseconds(ms), [this] {
+        return closed_ || !internal_.empty() || !client_.empty();
+    });
+    return popLocked(out, lock);
+}
+
+void
+Mailbox::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    readable_.notify_all();
+    writable_.notify_all();
+}
+
+bool
+Mailbox::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace clearsim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The scheduler's mailbox: the single intake point for everything
+ * that happens in clearsimd.
+ *
+ * Two lanes feed one consumer (the scheduler thread):
+ *
+ *  - the *client* lane carries parsed requests from the
+ *    per-connection reader threads. It is bounded: when clients
+ *    outpace the scheduler, pushClient() blocks the reader, the
+ *    reader stops draining its socket, the kernel buffer fills and
+ *    the client's own send() stalls — end-to-end backpressure with
+ *    no unbounded queue anywhere.
+ *  - the *internal* lane carries events from the executor (cell
+ *    finished, progress, job done) and connection lifecycle
+ *    notices. It is unbounded and popped with priority, which is
+ *    what makes blocking the client lane safe: the scheduler can
+ *    always drain internal events, so the executor never deadlocks
+ *    against a full mailbox.
+ *
+ * close() wakes every waiter; producers then drop messages and
+ * consumers read the remaining backlog before seeing closed.
+ */
+
+#ifndef CLEARSIM_SERVICE_MAILBOX_HH
+#define CLEARSIM_SERVICE_MAILBOX_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/dead_letter.hh"
+#include "service/wire.hh"
+
+namespace clearsim
+{
+
+/** What one mailbox entry describes. */
+enum class MailKind
+{
+    /** A validated client request (message set, from a reader). */
+    Request,
+    /** A connection closed; its subscriptions must be dropped. */
+    Disconnect,
+    /** Executor: one sweep cell finished (payload = CSV row). */
+    CellDone,
+    /** Executor: progress sample (done/total set). */
+    Progress,
+    /** Executor: job reached a terminal state (payload varies). */
+    JobDone,
+};
+
+/** One unit of scheduler work. */
+struct Mail
+{
+    MailKind kind = MailKind::Request;
+
+    /** Originating connection (Request/Disconnect). */
+    std::uint64_t connection = 0;
+
+    /** The parsed request (Request only). */
+    WireMessage message;
+
+    /** Job the event belongs to (executor lanes). */
+    std::string jobId;
+
+    /** Event payload: a cell row, or a terminal result. */
+    std::string payload;
+
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+
+    /** JobDone: "done", "failed" or "cancelled". */
+    std::string state;
+
+    /** JobDone(done): payload format name ("sweep-cache-csv"...). */
+    std::string format;
+
+    /** JobDone(failed): the first failing point's message. */
+    std::string error;
+
+    /** JobDone(failed): every failed point, DLQ-ready. */
+    std::vector<DeadLetter> failures;
+};
+
+class Mailbox
+{
+  public:
+    /** @p capacity bounds the client lane only. */
+    explicit Mailbox(std::size_t capacity = 64);
+
+    /**
+     * Enqueue a client request, blocking while the lane is full.
+     * @retval false when the mailbox closed (message dropped)
+     */
+    bool pushClient(Mail mail);
+
+    /**
+     * Enqueue an internal event; never blocks.
+     * @retval false when the mailbox closed (message dropped)
+     */
+    bool pushInternal(Mail mail);
+
+    /**
+     * Dequeue the next message, internal lane first; blocks while
+     * both lanes are empty.
+     * @retval false when closed and fully drained
+     */
+    bool pop(Mail &out);
+
+    /** Like pop() but gives up after @p ms milliseconds. */
+    bool popFor(Mail &out, std::uint64_t ms);
+
+    /** Wake all producers and consumers; no further pushes land. */
+    void close();
+
+    bool closed() const;
+
+  private:
+    bool popLocked(Mail &out, std::unique_lock<std::mutex> &lock);
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable readable_;
+    std::condition_variable writable_;
+    std::deque<Mail> client_;
+    std::deque<Mail> internal_;
+    bool closed_ = false;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_MAILBOX_HH

@@ -1,0 +1,88 @@
+#include "service/outbox.hh"
+
+#include "service/wire.hh"
+
+namespace clearsim
+{
+
+Outbox::Outbox(int fd, std::size_t byteLimit)
+    : fd_(fd), byteLimit_(byteLimit),
+      writer_([this] { writerLoop(); })
+{
+}
+
+Outbox::~Outbox()
+{
+    close();
+}
+
+bool
+Outbox::push(const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || dead_)
+        return false;
+    if (queuedBytes_ + payload.size() > byteLimit_) {
+        // The client stopped reading; cut it loose instead of
+        // buffering forever. The writer notices dead_ and stops.
+        dead_ = true;
+        wake_.notify_all();
+        return false;
+    }
+    queuedBytes_ += payload.size();
+    queue_.push_back(payload);
+    wake_.notify_one();
+    return true;
+}
+
+void
+Outbox::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return;
+        closed_ = true;
+        wake_.notify_all();
+    }
+    if (writer_.joinable())
+        writer_.join();
+}
+
+bool
+Outbox::dead() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dead_;
+}
+
+void
+Outbox::writerLoop()
+{
+    for (;;) {
+        std::string frame;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return dead_ || !queue_.empty() || closed_;
+            });
+            if (dead_)
+                return;
+            if (queue_.empty()) {
+                // closed_ and drained: flushing is done.
+                return;
+            }
+            frame = std::move(queue_.front());
+            queue_.pop_front();
+            queuedBytes_ -= frame.size();
+        }
+        std::string error;
+        if (!writeWireFrame(fd_, frame, error)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            dead_ = true;
+            return;
+        }
+    }
+}
+
+} // namespace clearsim

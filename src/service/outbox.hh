@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-connection outbox: decouples result production from client
+ * consumption.
+ *
+ * The scheduler streams cells, progress and results to every
+ * subscriber of a job; a slow client must not stall that loop (or,
+ * transitively, the executor). Each connection therefore owns an
+ * Outbox: push() appends a serialized frame and returns
+ * immediately, a dedicated writer thread drains the queue onto the
+ * socket in order.
+ *
+ * The queue is bounded by bytes. A client that stops reading while
+ * results pile up past the limit is declared dead: the outbox
+ * drops the connection (closes the socket) rather than buffering
+ * without bound — the client can reconnect and re-request; dedupe
+ * makes that cheap.
+ */
+
+#ifndef CLEARSIM_SERVICE_OUTBOX_HH
+#define CLEARSIM_SERVICE_OUTBOX_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace clearsim
+{
+
+class Outbox
+{
+  public:
+    /** Default byte bound: two max-size frames plus headroom. */
+    static constexpr std::size_t kDefaultLimit = 24u << 20;
+
+    /**
+     * Start the writer thread for @p fd. The outbox never owns the
+     * descriptor's lifetime; close() must be called before the fd
+     * is closed by the connection.
+     */
+    explicit Outbox(int fd, std::size_t byteLimit = kDefaultLimit);
+
+    /** Joins the writer (close() first). */
+    ~Outbox();
+
+    Outbox(const Outbox &) = delete;
+    Outbox &operator=(const Outbox &) = delete;
+
+    /**
+     * Enqueue one frame payload for delivery. Never blocks.
+     * @retval false when the outbox is closed, the peer is gone or
+     *         the byte bound was exceeded (connection is dead)
+     */
+    bool push(const std::string &payload);
+
+    /**
+     * Stop accepting frames, flush what is queued (unless the peer
+     * already vanished) and join the writer thread.
+     */
+    void close();
+
+    /** True when the peer vanished or the byte bound tripped. */
+    bool dead() const;
+
+  private:
+    void writerLoop();
+
+    const int fd_;
+    const std::size_t byteLimit_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::string> queue_;
+    std::size_t queuedBytes_ = 0;
+    bool closed_ = false;
+    bool dead_ = false;
+    std::thread writer_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_OUTBOX_HH

@@ -1,0 +1,869 @@
+#include "service/scheduler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "analysis/analyze.hh"
+#include "analysis/report.hh"
+#include "common/log.hh"
+#include "fault/fault_repro.hh"
+#include "harness/sweep_engine.hh"
+#include "metrics/json_export.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+
+namespace
+{
+
+/**
+ * Validate an optional unsigned field: absent keeps the preset
+ * default in @p value; present must be numeric and within
+ * [min, max]. Wrong types are errors, not silently defaulted — the
+ * protocol fails closed.
+ */
+bool
+fieldU64(const WireMessage &msg, const char *key,
+         std::uint64_t min_value, std::uint64_t max_value,
+         std::uint64_t &value, std::string &error)
+{
+    const JsonValue *v = msg.body.find(key);
+    if (!v)
+        return true;
+    if (!v->isNumber() || v->type == JsonValue::Type::Double ||
+        v->type == JsonValue::Type::Int) {
+        error = std::string("field '") + key +
+                "' must be a non-negative integer";
+        return false;
+    }
+    const std::uint64_t parsed = v->asUint();
+    if (parsed < min_value || parsed > max_value) {
+        error = std::string("field '") + key + "' must be in [" +
+                std::to_string(min_value) + ", " +
+                std::to_string(max_value) + "]";
+        return false;
+    }
+    value = parsed;
+    return true;
+}
+
+/** Like fieldU64 for an array of unsigned values. */
+bool
+fieldU64List(const WireMessage &msg, const char *key,
+             std::uint64_t min_value, std::uint64_t max_value,
+             std::vector<unsigned> &values, std::string &error)
+{
+    const JsonValue *v = msg.body.find(key);
+    if (!v)
+        return true;
+    if (v->type != JsonValue::Type::Array || v->items.empty()) {
+        error = std::string("field '") + key +
+                "' must be a non-empty array of integers";
+        return false;
+    }
+    std::vector<unsigned> parsed;
+    for (const JsonValue &item : v->items) {
+        if (!item.isNumber() ||
+            item.type == JsonValue::Type::Double ||
+            item.type == JsonValue::Type::Int ||
+            item.asUint() < min_value ||
+            item.asUint() > max_value) {
+            error = std::string("field '") + key +
+                    "' entries must be integers in [" +
+                    std::to_string(min_value) + ", " +
+                    std::to_string(max_value) + "]";
+            return false;
+        }
+        parsed.push_back(static_cast<unsigned>(item.asUint()));
+    }
+    values = std::move(parsed);
+    return true;
+}
+
+bool
+validConfigSpec(const std::string &spec, std::string &error)
+{
+    SystemConfig cfg;
+    return ConfigRegistry::instance().tryMake(spec, cfg, error);
+}
+
+bool
+validWorkload(const std::string &name, std::string &error)
+{
+    const std::vector<std::string> &known = workloadNames();
+    if (std::find(known.begin(), known.end(), name) != known.end())
+        return true;
+    error = "unknown workload '" + name + "'";
+    return false;
+}
+
+} // namespace
+
+/** One queued/running/terminal unit of daemon work. */
+struct Scheduler::Job
+{
+    enum class Kind
+    {
+        Run,
+        Sweep,
+        Analyze,
+    };
+
+    enum class State
+    {
+        Queued,
+        Running,
+        Done,
+        Failed,
+        Cancelled,
+    };
+
+    static const char *
+    stateName(State state)
+    {
+        switch (state) {
+        case State::Queued:
+            return "queued";
+        case State::Running:
+            return "running";
+        case State::Done:
+            return "done";
+        case State::Failed:
+            return "failed";
+        case State::Cancelled:
+            return "cancelled";
+        }
+        return "queued";
+    }
+
+    std::string id;
+    Kind kind = Kind::Run;
+    State state = State::Queued;
+
+    /** Run/analyze: the validated base spec and parameters. */
+    std::string config;
+    std::string workload;
+    unsigned retries = 4;
+    WorkloadParams params;
+
+    /** Sweep: the full validated options. */
+    SweepOptions sweep;
+
+    /** Set by the scheduler on cancel; polled by the executor. */
+    std::atomic<bool> cancel{false};
+
+    /** Connections streaming this job. */
+    std::vector<std::uint64_t> subscribers;
+
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+};
+
+/**
+ * The executor: runs one job at a time off a FIFO queue and
+ * reports through the mailbox's internal lane. A job internally
+ * parallelizes over the sweep engine's ThreadPool, so job-level
+ * concurrency is deliberately 1.
+ */
+class Scheduler::Executor
+{
+  public:
+    Executor(Mailbox &mailbox, std::string cache_path,
+             unsigned jobs)
+        : mailbox_(mailbox), cachePath_(std::move(cache_path)),
+          jobs_(jobs), thread_([this] { loop(); })
+    {
+    }
+
+    ~Executor() { stop(); }
+
+    void
+    enqueue(std::shared_ptr<Job> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(job));
+        }
+        wake_.notify_one();
+    }
+
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                return;
+            stopping_ = true;
+            // Unblock the running job: its observer polls the
+            // cancel flag of the job it was handed.
+            for (const std::shared_ptr<Job> &job : queue_)
+                job->cancel.store(true, std::memory_order_relaxed);
+            if (current_)
+                current_->cancel.store(true,
+                                       std::memory_order_relaxed);
+        }
+        wake_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    void
+    loop()
+    {
+        for (;;) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (stopping_)
+                    return;
+                job = queue_.front();
+                queue_.pop_front();
+                current_ = job;
+            }
+            execute(*job);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                current_.reset();
+            }
+        }
+    }
+
+    void
+    execute(Job &job)
+    {
+        if (job.cancel.load(std::memory_order_relaxed)) {
+            finish(job, "cancelled");
+            return;
+        }
+        switch (job.kind) {
+        case Job::Kind::Run:
+            executeRun(job);
+            break;
+        case Job::Kind::Analyze:
+            executeAnalyze(job);
+            break;
+        case Job::Kind::Sweep:
+            executeSweep(job);
+            break;
+        }
+    }
+
+    /** The canonical spec a run job's point executes under. */
+    static std::string
+    pointSpec(const Job &job)
+    {
+        return job.config +
+               ":maxRetries=" + std::to_string(job.retries);
+    }
+
+    static std::string
+    pointRepro(const Job &job)
+    {
+        ReproSpec spec;
+        spec.workload = job.workload;
+        spec.config = pointSpec(job);
+        spec.threads = job.params.threads;
+        spec.ops = job.params.opsPerThread;
+        spec.scale = job.params.scale;
+        spec.seed = job.params.seed;
+        return makeReproString(spec);
+    }
+
+    void
+    executeRun(Job &job)
+    {
+        progress(job, 0, 1);
+        SystemConfig cfg = makeConfigFromSpec(pointSpec(job));
+        try {
+            const RunResult result =
+                runOnce(cfg, job.workload, job.params);
+            progress(job, 1, 1);
+            finish(job, "done", "run-json",
+                   statsJsonString({result}));
+        } catch (const std::exception &ex) {
+            fail(job, ex.what(),
+                 {{job.id, job.workload, pointSpec(job), ex.what(),
+                   pointRepro(job)}});
+        }
+    }
+
+    void
+    executeAnalyze(Job &job)
+    {
+        progress(job, 0, 1);
+        AnalyzeRequest request;
+        request.config = job.config;
+        request.workload = job.workload;
+        request.maxRetries = job.retries;
+        request.params = job.params;
+        try {
+            AnalyzeOutcome outcome = analyzeWorkload(request);
+            progress(job, 1, 1);
+            finish(job, "done", "analysis-json",
+                   analysisJsonString({outcome.analysis}));
+        } catch (const std::exception &ex) {
+            fail(job, ex.what(),
+                 {{job.id, job.workload, pointSpec(job), ex.what(),
+                   pointRepro(job)}});
+        }
+    }
+
+    void
+    executeSweep(Job &job)
+    {
+        SweepOptions opts = job.sweep;
+        if (opts.jobs == 0)
+            opts.jobs = jobs_;
+        SweepCacheStore store(cachePath_);
+
+        // Resume from a checkpoint an interrupted daemon left, the
+        // same discipline as sweepWithCache(): completed cells are
+        // not recomputed, and the final bytes are identical either
+        // way.
+        SweepSummary cells;
+        std::set<SweepKey> skip;
+        if (store.loadCheckpoint(opts, cells)) {
+            for (const auto &[key, cell] : cells)
+                skip.insert(key);
+        }
+
+        std::vector<DeadLetter> failures;
+        SweepObserver observer;
+        observer.onCell = [&](const CellResult &cell) {
+            if (cell.failed) {
+                failures.push_back({job.id, cell.workload,
+                                    cell.config, cell.error,
+                                    cell.repro});
+                return;
+            }
+            const CellSummary summary = CellSummary::fromCell(cell);
+            cells[{cell.workload, cell.config}] = summary;
+            store.saveCheckpoint(opts, cells);
+            Mail mail;
+            mail.kind = MailKind::CellDone;
+            mail.jobId = job.id;
+            mail.payload = serializeSweepCacheRow(summary);
+            mailbox_.pushInternal(std::move(mail));
+        };
+        observer.onProgress = [&](std::size_t done,
+                                  std::size_t total) {
+            progress(job, done, total);
+        };
+        observer.cancelled = [&] {
+            return job.cancel.load(std::memory_order_relaxed);
+        };
+
+        const SweepOutcome outcome =
+            runSweepGrid(opts, skip, observer);
+
+        if (outcome.cancelled) {
+            // The checkpoint stays: a re-request resumes.
+            finish(job, "cancelled");
+            return;
+        }
+        if (!failures.empty()) {
+            // Keep the checkpoint of the good cells and hand every
+            // failed point to the dead-letter queue.
+            fail(job, failures.front().error, failures);
+            return;
+        }
+        store.store(opts, cells);
+        store.removeCheckpoint();
+        finish(job, "done", "sweep-cache-csv",
+               serializeSweepCache(sweepOptionsHash(opts), cells));
+    }
+
+    void
+    progress(Job &job, std::uint64_t done, std::uint64_t total)
+    {
+        Mail mail;
+        mail.kind = MailKind::Progress;
+        mail.jobId = job.id;
+        mail.done = done;
+        mail.total = total;
+        mailbox_.pushInternal(std::move(mail));
+    }
+
+    void
+    finish(Job &job, const std::string &state,
+           const std::string &format = "",
+           const std::string &payload = "")
+    {
+        Mail mail;
+        mail.kind = MailKind::JobDone;
+        mail.jobId = job.id;
+        mail.state = state;
+        mail.format = format;
+        mail.payload = payload;
+        mailbox_.pushInternal(std::move(mail));
+    }
+
+    void
+    fail(Job &job, const std::string &error,
+         std::vector<DeadLetter> failures)
+    {
+        Mail mail;
+        mail.kind = MailKind::JobDone;
+        mail.jobId = job.id;
+        mail.state = "failed";
+        mail.error = error;
+        mail.failures = std::move(failures);
+        mailbox_.pushInternal(std::move(mail));
+    }
+
+    Mailbox &mailbox_;
+    const std::string cachePath_;
+    const unsigned jobs_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::shared_ptr<Job> current_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+Scheduler::Scheduler(const Options &options, SendFrameFn send)
+    : options_(options), send_(std::move(send)),
+      dedupe_(SweepCacheStore(options.cachePath)),
+      dlq_(options.dlqPath),
+      executor_(std::make_unique<Executor>(
+          mailbox_, options.cachePath, options.jobs))
+{
+}
+
+Scheduler::~Scheduler()
+{
+    stop();
+}
+
+void
+Scheduler::run()
+{
+    Mail mail;
+    while (mailbox_.pop(mail)) {
+        switch (mail.kind) {
+        case MailKind::Request:
+            handleRequest(mail);
+            break;
+        case MailKind::Disconnect:
+            handleDisconnect(mail.connection);
+            break;
+        case MailKind::CellDone:
+            handleCellDone(mail);
+            break;
+        case MailKind::Progress:
+            handleProgress(mail);
+            break;
+        case MailKind::JobDone:
+            handleJobDone(mail);
+            break;
+        }
+    }
+}
+
+void
+Scheduler::stop()
+{
+    mailbox_.close();
+    executor_->stop();
+}
+
+void
+Scheduler::sendTo(std::uint64_t connection, const std::string &frame)
+{
+    send_(connection, frame);
+}
+
+void
+Scheduler::broadcast(const Job &job, const std::string &frame)
+{
+    for (std::uint64_t connection : job.subscribers)
+        send_(connection, frame);
+}
+
+void
+Scheduler::handleRequest(const Mail &mail)
+{
+    const std::string &type = mail.message.type;
+    if (type == "run")
+        handleRunOrAnalyze(mail, false);
+    else if (type == "analyze")
+        handleRunOrAnalyze(mail, true);
+    else if (type == "sweep")
+        handleSweep(mail);
+    else if (type == "status")
+        handleStatus(mail);
+    else if (type == "cancel")
+        handleCancel(mail);
+    else if (type == "catalogue")
+        handleCatalogue(mail);
+    else if (type == "dlq-list" || type == "dlq-replay" ||
+             type == "dlq-clear")
+        handleDlq(mail);
+    else
+        sendTo(mail.connection,
+               wireError(mail.message.text("tag"),
+                         "unexpected message type '" + type + "'"));
+}
+
+void
+Scheduler::handleRunOrAnalyze(const Mail &mail, bool analyze)
+{
+    const WireMessage &msg = mail.message;
+    const std::string tag = msg.text("tag");
+    std::string error;
+
+    const std::string workload = msg.text("workload");
+    if (workload.empty() || !validWorkload(workload, error)) {
+        sendTo(mail.connection,
+               wireError(tag, error.empty()
+                                  ? "field 'workload' is required"
+                                  : error));
+        return;
+    }
+    std::string config = msg.text("config");
+    if (config.empty())
+        config = "C";
+
+    auto job = std::make_shared<Job>();
+    job->kind = analyze ? Job::Kind::Analyze : Job::Kind::Run;
+    job->config = config;
+    job->workload = workload;
+
+    std::uint64_t retries = 4, threads = job->params.threads,
+                  ops = job->params.opsPerThread, scale = 1,
+                  seed = job->params.seed;
+    if (!fieldU64(msg, "retries", 0, 1000000, retries, error) ||
+        !fieldU64(msg, "threads", 1, 4096, threads, error) ||
+        !fieldU64(msg, "ops", 1, 100000000, ops, error) ||
+        !fieldU64(msg, "scale", 1, 1000000, scale, error) ||
+        !fieldU64(msg, "seed", 0, ~std::uint64_t(0), seed, error)) {
+        sendTo(mail.connection, wireError(tag, error));
+        return;
+    }
+    job->retries = static_cast<unsigned>(retries);
+    job->params.threads = static_cast<unsigned>(threads);
+    job->params.opsPerThread = static_cast<unsigned>(ops);
+    job->params.scale = static_cast<unsigned>(scale);
+    job->params.seed = seed;
+
+    // Validate the canonical spec (base spec + folded retry limit)
+    // in one shot; this is also what the executor will build.
+    const std::string canonical =
+        config + ":maxRetries=" + std::to_string(job->retries);
+    if (!validConfigSpec(canonical, error)) {
+        sendTo(mail.connection, wireError(tag, error));
+        return;
+    }
+
+    job->id = analyze ? analyzeJobId(config, workload, job->retries,
+                                     job->params)
+                      : runJobId(config, workload, job->retries,
+                                 job->params);
+    admit(mail, std::move(job));
+}
+
+void
+Scheduler::handleSweep(const Mail &mail)
+{
+    const WireMessage &msg = mail.message;
+    const std::string tag = msg.text("tag");
+    std::string error;
+
+    SweepOptions opts;
+    if (msg.body.find("configs"))
+        opts.configs = msg.textList("configs");
+    if (msg.body.find("workloads"))
+        opts.workloads = msg.textList("workloads");
+    if (opts.configs.empty()) {
+        sendTo(mail.connection,
+               wireError(tag, "field 'configs' must be a non-empty "
+                              "array of spec strings"));
+        return;
+    }
+    for (const std::string &spec : opts.configs) {
+        if (!validConfigSpec(spec, error)) {
+            sendTo(mail.connection, wireError(tag, error));
+            return;
+        }
+    }
+    for (const std::string &workload : opts.workloads) {
+        if (!validWorkload(workload, error)) {
+            sendTo(mail.connection, wireError(tag, error));
+            return;
+        }
+    }
+
+    std::uint64_t seeds = opts.seeds, trim = opts.trimEachSide,
+                  ops = opts.params.opsPerThread,
+                  threads = opts.params.threads, scale = 1,
+                  jobs = 0;
+    if (!fieldU64List(msg, "retries", 0, 1000000, opts.retryLimits,
+                      error) ||
+        !fieldU64(msg, "seeds", 1, 1000, seeds, error) ||
+        !fieldU64(msg, "trim", 0, 499, trim, error) ||
+        !fieldU64(msg, "ops", 1, 100000000, ops, error) ||
+        !fieldU64(msg, "threads", 1, 4096, threads, error) ||
+        !fieldU64(msg, "scale", 1, 1000000, scale, error) ||
+        !fieldU64(msg, "jobs", 0, 4096, jobs, error)) {
+        sendTo(mail.connection, wireError(tag, error));
+        return;
+    }
+    opts.seeds = static_cast<unsigned>(seeds);
+    opts.trimEachSide = static_cast<unsigned>(trim);
+    opts.params.opsPerThread = static_cast<unsigned>(ops);
+    opts.params.threads = static_cast<unsigned>(threads);
+    opts.params.scale = static_cast<unsigned>(scale);
+    opts.jobs = static_cast<unsigned>(jobs);
+
+    if (opts.seeds <= 2 * opts.trimEachSide) {
+        sendTo(mail.connection,
+               wireError(tag, "trim would discard every seed "
+                              "(need seeds > 2*trim)"));
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->kind = Job::Kind::Sweep;
+    job->sweep = opts;
+    job->id = sweepJobId(opts);
+    admit(mail, std::move(job));
+}
+
+void
+Scheduler::admit(const Mail &mail, std::shared_ptr<Job> job)
+{
+    const std::string tag = mail.message.text("tag");
+    const SweepOptions *sweep_opts =
+        job->kind == Job::Kind::Sweep ? &job->sweep : nullptr;
+    std::string format, payload;
+    const DedupeSource source =
+        dedupe_.classify(job->id, sweep_opts, format, payload);
+    switch (source) {
+    case DedupeSource::None: {
+        job->subscribers.push_back(mail.connection);
+        dedupe_.markInFlight(job->id);
+        jobs_[job->id] = job;
+        sendTo(mail.connection,
+               wireAck(tag, job->id, dedupeStateName(source)));
+        executor_->enqueue(std::move(job));
+        break;
+    }
+    case DedupeSource::InFlight: {
+        const auto it = jobs_.find(job->id);
+        if (it != jobs_.end()) {
+            std::vector<std::uint64_t> &subs =
+                it->second->subscribers;
+            if (std::find(subs.begin(), subs.end(),
+                          mail.connection) == subs.end())
+                subs.push_back(mail.connection);
+        }
+        sendTo(mail.connection,
+               wireAck(tag, job->id, dedupeStateName(source)));
+        break;
+    }
+    case DedupeSource::Completed:
+    case DedupeSource::DiskCache: {
+        sendTo(mail.connection,
+               wireAck(tag, job->id, dedupeStateName(source)));
+        sendTo(mail.connection,
+               wireResult(job->id, format, payload));
+        break;
+    }
+    }
+}
+
+void
+Scheduler::handleStatus(const Mail &mail)
+{
+    const std::string id = mail.message.text("id");
+    if (!id.empty() && !jobs_.count(id)) {
+        sendTo(mail.connection,
+               wireError(mail.message.text("tag"),
+                         "no such job '" + id + "'"));
+        return;
+    }
+    sendTo(mail.connection,
+           wireResult("status", "status-json", statusJson(id)));
+}
+
+std::string
+Scheduler::statusJson(const std::string &id) const
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value("clearsim-status-v1");
+    w.key("jobs");
+    w.beginArray();
+    for (const auto &[job_id, job] : jobs_) {
+        if (!id.empty() && job_id != id)
+            continue;
+        w.beginObject();
+        w.key("id");
+        w.value(job_id);
+        w.key("state");
+        w.value(Job::stateName(job->state));
+        w.key("done");
+        w.value(job->done);
+        w.key("total");
+        w.value(job->total);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return out;
+}
+
+void
+Scheduler::handleCancel(const Mail &mail)
+{
+    const std::string tag = mail.message.text("tag");
+    const std::string id = mail.message.text("id");
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() ||
+        (it->second->state != Job::State::Queued &&
+         it->second->state != Job::State::Running)) {
+        sendTo(mail.connection,
+               wireError(tag, "no such in-flight job '" + id + "'"));
+        return;
+    }
+    it->second->cancel.store(true, std::memory_order_relaxed);
+    sendTo(mail.connection, wireAck(tag, id, "cancelling"));
+}
+
+void
+Scheduler::handleCatalogue(const Mail &mail)
+{
+    std::string workloads;
+    {
+        JsonWriter w(workloads);
+        w.beginArray();
+        for (const std::string &name : workloadNames()) {
+            w.beginObject();
+            w.key("name");
+            w.value(name);
+            w.key("description");
+            w.value(workloadDescription(name));
+            w.endObject();
+        }
+        w.endArray();
+    }
+    // Splice the registry's own document in as a sub-object; both
+    // parts are deterministic, so the whole payload is too.
+    const std::string payload =
+        "{\"schema\":\"clearsim-catalogue-v1\",\"configs\":" +
+        ConfigRegistry::instance().catalogueJson() +
+        ",\"workloads\":" + workloads + "}";
+    sendTo(mail.connection,
+           wireResult("catalogue", "catalogue-json", payload));
+}
+
+void
+Scheduler::handleDlq(const Mail &mail)
+{
+    const std::string &type = mail.message.type;
+    if (type == "dlq-clear") {
+        dlq_.clear();
+        sendTo(mail.connection,
+               wireResult("dlq", "dlq-json",
+                          DeadLetterQueue::listJson({})));
+        return;
+    }
+    const std::vector<DeadLetter> entries = dlq_.load();
+    if (type == "dlq-list") {
+        sendTo(mail.connection,
+               wireResult("dlq", "dlq-json",
+                          DeadLetterQueue::listJson(entries)));
+        return;
+    }
+    // dlq-replay: re-execute every entry from its repro string.
+    // Synchronous by design — replays are single points.
+    std::vector<ReplayOutcome> outcomes;
+    outcomes.reserve(entries.size());
+    for (const DeadLetter &entry : entries)
+        outcomes.push_back(DeadLetterQueue::replay(entry));
+    sendTo(mail.connection,
+           wireResult("dlq-replay", "dlq-replay-json",
+                      DeadLetterQueue::replayJson(entries,
+                                                  outcomes)));
+}
+
+void
+Scheduler::handleDisconnect(std::uint64_t connection)
+{
+    for (auto &[id, job] : jobs_) {
+        std::vector<std::uint64_t> &subs = job->subscribers;
+        subs.erase(std::remove(subs.begin(), subs.end(), connection),
+                   subs.end());
+    }
+}
+
+void
+Scheduler::handleCellDone(const Mail &mail)
+{
+    const auto it = jobs_.find(mail.jobId);
+    if (it == jobs_.end())
+        return;
+    broadcast(*it->second, wireCell(mail.jobId, mail.payload));
+}
+
+void
+Scheduler::handleProgress(const Mail &mail)
+{
+    const auto it = jobs_.find(mail.jobId);
+    if (it == jobs_.end())
+        return;
+    Job &job = *it->second;
+    if (job.state == Job::State::Queued)
+        job.state = Job::State::Running;
+    job.done = mail.done;
+    job.total = mail.total;
+    broadcast(job, wireProgress(mail.jobId, mail.done, mail.total));
+}
+
+void
+Scheduler::handleJobDone(const Mail &mail)
+{
+    const auto it = jobs_.find(mail.jobId);
+    if (it == jobs_.end())
+        return;
+    Job &job = *it->second;
+    if (mail.state == "done") {
+        job.state = Job::State::Done;
+        dedupe_.markCompleted(job.id, mail.format, mail.payload);
+        broadcast(job,
+                  wireResult(job.id, mail.format, mail.payload));
+    } else if (mail.state == "cancelled") {
+        job.state = Job::State::Cancelled;
+        dedupe_.forget(job.id);
+        broadcast(job, wireCancelled(job.id));
+    } else {
+        job.state = Job::State::Failed;
+        // A failed spec must be retryable, so it leaves the dedupe
+        // index — but its points leave a persistent trace first.
+        dedupe_.forget(job.id);
+        for (const DeadLetter &failure : mail.failures)
+            dlq_.append(failure);
+        broadcast(job,
+                  wireFailed(job.id, mail.error,
+                             mail.failures.empty()
+                                 ? std::string()
+                                 : mail.failures.front().repro));
+    }
+    job.subscribers.clear();
+}
+
+} // namespace clearsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The clearsimd scheduler: one thread that owns all daemon state.
+ *
+ * Every request, connection event and executor notification arrives
+ * through the Mailbox and is handled here, single-threaded — the
+ * job table, the dedupe index and the dead-letter queue have
+ * exactly one writer, so the service layer needs no locking beyond
+ * the queues themselves.
+ *
+ * Execution is delegated to one executor thread that runs jobs in
+ * FIFO order (each job internally fans its points out over the
+ * sweep engine's ThreadPool, so one job already saturates the
+ * machine; running two would just thrash). The executor reports
+ * back through the mailbox's internal lane: cells as they finish,
+ * throttled progress, and one terminal JobDone.
+ *
+ * Request lifecycle (docs/SERVICE.md has the full catalogue):
+ *
+ *   request -> validate -> canonical job id -> dedupe classify
+ *     None          queue the job, ack "queued"
+ *     InFlight      subscribe, ack "dedup-inflight"
+ *     Completed     ack "dedup-cached" + result immediately
+ *     DiskCache     ack "dedup-disk"  + result immediately
+ *
+ * Failed points never evaporate: each one is appended to the
+ * dead-letter queue with its repro string before the subscribers
+ * hear "failed".
+ */
+
+#ifndef CLEARSIM_SERVICE_SCHEDULER_HH
+#define CLEARSIM_SERVICE_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "service/dead_letter.hh"
+#include "service/dedupe.hh"
+#include "service/mailbox.hh"
+
+namespace clearsim
+{
+
+/**
+ * Deliver one serialized frame to a connection. Must never block
+ * (the daemon backs it with an Outbox); returning false means the
+ * connection is gone and the scheduler may drop its subscriptions.
+ */
+using SendFrameFn =
+    std::function<bool(std::uint64_t connection,
+                       const std::string &payload)>;
+
+class Scheduler
+{
+  public:
+    struct Options
+    {
+        /** Dead-letter queue file. */
+        std::string dlqPath = "clearsimd_dlq.jsonl";
+
+        /** Sweep cache path ("" = sweepCachePath()). */
+        std::string cachePath;
+
+        /** Worker threads per job (0 = hardware concurrency). */
+        unsigned jobs = 0;
+    };
+
+    Scheduler(const Options &options, SendFrameFn send);
+
+    /** stop() if still running. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** The intake queue; readers push validated requests here. */
+    Mailbox &mailbox() { return mailbox_; }
+
+    /**
+     * Process mail until stop(). Blocking — the daemon runs this
+     * on a dedicated thread; tests may run it inline.
+     */
+    void run();
+
+    /**
+     * Close the mailbox, cancel the running job and join the
+     * executor. Idempotent; callable from any thread.
+     */
+    void stop();
+
+  private:
+    struct Job;
+    class Executor;
+
+    void handleRequest(const Mail &mail);
+    void handleDisconnect(std::uint64_t connection);
+    void handleCellDone(const Mail &mail);
+    void handleProgress(const Mail &mail);
+    void handleJobDone(const Mail &mail);
+
+    void handleRunOrAnalyze(const Mail &mail, bool analyze);
+    void handleSweep(const Mail &mail);
+    void handleStatus(const Mail &mail);
+    void handleCancel(const Mail &mail);
+    void handleCatalogue(const Mail &mail);
+    void handleDlq(const Mail &mail);
+
+    /** Admit a deduped request, queueing a new job if needed. */
+    void admit(const Mail &mail, std::shared_ptr<Job> job);
+
+    void sendTo(std::uint64_t connection, const std::string &frame);
+    void broadcast(const Job &job, const std::string &frame);
+
+    std::string statusJson(const std::string &id) const;
+
+    Options options_;
+    SendFrameFn send_;
+    Mailbox mailbox_;
+    DedupeIndex dedupe_;
+    DeadLetterQueue dlq_;
+    std::unique_ptr<Executor> executor_;
+
+    /** Jobs by canonical id; terminal jobs stay for status. */
+    std::map<std::string, std::shared_ptr<Job>> jobs_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_SCHEDULER_HH

@@ -1,0 +1,394 @@
+#include "service/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** Read exactly @p len bytes; false on EOF/error with errno kept. */
+bool
+readAll(int fd, void *buf, std::size_t len, std::size_t &got)
+{
+    char *out = static_cast<char *>(buf);
+    got = 0;
+    while (got < len) {
+        const ssize_t n = ::read(fd, out + got, len - got);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const void *buf, std::size_t len)
+{
+    const char *in = static_cast<const char *>(buf);
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd, in + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Allowed fields per message type. The protocol fails closed: a
+ * field not listed here is a hard error even if the rest of the
+ * message is perfectly valid — additions require a version bump,
+ * never silent tolerance.
+ */
+struct MessageSchema
+{
+    const char *type;
+    std::vector<const char *> fields;
+};
+
+const std::vector<MessageSchema> &
+messageSchemas()
+{
+    static const std::vector<MessageSchema> schemas = {
+        // Client -> server.
+        {"hello", {"versions"}},
+        {"run",
+         {"tag", "config", "workload", "retries", "threads", "ops",
+          "scale", "seed"}},
+        {"sweep",
+         {"tag", "configs", "workloads", "retries", "seeds", "trim",
+          "ops", "threads", "scale", "jobs"}},
+        {"analyze",
+         {"tag", "config", "workload", "retries", "threads", "ops",
+          "scale", "seed"}},
+        {"status", {"tag", "id"}},
+        {"cancel", {"tag", "id"}},
+        {"catalogue", {"tag"}},
+        {"dlq-list", {"tag"}},
+        {"dlq-replay", {"tag"}},
+        {"dlq-clear", {"tag"}},
+        // Server -> client.
+        {"hello-ok", {"version"}},
+        {"ack", {"tag", "id", "state"}},
+        {"progress", {"id", "done", "total"}},
+        {"cell", {"id", "row"}},
+        {"result", {"id", "format", "payload"}},
+        {"failed", {"id", "error", "repro"}},
+        {"cancelled", {"id"}},
+        {"error", {"tag", "message"}},
+    };
+    return schemas;
+}
+
+} // namespace
+
+bool
+readWireFrame(int fd, std::string &payload, std::string &error)
+{
+    error.clear();
+    unsigned char header[4];
+    std::size_t got = 0;
+    if (!readAll(fd, header, sizeof header, got)) {
+        // EOF on a frame boundary is a clean close, not an error.
+        if (got != 0)
+            error = "truncated frame header";
+        return false;
+    }
+    const std::uint32_t len = (std::uint32_t(header[0]) << 24) |
+                              (std::uint32_t(header[1]) << 16) |
+                              (std::uint32_t(header[2]) << 8) |
+                              std::uint32_t(header[3]);
+    if (len == 0) {
+        error = "zero-length frame";
+        return false;
+    }
+    if (len > kWireMaxFrame) {
+        error = "frame of " + std::to_string(len) +
+                " bytes exceeds the " +
+                std::to_string(kWireMaxFrame) + "-byte limit";
+        return false;
+    }
+    payload.resize(len);
+    if (!readAll(fd, payload.data(), len, got)) {
+        error = "truncated frame payload (" + std::to_string(got) +
+                " of " + std::to_string(len) + " bytes)";
+        return false;
+    }
+    return true;
+}
+
+bool
+writeWireFrame(int fd, const std::string &payload, std::string &error)
+{
+    error.clear();
+    if (payload.empty() || payload.size() > kWireMaxFrame) {
+        error = "refusing to send a frame of " +
+                std::to_string(payload.size()) + " bytes";
+        return false;
+    }
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    const unsigned char header[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    if (!writeAll(fd, header, sizeof header) ||
+        !writeAll(fd, payload.data(), payload.size())) {
+        error = std::string("write failed: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+std::string
+WireMessage::text(const char *key) const
+{
+    const JsonValue *v = body.find(key);
+    return v && v->type == JsonValue::Type::String ? v->text
+                                                   : std::string();
+}
+
+std::uint64_t
+WireMessage::number(const char *key, std::uint64_t fallback) const
+{
+    const JsonValue *v = body.find(key);
+    return v && v->isNumber() ? v->asUint() : fallback;
+}
+
+std::vector<std::string>
+WireMessage::textList(const char *key) const
+{
+    std::vector<std::string> out;
+    const JsonValue *v = body.find(key);
+    if (v && v->type == JsonValue::Type::Array) {
+        for (const JsonValue &item : v->items)
+            if (item.type == JsonValue::Type::String)
+                out.push_back(item.text);
+    }
+    return out;
+}
+
+bool
+parseWireMessage(const std::string &payload, WireMessage &out,
+                 std::string &error)
+{
+    if (!parseJson(payload, out.body, error)) {
+        error = "malformed frame: " + error;
+        return false;
+    }
+    if (out.body.type != JsonValue::Type::Object) {
+        error = "frame is not a JSON object";
+        return false;
+    }
+    const JsonValue *schema = out.body.find("schema");
+    if (!schema || schema->type != JsonValue::Type::String) {
+        error = "frame has no schema field";
+        return false;
+    }
+    if (schema->text != kWireSchema) {
+        error = "unsupported schema '" + schema->text +
+                "' (this server speaks " + kWireSchema + ")";
+        return false;
+    }
+    const JsonValue *type = out.body.find("type");
+    if (!type || type->type != JsonValue::Type::String) {
+        error = "frame has no type field";
+        return false;
+    }
+    const MessageSchema *match = nullptr;
+    for (const MessageSchema &candidate : messageSchemas()) {
+        if (type->text == candidate.type) {
+            match = &candidate;
+            break;
+        }
+    }
+    if (!match) {
+        error = "unknown message type '" + type->text + "'";
+        return false;
+    }
+    for (const auto &[key, value] : out.body.members) {
+        if (key == "schema" || key == "type")
+            continue;
+        bool allowed = false;
+        for (const char *field : match->fields) {
+            if (key == field) {
+                allowed = true;
+                break;
+            }
+        }
+        if (!allowed) {
+            error = "message '" + type->text +
+                    "' has unknown field '" + key + "'";
+            return false;
+        }
+    }
+    out.type = type->text;
+    return true;
+}
+
+namespace
+{
+
+/** Start a message: {"schema":...,"type":...  (object left open). */
+JsonWriter
+beginMessage(std::string &out, const char *type)
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value(type);
+    return w;
+}
+
+} // namespace
+
+std::string
+wireHello()
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "hello");
+    w.key("versions");
+    w.beginArray();
+    w.value(kWireSchema);
+    w.endArray();
+    w.endObject();
+    return out;
+}
+
+std::string
+wireHelloOk(const std::string &version)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "hello-ok");
+    w.key("version");
+    w.value(version);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireAck(const std::string &tag, const std::string &id,
+        const std::string &state)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "ack");
+    if (!tag.empty()) {
+        w.key("tag");
+        w.value(tag);
+    }
+    w.key("id");
+    w.value(id);
+    w.key("state");
+    w.value(state);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireProgress(const std::string &id, std::uint64_t done,
+             std::uint64_t total)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "progress");
+    w.key("id");
+    w.value(id);
+    w.key("done");
+    w.value(done);
+    w.key("total");
+    w.value(total);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireCell(const std::string &id, const std::string &row)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "cell");
+    w.key("id");
+    w.value(id);
+    w.key("row");
+    w.value(row);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireResult(const std::string &id, const std::string &format,
+           const std::string &payload)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "result");
+    w.key("id");
+    w.value(id);
+    w.key("format");
+    w.value(format);
+    w.key("payload");
+    w.value(payload);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireFailed(const std::string &id, const std::string &error,
+           const std::string &repro)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "failed");
+    w.key("id");
+    w.value(id);
+    w.key("error");
+    w.value(error);
+    if (!repro.empty()) {
+        w.key("repro");
+        w.value(repro);
+    }
+    w.endObject();
+    return out;
+}
+
+std::string
+wireCancelled(const std::string &id)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "cancelled");
+    w.key("id");
+    w.value(id);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireError(const std::string &tag, const std::string &message)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "error");
+    if (!tag.empty()) {
+        w.key("tag");
+        w.value(tag);
+    }
+    w.key("message");
+    w.value(message);
+    w.endObject();
+    return out;
+}
+
+} // namespace clearsim

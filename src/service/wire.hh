@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The clearsimd wire protocol: clearsimd-wire-v1.
+ *
+ * Every frame on the socket is a 4-byte big-endian payload length
+ * followed by exactly that many bytes of JSON — one object per
+ * frame, no delimiters, no sniffing. The protocol is strict and
+ * versioned:
+ *
+ *  - the first client frame must be a "hello" listing the versions
+ *    the client speaks; the server answers "hello-ok" naming the
+ *    one it picked (today: only clearsimd-wire-v1) or closes after
+ *    an "error". Nothing else is accepted before the handshake.
+ *  - every message carries "schema":"clearsim-wire..." and a
+ *    "type"; unknown schemas, unknown types and unknown *fields*
+ *    are rejected outright (fail closed — an old server never
+ *    silently ignores what a newer client meant).
+ *  - frames above kWireMaxFrame (or of length zero) are protocol
+ *    errors and the connection is dropped; the JSON parser behind
+ *    parseWireMessage() is itself hardened against truncated and
+ *    adversarial bytes (tests/common/json_fuzz_test.cc).
+ *
+ * The framing helpers below work on plain file descriptors so the
+ * daemon, the client tool and the in-process tests all share one
+ * implementation. docs/SERVICE.md is the message catalogue.
+ */
+
+#ifndef CLEARSIM_SERVICE_WIRE_HH
+#define CLEARSIM_SERVICE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace clearsim
+{
+
+/** The one protocol version this build speaks. */
+inline constexpr const char *kWireSchema = "clearsimd-wire-v1";
+
+/** Hard ceiling on one frame's payload (8 MiB). */
+inline constexpr std::uint32_t kWireMaxFrame = 8u << 20;
+
+/**
+ * Read one length-prefixed frame from @p fd into @p payload.
+ * Blocks until a full frame arrives.
+ * @retval false on EOF before any byte (clean close), with
+ *         @p error empty; or on any protocol violation (short
+ *         header/payload, zero or oversized length, read error),
+ *         with @p error describing it.
+ */
+bool readWireFrame(int fd, std::string &payload, std::string &error);
+
+/**
+ * Write @p payload as one length-prefixed frame to @p fd.
+ * @retval false on any write error (peer gone) with @p error set.
+ */
+bool writeWireFrame(int fd, const std::string &payload,
+                    std::string &error);
+
+/** A validated protocol message: its type plus the parsed body. */
+struct WireMessage
+{
+    std::string type;
+    JsonValue body;
+
+    /** String member by key ("" when absent or not a string). */
+    std::string text(const char *key) const;
+
+    /** Unsigned member by key (@p fallback when absent). */
+    std::uint64_t number(const char *key,
+                        std::uint64_t fallback = 0) const;
+
+    /** String-array member by key (empty when absent). */
+    std::vector<std::string> textList(const char *key) const;
+};
+
+/**
+ * Parse and validate one frame's payload: well-formed JSON object,
+ * "schema" equal to kWireSchema, a known "type", and no field that
+ * is not in that type's allowed set.
+ * @retval false with @p error naming the offending field/type
+ */
+bool parseWireMessage(const std::string &payload, WireMessage &out,
+                      std::string &error);
+
+// ---------------------------------------------------------------
+// Message builders. Each returns the serialized JSON payload of
+// one frame; key order is fixed, so identical arguments always
+// produce identical bytes.
+// ---------------------------------------------------------------
+
+/** Client: open the handshake offering kWireSchema. */
+std::string wireHello();
+
+/** Server: handshake accepted, @p version chosen. */
+std::string wireHelloOk(const std::string &version);
+
+/**
+ * Server: request acknowledged. @p state is "queued",
+ * "dedup-inflight", "dedup-cached" or "dedup-disk"; @p tag echoes
+ * the client's optional request tag.
+ */
+std::string wireAck(const std::string &tag, const std::string &id,
+                    const std::string &state);
+
+/** Server: throttled job progress. */
+std::string wireProgress(const std::string &id, std::uint64_t done,
+                         std::uint64_t total);
+
+/** Server: one finished sweep cell, streamed as a cache-CSV row. */
+std::string wireCell(const std::string &id, const std::string &row);
+
+/** Server: terminal success; @p format names the payload schema. */
+std::string wireResult(const std::string &id,
+                       const std::string &format,
+                       const std::string &payload);
+
+/** Server: terminal failure, with a repro string when one exists. */
+std::string wireFailed(const std::string &id,
+                       const std::string &error,
+                       const std::string &repro);
+
+/** Server: job cancelled before completion. */
+std::string wireCancelled(const std::string &id);
+
+/** Server: request-level error (@p tag echoes the request's). */
+std::string wireError(const std::string &tag,
+                      const std::string &message);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_WIRE_HH

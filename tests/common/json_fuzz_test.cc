@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Adversarial-input tests for the common/json parser.
+ *
+ * The clearsimd wire protocol hands this parser bytes read straight
+ * off a socket, so it must fail closed on anything a confused or
+ * malicious client can send: truncated documents, oversized nesting
+ * bombs, malformed escapes and random binary garbage all have to
+ * come back as a clean `false` with an error message — never a
+ * crash, hang or out-of-bounds read. (Under the ASan/UBSan CI job
+ * these tests double as an over-read detector.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hh"
+#include "common/rng.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+bool
+parses(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    return parseJson(text, value, error);
+}
+
+/** A representative document exercising every value type. */
+const char kDocument[] =
+    R"({"schema":"clearsimd-wire-v1","id":42,"neg":-7,)"
+    R"("pi":3.25,"ok":true,"off":false,"gap":null,)"
+    R"("text":"a\"b\\c\nd\u0041","list":[1,[2,[3]],{"k":"v"}]})";
+
+TEST(JsonFuzzTest, ReferenceDocumentParses)
+{
+    JsonValue value;
+    std::string error;
+    ASSERT_TRUE(parseJson(kDocument, value, error)) << error;
+    EXPECT_EQ(value.find("schema")->text, "clearsimd-wire-v1");
+    EXPECT_EQ(value.find("id")->asUint(), 42u);
+    EXPECT_EQ(value.find("text")->text, "a\"b\\c\ndA");
+}
+
+TEST(JsonFuzzTest, EveryStrictPrefixIsRejected)
+{
+    // Structural documents have no valid strict prefix, so each
+    // truncation point must fail closed (a frame cut short by a
+    // dying client is the classic wire-facing input).
+    const std::string doc = kDocument;
+    for (std::size_t keep = 0; keep < doc.size(); ++keep) {
+        JsonValue value;
+        std::string error;
+        EXPECT_FALSE(parseJson(doc.substr(0, keep), value, error))
+            << "prefix of " << keep << " bytes parsed";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(JsonFuzzTest, EveryStrictSuffixIsRejectedOrHarmless)
+{
+    // Suffixes are mostly garbage (":1}," ...); none may crash.
+    const std::string doc = kDocument;
+    for (std::size_t drop = 1; drop < doc.size(); ++drop) {
+        JsonValue value;
+        std::string error;
+        parseJson(doc.substr(drop), value, error);
+    }
+    SUCCEED();
+}
+
+TEST(JsonFuzzTest, NestingBombIsRejectedNotRecursed)
+{
+    // One million open brackets would overflow the stack of a
+    // depth-unbounded recursive parser long before "unexpected end
+    // of input" could be reported. The cap rejects it instead.
+    const std::string bomb(1u << 20, '[');
+    JsonValue value;
+    std::string error;
+    ASSERT_FALSE(parseJson(bomb, value, error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos)
+        << error;
+
+    const std::string object_bomb = [] {
+        std::string text;
+        for (int i = 0; i < 200000; ++i)
+            text += "{\"k\":";
+        return text;
+    }();
+    ASSERT_FALSE(parseJson(object_bomb, value, error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos)
+        << error;
+}
+
+TEST(JsonFuzzTest, MaxDepthBoundaryIsExact)
+{
+    auto nested = [](std::size_t depth) {
+        return std::string(depth, '[') + std::string(depth, ']');
+    };
+    EXPECT_TRUE(parses(nested(kJsonMaxDepth)));
+    EXPECT_FALSE(parses(nested(kJsonMaxDepth + 1)));
+}
+
+TEST(JsonFuzzTest, MalformedDocumentsFailClosed)
+{
+    const char *cases[] = {
+        "",
+        " ",
+        "{",
+        "}",
+        "{]",
+        "[}",
+        "{\"a\"}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{a:1}",
+        "[1,]",
+        "[,1]",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"trunc escape \\",
+        "\"trunc unicode \\u00",
+        "\"bad unicode \\u00zz\"",
+        "tru",
+        "truely",
+        "falsey",
+        "nul",
+        "nan",
+        "NaN",
+        "Infinity",
+        "+1",
+        "-",
+        "1 2",
+        "{} {}",
+        "[1] tail",
+        "\x01\x02\x03",
+        "{\"a\":1}garbage",
+    };
+    for (const char *text : cases) {
+        JsonValue value;
+        std::string error;
+        EXPECT_FALSE(parseJson(text, value, error))
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JsonFuzzTest, OversizedNumbersDoNotCrash)
+{
+    // Huge integers overflow strtoull/strtoll and must be rejected;
+    // huge exponents saturate strtod (legal) — neither may crash.
+    EXPECT_FALSE(parses("123456789012345678901234567890"));
+    EXPECT_FALSE(parses("-123456789012345678901234567890"));
+    parses("1e999999");
+    parses("-1e-999999");
+    parses(std::string(100000, '9'));
+    SUCCEED();
+}
+
+TEST(JsonFuzzTest, LargeFlatDocumentsParse)
+{
+    // Size alone is not a reason to reject (the wire layer caps
+    // frame size; the parser just has to stay linear and correct).
+    std::string big = "[";
+    for (int i = 0; i < 50000; ++i) {
+        if (i)
+            big += ",";
+        big += "{\"i\":" + std::to_string(i) + "}";
+    }
+    big += "]";
+    JsonValue value;
+    std::string error;
+    ASSERT_TRUE(parseJson(big, value, error)) << error;
+    EXPECT_EQ(value.items.size(), 50000u);
+    EXPECT_EQ(value.items[777].find("i")->asUint(), 777u);
+}
+
+TEST(JsonFuzzTest, SeededMutationFuzzNeverCrashes)
+{
+    // Byte-level mutations of a valid document: flip, insert and
+    // delete random bytes, then parse. The result may be accepted
+    // or rejected; it must never crash, hang or over-read (ASan
+    // watches the latter in CI).
+    Rng rng(0xfeedfacecafebeefull);
+    const std::string base = kDocument;
+    std::size_t accepted = 0;
+    for (int round = 0; round < 5000; ++round) {
+        std::string doc = base;
+        const unsigned edits =
+            1 + static_cast<unsigned>(rng.nextBelow(4));
+        for (unsigned e = 0; e < edits; ++e) {
+            const std::uint64_t kind = rng.nextBelow(3);
+            const std::size_t at = rng.nextBelow(doc.size());
+            const char byte =
+                static_cast<char>(rng.nextBelow(256));
+            if (kind == 0)
+                doc[at] = byte;
+            else if (kind == 1)
+                doc.insert(doc.begin() +
+                               static_cast<std::ptrdiff_t>(at),
+                           byte);
+            else
+                doc.erase(at, 1);
+        }
+        JsonValue value;
+        std::string error;
+        if (parseJson(doc, value, error))
+            ++accepted;
+        else
+            ASSERT_FALSE(error.empty());
+    }
+    // Sanity: mutations overwhelmingly produce invalid documents.
+    EXPECT_LT(accepted, 2500u);
+}
+
+TEST(JsonFuzzTest, RandomGarbageNeverCrashes)
+{
+    Rng rng(0x5eed5eed5eed5eedull);
+    for (int round = 0; round < 2000; ++round) {
+        const std::size_t len = rng.nextBelow(512);
+        std::string doc;
+        doc.reserve(len);
+        for (std::size_t i = 0; i < len; ++i)
+            doc.push_back(static_cast<char>(rng.nextBelow(256)));
+        JsonValue value;
+        std::string error;
+        parseJson(doc, value, error);
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace clearsim

@@ -18,6 +18,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -232,6 +233,47 @@ TEST(SweepCrashTest, CheckpointResumeIsByteIdentical)
     std::remove(ref_path.c_str());
     std::remove(res_path.c_str());
     std::remove(trunc_path.c_str());
+}
+
+TEST(SweepCrashTest, FinishedSweepLeavesOnlyTheFinalCsv)
+{
+    // A SIGKILL in the window between the final cache rename and
+    // the checkpoint unlink leaves a valid cache next to a stale
+    // .ckpt. Later runs take the cache-hit early return, which
+    // historically never cleaned up — the stale checkpoint lived
+    // forever. Any clean completion (fresh run or cache hit) must
+    // leave the directory holding the final CSV and nothing else.
+    const std::string dir = "/tmp/clearsim_stale_ckpt_dir";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string cache = dir + "/sweep.csv";
+    const SweepOptions opts = benignSweep();
+
+    {
+        ScopedEnv env("CLEARSIM_CACHE", cache);
+        sweepWithCache(opts);
+    }
+    const std::string bytes = readFile(cache);
+    ASSERT_FALSE(bytes.empty());
+
+    // Plant the stale checkpoint a kill window would have left.
+    {
+        std::ofstream out(sweepCheckpointPath(cache),
+                          std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    {
+        ScopedEnv env("CLEARSIM_CACHE", cache);
+        sweepWithCache(opts); // cache hit — must still clean up
+    }
+    EXPECT_EQ(readFile(cache), bytes);
+
+    std::vector<std::string> left;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        left.push_back(entry.path().filename().string());
+    EXPECT_EQ(left, std::vector<std::string>{"sweep.csv"});
+
+    std::filesystem::remove_all(dir);
 }
 
 TEST(SweepCrashTest, SigkilledSweepResumesFromCheckpoint)

@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "common/config.hh"
+#include "common/json.hh"
 #include "policy/config_registry.hh"
 
 namespace clearsim
@@ -155,6 +156,71 @@ TEST(ConfigRegistryTest, DescriptionsAreNonEmpty)
         EXPECT_FALSE(m.description.empty()) << m.name;
     for (const ConfigOverrideKey &k : reg.overrideKeys())
         EXPECT_FALSE(k.description.empty()) << k.name;
+}
+
+TEST(ConfigRegistryTest, FaultModifiersAreEnumerated)
+{
+    // Daemon clients discover the spec grammar by enumerating the
+    // registry, so every "+name" the parser accepts must be listed —
+    // including the canned fault plans and the watchdog, which were
+    // historically registered but easy to miss in listings.
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    auto listed = [&reg](const std::string &name) {
+        return std::any_of(reg.modifiers().begin(),
+                           reg.modifiers().end(),
+                           [&name](const ConfigModifier &m) {
+                               return m.name == name;
+                           });
+    };
+    EXPECT_TRUE(listed("watchdog"));
+    EXPECT_TRUE(listed("faults-nack-storm"));
+    EXPECT_TRUE(listed("faults-delay-jitter"));
+    EXPECT_TRUE(listed("faults-forced-abort"));
+}
+
+TEST(ConfigRegistryTest, CatalogueJsonCoversTheWholeGrammar)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    const std::string text = reg.catalogueJson();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(text, doc, error)) << error;
+    EXPECT_EQ(doc.find("schema")->text,
+              "clearsim-config-catalogue-v1");
+
+    auto names = [&doc](const char *section) {
+        std::vector<std::string> out;
+        for (const JsonValue &entry : doc.find(section)->items)
+            out.push_back(entry.find("name")->text);
+        return out;
+    };
+    auto has = [](const std::vector<std::string> &list,
+                  const std::string &name) {
+        return std::find(list.begin(), list.end(), name) !=
+               list.end();
+    };
+
+    // Every registry entry appears, with a non-empty description.
+    EXPECT_EQ(names("presets").size(), reg.presets().size());
+    EXPECT_EQ(names("modifiers").size(), reg.modifiers().size());
+    EXPECT_EQ(names("overrides").size(), reg.overrideKeys().size());
+    for (const char *section : {"presets", "modifiers", "overrides"})
+        for (const JsonValue &entry : doc.find(section)->items)
+            EXPECT_FALSE(entry.find("description")->text.empty())
+                << section << "/" << entry.find("name")->text;
+
+    EXPECT_TRUE(has(names("modifiers"), "watchdog"));
+    EXPECT_TRUE(has(names("modifiers"), "faults-nack-storm"));
+    EXPECT_TRUE(has(names("overrides"), "fault.forced-abort"));
+
+    // Override entries carry their accepted range.
+    const JsonValue &first = doc.find("overrides")->items.front();
+    EXPECT_NE(first.find("min"), nullptr);
+    EXPECT_NE(first.find("max"), nullptr);
+
+    // Deterministic: two serializations are byte-identical.
+    EXPECT_EQ(text, reg.catalogueJson());
 }
 
 TEST(ConfigRegistryTest, MakeConfigByNameUsesTheRegistry)

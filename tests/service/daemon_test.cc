@@ -1,0 +1,657 @@
+/**
+ * @file
+ * End-to-end daemon tests: a real Daemon on a real AF_UNIX socket,
+ * talked to through ClientConnection — exactly the configuration
+ * tools/clearsimd.cpp and tools/clearsim_client.cpp ship.
+ *
+ * Covers the acceptance criteria of the service layer: results over
+ * the wire byte-identical to the engine run locally, request
+ * deduplication against in-flight jobs and the on-disk cache,
+ * cancellation, the dead-letter queue round-trip, concurrent
+ * clients, and the strict fail-closed protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/sweep_cache.hh"
+#include "harness/sweep_engine.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/wire.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** Same certain-livelock spec the sweep crash tests use. */
+const char kLivelockConfig[] =
+    "B:fault.forced-abort=1000:fault.watchdog=1"
+    ":fault.horizon=20000";
+
+/** The small benign sweep shared by the byte-identity tests. */
+SweepOptions
+benignSweep()
+{
+    SweepOptions opts;
+    opts.configs = {"B", "C"};
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 3;
+    opts.params.opsPerThread = 4;
+    opts.jobs = 2;
+    return opts;
+}
+
+/** Serialize a sweep request matching @p opts. */
+std::string
+sweepRequest(const SweepOptions &opts)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value("sweep");
+    w.key("configs");
+    w.beginArray();
+    for (const std::string &spec : opts.configs)
+        w.value(spec);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const std::string &name : opts.workloads)
+        w.value(name);
+    w.endArray();
+    w.key("retries");
+    w.beginArray();
+    for (unsigned limit : opts.retryLimits)
+        w.value(limit);
+    w.endArray();
+    w.key("seeds");
+    w.value(opts.seeds);
+    w.key("ops");
+    w.value(opts.params.opsPerThread);
+    w.key("threads");
+    w.value(opts.params.threads);
+    w.key("jobs");
+    w.value(opts.jobs);
+    w.endObject();
+    return out;
+}
+
+std::string
+runRequest(const std::string &config, const std::string &workload,
+           std::uint64_t retries, std::uint64_t threads,
+           std::uint64_t ops)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value("run");
+    w.key("config");
+    w.value(config);
+    w.key("workload");
+    w.value(workload);
+    w.key("retries");
+    w.value(retries);
+    w.key("threads");
+    w.value(threads);
+    w.key("ops");
+    w.value(ops);
+    w.endObject();
+    return out;
+}
+
+/** A request carrying only schema/type (+ optional id). */
+std::string
+simpleRequest(const char *type, const std::string &id = "")
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value(type);
+    if (!id.empty()) {
+        w.key("id");
+        w.value(id);
+    }
+    w.endObject();
+    return out;
+}
+
+class DaemonTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::string("/tmp/clearsimd_t_") + info->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        startDaemon();
+    }
+
+    void
+    TearDown() override
+    {
+        daemon_.reset();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    startDaemon()
+    {
+        Daemon::Options options;
+        options.socketPath = dir_ + "/d.sock";
+        options.scheduler.cachePath = dir_ + "/cache.csv";
+        options.scheduler.dlqPath = dir_ + "/dlq.jsonl";
+        options.scheduler.jobs = 2;
+        daemon_ = std::make_unique<Daemon>(options);
+    }
+
+    void
+    restartDaemon()
+    {
+        daemon_.reset();
+        startDaemon();
+    }
+
+    /** Connect a handshaken client, asserting success. */
+    std::unique_ptr<ClientConnection>
+    client()
+    {
+        auto connection = std::make_unique<ClientConnection>();
+        std::string error;
+        EXPECT_TRUE(
+            connection->connect(daemon_->socketPath(), error))
+            << error;
+        return connection;
+    }
+
+    /**
+     * Send one request and drain to the terminal message,
+     * recording every intermediate event.
+     */
+    WireMessage
+    transact(ClientConnection &connection,
+             const std::string &request,
+             std::vector<WireMessage> *events = nullptr)
+    {
+        std::string error;
+        EXPECT_TRUE(connection.send(request, error)) << error;
+        WireMessage outcome;
+        EXPECT_TRUE(connection.waitForOutcome(
+            outcome, error,
+            [&](const WireMessage &event) {
+                if (events)
+                    events->push_back(event);
+            }))
+            << error;
+        return outcome;
+    }
+
+    /** Raw connected socket, no handshake run. */
+    int
+    rawConnect()
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, daemon_->socketPath().c_str(),
+                     sizeof(addr.sun_path) - 1);
+        EXPECT_EQ(0, ::connect(
+                         fd,
+                         reinterpret_cast<const sockaddr *>(&addr),
+                         sizeof addr));
+        return fd;
+    }
+
+    /** The ack that answered a request, from recorded events. */
+    static const WireMessage *
+    ackOf(const std::vector<WireMessage> &events)
+    {
+        for (const WireMessage &event : events)
+            if (event.type == "ack")
+                return &event;
+        return nullptr;
+    }
+
+    std::string dir_;
+    std::unique_ptr<Daemon> daemon_;
+};
+
+TEST_F(DaemonTest, CatalogueAnswersWithTheDiscoveryDocument)
+{
+    auto connection = client();
+    const WireMessage outcome =
+        transact(*connection, simpleRequest("catalogue"));
+    ASSERT_EQ("result", outcome.type);
+    EXPECT_EQ("catalogue-json", outcome.text("format"));
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(outcome.text("payload"), doc, error))
+        << error;
+    EXPECT_EQ("clearsim-catalogue-v1",
+              doc.find("schema")->text);
+    // Both halves of the catalogue are present and non-trivial:
+    // every config modifier (fault plans included) and workload is
+    // discoverable without a compiled-in list.
+    const JsonValue *configs = doc.find("configs");
+    ASSERT_NE(nullptr, configs);
+    EXPECT_FALSE(configs->find("modifiers")->items.empty());
+    const JsonValue *workloads = doc.find("workloads");
+    ASSERT_NE(nullptr, workloads);
+    EXPECT_GE(workloads->items.size(), 19u);
+}
+
+TEST_F(DaemonTest, RunJobReturnsTheStatsDocument)
+{
+    auto connection = client();
+    const WireMessage outcome = transact(
+        *connection, runRequest("B", "mwobject", 4, 2, 2));
+    ASSERT_EQ("result", outcome.type);
+    EXPECT_EQ("run-json", outcome.text("format"));
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(outcome.text("payload"), doc, error))
+        << error;
+    EXPECT_EQ("clearsim-stats-v1", doc.find("schema")->text);
+}
+
+TEST_F(DaemonTest, SweepOverTheWireIsByteIdenticalToTheEngine)
+{
+    // The ground truth: the engine run in-process, serialized with
+    // the canonical writer (what clearsim_cli --sweep emits).
+    const SweepOptions opts = benignSweep();
+    const SweepOutcome local = runSweepGrid(opts, {},
+                                            SweepObserver{});
+    ASSERT_FALSE(local.cancelled);
+    SweepSummary summary;
+    for (const auto &[key, cell] : local.cells) {
+        ASSERT_FALSE(cell.failed) << cell.error;
+        summary[key] = CellSummary::fromCell(cell);
+    }
+    const std::string expected =
+        serializeSweepCache(sweepOptionsHash(opts), summary);
+
+    auto connection = client();
+    std::vector<WireMessage> events;
+    const WireMessage outcome =
+        transact(*connection, sweepRequest(opts), &events);
+    ASSERT_EQ("result", outcome.type) << outcome.text("message");
+    EXPECT_EQ("sweep-cache-csv", outcome.text("format"));
+    EXPECT_EQ(expected, outcome.text("payload"));
+
+    // The streamed cells reassemble into the same document: every
+    // row of the final payload was announced exactly once.
+    std::vector<std::string> rows;
+    for (const WireMessage &event : events)
+        if (event.type == "cell")
+            rows.push_back(event.text("row"));
+    EXPECT_EQ(summary.size(), rows.size());
+    for (const std::string &row : rows)
+        EXPECT_NE(std::string::npos,
+                  expected.find("\n" + row + "\n"))
+            << row;
+}
+
+TEST_F(DaemonTest, RepeatedSweepIsServedFromMemoryNotReRun)
+{
+    auto connection = client();
+    const SweepOptions opts = benignSweep();
+    const WireMessage first =
+        transact(*connection, sweepRequest(opts));
+    ASSERT_EQ("result", first.type);
+
+    std::vector<WireMessage> events;
+    const WireMessage second =
+        transact(*connection, sweepRequest(opts), &events);
+    ASSERT_EQ("result", second.type);
+    const WireMessage *ack = ackOf(events);
+    ASSERT_NE(nullptr, ack);
+    EXPECT_EQ("dedup-cached", ack->text("state"));
+    EXPECT_EQ(first.text("payload"), second.text("payload"));
+
+    // A cached answer streams no cells: nothing was re-executed.
+    for (const WireMessage &event : events)
+        EXPECT_NE("cell", event.type);
+}
+
+TEST_F(DaemonTest, RestartedDaemonServesTheSweepFromDisk)
+{
+    const SweepOptions opts = benignSweep();
+    {
+        auto connection = client();
+        ASSERT_EQ("result",
+                  transact(*connection, sweepRequest(opts)).type);
+    }
+
+    // A fresh daemon process on the same cache file: no in-memory
+    // state survives, the answer must come from disk.
+    restartDaemon();
+    auto connection = client();
+    std::vector<WireMessage> events;
+    const WireMessage outcome =
+        transact(*connection, sweepRequest(opts), &events);
+    ASSERT_EQ("result", outcome.type);
+    const WireMessage *ack = ackOf(events);
+    ASSERT_NE(nullptr, ack);
+    EXPECT_EQ("dedup-disk", ack->text("state"));
+
+    SweepSummary summary;
+    SweepCacheStore store(dir_ + "/cache.csv");
+    ASSERT_TRUE(store.lookup(opts, summary));
+    EXPECT_EQ(serializeSweepCache(sweepOptionsHash(opts), summary),
+              outcome.text("payload"));
+}
+
+TEST_F(DaemonTest, ConcurrentClientsShareOneExecution)
+{
+    auto first = client();
+    auto second = client();
+    const SweepOptions opts = benignSweep();
+
+    std::string error;
+    ASSERT_TRUE(first->send(sweepRequest(opts), error)) << error;
+    ASSERT_TRUE(second->send(sweepRequest(opts), error)) << error;
+
+    std::vector<WireMessage> first_events, second_events;
+    WireMessage first_outcome, second_outcome;
+    ASSERT_TRUE(first->waitForOutcome(
+        first_outcome, error, [&](const WireMessage &event) {
+            first_events.push_back(event);
+        }))
+        << error;
+    ASSERT_TRUE(second->waitForOutcome(
+        second_outcome, error, [&](const WireMessage &event) {
+            second_events.push_back(event);
+        }))
+        << error;
+
+    ASSERT_EQ("result", first_outcome.type);
+    ASSERT_EQ("result", second_outcome.type);
+    EXPECT_EQ(first_outcome.text("payload"),
+              second_outcome.text("payload"));
+
+    // The two requests race to the scheduler, but exactly one may
+    // start an execution; the other's ack must be a dedupe verdict
+    // (in-flight while running, cached if it raced past
+    // completion).
+    const WireMessage *first_ack = ackOf(first_events);
+    const WireMessage *second_ack = ackOf(second_events);
+    ASSERT_NE(nullptr, first_ack);
+    ASSERT_NE(nullptr, second_ack);
+    const std::string states[] = {first_ack->text("state"),
+                                  second_ack->text("state")};
+    const bool first_queued = states[0] == "queued";
+    EXPECT_TRUE(first_queued || states[1] == "queued")
+        << states[0] << " / " << states[1];
+    const std::string &deduped = states[first_queued ? 1 : 0];
+    EXPECT_EQ(0u, deduped.find("dedup-")) << deduped;
+}
+
+TEST_F(DaemonTest, CancelStopsAQueuedJob)
+{
+    // Two jobs: the first occupies the executor, the second waits
+    // in the FIFO and is cancelled before it produces anything.
+    auto runner = client();
+    auto victim = client();
+    std::string error;
+    ASSERT_TRUE(runner->send(sweepRequest(benignSweep()), error))
+        << error;
+
+    SweepOptions other = benignSweep();
+    other.seeds = 4; // different identity: no dedupe
+    ASSERT_TRUE(victim->send(sweepRequest(other), error)) << error;
+
+    // The victim's ack names the job id to cancel.
+    WireMessage ack;
+    ASSERT_TRUE(victim->receive(ack, error)) << error;
+    ASSERT_EQ("ack", ack.type);
+    ASSERT_EQ("queued", ack.text("state"));
+    ASSERT_TRUE(victim->send(
+        simpleRequest("cancel", ack.text("id")), error))
+        << error;
+
+    WireMessage outcome;
+    ASSERT_TRUE(victim->waitForOutcome(outcome, error)) << error;
+    EXPECT_EQ("cancelled", outcome.type);
+    EXPECT_EQ(ack.text("id"), outcome.text("id"));
+
+    // The first job is unaffected.
+    WireMessage runner_outcome;
+    ASSERT_TRUE(runner->waitForOutcome(runner_outcome, error))
+        << error;
+    EXPECT_EQ("result", runner_outcome.type);
+}
+
+TEST_F(DaemonTest, CancellingAnUnknownJobIsAnError)
+{
+    auto connection = client();
+    std::string error;
+    ASSERT_TRUE(connection->send(
+        simpleRequest("cancel", "no-such-job"), error))
+        << error;
+    WireMessage reply;
+    ASSERT_TRUE(connection->receive(reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+}
+
+TEST_F(DaemonTest, StatusReportsTheJobTable)
+{
+    auto connection = client();
+    const WireMessage run = transact(
+        *connection, runRequest("B", "mwobject", 4, 2, 2));
+    ASSERT_EQ("result", run.type);
+
+    const WireMessage status =
+        transact(*connection, simpleRequest("status"));
+    ASSERT_EQ("result", status.type);
+    EXPECT_EQ("status-json", status.text("format"));
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(status.text("payload"), doc, error))
+        << error;
+    EXPECT_EQ("clearsim-status-v1", doc.find("schema")->text);
+    const JsonValue *jobs = doc.find("jobs");
+    ASSERT_NE(nullptr, jobs);
+    ASSERT_EQ(1u, jobs->items.size());
+    EXPECT_EQ("done", jobs->items[0].find("state")->text);
+
+    // An unknown id is an error, not an empty list.
+    ASSERT_TRUE(connection->send(
+        simpleRequest("status", "no-such-job"), error))
+        << error;
+    WireMessage reply;
+    ASSERT_TRUE(connection->receive(reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+}
+
+TEST_F(DaemonTest, LivelockFailureLandsInTheDeadLetterQueue)
+{
+    auto connection = client();
+    const WireMessage outcome = transact(
+        *connection,
+        runRequest(kLivelockConfig, "mwobject", 1000000, 4, 4));
+    ASSERT_EQ("failed", outcome.type);
+    EXPECT_NE(std::string::npos,
+              outcome.text("error").find("global-progress"));
+    const std::string repro = outcome.text("repro");
+    ASSERT_FALSE(repro.empty());
+
+    // The failure is on disk, listed with the same repro string.
+    const WireMessage list =
+        transact(*connection, simpleRequest("dlq-list"));
+    ASSERT_EQ("result", list.type);
+    EXPECT_EQ("dlq-json", list.text("format"));
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(list.text("payload"), doc, error))
+        << error;
+    ASSERT_EQ(1u, doc.find("entries")->items.size());
+    EXPECT_EQ(repro,
+              doc.find("entries")->items[0].find("repro")->text);
+
+    // Replaying the queue reproduces the identical failure.
+    const WireMessage replay =
+        transact(*connection, simpleRequest("dlq-replay"));
+    ASSERT_EQ("result", replay.type);
+    ASSERT_TRUE(parseJson(replay.text("payload"), doc, error))
+        << error;
+    ASSERT_EQ(1u, doc.find("replays")->items.size());
+    const JsonValue &verdict = doc.find("replays")->items[0];
+    EXPECT_TRUE(verdict.find("reproduced")->boolean);
+    EXPECT_TRUE(verdict.find("sameError")->boolean);
+
+    // And the queue is drainable.
+    ASSERT_EQ("result",
+              transact(*connection, simpleRequest("dlq-clear"))
+                  .type);
+    const WireMessage empty =
+        transact(*connection, simpleRequest("dlq-list"));
+    ASSERT_TRUE(parseJson(empty.text("payload"), doc, error));
+    EXPECT_TRUE(doc.find("entries")->items.empty());
+}
+
+TEST_F(DaemonTest, FailedJobsAreNotDeduped)
+{
+    // A retry of a failed spec must execute again (and fail
+    // again), not be answered from a remembered failure.
+    auto connection = client();
+    const std::string request =
+        runRequest(kLivelockConfig, "mwobject", 1000000, 4, 4);
+    ASSERT_EQ("failed", transact(*connection, request).type);
+
+    std::vector<WireMessage> events;
+    const WireMessage again =
+        transact(*connection, request, &events);
+    EXPECT_EQ("failed", again.type);
+    const WireMessage *ack = ackOf(events);
+    ASSERT_NE(nullptr, ack);
+    EXPECT_EQ("queued", ack->text("state"));
+}
+
+TEST_F(DaemonTest, InvalidRequestsAreRejectedWithoutExecution)
+{
+    auto connection = client();
+    std::string error;
+
+    // Unknown workload.
+    ASSERT_TRUE(connection->send(
+        runRequest("B", "no-such-workload", 4, 2, 2), error));
+    WireMessage reply;
+    ASSERT_TRUE(connection->receive(reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+
+    // Unknown config spec.
+    ASSERT_TRUE(connection->send(
+        runRequest("Z+bogus", "mwobject", 4, 2, 2), error));
+    ASSERT_TRUE(connection->receive(reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+
+    // Out-of-range threads.
+    ASSERT_TRUE(connection->send(
+        runRequest("B", "mwobject", 4, 100000, 2), error));
+    ASSERT_TRUE(connection->receive(reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+
+    // The connection survives request-level errors.
+    EXPECT_EQ("result",
+              transact(*connection, simpleRequest("catalogue"))
+                  .type);
+}
+
+TEST_F(DaemonTest, FirstFrameMustBeHello)
+{
+    const int fd = rawConnect();
+    std::string error;
+    ASSERT_TRUE(
+        writeWireFrame(fd, simpleRequest("catalogue"), error));
+    std::string payload;
+    ASSERT_TRUE(readWireFrame(fd, payload, error)) << error;
+    WireMessage reply;
+    ASSERT_TRUE(parseWireMessage(payload, reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+    // The server closes after the protocol violation.
+    EXPECT_FALSE(readWireFrame(fd, payload, error));
+    ::close(fd);
+}
+
+TEST_F(DaemonTest, UnknownProtocolVersionIsRejected)
+{
+    const int fd = rawConnect();
+    std::string hello;
+    {
+        JsonWriter w(hello);
+        w.beginObject();
+        w.key("schema");
+        w.value(kWireSchema);
+        w.key("type");
+        w.value("hello");
+        w.key("versions");
+        w.beginArray();
+        w.value("clearsimd-wire-v999");
+        w.endArray();
+        w.endObject();
+    }
+    std::string error;
+    ASSERT_TRUE(writeWireFrame(fd, hello, error));
+    std::string payload;
+    ASSERT_TRUE(readWireFrame(fd, payload, error)) << error;
+    WireMessage reply;
+    ASSERT_TRUE(parseWireMessage(payload, reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+    ::close(fd);
+}
+
+TEST_F(DaemonTest, UnknownFieldEndsTheConnection)
+{
+    auto connection = client();
+    std::string error;
+    ASSERT_TRUE(connection->send(
+        R"({"schema":"clearsimd-wire-v1","type":"run",)"
+        R"("workload":"mwobject","priority":"high"})",
+        error));
+    WireMessage reply;
+    ASSERT_TRUE(connection->receive(reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+    // Fail closed: the connection is cut, not accommodated.
+    EXPECT_FALSE(connection->receive(reply, error));
+}
+
+TEST_F(DaemonTest, MalformedJsonEndsTheConnection)
+{
+    auto connection = client();
+    std::string error;
+    ASSERT_TRUE(connection->send("{\"schema\": \xff garbage",
+                                 error));
+    WireMessage reply;
+    ASSERT_TRUE(connection->receive(reply, error)) << error;
+    EXPECT_EQ("error", reply.type);
+    EXPECT_FALSE(connection->receive(reply, error));
+}
+
+} // namespace
+} // namespace clearsim

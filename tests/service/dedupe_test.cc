@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Dedupe tests: canonical job identity and the classify lifecycle,
+ * including the read-through to the on-disk sweep cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "harness/sweep_cache.hh"
+#include "service/dedupe.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.opsPerThread = 8;
+    params.seed = 7;
+    params.scale = 2;
+    return params;
+}
+
+TEST(DedupeIds, RunIdIsTheCanonicalReproString)
+{
+    const std::string id = runJobId("B", "mwobject", 4,
+                                    smallParams());
+    EXPECT_EQ("run:repro{workload=mwobject;config=B:maxRetries=4;"
+              "threads=4;ops=8;scale=2;seed=7}",
+              id);
+}
+
+TEST(DedupeIds, AnalyzeIdDiffersFromRunIdOnlyInKind)
+{
+    const std::string run = runJobId("C", "bst", 2, smallParams());
+    const std::string analyze =
+        analyzeJobId("C", "bst", 2, smallParams());
+    EXPECT_NE(run, analyze);
+    EXPECT_EQ(0u, run.find("run:"));
+    EXPECT_EQ(0u, analyze.find("analyze:"));
+    EXPECT_EQ(run.substr(4), analyze.substr(8));
+}
+
+TEST(DedupeIds, EveryParameterIsIdentityRelevant)
+{
+    const std::string base = runJobId("B", "mwobject", 4,
+                                      smallParams());
+    EXPECT_NE(base, runJobId("C", "mwobject", 4, smallParams()));
+    EXPECT_NE(base, runJobId("B", "bst", 4, smallParams()));
+    EXPECT_NE(base, runJobId("B", "mwobject", 5, smallParams()));
+    WorkloadParams params = smallParams();
+    params.seed = 8;
+    EXPECT_NE(base, runJobId("B", "mwobject", 4, params));
+}
+
+TEST(DedupeIds, SweepIdIsTheOptionsHashInFixedWidthHex)
+{
+    SweepOptions opts;
+    opts.configs = {"B", "C"};
+    opts.workloads = {"mwobject"};
+    char expected[32];
+    std::snprintf(expected, sizeof expected, "sweep{%016" PRIx64 "}",
+                  sweepOptionsHash(opts));
+    EXPECT_EQ(expected, sweepJobId(opts));
+
+    // The job count never affects results, so it must not affect
+    // identity either — that is what lets a jobs=1 and a jobs=8
+    // request dedupe into one execution.
+    SweepOptions other = opts;
+    other.jobs = 8;
+    EXPECT_EQ(sweepJobId(opts), sweepJobId(other));
+
+    other = opts;
+    other.seeds += 1;
+    EXPECT_NE(sweepJobId(opts), sweepJobId(other));
+}
+
+TEST(DedupeIds, StateNamesMatchTheWireProtocol)
+{
+    EXPECT_STREQ("queued", dedupeStateName(DedupeSource::None));
+    EXPECT_STREQ("dedup-inflight",
+                 dedupeStateName(DedupeSource::InFlight));
+    EXPECT_STREQ("dedup-cached",
+                 dedupeStateName(DedupeSource::Completed));
+    EXPECT_STREQ("dedup-disk",
+                 dedupeStateName(DedupeSource::DiskCache));
+}
+
+TEST(DedupeIndex, ClassifyFollowsTheJobLifecycle)
+{
+    DedupeIndex index;
+    const std::string id = runJobId("B", "mwobject", 4,
+                                    smallParams());
+    std::string format, payload;
+    EXPECT_EQ(DedupeSource::None,
+              index.classify(id, nullptr, format, payload));
+
+    index.markInFlight(id);
+    EXPECT_EQ(DedupeSource::InFlight,
+              index.classify(id, nullptr, format, payload));
+
+    index.markCompleted(id, "run-json", "{\"stats\":1}");
+    EXPECT_EQ(DedupeSource::Completed,
+              index.classify(id, nullptr, format, payload));
+    EXPECT_EQ("run-json", format);
+    EXPECT_EQ("{\"stats\":1}", payload);
+
+    // Forgetting (failed/cancelled) makes the spec runnable again.
+    index.forget(id);
+    EXPECT_EQ(DedupeSource::None,
+              index.classify(id, nullptr, format, payload));
+}
+
+TEST(DedupeIndex, SweepMissFallsThroughToTheDiskCache)
+{
+    const std::string dir = "/tmp/clearsim_dedupe_disk_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string cache = dir + "/sweep.csv";
+
+    SweepOptions opts;
+    opts.configs = {"B"};
+    opts.workloads = {"mwobject"};
+    opts.retryLimits = {1};
+    opts.seeds = 3;
+
+    // Plant a completed sweep on disk, the way a past daemon (or
+    // the CLI) would have left it.
+    CellSummary cell;
+    cell.workload = "mwobject";
+    cell.config = "B";
+    cell.bestRetryLimit = 1;
+    cell.cycles = 123.5;
+    cell.energy = 456.25;
+    cell.commits = 12;
+    SweepSummary summary;
+    summary[{"mwobject", "B"}] = cell;
+    SweepCacheStore store(cache);
+    store.store(opts, summary);
+
+    DedupeIndex index{SweepCacheStore(cache)};
+    const std::string id = sweepJobId(opts);
+    std::string format, payload;
+    EXPECT_EQ(DedupeSource::DiskCache,
+              index.classify(id, &opts, format, payload));
+    EXPECT_EQ("sweep-cache-csv", format);
+    EXPECT_EQ(serializeSweepCache(sweepOptionsHash(opts), summary),
+              payload);
+
+    // Different options hash to a different id: no false hit.
+    SweepOptions other = opts;
+    other.seeds = 4;
+    EXPECT_EQ(DedupeSource::None,
+              index.classify(sweepJobId(other), &other, format,
+                             payload));
+
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace clearsim

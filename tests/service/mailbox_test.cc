@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Mailbox tests: lane priority, FIFO order, client-lane
+ * backpressure and close semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "service/mailbox.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+Mail
+request(const std::string &tag)
+{
+    Mail mail;
+    mail.kind = MailKind::Request;
+    mail.payload = tag;
+    return mail;
+}
+
+Mail
+internalEvent(const std::string &tag)
+{
+    Mail mail;
+    mail.kind = MailKind::Progress;
+    mail.payload = tag;
+    return mail;
+}
+
+TEST(Mailbox, FifoWithinEachLane)
+{
+    Mailbox box;
+    ASSERT_TRUE(box.pushClient(request("a")));
+    ASSERT_TRUE(box.pushClient(request("b")));
+    ASSERT_TRUE(box.pushClient(request("c")));
+    Mail out;
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("a", out.payload);
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("b", out.payload);
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("c", out.payload);
+}
+
+TEST(Mailbox, InternalLaneHasPriority)
+{
+    // The executor must always be able to get through ahead of
+    // queued client requests — that is what makes blocking the
+    // client lane deadlock-free.
+    Mailbox box;
+    ASSERT_TRUE(box.pushClient(request("client")));
+    ASSERT_TRUE(box.pushInternal(internalEvent("internal")));
+    Mail out;
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("internal", out.payload);
+    EXPECT_EQ(MailKind::Progress, out.kind);
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("client", out.payload);
+}
+
+TEST(Mailbox, ClientLaneBlocksAtCapacityUntilPopped)
+{
+    Mailbox box(2);
+    ASSERT_TRUE(box.pushClient(request("1")));
+    ASSERT_TRUE(box.pushClient(request("2")));
+
+    std::atomic<bool> third_landed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(box.pushClient(request("3")));
+        third_landed = true;
+    });
+
+    // The lane is full: the producer must stay blocked.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(third_landed.load());
+
+    Mail out;
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("1", out.payload);
+    producer.join();
+    EXPECT_TRUE(third_landed.load());
+
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("2", out.payload);
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("3", out.payload);
+}
+
+TEST(Mailbox, InternalPushNeverBlocks)
+{
+    Mailbox box(1);
+    ASSERT_TRUE(box.pushClient(request("fills the lane")));
+    // Far past the client capacity; none of these may block.
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(box.pushInternal(internalEvent("e")));
+}
+
+TEST(Mailbox, CloseDrainsBacklogThenReportsClosed)
+{
+    Mailbox box;
+    ASSERT_TRUE(box.pushClient(request("a")));
+    ASSERT_TRUE(box.pushInternal(internalEvent("b")));
+    box.close();
+    EXPECT_TRUE(box.closed());
+
+    // Pushes after close are dropped...
+    EXPECT_FALSE(box.pushClient(request("late")));
+    EXPECT_FALSE(box.pushInternal(internalEvent("late")));
+
+    // ...but the backlog is still readable, internal first.
+    Mail out;
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("b", out.payload);
+    ASSERT_TRUE(box.pop(out));
+    EXPECT_EQ("a", out.payload);
+    EXPECT_FALSE(box.pop(out));
+}
+
+TEST(Mailbox, CloseWakesABlockedProducer)
+{
+    Mailbox box(1);
+    ASSERT_TRUE(box.pushClient(request("full")));
+    std::thread producer([&] {
+        EXPECT_FALSE(box.pushClient(request("dropped")));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.close();
+    producer.join();
+}
+
+TEST(Mailbox, CloseWakesABlockedConsumer)
+{
+    Mailbox box;
+    std::thread consumer([&] {
+        Mail out;
+        EXPECT_FALSE(box.pop(out));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.close();
+    consumer.join();
+}
+
+TEST(Mailbox, PopForTimesOutOnAnEmptyBox)
+{
+    Mailbox box;
+    Mail out;
+    EXPECT_FALSE(box.popFor(out, 10));
+    ASSERT_TRUE(box.pushClient(request("now")));
+    EXPECT_TRUE(box.popFor(out, 10));
+    EXPECT_EQ("now", out.payload);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Service-layer determinism: a sweep served by clearsimd over the
+ * wire is byte-identical to the same sweep run by the engine
+ * in-process — for any job count on either side.
+ *
+ * This extends the parallel-executor contract (ctest -L
+ * determinism) across the daemon: framing, scheduling, streaming
+ * and caching must all be transparent to the bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/json.hh"
+#include "harness/sweep_cache.hh"
+#include "harness/sweep_engine.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/wire.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SweepOptions
+smallSweep(unsigned jobs)
+{
+    SweepOptions opts;
+    opts.configs = {"B", "C"};
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 3;
+    opts.params.opsPerThread = 4;
+    opts.jobs = jobs;
+    return opts;
+}
+
+std::string
+sweepRequest(const SweepOptions &opts)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value("sweep");
+    w.key("configs");
+    w.beginArray();
+    for (const std::string &spec : opts.configs)
+        w.value(spec);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const std::string &name : opts.workloads)
+        w.value(name);
+    w.endArray();
+    w.key("retries");
+    w.beginArray();
+    for (unsigned limit : opts.retryLimits)
+        w.value(limit);
+    w.endArray();
+    w.key("seeds");
+    w.value(opts.seeds);
+    w.key("ops");
+    w.value(opts.params.opsPerThread);
+    w.key("jobs");
+    w.value(opts.jobs);
+    w.endObject();
+    return out;
+}
+
+/** One daemon in @p dir serving @p opts; returns the payload. */
+std::string
+sweepThroughDaemon(const std::string &dir, const SweepOptions &opts)
+{
+    Daemon::Options options;
+    options.socketPath = dir + "/d.sock";
+    options.scheduler.cachePath = dir + "/cache.csv";
+    options.scheduler.dlqPath = dir + "/dlq.jsonl";
+    Daemon daemon(options);
+
+    ClientConnection connection;
+    std::string error;
+    EXPECT_TRUE(connection.connect(options.socketPath, error))
+        << error;
+    EXPECT_TRUE(connection.send(sweepRequest(opts), error))
+        << error;
+    WireMessage outcome;
+    EXPECT_TRUE(connection.waitForOutcome(outcome, error)) << error;
+    EXPECT_EQ("result", outcome.type) << outcome.text("message");
+    return outcome.text("payload");
+}
+
+TEST(ServiceDeterminism, WirePayloadMatchesTheEngineForAnyJobCount)
+{
+    const std::string dir = "/tmp/clearsim_service_determinism";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir + "/serial");
+    std::filesystem::create_directories(dir + "/parallel");
+
+    // Ground truth: the engine in-process, serial execution.
+    const SweepOptions serial = smallSweep(1);
+    const SweepOutcome local =
+        runSweepGrid(serial, {}, SweepObserver{});
+    ASSERT_FALSE(local.cancelled);
+    SweepSummary summary;
+    for (const auto &[key, cell] : local.cells) {
+        ASSERT_FALSE(cell.failed) << cell.error;
+        summary[key] = CellSummary::fromCell(cell);
+    }
+    const std::string expected =
+        serializeSweepCache(sweepOptionsHash(serial), summary);
+
+    // The daemon at jobs=1 and jobs=4 must both serve exactly
+    // those bytes. (The job count is excluded from sweep identity,
+    // so each daemon gets its own cache directory to force a real
+    // execution.)
+    EXPECT_EQ(expected,
+              sweepThroughDaemon(dir + "/serial", smallSweep(1)));
+    EXPECT_EQ(expected,
+              sweepThroughDaemon(dir + "/parallel", smallSweep(4)));
+
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Wire-protocol tests: framing edge cases and the strict,
+ * fail-closed message validation of clearsimd-wire-v1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unistd.h>
+
+#include "service/wire.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** A connected fd pair the framing helpers can run over. */
+struct Pipe
+{
+    int fds[2] = {-1, -1};
+
+    Pipe() { EXPECT_EQ(0, ::pipe(fds)); }
+
+    ~Pipe()
+    {
+        closeRead();
+        closeWrite();
+    }
+
+    void
+    closeRead()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        fds[0] = -1;
+    }
+
+    void
+    closeWrite()
+    {
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        fds[1] = -1;
+    }
+
+    int readFd() const { return fds[0]; }
+    int writeFd() const { return fds[1]; }
+};
+
+TEST(WireFraming, RoundTripsOneFrame)
+{
+    Pipe pipe;
+    std::string error;
+    ASSERT_TRUE(writeWireFrame(pipe.writeFd(), "hello bytes",
+                               error));
+    std::string payload;
+    ASSERT_TRUE(readWireFrame(pipe.readFd(), payload, error));
+    EXPECT_EQ("hello bytes", payload);
+}
+
+TEST(WireFraming, RoundTripsBinaryPayload)
+{
+    Pipe pipe;
+    std::string error;
+    std::string bytes("\x00\x01\xff\n\r\x80", 6);
+    ASSERT_TRUE(writeWireFrame(pipe.writeFd(), bytes, error));
+    std::string payload;
+    ASSERT_TRUE(readWireFrame(pipe.readFd(), payload, error));
+    EXPECT_EQ(bytes, payload);
+}
+
+TEST(WireFraming, CleanEofAtFrameBoundaryIsNotAnError)
+{
+    Pipe pipe;
+    pipe.closeWrite();
+    std::string payload, error;
+    EXPECT_FALSE(readWireFrame(pipe.readFd(), payload, error));
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(WireFraming, TruncatedHeaderIsAProtocolError)
+{
+    Pipe pipe;
+    const char partial[2] = {0, 0};
+    ASSERT_EQ(2, ::write(pipe.writeFd(), partial, 2));
+    pipe.closeWrite();
+    std::string payload, error;
+    EXPECT_FALSE(readWireFrame(pipe.readFd(), payload, error));
+    EXPECT_NE(std::string::npos, error.find("header"));
+}
+
+TEST(WireFraming, TruncatedPayloadIsAProtocolError)
+{
+    Pipe pipe;
+    // Header promises 10 bytes; only 4 arrive.
+    const unsigned char header[4] = {0, 0, 0, 10};
+    ASSERT_EQ(4, ::write(pipe.writeFd(), header, 4));
+    ASSERT_EQ(4, ::write(pipe.writeFd(), "abcd", 4));
+    pipe.closeWrite();
+    std::string payload, error;
+    EXPECT_FALSE(readWireFrame(pipe.readFd(), payload, error));
+    EXPECT_NE(std::string::npos, error.find("payload"));
+}
+
+TEST(WireFraming, ZeroLengthFrameIsRejected)
+{
+    Pipe pipe;
+    const unsigned char header[4] = {0, 0, 0, 0};
+    ASSERT_EQ(4, ::write(pipe.writeFd(), header, 4));
+    std::string payload, error;
+    EXPECT_FALSE(readWireFrame(pipe.readFd(), payload, error));
+    EXPECT_NE(std::string::npos, error.find("zero"));
+}
+
+TEST(WireFraming, OversizedFrameIsRejectedFromTheHeaderAlone)
+{
+    Pipe pipe;
+    const std::uint32_t len = kWireMaxFrame + 1;
+    const unsigned char header[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len)};
+    ASSERT_EQ(4, ::write(pipe.writeFd(), header, 4));
+    std::string payload, error;
+    EXPECT_FALSE(readWireFrame(pipe.readFd(), payload, error));
+    EXPECT_NE(std::string::npos, error.find("limit"));
+}
+
+TEST(WireMessages, EveryBuilderOutputParses)
+{
+    const std::string frames[] = {
+        wireHello(),
+        wireHelloOk(kWireSchema),
+        wireAck("tag", "job-1", "queued"),
+        wireProgress("job-1", 3, 10),
+        wireCell("job-1", "w,B,1,1,1"),
+        wireResult("job-1", "sweep-cache-csv", "payload"),
+        wireFailed("job-1", "boom", "repro{...}"),
+        wireFailed("job-1", "boom", ""),
+        wireCancelled("job-1"),
+        wireError("tag", "bad request"),
+    };
+    for (const std::string &frame : frames) {
+        WireMessage msg;
+        std::string error;
+        EXPECT_TRUE(parseWireMessage(frame, msg, error))
+            << frame << ": " << error;
+    }
+}
+
+TEST(WireMessages, BuildersAreByteDeterministic)
+{
+    EXPECT_EQ(wireAck("t", "id", "queued"),
+              wireAck("t", "id", "queued"));
+    EXPECT_EQ(wireHello(), wireHello());
+    EXPECT_EQ(wireProgress("id", 1, 2), wireProgress("id", 1, 2));
+}
+
+TEST(WireMessages, AccessorsReadTheParsedBody)
+{
+    WireMessage msg;
+    std::string error;
+    ASSERT_TRUE(parseWireMessage(wireProgress("job-9", 7, 42), msg,
+                                 error))
+        << error;
+    EXPECT_EQ("progress", msg.type);
+    EXPECT_EQ("job-9", msg.text("id"));
+    EXPECT_EQ(7u, msg.number("done"));
+    EXPECT_EQ(42u, msg.number("total"));
+    EXPECT_EQ(0u, msg.number("absent"));
+    EXPECT_EQ(5u, msg.number("absent", 5));
+    EXPECT_EQ("", msg.text("absent"));
+    EXPECT_TRUE(msg.textList("absent").empty());
+
+    ASSERT_TRUE(parseWireMessage(wireHello(), msg, error));
+    const std::vector<std::string> versions =
+        msg.textList("versions");
+    ASSERT_EQ(1u, versions.size());
+    EXPECT_EQ(kWireSchema, versions[0]);
+}
+
+TEST(WireMessages, RejectsUnknownSchema)
+{
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(parseWireMessage(
+        R"({"schema":"clearsimd-wire-v999","type":"hello"})", msg,
+        error));
+    EXPECT_NE(std::string::npos, error.find("schema"));
+}
+
+TEST(WireMessages, RejectsMissingSchema)
+{
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(
+        parseWireMessage(R"({"type":"hello"})", msg, error));
+}
+
+TEST(WireMessages, RejectsUnknownType)
+{
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(parseWireMessage(
+        R"({"schema":"clearsimd-wire-v1","type":"frobnicate"})",
+        msg, error));
+    EXPECT_NE(std::string::npos, error.find("frobnicate"));
+}
+
+TEST(WireMessages, RejectsUnknownField)
+{
+    // Fail closed: an old server must never silently drop a field
+    // a newer client considered meaningful.
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(parseWireMessage(
+        R"({"schema":"clearsimd-wire-v1","type":"run",)"
+        R"("workload":"mwobject","priority":"high"})",
+        msg, error));
+    EXPECT_NE(std::string::npos, error.find("priority"));
+}
+
+TEST(WireMessages, RejectsFieldFromAnotherMessageType)
+{
+    // "state" belongs to ack, not to cancel.
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(parseWireMessage(
+        R"({"schema":"clearsimd-wire-v1","type":"cancel",)"
+        R"("id":"x","state":"queued"})",
+        msg, error));
+    EXPECT_NE(std::string::npos, error.find("state"));
+}
+
+TEST(WireMessages, RejectsNonObjectPayloads)
+{
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(parseWireMessage("[1,2,3]", msg, error));
+    EXPECT_FALSE(parseWireMessage("\"hello\"", msg, error));
+    EXPECT_FALSE(parseWireMessage("42", msg, error));
+}
+
+TEST(WireMessages, RejectsMalformedJson)
+{
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(parseWireMessage("{\"schema\":", msg, error));
+    EXPECT_FALSE(parseWireMessage("", msg, error));
+    EXPECT_FALSE(parseWireMessage("\xff\xfe", msg, error));
+}
+
+} // namespace
+} // namespace clearsim

@@ -65,6 +65,14 @@ struct CliOptions
     std::string statsJsonPath;
     std::string traceOutPath;
     std::string traceFormat = "jsonl";
+
+    /**
+     * --sweep <file>: run the CLEARSIM_*-configured sweep through
+     * the shared engine and write the cache CSV there. The same
+     * bytes a clearsimd sweep of the same options streams — the CI
+     * byte-identity gate is `cmp` between the two.
+     */
+    std::string sweepOutPath;
 };
 
 std::vector<std::string>
@@ -106,6 +114,8 @@ usage()
         "  --trace-out <f>  write the trace-event stream to <f>\n"
         "  --trace-format <jsonl|chrome>  --trace-out format\n"
         "                   (default jsonl; chrome loads in Perfetto)\n"
+        "  --sweep <f>      run the CLEARSIM_*-configured sweep\n"
+        "                   and write the cache CSV to <f>\n"
         "  --no-verify      skip invariant checking\n"
         "  --list-configs   list config presets/modifiers and exit\n"
         "  --list-workloads list workloads and exit (alias: --list)\n");
@@ -125,17 +135,30 @@ listWorkloads()
 listConfigs()
 {
     const ConfigRegistry &reg = ConfigRegistry::instance();
+
+    // Size the name column to the longest entry across all three
+    // sections so long modifier names (the fault plans) don't shove
+    // their descriptions out of the shared column.
+    std::size_t width = 0;
+    for (const ConfigPreset &p : reg.presets())
+        width = std::max(width, p.name.size());
+    for (const ConfigModifier &m : reg.modifiers())
+        width = std::max(width, m.name.size() + 1);
+    for (const ConfigOverrideKey &k : reg.overrideKeys())
+        width = std::max(width, k.name.size() + 1);
+    const int col = static_cast<int>(width);
+
     std::printf("presets:\n");
     for (const ConfigPreset &p : reg.presets())
-        std::printf("  %-16s %s\n", p.name.c_str(),
+        std::printf("  %-*s  %s\n", col, p.name.c_str(),
                     p.description.c_str());
     std::printf("modifiers (append as +name):\n");
     for (const ConfigModifier &m : reg.modifiers())
-        std::printf("  +%-15s %s\n", m.name.c_str(),
+        std::printf("  %-*s  %s\n", col, ("+" + m.name).c_str(),
                     m.description.c_str());
     std::printf("overrides (append as :key=value):\n");
     for (const ConfigOverrideKey &k : reg.overrideKeys())
-        std::printf("  :%-15s %s\n", k.name.c_str(),
+        std::printf("  %-*s  %s\n", col, (":" + k.name).c_str(),
                     k.description.c_str());
     std::printf("spec grammar: preset[+modifier...][:key=value...]\n"
                 "  e.g. C+scl-all-reads, B:maxRetries=8, "
@@ -237,6 +260,8 @@ parseArgs(int argc, char **argv)
                              "jsonl or chrome\n");
                 std::exit(2);
             }
+        } else if (arg == "--sweep") {
+            opts.sweepOutPath = value();
         } else if (arg == "--no-verify") {
             opts.verify = false;
         } else if (arg == "--list" || arg == "--list-workloads") {
@@ -257,6 +282,44 @@ main(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
     validateCliSelections(opts);
+
+    if (!opts.sweepOutPath.empty()) {
+        // Sweep mode: the CLI is a thin client of the same engine
+        // path clearsimd drives, so the written bytes are the
+        // byte-identity reference for the service CI gate.
+        const SweepOptions sweep = SweepOptions::fromEnv();
+        const SweepOutcome outcome =
+            runSweepGrid(sweep, {}, SweepObserver{});
+        SweepSummary cells;
+        bool any_failed = false;
+        for (const auto &[key, cell] : outcome.cells) {
+            if (cell.failed) {
+                any_failed = true;
+                std::fprintf(stderr,
+                             "clearsim_cli: FAILED %s/%s: %s\n"
+                             "  repro: %s\n",
+                             cell.workload.c_str(),
+                             cell.config.c_str(),
+                             cell.error.c_str(),
+                             cell.repro.c_str());
+                continue;
+            }
+            cells[key] = CellSummary::fromCell(cell);
+        }
+        if (any_failed)
+            fatal("--sweep: the sweep had failing cells");
+        const std::string bytes = serializeSweepCache(
+            sweepOptionsHash(sweep), cells);
+        std::ofstream out(opts.sweepOutPath,
+                          std::ios::binary | std::ios::trunc);
+        out << bytes;
+        if (!out)
+            fatal("--sweep: cannot write %s",
+                  opts.sweepOutPath.c_str());
+        logStatus("[clearsim] wrote %zu sweep cells to %s",
+                  cells.size(), opts.sweepOutPath.c_str());
+        return 0;
+    }
 
     if (opts.analyze) {
         // Analysis mode: capture runs + static passes, no

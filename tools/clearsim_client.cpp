@@ -1,0 +1,386 @@
+/**
+ * @file
+ * clearsim_client: command-line client for clearsimd.
+ *
+ *   clearsim_client --socket S catalogue
+ *   clearsim_client --socket S run --workload genome --config C
+ *   clearsim_client --socket S sweep --configs B,C \
+ *       --workloads genome,bst --retries 1,2,4 --out sweep.csv
+ *   clearsim_client --socket S status [--id <job>]
+ *   clearsim_client --socket S cancel --id <job>
+ *   clearsim_client --socket S dlq-list | dlq-replay | dlq-clear
+ *
+ * Streams progress and cells to stderr while the job runs, writes
+ * the terminal payload to --out (default stdout), and exits 0 on
+ * success, 3 when the job failed, 4 when it was cancelled.
+ *
+ * The sweep payload is the sweep-cache CSV, byte-identical to what
+ * clearsim_cli --sweep produces locally for the same options —
+ * `cmp` is the whole verification story.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "service/client.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: clearsim_client [--socket <path>] <command> "
+        "[options]\n"
+        "commands:\n"
+        "  catalogue        config/workload discovery document\n"
+        "  run              one simulation (--workload required)\n"
+        "  analyze          ahead-of-run analysis (--workload req.)\n"
+        "  sweep            a (configs x workloads) sweep\n"
+        "  status           job table (all jobs, or --id <job>)\n"
+        "  cancel           cancel an in-flight job (--id <job>)\n"
+        "  dlq-list         dead-letter queue contents\n"
+        "  dlq-replay       re-execute every dead-lettered point\n"
+        "  dlq-clear        drop every dead-letter entry\n"
+        "options:\n"
+        "  --socket <path>  daemon socket (default clearsimd.sock)\n"
+        "  --out <file>     write the result payload to <file>\n"
+        "  --tag <text>     request tag echoed in acks/errors\n"
+        "  --quiet          no progress/cell streaming to stderr\n"
+        "run/analyze:  --config <spec> --workload <name>\n"
+        "              --retries --threads --ops --scale --seed <n>\n"
+        "sweep:        --configs a,b --workloads a,b --retries 1,2\n"
+        "              --seeds --trim --ops --threads --scale\n"
+        "              --jobs <n>\n");
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+struct ClientOptions
+{
+    std::string socket = "clearsimd.sock";
+    std::string command;
+    std::string out;
+    std::string tag;
+    std::string id;
+    bool quiet = false;
+
+    std::string config;
+    std::string workload;
+    std::vector<std::string> configs;
+    std::vector<std::string> workloads;
+    std::vector<std::uint64_t> retriesList;
+    bool haveRetries = false;
+    std::uint64_t retries = 0, threads = 0, ops = 0, scale = 0,
+                  seed = 0, seeds = 0, trim = 0, jobs = 0;
+    bool haveThreads = false, haveOps = false, haveScale = false,
+         haveSeed = false, haveSeeds = false, haveTrim = false,
+         haveJobs = false;
+};
+
+/** Build the request payload for the parsed command. */
+std::string
+buildRequest(const ClientOptions &opts)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value(opts.command);
+    if (!opts.tag.empty()) {
+        w.key("tag");
+        w.value(opts.tag);
+    }
+    if (opts.command == "run" || opts.command == "analyze") {
+        if (!opts.config.empty()) {
+            w.key("config");
+            w.value(opts.config);
+        }
+        w.key("workload");
+        w.value(opts.workload);
+        if (opts.haveRetries) {
+            w.key("retries");
+            w.value(opts.retries);
+        }
+        if (opts.haveThreads) {
+            w.key("threads");
+            w.value(opts.threads);
+        }
+        if (opts.haveOps) {
+            w.key("ops");
+            w.value(opts.ops);
+        }
+        if (opts.haveScale) {
+            w.key("scale");
+            w.value(opts.scale);
+        }
+        if (opts.haveSeed) {
+            w.key("seed");
+            w.value(opts.seed);
+        }
+    } else if (opts.command == "sweep") {
+        if (!opts.configs.empty()) {
+            w.key("configs");
+            w.beginArray();
+            for (const std::string &spec : opts.configs)
+                w.value(spec);
+            w.endArray();
+        }
+        if (!opts.workloads.empty()) {
+            w.key("workloads");
+            w.beginArray();
+            for (const std::string &name : opts.workloads)
+                w.value(name);
+            w.endArray();
+        }
+        if (opts.haveRetries) {
+            w.key("retries");
+            w.beginArray();
+            for (std::uint64_t limit : opts.retriesList)
+                w.value(limit);
+            w.endArray();
+        }
+        if (opts.haveSeeds) {
+            w.key("seeds");
+            w.value(opts.seeds);
+        }
+        if (opts.haveTrim) {
+            w.key("trim");
+            w.value(opts.trim);
+        }
+        if (opts.haveOps) {
+            w.key("ops");
+            w.value(opts.ops);
+        }
+        if (opts.haveThreads) {
+            w.key("threads");
+            w.value(opts.threads);
+        }
+        if (opts.haveScale) {
+            w.key("scale");
+            w.value(opts.scale);
+        }
+        if (opts.haveJobs) {
+            w.key("jobs");
+            w.value(opts.jobs);
+        }
+    } else if (opts.command == "status" ||
+               opts.command == "cancel") {
+        if (!opts.id.empty()) {
+            w.key("id");
+            w.value(opts.id);
+        }
+    }
+    w.endObject();
+    return out;
+}
+
+void
+writePayload(const ClientOptions &opts, const std::string &payload)
+{
+    if (opts.out.empty()) {
+        std::fwrite(payload.data(), 1, payload.size(), stdout);
+        if (!payload.empty() && payload.back() != '\n')
+            std::fputc('\n', stdout);
+        return;
+    }
+    std::ofstream file(opts.out,
+                       std::ios::binary | std::ios::trunc);
+    file << payload;
+    if (!file)
+        fatal("cannot write %s", opts.out.c_str());
+    logStatus("[clearsim_client] wrote %zu bytes to %s",
+              payload.size(), opts.out.c_str());
+}
+
+ClientOptions
+parseArgs(int argc, char **argv)
+{
+    ClientOptions opts;
+    auto number = [](const std::string &text, const char *what) {
+        return parseUnsignedOrDie(
+            text.c_str(), what, 0,
+            std::numeric_limits<std::uint64_t>::max());
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socket = value();
+        } else if (arg == "--out") {
+            opts.out = value();
+        } else if (arg == "--tag") {
+            opts.tag = value();
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--id") {
+            opts.id = value();
+        } else if (arg == "--config") {
+            opts.config = value();
+        } else if (arg == "--workload") {
+            opts.workload = value();
+        } else if (arg == "--configs") {
+            opts.configs = splitList(value());
+        } else if (arg == "--workloads") {
+            opts.workloads = splitList(value());
+        } else if (arg == "--retries") {
+            const std::string v = value();
+            opts.haveRetries = true;
+            opts.retriesList.clear();
+            for (const std::string &item : splitList(v))
+                opts.retriesList.push_back(
+                    number(item, "--retries"));
+            opts.retries = opts.retriesList.empty()
+                               ? 0
+                               : opts.retriesList.front();
+        } else if (arg == "--threads") {
+            opts.threads = number(value(), "--threads");
+            opts.haveThreads = true;
+        } else if (arg == "--ops") {
+            opts.ops = number(value(), "--ops");
+            opts.haveOps = true;
+        } else if (arg == "--scale") {
+            opts.scale = number(value(), "--scale");
+            opts.haveScale = true;
+        } else if (arg == "--seed") {
+            opts.seed = number(value(), "--seed");
+            opts.haveSeed = true;
+        } else if (arg == "--seeds") {
+            opts.seeds = number(value(), "--seeds");
+            opts.haveSeeds = true;
+        } else if (arg == "--trim") {
+            opts.trim = number(value(), "--trim");
+            opts.haveTrim = true;
+        } else if (arg == "--jobs") {
+            opts.jobs = number(value(), "--jobs");
+            opts.haveJobs = true;
+        } else if (!arg.empty() && arg[0] != '-' &&
+                   opts.command.empty()) {
+            opts.command = arg;
+        } else {
+            usage();
+        }
+    }
+    if (opts.command.empty())
+        usage();
+    const bool known =
+        opts.command == "catalogue" || opts.command == "run" ||
+        opts.command == "analyze" || opts.command == "sweep" ||
+        opts.command == "status" || opts.command == "cancel" ||
+        opts.command == "dlq-list" ||
+        opts.command == "dlq-replay" ||
+        opts.command == "dlq-clear";
+    if (!known)
+        usage();
+    if ((opts.command == "run" || opts.command == "analyze") &&
+        opts.workload.empty()) {
+        std::fprintf(stderr,
+                     "clearsim_client: %s needs --workload\n",
+                     opts.command.c_str());
+        usage();
+    }
+    if (opts.command == "cancel" && opts.id.empty()) {
+        std::fprintf(stderr,
+                     "clearsim_client: cancel needs --id\n");
+        usage();
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ClientOptions opts = parseArgs(argc, argv);
+
+    ClientConnection connection;
+    std::string error;
+    if (!connection.connect(opts.socket, error))
+        fatal("%s", error.c_str());
+    if (!connection.send(buildRequest(opts), error))
+        fatal("%s", error.c_str());
+
+    // status/cancel acks are terminal for the client's purposes:
+    // cancel gets an "ack" (or "error"), status gets a "result".
+    if (opts.command == "cancel") {
+        WireMessage reply;
+        if (!connection.receive(reply, error))
+            fatal("%s", error.c_str());
+        if (reply.type == "error")
+            fatal("server: %s", reply.text("message").c_str());
+        logStatus("[clearsim_client] %s %s",
+                  reply.text("state").c_str(),
+                  reply.text("id").c_str());
+        return 0;
+    }
+
+    WireMessage outcome;
+    const auto on_event = [&opts](const WireMessage &event) {
+        if (opts.quiet)
+            return;
+        if (event.type == "ack")
+            logStatus("[clearsim_client] %s: %s",
+                      event.text("state").c_str(),
+                      event.text("id").c_str());
+        else if (event.type == "progress")
+            logStatus("[clearsim_client] progress %llu/%llu",
+                      static_cast<unsigned long long>(
+                          event.number("done")),
+                      static_cast<unsigned long long>(
+                          event.number("total")));
+        else if (event.type == "cell")
+            logStatus("[clearsim_client] cell %s",
+                      event.text("row").c_str());
+    };
+    if (!connection.waitForOutcome(outcome, error, on_event))
+        fatal("%s", error.empty() ? "connection closed"
+                                  : error.c_str());
+
+    if (outcome.type == "error")
+        fatal("server: %s", outcome.text("message").c_str());
+    if (outcome.type == "failed") {
+        std::fprintf(stderr, "clearsim_client: job failed: %s\n",
+                     outcome.text("error").c_str());
+        const std::string repro = outcome.text("repro");
+        if (!repro.empty())
+            std::fprintf(stderr, "  repro: %s\n", repro.c_str());
+        return 3;
+    }
+    if (outcome.type == "cancelled") {
+        std::fprintf(stderr, "clearsim_client: job cancelled\n");
+        return 4;
+    }
+    writePayload(opts, outcome.text("payload"));
+    return 0;
+}

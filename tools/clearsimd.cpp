@@ -1,0 +1,99 @@
+/**
+ * @file
+ * clearsimd: the clearsim experiment daemon.
+ *
+ * Listens on an AF_UNIX socket and serves run/sweep/analyze jobs
+ * over the clearsimd-wire-v1 protocol, with request deduplication
+ * (in-flight, in-memory and on-disk), incremental result streaming
+ * to any number of clients, and a persistent dead-letter queue for
+ * failed points. docs/SERVICE.md documents the protocol; talk to
+ * it with clearsim_client.
+ *
+ *   clearsimd --socket /tmp/clearsimd.sock --cache sweeps.csv \
+ *             --dlq dead_letters.jsonl --jobs 8
+ *
+ * The daemon runs in the foreground until SIGINT/SIGTERM; results
+ * it computes are byte-identical to clearsim_cli producing the
+ * same experiment locally.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "service/daemon.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+Daemon *g_daemon = nullptr;
+
+void
+onSignal(int)
+{
+    // async-signal-safe enough for a test daemon: stop() only
+    // touches sockets and threads, and is idempotent.
+    if (g_daemon)
+        g_daemon->stop();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: clearsimd [options]\n"
+        "  --socket <path>  AF_UNIX socket (default clearsimd.sock)\n"
+        "  --cache <path>   sweep cache CSV (default: CLEARSIM_CACHE\n"
+        "                   or ./clearsim_sweep_cache.csv)\n"
+        "  --dlq <path>     dead-letter queue JSONL\n"
+        "                   (default clearsimd_dlq.jsonl)\n"
+        "  --jobs <n>       worker threads per job (default: all\n"
+        "                   hardware threads)\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Daemon::Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.socketPath = value();
+        } else if (arg == "--cache") {
+            options.scheduler.cachePath = value();
+        } else if (arg == "--dlq") {
+            options.scheduler.dlqPath = value();
+        } else if (arg == "--jobs") {
+            options.scheduler.jobs =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--jobs", 0, 4096));
+        } else {
+            usage();
+        }
+    }
+
+    Daemon daemon(options);
+    g_daemon = &daemon;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    logStatus("[clearsimd] listening on %s",
+              daemon.socketPath().c_str());
+    daemon.wait();
+    logStatus("[clearsimd] shut down");
+    return 0;
+}
