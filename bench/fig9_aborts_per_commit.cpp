@@ -1,6 +1,7 @@
 /**
  * @file
- * Figure 9: aborts per committed transaction for B, P, C and W.
+ * Figure 9: aborts per committed transaction, one column per
+ * swept config (B, P, C, W and the adaptive A by default).
  *
  * Expected shape (paper averages): B 7.9, P 6.6, C 1.6, W 2.3.
  */
@@ -20,35 +21,44 @@ main()
     const SweepOptions opts = SweepOptions::fromEnv();
     const SweepSummary sweep = sweepWithCache(opts);
 
+    // One column per swept config (B, P, C, W and the adaptive A
+    // by default), so the figure follows CLEARSIM_CONFIGS.
+    const std::size_t ncfg = opts.configs.size();
+
     std::printf("Figure 9: Aborts per committed transaction\n\n");
-    std::printf("%-12s %8s %8s %8s %8s\n", "benchmark", "B", "P",
-                "C", "W");
+    std::printf("%-12s", "benchmark");
+    for (const std::string &config : opts.configs)
+        std::printf(" %8s", config.c_str());
+    std::printf("\n");
 
     CsvTable csv;
-    csv.header = {"benchmark", "B", "P", "C", "W"};
-    std::vector<double> avg[4];
+    csv.header.push_back("benchmark");
+    for (const std::string &config : opts.configs)
+        csv.header.push_back(config);
+    std::vector<std::vector<double>> avg(ncfg);
     for (const std::string &w : opts.workloads) {
-        double v[4];
-        for (unsigned i = 0; i < 4; ++i) {
+        std::vector<std::string> row{w};
+        std::printf("%-12s", w.c_str());
+        for (std::size_t i = 0; i < ncfg; ++i) {
             const CellSummary &cell =
                 sweep.at({w, opts.configs[i]});
-            v[i] = cell.commits
-                       ? static_cast<double>(cell.aborts) /
-                             static_cast<double>(cell.commits)
-                       : 0.0;
-            avg[i].push_back(v[i]);
+            const double v =
+                cell.commits
+                    ? static_cast<double>(cell.aborts) /
+                          static_cast<double>(cell.commits)
+                    : 0.0;
+            avg[i].push_back(v);
+            std::printf(" %8.2f", v);
+            row.push_back(formatFixed(v, 3));
         }
-        std::printf("%-12s %8.2f %8.2f %8.2f %8.2f\n", w.c_str(),
-                    v[0], v[1], v[2], v[3]);
-        csv.rows.push_back({w, formatFixed(v[0], 3),
-                            formatFixed(v[1], 3),
-                            formatFixed(v[2], 3),
-                            formatFixed(v[3], 3)});
+        std::printf("\n");
+        csv.rows.push_back(std::move(row));
     }
     maybeExportCsv("fig9_aborts_per_commit", csv);
-    std::printf("%-12s %8.2f %8.2f %8.2f %8.2f\n", "average",
-                mean(avg[0]), mean(avg[1]), mean(avg[2]),
-                mean(avg[3]));
+    std::printf("%-12s", "average");
+    for (std::size_t i = 0; i < ncfg; ++i)
+        std::printf(" %8.2f", mean(avg[i]));
+    std::printf("\n");
     std::printf("\npaper averages: B 7.9, P 6.6, C 1.6, W 2.3\n");
     return 0;
 }

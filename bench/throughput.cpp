@@ -2,7 +2,7 @@
  * @file
  * Simulator throughput benchmark: the tracked perf trajectory.
  *
- * Runs the fig8-shaped sweep grid (workloads x B/P/C/W configs x
+ * Runs the fig8-shaped sweep grid (workloads x B/P/C/W/A configs x
  * retry limits x seeds) point by point on the calling thread and
  * reports two throughput figures:
  *
@@ -22,7 +22,7 @@
  * Environment (validated like every other CLEARSIM_* knob):
  *   CLEARSIM_WORKLOADS / CLEARSIM_CONFIGS / CLEARSIM_RETRIES /
  *   CLEARSIM_SEEDS / CLEARSIM_OPS    grid override (defaults:
- *                                    all workloads, B,P,C,W,
+ *                                    all workloads, B,P,C,W,A,
  *                                    retries 1,4, 2 seeds, 16 ops)
  *   CLEARSIM_BENCH_REPS              timed repetitions (default 3)
  *   CLEARSIM_BENCH_WARMUP            warmup repetitions (default 1)
@@ -65,7 +65,7 @@ splitList(const char *value)
 struct Grid
 {
     std::vector<std::string> workloads;
-    std::vector<std::string> configs{"B", "P", "C", "W"};
+    std::vector<std::string> configs{"B", "P", "C", "W", "A"};
     std::vector<unsigned> retryLimits{1, 4};
     unsigned seeds = 2;
     unsigned ops = 16;
@@ -126,8 +126,7 @@ runGrid(const Grid &grid)
             for (unsigned retries : grid.retryLimits) {
                 SystemConfig cfg = makeConfigByName(config);
                 cfg.maxRetries = retries;
-                cfg.name = config + ":maxRetries=" +
-                           std::to_string(retries);
+                cfg.name = specWithRetryLimit(config, retries);
                 for (unsigned s = 0; s < grid.seeds; ++s) {
                     WorkloadParams params;
                     params.opsPerThread = grid.ops;

@@ -7,6 +7,30 @@ namespace clearsim
 {
 
 AnalyzeOutcome
+analyzeWithConfig(const SystemConfig &cfg,
+                  const std::string &workload_name,
+                  const WorkloadParams &params)
+{
+    AnalyzeOutcome outcome;
+    outcome.config = cfg;
+
+    System sys(cfg, params.seed);
+    RegionRecorder recorder(cfg);
+    sys.setRegionRecorder(&recorder);
+
+    auto workload = makeWorkload(workload_name, params);
+    outcome.cycles = runWorkloadThreads(sys, *workload);
+    outcome.dynamicStats = sys.stats();
+
+    const Analyzer analyzer(cfg);
+    outcome.analysis = analyzer.analyze(recorder.models());
+    outcome.analysis.workload = workload_name;
+    outcome.analysis.config = cfg.name;
+    outcome.analysis.seed = params.seed;
+    return outcome;
+}
+
+AnalyzeOutcome
 analyzeWorkload(const AnalyzeRequest &request)
 {
     SystemConfig cfg = makeConfigByName(request.config);
@@ -14,23 +38,37 @@ analyzeWorkload(const AnalyzeRequest &request)
     if (request.params.threads < cfg.numCores)
         cfg.numCores = request.params.threads;
 
-    AnalyzeOutcome outcome;
-    outcome.config = cfg;
-
-    System sys(cfg, request.params.seed);
-    RegionRecorder recorder(cfg);
-    sys.setRegionRecorder(&recorder);
-
-    auto workload = makeWorkload(request.workload, request.params);
-    outcome.cycles = runWorkloadThreads(sys, *workload);
-    outcome.dynamicStats = sys.stats();
-
-    const Analyzer analyzer(cfg);
-    outcome.analysis = analyzer.analyze(recorder.models());
-    outcome.analysis.workload = request.workload;
+    AnalyzeOutcome outcome =
+        analyzeWithConfig(cfg, request.workload, request.params);
+    // The report labels the analysis with the requested spec, not
+    // the resolved name (kept for the pinned golden files).
     outcome.analysis.config = request.config;
-    outcome.analysis.seed = request.params.seed;
     return outcome;
+}
+
+RegionVerdictMap
+verdictMap(const AnalysisResult &analysis)
+{
+    RegionVerdictMap verdicts;
+    for (const RegionAnalysis &region : analysis.regions) {
+        RegionVerdict verdict = RegionVerdict::Eligible;
+        switch (region.verdict) {
+        case Verdict::Eligible:
+            verdict = RegionVerdict::Eligible;
+            break;
+        case Verdict::CapacityDoomed:
+            verdict = RegionVerdict::CapacityDoomed;
+            break;
+        case Verdict::UnboundedIndirection:
+            verdict = RegionVerdict::UnboundedIndirection;
+            break;
+        case Verdict::LockOrderRisk:
+            verdict = RegionVerdict::LockOrderRisk;
+            break;
+        }
+        verdicts.emplace(region.pc, verdict);
+    }
+    return verdicts;
 }
 
 } // namespace clearsim

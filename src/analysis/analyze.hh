@@ -21,6 +21,7 @@
 
 #include "analysis/analyzer.hh"
 #include "htm/htm_stats.hh"
+#include "policy/region_policy.hh"
 #include "workloads/workload.hh"
 
 namespace clearsim
@@ -59,6 +60,25 @@ struct AnalyzeOutcome
 
 /** Run one capture and analyze it. fatal()s on unknown names. */
 AnalyzeOutcome analyzeWorkload(const AnalyzeRequest &request);
+
+/**
+ * Run one capture under exactly @p cfg — no spec re-resolution, no
+ * thread capping — and analyze it. This is the primitive behind
+ * analyzeWorkload() and the one the daemon and the adaptive preset
+ * use so that capture and measured run share one resolved config.
+ * outcome.analysis.config is set to cfg.name.
+ */
+AnalyzeOutcome analyzeWithConfig(const SystemConfig &cfg,
+                                 const std::string &workload,
+                                 const WorkloadParams &params);
+
+/**
+ * The analysis verdicts as a machine-usable map of region pc ->
+ * policy-layer RegionVerdict, the input RegionPolicyTable::
+ * fromVerdicts consumes (the policy library cannot see the
+ * analyzer's own Verdict enum, which layers above it).
+ */
+RegionVerdictMap verdictMap(const AnalysisResult &analysis);
 
 } // namespace clearsim
 

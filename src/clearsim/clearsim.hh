@@ -48,6 +48,7 @@
 #include "policy/backoff_policy.hh"
 #include "policy/config_registry.hh"
 #include "policy/conflict_policy.hh"
+#include "policy/region_policy.hh"
 #include "policy/policy_set.hh"
 #include "policy/retry_policy.hh"
 #include "sim/event_queue.hh"

@@ -1,5 +1,7 @@
 #include "common/config.hh"
 
+#include <string>
+
 namespace clearsim
 {
 
@@ -41,6 +43,104 @@ makeClearPowerConfig()
     cfg.clear.enabled = true;
     cfg.name = "W";
     return cfg;
+}
+
+SystemConfig
+makeAdaptiveConfig()
+{
+    // The adaptive preset starts from CLEAR (eligible regions run
+    // the full machinery) and turns on per-region verdict routing.
+    SystemConfig cfg = makeClearConfig();
+    cfg.adapt.enabled = true;
+    cfg.name = "A";
+    return cfg;
+}
+
+std::string
+canonicalConfigString(const SystemConfig &cfg)
+{
+    std::string out;
+    out.reserve(768);
+    auto field = [&out](const char *key, std::uint64_t value) {
+        out += key;
+        out += '=';
+        out += std::to_string(value);
+        out += ';';
+    };
+
+    out += "clearsim-config-v1{";
+    field("cores", cfg.numCores);
+
+    field("core.rob", cfg.core.robEntries);
+    field("core.lq", cfg.core.lqEntries);
+    field("core.sq", cfg.core.sqEntries);
+    field("core.regs", cfg.core.physRegs);
+    field("core.fetch", cfg.core.fetchWidth);
+    field("core.issue", cfg.core.issueWidth);
+    field("core.alu", cfg.core.aluLatency);
+
+    field("cache.l1s", cfg.cache.l1Sets);
+    field("cache.l1w", cfg.cache.l1Ways);
+    field("cache.l1lat", cfg.cache.l1Latency);
+    field("cache.l2s", cfg.cache.l2Sets);
+    field("cache.l2w", cfg.cache.l2Ways);
+    field("cache.l2lat", cfg.cache.l2Latency);
+    field("cache.l3s", cfg.cache.l3Sets);
+    field("cache.l3w", cfg.cache.l3Ways);
+    field("cache.l3lat", cfg.cache.l3Latency);
+    field("cache.mem", cfg.cache.memLatency);
+    field("cache.remote", cfg.cache.remoteLatency);
+    field("cache.dirsets", cfg.cache.dirSets);
+
+    field("scope", cfg.scope == SpeculationScope::InCore ? 0 : 1);
+    field("htm", cfg.htmPolicy == HtmPolicy::RequesterWins ? 0 : 1);
+    field("maxRetries", cfg.maxRetries);
+
+    field("clear.on", cfg.clear.enabled ? 1 : 0);
+    field("clear.ert", cfg.clear.ertEntries);
+    field("clear.alt", cfg.clear.altEntries);
+    field("clear.crt", cfg.clear.crtEntries);
+    field("clear.crtw", cfg.clear.crtWays);
+    field("clear.sqsat", cfg.clear.sqFullSaturation);
+    field("clear.sclreads", cfg.clear.sclLockAllReads ? 1 : 0);
+    field("clear.failed", cfg.clear.failedModeDiscovery ? 1 : 0);
+
+    field("t.abort", cfg.timing.abortPenalty);
+    field("t.lockretry", cfg.timing.lockRetryBackoff);
+    field("t.spin", cfg.timing.fallbackSpinInterval);
+    field("t.commit", cfg.timing.commitLatency);
+    field("t.begin", cfg.timing.beginLatency);
+    field("t.think", cfg.timing.thinkTimeMean);
+    field("t.backoff", cfg.timing.retryBackoffBase);
+
+    field("f.seed", cfg.fault.seed);
+    field("f.jitter", cfg.fault.eventJitterPermille);
+    field("f.jittermax", cfg.fault.eventJitterMax);
+    field("f.nack", cfg.fault.nackPermille);
+    field("f.retry", cfg.fault.retryPermille);
+    field("f.retrymax", cfg.fault.retryDelayExtraMax);
+    field("f.grant", cfg.fault.grantDeferPermille);
+    field("f.grantmax", cfg.fault.grantDeferMax);
+    field("f.evict", cfg.fault.evictPermille);
+    field("f.abort", cfg.fault.forcedAbortPermille);
+    field("f.flip", cfg.fault.conflictFlipPermille);
+    field("f.hold", cfg.fault.fallbackHoldExtra);
+    field("f.watchdog", cfg.fault.watchdog ? 1 : 0);
+    field("f.horizon", cfg.fault.horizon);
+
+    field("a.on", cfg.adapt.enabled ? 1 : 0);
+    field("a.eligible", static_cast<unsigned>(cfg.adapt.eligible));
+    field("a.capacity",
+          static_cast<unsigned>(cfg.adapt.capacityDoomed));
+    field("a.indirection",
+          static_cast<unsigned>(cfg.adapt.unboundedIndirection));
+    field("a.lockorder",
+          static_cast<unsigned>(cfg.adapt.lockOrderRisk));
+    field("a.retries", cfg.adapt.boundedRetries);
+
+    field("profile", cfg.profileMode ? 1 : 0);
+    out += '}';
+    return out;
 }
 
 } // namespace clearsim

@@ -16,6 +16,7 @@
 
 #include "common/types.hh"
 #include "fault/fault_config.hh"
+#include "policy/adapt_config.hh"
 
 namespace clearsim
 {
@@ -184,6 +185,14 @@ struct SystemConfig
     FaultConfig fault;
 
     /**
+     * Adaptive per-region policy (preset "A"): when enabled, the
+     * harness runs an analysis capture pass first and installs a
+     * RegionPolicyTable mapping each region's static verdict to an
+     * execution action (policy/adapt_config.hh).
+     */
+    AdaptConfig adapt;
+
+    /**
      * Measurement-only mode: keep executing after a conflict so the
      * complete cacheline footprint of an aborted attempt can be
      * recorded (the instrumentation behind Table 1 and Figure 1).
@@ -216,6 +225,18 @@ SystemConfig makeBaselineConfig();    ///< B: requester-wins
 SystemConfig makePowerTmConfig();     ///< P: PowerTM
 SystemConfig makeClearConfig();       ///< C: CLEAR over requester-wins
 SystemConfig makeClearPowerConfig();  ///< W: CLEAR over PowerTM
+SystemConfig makeAdaptiveConfig();    ///< A: per-region verdict-driven
+
+/**
+ * Canonical, semantics-complete rendering of a configuration: every
+ * execution-relevant field in a fixed order, independent of the spec
+ * text that produced it. Two specs that resolve to equal canonical
+ * strings are guaranteed to execute identically, which is what the
+ * daemon's dedupe layer hashes (spec texts such as "C+watchdog" and
+ * "C:fault.watchdog=1" canonicalize to the same bytes). The name
+ * field is deliberately excluded.
+ */
+std::string canonicalConfigString(const SystemConfig &cfg);
 
 /**
  * Build a configuration from a ConfigRegistry spec string such as

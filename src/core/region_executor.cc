@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "fault/fault_injector.hh"
+#include "policy/region_policy.hh"
 
 namespace clearsim
 {
@@ -179,6 +180,19 @@ RegionExecutor::runRegion(RegionPc pc)
 
     tx.beginInvocation(pc);
 
+    // Adaptive per-region policy (preset "A"): the decision that
+    // the capture pass resolved for this region overrides the retry
+    // budget, discovery gating, locked-mode eligibility and the
+    // speculation scope. Without an installed table (every static
+    // preset) this is a single null branch and nothing changes.
+    const RegionDecision *decision = nullptr;
+    if (const RegionPolicyTable *table = sys_.regionPolicy()) {
+        decision = table->lookup(pc);
+        tx.setScope(decision && decision->inCoreSpeculation
+                        ? SpeculationScope::InCore
+                        : cfg.scope);
+    }
+
     unsigned counted_retries = 0;
     unsigned attempts_made = 0;
     bool any_counted_abort = false;
@@ -243,7 +257,8 @@ RegionExecutor::runRegion(RegionPc pc)
 
     for (;;) {
         if (next != RetryMode::Fallback &&
-            retry_policy.exhausted(counted_retries)) {
+            (decision ? counted_retries >= decision->retryBudget
+                      : retry_policy.exhausted(counted_retries))) {
             next = RetryMode::Fallback;
         }
 
@@ -327,8 +342,12 @@ RegionExecutor::runRegion(RegionPc pc)
             continue;
         }
 
+        // A decision that forbids discovery (bounded-retry, SLE)
+        // keeps the region out of the CLEAR machinery entirely;
+        // profile mode still records, it never locks.
         const bool discovery =
-            (cfg.clear.enabled && ert.discoveryEnabled(pc)) ||
+            ((cfg.clear.enabled && ert.discoveryEnabled(pc)) &&
+             (!decision || decision->allowDiscovery)) ||
             cfg.profileMode;
         trace(TraceKind::AttemptBegin, ExecMode::Speculative,
               AbortReason::None, counted_retries);
@@ -388,6 +407,13 @@ RegionExecutor::runRegion(RegionPc pc)
 
         next = retry_policy.decideRetryMode(
             gatherRetryInput(pc, discovery));
+        if (decision && !decision->allowCacheLocked &&
+            (next == RetryMode::SCl || next == RetryMode::NsCl)) {
+            // Conservative-lock regions run discovery but never
+            // enter a cacheline-locked mode; they serialize on the
+            // fallback lock once the budget is spent.
+            next = RetryMode::SpeculativeRetry;
+        }
         if (next == RetryMode::SCl || next == RetryMode::NsCl) {
             // The footprint that justified the locked mode builds
             // the S-CL / NS-CL lock plan.

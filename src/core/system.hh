@@ -40,6 +40,7 @@ namespace clearsim
 class FaultInjector;
 class InvariantChecker;
 class RegionExecutor;
+class RegionPolicyTable;
 
 /** A factory invoked once per execution attempt of an AR body. */
 using BodyFn = std::function<SimTask(TxContext &)>;
@@ -118,6 +119,24 @@ class System
      */
     void setRegionRecorder(RegionRecordSink *recorder);
 
+    /**
+     * Install (or clear, with nullptr) the per-region policy table
+     * of the adaptive preset "A". Follows the null-unless-installed
+     * sink discipline: without a table the executor behaves exactly
+     * as before the adaptive layer existed. The table must outlive
+     * the runs that consult it; System does not take ownership.
+     */
+    void setRegionPolicy(const RegionPolicyTable *table)
+    {
+        regionPolicy_ = table;
+    }
+
+    /** The installed per-region policy table, or nullptr. */
+    const RegionPolicyTable *regionPolicy() const
+    {
+        return regionPolicy_;
+    }
+
     TxContext &tx(CoreId core) { return *txs_[core]; }
     Ert &ert(CoreId core) { return erts_[core]; }
     Crt &crt(CoreId core) { return crts_[core]; }
@@ -161,6 +180,7 @@ class System
     std::vector<std::unique_ptr<RegionExecutor>> executors_;
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<InvariantChecker> checker_;
+    const RegionPolicyTable *regionPolicy_ = nullptr;
     /** The externally installed sink, kept apart from the tap. */
     TraceSink userSink_;
 };

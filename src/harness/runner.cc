@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/analyze.hh"
 #include "common/env.hh"
 #include "common/log.hh"
 #include "core/system.hh"
@@ -12,17 +13,63 @@
 #include "fault/invariant_checker.hh"
 #include "harness/sweep_engine.hh"
 #include "policy/config_registry.hh"
+#include "policy/region_policy.hh"
 
 namespace clearsim
 {
 
 const char *const kGeomeanLabel = "geomean";
 
+namespace
+{
+
+/**
+ * The configuration an adaptive run captures verdicts under: the
+ * measured config with the adaptive routing off (no table exists
+ * yet) and the fault plan zeroed — faults would perturb the capture,
+ * and the PR-4 non-perturbation proof covers the fault-free system.
+ * All execution-relevant fields are shared with the measured run,
+ * so capture and run resolve region behaviour identically.
+ */
+SystemConfig
+captureConfigFor(const SystemConfig &cfg)
+{
+    SystemConfig capture = cfg;
+    capture.adapt.enabled = false;
+    capture.fault = FaultConfig{};
+    return capture;
+}
+
+} // namespace
+
+RegionPolicyTable
+buildRegionPolicy(const SystemConfig &cfg,
+                  const std::string &workload_name,
+                  const WorkloadParams &params)
+{
+    const AnalyzeOutcome capture = analyzeWithConfig(
+        captureConfigFor(cfg), workload_name, params);
+    return RegionPolicyTable::fromVerdicts(
+        verdictMap(capture.analysis), cfg);
+}
+
 RunResult
 runOnce(const SystemConfig &cfg, const std::string &workload_name,
         const WorkloadParams &params, bool check_invariants)
 {
+    // Adaptive preset "A": one capture pass resolves the per-region
+    // verdicts, which the config's adapt mapping turns into the
+    // decision table the executor consults. Both passes are
+    // deterministic in (config, workload, params), so an adaptive
+    // run stays byte-reproducible on every execution path (direct,
+    // sweep worker, daemon, DLQ replay).
+    RegionPolicyTable region_policy;
+    if (cfg.adapt.enabled)
+        region_policy = buildRegionPolicy(cfg, workload_name, params);
+
     System sys(cfg, params.seed);
+    if (cfg.adapt.enabled)
+        sys.setRegionPolicy(&region_policy);
     auto workload = makeWorkload(workload_name, params);
 
     if (InvariantChecker *checker = sys.checker()) {
@@ -56,6 +103,8 @@ runOnce(const SystemConfig &cfg, const std::string &workload_name,
         }
     }
 
+    if (cfg.adapt.enabled)
+        result.decisionReport = region_policy.report();
     result.htm = sys.stats();
     result.mem = sys.mem().stats();
     result.lockHoldCycles = sys.mem().locks().holdCycles();

@@ -25,7 +25,7 @@
  *                     the paper uses 10 seeds / trim 3)
  *   CLEARSIM_WORKLOADS comma list             (default all 19)
  *   CLEARSIM_CONFIGS  comma list of config registry specs
- *                     (default "B,P,C,W"; e.g. "C,C+scl-all-reads")
+ *                     (default "B,P,C,W,A"; e.g. "C,C+scl-all-reads")
  *   CLEARSIM_JOBS     worker threads          (default
  *                     hardware_concurrency(); 1 = serial)
  *
@@ -50,10 +50,24 @@
 
 #include "common/config.hh"
 #include "metrics/run_result.hh"
+#include "policy/region_policy.hh"
 #include "workloads/workload.hh"
 
 namespace clearsim
 {
+
+/**
+ * Build the adaptive (preset "A") per-region decision table for a
+ * run of @p workload_name under @p cfg: one analysis capture pass
+ * under cfg-with-adaptivity-and-faults-off produces the verdicts,
+ * which cfg.adapt maps to decisions. Deterministic in (cfg,
+ * workload, params). runOnce() calls this itself when
+ * cfg.adapt.enabled; direct System users (trace frontends, tests)
+ * call it to install the table by hand.
+ */
+RegionPolicyTable buildRegionPolicy(const SystemConfig &cfg,
+                                    const std::string &workload_name,
+                                    const WorkloadParams &params);
 
 /**
  * One fully-specified simulation run. Throws std::runtime_error
@@ -72,7 +86,7 @@ RunResult runOnce(const SystemConfig &cfg,
 struct SweepOptions
 {
     /** ConfigRegistry spec strings ("B", "C+scl-all-reads", ...). */
-    std::vector<std::string> configs = {"B", "P", "C", "W"};
+    std::vector<std::string> configs = {"B", "P", "C", "W", "A"};
     std::vector<std::string> workloads; ///< empty = all 19
     std::vector<unsigned> retryLimits = {1, 2, 4, 8};
     unsigned seeds = 3;

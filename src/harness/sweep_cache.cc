@@ -10,9 +10,33 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "policy/config_registry.hh"
 
 namespace clearsim
 {
+
+namespace
+{
+
+/**
+ * The bytes a config spec contributes to the sweep identity: the
+ * canonical string of the *resolved* configuration, so textually
+ * different but semantically identical specs ("C+watchdog" vs
+ * "C:fault.watchdog=1", reordered modifiers) hash to the same sweep.
+ * An unparseable spec falls back to its raw text — validation
+ * fatal()s before any simulation runs anyway.
+ */
+std::string
+canonicalSpecBytes(const std::string &spec)
+{
+    SystemConfig cfg;
+    std::string error;
+    if (!ConfigRegistry::instance().tryMake(spec, cfg, error))
+        return spec;
+    return canonicalConfigString(cfg);
+}
+
+} // namespace
 
 CellSummary
 CellSummary::fromCell(const CellResult &cell)
@@ -61,7 +85,7 @@ sweepOptionsHash(const SweepOptions &opts)
     for (const std::string &w : opts.workloads)
         mixStr(w);
     for (const std::string &c : opts.configs)
-        mixStr(c);
+        mixStr(canonicalSpecBytes(c));
     return h;
 }
 
@@ -304,7 +328,22 @@ bool
 SweepCacheStore::lookup(const SweepOptions &opts,
                         SweepSummary &out) const
 {
-    return loadSweepCache(path_, sweepOptionsHash(opts), out);
+    if (!loadSweepCache(path_, sweepOptionsHash(opts), out))
+        return false;
+    // Canonical hashing lets semantically identical sweeps with
+    // different spec texts share a hash, while cache rows stay
+    // keyed by the text that produced them. Only serve the cache
+    // when every requested cell is present under its requested key;
+    // otherwise miss, and the sweep re-runs under its own spelling.
+    for (const std::string &workload : opts.workloads) {
+        for (const std::string &config : opts.configs) {
+            if (!out.count({workload, config})) {
+                out.clear();
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 void

@@ -96,7 +96,7 @@ runPoint(const SweepGrid &grid, std::size_t index)
     cfg.maxRetries = retries;
     // Name the config after the full spec including the point's
     // retry limit, so the repro string replays this exact point.
-    cfg.name = cell.second + ":maxRetries=" + std::to_string(retries);
+    cfg.name = specWithRetryLimit(cell.second, retries);
     WorkloadParams params = opts.params;
     params.seed = opts.params.seed + 1000003ull * seed_index;
 

@@ -86,7 +86,8 @@ TxContext::TxContext(CoreId core, const SystemConfig &cfg,
                      PowerToken &power, HtmStats &stats)
     : core_(core), cfg_(cfg), queue_(queue), mem_(mem),
       conflicts_(conflicts), fallback_(fallback), power_(power),
-      stats_(stats), resources_(cfg.core, cfg.scope),
+      stats_(stats), scope_(cfg.scope),
+      resources_(cfg.core, cfg.scope),
       footprint_(footprintCapacity(cfg.clear))
 {
     // The analyzer and the retry policy both reason about the
@@ -425,7 +426,7 @@ TxContext::load(Addr addr)
     // In-core (SLE) speculation: the whole AR must fit the window.
     // Non-speculative modes (NS-CL, fallback) retire freely
     // (Section 4.4.1) and are exempt.
-    if (cfg_.scope == SpeculationScope::InCore &&
+    if (scope_ == SpeculationScope::InCore &&
         (mode_ == ExecMode::Speculative || mode_ == ExecMode::SCl) &&
         resources_.overflowed(failedMode_)) {
         structOverflowEvent_ = true;
@@ -561,7 +562,7 @@ TxContext::store(Addr addr, TxValue value)
         co_return;
     }
 
-    if (cfg_.scope == SpeculationScope::InCore &&
+    if (scope_ == SpeculationScope::InCore &&
         (mode_ == ExecMode::Speculative || mode_ == ExecMode::SCl) &&
         resources_.overflowed(false)) {
         structOverflowEvent_ = true;

@@ -220,6 +220,22 @@ class TxContext : public TxParticipant
     /** Micro-ops executed in the current attempt. */
     const CoreResources &resources() const { return resources_; }
 
+    /**
+     * Override the speculation scope for subsequent attempts. The
+     * adaptive preset's Sle action speculates selected regions
+     * in-core while the rest of the run stays on the configured
+     * scope; the executor re-asserts the scope at every invocation,
+     * so an override never leaks into the next region.
+     */
+    void setScope(SpeculationScope scope)
+    {
+        scope_ = scope;
+        resources_.setScope(scope);
+    }
+
+    /** The speculation scope attempts currently run under. */
+    SpeculationScope scope() const { return scope_; }
+
     /** Current region PC. */
     RegionPc regionPc() const { return pc_; }
 
@@ -320,6 +336,9 @@ class TxContext : public TxParticipant
 
     // Invocation state.
     RegionPc pc_ = 0;
+
+    /** Effective scope; cfg.scope unless overridden per region. */
+    SpeculationScope scope_;
 
     // Attempt state.
     bool active_ = false;

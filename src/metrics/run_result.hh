@@ -34,6 +34,13 @@ struct RunResult
     MemStats mem;
     EnergyBreakdown energy;
 
+    /**
+     * Per-region decision report of an adaptive (preset "A") run:
+     * one line per region with its verdict, chosen action and retry
+     * budget. Empty for static configurations.
+     */
+    std::string decisionReport;
+
     /** Cacheline lock-hold durations (cycles), from the LockManager. */
     Distribution lockHoldCycles;
 

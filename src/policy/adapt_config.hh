@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Configuration of the adaptive per-region policy (preset "A").
+ *
+ * The adaptive preset closes the loop between the static analyzer
+ * and the execution policy: before the measured run, a capture pass
+ * produces per-region verdicts, and this config maps each verdict to
+ * the action the RegionExecutor takes for regions with that verdict.
+ * Every mapping is overridable through the `:adapt.*` spec-grammar
+ * keys registered in the ConfigRegistry.
+ *
+ * Header-only so common/config.hh can embed an AdaptConfig without a
+ * link-time dependency on the policy library (the same arrangement
+ * as fault/fault_config.hh).
+ */
+
+#ifndef CLEARSIM_POLICY_ADAPT_CONFIG_HH
+#define CLEARSIM_POLICY_ADAPT_CONFIG_HH
+
+#include <cstdint>
+
+namespace clearsim
+{
+
+/**
+ * What the executor does for regions carrying a given verdict. The
+ * numeric codes are part of the spec grammar (`:adapt.capacity=1`)
+ * and of the canonical config string, so they are stable interface.
+ */
+enum class AdaptAction : std::uint8_t
+{
+    /** Full CLEAR machinery: discovery, cacheline locking, ERT. */
+    Clear = 0,
+
+    /** Straight to the fallback lock; the region never speculates. */
+    Fallback = 1,
+
+    /**
+     * Speculative retries up to the (smaller) adaptive budget, then
+     * fallback; discovery stays off so no locked modes are entered.
+     */
+    BoundedRetry = 2,
+
+    /**
+     * Conservative lock plan: run CLEAR's discovery but never enter
+     * a cacheline-locked mode — the region keeps retrying
+     * speculatively within the global budget, then takes the
+     * fallback lock, which orders it against every other region.
+     */
+    ConservativeLock = 3,
+
+    /**
+     * SLE-style in-core speculation: the region speculates bounded
+     * by core resources (ROB/LQ/SQ) instead of the HTM, with
+     * discovery off.
+     */
+    Sle = 4,
+};
+
+/** Number of valid AdaptAction codes (for spec-value validation). */
+constexpr unsigned kAdaptActionCount = 5;
+
+/** Stable lower-case name used in reports and canonical strings. */
+constexpr const char *
+adaptActionName(AdaptAction action)
+{
+    switch (action) {
+    case AdaptAction::Clear:
+        return "clear";
+    case AdaptAction::Fallback:
+        return "fallback";
+    case AdaptAction::BoundedRetry:
+        return "bounded-retry";
+    case AdaptAction::ConservativeLock:
+        return "conservative-lock";
+    case AdaptAction::Sle:
+        return "sle";
+    }
+    return "?";
+}
+
+/**
+ * Verdict -> action mapping of the adaptive preset. Defaults encode
+ * the paper's recommendation: CLEAR where it provably pays off,
+ * immediate fallback where capacity dooms speculation, a bounded
+ * speculative budget where indirection makes the footprint
+ * unknowable, and conservative locking where the mechanical
+ * lock-order proof failed.
+ */
+struct AdaptConfig
+{
+    /** Master switch; set by preset "A" (or `:adapt.enabled=1`). */
+    bool enabled = false;
+
+    /** Action for ELIGIBLE regions. */
+    AdaptAction eligible = AdaptAction::Clear;
+
+    /** Action for CAPACITY-DOOMED regions. */
+    AdaptAction capacityDoomed = AdaptAction::Fallback;
+
+    /** Action for UNBOUNDED-INDIRECTION regions. */
+    AdaptAction unboundedIndirection = AdaptAction::BoundedRetry;
+
+    /** Action for LOCK-ORDER-RISK regions. */
+    AdaptAction lockOrderRisk = AdaptAction::ConservativeLock;
+
+    /**
+     * Speculative-retry budget for BoundedRetry regions. Clamped at
+     * run time to the global maxRetries so the single-retry-bound
+     * invariant keeps holding under preset "A".
+     */
+    unsigned boundedRetries = 1;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_POLICY_ADAPT_CONFIG_HH

@@ -61,6 +61,11 @@ ConfigRegistry::ConfigRegistry()
                    makeClearConfig);
     registerPreset("W", "CLEAR over PowerTM (Section 5.2 rules)",
                    makeClearPowerConfig);
+    registerPreset("A",
+                   "adaptive: static per-region verdicts choose the "
+                   "policy (CLEAR / fallback / bounded-retry / "
+                   "conservative-lock)",
+                   makeAdaptiveConfig);
 
     registerModifier("scl-all-reads",
                      "S-CL locks every learned address instead of "
@@ -223,6 +228,42 @@ ConfigRegistry::ConfigRegistry()
     add("fault.horizon", "watchdog progress horizon, cycles", 1,
         ~std::uint64_t(0), [](SystemConfig &cfg, std::uint64_t v) {
             cfg.fault.horizon = v;
+        });
+    add("adapt.enabled", "adaptive per-region policy (0/1)", 0, 1,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.adapt.enabled = v != 0;
+        });
+    add("adapt.eligible",
+        "action for ELIGIBLE regions (0=clear 1=fallback "
+        "2=bounded-retry 3=conservative-lock 4=sle)",
+        0, kAdaptActionCount - 1,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.adapt.eligible = static_cast<AdaptAction>(v);
+        });
+    add("adapt.capacity",
+        "action for CAPACITY-DOOMED regions (same codes)", 0,
+        kAdaptActionCount - 1,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.adapt.capacityDoomed = static_cast<AdaptAction>(v);
+        });
+    add("adapt.indirection",
+        "action for UNBOUNDED-INDIRECTION regions (same codes)", 0,
+        kAdaptActionCount - 1,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.adapt.unboundedIndirection =
+                static_cast<AdaptAction>(v);
+        });
+    add("adapt.lock-order",
+        "action for LOCK-ORDER-RISK regions (same codes)", 0,
+        kAdaptActionCount - 1,
+        [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.adapt.lockOrderRisk = static_cast<AdaptAction>(v);
+        });
+    add("adapt.retries",
+        "speculative budget of bounded-retry regions (clamped to "
+        "maxRetries)",
+        0, 1000000, [](SystemConfig &cfg, std::uint64_t v) {
+            cfg.adapt.boundedRetries = static_cast<unsigned>(v);
         });
 }
 
@@ -388,6 +429,10 @@ ConfigRegistry::tryMake(const std::string &spec, SystemConfig &out,
     }
     out = preset->make();
 
+    // key -> the ':key=value' token that set it, for the
+    // duplicate-override diagnostic.
+    std::vector<std::pair<std::string, std::string>> seen_overrides;
+
     while (pos != std::string::npos) {
         const char sep = spec[pos];
         const std::string::size_type next =
@@ -421,6 +466,19 @@ ConfigRegistry::tryMake(const std::string &spec, SystemConfig &out,
         }
         const std::string key = token.substr(0, eq);
         const std::string value = token.substr(eq + 1);
+        for (const auto &[prev_key, prev_token] : seen_overrides) {
+            if (prev_key == key) {
+                // Silent last-wins made textually different specs
+                // execute identically while hashing to different
+                // dedupe identities; duplicates are a hard error.
+                error = "spec '" + spec + "': override key '" + key +
+                        "' given twice (':" + prev_token +
+                        "' and ':" + token + "'); overrides must be "
+                        "unique within a spec";
+                return false;
+            }
+        }
+        seen_overrides.emplace_back(key, token);
         const ConfigOverrideKey *override_key = findOverride(key);
         if (!override_key) {
             std::vector<std::string> names;
@@ -470,6 +528,30 @@ SystemConfig
 makeConfigByName(const std::string &name)
 {
     return ConfigRegistry::instance().make(name);
+}
+
+std::string
+specWithRetryLimit(const std::string &spec, unsigned retries)
+{
+    // Drop any existing ':maxRetries=...' token first: with
+    // duplicate overrides a hard error, the engines that pin a
+    // retry limit onto user specs must replace, not append.
+    std::string out;
+    std::string::size_type pos = spec.find_first_of("+:");
+    out += spec.substr(0, pos);
+    while (pos != std::string::npos) {
+        const std::string::size_type next =
+            spec.find_first_of("+:", pos + 1);
+        const std::string token =
+            spec.substr(pos, next == std::string::npos
+                                 ? std::string::npos
+                                 : next - pos);
+        if (token.rfind(":maxRetries=", 0) != 0)
+            out += token;
+        pos = next;
+    }
+    out += ":maxRetries=" + std::to_string(retries);
+    return out;
 }
 
 } // namespace clearsim

@@ -141,6 +141,17 @@ class ConfigRegistry
  */
 SystemConfig makeConfigFromSpec(const std::string &spec);
 
+/**
+ * @p spec with its retry limit pinned to @p retries: any existing
+ * ":maxRetries=" token is removed before ":maxRetries=<retries>" is
+ * appended. The sweep engine and the daemon compose point specs with
+ * this instead of blind concatenation, which would trip the
+ * duplicate-override hard error on specs that already carry a
+ * maxRetries override.
+ */
+std::string specWithRetryLimit(const std::string &spec,
+                               unsigned retries);
+
 } // namespace clearsim
 
 #endif // CLEARSIM_POLICY_CONFIG_REGISTRY_HH

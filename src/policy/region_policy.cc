@@ -1,0 +1,107 @@
+#include "policy/region_policy.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/config.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+AdaptAction
+actionFor(RegionVerdict verdict, const AdaptConfig &adapt)
+{
+    switch (verdict) {
+    case RegionVerdict::Eligible:
+        return adapt.eligible;
+    case RegionVerdict::CapacityDoomed:
+        return adapt.capacityDoomed;
+    case RegionVerdict::UnboundedIndirection:
+        return adapt.unboundedIndirection;
+    case RegionVerdict::LockOrderRisk:
+        return adapt.lockOrderRisk;
+    }
+    return AdaptAction::Clear;
+}
+
+} // namespace
+
+RegionDecision
+resolveRegionDecision(RegionVerdict verdict, const SystemConfig &cfg)
+{
+    RegionDecision decision;
+    decision.verdict = verdict;
+    decision.action = actionFor(verdict, cfg.adapt);
+
+    switch (decision.action) {
+    case AdaptAction::Clear:
+        decision.retryBudget = cfg.maxRetries;
+        decision.allowDiscovery = true;
+        decision.allowCacheLocked = true;
+        break;
+    case AdaptAction::Fallback:
+        decision.retryBudget = 0;
+        decision.allowDiscovery = false;
+        decision.allowCacheLocked = false;
+        break;
+    case AdaptAction::BoundedRetry:
+        // Clamp so the single-retry-bound invariant (no non-fallback
+        // commit at countedRetries >= maxRetries) holds under "A".
+        decision.retryBudget =
+            cfg.adapt.boundedRetries < cfg.maxRetries
+                ? cfg.adapt.boundedRetries
+                : cfg.maxRetries;
+        decision.allowDiscovery = false;
+        decision.allowCacheLocked = false;
+        break;
+    case AdaptAction::ConservativeLock:
+        // Discovery may run (it feeds the ERT) but the region never
+        // enters a cacheline-locked mode: it retries speculatively,
+        // then serializes on the fallback lock, which is ordered
+        // against every other region by construction.
+        decision.retryBudget = cfg.maxRetries;
+        decision.allowDiscovery = true;
+        decision.allowCacheLocked = false;
+        break;
+    case AdaptAction::Sle:
+        decision.retryBudget = cfg.maxRetries;
+        decision.allowDiscovery = false;
+        decision.allowCacheLocked = false;
+        decision.inCoreSpeculation = true;
+        break;
+    }
+    return decision;
+}
+
+RegionPolicyTable
+RegionPolicyTable::fromVerdicts(const RegionVerdictMap &verdicts,
+                                const SystemConfig &cfg)
+{
+    RegionPolicyTable table;
+    for (const auto &[pc, verdict] : verdicts)
+        table.decisions_.emplace(pc,
+                                 resolveRegionDecision(verdict, cfg));
+    return table;
+}
+
+std::string
+RegionPolicyTable::report() const
+{
+    std::string out;
+    out.reserve(decisions_.size() * 64);
+    for (const auto &[pc, decision] : decisions_) {
+        char line[128];
+        std::snprintf(line, sizeof line,
+                      "region 0x%-6" PRIx64 " %-21s -> %-17s "
+                      "budget=%u\n",
+                      pc, regionVerdictName(decision.verdict),
+                      adaptActionName(decision.action),
+                      decision.retryBudget);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace clearsim

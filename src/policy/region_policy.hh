@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-region policy resolution for the adaptive preset "A".
+ *
+ * The static analyzer classifies every atomic region ahead of the
+ * measured run (ELIGIBLE / CAPACITY-DOOMED / UNBOUNDED-INDIRECTION /
+ * LOCK-ORDER-RISK). A RegionPolicyTable maps those verdicts, through
+ * the AdaptConfig of the run, to the concrete action the
+ * RegionExecutor takes per region: full CLEAR, straight-to-fallback,
+ * a bounded speculative budget, a conservative lock plan, or
+ * SLE-style in-core speculation.
+ *
+ * The table is immutable after construction and installed on the
+ * System like the other optional sinks (Tracer, RegionRecorder):
+ * a null pointer means "no adaptive routing", which is the exact
+ * pre-"A" behaviour.
+ *
+ * The verdict enum is duplicated here (rather than including
+ * analysis/analyzer.hh) because the policy library builds below the
+ * analysis library; analysis/analyze.cc converts its Verdict into
+ * RegionVerdict when exporting the machine-usable map.
+ */
+
+#ifndef CLEARSIM_POLICY_REGION_POLICY_HH
+#define CLEARSIM_POLICY_REGION_POLICY_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+#include "policy/adapt_config.hh"
+
+namespace clearsim
+{
+
+struct SystemConfig;
+
+/** Static verdict of one region, as exported by the analyzer. */
+enum class RegionVerdict : std::uint8_t
+{
+    Eligible = 0,
+    CapacityDoomed = 1,
+    UnboundedIndirection = 2,
+    LockOrderRisk = 3,
+};
+
+/** Stable upper-case name matching the analyzer's report strings. */
+constexpr const char *
+regionVerdictName(RegionVerdict verdict)
+{
+    switch (verdict) {
+    case RegionVerdict::Eligible:
+        return "ELIGIBLE";
+    case RegionVerdict::CapacityDoomed:
+        return "CAPACITY-DOOMED";
+    case RegionVerdict::UnboundedIndirection:
+        return "UNBOUNDED-INDIRECTION";
+    case RegionVerdict::LockOrderRisk:
+        return "LOCK-ORDER-RISK";
+    }
+    return "?";
+}
+
+/** Ordered map of region pc -> static verdict (analyzer export). */
+using RegionVerdictMap = std::map<RegionPc, RegionVerdict>;
+
+/** Resolved decision for one region. */
+struct RegionDecision
+{
+    RegionVerdict verdict = RegionVerdict::Eligible;
+    AdaptAction action = AdaptAction::Clear;
+
+    /**
+     * Counted speculative retries this region may spend before the
+     * fallback path; already clamped to the global maxRetries.
+     */
+    unsigned retryBudget = 0;
+
+    /** CLEAR discovery allowed for this region. */
+    bool allowDiscovery = true;
+
+    /** Cacheline-locked modes (S-CL / NS-CL) allowed. */
+    bool allowCacheLocked = true;
+
+    /** Speculate in-core (SLE) instead of through the HTM. */
+    bool inCoreSpeculation = false;
+};
+
+/**
+ * Immutable verdict->decision table for one run. Built once from the
+ * analyzer's verdict map and the run's AdaptConfig, then consulted
+ * by the RegionExecutor at every region invocation.
+ */
+class RegionPolicyTable
+{
+  public:
+    /** Resolve @p verdicts through @p cfg's adapt mapping. */
+    static RegionPolicyTable fromVerdicts(
+        const RegionVerdictMap &verdicts, const SystemConfig &cfg);
+
+    /**
+     * Decision for @p pc, or nullptr when the capture pass never saw
+     * the region (the executor then behaves as without a table).
+     */
+    const RegionDecision *lookup(RegionPc pc) const
+    {
+        auto it = decisions_.find(pc);
+        return it == decisions_.end() ? nullptr : &it->second;
+    }
+
+    /** All decisions, ordered by pc. */
+    const std::map<RegionPc, RegionDecision> &decisions() const
+    {
+        return decisions_;
+    }
+
+    bool empty() const { return decisions_.empty(); }
+
+    /**
+     * Human-readable per-region decision report, one line per
+     * region, ordered by pc (printed by `clearsim_cli --config A`).
+     */
+    std::string report() const;
+
+  private:
+    std::map<RegionPc, RegionDecision> decisions_;
+};
+
+/**
+ * Resolve one verdict through @p cfg: picks the configured action
+ * and derives budget/discovery/locking/scope flags, clamping the
+ * bounded-retry budget to cfg.maxRetries.
+ */
+RegionDecision resolveRegionDecision(RegionVerdict verdict,
+                                     const SystemConfig &cfg);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_POLICY_REGION_POLICY_HH

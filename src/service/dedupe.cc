@@ -4,12 +4,47 @@
 #include <cstdio>
 
 #include "fault/fault_repro.hh"
+#include "policy/config_registry.hh"
 
 namespace clearsim
 {
 
 namespace
 {
+
+/** FNV-1a, the same function sweepOptionsHash builds on. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Canonical identity of a point's configuration: the hash of the
+ * *resolved* config, not the spec text. "C+watchdog" and
+ * "C:fault.watchdog=1" — or any modifier reordering — resolve to
+ * the same SystemConfig, so they dedupe to one execution. An
+ * unparseable spec falls back to its raw text (the scheduler
+ * rejects such jobs before they are ever enqueued, so the fallback
+ * only keeps id construction total).
+ */
+std::string
+canonicalConfigId(const std::string &spec)
+{
+    SystemConfig cfg;
+    std::string error;
+    if (!ConfigRegistry::instance().tryMake(spec, cfg, error))
+        return spec;
+    char hex[24];
+    std::snprintf(hex, sizeof hex, "cfg-%016" PRIx64,
+                  fnv1a(canonicalConfigString(cfg)));
+    return hex;
+}
 
 /** The shared run/analyze canonical form, built on repro strings. */
 std::string
@@ -19,10 +54,11 @@ pointJobId(const char *kind, const std::string &config,
 {
     ReproSpec spec;
     spec.workload = workload;
-    // Exactly how the sweep engine names a point's config: the
-    // retry limit is one more override, so "C" at retries=4 and
-    // "C:maxRetries=4" are the same job.
-    spec.config = config + ":maxRetries=" + std::to_string(retries);
+    // The retry limit is folded in exactly as the sweep engine
+    // names its points ("C" at retries=4 == "C:maxRetries=4"), then
+    // the composed spec is canonicalized through the registry.
+    spec.config =
+        canonicalConfigId(specWithRetryLimit(config, retries));
     spec.threads = params.threads;
     spec.ops = params.opsPerThread;
     spec.scale = params.scale;

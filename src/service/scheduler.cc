@@ -263,8 +263,7 @@ class Scheduler::Executor
     static std::string
     pointSpec(const Job &job)
     {
-        return job.config +
-               ":maxRetries=" + std::to_string(job.retries);
+        return specWithRetryLimit(job.config, job.retries);
     }
 
     static std::string
@@ -302,13 +301,14 @@ class Scheduler::Executor
     executeAnalyze(Job &job)
     {
         progress(job, 0, 1);
-        AnalyzeRequest request;
-        request.config = job.config;
-        request.workload = job.workload;
-        request.maxRetries = job.retries;
-        request.params = job.params;
+        // Capture under exactly the config executeRun would build
+        // for this job — the same spec resolution, no thread-count
+        // capping — so a daemon analyze is always the capture pass
+        // of the matching daemon run.
+        const SystemConfig cfg = makeConfigFromSpec(pointSpec(job));
         try {
-            AnalyzeOutcome outcome = analyzeWorkload(request);
+            AnalyzeOutcome outcome =
+                analyzeWithConfig(cfg, job.workload, job.params);
             progress(job, 1, 1);
             finish(job, "done", "analysis-json",
                    analysisJsonString({outcome.analysis}));
@@ -561,7 +561,7 @@ Scheduler::handleRunOrAnalyze(const Mail &mail, bool analyze)
     // Validate the canonical spec (base spec + folded retry limit)
     // in one shot; this is also what the executor will build.
     const std::string canonical =
-        config + ":maxRetries=" + std::to_string(job->retries);
+        specWithRetryLimit(config, job->retries);
     if (!validConfigSpec(canonical, error)) {
         sendTo(mail.connection, wireError(tag, error));
         return;

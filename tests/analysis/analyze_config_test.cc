@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Capture-config == run-config pinning (the --analyze bugfix).
+ *
+ * An analysis is only meaningful if its capture pass ran under
+ * exactly the configuration the subsequent measurement run
+ * executes. These tests pin that contract for decorated specs
+ * (modifiers plus :key=value overrides) across the shared
+ * resolution paths: analyzeWithConfig() captures under the very
+ * config it is given, and the engine-composed retry spec resolves
+ * to the same canonical config as one spelling maxRetries directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/analyze.hh"
+#include "fault/fault_config.hh"
+#include "harness/runner.hh"
+#include "policy/config_registry.hh"
+#include "policy/region_policy.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.opsPerThread = 4;
+    params.seed = 9;
+    return params;
+}
+
+TEST(AnalyzeConfigPinning, CaptureRunsUnderTheExactRunConfig)
+{
+    // A spec with a modifier and two overrides — the shapes that
+    // historically diverged between the analyze and run paths.
+    const std::string spec =
+        "C+scl-all-reads:altEntries=64:maxRetries=2";
+    const SystemConfig run_cfg = makeConfigFromSpec(spec);
+
+    const AnalyzeOutcome outcome =
+        analyzeWithConfig(run_cfg, "mwobject", smallParams());
+
+    // The capture config is the run config, field for field.
+    EXPECT_EQ(canonicalConfigString(run_cfg),
+              canonicalConfigString(outcome.config));
+    // And the analysis is labeled with the spec it resolved from.
+    EXPECT_EQ(spec, outcome.analysis.config);
+}
+
+TEST(AnalyzeConfigPinning, EngineComposedSpecMatchesExplicitSpec)
+{
+    // The sweep engine, scheduler and dedupe all name a point by
+    // folding the retry limit into the spec through
+    // specWithRetryLimit(); that composition must resolve to the
+    // same canonical config as a user writing :maxRetries directly.
+    EXPECT_EQ("C:maxRetries=3", specWithRetryLimit("C", 3));
+    EXPECT_EQ("C+sle:maxRetries=3", specWithRetryLimit("C+sle", 3));
+    // An existing limit is replaced, never duplicated (a duplicate
+    // key is a hard parse error now).
+    EXPECT_EQ("C:maxRetries=5",
+              specWithRetryLimit("C:maxRetries=2", 5));
+    EXPECT_EQ("C+sle:altEntries=8:maxRetries=5",
+              specWithRetryLimit("C+sle:maxRetries=2:altEntries=8",
+                                 5));
+
+    EXPECT_EQ(canonicalConfigString(makeConfigFromSpec(
+                  specWithRetryLimit("C+scl-all-reads:altEntries=64",
+                                     2))),
+              canonicalConfigString(makeConfigFromSpec(
+                  "C+scl-all-reads:altEntries=64:maxRetries=2")));
+}
+
+TEST(AnalyzeConfigPinning, AdaptiveCaptureSharesTheRunConfig)
+{
+    // The preset-"A" capture pass differs from the measured config
+    // in exactly two fields — adaptivity off (no table exists yet)
+    // and the fault plan zeroed (capture is fault-free) — and in
+    // nothing else. Building the table through buildRegionPolicy()
+    // and by hand from that capture config must agree.
+    const SystemConfig cfg =
+        makeConfigFromSpec("A+faults-nack-storm");
+    const WorkloadParams params = smallParams();
+
+    const RegionPolicyTable direct =
+        buildRegionPolicy(cfg, "mwobject", params);
+
+    SystemConfig capture = cfg;
+    capture.adapt.enabled = false;
+    capture.fault = FaultConfig{};
+    const RegionPolicyTable manual = RegionPolicyTable::fromVerdicts(
+        verdictMap(
+            analyzeWithConfig(capture, "mwobject", params).analysis),
+        cfg);
+
+    ASSERT_EQ(manual.decisions().size(), direct.decisions().size());
+    auto it = manual.decisions().begin();
+    for (const auto &[pc, decision] : direct.decisions()) {
+        EXPECT_EQ(it->first, pc);
+        EXPECT_EQ(it->second.verdict, decision.verdict);
+        EXPECT_EQ(it->second.action, decision.action);
+        EXPECT_EQ(it->second.retryBudget, decision.retryBudget);
+        ++it;
+    }
+    EXPECT_FALSE(direct.empty());
+}
+
+} // namespace
+} // namespace clearsim

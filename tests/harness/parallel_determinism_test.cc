@@ -29,7 +29,9 @@ smallSweep()
 {
     SweepOptions opts;
     opts.workloads = {"mwobject", "arrayswap"};
-    opts.configs = {"B", "C"};
+    // "A" rides along so the adaptive capture pass is under the
+    // same jobs-independence contract as the static presets.
+    opts.configs = {"B", "C", "A"};
     opts.retryLimits = {1, 4};
     opts.seeds = 3;
     opts.params.opsPerThread = 4;

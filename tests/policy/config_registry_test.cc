@@ -147,6 +147,58 @@ TEST(ConfigRegistryTest, MalformedSpecsAreRejected)
     mustFail("C+");                  // empty modifier
 }
 
+TEST(ConfigRegistryTest, DuplicateOverrideKeysAreAHardError)
+{
+    // A spec giving the same key twice is ambiguous (which value
+    // did the user mean?) and used to silently apply last-wins.
+    // Now it is rejected, and the message names both occurrences.
+    const std::string error =
+        mustFail("C:maxRetries=2:altEntries=8:maxRetries=4");
+    EXPECT_NE(error.find("'maxRetries'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find(":maxRetries=2"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find(":maxRetries=4"), std::string::npos)
+        << error;
+
+    // Distinct keys still compose fine.
+    mustMake("C:maxRetries=2:altEntries=8");
+}
+
+TEST(ConfigRegistryTest, CanonicalStringIgnoresSpecSpelling)
+{
+    // Semantically identical specs — a modifier vs the override it
+    // expands to, or a reordered modifier list — canonicalize to
+    // the same bytes; that string is what dedupe and the sweep
+    // cache hash.
+    EXPECT_EQ(canonicalConfigString(mustMake("C+watchdog")),
+              canonicalConfigString(
+                  mustMake("C:fault.watchdog=1")));
+    EXPECT_EQ(canonicalConfigString(
+                  mustMake("C+watchdog+scl-all-reads")),
+              canonicalConfigString(
+                  mustMake("C+scl-all-reads+watchdog")));
+    // A no-op override does not change identity either.
+    EXPECT_EQ(canonicalConfigString(mustMake("C")),
+              canonicalConfigString(mustMake(
+                  "C:maxRetries=" +
+                  std::to_string(mustMake("C").maxRetries))));
+
+    // ...while every execution-relevant difference shows.
+    EXPECT_NE(canonicalConfigString(mustMake("C")),
+              canonicalConfigString(mustMake("C:maxRetries=9")));
+    EXPECT_NE(canonicalConfigString(mustMake("C")),
+              canonicalConfigString(mustMake("A")));
+    EXPECT_NE(canonicalConfigString(mustMake("A")),
+              canonicalConfigString(mustMake("A:adapt.retries=2")));
+
+    // The display name is presentation, not identity.
+    SystemConfig renamed = mustMake("C");
+    renamed.name = "something-else";
+    EXPECT_EQ(canonicalConfigString(mustMake("C")),
+              canonicalConfigString(renamed));
+}
+
 TEST(ConfigRegistryTest, DescriptionsAreNonEmpty)
 {
     const ConfigRegistry &reg = ConfigRegistry::instance();

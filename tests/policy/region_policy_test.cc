@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the adaptive preset "A" machinery: verdict ->
+ * decision resolution, the RegionPolicyTable, the registered preset
+ * and its :adapt.* override keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "policy/config_registry.hh"
+#include "policy/region_policy.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+TEST(AdaptConfigTest, ActionNamesAreStable)
+{
+    EXPECT_STREQ("clear", adaptActionName(AdaptAction::Clear));
+    EXPECT_STREQ("fallback", adaptActionName(AdaptAction::Fallback));
+    EXPECT_STREQ("bounded-retry",
+                 adaptActionName(AdaptAction::BoundedRetry));
+    EXPECT_STREQ("conservative-lock",
+                 adaptActionName(AdaptAction::ConservativeLock));
+    EXPECT_STREQ("sle", adaptActionName(AdaptAction::Sle));
+}
+
+TEST(AdaptConfigTest, VerdictNamesMatchTheAnalyzerReport)
+{
+    EXPECT_STREQ("ELIGIBLE",
+                 regionVerdictName(RegionVerdict::Eligible));
+    EXPECT_STREQ("CAPACITY-DOOMED",
+                 regionVerdictName(RegionVerdict::CapacityDoomed));
+    EXPECT_STREQ("UNBOUNDED-INDIRECTION",
+                 regionVerdictName(
+                     RegionVerdict::UnboundedIndirection));
+    EXPECT_STREQ("LOCK-ORDER-RISK",
+                 regionVerdictName(RegionVerdict::LockOrderRisk));
+}
+
+TEST(RegionDecisionTest, DefaultMappingOfPresetA)
+{
+    const SystemConfig cfg = makeAdaptiveConfig();
+    ASSERT_TRUE(cfg.adapt.enabled);
+
+    const RegionDecision eligible =
+        resolveRegionDecision(RegionVerdict::Eligible, cfg);
+    EXPECT_EQ(AdaptAction::Clear, eligible.action);
+    EXPECT_EQ(cfg.maxRetries, eligible.retryBudget);
+    EXPECT_TRUE(eligible.allowDiscovery);
+    EXPECT_TRUE(eligible.allowCacheLocked);
+    EXPECT_FALSE(eligible.inCoreSpeculation);
+
+    const RegionDecision doomed =
+        resolveRegionDecision(RegionVerdict::CapacityDoomed, cfg);
+    EXPECT_EQ(AdaptAction::Fallback, doomed.action);
+    EXPECT_EQ(0u, doomed.retryBudget);
+    EXPECT_FALSE(doomed.allowDiscovery);
+    EXPECT_FALSE(doomed.allowCacheLocked);
+
+    const RegionDecision indirect = resolveRegionDecision(
+        RegionVerdict::UnboundedIndirection, cfg);
+    EXPECT_EQ(AdaptAction::BoundedRetry, indirect.action);
+    EXPECT_EQ(cfg.adapt.boundedRetries, indirect.retryBudget);
+    EXPECT_FALSE(indirect.allowDiscovery);
+
+    const RegionDecision risky =
+        resolveRegionDecision(RegionVerdict::LockOrderRisk, cfg);
+    EXPECT_EQ(AdaptAction::ConservativeLock, risky.action);
+    EXPECT_EQ(cfg.maxRetries, risky.retryBudget);
+    EXPECT_TRUE(risky.allowDiscovery);
+    EXPECT_FALSE(risky.allowCacheLocked);
+}
+
+TEST(RegionDecisionTest, BoundedRetryBudgetClampsToMaxRetries)
+{
+    // The single-retry-bound invariant requires every per-region
+    // budget to stay within the global maxRetries: a config asking
+    // for more bounded retries than the run allows is clamped, not
+    // honoured.
+    SystemConfig cfg = makeAdaptiveConfig();
+    cfg.maxRetries = 1;
+    cfg.adapt.boundedRetries = 7;
+    EXPECT_EQ(1u, resolveRegionDecision(
+                      RegionVerdict::UnboundedIndirection, cfg)
+                      .retryBudget);
+
+    cfg.maxRetries = 8;
+    EXPECT_EQ(7u, resolveRegionDecision(
+                      RegionVerdict::UnboundedIndirection, cfg)
+                      .retryBudget);
+}
+
+TEST(RegionDecisionTest, SleActionSpeculatesInCore)
+{
+    SystemConfig cfg = makeAdaptiveConfig();
+    cfg.adapt.unboundedIndirection = AdaptAction::Sle;
+    const RegionDecision decision = resolveRegionDecision(
+        RegionVerdict::UnboundedIndirection, cfg);
+    EXPECT_EQ(AdaptAction::Sle, decision.action);
+    EXPECT_TRUE(decision.inCoreSpeculation);
+    EXPECT_FALSE(decision.allowCacheLocked);
+}
+
+TEST(RegionPolicyTableTest, FromVerdictsBuildsOrderedDecisions)
+{
+    const SystemConfig cfg = makeAdaptiveConfig();
+    RegionVerdictMap verdicts;
+    verdicts[0x200] = RegionVerdict::CapacityDoomed;
+    verdicts[0x100] = RegionVerdict::Eligible;
+
+    const RegionPolicyTable table =
+        RegionPolicyTable::fromVerdicts(verdicts, cfg);
+    EXPECT_FALSE(table.empty());
+    ASSERT_EQ(2u, table.decisions().size());
+
+    const RegionDecision *eligible = table.lookup(0x100);
+    ASSERT_NE(nullptr, eligible);
+    EXPECT_EQ(AdaptAction::Clear, eligible->action);
+
+    const RegionDecision *doomed = table.lookup(0x200);
+    ASSERT_NE(nullptr, doomed);
+    EXPECT_EQ(AdaptAction::Fallback, doomed->action);
+
+    // A region the capture never saw has no decision: the executor
+    // then runs it with the static policy.
+    EXPECT_EQ(nullptr, table.lookup(0x300));
+}
+
+TEST(RegionPolicyTableTest, ReportListsEveryRegionInPcOrder)
+{
+    const SystemConfig cfg = makeAdaptiveConfig();
+    RegionVerdictMap verdicts;
+    verdicts[0x200] = RegionVerdict::CapacityDoomed;
+    verdicts[0x100] = RegionVerdict::Eligible;
+    const std::string report =
+        RegionPolicyTable::fromVerdicts(verdicts, cfg).report();
+
+    const std::string::size_type first = report.find("region 0x100");
+    const std::string::size_type second = report.find("region 0x200");
+    ASSERT_NE(std::string::npos, first);
+    ASSERT_NE(std::string::npos, second);
+    EXPECT_LT(first, second);
+    EXPECT_NE(std::string::npos, report.find("ELIGIBLE"));
+    EXPECT_NE(std::string::npos, report.find("-> clear"));
+    EXPECT_NE(std::string::npos, report.find("-> fallback"));
+    EXPECT_NE(std::string::npos, report.find("budget=0"));
+    EXPECT_TRUE(RegionPolicyTable().report().empty());
+}
+
+TEST(AdaptivePresetTest, PresetAIsRegistered)
+{
+    EXPECT_TRUE(ConfigRegistry::instance().hasPreset("A"));
+    const SystemConfig cfg = makeConfigFromSpec("A");
+    EXPECT_EQ("A", cfg.name);
+    EXPECT_TRUE(cfg.adapt.enabled);
+    EXPECT_TRUE(cfg.clear.enabled); // A routes *onto* CLEAR
+    // Static presets never enable the adaptive routing.
+    for (const char *name : {"B", "P", "C", "W"})
+        EXPECT_FALSE(makeConfigFromSpec(name).adapt.enabled) << name;
+}
+
+TEST(AdaptivePresetTest, AdaptOverrideKeysApply)
+{
+    // The whole verdict->action mapping is spec-addressable.
+    EXPECT_TRUE(makeConfigFromSpec("C:adapt.enabled=1").adapt.enabled);
+    EXPECT_FALSE(makeConfigFromSpec("A:adapt.enabled=0").adapt.enabled);
+    EXPECT_EQ(AdaptAction::Sle,
+              makeConfigFromSpec("A:adapt.indirection=4")
+                  .adapt.unboundedIndirection);
+    EXPECT_EQ(AdaptAction::BoundedRetry,
+              makeConfigFromSpec("A:adapt.capacity=2")
+                  .adapt.capacityDoomed);
+    EXPECT_EQ(AdaptAction::Fallback,
+              makeConfigFromSpec("A:adapt.eligible=1")
+                  .adapt.eligible);
+    EXPECT_EQ(AdaptAction::Clear,
+              makeConfigFromSpec("A:adapt.lock-order=0")
+                  .adapt.lockOrderRisk);
+    EXPECT_EQ(3u,
+              makeConfigFromSpec("A:adapt.retries=3")
+                  .adapt.boundedRetries);
+
+    // Out-of-range action codes are rejected by the grammar.
+    SystemConfig cfg;
+    std::string error;
+    EXPECT_FALSE(ConfigRegistry::instance().tryMake(
+        "A:adapt.eligible=5", cfg, error));
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Property suite for the adaptive preset "A".
+ *
+ * Three contracts:
+ *  - A region the analyzer proves CAPACITY-DOOMED never enters
+ *    speculation under "A": its first attempt is already the
+ *    fallback path.
+ *  - A workload whose regions are all ELIGIBLE runs cycle-identical
+ *    under "A" and under the static "C": adaptivity is free when
+ *    there is nothing to adapt.
+ *  - Under "A" crossed with every canned fault plan and several
+ *    seeds, the InvariantChecker's single-retry bound holds, and
+ *    any violation replays byte-identically from its repro string.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/analyze.hh"
+#include "core/system.hh"
+#include "fault/fault_repro.hh"
+#include "fault/invariant_checker.hh"
+#include "harness/runner.hh"
+#include "policy/config_registry.hh"
+#include "policy/region_policy.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** The verdict-landscape params (bayes has CAPACITY-DOOMED here). */
+WorkloadParams
+landscapeParams()
+{
+    WorkloadParams params;
+    params.threads = 8;
+    params.opsPerThread = 8;
+    params.seed = 11;
+    return params;
+}
+
+TEST(AdaptivePolicyProperty, CapacityDoomedNeverEntersSpeculation)
+{
+    const WorkloadParams params = landscapeParams();
+    for (const char *workload : {"bayes", "labyrinth", "yada"}) {
+        SCOPED_TRACE(workload);
+        const SystemConfig cfg = makeConfigFromSpec("A");
+        const RegionPolicyTable table =
+            buildRegionPolicy(cfg, workload, params);
+
+        std::set<RegionPc> doomed;
+        for (const auto &[pc, decision] : table.decisions())
+            if (decision.verdict == RegionVerdict::CapacityDoomed)
+                doomed.insert(pc);
+        // The property is vacuous without doomed regions; these
+        // workloads are chosen because they have them at the
+        // landscape params.
+        ASSERT_FALSE(doomed.empty());
+
+        System sys(cfg, params.seed);
+        sys.setRegionPolicy(&table);
+        unsigned speculative_attempts = 0;
+        unsigned fallback_attempts = 0;
+        sys.setTraceSink([&](const TraceEvent &e) {
+            if (e.kind != TraceKind::AttemptBegin ||
+                !doomed.count(e.pc))
+                return;
+            if (e.mode == ExecMode::Fallback)
+                ++fallback_attempts;
+            else
+                ++speculative_attempts;
+        });
+        auto w = makeWorkload(workload, params);
+        runWorkloadThreads(sys, *w);
+
+        // Every invocation of a doomed region went straight to the
+        // fallback path; not one speculative (or cacheline-locked)
+        // attempt was wasted on a region that cannot fit.
+        EXPECT_EQ(0u, speculative_attempts);
+        EXPECT_GT(fallback_attempts, 0u);
+    }
+}
+
+TEST(AdaptivePolicyProperty, AllEligibleWorkloadMatchesClearExactly)
+{
+    const WorkloadParams params = landscapeParams();
+    const SystemConfig adaptive = makeConfigFromSpec("A");
+    const SystemConfig clear = makeConfigFromSpec("C");
+
+    for (const char *workload : {"arrayswap", "mwobject"}) {
+        SCOPED_TRACE(workload);
+        const RegionPolicyTable table =
+            buildRegionPolicy(adaptive, workload, params);
+        ASSERT_FALSE(table.empty());
+        for (const auto &[pc, decision] : table.decisions())
+            ASSERT_EQ(RegionVerdict::Eligible, decision.verdict)
+                << "0x" << std::hex << pc;
+
+        // Nothing to adapt: every region maps to full CLEAR, so the
+        // measured run must be cycle-identical to static "C".
+        const RunResult a = runOnce(adaptive, workload, params);
+        const RunResult c = runOnce(clear, workload, params);
+        EXPECT_EQ(c.cycles, a.cycles);
+        EXPECT_EQ(c.htm.commits, a.htm.commits);
+        EXPECT_EQ(c.htm.aborts, a.htm.aborts);
+        EXPECT_EQ(c.htm.commitsByMode, a.htm.commitsByMode);
+        EXPECT_EQ(c.energy.total(), a.energy.total());
+    }
+}
+
+/** Replay a violation from its repro string; return the what(). */
+std::string
+replayFromRepro(const std::string &what)
+{
+    const std::size_t begin = what.find("repro{");
+    EXPECT_NE(begin, std::string::npos) << what;
+    if (begin == std::string::npos)
+        return {};
+    const std::string repro =
+        what.substr(begin, what.find('}', begin) - begin + 1);
+
+    ReproSpec spec;
+    std::string error;
+    EXPECT_TRUE(parseReproString(repro, spec, &error)) << error;
+    WorkloadParams params;
+    params.threads = spec.threads;
+    params.opsPerThread = spec.ops;
+    params.scale = spec.scale;
+    params.seed = spec.seed;
+    try {
+        runOnce(makeConfigFromSpec(spec.config), spec.workload,
+                params);
+    } catch (const InvariantViolationError &err) {
+        return err.what();
+    }
+    ADD_FAILURE() << "replay of " << repro << " did not violate";
+    return {};
+}
+
+TEST(AdaptivePolicyProperty, InvariantsHoldUnderEveryFaultPlan)
+{
+    const char *plans[] = {"faults-nack-storm",
+                           "faults-delay-jitter",
+                           "faults-forced-abort"};
+    const char *workloads[] = {"mwobject", "bayes"};
+    for (const char *plan : plans) {
+        for (std::uint64_t fault_seed : {1, 17}) {
+            const std::string spec =
+                std::string("A+") + plan +
+                ":fault.seed=" + std::to_string(fault_seed);
+            const SystemConfig cfg = makeConfigFromSpec(spec);
+            for (const char *workload : workloads) {
+                SCOPED_TRACE(spec + " / " + workload);
+                try {
+                    const RunResult run =
+                        runOnce(cfg, workload, landscapeParams());
+                    // Committed: the single-retry bound holds per
+                    // region even though budgets now vary by
+                    // verdict — none may exceed the global limit.
+                    EXPECT_GT(run.htm.commits, 0u);
+                    for (unsigned r = cfg.maxRetries; r < 32; ++r) {
+                        EXPECT_EQ(run.htm.commitsByRetries.count(r),
+                                  0u)
+                            << "non-fallback commit with " << r
+                            << " counted retries";
+                    }
+                } catch (const InvariantViolationError &err) {
+                    // Violated: named invariant, byte-identical
+                    // replay from the repro string alone.
+                    EXPECT_FALSE(err.invariant().empty());
+                    EXPECT_EQ(replayFromRepro(err.what()),
+                              std::string(err.what()));
+                }
+            }
+        }
+    }
+}
+
+TEST(AdaptivePolicyProperty, AdaptiveRunsAreDeterministic)
+{
+    // Same (spec, workload, params) -> byte-identical results,
+    // capture pass included.
+    const WorkloadParams params = landscapeParams();
+    const SystemConfig cfg =
+        makeConfigFromSpec("A+faults-delay-jitter");
+    const RunResult first = runOnce(cfg, "bayes", params);
+    const RunResult second = runOnce(cfg, "bayes", params);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.htm.commits, second.htm.commits);
+    EXPECT_EQ(first.htm.aborts, second.htm.aborts);
+    EXPECT_EQ(first.energy.total(), second.energy.total());
+    EXPECT_EQ(first.decisionReport, second.decisionReport);
+    EXPECT_FALSE(first.decisionReport.empty());
+}
+
+} // namespace
+} // namespace clearsim

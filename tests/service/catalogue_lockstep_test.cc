@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lockstep proof for the two views of the config grammar: the
+ * catalogue JSON clearsimd serves and the registry lists
+ * `clearsim_cli --list-configs` prints are both pure functions of
+ * ConfigRegistry, so they must enumerate exactly the same entries,
+ * in the same order, with the same descriptions. A preset or
+ * override added to one view but not the other is a drift bug —
+ * daemon clients would discover a different grammar than CLI users.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+struct CatalogueEntry
+{
+    std::string name;
+    std::string description;
+};
+
+std::vector<CatalogueEntry>
+entriesOf(const JsonValue &doc, const char *section)
+{
+    std::vector<CatalogueEntry> out;
+    const JsonValue *list = doc.find(section);
+    EXPECT_NE(nullptr, list) << section;
+    if (!list)
+        return out;
+    for (const JsonValue &entry : list->items)
+        out.push_back({entry.find("name")->text,
+                       entry.find("description")->text});
+    return out;
+}
+
+TEST(CatalogueLockstep, JsonEnumeratesExactlyTheRegistryLists)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(reg.catalogueJson(), doc, error)) << error;
+
+    const auto presets = entriesOf(doc, "presets");
+    ASSERT_EQ(reg.presets().size(), presets.size());
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        EXPECT_EQ(reg.presets()[i].name, presets[i].name) << i;
+        EXPECT_EQ(reg.presets()[i].description,
+                  presets[i].description)
+            << presets[i].name;
+    }
+
+    const auto modifiers = entriesOf(doc, "modifiers");
+    ASSERT_EQ(reg.modifiers().size(), modifiers.size());
+    for (std::size_t i = 0; i < modifiers.size(); ++i) {
+        EXPECT_EQ(reg.modifiers()[i].name, modifiers[i].name) << i;
+        EXPECT_EQ(reg.modifiers()[i].description,
+                  modifiers[i].description)
+            << modifiers[i].name;
+    }
+
+    const auto overrides = entriesOf(doc, "overrides");
+    ASSERT_EQ(reg.overrideKeys().size(), overrides.size());
+    for (std::size_t i = 0; i < overrides.size(); ++i) {
+        EXPECT_EQ(reg.overrideKeys()[i].name, overrides[i].name)
+            << i;
+        EXPECT_EQ(reg.overrideKeys()[i].description,
+                  overrides[i].description)
+            << overrides[i].name;
+    }
+}
+
+TEST(CatalogueLockstep, OverrideRangesMatchTheRegistry)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(reg.catalogueJson(), doc, error)) << error;
+
+    const JsonValue *list = doc.find("overrides");
+    ASSERT_NE(nullptr, list);
+    ASSERT_EQ(reg.overrideKeys().size(), list->items.size());
+    for (std::size_t i = 0; i < list->items.size(); ++i) {
+        const ConfigOverrideKey &key = reg.overrideKeys()[i];
+        const JsonValue &entry = list->items[i];
+        EXPECT_EQ(key.minValue, entry.find("min")->asUint())
+            << key.name;
+        EXPECT_EQ(key.maxValue, entry.find("max")->asUint())
+            << key.name;
+    }
+}
+
+TEST(CatalogueLockstep, AdaptiveGrammarIsDiscoverableInBothViews)
+{
+    // The new preset "A" and its :adapt.* keys must be visible to
+    // daemon clients (catalogue) and CLI users (--list-configs)
+    // alike; both read these exact lists.
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    EXPECT_TRUE(reg.hasPreset("A"));
+
+    const std::string json = reg.catalogueJson();
+    for (const char *needle :
+         {"\"A\"", "adapt.enabled", "adapt.eligible",
+          "adapt.capacity", "adapt.indirection", "adapt.lock-order",
+          "adapt.retries"}) {
+        EXPECT_NE(std::string::npos, json.find(needle)) << needle;
+    }
+
+    bool found = false;
+    for (const ConfigOverrideKey &key : reg.overrideKeys())
+        found |= key.name == "adapt.retries";
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace clearsim

@@ -30,13 +30,41 @@ smallParams()
     return params;
 }
 
-TEST(DedupeIds, RunIdIsTheCanonicalReproString)
+TEST(DedupeIds, RunIdIsAReproStringOverTheCanonicalConfigHash)
 {
+    // The config field of the id is the hash of the *resolved*
+    // config ("cfg-" + 16 hex digits), not the spec text — that is
+    // what makes textual variants of one config collide below.
     const std::string id = runJobId("B", "mwobject", 4,
                                     smallParams());
-    EXPECT_EQ("run:repro{workload=mwobject;config=B:maxRetries=4;"
-              "threads=4;ops=8;scale=2;seed=7}",
-              id);
+    EXPECT_EQ(0u, id.find("run:repro{workload=mwobject;"
+                          "config=cfg-"));
+    const std::string::size_type cfg = id.find("config=cfg-") + 11;
+    EXPECT_EQ(16u, id.find(';', cfg) - cfg);
+    EXPECT_NE(std::string::npos,
+              id.find(";threads=4;ops=8;scale=2;seed=7}"));
+}
+
+TEST(DedupeIds, EquivalentSpecTextsShareOneIdentity)
+{
+    // Same resolved config, three spellings: an override written as
+    // a modifier, the modifier written as overrides, and a
+    // reordered modifier list. All must dedupe to one execution.
+    EXPECT_EQ(runJobId("C+watchdog", "bst", 2, smallParams()),
+              runJobId("C:fault.watchdog=1", "bst", 2,
+                       smallParams()));
+    EXPECT_EQ(
+        runJobId("C+watchdog+sle", "bst", 2, smallParams()),
+        runJobId("C+sle+watchdog", "bst", 2, smallParams()));
+    // The engine-composed retry suffix folds into the same
+    // canonical form as a spec that spells maxRetries directly.
+    EXPECT_EQ(runJobId("C", "bst", 2, smallParams()),
+              runJobId("C:maxRetries=2", "bst", 2, smallParams()));
+
+    // ...but config names must not leak into each other: presets
+    // that resolve differently keep distinct identities.
+    EXPECT_NE(runJobId("C", "bst", 2, smallParams()),
+              runJobId("C+sle", "bst", 2, smallParams()));
 }
 
 TEST(DedupeIds, AnalyzeIdDiffersFromRunIdOnlyInKind)

@@ -31,7 +31,9 @@ SweepOptions
 smallSweep(unsigned jobs)
 {
     SweepOptions opts;
-    opts.configs = {"B", "C"};
+    // "A" rides along: its capture pass must be transparent to the
+    // engine-vs-wire byte identity like any static preset.
+    opts.configs = {"B", "C", "A"};
     opts.workloads = {"mwobject", "arrayswap"};
     opts.retryLimits = {1, 4};
     opts.seeds = 3;

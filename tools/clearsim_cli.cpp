@@ -200,6 +200,28 @@ validateCliSelections(const CliOptions &opts)
     }
 }
 
+/**
+ * The CLI's one config-resolution path. Both --analyze captures and
+ * measurement runs resolve their SystemConfig through this helper,
+ * so an analysis is always captured under exactly the config the
+ * matching run executes: same spec resolution, same --retries
+ * override, same --profile flag, same thread-count capping. (A
+ * capture/run divergence here once made verdicts refer to a machine
+ * the run never simulated.)
+ */
+SystemConfig
+resolveRunConfig(const CliOptions &opts, const std::string &spec)
+{
+    SystemConfig cfg = makeConfigByName(spec);
+    if (opts.retriesGiven)
+        cfg.maxRetries = opts.retries;
+    if (opts.profile)
+        cfg.profileMode = true;
+    if (opts.threads < cfg.numCores)
+        cfg.numCores = opts.threads;
+    return cfg;
+}
+
 CliOptions
 parseArgs(int argc, char **argv)
 {
@@ -327,18 +349,18 @@ main(int argc, char **argv)
         std::vector<AnalysisResult> analyses;
         for (const std::string &workload : opts.workloads) {
             for (const std::string &config : opts.configs) {
-                AnalyzeRequest request;
-                request.config = config;
-                request.workload = workload;
-                request.maxRetries =
-                    opts.retriesGiven
-                        ? opts.retries
-                        : makeConfigByName(config).maxRetries;
-                request.params.threads = opts.threads;
-                request.params.opsPerThread = opts.ops;
-                request.params.scale = opts.scale;
-                request.params.seed = opts.seed;
-                AnalyzeOutcome outcome = analyzeWorkload(request);
+                WorkloadParams params;
+                params.threads = opts.threads;
+                params.opsPerThread = opts.ops;
+                params.scale = opts.scale;
+                params.seed = opts.seed;
+                // Capture under the exact config a run of the same
+                // command line would execute; label the table with
+                // the spec text the user typed.
+                AnalyzeOutcome outcome = analyzeWithConfig(
+                    resolveRunConfig(opts, config), workload,
+                    params);
+                outcome.analysis.config = config;
                 writeAnalysisTable(std::cout, outcome.analysis);
                 analyses.push_back(std::move(outcome.analysis));
             }
@@ -373,13 +395,7 @@ main(int argc, char **argv)
 
     for (const std::string &workload : opts.workloads) {
         for (const std::string &config : opts.configs) {
-            SystemConfig cfg = makeConfigByName(config);
-            if (opts.retriesGiven)
-                cfg.maxRetries = opts.retries;
-            if (opts.profile)
-                cfg.profileMode = true;
-            if (opts.threads < cfg.numCores)
-                cfg.numCores = opts.threads;
+            SystemConfig cfg = resolveRunConfig(opts, config);
             WorkloadParams params;
             params.threads = opts.threads;
             params.opsPerThread = opts.ops;
@@ -389,7 +405,19 @@ main(int argc, char **argv)
             RunResult run;
             try {
             if (opts.trace || opts.profile || collectTrace) {
+                // This branch drives System directly instead of
+                // going through runOnce(), so it must install the
+                // adaptive decision table itself — otherwise a
+                // traced "--config A" run would silently execute
+                // the static CLEAR policy.
+                RegionPolicyTable regionPolicy;
                 System sys(cfg, params.seed);
+                if (cfg.adapt.enabled) {
+                    regionPolicy =
+                        buildRegionPolicy(cfg, workload, params);
+                    sys.setRegionPolicy(&regionPolicy);
+                    run.decisionReport = regionPolicy.report();
+                }
                 if (opts.trace || collectTrace) {
                     sys.setTraceSink([&](const TraceEvent &e) {
                         if (collectTrace)
@@ -441,6 +469,14 @@ main(int argc, char **argv)
             }
             if (!opts.statsJsonPath.empty())
                 allRuns.push_back(run);
+            if (!run.decisionReport.empty()) {
+                // Adaptive runs: what the capture pass decided per
+                // region, before the measured numbers.
+                std::fprintf(stderr,
+                             "# per-region decisions for %s [%s]\n%s",
+                             workload.c_str(), config.c_str(),
+                             run.decisionReport.c_str());
+            }
             if (opts.profile) {
                 std::fprintf(stderr,
                              "# region profiles for %s [%s]\n"
