@@ -1,0 +1,426 @@
+#include "analysis/cert_checker.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace clearsim
+{
+
+namespace
+{
+
+/** Synthesized-event ring bound: enough for every real audit, small
+ *  enough that a pathological run cannot balloon memory. */
+constexpr std::size_t kMaxFalsifiedEvents = 256;
+
+bool
+isCapacityPremise(PremiseId id)
+{
+    switch (id) {
+      case PremiseId::CapWindow:
+      case PremiseId::CapSq:
+      case PremiseId::CapL1Pin:
+      case PremiseId::CapFootprint:
+      case PremiseId::CapAlt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+const char *
+mispredictKindName(MispredictKind kind)
+{
+    switch (kind) {
+      case MispredictKind::FalseEligible:
+        return "false-ELIGIBLE";
+      case MispredictKind::FalseDoomed:
+        return "false-DOOMED";
+      case MispredictKind::OrderProofViolated:
+        return "order-proof-violated";
+      case MispredictKind::InterferenceUnderestimate:
+        return "interference-underestimate";
+    }
+    return "?";
+}
+
+CertChecker::CertChecker(const CertificateSet &certs,
+                         const SystemConfig &cfg)
+    : certs_(certs), cfg_(cfg), cores_(cfg.numCores)
+{
+}
+
+bool
+CertChecker::alreadyFalsified(RegionPc pc, PremiseId premise) const
+{
+    const auto it = latched_.find(pc);
+    if (it == latched_.end())
+        return false;
+    return it->second[static_cast<unsigned>(premise)].hit;
+}
+
+void
+CertChecker::noteFalsified(RegionPc pc, PremiseId premise,
+                           std::uint64_t observed,
+                           std::uint64_t bound, Cycle cycle,
+                           CoreId core)
+{
+    auto &slots = latched_[pc];
+    if (slots.empty())
+        slots.resize(kNumPremises);
+    Falsification &slot = slots[static_cast<unsigned>(premise)];
+    if (slot.hit)
+        return;
+    slot.hit = true;
+    slot.observed = observed;
+    slot.bound = bound;
+    slot.cycle = cycle;
+    ++falsifications_;
+
+    TraceEvent event;
+    event.cycle = cycle;
+    event.core = core;
+    event.pc = pc;
+    event.kind = TraceKind::PremiseFalsified;
+    PremisePayload payload;
+    payload.premise = static_cast<std::uint32_t>(premise);
+    payload.observed = observed;
+    payload.bound = bound;
+    event.payload = payload;
+    if (events_.size() < kMaxFalsifiedEvents)
+        events_.push_back(event);
+    if (downstream_)
+        downstream_(event);
+}
+
+void
+CertChecker::onTrace(const TraceEvent &event)
+{
+    if (event.core >= cores_.size())
+        return;
+    CoreState &state = cores_[event.core];
+
+    switch (event.kind) {
+      case TraceKind::AttemptBegin:
+        state.pc = event.pc;
+        state.mode = event.mode;
+        state.inAttempt = true;
+        state.haveLast = false;
+        break;
+
+      case TraceKind::Commit: {
+        RegionOutcome &outcome = outcomes_[event.pc];
+        switch (event.mode) {
+          case ExecMode::Speculative:
+            ++outcome.specCommits;
+            break;
+          case ExecMode::SCl:
+            ++outcome.sClCommits;
+            break;
+          case ExecMode::NsCl:
+            ++outcome.nsClCommits;
+            break;
+          case ExecMode::Fallback:
+            ++outcome.fallbackCommits;
+            break;
+        }
+        // The single-retry bound, stated as the machine contract
+        // the InvariantChecker enforces: every non-fallback commit
+        // stays under the counted-retry budget (the converted NS-CL
+        // retry — CLEAR's single retry — consumes none of it), and
+        // the fallback path is the sanctioned escape hatch. The
+        // stricter countedRetries <= 1 reading is falsified
+        // fault-free on the default grid (conflict-aborted S-CL
+        // retries legitimately consume budget before conversion),
+        // so it would drown real mispredicts in machine noise.
+        const RegionCertificate *cert = certs_.find(event.pc);
+        if (cert != nullptr &&
+            cert->premise(PremiseId::SingleRetryBound).holds) {
+            const Premise &premise =
+                cert->premise(PremiseId::SingleRetryBound);
+            if (event.mode != ExecMode::Fallback &&
+                premise.bound != 0 &&
+                event.countedRetries >= premise.bound) {
+                ++outcome.retryBoundViolations;
+                noteFalsified(event.pc,
+                              PremiseId::SingleRetryBound,
+                              event.countedRetries, premise.bound,
+                              event.cycle, event.core);
+            }
+        }
+        state.inAttempt = false;
+        state.haveLast = false;
+        break;
+      }
+
+      case TraceKind::Abort: {
+        if (event.reason == AbortReason::MemoryConflict ||
+            event.reason == AbortReason::Nacked) {
+            RegionOutcome &outcome = outcomes_[event.pc];
+            ++outcome.conflictAborts;
+            const RegionCertificate *cert = certs_.find(event.pc);
+            if (cert != nullptr &&
+                cert->premise(PremiseId::ConflictQuiescent).holds) {
+                noteFalsified(event.pc,
+                              PremiseId::ConflictQuiescent,
+                              outcome.conflictAborts, 0, event.cycle,
+                              event.core);
+            }
+        }
+        state.inAttempt = false;
+        state.haveLast = false;
+        break;
+      }
+
+      case TraceKind::LineLockAcquired: {
+        // Dynamic twin of the static lock-order proof: cache-locked
+        // attempts must acquire in strictly increasing (dirSet,
+        // line) order. Lock events carry no pc, so attribute via
+        // the core's current attempt.
+        if (!state.inAttempt || (state.mode != ExecMode::SCl &&
+                                 state.mode != ExecMode::NsCl)) {
+            break;
+        }
+        const auto *lock = std::get_if<LockPayload>(&event.payload);
+        if (lock == nullptr)
+            break;
+        const unsigned set = static_cast<unsigned>(
+            lock->line & (cfg_.cache.dirSets - 1));
+        if (state.haveLast &&
+            (set < state.lastSet ||
+             (set == state.lastSet &&
+              lock->line <= state.lastLine))) {
+            RegionOutcome &outcome = outcomes_[state.pc];
+            ++outcome.lockOrderViolations;
+            const RegionCertificate *cert = certs_.find(state.pc);
+            if (cert != nullptr &&
+                cert->premise(PremiseId::LockOrder).holds) {
+                noteFalsified(state.pc, PremiseId::LockOrder,
+                              outcome.lockOrderViolations, 0,
+                              event.cycle, event.core);
+            }
+        }
+        state.haveLast = true;
+        state.lastSet = set;
+        state.lastLine = lock->line;
+        break;
+      }
+
+      default:
+        break;
+    }
+}
+
+void
+CertChecker::auditProfile(const RegionCertificate &cert,
+                          const RegionProfile &profile,
+                          Cycle end_cycle)
+{
+    const AnalysisLimits &limits = certs_.limits;
+    const RegionPc pc = cert.pc;
+
+    // cap.window (vacuous outside in-core scope: bound 0).
+    const Premise &window = cert.premise(PremiseId::CapWindow);
+    if (window.holds && window.bound > 0) {
+        if (profile.maxAttemptUops > limits.robEntries) {
+            noteFalsified(pc, PremiseId::CapWindow,
+                          profile.maxAttemptUops, limits.robEntries,
+                          end_cycle, 0);
+        } else if (profile.maxAttemptLoads > limits.lqEntries) {
+            noteFalsified(pc, PremiseId::CapWindow,
+                          profile.maxAttemptLoads, limits.lqEntries,
+                          end_cycle, 0);
+        } else if (profile.maxAttemptStores > limits.sqEntries) {
+            noteFalsified(pc, PremiseId::CapWindow,
+                          profile.maxAttemptStores, limits.sqEntries,
+                          end_cycle, 0);
+        }
+    }
+
+    if (cert.premise(PremiseId::CapSq).holds &&
+        profile.sqFullAborts > 0) {
+        noteFalsified(pc, PremiseId::CapSq, profile.sqFullAborts,
+                      limits.sqEntries, end_cycle, 0);
+    }
+
+    if (cert.premise(PremiseId::CapFootprint).holds &&
+        profile.maxFootprintLines > limits.footprintCapacity) {
+        noteFalsified(pc, PremiseId::CapFootprint,
+                      profile.maxFootprintLines,
+                      limits.footprintCapacity, end_cycle, 0);
+    }
+
+    if (cert.premise(PremiseId::CapAlt).holds &&
+        profile.maxFootprintLines > limits.altEntries) {
+        noteFalsified(pc, PremiseId::CapAlt,
+                      profile.maxFootprintLines, limits.altEntries,
+                      end_cycle, 0);
+    }
+
+    // Capacity aborts with no footprint-side explanation (neither a
+    // statically failed nor a dynamically falsified footprint/ALT
+    // premise) are attributed to L1-way pinning, the remaining
+    // structural cause.
+    const bool footprintExplains =
+        !cert.premise(PremiseId::CapFootprint).holds ||
+        alreadyFalsified(pc, PremiseId::CapFootprint) ||
+        !cert.premise(PremiseId::CapAlt).holds ||
+        alreadyFalsified(pc, PremiseId::CapAlt);
+    if (cert.premise(PremiseId::CapL1Pin).holds &&
+        profile.capacityAborts > 0 && !footprintExplains) {
+        noteFalsified(pc, PremiseId::CapL1Pin,
+                      profile.capacityAborts, limits.l1Ways,
+                      end_cycle, 0);
+    }
+
+    if (cert.premise(PremiseId::IndOnePass).holds &&
+        profile.footprintChanged) {
+        noteFalsified(pc, PremiseId::IndOnePass, 1, 0, end_cycle, 0);
+    }
+}
+
+void
+CertChecker::finalize(const HtmStats &stats, Cycle end_cycle)
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    for (const RegionCertificate &cert : certs_.regions) {
+        const auto it = stats.regions.find(cert.pc);
+        if (it != stats.regions.end())
+            auditProfile(cert, it->second, end_cycle);
+    }
+
+    // Roll latched falsifications into mispredict records, sorted by
+    // (pc, premise) — certificate order is pc order, premise slots
+    // are id order, so iteration order is already deterministic.
+    for (const RegionCertificate &cert : certs_.regions) {
+        const auto latched = latched_.find(cert.pc);
+        if (latched != latched_.end()) {
+            for (unsigned p = 0; p < kNumPremises; ++p) {
+                const Falsification &slot = latched->second[p];
+                if (!slot.hit)
+                    continue;
+                const auto premise = static_cast<PremiseId>(p);
+                MispredictKind kind;
+                if (premise == PremiseId::LockOrder) {
+                    kind = MispredictKind::OrderProofViolated;
+                } else if (premise == PremiseId::ConflictQuiescent) {
+                    kind = MispredictKind::InterferenceUnderestimate;
+                } else if (cert.verdict == Verdict::Eligible) {
+                    kind = MispredictKind::FalseEligible;
+                } else {
+                    // A capacity/indirection premise falsified on a
+                    // region the verdict already wrote off is not a
+                    // verdict error.
+                    continue;
+                }
+                Mispredict record;
+                record.kind = kind;
+                record.pc = cert.pc;
+                record.verdict = cert.verdict;
+                record.premise = premise;
+                record.observed = slot.observed;
+                record.bound = slot.bound;
+                record.cycle = slot.cycle;
+                record.repro = repro_;
+                mispredicts_.push_back(std::move(record));
+            }
+        }
+
+        // false-DOOMED: the doom never materialized — the region
+        // committed speculatively, suffered no capacity/SQ-full
+        // abort, and no dynamic maximum broke a limit of a
+        // structure the execution actually exercised. Footprint
+        // limits (the conversion table and the ALT) only bind in
+        // the cache-locked modes; a region that committed its every
+        // attempt speculatively never tested them, which is exactly
+        // the interesting case — the analyzer wrote off a region
+        // whose doom the machine never ran into.
+        if (cert.verdict != Verdict::CapacityDoomed)
+            continue;
+        const auto profIt = stats.regions.find(cert.pc);
+        const auto outIt = outcomes_.find(cert.pc);
+        if (profIt == stats.regions.end() ||
+            outIt == outcomes_.end()) {
+            continue;
+        }
+        const RegionProfile &profile = profIt->second;
+        const AnalysisLimits &limits = certs_.limits;
+        if (outIt->second.specCommits == 0 ||
+            profile.capacityAborts > 0 || profile.sqFullAborts > 0) {
+            continue;
+        }
+        const Premise &window = cert.premise(PremiseId::CapWindow);
+        const bool windowClean =
+            window.bound == 0 ||
+            (profile.maxAttemptUops <= limits.robEntries &&
+             profile.maxAttemptLoads <= limits.lqEntries &&
+             profile.maxAttemptStores <= limits.sqEntries);
+        const bool cacheLocked = outIt->second.sClCommits > 0 ||
+                                 outIt->second.nsClCommits > 0;
+        const bool footprintDoomed =
+            cacheLocked &&
+            (profile.maxFootprintLines > limits.footprintCapacity ||
+             profile.maxFootprintLines > limits.altEntries);
+        if (!windowClean ||
+            profile.maxAttemptStores > limits.sqEntries ||
+            footprintDoomed) {
+            continue;
+        }
+        // Blame the first capacity premise the verdict rested on.
+        Mispredict record;
+        record.kind = MispredictKind::FalseDoomed;
+        record.pc = cert.pc;
+        record.verdict = cert.verdict;
+        record.premise = PremiseId::CapWindow;
+        for (unsigned p = 0; p < kNumPremises; ++p) {
+            const auto id = static_cast<PremiseId>(p);
+            if (isCapacityPremise(id) && !cert.premise(id).holds) {
+                record.premise = id;
+                record.bound = cert.premise(id).bound;
+                break;
+            }
+        }
+        record.observed = profile.maxFootprintLines;
+        record.cycle = end_cycle;
+        record.repro = repro_;
+        mispredicts_.push_back(std::move(record));
+    }
+}
+
+std::string
+CertChecker::report() const
+{
+    char buf[192];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "cert-check: %zu mispredicts, %" PRIu64
+                  " falsified premises\n",
+                  mispredicts_.size(), falsifications_);
+    out += buf;
+    for (const Mispredict &record : mispredicts_) {
+        std::snprintf(buf, sizeof buf,
+                      "  %s pc=%" PRIu64 " verdict=%s premise=%s"
+                      " observed=%" PRIu64 " bound=%" PRIu64
+                      " cycle=%" PRIu64 "\n",
+                      mispredictKindName(record.kind),
+                      static_cast<std::uint64_t>(record.pc),
+                      verdictName(record.verdict),
+                      premiseName(record.premise), record.observed,
+                      record.bound,
+                      static_cast<std::uint64_t>(record.cycle));
+        out += buf;
+        if (!record.repro.empty()) {
+            out += "    ";
+            out += record.repro;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace clearsim

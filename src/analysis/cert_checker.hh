@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Run-time validation of analyzer certificates.
+ *
+ * The CertChecker is the dynamic half of the certifying analyzer:
+ * where the InvariantChecker asserts the *machine's* safety
+ * properties, the CertChecker asserts the *analyzer's* promises. It
+ * taps a System's trace stream (installed through
+ * System::setTraceTap, the same null-unless-installed discipline as
+ * every other sink) and, at finalize time, audits the run's
+ * HtmStats region profiles against the premises of a
+ * CertificateSet. Each premise names the dynamic counter that
+ * falsifies it; the checker watches exactly those counters.
+ *
+ * Falsifications are latched once per (region, premise). Every
+ * latch synthesizes a TraceKind::PremiseFalsified event — forwarded
+ * to an optional downstream sink so falsifications appear in traces
+ * next to the machine events that caused them — and, after
+ * finalize(), is rolled up into structured Mispredict records:
+ *
+ *  - false-ELIGIBLE: an ELIGIBLE verdict lost a capacity,
+ *    indirection or retry-bound premise at run time;
+ *  - false-DOOMED: a CAPACITY-DOOMED region committed speculatively
+ *    with no capacity/SQ-full abort and dynamic maxima inside every
+ *    configured limit — the static doom never materialized;
+ *  - order-proof-violated: a proven-acyclic lock plan acquired out
+ *    of (dirSet, line) order dynamically;
+ *  - interference-underestimate: a conflict-quiescence assumption
+ *    met a real conflict abort.
+ *
+ * Each Mispredict carries the region pc, the falsified premise, the
+ * observed counter value vs the certified bound, and the run's repro
+ * string, so any mispredict replays byte-identically from its
+ * record alone.
+ */
+
+#ifndef CLEARSIM_ANALYSIS_CERT_CHECKER_HH
+#define CLEARSIM_ANALYSIS_CERT_CHECKER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.hh"
+#include "common/config.hh"
+#include "common/trace.hh"
+#include "htm/htm_stats.hh"
+
+namespace clearsim
+{
+
+/** How a verdict was wrong. */
+enum class MispredictKind : std::uint8_t
+{
+    /** ELIGIBLE region falsified a capacity/indirection/retry
+     *  premise. */
+    FalseEligible = 0,
+    /** CAPACITY-DOOMED region ran clean within every limit. */
+    FalseDoomed = 1,
+    /** Proven-acyclic lock plan violated (dirSet, line) order. */
+    OrderProofViolated = 2,
+    /** Assumed-quiescent region suffered real conflict aborts. */
+    InterferenceUnderestimate = 3,
+};
+
+/** Number of mispredict kinds. */
+constexpr unsigned kNumMispredictKinds = 4;
+
+/** Stable kind name ("false-ELIGIBLE", ...). */
+const char *mispredictKindName(MispredictKind kind);
+
+/** One falsified promise of one region, with its evidence. */
+struct Mispredict
+{
+    MispredictKind kind = MispredictKind::FalseEligible;
+    RegionPc pc = 0;
+    Verdict verdict = Verdict::Eligible;
+    PremiseId premise = PremiseId::CapWindow;
+
+    /** Dynamic counter value that broke the premise. */
+    std::uint64_t observed = 0;
+
+    /** The certified bound it broke. */
+    std::uint64_t bound = 0;
+
+    /** Cycle of the falsifying event (0: finalize-time audit). */
+    Cycle cycle = 0;
+
+    /** PR-5 repro string of the falsifying run. */
+    std::string repro;
+};
+
+/** Dynamic per-region tallies the checker accumulates from traces. */
+struct RegionOutcome
+{
+    std::uint64_t specCommits = 0;
+    std::uint64_t sClCommits = 0;
+    std::uint64_t nsClCommits = 0;
+    std::uint64_t fallbackCommits = 0;
+    std::uint64_t conflictAborts = 0;
+    std::uint64_t lockOrderViolations = 0;
+    std::uint64_t retryBoundViolations = 0;
+};
+
+/** See the file comment. */
+class CertChecker
+{
+  public:
+    /**
+     * @param certs certificates of the capture this run replays;
+     *        must outlive the checker
+     * @param cfg the (full, possibly faulted) run configuration
+     */
+    CertChecker(const CertificateSet &certs, const SystemConfig &cfg);
+
+    /** Record the repro string stamped into every Mispredict. */
+    void setRepro(std::string repro) { repro_ = std::move(repro); }
+
+    /**
+     * Install a sink receiving the synthesized PremiseFalsified
+     * events (e.g. the run's user trace sink).
+     */
+    void setDownstream(TraceSink sink)
+    {
+        downstream_ = std::move(sink);
+    }
+
+    /** Trace tap: install via System::setTraceTap. */
+    void onTrace(const TraceEvent &event);
+
+    /**
+     * Finalize-time audit of the run's region profiles (capacity and
+     * indirection premises live in HtmStats, not the trace stream),
+     * then roll every latched falsification into Mispredict records.
+     * Call exactly once, after System::runToCompletion.
+     */
+    void finalize(const HtmStats &stats, Cycle end_cycle);
+
+    /** True once any premise was falsified. */
+    bool anyFalsified() const { return falsifications_ > 0; }
+
+    /** Latched falsifications (valid any time). */
+    std::uint64_t falsificationCount() const
+    {
+        return falsifications_;
+    }
+
+    /** Mispredict records, sorted by (pc, premise); post-finalize. */
+    const std::vector<Mispredict> &mispredicts() const
+    {
+        return mispredicts_;
+    }
+
+    /** Dynamic tallies per region pc (valid any time). */
+    const std::map<RegionPc, RegionOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+    /** Synthesized PremiseFalsified events (bounded). */
+    const std::vector<TraceEvent> &falsifiedEvents() const
+    {
+        return events_;
+    }
+
+    /** Human-readable summary of every mispredict. */
+    std::string report() const;
+
+  private:
+    /** Latch one (pc, premise) falsification. */
+    void noteFalsified(RegionPc pc, PremiseId premise,
+                       std::uint64_t observed, std::uint64_t bound,
+                       Cycle cycle, CoreId core);
+
+    bool alreadyFalsified(RegionPc pc, PremiseId premise) const;
+
+    /** Audit one region's profile counters against its premises. */
+    void auditProfile(const RegionCertificate &cert,
+                      const RegionProfile &profile, Cycle end_cycle);
+
+    /** Per-core attempt state driving the trace-time checks. */
+    struct CoreState
+    {
+        RegionPc pc = 0;
+        ExecMode mode = ExecMode::Speculative;
+        bool inAttempt = false;
+        bool haveLast = false;
+        unsigned lastSet = 0;
+        LineAddr lastLine = 0;
+    };
+
+    /** One latched falsification. */
+    struct Falsification
+    {
+        bool hit = false;
+        std::uint64_t observed = 0;
+        std::uint64_t bound = 0;
+        Cycle cycle = 0;
+    };
+
+    const CertificateSet &certs_;
+    SystemConfig cfg_;
+    std::vector<CoreState> cores_;
+    std::map<RegionPc, std::vector<Falsification>> latched_;
+    std::map<RegionPc, RegionOutcome> outcomes_;
+    std::vector<Mispredict> mispredicts_;
+    std::vector<TraceEvent> events_;
+    TraceSink downstream_;
+    std::uint64_t falsifications_ = 0;
+    bool finalized_ = false;
+    std::string repro_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_ANALYSIS_CERT_CHECKER_HH

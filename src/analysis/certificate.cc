@@ -1,0 +1,368 @@
+#include "analysis/certificate.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.hh"
+
+namespace clearsim
+{
+
+const char *
+premiseName(PremiseId id)
+{
+    switch (id) {
+      case PremiseId::CapWindow:
+        return "cap.window";
+      case PremiseId::CapSq:
+        return "cap.sq";
+      case PremiseId::CapL1Pin:
+        return "cap.l1pin";
+      case PremiseId::CapFootprint:
+        return "cap.footprint";
+      case PremiseId::CapAlt:
+        return "cap.alt";
+      case PremiseId::IndOnePass:
+        return "ind.one-pass";
+      case PremiseId::LockOrder:
+        return "lock.order";
+      case PremiseId::ConflictQuiescent:
+        return "conflict.quiescent";
+      case PremiseId::SingleRetryBound:
+        return "bound.single-retry";
+    }
+    return "?";
+}
+
+const char *
+premiseKindName(PremiseId id)
+{
+    switch (id) {
+      case PremiseId::CapWindow:
+      case PremiseId::CapSq:
+      case PremiseId::CapL1Pin:
+      case PremiseId::CapFootprint:
+      case PremiseId::CapAlt:
+        return "capacity";
+      case PremiseId::IndOnePass:
+        return "indirection";
+      case PremiseId::LockOrder:
+        return "lock-order";
+      case PremiseId::ConflictQuiescent:
+        return "interference";
+      case PremiseId::SingleRetryBound:
+        return "retry-bound";
+    }
+    return "?";
+}
+
+const char *
+premiseFalsifier(PremiseId id)
+{
+    switch (id) {
+      case PremiseId::CapWindow:
+        return "profile.max_attempt_uops";
+      case PremiseId::CapSq:
+        return "profile.sq_full_aborts";
+      case PremiseId::CapL1Pin:
+        return "profile.capacity_aborts";
+      case PremiseId::CapFootprint:
+        return "profile.max_footprint_lines";
+      case PremiseId::CapAlt:
+        return "profile.capacity_aborts";
+      case PremiseId::IndOnePass:
+        return "profile.footprint_changed";
+      case PremiseId::LockOrder:
+        return "trace.lock_order";
+      case PremiseId::ConflictQuiescent:
+        return "trace.conflict_aborts";
+      case PremiseId::SingleRetryBound:
+        return "trace.commit_retries";
+    }
+    return "?";
+}
+
+const RegionCertificate *
+CertificateSet::find(RegionPc pc) const
+{
+    // Regions are sorted by pc (analysis order).
+    const auto it = std::lower_bound(
+        regions.begin(), regions.end(), pc,
+        [](const RegionCertificate &cert, RegionPc key) {
+            return cert.pc < key;
+        });
+    if (it == regions.end() || it->pc != pc)
+        return nullptr;
+    return &*it;
+}
+
+namespace
+{
+
+Premise
+makePremise(PremiseId id, bool holds, std::uint64_t bound,
+            std::uint64_t observed_static)
+{
+    Premise p;
+    p.id = id;
+    p.holds = holds;
+    p.bound = bound;
+    p.observedStatic = observed_static;
+    return p;
+}
+
+RegionCertificate
+certifyRegion(const RegionAnalysis &region,
+              const AnalysisResult &analysis, const SystemConfig &cfg)
+{
+    const CapacityFindings &cap = region.capacity;
+    const IndirectionFindings &ind = region.indirection;
+    const LockOrderFindings &lock = region.lockOrder;
+    const AnalysisLimits &limits = analysis.limits;
+
+    RegionCertificate cert;
+    cert.pc = region.pc;
+    cert.verdict = region.verdict;
+    cert.premises.reserve(kNumPremises);
+
+    // Each premise mirrors the exact comparison of the analyzer
+    // pass that produced it (analyzer.cc); the lockstep test
+    // re-derives the verdict from premises alone.
+    //
+    // The window premise only constrains in-core (SLE-scope)
+    // speculation: under cache-locked scopes it is vacuous, encoded
+    // as bound 0 so the dynamic checker knows to skip it.
+    const bool in_core = cfg.scope == SpeculationScope::InCore;
+    cert.premises.push_back(makePremise(
+        PremiseId::CapWindow, !cap.windowOverflow,
+        in_core ? limits.robEntries : 0, cap.maxUops));
+    cert.premises.push_back(makePremise(
+        PremiseId::CapSq, !cap.predictsSqFull, limits.sqEntries,
+        cap.maxStores));
+    cert.premises.push_back(makePremise(
+        PremiseId::CapL1Pin, !cap.predictsPinOverflow, limits.l1Ways,
+        cap.maxL1SetLines));
+    cert.premises.push_back(makePremise(
+        PremiseId::CapFootprint, cap.footprintTrackable,
+        limits.footprintCapacity, cap.maxLines));
+    cert.premises.push_back(makePremise(
+        PremiseId::CapAlt, cap.altLockable, limits.altEntries,
+        cap.maxLines));
+    cert.premises.push_back(makePremise(
+        PremiseId::IndOnePass, ind.onePassDiscoverable, 0,
+        (ind.addrTainted ? 1u : 0u) +
+            (ind.branchTainted ? 2u : 0u)));
+    cert.premises.push_back(makePremise(
+        PremiseId::LockOrder, lock.provenAcyclic, 0,
+        lock.violations.size()));
+
+    // Quiescence can only be promised when the pairwise graph shows
+    // no incident edge AND the region writes nothing shared: a
+    // writing region can conflict with its own concurrent
+    // invocations, which a pairwise (a < b) graph never models.
+    cert.premises.push_back(makePremise(
+        PremiseId::ConflictQuiescent,
+        region.conflictScore == 0 && cap.maxWriteLines == 0, 0,
+        region.conflictScore));
+
+    // The paper's headline claim, stated as the machine contract:
+    // an ELIGIBLE region under the CLEAR machinery commits without
+    // exhausting the counted-retry budget (its NS-CL conversion is
+    // the single retry, and consumes none of it). The bound is the
+    // budget; bound 0 (an unlimited budget) makes the premise
+    // dynamically vacuous, exactly like the InvariantChecker's
+    // single-retry-bound invariant.
+    cert.premises.push_back(makePremise(
+        PremiseId::SingleRetryBound,
+        cfg.clear.enabled && region.verdict == Verdict::Eligible,
+        cfg.maxRetries, 0));
+
+    cert.plannedLocks = lock.plannedLocks;
+    cert.conflictGroups = lock.conflictGroups;
+    cert.violations = lock.violations;
+
+    for (const ConflictEdge &edge : analysis.edges) {
+        if (edge.a == region.pc)
+            cert.quiescentEdges.push_back({edge.b, edge.score});
+        else if (edge.b == region.pc)
+            cert.quiescentEdges.push_back({edge.a, edge.score});
+    }
+    return cert;
+}
+
+void
+writePremise(JsonWriter &json, const Premise &premise)
+{
+    json.beginObject();
+    json.key("id");
+    json.value(premiseName(premise.id));
+    json.key("code");
+    json.value(static_cast<unsigned>(premise.id));
+    json.key("kind");
+    json.value(premiseKindName(premise.id));
+    json.key("holds");
+    json.value(premise.holds);
+    json.key("bound");
+    json.value(premise.bound);
+    json.key("observed_static");
+    json.value(premise.observedStatic);
+    json.key("falsified_by");
+    json.value(premiseFalsifier(premise.id));
+    json.endObject();
+}
+
+void
+writeRegionCert(JsonWriter &json, const RegionCertificate &cert)
+{
+    json.beginObject();
+    json.key("pc");
+    json.value(cert.pc);
+    json.key("verdict");
+    json.value(verdictName(cert.verdict));
+    json.key("premises");
+    json.beginArray();
+    for (const Premise &premise : cert.premises)
+        writePremise(json, premise);
+    json.endArray();
+    json.key("obligations");
+    json.beginObject();
+    json.key("planned_locks");
+    json.value(cert.plannedLocks);
+    json.key("conflict_groups");
+    json.value(cert.conflictGroups);
+    json.key("violations");
+    json.beginArray();
+    for (const LockOrderViolation &v : cert.violations) {
+        json.beginObject();
+        json.key("first");
+        json.value(v.first);
+        json.key("second");
+        json.value(v.second);
+        json.key("other_region");
+        json.value(v.otherRegion);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json.key("quiescent_edges");
+    json.beginArray();
+    for (const QuiescentEdge &edge : cert.quiescentEdges) {
+        json.beginObject();
+        json.key("peer");
+        json.value(edge.peer);
+        json.key("score");
+        json.value(edge.score);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+writeCertSet(JsonWriter &json, const CertificateSet &set)
+{
+    json.beginObject();
+    json.key("workload");
+    json.value(set.workload);
+    json.key("config");
+    json.value(set.config);
+    json.key("seed");
+    json.value(set.seed);
+    json.key("max_retries");
+    json.value(set.maxRetries);
+    json.key("clear_enabled");
+    json.value(set.clearEnabled);
+    json.key("limits");
+    json.beginObject();
+    json.key("rob");
+    json.value(set.limits.robEntries);
+    json.key("lq");
+    json.value(set.limits.lqEntries);
+    json.key("sq");
+    json.value(set.limits.sqEntries);
+    json.key("l1_ways");
+    json.value(set.limits.l1Ways);
+    json.key("alt_entries");
+    json.value(set.limits.altEntries);
+    json.key("footprint_capacity");
+    json.value(set.limits.footprintCapacity);
+    json.endObject();
+    json.key("regions");
+    json.beginArray();
+    for (const RegionCertificate &cert : set.regions)
+        writeRegionCert(json, cert);
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace
+
+CertificateSet
+buildCertificates(const AnalysisResult &analysis,
+                  const SystemConfig &cfg)
+{
+    CertificateSet set;
+    set.workload = analysis.workload;
+    set.config = analysis.config;
+    set.seed = analysis.seed;
+    set.maxRetries = cfg.maxRetries;
+    set.clearEnabled = cfg.clear.enabled;
+    set.limits = analysis.limits;
+    set.regions.reserve(analysis.regions.size());
+    for (const RegionAnalysis &region : analysis.regions)
+        set.regions.push_back(certifyRegion(region, analysis, cfg));
+    return set;
+}
+
+std::string
+certJsonString(const std::vector<CertificateSet> &sets)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("schema");
+    json.value(kCertJsonSchema);
+    json.key("certificates");
+    json.beginArray();
+    for (const CertificateSet &set : sets)
+        writeCertSet(json, set);
+    json.endArray();
+    json.endObject();
+    out.push_back('\n');
+    return out;
+}
+
+bool
+writeCertJson(const std::string &path,
+              const std::vector<CertificateSet> &sets,
+              std::string &error)
+{
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec) {
+            error = "cannot create " +
+                    target.parent_path().string() + ": " +
+                    ec.message();
+            return false;
+        }
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        error = "cannot open " + path + ": " + std::strerror(errno);
+        return false;
+    }
+    os << certJsonString(sets);
+    os.flush();
+    if (!os) {
+        error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace clearsim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Machine-checkable eligibility certificates.
+ *
+ * A verdict alone asserts; a certificate *argues*. For every region
+ * the analyzer classifies, buildCertificates() derives the explicit
+ * premises the verdict rests on — one per structure-capacity margin
+ * (ROB/LQ/SQ window, SQ discovery bound, L1-way pinning, footprint
+ * recording bound, ALT lockability), the one-pass-discoverability
+ * witness, the (dirSet, line) lock-order proof obligations, the
+ * conflict-graph edges assumed quiescent, and CLEAR's single-retry
+ * bound itself. Each premise records whether it holds statically,
+ * the bound it was checked against, the static worst case observed
+ * by the capture pass, and the name of the dynamic counter that
+ * would falsify it at run time. The CertChecker
+ * (analysis/cert_checker.hh) validates exactly these premises
+ * against a live run; a verdict is only as good as its cheapest
+ * falsified premise.
+ *
+ * Serialization: the `clearsim-cert-v1` document — all keys always
+ * present, fixed order, integers and fixed strings only, so the
+ * bytes are stable across platforms, runs and job counts (the same
+ * contract as `clearsim-analysis-v1`).
+ *
+ * @code{.json}
+ * {
+ *   "schema": "clearsim-cert-v1",
+ *   "certificates": [
+ *     { "workload": "<name>", "config": "<name>", "seed": u,
+ *       "max_retries": u, "clear_enabled": b,
+ *       "limits": { "rob": u, "lq": u, "sq": u, "l1_ways": u,
+ *                   "alt_entries": u, "footprint_capacity": u },
+ *       "regions": [
+ *         { "pc": u, "verdict": "<ELIGIBLE|...>",
+ *           "premises": [
+ *             { "id": "<cap.window|...>", "code": u,
+ *               "kind": "<capacity|indirection|lock-order|
+ *                         interference|retry-bound>",
+ *               "holds": b, "bound": u, "observed_static": u,
+ *               "falsified_by": "<counter name>" } ],
+ *           "obligations": { "planned_locks": u,
+ *             "conflict_groups": u,
+ *             "violations": [ { "first": u, "second": u,
+ *                               "other_region": u } ] },
+ *           "quiescent_edges": [ { "peer": u, "score": u } ] } ] } ]
+ * }
+ * @endcode
+ */
+
+#ifndef CLEARSIM_ANALYSIS_CERTIFICATE_HH
+#define CLEARSIM_ANALYSIS_CERTIFICATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+
+namespace clearsim
+{
+
+/** Schema identifier of the certificate JSON document. */
+inline constexpr const char *kCertJsonSchema = "clearsim-cert-v1";
+
+/**
+ * Stable numeric premise ids. Codes are wire format (they ride in
+ * PremisePayload trace events and in the cert/audit documents):
+ * append only, never renumber.
+ */
+enum class PremiseId : std::uint8_t
+{
+    /** In-core speculative window fits (SLE scope only). */
+    CapWindow = 0,
+    /** Failed-mode discovery never runs the SQ dry. */
+    CapSq = 1,
+    /** No L1 set needs more pinned lines than it has ways. */
+    CapL1Pin = 2,
+    /** The footprint fits the discovery recording bound. */
+    CapFootprint = 3,
+    /** The worst-case footprint fits (and locks in) the ALT. */
+    CapAlt = 4,
+    /** One failed-mode pass discovers the whole footprint. */
+    IndOnePass = 5,
+    /** The worst-case lock plan is proven acyclic. */
+    LockOrder = 6,
+    /** Every incident conflict-graph edge stays quiescent. */
+    ConflictQuiescent = 7,
+    /** CLEAR commits this region within a single counted retry. */
+    SingleRetryBound = 8,
+};
+
+/** Number of premise ids (every region certificate carries all). */
+constexpr unsigned kNumPremises = 9;
+
+/** Stable premise name ("cap.window", ...). */
+const char *premiseName(PremiseId id);
+
+/** Premise family name ("capacity", "indirection", ...). */
+const char *premiseKindName(PremiseId id);
+
+/**
+ * Name of the dynamic counter that falsifies the premise
+ * ("profile.max_attempt_uops", "trace.lock_order", ...).
+ */
+const char *premiseFalsifier(PremiseId id);
+
+/** One premise of one region's certificate. */
+struct Premise
+{
+    PremiseId id = PremiseId::CapWindow;
+
+    /** The premise holds statically (its margin is non-negative). */
+    bool holds = true;
+
+    /** The configured bound the premise was checked against. */
+    std::uint64_t bound = 0;
+
+    /** The static worst case the capture pass observed. */
+    std::uint64_t observedStatic = 0;
+};
+
+/** One conflict-graph edge the certificate assumes quiescent. */
+struct QuiescentEdge
+{
+    RegionPc peer = 0;
+    std::uint64_t score = 0;
+};
+
+/** The certificate of one region's verdict. */
+struct RegionCertificate
+{
+    RegionPc pc = 0;
+    Verdict verdict = Verdict::Eligible;
+
+    /** All kNumPremises premises, in PremiseId order. */
+    std::vector<Premise> premises;
+
+    /** Lock-order proof obligations (pass 3 evidence). */
+    std::uint64_t plannedLocks = 0;
+    std::uint64_t conflictGroups = 0;
+    std::vector<LockOrderViolation> violations;
+
+    /** Incident conflict edges the verdict assumes stay quiescent. */
+    std::vector<QuiescentEdge> quiescentEdges;
+
+    /** Premise by id (always present). */
+    const Premise &premise(PremiseId id) const
+    {
+        return premises[static_cast<unsigned>(id)];
+    }
+};
+
+/** All certificates of one (workload, config) capture. */
+struct CertificateSet
+{
+    std::string workload;
+    std::string config;
+    std::uint64_t seed = 0;
+
+    /** Retry budget the single-retry premise is stated against. */
+    unsigned maxRetries = 0;
+
+    /** CLEAR machinery on: the retry-bound premise is checkable. */
+    bool clearEnabled = false;
+
+    AnalysisLimits limits;
+
+    /** Per-region certificates, sorted by pc. */
+    std::vector<RegionCertificate> regions;
+
+    /** Certificate for @p pc, or nullptr when never captured. */
+    const RegionCertificate *find(RegionPc pc) const;
+};
+
+/**
+ * Derive the certificates of one analysis. Every premise mirrors
+ * the exact comparison the analyzer's passes made, so
+ * certificate.holds recomputes to the same verdict the analyzer
+ * assigned (the cert/analysis lockstep test pins this).
+ */
+CertificateSet buildCertificates(const AnalysisResult &analysis,
+                                 const SystemConfig &cfg);
+
+/** Serialize certificate sets as one clearsim-cert-v1 document. */
+std::string certJsonString(const std::vector<CertificateSet> &sets);
+
+/**
+ * Write certJsonString() to @p path, creating parent directories as
+ * needed.
+ * @retval false with @p error describing the failure.
+ */
+bool writeCertJson(const std::string &path,
+                   const std::vector<CertificateSet> &sets,
+                   std::string &error);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_ANALYSIS_CERTIFICATE_HH

@@ -12,6 +12,8 @@
 
 #include "analysis/analyze.hh"
 #include "analysis/analyzer.hh"
+#include "analysis/cert_checker.hh"
+#include "analysis/certificate.hh"
 #include "analysis/region_ir.hh"
 #include "analysis/report.hh"
 #include "common/config.hh"
@@ -26,6 +28,7 @@
 #include "common/trace.hh"
 #include "cpu/core_resources.hh"
 #include "energy/energy_model.hh"
+#include "harness/audit.hh"
 #include "harness/runner.hh"
 #include "harness/sweep_cache.hh"
 #include "harness/sweep_engine.hh"

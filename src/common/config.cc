@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <cstdio>
 #include <string>
 
 namespace clearsim
@@ -137,6 +138,14 @@ canonicalConfigString(const SystemConfig &cfg)
     field("a.lockorder",
           static_cast<unsigned>(cfg.adapt.lockOrderRisk));
     field("a.retries", cfg.adapt.boundedRetries);
+    // pc-keyed overrides, in pc order; absent entries add no bytes,
+    // so configs without overrides keep their pre-existing string.
+    for (const auto &[pc, action] : cfg.adapt.pcOverrides) {
+        char key[32];
+        std::snprintf(key, sizeof key, "a.pc%llx",
+                      static_cast<unsigned long long>(pc));
+        field(key, static_cast<unsigned>(action));
+    }
 
     field("profile", cfg.profileMode ? 1 : 0);
     out += '}';

@@ -45,6 +45,8 @@ traceKindName(TraceKind kind)
         return "fault-delay";
       case TraceKind::FaultVerdict:
         return "fault-verdict";
+      case TraceKind::PremiseFalsified:
+        return "premise-falsified";
     }
     return "?";
 }

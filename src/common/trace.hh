@@ -83,10 +83,19 @@ enum class TraceKind : std::uint8_t
     FaultDelay,
     /** An injected fault altered a protocol decision. */
     FaultVerdict,
+
+    // --- certificate checking (analysis layer) ---
+    /**
+     * A certificate premise was falsified by the live run (payload:
+     * premise code, observed counter value, certified bound). The
+     * CertChecker synthesizes these; the machine itself never emits
+     * them.
+     */
+    PremiseFalsified,
 };
 
 /** Number of TraceKind values, for array-indexed aggregation. */
-constexpr unsigned kNumTraceKinds = 18;
+constexpr unsigned kNumTraceKinds = 19;
 
 /** Which of the three BackoffPolicy waits a BackoffWait event is. */
 enum class BackoffWaitKind : std::uint8_t
@@ -189,11 +198,26 @@ struct FaultPayload
     Cycle cycles = 0;
 };
 
+/**
+ * Payload of PremiseFalsified. The premise code is the stable
+ * numeric id of the certificate premise (analysis/certificate.hh
+ * owns the catalogue; this layer treats it as opaque), and
+ * observed/bound are the dynamic counter value and the certified
+ * bound it broke.
+ */
+struct PremisePayload
+{
+    std::uint32_t premise = 0;
+    std::uint64_t observed = 0;
+    std::uint64_t bound = 0;
+};
+
 /** The per-kind detail of a trace event. */
 using TracePayload =
     std::variant<std::monostate, LockPayload, DirSetPayload,
                  InvalidatePayload, ConflictPayload, FallbackPayload,
-                 BackoffPayload, AbortPayload, FaultPayload>;
+                 BackoffPayload, AbortPayload, FaultPayload,
+                 PremisePayload>;
 
 /** One trace record. */
 struct TraceEvent

@@ -68,25 +68,32 @@ System::setTraceSink(TraceSink sink)
 }
 
 void
+System::setTraceTap(TraceSink tap)
+{
+    traceTap_ = std::move(tap);
+    applySink();
+}
+
+void
 System::applySink()
 {
-    // The invariant checker taps the stream ahead of any user sink;
-    // it never mutates the event, so the user sees exactly what the
-    // checker saw.
+    // Chain: invariant checker → observer tap → user sink. None of
+    // the stages mutates the event, so every stage sees exactly
+    // what the machine emitted; absent stages collapse out of the
+    // chain entirely.
     TraceSink effective;
-    if (checker_ != nullptr) {
-        InvariantChecker *checker = checker_.get();
-        if (userSink_) {
-            TraceSink user = userSink_;
-            effective = [checker, user](const TraceEvent &event) {
+    InvariantChecker *checker = checker_.get();
+    if (checker != nullptr || traceTap_) {
+        TraceSink tap = traceTap_;
+        TraceSink user = userSink_;
+        effective = [checker, tap, user](const TraceEvent &event) {
+            if (checker != nullptr)
                 checker->onTrace(event);
+            if (tap)
+                tap(event);
+            if (user)
                 user(event);
-            };
-        } else {
-            effective = [checker](const TraceEvent &event) {
-                checker->onTrace(event);
-            };
-        }
+        };
     } else {
         effective = userSink_;
     }

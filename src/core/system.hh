@@ -82,6 +82,16 @@ class System
      */
     void setTraceSink(TraceSink sink);
 
+    /**
+     * Install (or clear) an observer tap on the trace stream. The
+     * tap sees every event after the invariant checker but before
+     * the user sink, never mutates events, and follows the same
+     * null-unless-installed discipline: without one, nothing
+     * changes. The analysis-layer CertChecker attaches here, so the
+     * core keeps no downward knowledge of certificates.
+     */
+    void setTraceTap(TraceSink tap);
+
     /** The event funnel components emit through. */
     const Tracer &tracer() const { return tracer_; }
 
@@ -181,7 +191,9 @@ class System
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<InvariantChecker> checker_;
     const RegionPolicyTable *regionPolicy_ = nullptr;
-    /** The externally installed sink, kept apart from the tap. */
+    /** Observer tap chained between the checker and the user sink. */
+    TraceSink traceTap_;
+    /** The externally installed sink, kept apart from the taps. */
     TraceSink userSink_;
 };
 

@@ -1,0 +1,705 @@
+#include "harness/audit.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/analyze.hh"
+#include "analysis/certificate.hh"
+#include "common/env.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+#include "core/system.hh"
+#include "fault/fault_repro.hh"
+#include "harness/runner.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+
+unsigned
+verdictClassIndex(Verdict verdict)
+{
+    return static_cast<unsigned>(verdict);
+}
+
+Verdict
+verdictOfClass(unsigned index)
+{
+    return static_cast<Verdict>(index);
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const char *value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** One (config, workload, retry-limit) cell of the audit grid. */
+struct AuditUnit
+{
+    std::string config;
+    std::string workload;
+    unsigned retryLimit = 0;
+};
+
+/** Everything one unit contributes to the reduction. */
+struct UnitOutcome
+{
+    std::uint64_t runs = 0;
+    std::uint64_t regionInstances = 0;
+    std::array<std::array<std::uint64_t, kNumVerdictClasses>,
+               kNumVerdictClasses>
+        confusion{};
+    std::vector<AuditMispredict> mispredicts;
+    std::vector<AuditFailure> failures;
+};
+
+/**
+ * Dynamic outcome class of one region-instance, mirroring the
+ * verdict hierarchy: capacity > indirection > lock-order >
+ * eligible. Conflict aborts and retry counts do not reclassify —
+ * an ELIGIBLE region is expected to conflict and recover within
+ * the single-retry bound.
+ */
+unsigned
+dynamicClassOf(const RegionCertificate &cert,
+               const RegionProfile &profile,
+               const RegionOutcome *outcome,
+               const AnalysisLimits &limits)
+{
+    const Premise &window = cert.premise(PremiseId::CapWindow);
+    const bool window_exceeded =
+        window.bound > 0 &&
+        (profile.maxAttemptUops > limits.robEntries ||
+         profile.maxAttemptLoads > limits.lqEntries ||
+         profile.maxAttemptStores > limits.sqEntries);
+    // Footprint limits (conversion table, ALT) only bind in the
+    // cache-locked modes; a region whose every attempt committed
+    // speculatively never exercised them, so a large footprint
+    // alone is not dynamic capacity evidence (this is what makes a
+    // false-DOOMED observable at all).
+    const bool cache_locked =
+        outcome != nullptr &&
+        (outcome->sClCommits > 0 || outcome->nsClCommits > 0);
+    if (profile.capacityAborts > 0 || profile.sqFullAborts > 0 ||
+        window_exceeded ||
+        (cache_locked &&
+         (profile.maxFootprintLines > limits.footprintCapacity ||
+          profile.maxFootprintLines > limits.altEntries))) {
+        return verdictClassIndex(Verdict::CapacityDoomed);
+    }
+    if (profile.footprintChanged || profile.sawIndirection)
+        return verdictClassIndex(Verdict::UnboundedIndirection);
+    if (outcome != nullptr && outcome->lockOrderViolations > 0)
+        return verdictClassIndex(Verdict::LockOrderRisk);
+    return verdictClassIndex(Verdict::Eligible);
+}
+
+UnitOutcome
+runUnit(const AuditOptions &opts, const AuditUnit &unit)
+{
+    UnitOutcome out;
+
+    SystemConfig cfg;
+    CertificateSet certs;
+    try {
+        cfg = makeConfigByName(unit.config);
+        cfg.maxRetries = unit.retryLimit;
+        cfg.name = specWithRetryLimit(unit.config, unit.retryLimit);
+
+        // One capture pass per unit derives the certificates every
+        // seed of the unit is audited against.
+        const AnalyzeOutcome capture = analyzeWithConfig(
+            captureConfigFor(cfg), unit.workload, opts.params);
+        certs = buildCertificates(capture.analysis, cfg);
+    } catch (const std::exception &err) {
+        out.failures.push_back({unit.config, unit.workload,
+                                unit.retryLimit, err.what()});
+        return out;
+    }
+
+    for (unsigned s = 0; s < opts.seeds; ++s) {
+        WorkloadParams params = opts.params;
+        // Same seed derivation as the sweep engine, so an audit
+        // point and a sweep point with equal indices replay the
+        // same simulation.
+        params.seed = opts.params.seed + 1000003ull * s;
+
+        CertChecker checker(certs, cfg);
+        ReproSpec repro;
+        repro.workload = unit.workload;
+        repro.config = cfg.name;
+        repro.threads = params.threads;
+        repro.ops = params.opsPerThread;
+        repro.scale = params.scale;
+        repro.seed = params.seed;
+        checker.setRepro(makeReproString(repro));
+
+        RunResult run;
+        try {
+            run = runOnce(cfg, unit.workload, params, true,
+                          [&checker](System &sys) {
+                              sys.setTraceTap(
+                                  [&checker](const TraceEvent &e) {
+                                      checker.onTrace(e);
+                                  });
+                          });
+        } catch (const std::exception &err) {
+            out.failures.push_back({cfg.name, unit.workload,
+                                    unit.retryLimit, err.what()});
+            continue;
+        }
+        checker.finalize(run.htm, run.cycles);
+
+        ++out.runs;
+        for (const RegionCertificate &cert : certs.regions) {
+            const auto prof = run.htm.regions.find(cert.pc);
+            if (prof == run.htm.regions.end())
+                continue;
+            const auto outcomeIt = checker.outcomes().find(cert.pc);
+            const RegionOutcome *outcome =
+                outcomeIt == checker.outcomes().end()
+                    ? nullptr
+                    : &outcomeIt->second;
+            const unsigned predicted =
+                verdictClassIndex(cert.verdict);
+            const unsigned actual = dynamicClassOf(
+                cert, prof->second, outcome, certs.limits);
+            ++out.confusion[predicted][actual];
+            ++out.regionInstances;
+        }
+
+        for (const Mispredict &record : checker.mispredicts()) {
+            AuditMispredict entry;
+            entry.config = cfg.name;
+            entry.workload = unit.workload;
+            entry.retryLimit = unit.retryLimit;
+            entry.seed = params.seed;
+            entry.record = record;
+            out.mispredicts.push_back(std::move(entry));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+AuditOptions
+AuditOptions::fromEnv()
+{
+    AuditOptions opts;
+    opts.params.opsPerThread = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_OPS", 16, 1, 100000000));
+    opts.seeds = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_SEEDS", opts.seeds, 1, 100000));
+    if (const char *v = std::getenv("CLEARSIM_RETRIES")) {
+        opts.retryLimits.clear();
+        for (const std::string &r : splitCsv(v))
+            opts.retryLimits.push_back(
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    r.c_str(), "CLEARSIM_RETRIES", 0, 1000000)));
+        if (opts.retryLimits.empty())
+            fatal("CLEARSIM_RETRIES: no retry limits in '%s'", v);
+    }
+    if (const char *v = std::getenv("CLEARSIM_WORKLOADS"))
+        opts.workloads = splitCsv(v);
+    if (opts.workloads.empty())
+        opts.workloads = workloadNames();
+    if (const char *v = std::getenv("CLEARSIM_CONFIGS")) {
+        opts.configs = splitCsv(v);
+        if (opts.configs.empty())
+            fatal("CLEARSIM_CONFIGS: no configuration specs in "
+                  "'%s'",
+                  v);
+    }
+    opts.jobs = static_cast<unsigned>(
+        envUnsignedOr("CLEARSIM_JOBS", 0, 1, 1024));
+    return opts;
+}
+
+std::uint64_t
+auditOptionsHash(const AuditOptions &opts)
+{
+    // FNV-1a over the option fields, the sweepOptionsHash idiom.
+    // Deliberately excludes opts.jobs: the worker-thread count
+    // never changes results.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    auto mixStr = [&](const std::string &s) {
+        for (char c : s)
+            mix(static_cast<unsigned char>(c));
+        mix(0x7f);
+    };
+    mix(opts.params.opsPerThread);
+    mix(opts.params.threads);
+    mix(opts.params.scale);
+    mix(opts.params.seed);
+    mix(opts.seeds);
+    for (unsigned r : opts.retryLimits)
+        mix(r);
+    for (const std::string &w : opts.workloads)
+        mixStr(w);
+    for (const std::string &c : opts.configs) {
+        // Hash the canonical string of the resolved config, so
+        // spec spellings that resolve identically dedupe to one
+        // audit. An unparseable spec falls back to its raw text;
+        // validation rejects it before any simulation anyway.
+        SystemConfig cfg;
+        std::string error;
+        mixStr(ConfigRegistry::instance().tryMake(c, cfg, error)
+                   ? canonicalConfigString(cfg)
+                   : c);
+    }
+    return h;
+}
+
+AuditResult
+runAudit(const AuditOptions &opts)
+{
+    // Validate the whole grid before the first simulation, exactly
+    // like the sweep: fatal() names the bad entry.
+    const ConfigRegistry &registry = ConfigRegistry::instance();
+    for (const std::string &spec : opts.configs) {
+        SystemConfig cfg;
+        std::string error;
+        if (!registry.tryMake(spec, cfg, error))
+            fatal("audit configuration: %s", error.c_str());
+    }
+    const std::vector<std::string> &known = workloadNames();
+    for (const std::string &workload : opts.workloads) {
+        if (std::find(known.begin(), known.end(), workload) ==
+            known.end()) {
+            fatal("audit workload: unknown workload '%s'",
+                  workload.c_str());
+        }
+    }
+    if (opts.retryLimits.empty())
+        fatal("audit: no retry limits");
+    if (opts.seeds == 0)
+        fatal("audit: seeds must be >= 1");
+
+    std::vector<AuditUnit> units;
+    for (const std::string &config : opts.configs)
+        for (const std::string &workload : opts.workloads)
+            for (const unsigned retry : opts.retryLimits)
+                units.push_back({config, workload, retry});
+
+    // Fan units out; each writes its own slot, and the reduction
+    // below walks the slots in unit order, so the result does not
+    // depend on the job count.
+    std::vector<UnitOutcome> slots(units.size());
+    const unsigned jobs =
+        opts.jobs != 0 ? opts.jobs : ThreadPool::defaultThreads();
+    if (jobs <= 1 || units.size() <= 1) {
+        for (std::size_t i = 0; i < units.size(); ++i)
+            slots[i] = runUnit(opts, units[i]);
+    } else {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < units.size(); ++i) {
+            pool.submit([&opts, &units, &slots, i] {
+                slots[i] = runUnit(opts, units[i]);
+            });
+        }
+        pool.wait();
+    }
+
+    AuditResult result;
+    result.options = opts;
+    for (const UnitOutcome &slot : slots) {
+        result.runs += slot.runs;
+        result.regionInstances += slot.regionInstances;
+        for (unsigned p = 0; p < kNumVerdictClasses; ++p)
+            for (unsigned a = 0; a < kNumVerdictClasses; ++a)
+                result.confusion[p][a] += slot.confusion[p][a];
+        result.mispredicts.insert(result.mispredicts.end(),
+                                  slot.mispredicts.begin(),
+                                  slot.mispredicts.end());
+        result.failures.insert(result.failures.end(),
+                               slot.failures.begin(),
+                               slot.failures.end());
+    }
+
+    for (unsigned c = 0; c < kNumVerdictClasses; ++c) {
+        AuditClassStats &stats = result.classes[c];
+        for (unsigned a = 0; a < kNumVerdictClasses; ++a)
+            stats.predicted += result.confusion[c][a];
+        for (unsigned p = 0; p < kNumVerdictClasses; ++p)
+            stats.actual += result.confusion[p][c];
+        stats.truePositives = result.confusion[c][c];
+        stats.precisionPermille =
+            stats.predicted == 0
+                ? 0
+                : static_cast<unsigned>(stats.truePositives * 1000 /
+                                        stats.predicted);
+        stats.recallPermille =
+            stats.actual == 0
+                ? 0
+                : static_cast<unsigned>(stats.truePositives * 1000 /
+                                        stats.actual);
+    }
+
+    // Suggested pc-keyed overrides: a false-ELIGIBLE region should
+    // stop speculating (Fallback=1); a false-DOOMED region should
+    // get the full machinery back (Clear=0). Safety wins when both
+    // kinds implicate one (config, pc): keep the larger action.
+    std::map<std::pair<std::string, std::uint64_t>, unsigned>
+        suggestions;
+    for (const AuditMispredict &entry : result.mispredicts) {
+        unsigned action;
+        if (entry.record.kind == MispredictKind::FalseEligible)
+            action = 1;
+        else if (entry.record.kind == MispredictKind::FalseDoomed)
+            action = 0;
+        else
+            continue;
+        // Key on the base spec (without the retry-limit token) so
+        // one suggestion covers every retry limit of the config.
+        std::string base = entry.config;
+        const std::string token =
+            ":maxRetries=" + std::to_string(entry.retryLimit);
+        const auto at = base.find(token);
+        if (at != std::string::npos)
+            base.erase(at, token.size());
+        const auto key = std::make_pair(base, std::uint64_t(
+                                                  entry.record.pc));
+        const auto it = suggestions.find(key);
+        if (it == suggestions.end() || it->second < action)
+            suggestions[key] = action;
+    }
+    for (const auto &[key, action] : suggestions) {
+        SuggestedOverride suggestion;
+        suggestion.pc = key.second;
+        suggestion.action = action;
+        char token[48];
+        std::snprintf(token, sizeof token, ":adapt.pc0x%" PRIx64
+                      "=%u",
+                      key.second, action);
+        suggestion.spec = key.first + token;
+        result.suggestedOverrides.push_back(std::move(suggestion));
+    }
+    return result;
+}
+
+bool
+replayMispredict(const AuditMispredict &entry,
+                 std::uint64_t base_seed, Mispredict &replayed,
+                 std::string &error)
+{
+    ReproSpec spec;
+    if (!parseReproString(entry.record.repro, spec, &error))
+        return false;
+
+    SystemConfig cfg;
+    if (!ConfigRegistry::instance().tryMake(spec.config, cfg, error))
+        return false;
+
+    WorkloadParams params;
+    params.threads = spec.threads;
+    params.opsPerThread = spec.ops;
+    params.scale = spec.scale;
+    params.seed = base_seed;
+
+    try {
+        const AnalyzeOutcome capture = analyzeWithConfig(
+            captureConfigFor(cfg), spec.workload, params);
+        const CertificateSet certs =
+            buildCertificates(capture.analysis, cfg);
+
+        params.seed = spec.seed;
+        CertChecker checker(certs, cfg);
+        checker.setRepro(entry.record.repro);
+        RunResult run =
+            runOnce(cfg, spec.workload, params, true,
+                    [&checker](System &sys) {
+                        sys.setTraceTap(
+                            [&checker](const TraceEvent &e) {
+                                checker.onTrace(e);
+                            });
+                    });
+        checker.finalize(run.htm, run.cycles);
+
+        for (const Mispredict &record : checker.mispredicts()) {
+            if (record.kind == entry.record.kind &&
+                record.pc == entry.record.pc &&
+                record.premise == entry.record.premise) {
+                replayed = record;
+                return record.observed == entry.record.observed &&
+                       record.bound == entry.record.bound &&
+                       record.cycle == entry.record.cycle;
+            }
+        }
+    } catch (const std::exception &err) {
+        error = err.what();
+        return false;
+    }
+    error = "mispredict did not reproduce: no record with kind=" +
+            std::string(mispredictKindName(entry.record.kind)) +
+            " pc=" + std::to_string(entry.record.pc);
+    return false;
+}
+
+std::string
+auditJsonString(const AuditResult &result)
+{
+    std::string out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("schema");
+    json.value(kAuditJsonSchema);
+
+    json.key("grid");
+    json.beginObject();
+    json.key("configs");
+    json.beginArray();
+    for (const std::string &config : result.options.configs)
+        json.value(config);
+    json.endArray();
+    json.key("workloads");
+    json.beginArray();
+    for (const std::string &workload : result.options.workloads)
+        json.value(workload);
+    json.endArray();
+    json.key("retry_limits");
+    json.beginArray();
+    for (const unsigned retry : result.options.retryLimits)
+        json.value(retry);
+    json.endArray();
+    json.key("seeds");
+    json.value(result.options.seeds);
+    json.key("threads");
+    json.value(result.options.params.threads);
+    json.key("ops");
+    json.value(result.options.params.opsPerThread);
+    json.key("scale");
+    json.value(result.options.params.scale);
+    json.key("base_seed");
+    json.value(result.options.params.seed);
+    json.endObject();
+
+    json.key("runs");
+    json.value(result.runs);
+    json.key("region_instances");
+    json.value(result.regionInstances);
+
+    json.key("classes");
+    json.beginArray();
+    for (unsigned c = 0; c < kNumVerdictClasses; ++c) {
+        const AuditClassStats &stats = result.classes[c];
+        json.beginObject();
+        json.key("verdict");
+        json.value(verdictName(verdictOfClass(c)));
+        json.key("predicted");
+        json.value(stats.predicted);
+        json.key("actual");
+        json.value(stats.actual);
+        json.key("true_positives");
+        json.value(stats.truePositives);
+        json.key("precision_permille");
+        json.value(stats.precisionPermille);
+        json.key("recall_permille");
+        json.value(stats.recallPermille);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("confusion");
+    json.beginArray();
+    for (unsigned p = 0; p < kNumVerdictClasses; ++p) {
+        json.beginArray();
+        for (unsigned a = 0; a < kNumVerdictClasses; ++a)
+            json.value(result.confusion[p][a]);
+        json.endArray();
+    }
+    json.endArray();
+
+    json.key("mispredicts");
+    json.beginArray();
+    for (const AuditMispredict &entry : result.mispredicts) {
+        json.beginObject();
+        json.key("kind");
+        json.value(mispredictKindName(entry.record.kind));
+        json.key("config");
+        json.value(entry.config);
+        json.key("workload");
+        json.value(entry.workload);
+        json.key("retry_limit");
+        json.value(entry.retryLimit);
+        json.key("seed");
+        json.value(entry.seed);
+        json.key("pc");
+        json.value(static_cast<std::uint64_t>(entry.record.pc));
+        json.key("verdict");
+        json.value(verdictName(entry.record.verdict));
+        json.key("premise");
+        json.value(premiseName(entry.record.premise));
+        json.key("premise_code");
+        json.value(static_cast<unsigned>(entry.record.premise));
+        json.key("observed");
+        json.value(entry.record.observed);
+        json.key("bound");
+        json.value(entry.record.bound);
+        json.key("cycle");
+        json.value(static_cast<std::uint64_t>(entry.record.cycle));
+        json.key("repro");
+        json.value(entry.record.repro);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("suggested_overrides");
+    json.beginArray();
+    for (const SuggestedOverride &suggestion :
+         result.suggestedOverrides) {
+        json.beginObject();
+        json.key("pc");
+        json.value(static_cast<std::uint64_t>(suggestion.pc));
+        json.key("action");
+        json.value(suggestion.action);
+        json.key("spec");
+        json.value(suggestion.spec);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("failures");
+    json.beginArray();
+    for (const AuditFailure &failure : result.failures) {
+        json.beginObject();
+        json.key("config");
+        json.value(failure.config);
+        json.key("workload");
+        json.value(failure.workload);
+        json.key("retry_limit");
+        json.value(failure.retryLimit);
+        json.key("error");
+        json.value(failure.error);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
+    out.push_back('\n');
+    return out;
+}
+
+bool
+writeAuditJson(const std::string &path, const AuditResult &result,
+               std::string &error)
+{
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec) {
+            error = "cannot create " +
+                    target.parent_path().string() + ": " +
+                    ec.message();
+            return false;
+        }
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        error = "cannot open " + path + ": " + std::strerror(errno);
+        return false;
+    }
+    os << auditJsonString(result);
+    os.flush();
+    if (!os) {
+        error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+std::string
+auditReport(const AuditResult &result)
+{
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "clearsim audit: %" PRIu64 " runs, %" PRIu64
+                  " region-instances, %zu mispredicts, %zu "
+                  "failures\n",
+                  result.runs, result.regionInstances,
+                  result.mispredicts.size(),
+                  result.failures.size());
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "%-22s %10s %10s %10s %10s %10s\n", "verdict",
+                  "predicted", "actual", "tp", "precision",
+                  "recall");
+    out += buf;
+    for (unsigned c = 0; c < kNumVerdictClasses; ++c) {
+        const AuditClassStats &stats = result.classes[c];
+        std::snprintf(buf, sizeof buf,
+                      "%-22s %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                      "     %u.%03u     %u.%03u\n",
+                      verdictName(verdictOfClass(c)),
+                      stats.predicted, stats.actual,
+                      stats.truePositives,
+                      stats.precisionPermille / 1000,
+                      stats.precisionPermille % 1000,
+                      stats.recallPermille / 1000,
+                      stats.recallPermille % 1000);
+        out += buf;
+    }
+    if (!result.mispredicts.empty()) {
+        out += "mispredicts:\n";
+        for (const AuditMispredict &entry : result.mispredicts) {
+            std::snprintf(
+                buf, sizeof buf,
+                "  %s pc=0x%" PRIx64 " premise=%s observed=%" PRIu64
+                " bound=%" PRIu64 " %s/%s retry=%u seed=%" PRIu64
+                "\n",
+                mispredictKindName(entry.record.kind),
+                static_cast<std::uint64_t>(entry.record.pc),
+                premiseName(entry.record.premise),
+                entry.record.observed, entry.record.bound,
+                entry.workload.c_str(), entry.config.c_str(),
+                entry.retryLimit, entry.seed);
+            out += buf;
+        }
+    }
+    if (!result.suggestedOverrides.empty()) {
+        out += "suggested overrides:\n";
+        for (const SuggestedOverride &suggestion :
+             result.suggestedOverrides) {
+            out += "  ";
+            out += suggestion.spec;
+            out += '\n';
+        }
+    }
+    for (const AuditFailure &failure : result.failures) {
+        std::snprintf(buf, sizeof buf,
+                      "FAILED %s/%s retry=%u: %s\n",
+                      failure.workload.c_str(),
+                      failure.config.c_str(), failure.retryLimit,
+                      failure.error.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace clearsim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Sweep-scale mispredict audit of the certifying analyzer.
+ *
+ * runAudit() fans a (config × workload × retry-limit) grid of audit
+ * units over the harness ThreadPool. Each unit derives certificates
+ * from one capture pass (under captureConfigFor(), i.e. adaptivity
+ * and faults off), then replays `seeds` measured runs of the same
+ * cell with a CertChecker tapping the trace stream, classifies
+ * every region-instance into the same four verdict classes the
+ * analyzer predicts, and collects every Mispredict the checker
+ * latched. The reduction — a 4×4 predicted-vs-actual confusion
+ * matrix with per-class precision/recall, the replayable mispredict
+ * corpus, and the suggested pc-keyed `:adapt.pc0x…=` override specs
+ * — is performed in fixed unit order, so the audit result (and the
+ * `clearsim-audit-v1` JSON derived from it) is byte-identical for
+ * every job count and on every execution path (CLI, daemon,
+ * in-process).
+ *
+ * Rates are serialized as permille integers (integer division, no
+ * floats), keeping the document byte-stable across platforms.
+ *
+ * Dynamic outcome classes mirror the verdict hierarchy: capacity
+ * evidence (capacity/SQ-full aborts, a dynamic maximum beyond a
+ * configured limit) dominates indirection evidence (changed or
+ * indirect footprints), which dominates observed lock-order
+ * violations; a region-instance with none of these ran ELIGIBLE.
+ *
+ * Environment knobs (shared names with the sweep; audit-specific
+ * defaults): CLEARSIM_OPS, CLEARSIM_SEEDS (default 2),
+ * CLEARSIM_RETRIES (default "1,4"), CLEARSIM_WORKLOADS (default all),
+ * CLEARSIM_CONFIGS (default "C"), CLEARSIM_JOBS.
+ */
+
+#ifndef CLEARSIM_HARNESS_AUDIT_HH
+#define CLEARSIM_HARNESS_AUDIT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cert_checker.hh"
+#include "workloads/workload.hh"
+
+namespace clearsim
+{
+
+/** Schema identifier of the audit JSON document. */
+inline constexpr const char *kAuditJsonSchema = "clearsim-audit-v1";
+
+/** Number of verdict classes in the confusion matrix. */
+constexpr unsigned kNumVerdictClasses = 4;
+
+/** Class index of a verdict (ELIGIBLE=0, CAPACITY-DOOMED=1,
+ *  UNBOUNDED-INDIRECTION=2, LOCK-ORDER-RISK=3). */
+unsigned verdictClassIndex(Verdict verdict);
+
+/** Verdict of a class index (inverse of verdictClassIndex). */
+Verdict verdictOfClass(unsigned index);
+
+/** Options of one audit grid. */
+struct AuditOptions
+{
+    /** ConfigRegistry spec strings. */
+    std::vector<std::string> configs = {"C"};
+    std::vector<std::string> workloads; ///< empty = all 19
+    std::vector<unsigned> retryLimits = {1, 4};
+
+    /** Audited runs per unit (seeds fan exactly like the sweep). */
+    unsigned seeds = 2;
+
+    WorkloadParams params;
+
+    /** Worker threads; 0 = one per hardware thread. Never affects
+     *  the result bytes, only wall-clock time. */
+    unsigned jobs = 0;
+
+    /** Apply the CLEARSIM_* environment overrides. */
+    static AuditOptions fromEnv();
+};
+
+/** One corpus entry: a mispredict plus the unit that produced it. */
+struct AuditMispredict
+{
+    /** Full config spec including the retry limit. */
+    std::string config;
+    std::string workload;
+    unsigned retryLimit = 0;
+
+    /** Seed of the audited run (already offset from the base). */
+    std::uint64_t seed = 0;
+
+    Mispredict record;
+};
+
+/** Precision/recall of one verdict class over region-instances. */
+struct AuditClassStats
+{
+    std::uint64_t predicted = 0;
+    std::uint64_t actual = 0;
+    std::uint64_t truePositives = 0;
+
+    /** 1000 * tp / predicted (integer division; 0 when empty). */
+    unsigned precisionPermille = 0;
+
+    /** 1000 * tp / actual (integer division; 0 when empty). */
+    unsigned recallPermille = 0;
+};
+
+/** One audit unit (or seed run) that threw instead of finishing. */
+struct AuditFailure
+{
+    std::string config;
+    std::string workload;
+    unsigned retryLimit = 0;
+    std::string error;
+};
+
+/** A pc-keyed policy override the audit suggests. */
+struct SuggestedOverride
+{
+    RegionPc pc = 0;
+    unsigned action = 0;
+
+    /** Ready-to-run spec ("C:adapt.pc0x2a=1"). */
+    std::string spec;
+};
+
+/** The complete audit outcome. */
+struct AuditResult
+{
+    /** The grid that was run (post-env resolution). */
+    AuditOptions options;
+
+    /** Audited runs that finished (excludes failures). */
+    std::uint64_t runs = 0;
+
+    /** (region, run) pairs classified into the matrix. */
+    std::uint64_t regionInstances = 0;
+
+    /** confusion[predicted][actual], class-index order. */
+    std::array<std::array<std::uint64_t, kNumVerdictClasses>,
+               kNumVerdictClasses>
+        confusion{};
+
+    /** Per-class stats, class-index order. */
+    std::array<AuditClassStats, kNumVerdictClasses> classes{};
+
+    /** Replayable mispredict corpus, in unit/seed/pc order. */
+    std::vector<AuditMispredict> mispredicts;
+
+    /** Deduplicated override suggestions, in (spec, pc) order. */
+    std::vector<SuggestedOverride> suggestedOverrides;
+
+    std::vector<AuditFailure> failures;
+};
+
+/**
+ * Stable identity hash of an audit grid, FNV-1a over the option
+ * fields with config specs canonicalized through the registry (so
+ * semantically identical spellings hash alike). Excludes `jobs`:
+ * the worker count never changes the result bytes. The daemon's
+ * audit dedupe key is built on this.
+ */
+std::uint64_t auditOptionsHash(const AuditOptions &opts);
+
+/** Run the audit grid (see the file comment). */
+AuditResult runAudit(const AuditOptions &opts);
+
+/**
+ * Replay one corpus entry bit-exactly from its repro string: parse
+ * the repro, rebuild the unit's certificates from a fresh capture at
+ * @p base_seed, re-run with a CertChecker, and look for the same
+ * (kind, pc, premise) record.
+ * @param replayed the matching record from the replay, when found
+ * @retval true when the replayed record equals the corpus entry's
+ *         (observed, bound, cycle included)
+ */
+bool replayMispredict(const AuditMispredict &entry,
+                      std::uint64_t base_seed, Mispredict &replayed,
+                      std::string &error);
+
+/** Serialize as the clearsim-audit-v1 document (trailing \n). */
+std::string auditJsonString(const AuditResult &result);
+
+/**
+ * Write auditJsonString() to @p path, creating parent directories
+ * as needed.
+ * @retval false with @p error describing the failure.
+ */
+bool writeAuditJson(const std::string &path,
+                    const AuditResult &result, std::string &error);
+
+/** Human-readable precision/recall table + mispredict list. */
+std::string auditReport(const AuditResult &result);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HARNESS_AUDIT_HH

@@ -20,17 +20,6 @@ namespace clearsim
 
 const char *const kGeomeanLabel = "geomean";
 
-namespace
-{
-
-/**
- * The configuration an adaptive run captures verdicts under: the
- * measured config with the adaptive routing off (no table exists
- * yet) and the fault plan zeroed — faults would perturb the capture,
- * and the PR-4 non-perturbation proof covers the fault-free system.
- * All execution-relevant fields are shared with the measured run,
- * so capture and run resolve region behaviour identically.
- */
 SystemConfig
 captureConfigFor(const SystemConfig &cfg)
 {
@@ -39,8 +28,6 @@ captureConfigFor(const SystemConfig &cfg)
     capture.fault = FaultConfig{};
     return capture;
 }
-
-} // namespace
 
 RegionPolicyTable
 buildRegionPolicy(const SystemConfig &cfg,
@@ -55,7 +42,8 @@ buildRegionPolicy(const SystemConfig &cfg,
 
 RunResult
 runOnce(const SystemConfig &cfg, const std::string &workload_name,
-        const WorkloadParams &params, bool check_invariants)
+        const WorkloadParams &params, bool check_invariants,
+        const std::function<void(System &)> &configure)
 {
     // Adaptive preset "A": one capture pass resolves the per-region
     // verdicts, which the config's adapt mapping turns into the
@@ -84,6 +72,9 @@ runOnce(const SystemConfig &cfg, const std::string &workload_name,
         spec.seed = params.seed;
         checker->setRepro(makeReproString(spec));
     }
+
+    if (configure)
+        configure(sys);
 
     RunResult result;
     result.workload = workload_name;

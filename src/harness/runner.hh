@@ -56,6 +56,20 @@
 namespace clearsim
 {
 
+class System;
+
+/**
+ * The configuration a capture (analysis / certificate) pass runs
+ * under: the measured config with the adaptive routing off (no
+ * table exists yet) and the fault plan zeroed — faults would
+ * perturb the capture, and the non-perturbation proof covers the
+ * fault-free system. All execution-relevant fields are shared with
+ * the measured run, so capture and run resolve region behaviour
+ * identically. The certificate audit derives its certificates under
+ * exactly this config.
+ */
+SystemConfig captureConfigFor(const SystemConfig &cfg);
+
 /**
  * Build the adaptive (preset "A") per-region decision table for a
  * run of @p workload_name under @p cfg: one analysis capture pass
@@ -76,11 +90,19 @@ RegionPolicyTable buildRegionPolicy(const SystemConfig &cfg,
  * sweep callers catch per point (the cell is marked failed, the
  * sweep continues); direct callers let it reach their top-level
  * handler.
+ *
+ * @param configure optional hook invoked on the freshly built
+ *        System before any workload thread starts — observability
+ *        attachments only (trace taps, sinks); it must not perturb
+ *        execution. The certificate audit installs its CertChecker
+ *        tap through this seam.
  */
 RunResult runOnce(const SystemConfig &cfg,
                   const std::string &workload_name,
                   const WorkloadParams &params,
-                  bool check_invariants = true);
+                  bool check_invariants = true,
+                  const std::function<void(System &)> &configure =
+                      nullptr);
 
 /** Options of a sweep over (configs x workloads). */
 struct SweepOptions

@@ -113,6 +113,16 @@ writePayload(JsonWriter &json, const TraceEvent &event)
         json.value(static_cast<std::uint64_t>(fault->cycles));
         return;
     }
+    if (const auto *premise =
+            std::get_if<PremisePayload>(&event.payload)) {
+        json.key("premise");
+        json.value(premise->premise);
+        json.key("observed");
+        json.value(premise->observed);
+        json.key("bound");
+        json.value(premise->bound);
+        return;
+    }
 }
 
 /** Reconstruct the payload from the parsed object, by kind. */
@@ -236,6 +246,18 @@ readPayload(const JsonValue &obj, TraceEvent &event,
             return false;
         }
         p.cycles = cycles;
+        event.payload = p;
+        return true;
+      }
+      case TraceKind::PremiseFalsified: {
+        PremisePayload p;
+        std::uint64_t premise = 0;
+        if (!uint("premise", premise) ||
+            !uint("observed", p.observed) ||
+            !uint("bound", p.bound)) {
+            return false;
+        }
+        p.premise = static_cast<std::uint32_t>(premise);
         event.payload = p;
         return true;
       }

@@ -18,6 +18,7 @@
 #define CLEARSIM_POLICY_ADAPT_CONFIG_HH
 
 #include <cstdint>
+#include <map>
 
 namespace clearsim
 {
@@ -110,6 +111,16 @@ struct AdaptConfig
      * invariant keeps holding under preset "A".
      */
     unsigned boundedRetries = 1;
+
+    /**
+     * Per-region action overrides keyed by region pc, consulted
+     * before the verdict-class mapping. This is the feedback edge of
+     * the certificate audit: a detected mispredict suggests exactly
+     * one `:adapt.pc0x<pc>=<action>` spec entry, which lands here.
+     * An ordered map so the canonical config string stays
+     * byte-deterministic.
+     */
+    std::map<std::uint64_t, AdaptAction> pcOverrides;
 };
 
 } // namespace clearsim

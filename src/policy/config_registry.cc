@@ -1,6 +1,9 @@
 #include "policy/config_registry.hh"
 
+#include <cerrno>
 #include <charconv>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/json.hh"
 #include "common/log.hh"
@@ -479,6 +482,37 @@ ConfigRegistry::tryMake(const std::string &spec, SystemConfig &out,
             }
         }
         seen_overrides.emplace_back(key, token);
+
+        // pc-keyed adaptive override: ':adapt.pc0x<hex>=<action>'.
+        // The key space is unbounded (one per region pc), so it is
+        // parsed structurally instead of enumerated in the override
+        // table. The certificate audit emits these specs.
+        constexpr const char *kPcPrefix = "adapt.pc0x";
+        if (key.rfind(kPcPrefix, 0) == 0) {
+            const std::string hex = key.substr(std::strlen(kPcPrefix));
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long pc =
+                std::strtoull(hex.c_str(), &end, 16);
+            if (hex.empty() || end == nullptr || *end != '\0' ||
+                errno == ERANGE) {
+                error = "spec '" + spec + "': override key '" + key +
+                        "' has a malformed hex region pc";
+                return false;
+            }
+            std::uint64_t action = 0;
+            if (!parseValue(value, action) ||
+                action >= kAdaptActionCount) {
+                error = "spec '" + spec + "': " + key + "='" + value +
+                        "' is not an action code in [0, " +
+                        std::to_string(kAdaptActionCount - 1) + "]";
+                return false;
+            }
+            out.adapt.pcOverrides[pc] =
+                static_cast<AdaptAction>(action);
+            continue;
+        }
+
         const ConfigOverrideKey *override_key = findOverride(key);
         if (!override_key) {
             std::vector<std::string> names;

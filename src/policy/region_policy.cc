@@ -28,12 +28,16 @@ actionFor(RegionVerdict verdict, const AdaptConfig &adapt)
 
 } // namespace
 
+namespace
+{
+
 RegionDecision
-resolveRegionDecision(RegionVerdict verdict, const SystemConfig &cfg)
+resolveForAction(RegionVerdict verdict, AdaptAction action,
+                 const SystemConfig &cfg)
 {
     RegionDecision decision;
     decision.verdict = verdict;
-    decision.action = actionFor(verdict, cfg.adapt);
+    decision.action = action;
 
     switch (decision.action) {
     case AdaptAction::Clear:
@@ -75,14 +79,33 @@ resolveRegionDecision(RegionVerdict verdict, const SystemConfig &cfg)
     return decision;
 }
 
+} // namespace
+
+RegionDecision
+resolveRegionDecision(RegionVerdict verdict, const SystemConfig &cfg)
+{
+    return resolveForAction(verdict, actionFor(verdict, cfg.adapt),
+                            cfg);
+}
+
 RegionPolicyTable
 RegionPolicyTable::fromVerdicts(const RegionVerdictMap &verdicts,
                                 const SystemConfig &cfg)
 {
     RegionPolicyTable table;
-    for (const auto &[pc, verdict] : verdicts)
-        table.decisions_.emplace(pc,
-                                 resolveRegionDecision(verdict, cfg));
+    for (const auto &[pc, verdict] : verdicts) {
+        // A pc-keyed override (the audit's feedback edge) beats the
+        // verdict-class mapping for exactly that region.
+        const auto forced = cfg.adapt.pcOverrides.find(pc);
+        if (forced != cfg.adapt.pcOverrides.end()) {
+            table.decisions_.emplace(
+                pc,
+                resolveForAction(verdict, forced->second, cfg));
+        } else {
+            table.decisions_.emplace(
+                pc, resolveRegionDecision(verdict, cfg));
+        }
+    }
     return table;
 }
 

@@ -20,9 +20,10 @@ bool
 isClientRequest(const std::string &type)
 {
     return type == "run" || type == "sweep" || type == "analyze" ||
-           type == "status" || type == "cancel" ||
-           type == "catalogue" || type == "dlq-list" ||
-           type == "dlq-replay" || type == "dlq-clear";
+           type == "audit" || type == "status" ||
+           type == "cancel" || type == "catalogue" ||
+           type == "dlq-list" || type == "dlq-replay" ||
+           type == "dlq-clear";
 }
 
 /**

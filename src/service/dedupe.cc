@@ -91,6 +91,15 @@ sweepJobId(const SweepOptions &opts)
     return std::string("sweep{") + hex + "}";
 }
 
+std::string
+auditJobId(const AuditOptions &opts)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016" PRIx64,
+                  auditOptionsHash(opts));
+    return std::string("audit{") + hex + "}";
+}
+
 const char *
 dedupeStateName(DedupeSource source)
 {

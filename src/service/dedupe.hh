@@ -28,6 +28,7 @@
 #include <map>
 #include <string>
 
+#include "harness/audit.hh"
 #include "harness/runner.hh"
 #include "harness/sweep_cache.hh"
 
@@ -51,6 +52,9 @@ std::string analyzeJobId(const std::string &config,
 
 /** Canonical id of a sweep job: "sweep{<16-hex options hash>}". */
 std::string sweepJobId(const SweepOptions &opts);
+
+/** Canonical id of an audit job: "audit{<16-hex options hash>}". */
+std::string auditJobId(const AuditOptions &opts);
 
 /** Where a duplicate request's answer can come from. */
 enum class DedupeSource

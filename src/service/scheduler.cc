@@ -12,6 +12,7 @@
 #include "analysis/report.hh"
 #include "common/log.hh"
 #include "fault/fault_repro.hh"
+#include "harness/audit.hh"
 #include "harness/sweep_engine.hh"
 #include "metrics/json_export.hh"
 #include "policy/config_registry.hh"
@@ -113,6 +114,7 @@ struct Scheduler::Job
         Run,
         Sweep,
         Analyze,
+        Audit,
     };
 
     enum class State
@@ -154,6 +156,9 @@ struct Scheduler::Job
 
     /** Sweep: the full validated options. */
     SweepOptions sweep;
+
+    /** Audit: the full validated options. */
+    AuditOptions audit;
 
     /** Set by the scheduler on cancel; polled by the executor. */
     std::atomic<bool> cancel{false};
@@ -256,6 +261,9 @@ class Scheduler::Executor
         case Job::Kind::Sweep:
             executeSweep(job);
             break;
+        case Job::Kind::Audit:
+            executeAudit(job);
+            break;
         }
     }
 
@@ -316,6 +324,46 @@ class Scheduler::Executor
             fail(job, ex.what(),
                  {{job.id, job.workload, pointSpec(job), ex.what(),
                    pointRepro(job)}});
+        }
+    }
+
+    void
+    executeAudit(Job &job)
+    {
+        progress(job, 0, 1);
+        AuditOptions opts = job.audit;
+        if (opts.jobs == 0)
+            opts.jobs = jobs_;
+        try {
+            const AuditResult result = runAudit(opts);
+            if (!result.failures.empty()) {
+                // Mirror the sweep: every failed unit leaves a
+                // persistent trace before the job is retryable
+                // again.
+                std::vector<DeadLetter> failures;
+                for (const AuditFailure &failure :
+                     result.failures) {
+                    ReproSpec repro;
+                    repro.workload = failure.workload;
+                    repro.config = specWithRetryLimit(
+                        failure.config, failure.retryLimit);
+                    repro.threads = opts.params.threads;
+                    repro.ops = opts.params.opsPerThread;
+                    repro.scale = opts.params.scale;
+                    repro.seed = opts.params.seed;
+                    failures.push_back({job.id, failure.workload,
+                                        repro.config, failure.error,
+                                        makeReproString(repro)});
+                }
+                fail(job, failures.front().error,
+                     std::move(failures));
+                return;
+            }
+            progress(job, 1, 1);
+            finish(job, "done", "audit-json",
+                   auditJsonString(result));
+        } catch (const std::exception &ex) {
+            fail(job, ex.what(), {});
         }
     }
 
@@ -502,6 +550,8 @@ Scheduler::handleRequest(const Mail &mail)
         handleRunOrAnalyze(mail, true);
     else if (type == "sweep")
         handleSweep(mail);
+    else if (type == "audit")
+        handleAudit(mail);
     else if (type == "status")
         handleStatus(mail);
     else if (type == "cancel")
@@ -638,6 +688,70 @@ Scheduler::handleSweep(const Mail &mail)
     job->kind = Job::Kind::Sweep;
     job->sweep = opts;
     job->id = sweepJobId(opts);
+    admit(mail, std::move(job));
+}
+
+void
+Scheduler::handleAudit(const Mail &mail)
+{
+    const WireMessage &msg = mail.message;
+    const std::string tag = msg.text("tag");
+    std::string error;
+
+    AuditOptions opts;
+    if (msg.body.find("configs"))
+        opts.configs = msg.textList("configs");
+    if (msg.body.find("workloads"))
+        opts.workloads = msg.textList("workloads");
+    if (opts.configs.empty()) {
+        sendTo(mail.connection,
+               wireError(tag, "field 'configs' must be a non-empty "
+                              "array of spec strings"));
+        return;
+    }
+    // An absent workload list means the full registry, resolved
+    // here so the job id names the actual grid.
+    if (opts.workloads.empty())
+        opts.workloads = workloadNames();
+    for (const std::string &spec : opts.configs) {
+        if (!validConfigSpec(spec, error)) {
+            sendTo(mail.connection, wireError(tag, error));
+            return;
+        }
+    }
+    for (const std::string &workload : opts.workloads) {
+        if (!validWorkload(workload, error)) {
+            sendTo(mail.connection, wireError(tag, error));
+            return;
+        }
+    }
+
+    std::uint64_t seeds = opts.seeds,
+                  ops = opts.params.opsPerThread,
+                  threads = opts.params.threads, scale = 1,
+                  seed = opts.params.seed, jobs = 0;
+    if (!fieldU64List(msg, "retries", 0, 1000000, opts.retryLimits,
+                      error) ||
+        !fieldU64(msg, "seeds", 1, 100000, seeds, error) ||
+        !fieldU64(msg, "ops", 1, 100000000, ops, error) ||
+        !fieldU64(msg, "threads", 1, 4096, threads, error) ||
+        !fieldU64(msg, "scale", 1, 1000000, scale, error) ||
+        !fieldU64(msg, "seed", 0, ~std::uint64_t(0), seed, error) ||
+        !fieldU64(msg, "jobs", 0, 4096, jobs, error)) {
+        sendTo(mail.connection, wireError(tag, error));
+        return;
+    }
+    opts.seeds = static_cast<unsigned>(seeds);
+    opts.params.opsPerThread = static_cast<unsigned>(ops);
+    opts.params.threads = static_cast<unsigned>(threads);
+    opts.params.scale = static_cast<unsigned>(scale);
+    opts.params.seed = seed;
+    opts.jobs = static_cast<unsigned>(jobs);
+
+    auto job = std::make_shared<Job>();
+    job->kind = Job::Kind::Audit;
+    job->audit = opts;
+    job->id = auditJobId(opts);
     admit(mail, std::move(job));
 }
 

@@ -103,6 +103,7 @@ class Scheduler
 
     void handleRunOrAnalyze(const Mail &mail, bool analyze);
     void handleSweep(const Mail &mail);
+    void handleAudit(const Mail &mail);
     void handleStatus(const Mail &mail);
     void handleCancel(const Mail &mail);
     void handleCatalogue(const Mail &mail);

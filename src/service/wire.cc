@@ -75,6 +75,9 @@ messageSchemas()
         {"analyze",
          {"tag", "config", "workload", "retries", "threads", "ops",
           "scale", "seed"}},
+        {"audit",
+         {"tag", "configs", "workloads", "retries", "seeds", "ops",
+          "threads", "scale", "seed", "jobs"}},
         {"status", {"tag", "id"}},
         {"cancel", {"tag", "id"}},
         {"catalogue", {"tag"}},

@@ -175,7 +175,7 @@ class Task
             std::rethrow_exception(p.exception);
         CLEARSIM_ASSERT(p.value.has_value(),
                         "task finished without a value");
-        return std::move(*p.value);
+        return std::move(p.value).value();
     }
 
   private:

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests of the CertChecker on synthetic certificates and trace
+ * streams: the single-retry machine contract, conflict-quiescence
+ * and lock-order latching, the finalize-time profile audit, the
+ * false-DOOMED detection rule (including its cache-locked gating),
+ * and the synthesized PremiseFalsified event flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/cert_checker.hh"
+#include "analysis/certificate.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 2;
+    cfg.maxRetries = 4;
+    return cfg;
+}
+
+RegionCertificate
+makeCert(RegionPc pc, Verdict verdict, unsigned retry_bound)
+{
+    RegionCertificate cert;
+    cert.pc = pc;
+    cert.verdict = verdict;
+    for (unsigned i = 0; i < kNumPremises; ++i) {
+        Premise premise;
+        premise.id = static_cast<PremiseId>(i);
+        premise.holds = true;
+        cert.premises.push_back(premise);
+    }
+    cert.premises[static_cast<unsigned>(
+                      PremiseId::SingleRetryBound)]
+        .bound = retry_bound;
+    return cert;
+}
+
+CertificateSet
+makeSet(const SystemConfig &cfg,
+        std::vector<RegionCertificate> regions)
+{
+    CertificateSet set;
+    set.workload = "synthetic";
+    set.config = "C";
+    set.maxRetries = cfg.maxRetries;
+    set.clearEnabled = cfg.clear.enabled;
+    set.limits.robEntries = cfg.core.robEntries;
+    set.limits.lqEntries = cfg.core.lqEntries;
+    set.limits.sqEntries = cfg.core.sqEntries;
+    set.limits.l1Ways = cfg.cache.l1Ways;
+    set.limits.altEntries = cfg.clear.altEntries;
+    set.limits.footprintCapacity = 2 * cfg.clear.altEntries;
+    set.regions = std::move(regions);
+    return set;
+}
+
+TraceEvent
+commitEvent(RegionPc pc, ExecMode mode, unsigned counted_retries,
+            Cycle cycle = 10)
+{
+    TraceEvent event;
+    event.cycle = cycle;
+    event.core = 0;
+    event.pc = pc;
+    event.kind = TraceKind::Commit;
+    event.mode = mode;
+    event.countedRetries = counted_retries;
+    return event;
+}
+
+TEST(CertChecker, RetryBoundFollowsTheMachineContract)
+{
+    const SystemConfig cfg = testConfig();
+    const CertificateSet set = makeSet(
+        cfg, {makeCert(0x10, Verdict::Eligible, cfg.maxRetries)});
+    CertChecker checker(set, cfg);
+
+    // Committing under the budget is the certified behaviour.
+    checker.onTrace(commitEvent(0x10, ExecMode::Speculative, 0));
+    checker.onTrace(
+        commitEvent(0x10, ExecMode::NsCl, cfg.maxRetries - 1));
+    EXPECT_FALSE(checker.anyFalsified());
+
+    // A fallback commit is the sanctioned escape hatch, never a
+    // falsification, whatever its retry count.
+    checker.onTrace(
+        commitEvent(0x10, ExecMode::Fallback, cfg.maxRetries + 3));
+    EXPECT_FALSE(checker.anyFalsified());
+
+    // A non-fallback commit that consumed the whole budget breaks
+    // the premise; the latch fires once per (region, premise).
+    checker.onTrace(
+        commitEvent(0x10, ExecMode::SCl, cfg.maxRetries));
+    EXPECT_TRUE(checker.anyFalsified());
+    checker.onTrace(
+        commitEvent(0x10, ExecMode::SCl, cfg.maxRetries + 1));
+    EXPECT_EQ(checker.falsificationCount(), 1u);
+    EXPECT_EQ(checker.outcomes().at(0x10).retryBoundViolations, 2u);
+
+    HtmStats stats;
+    checker.finalize(stats, 100);
+    ASSERT_EQ(checker.mispredicts().size(), 1u);
+    const Mispredict &record = checker.mispredicts()[0];
+    EXPECT_EQ(record.kind, MispredictKind::FalseEligible);
+    EXPECT_EQ(record.premise, PremiseId::SingleRetryBound);
+    EXPECT_EQ(record.pc, 0x10u);
+    EXPECT_EQ(record.observed, cfg.maxRetries);
+    EXPECT_EQ(record.bound, cfg.maxRetries);
+}
+
+TEST(CertChecker, ConflictAbortBreaksQuiescence)
+{
+    const SystemConfig cfg = testConfig();
+    const CertificateSet set =
+        makeSet(cfg, {makeCert(0x20, Verdict::Eligible, 0)});
+    CertChecker checker(set, cfg);
+    checker.setRepro("repro{synthetic}");
+
+    TraceEvent abort;
+    abort.cycle = 7;
+    abort.core = 1;
+    abort.pc = 0x20;
+    abort.kind = TraceKind::Abort;
+    abort.reason = AbortReason::MemoryConflict;
+    checker.onTrace(abort);
+    EXPECT_TRUE(checker.anyFalsified());
+
+    HtmStats stats;
+    checker.finalize(stats, 100);
+    ASSERT_EQ(checker.mispredicts().size(), 1u);
+    EXPECT_EQ(checker.mispredicts()[0].kind,
+              MispredictKind::InterferenceUnderestimate);
+    EXPECT_EQ(checker.mispredicts()[0].premise,
+              PremiseId::ConflictQuiescent);
+    EXPECT_EQ(checker.mispredicts()[0].repro, "repro{synthetic}");
+}
+
+TEST(CertChecker, OutOfOrderLockBreaksTheOrderProof)
+{
+    const SystemConfig cfg = testConfig();
+    const CertificateSet set =
+        makeSet(cfg, {makeCert(0x30, Verdict::Eligible, 0)});
+    CertChecker checker(set, cfg);
+
+    TraceEvent begin;
+    begin.core = 0;
+    begin.pc = 0x30;
+    begin.kind = TraceKind::AttemptBegin;
+    begin.mode = ExecMode::SCl;
+    checker.onTrace(begin);
+
+    auto lock = [](LineAddr line) {
+        TraceEvent event;
+        event.core = 0;
+        event.kind = TraceKind::LineLockAcquired;
+        LockPayload payload;
+        payload.line = line;
+        event.payload = payload;
+        return event;
+    };
+    // Directory sets ascend with the line address for small lines,
+    // so 5 then 4 is a strictly decreasing (set, line) pair.
+    checker.onTrace(lock(5));
+    EXPECT_FALSE(checker.anyFalsified());
+    checker.onTrace(lock(4));
+    EXPECT_TRUE(checker.anyFalsified());
+
+    HtmStats stats;
+    checker.finalize(stats, 100);
+    ASSERT_EQ(checker.mispredicts().size(), 1u);
+    EXPECT_EQ(checker.mispredicts()[0].kind,
+              MispredictKind::OrderProofViolated);
+    EXPECT_EQ(checker.mispredicts()[0].pc, 0x30u);
+}
+
+TEST(CertChecker, FinalizeAuditsProfileCounters)
+{
+    const SystemConfig cfg = testConfig();
+    RegionCertificate cert =
+        makeCert(0x40, Verdict::Eligible, cfg.maxRetries);
+    // Give the window premise a real bound (in-core scope).
+    cert.premises[static_cast<unsigned>(PremiseId::CapWindow)]
+        .bound = cfg.core.robEntries;
+    const CertificateSet set = makeSet(cfg, {cert});
+    CertChecker checker(set, cfg);
+
+    HtmStats stats;
+    RegionProfile &profile = stats.regions[0x40];
+    profile.maxAttemptUops = cfg.core.robEntries + 1;
+    checker.finalize(stats, 500);
+
+    ASSERT_EQ(checker.mispredicts().size(), 1u);
+    const Mispredict &record = checker.mispredicts()[0];
+    EXPECT_EQ(record.kind, MispredictKind::FalseEligible);
+    EXPECT_EQ(record.premise, PremiseId::CapWindow);
+    EXPECT_EQ(record.observed, cfg.core.robEntries + 1);
+    EXPECT_EQ(record.bound, cfg.core.robEntries);
+    EXPECT_EQ(record.cycle, 500u);
+}
+
+TEST(CertChecker, FalseDoomedNeedsACleanSpeculativeRun)
+{
+    const SystemConfig cfg = testConfig();
+    RegionCertificate doomed =
+        makeCert(0x50, Verdict::CapacityDoomed, 0);
+    doomed.premises[static_cast<unsigned>(PremiseId::CapAlt)]
+        .holds = false;
+    doomed.premises[static_cast<unsigned>(PremiseId::CapAlt)]
+        .bound = cfg.clear.altEntries;
+    const CertificateSet set = makeSet(cfg, {doomed});
+
+    // Every attempt commits speculatively with a footprint beyond
+    // the ALT: the doom never materialized (the footprint limits
+    // only bind in the cache-locked modes) — false-DOOMED, blaming
+    // the failed ALT premise.
+    {
+        CertChecker checker(set, cfg);
+        checker.onTrace(
+            commitEvent(0x50, ExecMode::Speculative, 0));
+        HtmStats stats;
+        RegionProfile &profile = stats.regions[0x50];
+        profile.maxFootprintLines = cfg.clear.altEntries + 10;
+        checker.finalize(stats, 100);
+        ASSERT_EQ(checker.mispredicts().size(), 1u);
+        EXPECT_EQ(checker.mispredicts()[0].kind,
+                  MispredictKind::FalseDoomed);
+        EXPECT_EQ(checker.mispredicts()[0].premise,
+                  PremiseId::CapAlt);
+    }
+
+    // The same profile with a cache-locked commit exercised the
+    // footprint limits for real: the verdict was right, no
+    // mispredict.
+    {
+        CertChecker checker(set, cfg);
+        checker.onTrace(
+            commitEvent(0x50, ExecMode::Speculative, 0));
+        checker.onTrace(commitEvent(0x50, ExecMode::SCl, 1));
+        HtmStats stats;
+        RegionProfile &profile = stats.regions[0x50];
+        profile.maxFootprintLines = cfg.clear.altEntries + 10;
+        checker.finalize(stats, 100);
+        EXPECT_TRUE(checker.mispredicts().empty());
+    }
+
+    // A capacity abort also vindicates the verdict.
+    {
+        CertChecker checker(set, cfg);
+        checker.onTrace(
+            commitEvent(0x50, ExecMode::Speculative, 0));
+        HtmStats stats;
+        RegionProfile &profile = stats.regions[0x50];
+        profile.capacityAborts = 1;
+        checker.finalize(stats, 100);
+        EXPECT_TRUE(checker.mispredicts().empty());
+    }
+}
+
+TEST(CertChecker, FalsificationsFlowDownstreamAsTraceEvents)
+{
+    const SystemConfig cfg = testConfig();
+    const CertificateSet set = makeSet(
+        cfg, {makeCert(0x60, Verdict::Eligible, cfg.maxRetries)});
+    CertChecker checker(set, cfg);
+
+    std::vector<TraceEvent> seen;
+    checker.setDownstream(
+        [&seen](const TraceEvent &event) { seen.push_back(event); });
+    checker.onTrace(
+        commitEvent(0x60, ExecMode::SCl, cfg.maxRetries, 42));
+
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].kind, TraceKind::PremiseFalsified);
+    EXPECT_EQ(seen[0].pc, 0x60u);
+    EXPECT_EQ(seen[0].cycle, 42u);
+    const auto *payload =
+        std::get_if<PremisePayload>(&seen[0].payload);
+    ASSERT_NE(payload, nullptr);
+    EXPECT_EQ(payload->premise,
+              static_cast<std::uint32_t>(
+                  PremiseId::SingleRetryBound));
+    EXPECT_EQ(payload->observed, cfg.maxRetries);
+    ASSERT_EQ(checker.falsifiedEvents().size(), 1u);
+    EXPECT_EQ(checker.falsifiedEvents()[0].pc, 0x60u);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Golden test of the clearsim-cert-v1 document: certificates built
+ * from a capture run with pinned parameters must serialize
+ * byte-for-byte to the committed tests/data/cert_golden.json, and
+ * repeated builds must be byte-identical. Regenerate the golden
+ * after intentional schema or analysis changes with:
+ *
+ *   clearsim_analyze --workload bitcoin,hashmap --config C \
+ *       --ops 8 --threads 8 --seed 42 --quiet \
+ *       --cert-json tests/data/cert_golden.json
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hh"
+#include "analysis/certificate.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+AnalyzeRequest
+goldenRequest(const std::string &workload)
+{
+    AnalyzeRequest request;
+    request.config = "C";
+    request.workload = workload;
+    request.maxRetries = 4;
+    request.params.threads = 8;
+    request.params.opsPerThread = 8;
+    request.params.scale = 1;
+    request.params.seed = 42;
+    return request;
+}
+
+std::string
+goldenDocument()
+{
+    std::vector<CertificateSet> sets;
+    for (const char *workload : {"bitcoin", "hashmap"}) {
+        const AnalyzeOutcome outcome =
+            analyzeWorkload(goldenRequest(workload));
+        sets.push_back(
+            buildCertificates(outcome.analysis, outcome.config));
+    }
+    return certJsonString(sets);
+}
+
+TEST(CertGolden, MatchesCommittedDocument)
+{
+    const std::string path =
+        std::string(CLEARSIM_TEST_DATA_DIR) + "/cert_golden.json";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing golden file: " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    EXPECT_EQ(goldenDocument(), buffer.str())
+        << "certificate output drifted from " << path
+        << " — regenerate it if the change is intentional "
+           "(command in this file's header)";
+}
+
+TEST(CertGolden, BuildIsByteStable)
+{
+    EXPECT_EQ(goldenDocument(), goldenDocument());
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests of the certifying analyzer's certificates: the premise
+ * catalogue, the cert/analysis lockstep (a verdict recomputes from
+ * its premises alone, on synthetic models and on real captures),
+ * the single-retry-bound premise's machine contract, and the
+ * parent-directory-creating JSON writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hh"
+#include "analysis/analyzer.hh"
+#include "analysis/certificate.hh"
+#include "analysis/region_ir.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg = makeClearConfig();
+    cfg.numCores = 4;
+    return cfg;
+}
+
+RegionModel
+syntheticModel(RegionPc pc, unsigned lines, unsigned writes)
+{
+    RegionModel m;
+    m.pc = pc;
+    m.invocations = 1;
+    m.attempts = 1;
+    m.committedAttempts = 1;
+    m.completeAttempts = 1;
+    for (unsigned i = 0; i < lines; ++i) {
+        const LineAddr line = pc * 1000 + i * 131;
+        m.worstLines.push_back(line);
+        if (i < writes) {
+            m.writeLines.insert(line);
+            m.worstWriteLines.push_back(line);
+        } else {
+            m.readLines.insert(line);
+        }
+    }
+    std::sort(m.worstLines.begin(), m.worstLines.end());
+    std::sort(m.worstWriteLines.begin(), m.worstWriteLines.end());
+    m.maxDistinctLines = lines;
+    m.maxWriteLines = writes;
+    m.maxUops = 3 * lines;
+    m.maxLoads = lines;
+    m.maxStores = writes;
+    m.maxL1SetLines = 1;
+    return m;
+}
+
+/**
+ * Re-derive the verdict from the premises alone, mirroring the
+ * analyzer's hierarchy (capacity > indirection > lock-order). This
+ * is the lockstep contract buildCertificates() documents.
+ */
+Verdict
+verdictFromPremises(const RegionCertificate &cert)
+{
+    for (PremiseId id :
+         {PremiseId::CapWindow, PremiseId::CapSq,
+          PremiseId::CapL1Pin, PremiseId::CapFootprint,
+          PremiseId::CapAlt}) {
+        if (!cert.premise(id).holds)
+            return Verdict::CapacityDoomed;
+    }
+    if (!cert.premise(PremiseId::IndOnePass).holds)
+        return Verdict::UnboundedIndirection;
+    if (!cert.premise(PremiseId::LockOrder).holds)
+        return Verdict::LockOrderRisk;
+    return Verdict::Eligible;
+}
+
+TEST(PremiseCatalogue, NamesKindsAndFalsifiersAreStable)
+{
+    EXPECT_EQ(kNumPremises, 9u);
+    const char *names[kNumPremises] = {
+        "cap.window",  "cap.sq",       "cap.l1pin",
+        "cap.footprint", "cap.alt",    "ind.one-pass",
+        "lock.order",  "conflict.quiescent",
+        "bound.single-retry"};
+    for (unsigned i = 0; i < kNumPremises; ++i) {
+        const PremiseId id = static_cast<PremiseId>(i);
+        EXPECT_STREQ(premiseName(id), names[i]);
+        EXPECT_STRNE(premiseKindName(id), "?");
+        EXPECT_STRNE(premiseFalsifier(id), "?");
+    }
+    EXPECT_STREQ(premiseKindName(PremiseId::CapAlt), "capacity");
+    EXPECT_STREQ(premiseKindName(PremiseId::IndOnePass),
+                 "indirection");
+    EXPECT_STREQ(premiseKindName(PremiseId::LockOrder),
+                 "lock-order");
+    EXPECT_STREQ(premiseKindName(PremiseId::ConflictQuiescent),
+                 "interference");
+    EXPECT_STREQ(premiseKindName(PremiseId::SingleRetryBound),
+                 "retry-bound");
+}
+
+TEST(Certificate, EveryRegionCarriesAllPremisesInIdOrder)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    models[0x10] = syntheticModel(0x10, 4, 2);
+    AnalysisResult analysis = Analyzer(cfg).analyze(models);
+    const CertificateSet set = buildCertificates(analysis, cfg);
+
+    ASSERT_EQ(set.regions.size(), 1u);
+    const RegionCertificate &cert = set.regions[0];
+    ASSERT_EQ(cert.premises.size(), kNumPremises);
+    for (unsigned i = 0; i < kNumPremises; ++i)
+        EXPECT_EQ(static_cast<unsigned>(cert.premises[i].id), i);
+    EXPECT_EQ(set.find(0x10), &cert);
+    EXPECT_EQ(set.find(0x11), nullptr);
+}
+
+TEST(Certificate, SyntheticVerdictsRecomputeFromPremises)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    // One region per verdict class.
+    models[0x10] = syntheticModel(0x10, 4, 2); // eligible
+    RegionModel sq = syntheticModel(0x20, 4, 2); // capacity (SQ)
+    sq.maxStores = cfg.core.sqEntries + 1;
+    models[0x20] = sq;
+    models[0x30] = // capacity (ALT)
+        syntheticModel(0x30, cfg.clear.altEntries + 1, 1);
+    RegionModel ind = syntheticModel(0x40, 4, 2); // indirection
+    ind.addrTainted = true;
+    models[0x40] = ind;
+
+    const AnalysisResult analysis = Analyzer(cfg).analyze(models);
+    const CertificateSet set = buildCertificates(analysis, cfg);
+    ASSERT_EQ(set.regions.size(), 4u);
+    EXPECT_EQ(set.regions[0].verdict, Verdict::Eligible);
+    EXPECT_EQ(set.regions[1].verdict, Verdict::CapacityDoomed);
+    EXPECT_FALSE(
+        set.regions[1].premise(PremiseId::CapSq).holds);
+    EXPECT_EQ(set.regions[2].verdict, Verdict::CapacityDoomed);
+    EXPECT_FALSE(
+        set.regions[2].premise(PremiseId::CapAlt).holds);
+    EXPECT_EQ(set.regions[3].verdict,
+              Verdict::UnboundedIndirection);
+    for (const RegionCertificate &cert : set.regions)
+        EXPECT_EQ(verdictFromPremises(cert), cert.verdict)
+            << "pc 0x" << std::hex << cert.pc;
+}
+
+TEST(Certificate, RealCapturesRecomputeFromPremises)
+{
+    for (const char *workload : {"sorted-list", "queue", "bst"}) {
+        AnalyzeRequest request;
+        request.config = "C";
+        request.workload = workload;
+        request.params.threads = 4;
+        request.params.opsPerThread = 8;
+        request.params.seed = 42;
+        const AnalyzeOutcome outcome = analyzeWorkload(request);
+        const CertificateSet set =
+            buildCertificates(outcome.analysis, outcome.config);
+        EXPECT_FALSE(set.regions.empty()) << workload;
+        for (const RegionCertificate &cert : set.regions) {
+            SCOPED_TRACE(std::string(workload) + " pc " +
+                         std::to_string(cert.pc));
+            EXPECT_EQ(verdictFromPremises(cert), cert.verdict);
+        }
+    }
+}
+
+TEST(Certificate, SingleRetryBoundStatesTheMachineContract)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    models[0x10] = syntheticModel(0x10, 4, 2); // eligible
+    models[0x20] = // doomed
+        syntheticModel(0x20, cfg.clear.altEntries + 1, 1);
+    const AnalysisResult analysis = Analyzer(cfg).analyze(models);
+
+    // Under CLEAR the premise is claimed exactly for ELIGIBLE
+    // regions, with the counted-retry budget as its bound.
+    const CertificateSet with_clear =
+        buildCertificates(analysis, cfg);
+    const Premise &eligible =
+        with_clear.regions[0].premise(PremiseId::SingleRetryBound);
+    EXPECT_TRUE(eligible.holds);
+    EXPECT_EQ(eligible.bound, cfg.maxRetries);
+    EXPECT_FALSE(with_clear.regions[1]
+                     .premise(PremiseId::SingleRetryBound)
+                     .holds);
+
+    // Without the CLEAR machinery nothing bounds the retries; the
+    // premise is never claimed.
+    SystemConfig baseline = cfg;
+    baseline.clear.enabled = false;
+    const CertificateSet without =
+        buildCertificates(analysis, baseline);
+    EXPECT_FALSE(without.regions[0]
+                     .premise(PremiseId::SingleRetryBound)
+                     .holds);
+    EXPECT_TRUE(without.clearEnabled == false);
+}
+
+TEST(Certificate, JsonIsByteStable)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    models[0x10] = syntheticModel(0x10, 4, 2);
+    AnalysisResult analysis = Analyzer(cfg).analyze(models);
+    analysis.workload = "synthetic";
+    analysis.config = "C";
+    const CertificateSet set = buildCertificates(analysis, cfg);
+    EXPECT_EQ(certJsonString({set}), certJsonString({set}));
+    EXPECT_NE(certJsonString({set}).find(kCertJsonSchema),
+              std::string::npos);
+}
+
+TEST(Certificate, WriteCertJsonCreatesMissingParentDirs)
+{
+    const SystemConfig cfg = testConfig();
+    std::map<RegionPc, RegionModel> models;
+    models[0x10] = syntheticModel(0x10, 4, 2);
+    const CertificateSet set =
+        buildCertificates(Analyzer(cfg).analyze(models), cfg);
+
+    const std::string root =
+        "/tmp/clearsim_cert_dir_test";
+    std::filesystem::remove_all(root);
+    const std::string path = root + "/a/b/certs.json";
+    std::string error;
+    ASSERT_TRUE(writeCertJson(path, {set}, error)) << error;
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), certJsonString({set}));
+    std::filesystem::remove_all(root);
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Parallel-executor contract of the audit engine: the
+ * clearsim-audit-v1 document is byte-identical for every worker
+ * count. The reduction walks unit slots in fixed grid order, so
+ * jobs only changes wall-clock time, never bytes — the same
+ * contract the sweep engine pins, extended to the certifying
+ * analyzer's audit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/audit.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+AuditOptions
+smallAudit(unsigned jobs)
+{
+    AuditOptions opts;
+    // "B" rides along: a no-CLEAR baseline must be as transparent
+    // to the byte identity as the full machinery.
+    opts.configs = {"B", "C"};
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 2;
+    opts.params.threads = 8;
+    opts.params.opsPerThread = 4;
+    opts.params.seed = 42;
+    opts.jobs = jobs;
+    return opts;
+}
+
+TEST(AuditDeterminism, JsonIsByteIdenticalForAnyJobCount)
+{
+    const std::string serial =
+        auditJsonString(runAudit(smallAudit(1)));
+    EXPECT_EQ(serial, auditJsonString(runAudit(smallAudit(4))));
+    EXPECT_EQ(serial, auditJsonString(runAudit(smallAudit(2))));
+}
+
+TEST(AuditDeterminism, ReportIsByteIdenticalForAnyJobCount)
+{
+    EXPECT_EQ(auditReport(runAudit(smallAudit(1))),
+              auditReport(runAudit(smallAudit(4))));
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests of the sweep-scale mispredict audit: grid arithmetic, the
+ * clearsim-audit-v1 golden bytes, the false-DOOMED acceptance
+ * scenario (a CAPACITY-DOOMED verdict under a squeezed ALT that a
+ * single-threaded run never cashes in), byte-identical mispredict
+ * replay, the grid identity hash, and the parent-directory-creating
+ * JSON writer. Regenerate the golden after intentional schema or
+ * audit changes with:
+ *
+ *   clearsim_audit --workload queue,bst --config C --retries 1,4 \
+ *       --seeds 2 --ops 8 --threads 4 --scale 1 --seed 42 --quiet \
+ *       --json tests/data/audit_golden.json
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/audit.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+/** The pinned golden grid (the regeneration command's flags). */
+AuditOptions
+goldenOptions()
+{
+    AuditOptions opts;
+    opts.configs = {"C"};
+    opts.workloads = {"queue", "bst"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 2;
+    opts.params.threads = 4;
+    opts.params.opsPerThread = 8;
+    opts.params.scale = 1;
+    opts.params.seed = 42;
+    opts.jobs = 1;
+    return opts;
+}
+
+/** The ISSUE acceptance grid: ALT squeezed to 8, one thread. */
+AuditOptions
+altSqueezeOptions()
+{
+    AuditOptions opts;
+    opts.configs = {"C:altEntries=8"};
+    opts.workloads = {"sorted-list"};
+    opts.retryLimits = {4};
+    opts.seeds = 1;
+    opts.params.threads = 1;
+    opts.params.opsPerThread = 16;
+    opts.params.scale = 1;
+    opts.params.seed = 42;
+    opts.jobs = 1;
+    return opts;
+}
+
+TEST(Audit, GridArithmeticIsConsistent)
+{
+    const AuditResult result = runAudit(goldenOptions());
+    ASSERT_TRUE(result.failures.empty());
+    // configs x workloads x retries x seeds finished runs.
+    EXPECT_EQ(result.runs, 1u * 2u * 2u * 2u);
+
+    std::uint64_t cells = 0;
+    for (unsigned p = 0; p < kNumVerdictClasses; ++p)
+        for (unsigned a = 0; a < kNumVerdictClasses; ++a)
+            cells += result.confusion[p][a];
+    EXPECT_EQ(cells, result.regionInstances);
+    EXPECT_GT(result.regionInstances, 0u);
+
+    for (unsigned c = 0; c < kNumVerdictClasses; ++c) {
+        const AuditClassStats &stats = result.classes[c];
+        std::uint64_t predicted = 0, actual = 0;
+        for (unsigned a = 0; a < kNumVerdictClasses; ++a) {
+            predicted += result.confusion[c][a];
+            actual += result.confusion[a][c];
+        }
+        EXPECT_EQ(stats.predicted, predicted);
+        EXPECT_EQ(stats.actual, actual);
+        EXPECT_EQ(stats.truePositives, result.confusion[c][c]);
+        if (predicted != 0) {
+            EXPECT_EQ(stats.precisionPermille,
+                      stats.truePositives * 1000 / predicted);
+        }
+        if (actual != 0) {
+            EXPECT_EQ(stats.recallPermille,
+                      stats.truePositives * 1000 / actual);
+        }
+        EXPECT_LE(stats.precisionPermille, 1000u);
+        EXPECT_LE(stats.recallPermille, 1000u);
+    }
+}
+
+TEST(AuditGolden, MatchesCommittedDocument)
+{
+    const std::string path =
+        std::string(CLEARSIM_TEST_DATA_DIR) + "/audit_golden.json";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing golden file: " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    EXPECT_EQ(auditJsonString(runAudit(goldenOptions())),
+              buffer.str())
+        << "audit output drifted from " << path
+        << " — regenerate it if the change is intentional "
+           "(command in this file's header)";
+}
+
+TEST(AuditGolden, AuditIsByteStable)
+{
+    EXPECT_EQ(auditJsonString(runAudit(goldenOptions())),
+              auditJsonString(runAudit(goldenOptions())));
+}
+
+TEST(Audit, AltSqueezeYieldsDetectedFalseDoomed)
+{
+    const AuditResult result = runAudit(altSqueezeOptions());
+    ASSERT_TRUE(result.failures.empty());
+
+    // The analyzer dooms the list regions for an 8-entry ALT, but a
+    // single-threaded run commits speculatively without ever
+    // locking the cache: the doom never materializes and the
+    // checker must say so, blaming the ALT premise.
+    unsigned false_doomed = 0;
+    for (const AuditMispredict &entry : result.mispredicts) {
+        if (entry.record.kind != MispredictKind::FalseDoomed)
+            continue;
+        ++false_doomed;
+        EXPECT_EQ(entry.record.premise, PremiseId::CapAlt);
+        EXPECT_EQ(entry.record.verdict, Verdict::CapacityDoomed);
+        EXPECT_FALSE(entry.record.repro.empty());
+    }
+    EXPECT_GE(false_doomed, 1u);
+
+    // Every false-DOOMED pc gets a Clear-restoring (=0) override
+    // suggestion keyed on the base spec.
+    ASSERT_FALSE(result.suggestedOverrides.empty());
+    for (const SuggestedOverride &suggestion :
+         result.suggestedOverrides) {
+        EXPECT_EQ(suggestion.action, 0u);
+        EXPECT_EQ(suggestion.spec.rfind("C:altEntries=8:adapt.pc0x",
+                                        0),
+                  0u)
+            << suggestion.spec;
+    }
+}
+
+TEST(Audit, EveryMispredictReplaysByteIdentically)
+{
+    const AuditOptions opts = altSqueezeOptions();
+    const AuditResult result = runAudit(opts);
+    ASSERT_FALSE(result.mispredicts.empty());
+    for (const AuditMispredict &entry : result.mispredicts) {
+        SCOPED_TRACE(entry.record.repro);
+        Mispredict replayed;
+        std::string error;
+        ASSERT_TRUE(replayMispredict(entry, opts.params.seed,
+                                     replayed, error))
+            << error;
+        EXPECT_EQ(replayed.kind, entry.record.kind);
+        EXPECT_EQ(replayed.pc, entry.record.pc);
+        EXPECT_EQ(replayed.premise, entry.record.premise);
+        EXPECT_EQ(replayed.observed, entry.record.observed);
+        EXPECT_EQ(replayed.bound, entry.record.bound);
+        EXPECT_EQ(replayed.cycle, entry.record.cycle);
+    }
+}
+
+TEST(Audit, OptionsHashIgnoresJobsAndSeesTheGrid)
+{
+    AuditOptions a = goldenOptions();
+    AuditOptions b = goldenOptions();
+    b.jobs = 8;
+    // The worker count never changes the result bytes, so it must
+    // not change the identity either (daemon dedupe rides on this).
+    EXPECT_EQ(auditOptionsHash(a), auditOptionsHash(b));
+
+    AuditOptions c = goldenOptions();
+    c.params.seed = 43;
+    EXPECT_NE(auditOptionsHash(a), auditOptionsHash(c));
+    AuditOptions d = goldenOptions();
+    d.retryLimits = {1, 2};
+    EXPECT_NE(auditOptionsHash(a), auditOptionsHash(d));
+    AuditOptions e = goldenOptions();
+    e.workloads = {"queue"};
+    EXPECT_NE(auditOptionsHash(a), auditOptionsHash(e));
+}
+
+TEST(Audit, WriteAuditJsonCreatesMissingParentDirs)
+{
+    const AuditResult result = runAudit(altSqueezeOptions());
+    const std::string root = "/tmp/clearsim_audit_dir_test";
+    std::filesystem::remove_all(root);
+    const std::string path = root + "/x/y/audit.json";
+    std::string error;
+    ASSERT_TRUE(writeAuditJson(path, result, error)) << error;
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), auditJsonString(result));
+    std::filesystem::remove_all(root);
+}
+
+} // namespace
+} // namespace clearsim

@@ -11,11 +11,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
+#include "analysis/analyze.hh"
+#include "analysis/cert_checker.hh"
+#include "analysis/certificate.hh"
 #include "fault/fault_plans.hh"
 #include "fault/fault_repro.hh"
 #include "fault/invariant_checker.hh"
+#include "harness/audit.hh"
 #include "harness/runner.hh"
 #include "policy/config_registry.hh"
 
@@ -103,6 +108,102 @@ TEST(FaultPlanPropertyTest, CommitWithinBoundOrNamedViolation)
                                   std::string(err.what()));
                     }
                 }
+            }
+        }
+    }
+}
+
+/**
+ * The certificate-level refinement of the same property: for every
+ * region certified ELIGIBLE under C, a faulted run either commits
+ * within the single-retry machine contract, or the CertChecker
+ * names the falsified premise — and every latched mispredict
+ * replays byte-identically from its repro string alone. No silent
+ * third outcome.
+ */
+TEST(FaultPlanPropertyTest, CertCheckerNamesEveryBrokenPromise)
+{
+    const char *workloads[] = {"mwobject", "queue"};
+    for (const FaultPlanInfo &plan : faultPlans()) {
+        const std::string spec = std::string("C+") + plan.name +
+                                 ":fault.seed=1";
+        const SystemConfig cfg = makeConfigFromSpec(spec);
+        for (const char *workload : workloads) {
+            SCOPED_TRACE(spec + " / " + workload);
+            const WorkloadParams params = smallParams();
+
+            // Certificates come from a fault-free capture pass of
+            // the same cell, exactly as the audit derives them.
+            const AnalyzeOutcome capture = analyzeWithConfig(
+                captureConfigFor(cfg), workload, params);
+            const CertificateSet certs =
+                buildCertificates(capture.analysis, cfg);
+
+            CertChecker checker(certs, cfg);
+            ReproSpec repro;
+            repro.workload = workload;
+            repro.config = spec;
+            repro.threads = params.threads;
+            repro.ops = params.opsPerThread;
+            repro.scale = params.scale;
+            repro.seed = params.seed;
+            checker.setRepro(makeReproString(repro));
+
+            RunResult run;
+            try {
+                run = runOnce(cfg, workload, params, true,
+                              [&checker](System &sys) {
+                                  sys.setTraceTap(
+                                      [&checker](
+                                          const TraceEvent &e) {
+                                          checker.onTrace(e);
+                                      });
+                              });
+            } catch (const InvariantViolationError &) {
+                // The watchdog fired first; the machine-level test
+                // above owns that branch.
+                continue;
+            }
+            checker.finalize(run.htm, run.cycles);
+
+            // A certified region that exhausted its counted-retry
+            // budget must be named, and only then.
+            for (const RegionCertificate &cert : certs.regions) {
+                if (!cert.premise(PremiseId::SingleRetryBound)
+                         .holds)
+                    continue;
+                const auto it = checker.outcomes().find(cert.pc);
+                const std::uint64_t violations =
+                    it == checker.outcomes().end()
+                        ? 0
+                        : it->second.retryBoundViolations;
+                const bool named = std::any_of(
+                    checker.mispredicts().begin(),
+                    checker.mispredicts().end(),
+                    [&cert](const Mispredict &record) {
+                        return record.pc == cert.pc &&
+                               record.premise ==
+                                   PremiseId::SingleRetryBound;
+                    });
+                EXPECT_EQ(violations > 0, named)
+                    << "pc " << cert.pc;
+            }
+
+            // Every mispredict replays byte-identically from its
+            // record alone, faults included.
+            for (const Mispredict &record :
+                 checker.mispredicts()) {
+                AuditMispredict entry;
+                entry.config = spec;
+                entry.workload = workload;
+                entry.retryLimit = cfg.maxRetries;
+                entry.seed = params.seed;
+                entry.record = record;
+                Mispredict replayed;
+                std::string error;
+                EXPECT_TRUE(replayMispredict(
+                    entry, params.seed, replayed, error))
+                    << error;
             }
         }
     }

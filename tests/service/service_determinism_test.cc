@@ -1,8 +1,8 @@
 /**
  * @file
- * Service-layer determinism: a sweep served by clearsimd over the
- * wire is byte-identical to the same sweep run by the engine
- * in-process — for any job count on either side.
+ * Service-layer determinism: a sweep (or audit) served by clearsimd
+ * over the wire is byte-identical to the same grid run by the
+ * engine in-process — for any job count on either side.
  *
  * This extends the parallel-executor contract (ctest -L
  * determinism) across the daemon: framing, scheduling, streaming
@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/json.hh"
+#include "harness/audit.hh"
 #include "harness/sweep_cache.hh"
 #include "harness/sweep_engine.hh"
 #include "service/client.hh"
@@ -77,9 +78,10 @@ sweepRequest(const SweepOptions &opts)
     return out;
 }
 
-/** One daemon in @p dir serving @p opts; returns the payload. */
+/** One daemon in @p dir serving @p request; returns the payload. */
 std::string
-sweepThroughDaemon(const std::string &dir, const SweepOptions &opts)
+serveThroughDaemon(const std::string &dir,
+                   const std::string &request)
 {
     Daemon::Options options;
     options.socketPath = dir + "/d.sock";
@@ -91,12 +93,17 @@ sweepThroughDaemon(const std::string &dir, const SweepOptions &opts)
     std::string error;
     EXPECT_TRUE(connection.connect(options.socketPath, error))
         << error;
-    EXPECT_TRUE(connection.send(sweepRequest(opts), error))
-        << error;
+    EXPECT_TRUE(connection.send(request, error)) << error;
     WireMessage outcome;
     EXPECT_TRUE(connection.waitForOutcome(outcome, error)) << error;
     EXPECT_EQ("result", outcome.type) << outcome.text("message");
     return outcome.text("payload");
+}
+
+std::string
+sweepThroughDaemon(const std::string &dir, const SweepOptions &opts)
+{
+    return serveThroughDaemon(dir, sweepRequest(opts));
 }
 
 TEST(ServiceDeterminism, WirePayloadMatchesTheEngineForAnyJobCount)
@@ -127,6 +134,89 @@ TEST(ServiceDeterminism, WirePayloadMatchesTheEngineForAnyJobCount)
               sweepThroughDaemon(dir + "/serial", smallSweep(1)));
     EXPECT_EQ(expected,
               sweepThroughDaemon(dir + "/parallel", smallSweep(4)));
+
+    std::filesystem::remove_all(dir);
+}
+
+AuditOptions
+smallServiceAudit(unsigned jobs)
+{
+    AuditOptions opts;
+    opts.configs = {"C"};
+    opts.workloads = {"queue", "bst"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 2;
+    opts.params.threads = 4;
+    opts.params.opsPerThread = 4;
+    opts.params.scale = 1;
+    opts.params.seed = 42;
+    opts.jobs = jobs;
+    return opts;
+}
+
+std::string
+auditRequest(const AuditOptions &opts)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value("audit");
+    w.key("configs");
+    w.beginArray();
+    for (const std::string &spec : opts.configs)
+        w.value(spec);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const std::string &name : opts.workloads)
+        w.value(name);
+    w.endArray();
+    w.key("retries");
+    w.beginArray();
+    for (unsigned limit : opts.retryLimits)
+        w.value(limit);
+    w.endArray();
+    w.key("seeds");
+    w.value(opts.seeds);
+    w.key("ops");
+    w.value(opts.params.opsPerThread);
+    w.key("threads");
+    w.value(opts.params.threads);
+    w.key("scale");
+    w.value(opts.params.scale);
+    w.key("seed");
+    w.value(opts.params.seed);
+    w.key("jobs");
+    w.value(opts.jobs);
+    w.endObject();
+    return out;
+}
+
+TEST(ServiceDeterminism, AuditPayloadMatchesInProcessBytes)
+{
+    const std::string dir = "/tmp/clearsim_service_audit_det";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir + "/serial");
+    std::filesystem::create_directories(dir + "/parallel");
+
+    // Ground truth: the audit engine in-process, serial execution.
+    const std::string expected =
+        auditJsonString(runAudit(smallServiceAudit(1)));
+
+    // The daemon at jobs=1 and jobs=4 must serve exactly those
+    // bytes (separate dirs: the job count is excluded from audit
+    // identity, so one daemon would dedupe the second request).
+    EXPECT_EQ(expected,
+              serveThroughDaemon(
+                  dir + "/serial",
+                  auditRequest(smallServiceAudit(1))));
+    EXPECT_EQ(expected,
+              serveThroughDaemon(
+                  dir + "/parallel",
+                  auditRequest(smallServiceAudit(4))));
 
     std::filesystem::remove_all(dir);
 }

@@ -15,9 +15,11 @@
  */
 
 #include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -43,8 +45,63 @@ struct AnalyzeOptions
     unsigned scale = 1;
     std::uint64_t seed = 42;
     std::string jsonPath;
+    std::string certJsonPath;
     bool quiet = false;
+
+    /**
+     * --fail-on <verdict>: exit 3 when any region's verdict is at
+     * least as severe, so CI can gate on "no region regressed past
+     * LOCK-ORDER-RISK" without parsing the JSON.
+     */
+    bool failOnGiven = false;
+    Verdict failOn = Verdict::Eligible;
 };
+
+/**
+ * Gate severity of a verdict. Orders the enum for --fail-on:
+ * ELIGIBLE (0) < LOCK-ORDER-RISK (1) < UNBOUNDED-INDIRECTION (2) <
+ * CAPACITY-DOOMED (3). Distinct from the wire class index, which is
+ * pinned to the enum's declaration order.
+ */
+unsigned
+verdictSeverity(Verdict verdict)
+{
+    switch (verdict) {
+    case Verdict::Eligible:
+        return 0;
+    case Verdict::LockOrderRisk:
+        return 1;
+    case Verdict::UnboundedIndirection:
+        return 2;
+    case Verdict::CapacityDoomed:
+        return 3;
+    }
+    return 3;
+}
+
+bool
+parseVerdict(const std::string &text, Verdict &out)
+{
+    for (unsigned i = 0; i < kNumVerdictClasses; ++i) {
+        const Verdict v = verdictOfClass(i);
+        const char *name = verdictName(v);
+        if (text.size() != std::strlen(name))
+            continue;
+        bool match = true;
+        for (std::size_t j = 0; j < text.size(); ++j) {
+            if (std::toupper(static_cast<unsigned char>(text[j])) !=
+                name[j]) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
 
 std::vector<std::string>
 splitCsvList(const std::string &value)
@@ -74,6 +131,12 @@ usage()
         "  --scale <n>      data-structure scale factor (default 1)\n"
         "  --seed <n>       master seed (default 42)\n"
         "  --json <file>    write clearsim-analysis-v1 JSON to <file>\n"
+        "  --cert-json <file>  write clearsim-cert-v1 eligibility\n"
+        "                   certificates to <file>\n"
+        "  --fail-on <verdict>  exit 3 when any region's verdict is\n"
+        "                   at least as severe (severity order:\n"
+        "                   ELIGIBLE < LOCK-ORDER-RISK <\n"
+        "                   UNBOUNDED-INDIRECTION < CAPACITY-DOOMED)\n"
         "  --quiet          suppress the verdict table\n");
     std::exit(2);
 }
@@ -113,6 +176,21 @@ parseArgs(int argc, char **argv)
                 std::numeric_limits<std::uint64_t>::max());
         } else if (arg == "--json") {
             opts.jsonPath = value();
+        } else if (arg == "--cert-json") {
+            opts.certJsonPath = value();
+        } else if (arg == "--fail-on") {
+            const std::string v = value();
+            if (!parseVerdict(v, opts.failOn)) {
+                std::fprintf(stderr,
+                             "clearsim_analyze: --fail-on: unknown "
+                             "verdict '%s' (known: ELIGIBLE, "
+                             "LOCK-ORDER-RISK, "
+                             "UNBOUNDED-INDIRECTION, "
+                             "CAPACITY-DOOMED)\n",
+                             v.c_str());
+                std::exit(2);
+            }
+            opts.failOnGiven = true;
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else {
@@ -157,6 +235,8 @@ main(int argc, char **argv)
     validateSelections(opts);
 
     std::vector<AnalysisResult> analyses;
+    std::vector<CertificateSet> certs;
+    std::uint64_t gatedRegions = 0;
     for (const std::string &workload : opts.workloads) {
         for (const std::string &config : opts.configs) {
             AnalyzeRequest request;
@@ -171,6 +251,25 @@ main(int argc, char **argv)
             AnalyzeOutcome outcome = analyzeWorkload(request);
             if (!opts.quiet)
                 writeAnalysisTable(std::cout, outcome.analysis);
+            if (opts.failOnGiven) {
+                for (const RegionAnalysis &region :
+                     outcome.analysis.regions) {
+                    if (verdictSeverity(region.verdict) <
+                        verdictSeverity(opts.failOn))
+                        continue;
+                    ++gatedRegions;
+                    std::fprintf(
+                        stderr,
+                        "clearsim_analyze: --fail-on: region "
+                        "0x%llx in %s [%s] is %s\n",
+                        static_cast<unsigned long long>(region.pc),
+                        workload.c_str(), config.c_str(),
+                        verdictName(region.verdict));
+                }
+            }
+            if (!opts.certJsonPath.empty())
+                certs.push_back(buildCertificates(
+                    outcome.analysis, outcome.config));
             analyses.push_back(std::move(outcome.analysis));
         }
     }
@@ -182,6 +281,22 @@ main(int argc, char **argv)
         logStatus("[clearsim] wrote %llu analyses to %s",
                   static_cast<unsigned long long>(analyses.size()),
                   opts.jsonPath.c_str());
+    }
+    if (!opts.certJsonPath.empty()) {
+        std::string error;
+        if (!writeCertJson(opts.certJsonPath, certs, error))
+            fatal("--cert-json: %s", error.c_str());
+        logStatus("[clearsim] wrote %llu certificate sets to %s",
+                  static_cast<unsigned long long>(certs.size()),
+                  opts.certJsonPath.c_str());
+    }
+    if (gatedRegions != 0) {
+        std::fprintf(stderr,
+                     "clearsim_analyze: %llu region(s) at or above "
+                     "--fail-on %s\n",
+                     static_cast<unsigned long long>(gatedRegions),
+                     verdictName(opts.failOn));
+        return 3;
     }
     return 0;
 }

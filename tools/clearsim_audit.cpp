@@ -1,0 +1,249 @@
+/**
+ * @file
+ * clearsim_audit: the sweep-scale mispredict audit CLI.
+ *
+ * Runs the certifying analyzer's audit grid (see harness/audit.hh):
+ * per (config, workload, retry-limit) unit it derives eligibility
+ * certificates from one capture pass, replays seeded measured runs
+ * with a CertChecker tapping the trace stream, and reduces
+ * everything into a per-verdict-class precision/recall table plus a
+ * replayable mispredict corpus:
+ *
+ *   clearsim_audit --workload all --config C --retries 1,4
+ *   clearsim_audit --workload queue --json audit.json
+ *   clearsim_audit --workload bst --replay
+ *
+ * Unlike `clearsim_cli --audit` (whose grid comes from the
+ * CLEARSIM_* environment so daemon and CLI runs compare
+ * byte-for-byte), this tool takes the grid from flags. --replay
+ * re-runs every corpus entry from its repro string and exits
+ * nonzero unless each replay reproduces the identical mispredict
+ * record.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clearsim/clearsim.hh"
+#include "common/env.hh"
+#include "common/log.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+struct AuditCliOptions
+{
+    AuditOptions audit;
+    std::string jsonPath;
+    bool quiet = false;
+    bool replay = false;
+};
+
+std::vector<std::string>
+splitCsvList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: clearsim_audit [options]\n"
+        "  --workload <name[,name...]|all>  (default all)\n"
+        "  --config <spec[,spec...]>        (default C)\n"
+        "                   spec = preset[+modifier...][:key=value...]\n"
+        "  --retries <n[,n...]>  audited retry limits (default 1,4)\n"
+        "  --seeds <n>      audited runs per unit (default 2)\n"
+        "  --ops <n>        AR invocations per thread (default 16)\n"
+        "  --threads <n>    simulated threads (default 32)\n"
+        "  --scale <n>      data-structure scale factor (default 1)\n"
+        "  --seed <n>       base seed (default 1)\n"
+        "  --jobs <n>       worker threads (0 = hardware; never\n"
+        "                   affects the result bytes)\n"
+        "  --json <file>    write clearsim-audit-v1 JSON to <file>\n"
+        "  --replay         re-run every mispredict from its repro\n"
+        "                   string; exit 1 unless all records\n"
+        "                   reproduce byte-identically\n"
+        "  --quiet          suppress the text report\n");
+    std::exit(2);
+}
+
+AuditCliOptions
+parseArgs(int argc, char **argv)
+{
+    AuditCliOptions opts;
+    opts.audit.workloads = workloadNames();
+    opts.audit.params.opsPerThread = 16;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            const std::string v = value();
+            opts.audit.workloads =
+                v == "all" ? workloadNames() : splitCsvList(v);
+        } else if (arg == "--config") {
+            opts.audit.configs = splitCsvList(value());
+        } else if (arg == "--retries") {
+            opts.audit.retryLimits.clear();
+            for (const std::string &r : splitCsvList(value()))
+                opts.audit.retryLimits.push_back(
+                    static_cast<unsigned>(parseUnsignedOrDie(
+                        r.c_str(), "--retries", 0, 1000000)));
+            if (opts.audit.retryLimits.empty())
+                usage();
+        } else if (arg == "--seeds") {
+            opts.audit.seeds =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--seeds", 1, 100000));
+        } else if (arg == "--ops") {
+            opts.audit.params.opsPerThread =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--ops", 1, 100000000));
+        } else if (arg == "--threads") {
+            opts.audit.params.threads =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--threads", 1, 4096));
+        } else if (arg == "--scale") {
+            opts.audit.params.scale =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--scale", 1, 1000000));
+        } else if (arg == "--seed") {
+            opts.audit.params.seed = parseUnsignedOrDie(
+                value().c_str(), "--seed", 0,
+                std::numeric_limits<std::uint64_t>::max());
+        } else if (arg == "--jobs") {
+            opts.audit.jobs =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--jobs", 0, 1024));
+        } else if (arg == "--json") {
+            opts.jsonPath = value();
+        } else if (arg == "--replay") {
+            opts.replay = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            usage();
+        }
+    }
+    return opts;
+}
+
+void
+validateSelections(const AuditCliOptions &opts)
+{
+    const ConfigRegistry &reg = ConfigRegistry::instance();
+    for (const std::string &spec : opts.audit.configs) {
+        SystemConfig cfg;
+        std::string error;
+        if (!reg.tryMake(spec, cfg, error)) {
+            std::fprintf(stderr,
+                         "clearsim_audit: --config %s: %s\n",
+                         spec.c_str(), error.c_str());
+            std::exit(2);
+        }
+    }
+    const std::vector<std::string> known = workloadNames();
+    for (const std::string &w : opts.audit.workloads) {
+        if (std::find(known.begin(), known.end(), w) ==
+            known.end()) {
+            std::fprintf(stderr,
+                         "clearsim_audit: unknown workload '%s'\n",
+                         w.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+/**
+ * Replay the whole corpus. Every mispredict carries a repro string;
+ * the audit's claim is that each replays to a byte-identical record.
+ * @return the number of entries that failed to reproduce
+ */
+unsigned
+replayCorpus(const AuditResult &result)
+{
+    unsigned mismatches = 0;
+    for (const AuditMispredict &entry : result.mispredicts) {
+        Mispredict replayed;
+        std::string error;
+        if (replayMispredict(entry, result.options.params.seed,
+                             replayed, error)) {
+            continue;
+        }
+        ++mismatches;
+        std::fprintf(stderr,
+                     "clearsim_audit: replay mismatch: %s "
+                     "pc=0x%llx premise=%s: %s\n",
+                     mispredictKindName(entry.record.kind),
+                     static_cast<unsigned long long>(
+                         entry.record.pc),
+                     premiseName(entry.record.premise),
+                     error.c_str());
+        std::fprintf(stderr, "  repro: %s\n",
+                     entry.record.repro.c_str());
+    }
+    return mismatches;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const AuditCliOptions opts = parseArgs(argc, argv);
+    validateSelections(opts);
+
+    const AuditResult result = runAudit(opts.audit);
+    if (!opts.quiet)
+        std::fputs(auditReport(result).c_str(), stdout);
+
+    if (!opts.jsonPath.empty()) {
+        std::string error;
+        if (!writeAuditJson(opts.jsonPath, result, error))
+            fatal("--json: %s", error.c_str());
+        logStatus("[clearsim] wrote audit of %llu runs to %s",
+                  static_cast<unsigned long long>(result.runs),
+                  opts.jsonPath.c_str());
+    }
+
+    int exitCode = 0;
+    if (opts.replay) {
+        const unsigned mismatches = replayCorpus(result);
+        logStatus("[clearsim] replayed %llu mispredict(s), "
+                  "%u mismatch(es)",
+                  static_cast<unsigned long long>(
+                      result.mispredicts.size()),
+                  mismatches);
+        if (mismatches != 0)
+            exitCode = 1;
+    }
+    if (!result.failures.empty()) {
+        std::fprintf(stderr,
+                     "clearsim_audit: %llu audit unit(s) failed\n",
+                     static_cast<unsigned long long>(
+                         result.failures.size()));
+        exitCode = 1;
+    }
+    return exitCode;
+}

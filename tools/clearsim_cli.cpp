@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -62,6 +63,7 @@ struct CliOptions
     bool stats = false;
     bool analyze = false;
     std::string analysisJsonPath;
+    std::string certJsonPath;
     std::string statsJsonPath;
     std::string traceOutPath;
     std::string traceFormat = "jsonl";
@@ -73,6 +75,15 @@ struct CliOptions
      * byte-identity gate is `cmp` between the two.
      */
     std::string sweepOutPath;
+
+    /**
+     * --audit: run the CLEARSIM_*-configured mispredict audit (see
+     * harness/audit.hh) and print the precision/recall report.
+     * --audit-json additionally writes the clearsim-audit-v1
+     * document, whose bytes are independent of CLEARSIM_JOBS.
+     */
+    bool audit = false;
+    std::string auditJsonPath;
 };
 
 std::vector<std::string>
@@ -108,6 +119,13 @@ usage()
         "                   measurement run (verdict table)\n"
         "  --analysis-json <f>  write clearsim-analysis-v1 to <f>\n"
         "                   (implies --analyze)\n"
+        "  --cert-json <f>  write clearsim-cert-v1 eligibility\n"
+        "                   certificates to <f> (implies --analyze)\n"
+        "  --audit          run the CLEARSIM_*-configured mispredict\n"
+        "                   audit and print the precision/recall\n"
+        "                   report (exit 1 on audit failures)\n"
+        "  --audit-json <f> write clearsim-audit-v1 to <f>\n"
+        "                   (implies --audit)\n"
         "  --stats          per-run stats report to stderr\n"
         "  --stats-json <f> write clearsim-stats-v1 JSON to <f>\n"
         "  --trace          human-readable trace to stderr\n"
@@ -269,6 +287,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--analysis-json") {
             opts.analyze = true;
             opts.analysisJsonPath = value();
+        } else if (arg == "--cert-json") {
+            opts.analyze = true;
+            opts.certJsonPath = value();
+        } else if (arg == "--audit") {
+            opts.audit = true;
+        } else if (arg == "--audit-json") {
+            opts.audit = true;
+            opts.auditJsonPath = value();
         } else if (arg == "--stats-json") {
             opts.statsJsonPath = value();
         } else if (arg == "--trace-out") {
@@ -295,6 +321,27 @@ parseArgs(int argc, char **argv)
         }
     }
     return opts;
+}
+
+/**
+ * Create @p path's parent directories before an output stream opens
+ * it. Every CLI output flag shares this, so "--trace-out out/t.jsonl"
+ * into a fresh directory works like the JSON writers always have
+ * instead of failing with a bare "cannot open".
+ */
+void
+ensureParentDir(const std::string &path, const char *flag)
+{
+    const std::filesystem::path target(path);
+    if (!target.has_parent_path())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+        fatal("%s: cannot create directory %s: %s", flag,
+              target.parent_path().string().c_str(),
+              ec.message().c_str());
+    }
 }
 
 } // namespace
@@ -332,6 +379,7 @@ main(int argc, char **argv)
             fatal("--sweep: the sweep had failing cells");
         const std::string bytes = serializeSweepCache(
             sweepOptionsHash(sweep), cells);
+        ensureParentDir(opts.sweepOutPath, "--sweep");
         std::ofstream out(opts.sweepOutPath,
                           std::ios::binary | std::ios::trunc);
         out << bytes;
@@ -343,10 +391,36 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (opts.audit) {
+        // Audit mode: like --sweep, the grid comes from the
+        // CLEARSIM_* environment so CLI, daemon, and CI runs of the
+        // same options produce byte-identical documents.
+        const AuditOptions audit = AuditOptions::fromEnv();
+        const AuditResult result = runAudit(audit);
+        std::fputs(auditReport(result).c_str(), stdout);
+        if (!opts.auditJsonPath.empty()) {
+            std::string error;
+            if (!writeAuditJson(opts.auditJsonPath, result, error))
+                fatal("--audit-json: %s", error.c_str());
+            logStatus("[clearsim] wrote audit of %llu runs to %s",
+                      static_cast<unsigned long long>(result.runs),
+                      opts.auditJsonPath.c_str());
+        }
+        if (!result.failures.empty()) {
+            std::fprintf(stderr,
+                         "[clearsim] %llu audit unit(s) failed\n",
+                         static_cast<unsigned long long>(
+                             result.failures.size()));
+            return 1;
+        }
+        return 0;
+    }
+
     if (opts.analyze) {
         // Analysis mode: capture runs + static passes, no
         // measurement table.
         std::vector<AnalysisResult> analyses;
+        std::vector<CertificateSet> certs;
         for (const std::string &workload : opts.workloads) {
             for (const std::string &config : opts.configs) {
                 WorkloadParams params;
@@ -357,11 +431,15 @@ main(int argc, char **argv)
                 // Capture under the exact config a run of the same
                 // command line would execute; label the table with
                 // the spec text the user typed.
-                AnalyzeOutcome outcome = analyzeWithConfig(
-                    resolveRunConfig(opts, config), workload,
-                    params);
+                const SystemConfig cfg =
+                    resolveRunConfig(opts, config);
+                AnalyzeOutcome outcome =
+                    analyzeWithConfig(cfg, workload, params);
                 outcome.analysis.config = config;
                 writeAnalysisTable(std::cout, outcome.analysis);
+                if (!opts.certJsonPath.empty())
+                    certs.push_back(
+                        buildCertificates(outcome.analysis, cfg));
                 analyses.push_back(std::move(outcome.analysis));
             }
         }
@@ -374,6 +452,15 @@ main(int argc, char **argv)
                       static_cast<unsigned long long>(
                           analyses.size()),
                       opts.analysisJsonPath.c_str());
+        }
+        if (!opts.certJsonPath.empty()) {
+            std::string error;
+            if (!writeCertJson(opts.certJsonPath, certs, error))
+                fatal("--cert-json: %s", error.c_str());
+            logStatus(
+                "[clearsim] wrote %llu certificate sets to %s",
+                static_cast<unsigned long long>(certs.size()),
+                opts.certJsonPath.c_str());
         }
         return 0;
     }
@@ -532,6 +619,7 @@ main(int argc, char **argv)
     }
 
     if (collectTrace) {
+        ensureParentDir(opts.traceOutPath, "--trace-out");
         std::ofstream os(opts.traceOutPath,
                          std::ios::binary | std::ios::trunc);
         if (!os) {

@@ -50,6 +50,7 @@ usage()
         "  run              one simulation (--workload required)\n"
         "  analyze          ahead-of-run analysis (--workload req.)\n"
         "  sweep            a (configs x workloads) sweep\n"
+        "  audit            certifying-analyzer mispredict audit\n"
         "  status           job table (all jobs, or --id <job>)\n"
         "  cancel           cancel an in-flight job (--id <job>)\n"
         "  dlq-list         dead-letter queue contents\n"
@@ -64,6 +65,9 @@ usage()
         "              --retries --threads --ops --scale --seed <n>\n"
         "sweep:        --configs a,b --workloads a,b --retries 1,2\n"
         "              --seeds --trim --ops --threads --scale\n"
+        "              --jobs <n>\n"
+        "audit:        --configs a,b --workloads a,b --retries 1,4\n"
+        "              --seeds --ops --threads --scale --seed\n"
         "              --jobs <n>\n");
     std::exit(2);
 }
@@ -144,7 +148,8 @@ buildRequest(const ClientOptions &opts)
             w.key("seed");
             w.value(opts.seed);
         }
-    } else if (opts.command == "sweep") {
+    } else if (opts.command == "sweep" ||
+               opts.command == "audit") {
         if (!opts.configs.empty()) {
             w.key("configs");
             w.beginArray();
@@ -170,9 +175,16 @@ buildRequest(const ClientOptions &opts)
             w.key("seeds");
             w.value(opts.seeds);
         }
-        if (opts.haveTrim) {
+        // trim is sweep-only and seed audit-only; the protocol
+        // fails closed on unknown fields, so send each only where
+        // its schema lists it.
+        if (opts.haveTrim && opts.command == "sweep") {
             w.key("trim");
             w.value(opts.trim);
+        }
+        if (opts.haveSeed && opts.command == "audit") {
+            w.key("seed");
+            w.value(opts.seed);
         }
         if (opts.haveOps) {
             w.key("ops");
@@ -296,7 +308,8 @@ parseArgs(int argc, char **argv)
     const bool known =
         opts.command == "catalogue" || opts.command == "run" ||
         opts.command == "analyze" || opts.command == "sweep" ||
-        opts.command == "status" || opts.command == "cancel" ||
+        opts.command == "audit" || opts.command == "status" ||
+        opts.command == "cancel" ||
         opts.command == "dlq-list" ||
         opts.command == "dlq-replay" ||
         opts.command == "dlq-clear";
