@@ -1,0 +1,46 @@
+#include "harness/shard.hh"
+
+#include <algorithm>
+
+#include "harness/sweep_cache.hh"
+#include "harness/sweep_engine.hh"
+
+namespace clearsim
+{
+
+std::size_t
+ShardPlan::totalCells() const
+{
+    std::size_t total = 0;
+    for (const std::vector<SweepKey> &shard : shards)
+        total += shard.size();
+    return total;
+}
+
+ShardPlan
+planShards(const SweepOptions &opts, unsigned requested)
+{
+    const SweepGrid grid(opts, {});
+    const std::vector<SweepKey> &cells = grid.cells();
+
+    ShardPlan plan;
+    plan.optionsHash = sweepOptionsHash(opts);
+    const std::size_t wanted =
+        requested == 0 ? cells.size()
+                       : std::min<std::size_t>(requested,
+                                               cells.size());
+    plan.shardCount = static_cast<unsigned>(std::max<std::size_t>(
+        1, wanted));
+    plan.shards.resize(plan.shardCount);
+
+    // Round-robin deal with a hash-derived rotation: cell i lands
+    // in shard (i + hash) % count. Adjacent cells (same workload,
+    // different configs) spread across shards, so a slow workload
+    // does not serialize behind one worker.
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        plan.shards[(i + plan.optionsHash) % plan.shardCount]
+            .push_back(cells[i]);
+    return plan;
+}
+
+} // namespace clearsim

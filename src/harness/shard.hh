@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic sharding of a sweep grid.
+ *
+ * The fabric coordinator partitions a sweep's cells into shards and
+ * leases whole shards to worker processes. Correctness of the
+ * byte-identity invariant (docs/SERVICE.md, "Sweep fabric") rests
+ * on one property: the partition is a *pure function* of the sweep
+ * options hash and the shard count. Both sides of the wire —
+ * coordinator and worker — recompute the same plan independently
+ * from the same options, so a lease only ever needs to name a shard
+ * *index*; the cells it covers are never serialized, and a worker
+ * can prove it is executing exactly what the coordinator meant.
+ *
+ * The assignment deliberately excludes everything that may differ
+ * between processes (job counts, worker identity, wall-clock time):
+ * cells are taken in SweepGrid order (workload-major, the order the
+ * serial sweep always used) and dealt round-robin with a rotation
+ * derived from sweepOptionsHash(), so the same grid always shards
+ * the same way while different sweeps spread their first cells
+ * across different shards.
+ */
+
+#ifndef CLEARSIM_HARNESS_SHARD_HH
+#define CLEARSIM_HARNESS_SHARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace clearsim
+{
+
+/** A sweep grid partitioned into leasable shards. */
+struct ShardPlan
+{
+    /** sweepOptionsHash() of the options the plan was built from. */
+    std::uint64_t optionsHash = 0;
+
+    /** Number of shards (1 <= shardCount <= total cells). */
+    unsigned shardCount = 0;
+
+    /** Shard index -> the cells it covers; every shard non-empty. */
+    std::vector<std::vector<SweepKey>> shards;
+
+    /** All cells across all shards. */
+    std::size_t totalCells() const;
+};
+
+/**
+ * Partition the grid of @p opts into @p requested shards.
+ * @p requested is clamped to the cell count (a shard is never
+ * empty) and 0 means one shard per cell (maximum stealable
+ * granularity). fatal()s on invalid options, exactly like
+ * SweepGrid — plans are built from validated requests.
+ *
+ * Pure: depends only on the options' result-affecting fields (the
+ * same set sweepOptionsHash() covers — opts.jobs is ignored) and on
+ * @p requested. Two processes computing planShards() for the same
+ * sweep always agree, byte for byte.
+ */
+ShardPlan planShards(const SweepOptions &opts, unsigned requested);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_HARNESS_SHARD_HH

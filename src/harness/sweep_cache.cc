@@ -186,6 +186,14 @@ parseCacheRow(const std::vector<std::string> &fields,
 
 } // namespace
 
+bool
+parseSweepCacheRow(const std::string &line, CellSummary &out)
+{
+    const std::vector<std::string> fields = splitFields(line);
+    return fields.size() == kCacheColumns &&
+           parseCacheRow(fields, out);
+}
+
 std::string
 serializeSweepCacheRow(const CellSummary &s)
 {

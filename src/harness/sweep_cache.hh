@@ -92,6 +92,15 @@ bool parseSweepCache(const std::string &text, std::uint64_t hash,
                      SweepSummary &out);
 
 /**
+ * Parse one serializeSweepCacheRow() line back into a CellSummary —
+ * the exact row-level inverse, shared with the fabric coordinator,
+ * which merges rows workers computed in other processes and must
+ * reject a malformed row rather than merge garbage.
+ * @retval false when the column count or any field is malformed
+ */
+bool parseSweepCacheRow(const std::string &line, CellSummary &out);
+
+/**
  * Load the cached sweep if its options hash matches.
  * @retval false when absent or stale
  */

@@ -31,7 +31,15 @@ writeRun(JsonWriter &json, const RunResult &run)
     json.value(run.maxRetries);
     json.key("cores");
     json.value(run.numCores);
+    writeStatsRegistryJson(json, reg);
+    json.endObject();
+}
 
+} // namespace
+
+void
+writeStatsRegistryJson(JsonWriter &json, const StatsRegistry &reg)
+{
     json.key("counters");
     json.beginObject();
     for (const auto &entry : reg.counters()) {
@@ -68,11 +76,7 @@ writeRun(JsonWriter &json, const RunResult &run)
         json.endObject();
     }
     json.endObject();
-
-    json.endObject();
 }
-
-} // namespace
 
 std::string
 statsJsonString(const std::vector<RunResult> &runs)

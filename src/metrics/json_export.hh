@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/stats.hh"
 #include "metrics/run_result.hh"
 
 namespace clearsim
@@ -45,6 +47,16 @@ namespace clearsim
 
 /** Schema identifier written into every stats document. */
 inline constexpr const char *kStatsJsonSchema = "clearsim-stats-v1";
+
+/**
+ * Write a StatsRegistry as the clearsim-stats-v1 body shape — the
+ * "counters"/"scalars"/"distributions" objects, keys in
+ * registration order — into an open JSON object. Shared by the
+ * per-run stats export and the daemon's fabric-status payload, so
+ * every registry this codebase serializes has the same shape.
+ */
+void writeStatsRegistryJson(JsonWriter &json,
+                            const StatsRegistry &reg);
 
 /** Serialize the runs as one clearsim-stats-v1 document. */
 std::string statsJsonString(const std::vector<RunResult> &runs);

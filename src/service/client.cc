@@ -1,7 +1,10 @@
 #include "service/client.hh"
 
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <random>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -58,13 +61,62 @@ ClientConnection::connect(const std::string &socket_path,
         disconnect();
         return false;
     }
-    if (reply.type != "hello-ok" ||
-        reply.text("version") != kWireSchema) {
+    if (reply.type != "hello-ok") {
         error = "unexpected handshake reply '" + reply.type + "'";
         disconnect();
         return false;
     }
+    const std::string version = reply.text("version");
+    if (version == kWireSchemaV2) {
+        version_ = 2;
+    } else if (version == kWireSchema) {
+        version_ = 1;
+    } else {
+        error = "server negotiated unknown version '" + version +
+                "'";
+        disconnect();
+        return false;
+    }
     return true;
+}
+
+bool
+ClientConnection::connectWithRetry(const std::string &socket_path,
+                                   unsigned attempts,
+                                   std::string &error,
+                                   const std::atomic<bool> *stop)
+{
+    // Seed per process, not per call: every retry of every
+    // connection in this process walks its own jitter sequence.
+    static std::mt19937 rng([] {
+        std::random_device rd;
+        return rd() ^ (static_cast<unsigned>(::getpid()) << 16);
+    }());
+
+    if (attempts == 0)
+        attempts = 1;
+    std::uint64_t backoff_ms = 25;
+    for (unsigned attempt = 1;; ++attempt) {
+        if (connect(socket_path, error))
+            return true;
+        if (attempt >= attempts)
+            return false;
+        if (stop != nullptr && stop->load()) {
+            error = "stopped";
+            return false;
+        }
+        // Full jitter: sleep a uniform slice of the current window
+        // so N workers retrying together spread out immediately.
+        std::uniform_int_distribution<std::uint64_t> jitter(
+            backoff_ms / 2, backoff_ms);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(jitter(rng)));
+        backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 800);
+        if (stop != nullptr && stop->load()) {
+            error = "stopped";
+            return false;
+        }
+    }
 }
 
 bool
@@ -110,7 +162,8 @@ ClientConnection::waitForOutcome(
         if (!receive(out, error))
             return false;
         if (out.type == "result" || out.type == "failed" ||
-            out.type == "cancelled" || out.type == "error")
+            out.type == "cancelled" || out.type == "error" ||
+            out.type == "job-aborted")
             return true;
         if (on_event)
             on_event(out);
@@ -124,6 +177,7 @@ ClientConnection::disconnect()
         ::close(fd_);
         fd_ = -1;
     }
+    version_ = 0;
 }
 
 } // namespace clearsim

@@ -9,13 +9,14 @@
  * The API is deliberately synchronous: send() writes one frame,
  * receive() blocks for the next server frame. Streaming consumers
  * loop on receive() until a terminal message ("result", "failed",
- * "cancelled" or "error") arrives — waitForOutcome() packages that
- * loop.
+ * "cancelled", "job-aborted" or "error") arrives —
+ * waitForOutcome() packages that loop.
  */
 
 #ifndef CLEARSIM_SERVICE_CLIENT_HH
 #define CLEARSIM_SERVICE_CLIENT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -43,7 +44,28 @@ class ClientConnection
      */
     bool connect(const std::string &socket_path, std::string &error);
 
+    /**
+     * connect() with up to @p attempts tries, sleeping between
+     * them with jittered exponential backoff (capped well under a
+     * second, so a daemon that appears late is found quickly and a
+     * thundering herd of workers does not reconnect in lockstep).
+     * Retries cover a missing socket and a refused or dropped
+     * connection alike; a handshake *rejection* (version mismatch)
+     * still retries — the daemon may be mid-restart with an old
+     * binary's socket lingering. @p attempts <= 1 means a single
+     * try, identical to connect(). A non-null @p stop abandons the
+     * retry loop between attempts (error "stopped"), so a worker
+     * told to shut down mid-backoff exits promptly instead of
+     * sleeping out its whole attempt budget.
+     */
+    bool connectWithRetry(const std::string &socket_path,
+                          unsigned attempts, std::string &error,
+                          const std::atomic<bool> *stop = nullptr);
+
     bool connected() const { return fd_ >= 0; }
+
+    /** Negotiated wire version (0 before a successful connect). */
+    unsigned version() const { return version_; }
 
     /** Send one serialized message payload as a frame. */
     bool send(const std::string &payload, std::string &error);
@@ -71,6 +93,7 @@ class ClientConnection
 
   private:
     int fd_ = -1;
+    unsigned version_ = 0;
 };
 
 } // namespace clearsim

@@ -1,5 +1,6 @@
 #include "service/daemon.hh"
 
+#include <algorithm>
 #include <csignal>
 #include <cstring>
 
@@ -23,7 +24,10 @@ isClientRequest(const std::string &type)
            type == "audit" || type == "status" ||
            type == "cancel" || type == "catalogue" ||
            type == "dlq-list" || type == "dlq-replay" ||
-           type == "dlq-clear";
+           type == "dlq-clear" || type == "fabric-sweep" ||
+           type == "fabric-status" || type == "lease" ||
+           type == "lease-renew" || type == "shard-result" ||
+           type == "worker-bye";
 }
 
 /**
@@ -134,20 +138,39 @@ Daemon::readerLoop(std::shared_ptr<Connection> connection)
                                   "other message"));
                 break;
             }
-            bool supported = false;
+            // Pick the highest version both sides speak; an old
+            // client offering only v1 still gets served, it just
+            // cannot reach the fabric types.
+            unsigned negotiated = 0;
             for (const std::string &version :
-                 message.textList("versions"))
-                supported = supported || version == kWireSchema;
-            if (!supported) {
+                 message.textList("versions")) {
+                if (version == kWireSchema)
+                    negotiated = std::max(negotiated, 1u);
+                else if (version == kWireSchemaV2)
+                    negotiated = std::max(negotiated, 2u);
+            }
+            if (negotiated == 0) {
                 connection->outbox->push(wireError(
                     "", std::string("no common protocol version "
                                     "(server speaks ") +
-                            kWireSchema + ")"));
+                            kWireSchema + " and " + kWireSchemaV2 +
+                            ")"));
                 break;
             }
-            connection->outbox->push(wireHelloOk(kWireSchema));
+            connection->version = negotiated;
+            connection->outbox->push(
+                wireHelloOk(wireSchemaName(negotiated)));
             hello_done = true;
             continue;
+        }
+        if (message.version > connection->version) {
+            connection->outbox->push(wireError(
+                message.text("tag"),
+                std::string("message uses ") +
+                    wireSchemaName(message.version) +
+                    " but this connection negotiated " +
+                    wireSchemaName(connection->version)));
+            break;
         }
         if (!isClientRequest(message.type)) {
             connection->outbox->push(
@@ -229,12 +252,23 @@ Daemon::stop()
     if (acceptThread_.joinable())
         acceptThread_.join();
 
-    // Kick every live connection; the readers tear themselves down.
+    // Stop the scheduler FIRST: its shutdown epilogue owes every
+    // subscriber of an unfinished job a terminal "job-aborted"
+    // frame, and those frames land in the per-connection outboxes.
+    scheduler_->stop();
+    if (schedulerThread_.joinable())
+        schedulerThread_.join();
+
+    // Now kick every live connection — read side only. The reader
+    // pops out of read() with EOF and runs its normal teardown,
+    // which flushes the outbox (job-aborted included) while the
+    // write side of the socket is still open. A SHUT_RDWR here
+    // would race the flush and truncate the goodbye mid-stream.
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto &[id, connection] : connections_)
             if (connection->fd >= 0)
-                ::shutdown(connection->fd, SHUT_RDWR);
+                ::shutdown(connection->fd, SHUT_RD);
     }
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -245,9 +279,6 @@ Daemon::stop()
         zombies_.clear();
     }
 
-    scheduler_->stop();
-    if (schedulerThread_.joinable())
-        schedulerThread_.join();
     ::unlink(options_.socketPath.c_str());
     stopped_.notify_all();
 }

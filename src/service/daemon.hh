@@ -88,6 +88,8 @@ class Daemon
     {
         std::uint64_t id = 0;
         int fd = -1;
+        /** Negotiated wire version (1 until hello-ok is sent). */
+        unsigned version = 1;
         std::unique_ptr<Outbox> outbox;
         std::thread reader;
     };

@@ -1,0 +1,480 @@
+#include "service/fabric.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "fault/fault_repro.hh"
+#include "policy/config_registry.hh"
+
+namespace clearsim
+{
+
+FabricRun::FabricRun(std::string job_id, const SweepOptions &opts,
+                     unsigned shards_requested,
+                     const FabricOptions &fabric,
+                     const SweepSummary &checkpoint,
+                     FabricCounters &counters)
+    : jobId_(std::move(job_id)), options_(opts), fabric_(fabric),
+      plan_(planShards(opts, shards_requested != 0
+                                 ? shards_requested
+                                 : fabric.shards)),
+      counters_(counters)
+{
+    slots_.resize(plan_.shardCount);
+
+    // Fold the checkpoint in: cells a previous coordinator already
+    // completed are never re-leased. Only cells the plan actually
+    // covers count — the checkpoint is keyed by the same options
+    // hash, so anything else would be corruption.
+    std::set<SweepKey> planned;
+    for (const std::vector<SweepKey> &shard : plan_.shards)
+        planned.insert(shard.begin(), shard.end());
+    for (const auto &[key, cell] : checkpoint) {
+        if (planned.count(key)) {
+            cells_[key] = cell;
+            ++counters_.cellsResumed;
+        }
+    }
+    for (unsigned shard = 0; shard < plan_.shardCount; ++shard) {
+        const std::vector<SweepKey> &members = plan_.shards[shard];
+        const bool covered = std::all_of(
+            members.begin(), members.end(),
+            [this](const SweepKey &key) { return cells_.count(key); });
+        if (covered && !members.empty()) {
+            slots_[shard].state = ShardState::Completed;
+            ++counters_.shardsResumed;
+        }
+    }
+}
+
+bool
+FabricRun::acquire(std::uint64_t worker, std::uint64_t now,
+                   Grant &out)
+{
+    for (unsigned shard = 0; shard < plan_.shardCount; ++shard) {
+        Slot &slot = slots_[shard];
+        if (slot.state != ShardState::Unclaimed)
+            continue;
+        slot.state = ShardState::Leased;
+        slot.worker = worker;
+        slot.deadline = now + fabric_.leaseTtlMs;
+        ++counters_.leasesGranted;
+        out.shard = shard;
+        out.skip.clear();
+        for (const SweepKey &key : plan_.shards[shard])
+            if (cells_.count(key))
+                out.skip.push_back(key);
+        return true;
+    }
+    return false;
+}
+
+bool
+FabricRun::renew(std::uint64_t worker, unsigned shard,
+                 std::uint64_t now)
+{
+    if (shard >= slots_.size())
+        return false;
+    Slot &slot = slots_[shard];
+    if (slot.state != ShardState::Leased || slot.worker != worker)
+        return false;
+    slot.deadline = now + fabric_.leaseTtlMs;
+    ++counters_.leasesRenewed;
+    return true;
+}
+
+void
+FabricRun::completeShard(unsigned shard)
+{
+    Slot &slot = slots_[shard];
+    slot.state = ShardState::Completed;
+    slot.worker = 0;
+    slot.deadline = 0;
+    ++counters_.shardsCompleted;
+}
+
+/** Charge one failed attempt; dead-letter past the budget. */
+static void
+chargeAttempt(FabricRun::ShardState &state, unsigned &attempts,
+              unsigned budget, unsigned &dead_lettered,
+              FabricCounters &counters)
+{
+    ++attempts;
+    if (attempts >= budget) {
+        state = FabricRun::ShardState::DeadLettered;
+        ++dead_lettered;
+        ++counters.shardsDeadLettered;
+    } else {
+        state = FabricRun::ShardState::Unclaimed;
+    }
+}
+
+FabricRun::Accept
+FabricRun::acceptResult(std::uint64_t worker, unsigned shard,
+                        const std::vector<std::string> &rows,
+                        std::vector<DeadLetter> failures,
+                        std::vector<std::string> &new_rows)
+{
+    new_rows.clear();
+    (void)worker;
+    if (shard >= slots_.size())
+        return Accept::Rejected;
+    Slot &slot = slots_[shard];
+    if (slot.state == ShardState::Completed ||
+        slot.state == ShardState::DeadLettered) {
+        // A late result from a presumed-dead worker. The cells are
+        // pure functions of their identity, so the duplicate holds
+        // no new information — discard idempotently.
+        ++counters_.resultsDuplicate;
+        return Accept::Stale;
+    }
+
+    // Validate before mutating anything: every row parses, every
+    // reported cell belongs to this shard, and together with the
+    // checkpointed cells and the reported failures the shard is
+    // fully accounted for. A shard merge is atomic — a half-valid
+    // result is rejected whole.
+    std::set<SweepKey> members(plan_.shards[shard].begin(),
+                               plan_.shards[shard].end());
+    std::vector<CellSummary> parsed;
+    parsed.reserve(rows.size());
+    std::set<SweepKey> reported;
+    bool valid = true;
+    for (const std::string &row : rows) {
+        CellSummary cell;
+        if (!parseSweepCacheRow(row, cell) ||
+            !members.count({cell.workload, cell.config})) {
+            valid = false;
+            break;
+        }
+        reported.insert({cell.workload, cell.config});
+        parsed.push_back(std::move(cell));
+    }
+    for (const DeadLetter &failure : failures) {
+        if (!members.count({failure.workload, failure.config})) {
+            valid = false;
+            break;
+        }
+        reported.insert({failure.workload, failure.config});
+    }
+    if (valid) {
+        for (const SweepKey &key : members)
+            if (!cells_.count(key) && !reported.count(key))
+                valid = false;
+    }
+    if (!valid) {
+        ++counters_.resultsRejected;
+        chargeAttempt(slot.state, slot.attempts,
+                      fabric_.shardRetryBudget, deadLettered_,
+                      counters_);
+        return Accept::Rejected;
+    }
+
+    for (CellSummary &cell : parsed) {
+        const SweepKey key{cell.workload, cell.config};
+        if (cells_.count(key))
+            continue;
+        new_rows.push_back(serializeSweepCacheRow(cell));
+        cells_[key] = std::move(cell);
+        ++counters_.cellsExecuted;
+    }
+    for (DeadLetter &failure : failures) {
+        failure.jobId = jobId_;
+        failures_.push_back(std::move(failure));
+        ++counters_.cellsFailed;
+    }
+    ++counters_.resultsAccepted;
+    completeShard(shard);
+    return Accept::Accepted;
+}
+
+void
+FabricRun::releaseWorker(std::uint64_t worker, bool penalize)
+{
+    for (Slot &slot : slots_) {
+        if (slot.state != ShardState::Leased ||
+            slot.worker != worker)
+            continue;
+        ++counters_.leasesReleased;
+        if (penalize) {
+            chargeAttempt(slot.state, slot.attempts,
+                          fabric_.shardRetryBudget, deadLettered_,
+                          counters_);
+        } else {
+            slot.state = ShardState::Unclaimed;
+        }
+        slot.worker = 0;
+        slot.deadline = 0;
+    }
+}
+
+unsigned
+FabricRun::tick(std::uint64_t now)
+{
+    unsigned expired = 0;
+    for (Slot &slot : slots_) {
+        if (slot.state != ShardState::Leased || slot.deadline > now)
+            continue;
+        ++expired;
+        ++counters_.leasesExpired;
+        chargeAttempt(slot.state, slot.attempts,
+                      fabric_.shardRetryBudget, deadLettered_,
+                      counters_);
+        slot.worker = 0;
+        slot.deadline = 0;
+    }
+    return expired;
+}
+
+bool
+FabricRun::done() const
+{
+    return std::all_of(slots_.begin(), slots_.end(),
+                       [](const Slot &slot) {
+                           return slot.state ==
+                                      ShardState::Completed ||
+                                  slot.state ==
+                                      ShardState::DeadLettered;
+                       });
+}
+
+std::vector<DeadLetter>
+FabricRun::deadLetterRecords() const
+{
+    std::set<SweepKey> failed;
+    for (const DeadLetter &failure : failures_)
+        failed.insert({failure.workload, failure.config});
+
+    std::vector<DeadLetter> records;
+    for (unsigned shard = 0; shard < plan_.shardCount; ++shard) {
+        if (slots_[shard].state != ShardState::DeadLettered)
+            continue;
+        for (const SweepKey &key : plan_.shards[shard]) {
+            if (cells_.count(key) || failed.count(key))
+                continue;
+            // The shard never produced a result for this cell, so
+            // there is no worker-reported repro; synthesize the
+            // shard's first point — the one every attempt executed
+            // first, and the likeliest culprit for a livelock or
+            // crash that ate the worker.
+            ReproSpec spec;
+            spec.workload = key.first;
+            spec.config = specWithRetryLimit(
+                key.second, options_.retryLimits.empty()
+                                ? 0
+                                : options_.retryLimits.front());
+            spec.threads = options_.params.threads;
+            spec.ops = options_.params.opsPerThread;
+            spec.scale = options_.params.scale;
+            spec.seed = options_.params.seed;
+            records.push_back(
+                {jobId_, key.first, key.second,
+                 "shard " + std::to_string(shard) +
+                     " dead-lettered after " +
+                     std::to_string(slots_[shard].attempts) +
+                     " failed attempts (lease expired or worker "
+                     "crashed)",
+                 makeReproString(spec)});
+        }
+    }
+    return records;
+}
+
+FabricRun::Gauges
+FabricRun::gauges() const
+{
+    Gauges g;
+    g.total = slots_.size();
+    for (const Slot &slot : slots_) {
+        switch (slot.state) {
+        case ShardState::Unclaimed:
+            ++g.unclaimed;
+            break;
+        case ShardState::Leased:
+            ++g.leased;
+            break;
+        case ShardState::Completed:
+            ++g.completed;
+            break;
+        case ShardState::DeadLettered:
+            ++g.deadLettered;
+            break;
+        }
+    }
+    return g;
+}
+
+unsigned
+FabricRun::shardsHeldBy(std::uint64_t worker) const
+{
+    unsigned held = 0;
+    for (const Slot &slot : slots_)
+        if (slot.state == ShardState::Leased &&
+            slot.worker == worker)
+            ++held;
+    return held;
+}
+
+std::string
+buildLeaseGrant(const FabricRun &run, const FabricRun::Grant &grant,
+                std::uint64_t ttl_ms)
+{
+    const SweepOptions &opts = run.options();
+    std::string out;
+    JsonWriter w = beginWireMessage(out, "lease-grant", 2);
+    w.key("id");
+    w.value(run.jobId());
+    w.key("shard");
+    w.value(grant.shard);
+    w.key("shards");
+    w.value(run.plan().shardCount);
+    w.key("ttl");
+    w.value(ttl_ms);
+    w.key("configs");
+    w.beginArray();
+    for (const std::string &spec : opts.configs)
+        w.value(spec);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const std::string &workload : opts.workloads)
+        w.value(workload);
+    w.endArray();
+    w.key("retries");
+    w.beginArray();
+    for (unsigned retries : opts.retryLimits)
+        w.value(retries);
+    w.endArray();
+    w.key("seeds");
+    w.value(opts.seeds);
+    w.key("trim");
+    w.value(opts.trimEachSide);
+    w.key("ops");
+    w.value(opts.params.opsPerThread);
+    w.key("threads");
+    w.value(opts.params.threads);
+    w.key("scale");
+    w.value(opts.params.scale);
+    w.key("seed");
+    w.value(opts.params.seed);
+    w.key("jobs");
+    w.value(opts.jobs);
+    w.key("skip-workloads");
+    w.beginArray();
+    for (const SweepKey &key : grant.skip)
+        w.value(key.first);
+    w.endArray();
+    w.key("skip-configs");
+    w.beginArray();
+    for (const SweepKey &key : grant.skip)
+        w.value(key.second);
+    w.endArray();
+    w.endObject();
+    return out;
+}
+
+bool
+parseLeaseGrant(const WireMessage &msg, LeaseGrant &out,
+                std::string &error)
+{
+    out = LeaseGrant();
+    out.jobId = msg.text("id");
+    if (out.jobId.empty()) {
+        error = "lease-grant without a job id";
+        return false;
+    }
+    out.shard = static_cast<unsigned>(msg.number("shard"));
+    out.shardCount = static_cast<unsigned>(msg.number("shards"));
+    if (out.shardCount == 0 || out.shard >= out.shardCount) {
+        error = "lease-grant names shard " +
+                std::to_string(out.shard) + " of " +
+                std::to_string(out.shardCount);
+        return false;
+    }
+    out.ttlMs = msg.number("ttl", 5000);
+
+    out.options.configs = msg.textList("configs");
+    out.options.workloads = msg.textList("workloads");
+    if (out.options.configs.empty()) {
+        error = "lease-grant without configs";
+        return false;
+    }
+    out.options.retryLimits.clear();
+    for (std::uint64_t retries : msg.numberList("retries"))
+        out.options.retryLimits.push_back(
+            static_cast<unsigned>(retries));
+    if (out.options.retryLimits.empty()) {
+        error = "lease-grant without retry limits";
+        return false;
+    }
+    out.options.seeds =
+        static_cast<unsigned>(msg.number("seeds", 1));
+    out.options.trimEachSide =
+        static_cast<unsigned>(msg.number("trim", 0));
+    out.options.params.opsPerThread = static_cast<unsigned>(
+        msg.number("ops", out.options.params.opsPerThread));
+    out.options.params.threads = static_cast<unsigned>(
+        msg.number("threads", out.options.params.threads));
+    out.options.params.scale = static_cast<unsigned>(
+        msg.number("scale", out.options.params.scale));
+    out.options.params.seed =
+        msg.number("seed", out.options.params.seed);
+    out.options.jobs = static_cast<unsigned>(msg.number("jobs"));
+
+    const std::vector<std::string> skip_workloads =
+        msg.textList("skip-workloads");
+    const std::vector<std::string> skip_configs =
+        msg.textList("skip-configs");
+    if (skip_workloads.size() != skip_configs.size()) {
+        error = "lease-grant skip lists disagree in length";
+        return false;
+    }
+    for (std::size_t i = 0; i < skip_workloads.size(); ++i)
+        out.skip.push_back({skip_workloads[i], skip_configs[i]});
+    return true;
+}
+
+std::string
+buildShardResult(const std::string &worker,
+                 const std::string &job_id, unsigned shard,
+                 const std::vector<std::string> &rows,
+                 const std::vector<DeadLetter> &failures)
+{
+    std::string out;
+    JsonWriter w = beginWireMessage(out, "shard-result", 2);
+    w.key("worker");
+    w.value(worker);
+    w.key("id");
+    w.value(job_id);
+    w.key("shard");
+    w.value(shard);
+    w.key("rows");
+    w.beginArray();
+    for (const std::string &row : rows)
+        w.value(row);
+    w.endArray();
+    w.key("fail-workloads");
+    w.beginArray();
+    for (const DeadLetter &failure : failures)
+        w.value(failure.workload);
+    w.endArray();
+    w.key("fail-configs");
+    w.beginArray();
+    for (const DeadLetter &failure : failures)
+        w.value(failure.config);
+    w.endArray();
+    w.key("fail-errors");
+    w.beginArray();
+    for (const DeadLetter &failure : failures)
+        w.value(failure.error);
+    w.endArray();
+    w.key("fail-repros");
+    w.beginArray();
+    for (const DeadLetter &failure : failures)
+        w.value(failure.repro);
+    w.endArray();
+    w.endObject();
+    return out;
+}
+
+} // namespace clearsim

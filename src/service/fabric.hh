@@ -1,0 +1,293 @@
+/**
+ * @file
+ * The fabric coordinator's core: FabricRun, a single-threaded lease
+ * state machine over one sweep's shard plan.
+ *
+ * The scheduler thread owns a FabricRun per active fabric sweep and
+ * drives it with explicit timestamps — there is no clock in here,
+ * which is what makes every failure mode unit-testable with a
+ * synthetic clock (tests/service/fabric_test.cc). Each shard moves
+ * through
+ *
+ *     Unclaimed ──acquire──► Leased ──acceptResult──► Completed
+ *         ▲                    │
+ *         └──lease expired─────┘        attempts > budget
+ *             (attempts++)        ──────────────────► DeadLettered
+ *
+ * and the run is terminal when every shard is Completed or
+ * DeadLettered. The invariants the fabric's byte-identity contract
+ * rests on:
+ *
+ *  - *First result wins.* A shard's cells are merged exactly once;
+ *    a duplicate shard-result (late worker presumed dead, or a
+ *    worker racing its own expired lease) is discarded idempotently
+ *    (Stale). Cell bytes are pure functions of the cell identity,
+ *    so which worker's copy lands first is unobservable anyway —
+ *    but "merged once" keeps the checkpoint discipline simple.
+ *  - *Work-stealing by expiry.* A lease that misses its renewal
+ *    deadline returns the shard to Unclaimed, charging an attempt;
+ *    any live worker's next acquire() steals it. A worker that
+ *    disconnects without a worker-bye is penalized the same way.
+ *  - *Bounded retries.* A shard whose attempts exceed the budget is
+ *    DeadLettered: its unfinished cells get synthesized repro
+ *    strings (first retry limit, base seed — the first point a
+ *    worker would have executed) and land in the PR-7 dead-letter
+ *    queue rather than looping forever.
+ *  - *Checkpoint resume.* A run constructed over a non-empty
+ *    checkpoint marks fully-covered shards Completed without a
+ *    lease (shardsResumed), and grants of partially-covered shards
+ *    carry the already-done cells as a skip list — a restarted
+ *    coordinator never re-executes a completed cell.
+ */
+
+#ifndef CLEARSIM_SERVICE_FABRIC_HH
+#define CLEARSIM_SERVICE_FABRIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/shard.hh"
+#include "harness/sweep_cache.hh"
+#include "service/dead_letter.hh"
+#include "service/wire.hh"
+
+namespace clearsim
+{
+
+/** Coordinator-side fabric tuning (clearsimd flags). */
+struct FabricOptions
+{
+    /** Lease time-to-live; a worker renews at ttl/3. */
+    std::uint64_t leaseTtlMs = 5000;
+
+    /** Max attempts per shard before it is dead-lettered. */
+    unsigned shardRetryBudget = 3;
+
+    /** Retry hint sent with lease-idle. */
+    std::uint64_t idleRetryMs = 200;
+
+    /** Default shard count (0 = one shard per cell). */
+    unsigned shards = 0;
+};
+
+/**
+ * Fabric counters, aggregated across runs by the scheduler and
+ * exported through fabric-status in the StatsRegistry JSON shape.
+ * leasesExpired is the stale-lease metric: every deadline-based
+ * reassignment increments it.
+ */
+struct FabricCounters
+{
+    std::uint64_t leasesGranted = 0;
+    std::uint64_t leasesRenewed = 0;
+    std::uint64_t leasesExpired = 0;
+    std::uint64_t leasesReleased = 0;
+    std::uint64_t resultsAccepted = 0;
+    std::uint64_t resultsDuplicate = 0;
+    std::uint64_t resultsRejected = 0;
+    std::uint64_t shardsCompleted = 0;
+    std::uint64_t shardsDeadLettered = 0;
+    std::uint64_t shardsResumed = 0;
+    std::uint64_t cellsExecuted = 0;
+    std::uint64_t cellsResumed = 0;
+    std::uint64_t cellsFailed = 0;
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t jobsFailed = 0;
+};
+
+class FabricRun
+{
+  public:
+    /**
+     * Plan the shards of @p opts and fold in @p checkpoint (cells a
+     * previous coordinator already completed). @p shardsRequested
+     * as in planShards(). Counters accumulate into @p counters —
+     * owned by the scheduler so they survive the run.
+     */
+    FabricRun(std::string job_id, const SweepOptions &opts,
+              unsigned shards_requested, const FabricOptions &fabric,
+              const SweepSummary &checkpoint,
+              FabricCounters &counters);
+
+    /** Per-shard lifecycle state. */
+    enum class ShardState
+    {
+        Unclaimed,
+        Leased,
+        Completed,
+        DeadLettered,
+    };
+
+    /** What acquire() handed a worker. */
+    struct Grant
+    {
+        unsigned shard = 0;
+
+        /** Cells of the shard already done (checkpoint resume). */
+        std::vector<SweepKey> skip;
+    };
+
+    /**
+     * Lease the next unclaimed shard to @p worker until
+     * @p now + leaseTtlMs.
+     * @retval false when nothing is unclaimed right now
+     */
+    bool acquire(std::uint64_t worker, std::uint64_t now,
+                 Grant &out);
+
+    /**
+     * Heartbeat: push @p worker's lease on @p shard out to
+     * @p now + leaseTtlMs.
+     * @retval false when the lease was lost (expired and possibly
+     *         re-leased) — the worker should abandon the shard
+     */
+    bool renew(std::uint64_t worker, unsigned shard,
+               std::uint64_t now);
+
+    enum class Accept
+    {
+        /** Merged; newRows holds the rows that were new. */
+        Accepted,
+        /** Shard already completed: duplicate, discarded. */
+        Stale,
+        /** Malformed or incomplete: shard back to Unclaimed. */
+        Rejected,
+    };
+
+    /**
+     * A worker returned shard @p shard: @p rows are
+     * serializeSweepCacheRow() lines for its completed cells,
+     * @p failures the DLQ-ready records of its failed cells. The
+     * first complete result for a shard wins regardless of whether
+     * the reporting worker still holds the lease — the work is
+     * done; discarding it to punish a slow worker would only burn
+     * budget.
+     */
+    Accept acceptResult(std::uint64_t worker, unsigned shard,
+                        const std::vector<std::string> &rows,
+                        std::vector<DeadLetter> failures,
+                        std::vector<std::string> &new_rows);
+
+    /**
+     * @p worker is gone. Its leases return to Unclaimed; when
+     * @p penalize (crash/disconnect, not a clean worker-bye) each
+     * released shard is charged an attempt, so a shard that
+     * reliably kills workers marches toward the dead-letter queue.
+     */
+    void releaseWorker(std::uint64_t worker, bool penalize);
+
+    /**
+     * Expire every lease whose deadline passed @p now. Returns the
+     * number expired (the scheduler logs and re-checks doneness).
+     */
+    unsigned tick(std::uint64_t now);
+
+    /** Every shard Completed or DeadLettered. */
+    bool done() const;
+
+    /** Any cell failed or any shard was dead-lettered. */
+    bool failed() const
+    {
+        return !failures_.empty() || deadLettered_ != 0;
+    }
+
+    const std::string &jobId() const { return jobId_; }
+    const SweepOptions &options() const { return options_; }
+    const ShardPlan &plan() const { return plan_; }
+
+    /** Cells merged so far (checkpoint + accepted results). */
+    const SweepSummary &cells() const { return cells_; }
+
+    /** Failed cells reported by workers, in arrival order. */
+    const std::vector<DeadLetter> &failures() const
+    {
+        return failures_;
+    }
+
+    /**
+     * DLQ records synthesized for cells of dead-lettered shards
+     * that never produced a result: repro of the shard's first
+     * point (first retry limit, base seed).
+     */
+    std::vector<DeadLetter> deadLetterRecords() const;
+
+    std::size_t doneCells() const { return cells_.size(); }
+    std::size_t totalCells() const { return plan_.totalCells(); }
+
+    /** Live shard-state tallies for fabric-status. */
+    struct Gauges
+    {
+        std::uint64_t total = 0;
+        std::uint64_t unclaimed = 0;
+        std::uint64_t leased = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t deadLettered = 0;
+    };
+    Gauges gauges() const;
+
+    /** Shards currently leased to @p worker. */
+    unsigned shardsHeldBy(std::uint64_t worker) const;
+
+  private:
+    struct Slot
+    {
+        ShardState state = ShardState::Unclaimed;
+        std::uint64_t worker = 0;
+        std::uint64_t deadline = 0;
+        unsigned attempts = 0;
+    };
+
+    void completeShard(unsigned shard);
+
+    std::string jobId_;
+    SweepOptions options_;
+    FabricOptions fabric_;
+    ShardPlan plan_;
+    std::vector<Slot> slots_;
+    SweepSummary cells_;
+    std::vector<DeadLetter> failures_;
+    unsigned deadLettered_ = 0;
+    FabricCounters &counters_;
+};
+
+/**
+ * The lease-grant frame for @p grant of @p run: the full sweep
+ * options (enough for the worker to rebuild the identical
+ * ShardPlan) plus the skip list of already-done cells.
+ */
+std::string buildLeaseGrant(const FabricRun &run,
+                            const FabricRun::Grant &grant,
+                            std::uint64_t ttl_ms);
+
+/** Worker-side view of a parsed lease-grant. */
+struct LeaseGrant
+{
+    std::string jobId;
+    unsigned shard = 0;
+    unsigned shardCount = 0;
+    std::uint64_t ttlMs = 0;
+    SweepOptions options;
+    std::vector<SweepKey> skip;
+};
+
+/**
+ * Parse a lease-grant frame back into options + shard identity.
+ * @retval false with @p error set on any missing/malformed field
+ */
+bool parseLeaseGrant(const WireMessage &msg, LeaseGrant &out,
+                     std::string &error);
+
+/**
+ * The shard-result frame: rows for completed cells, parallel
+ * arrays for failed ones.
+ */
+std::string buildShardResult(const std::string &worker,
+                             const std::string &job_id,
+                             unsigned shard,
+                             const std::vector<std::string> &rows,
+                             const std::vector<DeadLetter> &failures);
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_FABRIC_HH

@@ -11,6 +11,7 @@
 #include "analysis/analyze.hh"
 #include "analysis/report.hh"
 #include "common/log.hh"
+#include "common/stats.hh"
 #include "fault/fault_repro.hh"
 #include "harness/audit.hh"
 #include "harness/sweep_engine.hh"
@@ -115,6 +116,7 @@ struct Scheduler::Job
         Sweep,
         Analyze,
         Audit,
+        FabricSweep,
     };
 
     enum class State
@@ -156,6 +158,9 @@ struct Scheduler::Job
 
     /** Sweep: the full validated options. */
     SweepOptions sweep;
+
+    /** FabricSweep: requested shard count (0 = coordinator's). */
+    unsigned fabricShards = 0;
 
     /** Audit: the full validated options. */
     AuditOptions audit;
@@ -263,6 +268,11 @@ class Scheduler::Executor
             break;
         case Job::Kind::Audit:
             executeAudit(job);
+            break;
+        case Job::Kind::FabricSweep:
+            // Fabric jobs never enter the executor; the scheduler
+            // coordinates their shards itself.
+            finish(job, "cancelled");
             break;
         }
     }
@@ -486,7 +496,8 @@ Scheduler::Scheduler(const Options &options, SendFrameFn send)
       dedupe_(SweepCacheStore(options.cachePath)),
       dlq_(options.dlqPath),
       executor_(std::make_unique<Executor>(
-          mailbox_, options.cachePath, options.jobs))
+          mailbox_, options.cachePath, options.jobs)),
+      epoch_(std::chrono::steady_clock::now())
 {
 }
 
@@ -495,11 +506,30 @@ Scheduler::~Scheduler()
     stop();
 }
 
+std::uint64_t
+Scheduler::nowMs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
 void
 Scheduler::run()
 {
+    // With a fabric run active the loop doubles as the lease-expiry
+    // clock, so it polls instead of parking indefinitely; a short
+    // timeout while fabric work is in flight, a long one otherwise.
     Mail mail;
-    while (mailbox_.pop(mail)) {
+    for (;;) {
+        const bool got = mailbox_.popFor(mail, fabric_ ? 50 : 500);
+        if (!got) {
+            if (mailbox_.closed())
+                break;
+            fabricTick();
+            continue;
+        }
         switch (mail.kind) {
         case MailKind::Request:
             handleRequest(mail);
@@ -516,6 +546,21 @@ Scheduler::run()
         case MailKind::JobDone:
             handleJobDone(mail);
             break;
+        }
+        fabricTick();
+    }
+
+    // Shutdown epilogue: every subscriber of a job that will now
+    // never finish gets a terminal "job-aborted" rather than a
+    // silently dropped stream. The daemon flushes outboxes after
+    // this thread exits, so these frames reach the wire before the
+    // sockets close.
+    for (auto &[id, job] : jobs_) {
+        if (job->state == Job::State::Queued ||
+            job->state == Job::State::Running) {
+            broadcast(*job,
+                      wireJobAborted(id, "daemon shutting down"));
+            job->subscribers.clear();
         }
     }
 }
@@ -549,7 +594,19 @@ Scheduler::handleRequest(const Mail &mail)
     else if (type == "analyze")
         handleRunOrAnalyze(mail, true);
     else if (type == "sweep")
-        handleSweep(mail);
+        handleSweep(mail, false);
+    else if (type == "fabric-sweep")
+        handleSweep(mail, true);
+    else if (type == "fabric-status")
+        handleFabricStatus(mail);
+    else if (type == "lease")
+        handleLease(mail);
+    else if (type == "lease-renew")
+        handleLeaseRenew(mail);
+    else if (type == "shard-result")
+        handleShardResult(mail);
+    else if (type == "worker-bye")
+        handleWorkerBye(mail);
     else if (type == "audit")
         handleAudit(mail);
     else if (type == "status")
@@ -625,7 +682,7 @@ Scheduler::handleRunOrAnalyze(const Mail &mail, bool analyze)
 }
 
 void
-Scheduler::handleSweep(const Mail &mail)
+Scheduler::handleSweep(const Mail &mail, bool fabric)
 {
     const WireMessage &msg = mail.message;
     const std::string tag = msg.text("tag");
@@ -658,7 +715,7 @@ Scheduler::handleSweep(const Mail &mail)
     std::uint64_t seeds = opts.seeds, trim = opts.trimEachSide,
                   ops = opts.params.opsPerThread,
                   threads = opts.params.threads, scale = 1,
-                  jobs = 0;
+                  jobs = 0, shards = 0;
     if (!fieldU64List(msg, "retries", 0, 1000000, opts.retryLimits,
                       error) ||
         !fieldU64(msg, "seeds", 1, 1000, seeds, error) ||
@@ -666,7 +723,8 @@ Scheduler::handleSweep(const Mail &mail)
         !fieldU64(msg, "ops", 1, 100000000, ops, error) ||
         !fieldU64(msg, "threads", 1, 4096, threads, error) ||
         !fieldU64(msg, "scale", 1, 1000000, scale, error) ||
-        !fieldU64(msg, "jobs", 0, 4096, jobs, error)) {
+        !fieldU64(msg, "jobs", 0, 4096, jobs, error) ||
+        !fieldU64(msg, "shards", 0, 1000000, shards, error)) {
         sendTo(mail.connection, wireError(tag, error));
         return;
     }
@@ -685,8 +743,12 @@ Scheduler::handleSweep(const Mail &mail)
     }
 
     auto job = std::make_shared<Job>();
-    job->kind = Job::Kind::Sweep;
+    job->kind = fabric ? Job::Kind::FabricSweep : Job::Kind::Sweep;
     job->sweep = opts;
+    job->fabricShards = static_cast<unsigned>(shards);
+    // A fabric sweep and a plain sweep of the same options are the
+    // *same job*: one id, one dedupe slot, one cache line — a
+    // fabric result answers a later plain request and vice versa.
     job->id = sweepJobId(opts);
     admit(mail, std::move(job));
 }
@@ -771,7 +833,10 @@ Scheduler::admit(const Mail &mail, std::shared_ptr<Job> job)
         jobs_[job->id] = job;
         sendTo(mail.connection,
                wireAck(tag, job->id, dedupeStateName(source)));
-        executor_->enqueue(std::move(job));
+        if (job->kind == Job::Kind::FabricSweep)
+            startFabricJob(std::move(job));
+        else
+            executor_->enqueue(std::move(job));
         break;
     }
     case DedupeSource::InFlight: {
@@ -854,7 +919,31 @@ Scheduler::handleCancel(const Mail &mail)
                wireError(tag, "no such in-flight job '" + id + "'"));
         return;
     }
-    it->second->cancel.store(true, std::memory_order_relaxed);
+    Job &job = *it->second;
+    if (job.kind == Job::Kind::FabricSweep) {
+        // Fabric jobs are coordinated here, not by the executor:
+        // cancel immediately. The checkpoint of completed shards
+        // stays, so a re-request resumes. Workers still computing
+        // the cancelled run's shards get "shard-stale" acks.
+        sendTo(mail.connection, wireAck(tag, id, "cancelling"));
+        if (fabric_ && fabric_->jobId() == id)
+            fabric_.reset();
+        fabricQueue_.erase(
+            std::remove(fabricQueue_.begin(), fabricQueue_.end(),
+                        it->second),
+            fabricQueue_.end());
+        job.state = Job::State::Cancelled;
+        dedupe_.forget(id);
+        broadcast(job, wireCancelled(id));
+        job.subscribers.clear();
+        if (!fabric_ && !fabricQueue_.empty()) {
+            std::shared_ptr<Job> next = fabricQueue_.front();
+            fabricQueue_.pop_front();
+            activateFabric(std::move(next));
+        }
+        return;
+    }
+    job.cancel.store(true, std::memory_order_relaxed);
     sendTo(mail.connection, wireAck(tag, id, "cancelling"));
 }
 
@@ -923,6 +1012,349 @@ Scheduler::handleDisconnect(std::uint64_t connection)
         subs.erase(std::remove(subs.begin(), subs.end(), connection),
                    subs.end());
     }
+    // A fabric worker that vanishes without worker-bye crashed (or
+    // was killed): release its leases with an attempt charged, so
+    // its shards are stolen by live workers and a shard that keeps
+    // killing workers marches into the dead-letter queue.
+    if (workers_.erase(connection) != 0 && fabric_) {
+        fabric_->releaseWorker(connection, /*penalize=*/true);
+        if (fabric_->done())
+            finishFabric();
+    }
+}
+
+void
+Scheduler::startFabricJob(std::shared_ptr<Job> job)
+{
+    if (fabric_) {
+        fabricQueue_.push_back(std::move(job));
+        return;
+    }
+    activateFabric(std::move(job));
+}
+
+void
+Scheduler::activateFabric(std::shared_ptr<Job> job)
+{
+    SweepCacheStore store(options_.cachePath);
+    SweepSummary checkpoint;
+    store.loadCheckpoint(job->sweep, checkpoint);
+    fabric_ = std::make_unique<FabricRun>(
+        job->id, job->sweep, job->fabricShards, options_.fabric,
+        checkpoint, fabricCounters_);
+    job->state = Job::State::Running;
+    job->done = fabric_->doneCells();
+    job->total = fabric_->totalCells();
+    broadcast(*job, wireProgress(job->id, job->done, job->total));
+    // A checkpoint can already cover the whole grid (the previous
+    // coordinator died between its last cell and the final cache
+    // rename): terminal with zero leases granted.
+    if (fabric_->done())
+        finishFabric();
+}
+
+void
+Scheduler::fabricTick()
+{
+    if (!fabric_)
+        return;
+    if (fabric_->tick(nowMs()) != 0 && fabric_->done())
+        finishFabric();
+}
+
+void
+Scheduler::finishFabric()
+{
+    const auto it = jobs_.find(fabric_->jobId());
+    std::shared_ptr<Job> job =
+        it != jobs_.end() ? it->second : nullptr;
+    SweepCacheStore store(options_.cachePath);
+
+    if (!fabric_->failed()) {
+        // The merged cells serialize to exactly the bytes a
+        // single-process sweep of these options produces — the
+        // byte-identity invariant, lifted to processes.
+        const std::string payload = serializeSweepCache(
+            fabric_->plan().optionsHash, fabric_->cells());
+        store.store(fabric_->options(), fabric_->cells());
+        store.removeCheckpoint();
+        ++fabricCounters_.jobsCompleted;
+        if (job) {
+            job->state = Job::State::Done;
+            job->done = fabric_->doneCells();
+            dedupe_.markCompleted(job->id, "sweep-cache-csv",
+                                  payload);
+            broadcast(*job, wireResult(job->id, "sweep-cache-csv",
+                                       payload));
+            job->subscribers.clear();
+        }
+    } else {
+        // Keep the checkpoint — the completed cells survive for a
+        // resume — and leave a persistent trace of every failure:
+        // worker-reported cells with their exact repro strings,
+        // dead-lettered shards with synthesized first-point repros.
+        std::vector<DeadLetter> letters = fabric_->failures();
+        for (DeadLetter &record : fabric_->deadLetterRecords())
+            letters.push_back(std::move(record));
+        for (const DeadLetter &letter : letters)
+            dlq_.append(letter);
+        ++fabricCounters_.jobsFailed;
+        if (job) {
+            job->state = Job::State::Failed;
+            dedupe_.forget(job->id);
+            broadcast(*job,
+                      wireFailed(job->id,
+                                 letters.empty()
+                                     ? std::string(
+                                           "fabric sweep failed")
+                                     : letters.front().error,
+                                 letters.empty()
+                                     ? std::string()
+                                     : letters.front().repro));
+            job->subscribers.clear();
+        }
+    }
+
+    fabric_.reset();
+    if (!fabricQueue_.empty()) {
+        std::shared_ptr<Job> next = fabricQueue_.front();
+        fabricQueue_.pop_front();
+        activateFabric(std::move(next));
+    }
+}
+
+void
+Scheduler::handleLease(const Mail &mail)
+{
+    const WireMessage &msg = mail.message;
+    Worker &worker = workers_[mail.connection];
+    if (!msg.text("worker").empty())
+        worker.name = msg.text("worker");
+    worker.lastSeenMs = nowMs();
+
+    if (!fabric_) {
+        sendTo(mail.connection,
+               wireLeaseIdle(options_.fabric.idleRetryMs));
+        return;
+    }
+    FabricRun::Grant grant;
+    if (!fabric_->acquire(mail.connection, nowMs(), grant)) {
+        sendTo(mail.connection,
+               wireLeaseIdle(options_.fabric.idleRetryMs));
+        return;
+    }
+    sendTo(mail.connection,
+           buildLeaseGrant(*fabric_, grant,
+                           options_.fabric.leaseTtlMs));
+}
+
+void
+Scheduler::handleLeaseRenew(const Mail &mail)
+{
+    const WireMessage &msg = mail.message;
+    const std::string tag = msg.text("tag");
+    const std::string id = msg.text("id");
+    workers_[mail.connection].lastSeenMs = nowMs();
+    const bool renewed =
+        fabric_ && fabric_->jobId() == id &&
+        fabric_->renew(mail.connection,
+                       static_cast<unsigned>(msg.number("shard")),
+                       nowMs());
+    sendTo(mail.connection,
+           wireAck(tag, id, renewed ? "renewed" : "lease-lost"));
+}
+
+void
+Scheduler::handleShardResult(const Mail &mail)
+{
+    const WireMessage &msg = mail.message;
+    const std::string tag = msg.text("tag");
+    const std::string id = msg.text("id");
+    const unsigned shard =
+        static_cast<unsigned>(msg.number("shard"));
+    workers_[mail.connection].lastSeenMs = nowMs();
+
+    if (!fabric_ || fabric_->jobId() != id) {
+        // A result for a run that already finished (or was
+        // cancelled): the late-duplicate case, discarded
+        // idempotently.
+        ++fabricCounters_.resultsDuplicate;
+        sendTo(mail.connection, wireAck(tag, id, "shard-stale"));
+        return;
+    }
+
+    const std::vector<std::string> rows = msg.textList("rows");
+    const std::vector<std::string> fail_workloads =
+        msg.textList("fail-workloads");
+    const std::vector<std::string> fail_configs =
+        msg.textList("fail-configs");
+    const std::vector<std::string> fail_errors =
+        msg.textList("fail-errors");
+    const std::vector<std::string> fail_repros =
+        msg.textList("fail-repros");
+    if (fail_configs.size() != fail_workloads.size() ||
+        fail_errors.size() != fail_workloads.size() ||
+        fail_repros.size() != fail_workloads.size()) {
+        sendTo(mail.connection,
+               wireError(tag, "shard-result failure lists "
+                              "disagree in length"));
+        return;
+    }
+    std::vector<DeadLetter> failures;
+    failures.reserve(fail_workloads.size());
+    for (std::size_t i = 0; i < fail_workloads.size(); ++i)
+        failures.push_back({id, fail_workloads[i], fail_configs[i],
+                            fail_errors[i], fail_repros[i]});
+
+    std::vector<std::string> new_rows;
+    switch (fabric_->acceptResult(mail.connection, shard, rows,
+                                  std::move(failures), new_rows)) {
+    case FabricRun::Accept::Accepted: {
+        sendTo(mail.connection, wireAck(tag, id, "shard-done"));
+        // The same per-completion checkpoint discipline as the
+        // in-process sweep: a coordinator killed at any instant
+        // loses at most the in-flight shards.
+        SweepCacheStore store(options_.cachePath);
+        store.saveCheckpoint(fabric_->options(), fabric_->cells());
+        const auto it = jobs_.find(id);
+        if (it != jobs_.end()) {
+            Job &job = *it->second;
+            job.done = fabric_->doneCells();
+            job.total = fabric_->totalCells();
+            for (const std::string &row : new_rows)
+                broadcast(job, wireCell(id, row));
+            broadcast(job,
+                      wireProgress(id, job.done, job.total));
+        }
+        if (fabric_->done())
+            finishFabric();
+        break;
+    }
+    case FabricRun::Accept::Stale:
+        sendTo(mail.connection, wireAck(tag, id, "shard-stale"));
+        break;
+    case FabricRun::Accept::Rejected:
+        sendTo(mail.connection,
+               wireAck(tag, id, "shard-rejected"));
+        if (fabric_->done())
+            finishFabric();
+        break;
+    }
+}
+
+void
+Scheduler::handleWorkerBye(const Mail &mail)
+{
+    const std::string tag = mail.message.text("tag");
+    if (fabric_) {
+        // A clean deregistration is not a crash: leases return
+        // unclaimed with no attempt charged.
+        fabric_->releaseWorker(mail.connection,
+                               /*penalize=*/false);
+    }
+    workers_.erase(mail.connection);
+    sendTo(mail.connection, wireAck(tag, "", "bye"));
+}
+
+void
+Scheduler::handleFabricStatus(const Mail &mail)
+{
+    sendTo(mail.connection,
+           wireResult("fabric-status", "fabric-status-json",
+                      fabricStatusJson()));
+}
+
+std::string
+Scheduler::fabricStatusJson() const
+{
+    // The fabric's health as a StatsRegistry, exported in the same
+    // clearsim-stats-v1 body shape as every other registry this
+    // codebase serializes — no bespoke schema to scrape.
+    const FabricRun::Gauges gauges =
+        fabric_ ? fabric_->gauges() : FabricRun::Gauges();
+    StatsRegistry reg;
+    reg.addCounter("fabric.workers.active",
+                   "fabric workers currently registered",
+                   workers_.size());
+    reg.addCounter("fabric.shards.total",
+                   "shards of the active fabric run", gauges.total);
+    reg.addCounter("fabric.shards.unclaimed",
+                   "shards awaiting a lease", gauges.unclaimed);
+    reg.addCounter("fabric.shards.leased",
+                   "shards currently leased", gauges.leased);
+    reg.addCounter("fabric.shards.completed",
+                   "shards completed across all runs",
+                   fabricCounters_.shardsCompleted);
+    reg.addCounter("fabric.shards.deadlettered",
+                   "shards dead-lettered across all runs",
+                   fabricCounters_.shardsDeadLettered);
+    reg.addCounter("fabric.shards.resumed",
+                   "shards satisfied from a checkpoint",
+                   fabricCounters_.shardsResumed);
+    reg.addCounter("fabric.leases.granted",
+                   "leases granted", fabricCounters_.leasesGranted);
+    reg.addCounter("fabric.leases.renewed",
+                   "lease renewals (heartbeats)",
+                   fabricCounters_.leasesRenewed);
+    reg.addCounter("fabric.leases.expired",
+                   "stale leases reaped by deadline",
+                   fabricCounters_.leasesExpired);
+    reg.addCounter("fabric.leases.released",
+                   "leases released by disconnect or bye",
+                   fabricCounters_.leasesReleased);
+    reg.addCounter("fabric.results.accepted",
+                   "shard results merged",
+                   fabricCounters_.resultsAccepted);
+    reg.addCounter("fabric.results.duplicate",
+                   "late duplicate shard results discarded",
+                   fabricCounters_.resultsDuplicate);
+    reg.addCounter("fabric.results.rejected",
+                   "malformed or incomplete shard results",
+                   fabricCounters_.resultsRejected);
+    reg.addCounter("fabric.cells.executed",
+                   "cells computed by fabric workers",
+                   fabricCounters_.cellsExecuted);
+    reg.addCounter("fabric.cells.resumed",
+                   "cells served from a checkpoint",
+                   fabricCounters_.cellsResumed);
+    reg.addCounter("fabric.cells.failed",
+                   "cells that failed on a worker",
+                   fabricCounters_.cellsFailed);
+    reg.addCounter("fabric.jobs.completed",
+                   "fabric sweeps completed",
+                   fabricCounters_.jobsCompleted);
+    reg.addCounter("fabric.jobs.failed", "fabric sweeps failed",
+                   fabricCounters_.jobsFailed);
+
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value("clearsim-fabric-status-v1");
+    w.key("active");
+    w.value(fabric_ ? fabric_->jobId() : std::string());
+    w.key("done");
+    w.value(fabric_ ? std::uint64_t(fabric_->doneCells())
+                    : std::uint64_t(0));
+    w.key("total");
+    w.value(fabric_ ? std::uint64_t(fabric_->totalCells())
+                    : std::uint64_t(0));
+    w.key("workers");
+    w.beginArray();
+    for (const auto &[connection, worker] : workers_) {
+        w.beginObject();
+        w.key("name");
+        w.value(worker.name);
+        w.key("connection");
+        w.value(connection);
+        w.key("shards");
+        w.value(fabric_ ? fabric_->shardsHeldBy(connection) : 0u);
+        w.endObject();
+    }
+    w.endArray();
+    writeStatsRegistryJson(w, reg);
+    w.endObject();
+    return out;
 }
 
 void

@@ -31,7 +31,9 @@
 #ifndef CLEARSIM_SERVICE_SCHEDULER_HH
 #define CLEARSIM_SERVICE_SCHEDULER_HH
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -39,6 +41,7 @@
 
 #include "service/dead_letter.hh"
 #include "service/dedupe.hh"
+#include "service/fabric.hh"
 #include "service/mailbox.hh"
 
 namespace clearsim
@@ -66,6 +69,9 @@ class Scheduler
 
         /** Worker threads per job (0 = hardware concurrency). */
         unsigned jobs = 0;
+
+        /** Sweep-fabric coordinator tuning. */
+        FabricOptions fabric;
     };
 
     Scheduler(const Options &options, SendFrameFn send);
@@ -102,12 +108,34 @@ class Scheduler
     void handleJobDone(const Mail &mail);
 
     void handleRunOrAnalyze(const Mail &mail, bool analyze);
-    void handleSweep(const Mail &mail);
+    void handleSweep(const Mail &mail, bool fabric);
     void handleAudit(const Mail &mail);
     void handleStatus(const Mail &mail);
     void handleCancel(const Mail &mail);
     void handleCatalogue(const Mail &mail);
     void handleDlq(const Mail &mail);
+
+    // The fabric coordinator (docs/SERVICE.md, "Sweep fabric").
+    void handleFabricStatus(const Mail &mail);
+    void handleLease(const Mail &mail);
+    void handleLeaseRenew(const Mail &mail);
+    void handleShardResult(const Mail &mail);
+    void handleWorkerBye(const Mail &mail);
+
+    /** Start @p job now, or queue it behind the active run. */
+    void startFabricJob(std::shared_ptr<Job> job);
+    void activateFabric(std::shared_ptr<Job> job);
+
+    /** Expire overdue leases; finish the run when terminal. */
+    void fabricTick();
+
+    /** The active run reached a terminal state. */
+    void finishFabric();
+
+    /** Milliseconds since the scheduler started (monotonic). */
+    std::uint64_t nowMs() const;
+
+    std::string fabricStatusJson() const;
 
     /** Admit a deduped request, queueing a new job if needed. */
     void admit(const Mail &mail, std::shared_ptr<Job> job);
@@ -126,6 +154,28 @@ class Scheduler
 
     /** Jobs by canonical id; terminal jobs stay for status. */
     std::map<std::string, std::shared_ptr<Job>> jobs_;
+
+    /** A registered fabric worker connection. */
+    struct Worker
+    {
+        std::string name;
+        std::uint64_t lastSeenMs = 0;
+    };
+
+    /** Fabric workers by connection id. */
+    std::map<std::uint64_t, Worker> workers_;
+
+    /** The active fabric run (at most one; others queue). */
+    std::unique_ptr<FabricRun> fabric_;
+
+    /** Fabric jobs waiting for the active run to finish. */
+    std::deque<std::shared_ptr<Job>> fabricQueue_;
+
+    /** Fabric counters, aggregated across runs. */
+    FabricCounters fabricCounters_;
+
+    /** Monotonic epoch for lease deadlines. */
+    std::chrono::steady_clock::time_point epoch_;
 };
 
 } // namespace clearsim

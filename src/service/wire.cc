@@ -52,11 +52,14 @@ writeAll(int fd, const void *buf, std::size_t len)
  * Allowed fields per message type. The protocol fails closed: a
  * field not listed here is a hard error even if the rest of the
  * message is perfectly valid — additions require a version bump,
- * never silent tolerance.
+ * never silent tolerance. minVersion is the protocol version that
+ * introduced the type: sending it under an older schema string is
+ * rejected like an unknown type would be.
  */
 struct MessageSchema
 {
     const char *type;
+    unsigned minVersion;
     std::vector<const char *> fields;
 };
 
@@ -65,34 +68,62 @@ messageSchemas()
 {
     static const std::vector<MessageSchema> schemas = {
         // Client -> server.
-        {"hello", {"versions"}},
+        {"hello", 1, {"versions"}},
         {"run",
+         1,
          {"tag", "config", "workload", "retries", "threads", "ops",
           "scale", "seed"}},
         {"sweep",
+         1,
          {"tag", "configs", "workloads", "retries", "seeds", "trim",
           "ops", "threads", "scale", "jobs"}},
         {"analyze",
+         1,
          {"tag", "config", "workload", "retries", "threads", "ops",
           "scale", "seed"}},
         {"audit",
+         1,
          {"tag", "configs", "workloads", "retries", "seeds", "ops",
           "threads", "scale", "seed", "jobs"}},
-        {"status", {"tag", "id"}},
-        {"cancel", {"tag", "id"}},
-        {"catalogue", {"tag"}},
-        {"dlq-list", {"tag"}},
-        {"dlq-replay", {"tag"}},
-        {"dlq-clear", {"tag"}},
+        {"status", 1, {"tag", "id"}},
+        {"cancel", 1, {"tag", "id"}},
+        {"catalogue", 1, {"tag"}},
+        {"dlq-list", 1, {"tag"}},
+        {"dlq-replay", 1, {"tag"}},
+        {"dlq-clear", 1, {"tag"}},
         // Server -> client.
-        {"hello-ok", {"version"}},
-        {"ack", {"tag", "id", "state"}},
-        {"progress", {"id", "done", "total"}},
-        {"cell", {"id", "row"}},
-        {"result", {"id", "format", "payload"}},
-        {"failed", {"id", "error", "repro"}},
-        {"cancelled", {"id"}},
-        {"error", {"tag", "message"}},
+        {"hello-ok", 1, {"version"}},
+        {"ack", 1, {"tag", "id", "state"}},
+        {"progress", 1, {"id", "done", "total"}},
+        {"cell", 1, {"id", "row"}},
+        {"result", 1, {"id", "format", "payload"}},
+        {"failed", 1, {"id", "error", "repro"}},
+        {"cancelled", 1, {"id"}},
+        {"error", 1, {"tag", "message"}},
+        // v1 retrofit: the terminal frame a shutting-down daemon
+        // owes subscribers of unfinished jobs.
+        {"job-aborted", 1, {"id", "message"}},
+        // v2: the sweep fabric. Client -> coordinator.
+        {"fabric-sweep",
+         2,
+         {"tag", "configs", "workloads", "retries", "seeds", "trim",
+          "ops", "threads", "scale", "jobs", "shards"}},
+        {"fabric-status", 2, {"tag"}},
+        // Worker -> coordinator.
+        {"lease", 2, {"tag", "worker"}},
+        {"lease-renew", 2, {"tag", "worker", "id", "shard"}},
+        {"shard-result",
+         2,
+         {"tag", "worker", "id", "shard", "rows", "fail-workloads",
+          "fail-configs", "fail-errors", "fail-repros"}},
+        {"worker-bye", 2, {"tag", "worker"}},
+        // Coordinator -> worker.
+        {"lease-grant",
+         2,
+         {"id", "shard", "shards", "ttl", "configs", "workloads",
+          "retries", "seeds", "trim", "ops", "threads", "scale",
+          "seed", "jobs", "skip-workloads", "skip-configs"}},
+        {"lease-idle", 2, {"retry-ms"}},
     };
     return schemas;
 }
@@ -187,6 +218,25 @@ WireMessage::textList(const char *key) const
     return out;
 }
 
+std::vector<std::uint64_t>
+WireMessage::numberList(const char *key) const
+{
+    std::vector<std::uint64_t> out;
+    const JsonValue *v = body.find(key);
+    if (v && v->type == JsonValue::Type::Array) {
+        for (const JsonValue &item : v->items)
+            if (item.isNumber())
+                out.push_back(item.asUint());
+    }
+    return out;
+}
+
+const char *
+wireSchemaName(unsigned version)
+{
+    return version >= 2 ? kWireSchemaV2 : kWireSchema;
+}
+
 bool
 parseWireMessage(const std::string &payload, WireMessage &out,
                  std::string &error)
@@ -204,9 +254,14 @@ parseWireMessage(const std::string &payload, WireMessage &out,
         error = "frame has no schema field";
         return false;
     }
-    if (schema->text != kWireSchema) {
+    if (schema->text == kWireSchema) {
+        out.version = 1;
+    } else if (schema->text == kWireSchemaV2) {
+        out.version = 2;
+    } else {
         error = "unsupported schema '" + schema->text +
-                "' (this server speaks " + kWireSchema + ")";
+                "' (this server speaks " + kWireSchema + " and " +
+                kWireSchemaV2 + ")";
         return false;
     }
     const JsonValue *type = out.body.find("type");
@@ -223,6 +278,11 @@ parseWireMessage(const std::string &payload, WireMessage &out,
     }
     if (!match) {
         error = "unknown message type '" + type->text + "'";
+        return false;
+    }
+    if (out.version < match->minVersion) {
+        error = "message type '" + type->text + "' requires " +
+                wireSchemaName(match->minVersion);
         return false;
     }
     for (const auto &[key, value] : out.body.members) {
@@ -245,20 +305,27 @@ parseWireMessage(const std::string &payload, WireMessage &out,
     return true;
 }
 
-namespace
-{
-
-/** Start a message: {"schema":...,"type":...  (object left open). */
 JsonWriter
-beginMessage(std::string &out, const char *type)
+beginWireMessage(std::string &out, const char *type,
+                 unsigned version)
 {
     JsonWriter w(out);
     w.beginObject();
     w.key("schema");
-    w.value(kWireSchema);
+    w.value(wireSchemaName(version));
     w.key("type");
     w.value(type);
     return w;
+}
+
+namespace
+{
+
+/** Start a v1 message: {"schema":...,"type":... (object open). */
+JsonWriter
+beginMessage(std::string &out, const char *type)
+{
+    return beginWireMessage(out, type, 1);
 }
 
 } // namespace
@@ -271,6 +338,7 @@ wireHello()
     w.key("versions");
     w.beginArray();
     w.value(kWireSchema);
+    w.value(kWireSchemaV2);
     w.endArray();
     w.endObject();
     return out;
@@ -390,6 +458,76 @@ wireError(const std::string &tag, const std::string &message)
     }
     w.key("message");
     w.value(message);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireJobAborted(const std::string &id, const std::string &message)
+{
+    std::string out;
+    JsonWriter w = beginMessage(out, "job-aborted");
+    w.key("id");
+    w.value(id);
+    w.key("message");
+    w.value(message);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireLease(const std::string &tag, const std::string &worker)
+{
+    std::string out;
+    JsonWriter w = beginWireMessage(out, "lease", 2);
+    if (!tag.empty()) {
+        w.key("tag");
+        w.value(tag);
+    }
+    w.key("worker");
+    w.value(worker);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireLeaseIdle(std::uint64_t retry_ms)
+{
+    std::string out;
+    JsonWriter w = beginWireMessage(out, "lease-idle", 2);
+    w.key("retry-ms");
+    w.value(retry_ms);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireLeaseRenew(const std::string &worker, const std::string &id,
+               std::uint64_t shard)
+{
+    std::string out;
+    JsonWriter w = beginWireMessage(out, "lease-renew", 2);
+    w.key("worker");
+    w.value(worker);
+    w.key("id");
+    w.value(id);
+    w.key("shard");
+    w.value(shard);
+    w.endObject();
+    return out;
+}
+
+std::string
+wireWorkerBye(const std::string &tag, const std::string &worker)
+{
+    std::string out;
+    JsonWriter w = beginWireMessage(out, "worker-bye", 2);
+    if (!tag.empty()) {
+        w.key("tag");
+        w.value(tag);
+    }
+    w.key("worker");
+    w.value(worker);
     w.endObject();
     return out;
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * The clearsimd wire protocol: clearsimd-wire-v1.
+ * The clearsimd wire protocol: clearsimd-wire-v1 and -v2.
  *
  * Every frame on the socket is a 4-byte big-endian payload length
  * followed by exactly that many bytes of JSON — one object per
@@ -9,16 +9,29 @@
  *
  *  - the first client frame must be a "hello" listing the versions
  *    the client speaks; the server answers "hello-ok" naming the
- *    one it picked (today: only clearsimd-wire-v1) or closes after
- *    an "error". Nothing else is accepted before the handshake.
+ *    highest one both sides share, or closes after an "error".
+ *    Nothing else is accepted before the handshake.
  *  - every message carries "schema":"clearsim-wire..." and a
  *    "type"; unknown schemas, unknown types and unknown *fields*
  *    are rejected outright (fail closed — an old server never
- *    silently ignores what a newer client meant).
+ *    silently ignores what a newer client meant). A message type
+ *    introduced by v2 must carry the v2 schema string; sending it
+ *    under the v1 schema is a protocol violation.
  *  - frames above kWireMaxFrame (or of length zero) are protocol
  *    errors and the connection is dropped; the JSON parser behind
  *    parseWireMessage() is itself hardened against truncated and
  *    adversarial bytes (tests/common/json_fuzz_test.cc).
+ *
+ * v2 adds the sweep-fabric vocabulary (docs/SERVICE.md, "Sweep
+ * fabric"): workers lease shards of a sweep grid from the
+ * coordinator ("lease"/"lease-grant"/"lease-idle"), renew their
+ * leases as a heartbeat ("lease-renew"), return finished shards
+ * ("shard-result") and deregister ("worker-bye"); clients start a
+ * fabric sweep ("fabric-sweep") and observe it ("fabric-status").
+ * The one type v2 retrofits into v1 is "job-aborted": the terminal
+ * frame a shutting-down daemon owes every subscriber of an
+ * unfinished job, so a shutdown is a clean typed error rather than
+ * a truncated read.
  *
  * The framing helpers below work on plain file descriptors so the
  * daemon, the client tool and the in-process tests all share one
@@ -37,8 +50,17 @@
 namespace clearsim
 {
 
-/** The one protocol version this build speaks. */
+/** The baseline protocol version every build speaks. */
 inline constexpr const char *kWireSchema = "clearsimd-wire-v1";
+
+/** The fabric protocol version (superset of v1). */
+inline constexpr const char *kWireSchemaV2 = "clearsimd-wire-v2";
+
+/** Highest protocol version this build speaks. */
+inline constexpr unsigned kWireMaxVersion = 2;
+
+/** The schema string of protocol version @p version (1 or 2). */
+const char *wireSchemaName(unsigned version);
 
 /** Hard ceiling on one frame's payload (8 MiB). */
 inline constexpr std::uint32_t kWireMaxFrame = 8u << 20;
@@ -64,6 +86,10 @@ bool writeWireFrame(int fd, const std::string &payload,
 struct WireMessage
 {
     std::string type;
+
+    /** Protocol version the frame's schema string named (1 or 2). */
+    unsigned version = 1;
+
     JsonValue body;
 
     /** String member by key ("" when absent or not a string). */
@@ -75,12 +101,16 @@ struct WireMessage
 
     /** String-array member by key (empty when absent). */
     std::vector<std::string> textList(const char *key) const;
+
+    /** Unsigned-array member by key (empty when absent). */
+    std::vector<std::uint64_t> numberList(const char *key) const;
 };
 
 /**
  * Parse and validate one frame's payload: well-formed JSON object,
- * "schema" equal to kWireSchema, a known "type", and no field that
- * is not in that type's allowed set.
+ * "schema" naming a version this build speaks, a known "type"
+ * available at that version, and no field that is not in that
+ * type's allowed set.
  * @retval false with @p error naming the offending field/type
  */
 bool parseWireMessage(const std::string &payload, WireMessage &out,
@@ -92,7 +122,16 @@ bool parseWireMessage(const std::string &payload, WireMessage &out,
 // produce identical bytes.
 // ---------------------------------------------------------------
 
-/** Client: open the handshake offering kWireSchema. */
+/**
+ * Start a message by hand: writes {"schema":...,"type":... and
+ * leaves the object open for the caller's fields. The escape hatch
+ * for messages too option-heavy for a fixed-arity builder
+ * (lease-grant, shard-result); the caller owns endObject().
+ */
+JsonWriter beginWireMessage(std::string &out, const char *type,
+                            unsigned version = 1);
+
+/** Client: open the handshake offering every version we speak. */
 std::string wireHello();
 
 /** Server: handshake accepted, @p version chosen. */
@@ -129,6 +168,33 @@ std::string wireCancelled(const std::string &id);
 /** Server: request-level error (@p tag echoes the request's). */
 std::string wireError(const std::string &tag,
                       const std::string &message);
+
+/**
+ * Server: the daemon is shutting down and this unfinished job will
+ * not complete. Terminal for every subscriber, like "failed", but
+ * with no repro — nothing went wrong with the job itself. Valid
+ * under v1 so even pre-fabric clients get a typed goodbye.
+ */
+std::string wireJobAborted(const std::string &id,
+                           const std::string &message);
+
+// --------------------------- v2: the sweep fabric ----------------
+
+/** Worker: ask the coordinator for a shard lease. */
+std::string wireLease(const std::string &tag,
+                      const std::string &worker);
+
+/** Coordinator: nothing to lease right now; retry in @p ms. */
+std::string wireLeaseIdle(std::uint64_t retry_ms);
+
+/** Worker: heartbeat extending the lease on @p shard. */
+std::string wireLeaseRenew(const std::string &worker,
+                           const std::string &id,
+                           std::uint64_t shard);
+
+/** Worker: deregister cleanly (shutdown, not a crash). */
+std::string wireWorkerBye(const std::string &tag,
+                          const std::string &worker);
 
 } // namespace clearsim
 

@@ -1,0 +1,245 @@
+#include "service/worker.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <set>
+#include <thread>
+
+#include "common/log.hh"
+#include "harness/shard.hh"
+#include "harness/sweep_cache.hh"
+#include "harness/sweep_engine.hh"
+#include "service/fabric.hh"
+
+namespace clearsim
+{
+
+FabricWorker::FabricWorker(FabricWorkerOptions options)
+    : options_(std::move(options))
+{
+}
+
+bool
+FabricWorker::ensureConnected(std::string &error,
+                              const std::atomic<bool> &stop)
+{
+    if (connection_.connected())
+        return true;
+    if (!connection_.connectWithRetry(options_.socketPath,
+                                      options_.connectAttempts,
+                                      error, &stop))
+        return false;
+    if (connection_.version() < 2) {
+        error = "coordinator only speaks " +
+                std::string(wireSchemaName(connection_.version())) +
+                "; the fabric needs " + kWireSchemaV2;
+        connection_.disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+FabricWorker::sendLocked(const std::string &payload,
+                         std::string &error)
+{
+    std::lock_guard<std::mutex> lock(sendMutex_);
+    return connection_.send(payload, error);
+}
+
+int
+FabricWorker::run(const std::atomic<bool> &stop)
+{
+    unsigned idle_polls = 0;
+    unsigned consecutive_failures = 0;
+    std::string error;
+
+    while (!stop.load()) {
+        if (!ensureConnected(error, stop)) {
+            logMessage(LogLevel::Warn, "%s: %s", options_.name.c_str(), error.c_str());
+            return 1;
+        }
+        if (!sendLocked(wireLease("", options_.name), error)) {
+            ++totals_.reconnects;
+            continue;
+        }
+        WireMessage reply;
+        if (!connection_.receive(reply, error)) {
+            if (stop.load())
+                break;
+            connection_.disconnect();
+            ++totals_.reconnects;
+            if (++consecutive_failures >= 5) {
+                logMessage(LogLevel::Warn,
+                       "%s: giving up after repeated protocol "
+                     "failures (%s)",
+                     options_.name.c_str(), error.c_str());
+                return 1;
+            }
+            continue;
+        }
+        consecutive_failures = 0;
+
+        if (reply.type == "lease-idle") {
+            ++idle_polls;
+            if (options_.maxIdlePolls != 0 &&
+                idle_polls >= options_.maxIdlePolls)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                reply.number("retry-ms", 200)));
+            continue;
+        }
+        if (reply.type != "lease-grant") {
+            logMessage(LogLevel::Warn, "%s: unexpected reply '%s' to lease request",
+                 options_.name.c_str(), reply.type.c_str());
+            connection_.disconnect();
+            ++totals_.reconnects;
+            if (++consecutive_failures >= 5)
+                return 1;
+            continue;
+        }
+        idle_polls = 0;
+        LeaseGrant grant;
+        if (!parseLeaseGrant(reply, grant, error)) {
+            logMessage(LogLevel::Warn, "%s: bad lease-grant: %s", options_.name.c_str(),
+                 error.c_str());
+            connection_.disconnect();
+            ++totals_.reconnects;
+            continue;
+        }
+        executeGrant(grant, stop);
+    }
+
+    // Clean exit: deregister so the coordinator releases any lease
+    // without charging an attempt (this is a shutdown, not a crash).
+    if (connection_.connected()) {
+        if (sendLocked(wireWorkerBye("", options_.name), error)) {
+            WireMessage reply;
+            std::string ignored;
+            connection_.receive(reply, ignored);
+        }
+        connection_.disconnect();
+    }
+    return 0;
+}
+
+bool
+FabricWorker::executeGrant(const LeaseGrant &grant,
+                           const std::atomic<bool> &stop)
+{
+    SweepOptions opts = grant.options;
+    if (options_.jobs != 0)
+        opts.jobs = options_.jobs;
+
+    // Rebuild the coordinator's plan: planShards() is pure in the
+    // options, so both sides agree on every shard's membership.
+    const ShardPlan plan = planShards(opts, grant.shardCount);
+    if (plan.shardCount != grant.shardCount ||
+        grant.shard >= plan.shardCount) {
+        logMessage(LogLevel::Warn, "%s: lease-grant shard %u/%u disagrees with the local "
+             "plan (%u shards) — dropping the lease",
+             options_.name.c_str(), grant.shard, grant.shardCount,
+             plan.shardCount);
+        return false;
+    }
+
+    std::set<SweepKey> skip;
+    for (unsigned s = 0; s < plan.shardCount; ++s)
+        if (s != grant.shard)
+            skip.insert(plan.shards[s].begin(),
+                        plan.shards[s].end());
+    skip.insert(grant.skip.begin(), grant.skip.end());
+
+    // Heartbeat at ttl/3: three missed beats before the coordinator
+    // may steal the shard.
+    std::mutex hb_mutex;
+    std::condition_variable hb_wake;
+    bool hb_stop = false;
+    std::atomic<bool> connection_lost{false};
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(1, grant.ttlMs / 3);
+    std::thread heartbeat([&] {
+        std::unique_lock<std::mutex> lock(hb_mutex);
+        for (;;) {
+            if (hb_wake.wait_for(
+                    lock, std::chrono::milliseconds(interval),
+                    [&] { return hb_stop; }))
+                return;
+            std::string hb_error;
+            if (!sendLocked(wireLeaseRenew(options_.name,
+                                           grant.jobId, grant.shard),
+                            hb_error)) {
+                connection_lost.store(true);
+                return;
+            }
+        }
+    });
+
+    SweepObserver observer;
+    observer.cancelled = [&stop, &connection_lost] {
+        return stop.load() || connection_lost.load();
+    };
+    const SweepOutcome outcome = runSweepGrid(opts, skip, observer);
+
+    {
+        std::lock_guard<std::mutex> lock(hb_mutex);
+        hb_stop = true;
+    }
+    hb_wake.notify_all();
+    heartbeat.join();
+
+    // A partial shard is never reported — the coordinator rejects
+    // incomplete results, so just let the lease lapse (or the
+    // disconnect release it) and the shard be re-leased whole.
+    if (outcome.cancelled || connection_lost.load() || stop.load())
+        return false;
+
+    std::vector<std::string> rows;
+    std::vector<DeadLetter> failures;
+    for (const auto &[key, cell] : outcome.cells) {
+        if (cell.failed) {
+            failures.push_back({grant.jobId, cell.workload,
+                                cell.config, cell.error,
+                                cell.repro});
+            ++totals_.cellsFailed;
+        } else {
+            rows.push_back(
+                serializeSweepCacheRow(CellSummary::fromCell(cell)));
+            ++totals_.cellsExecuted;
+        }
+    }
+
+    std::string error;
+    if (!sendLocked(buildShardResult(options_.name, grant.jobId,
+                                     grant.shard, rows, failures),
+                    error))
+        return false;
+
+    // The verdict may be preceded by acks of heartbeats still in
+    // flight when the sweep finished; skip those.
+    WireMessage reply;
+    while (connection_.receive(reply, error)) {
+        if (reply.type != "ack")
+            continue;
+        const std::string state = reply.text("state");
+        if (state == "renewed" || state == "lease-lost")
+            continue;
+        if (state == "shard-done") {
+            ++totals_.shardsCompleted;
+            return true;
+        }
+        if (state == "shard-stale") {
+            ++totals_.shardsStale;
+            return true;
+        }
+        if (state == "shard-rejected") {
+            ++totals_.shardsRejected;
+            logMessage(LogLevel::Warn, "%s: shard %u rejected by the coordinator",
+                 options_.name.c_str(), grant.shard);
+            return false;
+        }
+    }
+    return false;
+}
+
+} // namespace clearsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * FabricWorker: the executing half of the sweep fabric.
+ *
+ * A worker is a loop over one AF_UNIX connection to a clearsimd
+ * coordinator:
+ *
+ *   lease ──► lease-grant ──► run the shard ──► shard-result
+ *     ▲            │                                  │
+ *     │        lease-idle (sleep retry-ms)            │
+ *     └────────────┴──────────────────────────────────┘
+ *
+ * While a shard runs, a heartbeat thread renews the lease every
+ * ttl/3 so a healthy-but-slow worker is never mistaken for a dead
+ * one. The shard's cells execute through the same runSweepGrid()
+ * the in-process sweep uses — the worker rebuilds the coordinator's
+ * exact ShardPlan from the grant (planShards() is a pure function
+ * of the options) and skips every cell outside its shard plus the
+ * grant's checkpoint skip list, so cell bytes are identical to a
+ * single-process run by construction.
+ *
+ * Failure behaviour: a lost connection aborts the in-flight shard
+ * (the observer's cancelled hook trips) and the worker reconnects
+ * with jittered exponential backoff and starts leasing again; the
+ * coordinator reassigns whatever it was holding. Partial shards are
+ * never reported — the coordinator would reject them anyway.
+ */
+
+#ifndef CLEARSIM_SERVICE_WORKER_HH
+#define CLEARSIM_SERVICE_WORKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "service/client.hh"
+
+namespace clearsim
+{
+
+struct FabricWorkerOptions
+{
+    /** Coordinator socket path. */
+    std::string socketPath = "clearsimd.sock";
+
+    /** Worker name reported to the coordinator (diagnostics). */
+    std::string name = "worker";
+
+    /** Threads per shard sweep (0 = grant's value, then HW). */
+    unsigned jobs = 0;
+
+    /** connectWithRetry() attempts per (re)connect. */
+    unsigned connectAttempts = 40;
+
+    /**
+     * Exit cleanly after this many consecutive lease-idle replies
+     * (0 = poll forever until stopped). Lets scripted workers
+     * terminate once the fabric drains instead of needing a kill.
+     */
+    unsigned maxIdlePolls = 0;
+};
+
+class FabricWorker
+{
+  public:
+    explicit FabricWorker(FabricWorkerOptions options);
+
+    /** What this worker has done so far (tests and exit logs). */
+    struct Totals
+    {
+        std::uint64_t shardsCompleted = 0;
+        std::uint64_t shardsStale = 0;
+        std::uint64_t shardsRejected = 0;
+        std::uint64_t cellsExecuted = 0;
+        std::uint64_t cellsFailed = 0;
+        std::uint64_t reconnects = 0;
+    };
+
+    /**
+     * Lease/execute/report until @p stop becomes true (checked
+     * between protocol steps and between sweep points) or the idle
+     * budget runs out. Blocking.
+     * @returns 0 on clean exit (worker-bye sent), 1 when the
+     *          coordinator could not be (re)reached
+     */
+    int run(const std::atomic<bool> &stop);
+
+    const Totals &totals() const { return totals_; }
+
+  private:
+    bool ensureConnected(std::string &error,
+                         const std::atomic<bool> &stop);
+    bool executeGrant(const struct LeaseGrant &grant,
+                      const std::atomic<bool> &stop);
+
+    /** Serialized frame send (heartbeat thread vs main loop). */
+    bool sendLocked(const std::string &payload, std::string &error);
+
+    FabricWorkerOptions options_;
+    ClientConnection connection_;
+    std::mutex sendMutex_;
+    Totals totals_;
+};
+
+} // namespace clearsim
+
+#endif // CLEARSIM_SERVICE_WORKER_HH

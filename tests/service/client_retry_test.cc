@@ -1,0 +1,153 @@
+/**
+ * @file
+ * connectWithRetry() tests: a client (or fabric worker) started
+ * before its daemon must find the socket once it appears, with
+ * backoff between attempts, and must give up cleanly when it never
+ * does.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "service/client.hh"
+#include "service/daemon.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+class ClientRetryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::string("/tmp/clearsim_retry_") + info->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string
+    socketPath() const
+    {
+        return dir_ + "/d.sock";
+    }
+
+    std::unique_ptr<Daemon>
+    makeDaemon()
+    {
+        Daemon::Options options;
+        options.socketPath = socketPath();
+        options.scheduler.cachePath = dir_ + "/cache.csv";
+        options.scheduler.dlqPath = dir_ + "/dlq.jsonl";
+        options.scheduler.jobs = 2;
+        return std::make_unique<Daemon>(options);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(ClientRetryTest, GivesUpAfterTheAttemptBudget)
+{
+    ClientConnection connection;
+    std::string error;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(
+        connection.connectWithRetry(socketPath(), 3, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(connection.connected());
+    // 3 attempts = 2 backoff sleeps, each at least ~12ms.
+    const auto elapsed =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(20));
+}
+
+TEST_F(ClientRetryTest, ZeroOrOneAttemptsMeansASingleTry)
+{
+    ClientConnection connection;
+    std::string error;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(
+        connection.connectWithRetry(socketPath(), 0, error));
+    EXPECT_FALSE(
+        connection.connectWithRetry(socketPath(), 1, error));
+    // No backoff sleeps at all.
+    const auto elapsed =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::milliseconds(500));
+}
+
+TEST_F(ClientRetryTest, FindsASocketThatAppearsLate)
+{
+    // The daemon starts ~150ms after the client begins retrying —
+    // the situation every fabric worker is in when coordinator and
+    // workers are launched together (or the coordinator restarts).
+    std::unique_ptr<Daemon> daemon;
+    std::thread binder([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(150));
+        daemon = makeDaemon();
+    });
+
+    ClientConnection connection;
+    std::string error;
+    EXPECT_TRUE(
+        connection.connectWithRetry(socketPath(), 50, error))
+        << error;
+    EXPECT_TRUE(connection.connected());
+    EXPECT_GE(connection.version(), 1u);
+    binder.join();
+    connection.disconnect();
+    EXPECT_EQ(0u, connection.version());
+}
+
+TEST_F(ClientRetryTest, AStopFlagAbandonsTheRetryLoop)
+{
+    // A worker told to shut down mid-backoff must not sleep out
+    // its whole attempt budget against a socket that never comes.
+    ClientConnection connection;
+    std::atomic<bool> stop{false};
+    std::string error;
+    std::thread stopper([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+        stop.store(true);
+    });
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(connection.connectWithRetry(socketPath(), 100000,
+                                             error, &stop));
+    stopper.join();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    EXPECT_EQ("stopped", error);
+}
+
+TEST_F(ClientRetryTest, NegotiatesV2WhenRetrying)
+{
+    // The worker path requires v2; make sure retry preserves the
+    // normal handshake result.
+    auto daemon = makeDaemon();
+    ClientConnection connection;
+    std::string error;
+    ASSERT_TRUE(
+        connection.connectWithRetry(socketPath(), 5, error))
+        << error;
+    EXPECT_EQ(2u, connection.version());
+}
+
+} // namespace
+} // namespace clearsim

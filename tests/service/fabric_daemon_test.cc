@@ -1,0 +1,430 @@
+/**
+ * @file
+ * End-to-end fabric tests: a real Daemon acting as coordinator,
+ * FabricWorker instances running in-process threads (the exact code
+ * tools/clearsim_worker.cpp wraps), a ClientConnection submitting
+ * fabric-sweep jobs. Pins the headline invariant at the service
+ * level — the merged result is byte-identical to the engine run
+ * locally — plus fabric-status and the shutdown-mid-sweep
+ * regression (a dying daemon must say "job-aborted", not slam the
+ * socket).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/sweep_cache.hh"
+#include "harness/sweep_engine.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/wire.hh"
+#include "service/worker.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SweepOptions
+benignSweep()
+{
+    SweepOptions opts;
+    opts.configs = {"B", "C"};
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 3;
+    opts.params.opsPerThread = 4;
+    opts.jobs = 2;
+    return opts;
+}
+
+/** Serialize a fabric-sweep request matching @p opts. */
+std::string
+fabricSweepRequest(const SweepOptions &opts, unsigned shards)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchemaV2);
+    w.key("type");
+    w.value("fabric-sweep");
+    w.key("configs");
+    w.beginArray();
+    for (const std::string &spec : opts.configs)
+        w.value(spec);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const std::string &name : opts.workloads)
+        w.value(name);
+    w.endArray();
+    w.key("retries");
+    w.beginArray();
+    for (unsigned limit : opts.retryLimits)
+        w.value(limit);
+    w.endArray();
+    w.key("seeds");
+    w.value(opts.seeds);
+    w.key("ops");
+    w.value(opts.params.opsPerThread);
+    w.key("threads");
+    w.value(opts.params.threads);
+    w.key("jobs");
+    w.value(opts.jobs);
+    w.key("shards");
+    w.value(shards);
+    w.endObject();
+    return out;
+}
+
+std::string
+fabricStatusRequest()
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchemaV2);
+    w.key("type");
+    w.value("fabric-status");
+    w.endObject();
+    return out;
+}
+
+/** The engine's canonical bytes for @p opts. */
+std::string
+localBaseline(const SweepOptions &opts)
+{
+    const SweepOutcome local =
+        runSweepGrid(opts, {}, SweepObserver{});
+    EXPECT_FALSE(local.cancelled);
+    SweepSummary summary;
+    for (const auto &[key, cell] : local.cells) {
+        EXPECT_FALSE(cell.failed) << cell.error;
+        summary[key] = CellSummary::fromCell(cell);
+    }
+    return serializeSweepCache(sweepOptionsHash(opts), summary);
+}
+
+/** An in-process FabricWorker on its own thread. */
+class WorkerThread
+{
+  public:
+    WorkerThread(const std::string &socket, const std::string &name)
+    {
+        FabricWorkerOptions options;
+        options.socketPath = socket;
+        options.name = name;
+        worker_ = std::make_unique<FabricWorker>(options);
+        thread_ = std::thread(
+            [this] { status_ = worker_->run(stop_); });
+    }
+
+    ~WorkerThread() { join(); }
+
+    void
+    join()
+    {
+        stop_.store(true);
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    const FabricWorker::Totals &
+    totals() const
+    {
+        return worker_->totals();
+    }
+
+    int status() const { return status_; }
+
+  private:
+    std::unique_ptr<FabricWorker> worker_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+    int status_ = -1;
+};
+
+class FabricDaemonTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::string("/tmp/clearsim_fab_") + info->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        startDaemon();
+    }
+
+    void
+    TearDown() override
+    {
+        daemon_.reset();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    startDaemon()
+    {
+        Daemon::Options options;
+        options.socketPath = dir_ + "/d.sock";
+        options.scheduler.cachePath = dir_ + "/cache.csv";
+        options.scheduler.dlqPath = dir_ + "/dlq.jsonl";
+        options.scheduler.jobs = 2;
+        daemon_ = std::make_unique<Daemon>(options);
+    }
+
+    std::unique_ptr<ClientConnection>
+    client()
+    {
+        auto connection = std::make_unique<ClientConnection>();
+        std::string error;
+        EXPECT_TRUE(
+            connection->connect(daemon_->socketPath(), error))
+            << error;
+        EXPECT_EQ(2u, connection->version());
+        return connection;
+    }
+
+    WireMessage
+    transact(ClientConnection &connection,
+             const std::string &request,
+             std::vector<WireMessage> *events = nullptr)
+    {
+        std::string error;
+        EXPECT_TRUE(connection.send(request, error)) << error;
+        WireMessage outcome;
+        EXPECT_TRUE(connection.waitForOutcome(
+            outcome, error,
+            [&](const WireMessage &event) {
+                if (events)
+                    events->push_back(event);
+            }))
+            << error;
+        return outcome;
+    }
+
+    std::string dir_;
+    std::unique_ptr<Daemon> daemon_;
+};
+
+TEST_F(FabricDaemonTest, FabricSweepMatchesTheEngineByteForByte)
+{
+    const SweepOptions opts = benignSweep();
+    const std::string expected = localBaseline(opts);
+
+    WorkerThread w0(daemon_->socketPath(), "w0");
+    WorkerThread w1(daemon_->socketPath(), "w1");
+
+    auto connection = client();
+    std::vector<WireMessage> events;
+    const WireMessage outcome = transact(
+        *connection, fabricSweepRequest(opts, 3), &events);
+    ASSERT_EQ("result", outcome.type) << outcome.text("message");
+    EXPECT_EQ("sweep-cache-csv", outcome.text("format"));
+    EXPECT_EQ(expected, outcome.text("payload"));
+
+    // Every row of the merged document was streamed exactly once,
+    // no matter which worker produced it.
+    std::vector<std::string> rows;
+    for (const WireMessage &event : events)
+        if (event.type == "cell")
+            rows.push_back(event.text("row"));
+    EXPECT_EQ(4u, rows.size());
+
+    w0.join();
+    w1.join();
+    EXPECT_EQ(0, w0.status());
+    EXPECT_EQ(0, w1.status());
+    EXPECT_EQ(3u, w0.totals().shardsCompleted +
+                      w1.totals().shardsCompleted);
+    EXPECT_EQ(4u, w0.totals().cellsExecuted +
+                      w1.totals().cellsExecuted);
+}
+
+TEST_F(FabricDaemonTest, FabricStatusExportsTheCounters)
+{
+    const SweepOptions opts = benignSweep();
+    WorkerThread w0(daemon_->socketPath(), "status-worker");
+
+    auto connection = client();
+    const WireMessage outcome = transact(
+        *connection, fabricSweepRequest(opts, 2));
+    ASSERT_EQ("result", outcome.type) << outcome.text("message");
+
+    const WireMessage status =
+        transact(*connection, fabricStatusRequest());
+    ASSERT_EQ("result", status.type);
+    EXPECT_EQ("fabric-status-json", status.text("format"));
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(status.text("payload"), doc, error))
+        << error;
+    EXPECT_EQ("clearsim-fabric-status-v1",
+              doc.find("schema")->text);
+    EXPECT_EQ("", doc.find("active")->text); // run finished
+
+    // The StatsRegistry block carries the fabric counters; after a
+    // clean 2-shard run the bookkeeping is exact.
+    const JsonValue *counters = doc.find("counters");
+    ASSERT_NE(nullptr, counters);
+    auto counter = [&](const char *name) -> std::uint64_t {
+        const JsonValue *value = counters->find(name);
+        EXPECT_NE(nullptr, value) << name;
+        return value ? value->uintValue : 0;
+    };
+    EXPECT_EQ(1u, counter("fabric.jobs.completed"));
+    EXPECT_EQ(0u, counter("fabric.jobs.failed"));
+    EXPECT_EQ(2u, counter("fabric.shards.completed"));
+    EXPECT_EQ(4u, counter("fabric.cells.executed"));
+    EXPECT_EQ(0u, counter("fabric.shards.deadlettered"));
+    EXPECT_EQ(2u, counter("fabric.results.accepted"));
+    EXPECT_GE(counter("fabric.leases.granted"), 2u);
+
+    // The worker is still connected and polling, so it shows up.
+    const JsonValue *workers = doc.find("workers");
+    ASSERT_NE(nullptr, workers);
+    ASSERT_EQ(1u, workers->items.size());
+    EXPECT_EQ("status-worker",
+              workers->items[0].find("name")->text);
+}
+
+TEST_F(FabricDaemonTest, WorkerlessFabricSweepStaysQueuedUntilCancelled)
+{
+    // With no workers attached nothing leases; the job sits at
+    // Running with zero progress until someone cancels it.
+    const SweepOptions opts = benignSweep();
+    auto connection = client();
+    std::string error;
+    ASSERT_TRUE(
+        connection->send(fabricSweepRequest(opts, 2), error))
+        << error;
+
+    // Wait for the ack, then cancel by the acked id.
+    WireMessage ack;
+    ASSERT_TRUE(connection->receive(ack, error)) << error;
+    ASSERT_EQ("ack", ack.type);
+    const std::string id = ack.text("id");
+    ASSERT_FALSE(id.empty());
+
+    std::string cancel;
+    JsonWriter w(cancel);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchemaV2);
+    w.key("type");
+    w.value("cancel");
+    w.key("id");
+    w.value(id);
+    w.endObject();
+    ASSERT_TRUE(connection->send(cancel, error)) << error;
+
+    WireMessage outcome;
+    ASSERT_TRUE(connection->waitForOutcome(outcome, error))
+        << error;
+    EXPECT_EQ("cancelled", outcome.type);
+}
+
+TEST_F(FabricDaemonTest, ShutdownMidSweepSendsJobAborted)
+{
+    // Satellite regression: a daemon dying while a fabric sweep is
+    // streaming must flush a terminal job-aborted frame through the
+    // outbox, not leave subscribers on a truncated read.
+    const SweepOptions opts = benignSweep();
+    auto connection = client();
+    std::string error;
+    ASSERT_TRUE(
+        connection->send(fabricSweepRequest(opts, 2), error))
+        << error;
+    WireMessage ack;
+    ASSERT_TRUE(connection->receive(ack, error)) << error;
+    ASSERT_EQ("ack", ack.type);
+
+    // No workers ever lease, so the job cannot finish; kill the
+    // daemon under the subscriber.
+    std::thread killer([this] { daemon_->stop(); });
+
+    WireMessage outcome;
+    ASSERT_TRUE(connection->waitForOutcome(outcome, error))
+        << "expected a typed terminal frame, got: " << error;
+    EXPECT_EQ("job-aborted", outcome.type);
+    EXPECT_NE(std::string::npos,
+              outcome.text("message").find("shutting down"));
+    killer.join();
+}
+
+TEST_F(FabricDaemonTest, FabricResultLandsInTheSharedSweepCache)
+{
+    // fabric-sweep and plain sweep share one job id and one cache
+    // line: a later plain sweep of the same options is answered
+    // from the cache with the identical bytes.
+    const SweepOptions opts = benignSweep();
+    WorkerThread w0(daemon_->socketPath(), "w0");
+
+    auto connection = client();
+    const WireMessage first = transact(
+        *connection, fabricSweepRequest(opts, 2));
+    ASSERT_EQ("result", first.type) << first.text("message");
+    w0.join();
+
+    // Plain v1 sweep request for the same options.
+    std::string request;
+    JsonWriter w(request);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchema);
+    w.key("type");
+    w.value("sweep");
+    w.key("configs");
+    w.beginArray();
+    for (const std::string &spec : opts.configs)
+        w.value(spec);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const std::string &name : opts.workloads)
+        w.value(name);
+    w.endArray();
+    w.key("retries");
+    w.beginArray();
+    for (unsigned limit : opts.retryLimits)
+        w.value(limit);
+    w.endArray();
+    w.key("seeds");
+    w.value(opts.seeds);
+    w.key("ops");
+    w.value(opts.params.opsPerThread);
+    w.key("threads");
+    w.value(opts.params.threads);
+    w.key("jobs");
+    w.value(opts.jobs);
+    w.endObject();
+
+    std::vector<WireMessage> events;
+    const WireMessage second =
+        transact(*connection, request, &events);
+    ASSERT_EQ("result", second.type) << second.text("message");
+    EXPECT_EQ(first.text("payload"), second.text("payload"));
+    const WireMessage *ack = nullptr;
+    for (const WireMessage &event : events)
+        if (event.type == "ack")
+            ack = &event;
+    ASSERT_NE(nullptr, ack);
+    EXPECT_EQ(0u, ack->text("state").find("dedup-"))
+        << ack->text("state");
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * The fabric's headline invariant, pinned end-to-end with real
+ * worker *processes*: the merged sweep CSV is byte-identical to the
+ * single-process engine for any worker count, with a worker
+ * SIGKILLed mid-sweep, and across a coordinator crash + restart
+ * (checkpoint resume, no completed cell re-executed).
+ *
+ * Workers are forked before the Daemon exists — connectWithRetry
+ * finds the socket once the coordinator binds it, exactly like a
+ * fleet launched by a job scheduler. Lives in the determinism suite
+ * (ctest -L determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/sweep_cache.hh"
+#include "harness/sweep_engine.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/wire.hh"
+#include "service/worker.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SweepOptions
+benignSweep()
+{
+    SweepOptions opts;
+    opts.configs = {"B", "C"};
+    opts.workloads = {"mwobject", "arrayswap", "stack"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 3;
+    opts.params.opsPerThread = 4;
+    opts.jobs = 2;
+    return opts;
+}
+
+std::string
+fabricSweepRequest(const SweepOptions &opts, unsigned shards)
+{
+    std::string out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value(kWireSchemaV2);
+    w.key("type");
+    w.value("fabric-sweep");
+    w.key("configs");
+    w.beginArray();
+    for (const std::string &spec : opts.configs)
+        w.value(spec);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const std::string &name : opts.workloads)
+        w.value(name);
+    w.endArray();
+    w.key("retries");
+    w.beginArray();
+    for (unsigned limit : opts.retryLimits)
+        w.value(limit);
+    w.endArray();
+    w.key("seeds");
+    w.value(opts.seeds);
+    w.key("ops");
+    w.value(opts.params.opsPerThread);
+    w.key("threads");
+    w.value(opts.params.threads);
+    w.key("jobs");
+    w.value(opts.jobs);
+    w.key("shards");
+    w.value(shards);
+    w.endObject();
+    return out;
+}
+
+/** The single-process ground truth, computed once per suite. */
+const std::string &
+baseline()
+{
+    static const std::string bytes = [] {
+        const SweepOptions opts = benignSweep();
+        const SweepOutcome local =
+            runSweepGrid(opts, {}, SweepObserver{});
+        SweepSummary summary;
+        for (const auto &[key, cell] : local.cells)
+            summary[key] = CellSummary::fromCell(cell);
+        return serializeSweepCache(sweepOptionsHash(opts),
+                                   summary);
+    }();
+    return bytes;
+}
+
+/**
+ * Fork a worker process polling @p socket. The child never returns;
+ * the parent gets its pid and SIGKILLs it when done.
+ */
+pid_t
+spawnWorker(const std::string &socket, const std::string &name)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    FabricWorkerOptions options;
+    options.socketPath = socket;
+    options.name = name;
+    options.connectAttempts = 2000;
+    FabricWorker worker(options);
+    static std::atomic<bool> never{false};
+    worker.run(never);
+    ::_exit(0);
+}
+
+void
+reapWorker(pid_t pid)
+{
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+}
+
+class FabricDeterminismTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = std::string("/tmp/clearsim_fabdet_") + info->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        daemon_.reset();
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string
+    socketPath() const
+    {
+        return dir_ + "/d.sock";
+    }
+
+    std::string
+    cachePath() const
+    {
+        return dir_ + "/cache.csv";
+    }
+
+    void
+    startDaemon()
+    {
+        Daemon::Options options;
+        options.socketPath = socketPath();
+        options.scheduler.cachePath = cachePath();
+        options.scheduler.dlqPath = dir_ + "/dlq.jsonl";
+        options.scheduler.jobs = 2;
+        daemon_ = std::make_unique<Daemon>(options);
+    }
+
+    /** Submit a fabric sweep, return the terminal message. */
+    WireMessage
+    submit(unsigned shards,
+           const std::function<void(const WireMessage &)> &on_event =
+               nullptr)
+    {
+        ClientConnection connection;
+        std::string error;
+        EXPECT_TRUE(connection.connect(socketPath(), error))
+            << error;
+        EXPECT_TRUE(connection.send(
+            fabricSweepRequest(benignSweep(), shards), error))
+            << error;
+        WireMessage outcome;
+        EXPECT_TRUE(
+            connection.waitForOutcome(outcome, error, on_event))
+            << error;
+        return outcome;
+    }
+
+    std::string dir_;
+    std::unique_ptr<Daemon> daemon_;
+};
+
+TEST_F(FabricDeterminismTest, AnyWorkerCountMergesIdenticalBytes)
+{
+    for (unsigned count : {1u, 2u, 4u}) {
+        const std::string sub =
+            dir_ + "/n" + std::to_string(count);
+        std::filesystem::remove_all(sub);
+        std::filesystem::create_directories(sub);
+        // Fresh coordinator state per count: same socket path, new
+        // cache — otherwise the second round would be answered from
+        // the first round's cache instead of the fabric.
+        Daemon::Options options;
+        options.socketPath = socketPath();
+        options.scheduler.cachePath = sub + "/cache.csv";
+        options.scheduler.dlqPath = sub + "/dlq.jsonl";
+        options.scheduler.jobs = 2;
+
+        // Workers first, coordinator second: connectWithRetry must
+        // bridge the gap.
+        std::vector<pid_t> workers;
+        for (unsigned i = 0; i < count; ++i)
+            workers.push_back(spawnWorker(
+                socketPath(), "w" + std::to_string(i)));
+        daemon_ = std::make_unique<Daemon>(options);
+
+        const WireMessage outcome = submit(/*shards=*/0);
+        EXPECT_EQ("result", outcome.type)
+            << outcome.text("message");
+        EXPECT_EQ(baseline(), outcome.text("payload"))
+            << "workers=" << count;
+
+        for (pid_t pid : workers)
+            reapWorker(pid);
+        daemon_.reset();
+    }
+}
+
+TEST_F(FabricDeterminismTest, SigkilledWorkerDoesNotChangeTheBytes)
+{
+    // Three workers, one murdered as soon as the first cell lands.
+    // Its leases are released penalized on disconnect and re-leased
+    // to the survivors; the merged bytes must not notice.
+    std::vector<pid_t> workers;
+    for (unsigned i = 0; i < 3; ++i)
+        workers.push_back(
+            spawnWorker(socketPath(), "k" + std::to_string(i)));
+    startDaemon();
+
+    std::atomic<bool> killed{false};
+    const WireMessage outcome =
+        submit(/*shards=*/0, [&](const WireMessage &event) {
+            if (event.type == "cell" &&
+                !killed.exchange(true)) {
+                ::kill(workers[0], SIGKILL);
+            }
+        });
+    EXPECT_TRUE(killed.load());
+    EXPECT_EQ("result", outcome.type) << outcome.text("message");
+    EXPECT_EQ(baseline(), outcome.text("payload"));
+
+    for (pid_t pid : workers)
+        reapWorker(pid);
+}
+
+TEST_F(FabricDeterminismTest, CoordinatorCrashResumesFromCheckpoint)
+{
+    // Round 1 runs in a forked child (daemon + one in-process
+    // worker thread); the parent SIGKILLs it once the checkpoint
+    // holds at least one completed shard. Round 2 restarts the
+    // coordinator on the same cache path: completed cells are
+    // resumed, not re-executed, and the final bytes are identical
+    // to the uninterrupted single-process run.
+    const std::string checkpoint = sweepCheckpointPath(cachePath());
+
+    const pid_t child = ::fork();
+    if (child == 0) {
+        Daemon::Options options;
+        options.socketPath = socketPath();
+        options.scheduler.cachePath = cachePath();
+        options.scheduler.dlqPath = dir_ + "/dlq.jsonl";
+        options.scheduler.jobs = 2;
+        Daemon daemon(options);
+
+        FabricWorkerOptions wopts;
+        wopts.socketPath = socketPath();
+        wopts.name = "crashable";
+        FabricWorker worker(wopts);
+        std::atomic<bool> stop{false};
+        std::thread runner([&] { worker.run(stop); });
+
+        ClientConnection connection;
+        std::string error;
+        if (!connection.connect(socketPath(), error))
+            ::_exit(2);
+        if (!connection.send(
+                fabricSweepRequest(benignSweep(), /*shards=*/0),
+                error))
+            ::_exit(2);
+        WireMessage outcome;
+        connection.waitForOutcome(outcome, error);
+        stop.store(true);
+        runner.join();
+        ::_exit(0);
+    }
+    ASSERT_GT(child, 0);
+
+    // Wait for the checkpoint to carry a header plus at least one
+    // row, then kill the whole coordinator process.
+    bool saw_checkpoint = false;
+    for (int i = 0; i < 600; ++i) {
+        std::ifstream in(checkpoint);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        if (std::count(text.begin(), text.end(), '\n') >= 2) {
+            saw_checkpoint = true;
+            break;
+        }
+        int status = 0;
+        if (::waitpid(child, &status, WNOHANG) == child) {
+            // Finished before we could kill it: the run completed
+            // and the cache holds the full result. Still a valid
+            // (if less interesting) round 1.
+            break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+
+    // Round 2: restart on the same state, with a fresh worker.
+    const pid_t worker = spawnWorker(socketPath(), "resumer");
+    startDaemon();
+    const WireMessage outcome = submit(/*shards=*/0);
+    EXPECT_EQ("result", outcome.type) << outcome.text("message");
+    EXPECT_EQ(baseline(), outcome.text("payload"));
+
+    if (saw_checkpoint) {
+        // The restarted coordinator must have resumed the
+        // checkpointed cells instead of re-executing them.
+        ClientConnection connection;
+        std::string error;
+        ASSERT_TRUE(connection.connect(socketPath(), error))
+            << error;
+        std::string request;
+        JsonWriter w(request);
+        w.beginObject();
+        w.key("schema");
+        w.value(kWireSchemaV2);
+        w.key("type");
+        w.value("fabric-status");
+        w.endObject();
+        ASSERT_TRUE(connection.send(request, error)) << error;
+        WireMessage reply;
+        ASSERT_TRUE(connection.waitForOutcome(reply, error))
+            << error;
+        ASSERT_EQ("result", reply.type);
+        JsonValue doc;
+        ASSERT_TRUE(parseJson(reply.text("payload"), doc, error))
+            << error;
+        const JsonValue *counters = doc.find("counters");
+        ASSERT_NE(nullptr, counters);
+        const JsonValue *resumed =
+            counters->find("fabric.cells.resumed");
+        ASSERT_NE(nullptr, resumed);
+        EXPECT_GE(resumed->uintValue, 1u);
+        const JsonValue *executed =
+            counters->find("fabric.cells.executed");
+        ASSERT_NE(nullptr, executed);
+        // resumed + executed covers the grid exactly: nothing ran
+        // twice.
+        EXPECT_EQ(6u, resumed->uintValue + executed->uintValue);
+    }
+
+    reapWorker(worker);
+    // The checkpoint is consumed on success.
+    EXPECT_FALSE(std::filesystem::exists(checkpoint));
+}
+
+} // namespace
+} // namespace clearsim

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * FabricRun unit tests with a synthetic clock: every failure mode
+ * of the lease state machine — expiry, work-stealing, bounded
+ * retries into the DLQ, duplicate results, checkpoint resume —
+ * exercised without sockets, threads or a real sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/fault_repro.hh"
+#include "harness/sweep_cache.hh"
+#include "service/fabric.hh"
+#include "service/wire.hh"
+
+namespace clearsim
+{
+namespace
+{
+
+SweepOptions
+smallSweep()
+{
+    SweepOptions opts;
+    opts.configs = {"B", "C"};
+    opts.workloads = {"mwobject", "arrayswap"};
+    opts.retryLimits = {1, 4};
+    opts.seeds = 2;
+    return opts;
+}
+
+FabricOptions
+fastFabric()
+{
+    FabricOptions fabric;
+    fabric.leaseTtlMs = 100;
+    fabric.shardRetryBudget = 2;
+    return fabric;
+}
+
+/** A synthetic (but parseable) summary for @p key. */
+CellSummary
+fakeCell(const SweepKey &key)
+{
+    CellSummary cell;
+    cell.workload = key.first;
+    cell.config = key.second;
+    cell.bestRetryLimit = 1;
+    cell.cycles = 123.5;
+    cell.energy = 42.25;
+    cell.commits = 7;
+    return cell;
+}
+
+/** serializeSweepCacheRow() lines for every cell of @p shard. */
+std::vector<std::string>
+rowsFor(const FabricRun &run, unsigned shard)
+{
+    std::vector<std::string> rows;
+    for (const SweepKey &key : run.plan().shards[shard])
+        rows.push_back(serializeSweepCacheRow(fakeCell(key)));
+    return rows;
+}
+
+TEST(FabricRun, LeaseLifecycleCompletesTheRun)
+{
+    FabricCounters counters;
+    FabricRun run("job-1", smallSweep(), 2, fastFabric(), {},
+                  counters);
+    ASSERT_EQ(2u, run.plan().shardCount);
+    EXPECT_FALSE(run.done());
+    EXPECT_EQ(0u, run.doneCells());
+    EXPECT_EQ(4u, run.totalCells());
+
+    FabricRun::Grant a, b;
+    ASSERT_TRUE(run.acquire(1, 0, a));
+    ASSERT_TRUE(run.acquire(2, 0, b));
+    EXPECT_NE(a.shard, b.shard);
+    EXPECT_TRUE(a.skip.empty());
+    EXPECT_EQ(1u, run.shardsHeldBy(1));
+
+    // Nothing left to lease while both are held.
+    FabricRun::Grant none;
+    EXPECT_FALSE(run.acquire(3, 0, none));
+
+    EXPECT_TRUE(run.renew(1, a.shard, 50));
+    EXPECT_FALSE(run.renew(2, a.shard, 50)); // not the holder
+    EXPECT_FALSE(run.renew(1, 99, 50));      // no such shard
+
+    std::vector<std::string> new_rows;
+    EXPECT_EQ(FabricRun::Accept::Accepted,
+              run.acceptResult(1, a.shard, rowsFor(run, a.shard),
+                               {}, new_rows));
+    EXPECT_EQ(run.plan().shards[a.shard].size(), new_rows.size());
+    EXPECT_FALSE(run.done());
+    EXPECT_EQ(FabricRun::Accept::Accepted,
+              run.acceptResult(2, b.shard, rowsFor(run, b.shard),
+                               {}, new_rows));
+    EXPECT_TRUE(run.done());
+    EXPECT_FALSE(run.failed());
+    EXPECT_EQ(4u, run.doneCells());
+    EXPECT_EQ(2u, counters.leasesGranted);
+    EXPECT_EQ(1u, counters.leasesRenewed);
+    EXPECT_EQ(2u, counters.resultsAccepted);
+    EXPECT_EQ(2u, counters.shardsCompleted);
+    EXPECT_EQ(4u, counters.cellsExecuted);
+
+    const FabricRun::Gauges g = run.gauges();
+    EXPECT_EQ(2u, g.total);
+    EXPECT_EQ(2u, g.completed);
+    EXPECT_EQ(0u, g.leased);
+}
+
+TEST(FabricRun, ExpiredLeaseIsStolenByTheNextWorker)
+{
+    FabricCounters counters;
+    FabricOptions fabric = fastFabric();
+    fabric.shardRetryBudget = 5;
+    FabricRun run("job-1", smallSweep(), 1, fabric, {}, counters);
+
+    FabricRun::Grant grant;
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+    EXPECT_EQ(0u, run.tick(99)); // deadline is 100: still alive
+    EXPECT_EQ(1u, run.tick(100));
+    EXPECT_EQ(1u, counters.leasesExpired);
+    EXPECT_EQ(0u, run.shardsHeldBy(1));
+
+    // Work-stealing: another worker picks the shard right up.
+    FabricRun::Grant stolen;
+    ASSERT_TRUE(run.acquire(2, 100, stolen));
+    EXPECT_EQ(grant.shard, stolen.shard);
+
+    // A renewal from the dispossessed worker reports lease-lost.
+    EXPECT_FALSE(run.renew(1, grant.shard, 150));
+    EXPECT_TRUE(run.renew(2, grant.shard, 150));
+}
+
+TEST(FabricRun, FirstResultWinsEvenAfterTheLeaseExpired)
+{
+    FabricCounters counters;
+    FabricOptions fabric = fastFabric();
+    fabric.shardRetryBudget = 5;
+    FabricRun run("job-1", smallSweep(), 1, fabric, {}, counters);
+
+    FabricRun::Grant grant;
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+    ASSERT_EQ(1u, run.tick(200));
+    FabricRun::Grant stolen;
+    ASSERT_TRUE(run.acquire(2, 200, stolen));
+
+    // The slow worker finishes anyway. The work is done — merge it.
+    std::vector<std::string> new_rows;
+    EXPECT_EQ(FabricRun::Accept::Accepted,
+              run.acceptResult(1, grant.shard,
+                               rowsFor(run, grant.shard), {},
+                               new_rows));
+    EXPECT_TRUE(run.done());
+
+    // The thief reports later: duplicate, discarded idempotently.
+    EXPECT_EQ(FabricRun::Accept::Stale,
+              run.acceptResult(2, stolen.shard,
+                               rowsFor(run, stolen.shard), {},
+                               new_rows));
+    EXPECT_TRUE(new_rows.empty());
+    EXPECT_EQ(1u, counters.resultsDuplicate);
+    EXPECT_EQ(4u, run.doneCells()); // merged exactly once
+}
+
+TEST(FabricRun, RetryBudgetExhaustionDeadLettersTheShard)
+{
+    FabricCounters counters;
+    FabricRun run("job-1", smallSweep(), 1, fastFabric(), {},
+                  counters); // budget 2
+    for (unsigned attempt = 0; attempt < 2; ++attempt) {
+        FabricRun::Grant grant;
+        ASSERT_TRUE(
+            run.acquire(1, attempt * 1000, grant));
+        ASSERT_EQ(1u, run.tick(attempt * 1000 + 500));
+    }
+    EXPECT_TRUE(run.done());
+    EXPECT_TRUE(run.failed());
+    EXPECT_EQ(1u, counters.shardsDeadLettered);
+    EXPECT_EQ(1u, run.gauges().deadLettered);
+
+    // No further lease: the shard is out of the pool.
+    FabricRun::Grant grant;
+    EXPECT_FALSE(run.acquire(2, 9999, grant));
+
+    // Every unfinished cell gets a DLQ record with a usable repro.
+    const std::vector<DeadLetter> records = run.deadLetterRecords();
+    ASSERT_EQ(4u, records.size());
+    for (const DeadLetter &record : records) {
+        EXPECT_EQ("job-1", record.jobId);
+        EXPECT_NE(std::string::npos,
+                  record.error.find("dead-lettered"));
+        ReproSpec spec;
+        std::string error;
+        EXPECT_TRUE(parseReproString(record.repro, spec, &error))
+            << record.repro << ": " << error;
+        EXPECT_EQ(record.workload, spec.workload);
+    }
+}
+
+TEST(FabricRun, CrashReleaseChargesAnAttemptButByeDoesNot)
+{
+    FabricCounters counters;
+    FabricRun run("job-1", smallSweep(), 1, fastFabric(), {},
+                  counters); // budget 2
+
+    // Clean worker-bye: shard returns unpenalized, forever.
+    for (unsigned round = 0; round < 4; ++round) {
+        FabricRun::Grant grant;
+        ASSERT_TRUE(run.acquire(1, 0, grant));
+        run.releaseWorker(1, false);
+        EXPECT_EQ(0u, run.gauges().deadLettered);
+    }
+    EXPECT_EQ(4u, counters.leasesReleased);
+
+    // Crash-release twice: budget 2 dead-letters the shard.
+    FabricRun::Grant grant;
+    ASSERT_TRUE(run.acquire(2, 0, grant));
+    run.releaseWorker(2, true);
+    EXPECT_FALSE(run.done());
+    ASSERT_TRUE(run.acquire(3, 0, grant));
+    run.releaseWorker(3, true);
+    EXPECT_TRUE(run.done());
+    EXPECT_EQ(1u, counters.shardsDeadLettered);
+}
+
+TEST(FabricRun, MalformedOrMisdirectedResultsAreRejected)
+{
+    FabricCounters counters;
+    FabricOptions fabric = fastFabric();
+    fabric.shardRetryBudget = 10;
+    FabricRun run("job-1", smallSweep(), 2, fabric, {}, counters);
+
+    FabricRun::Grant grant;
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+    std::vector<std::string> new_rows;
+
+    // A row that does not parse.
+    std::vector<std::string> garbage = rowsFor(run, grant.shard);
+    garbage[0] = "not,a,row";
+    EXPECT_EQ(FabricRun::Accept::Rejected,
+              run.acceptResult(1, grant.shard, garbage, {},
+                               new_rows));
+
+    // A valid row, but for a cell of the *other* shard.
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+    const unsigned other = grant.shard == 0 ? 1 : 0;
+    std::vector<std::string> misdirected =
+        rowsFor(run, grant.shard);
+    misdirected[0] = rowsFor(run, other)[0];
+    EXPECT_EQ(FabricRun::Accept::Rejected,
+              run.acceptResult(1, grant.shard, misdirected, {},
+                               new_rows));
+
+    // Incomplete coverage: one cell neither reported nor failed.
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+    std::vector<std::string> partial = rowsFor(run, grant.shard);
+    partial.pop_back();
+    EXPECT_EQ(FabricRun::Accept::Rejected,
+              run.acceptResult(1, grant.shard, partial, {},
+                               new_rows));
+
+    // Out-of-range shard index: rejected outright (no slot exists
+    // to charge, so the per-shard counters stay put).
+    EXPECT_EQ(FabricRun::Accept::Rejected,
+              run.acceptResult(1, 99, {}, {}, new_rows));
+
+    EXPECT_EQ(3u, counters.resultsRejected);
+    EXPECT_EQ(0u, run.doneCells()); // nothing merged
+}
+
+TEST(FabricRun, ReportedFailuresCountAsCoverageAndFailTheRun)
+{
+    FabricCounters counters;
+    FabricRun run("job-1", smallSweep(), 1, fastFabric(), {},
+                  counters);
+    FabricRun::Grant grant;
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+
+    std::vector<std::string> rows = rowsFor(run, grant.shard);
+    const SweepKey failed_key =
+        run.plan().shards[grant.shard].back();
+    rows.pop_back();
+    DeadLetter failure;
+    failure.workload = failed_key.first;
+    failure.config = failed_key.second;
+    failure.error = "invariant violated";
+    failure.repro = "repro{...}";
+
+    std::vector<std::string> new_rows;
+    EXPECT_EQ(FabricRun::Accept::Accepted,
+              run.acceptResult(1, grant.shard, rows, {failure},
+                               new_rows));
+    EXPECT_TRUE(run.done());
+    EXPECT_TRUE(run.failed());
+    ASSERT_EQ(1u, run.failures().size());
+    EXPECT_EQ("job-1", run.failures()[0].jobId);
+    EXPECT_EQ("invariant violated", run.failures()[0].error);
+    EXPECT_EQ(1u, counters.cellsFailed);
+    EXPECT_EQ(3u, counters.cellsExecuted);
+}
+
+TEST(FabricRun, CheckpointResumeSkipsCompletedWork)
+{
+    const SweepOptions opts = smallSweep();
+    const ShardPlan plan = planShards(opts, 2);
+
+    // Checkpoint covers all of shard 0 and one cell of shard 1.
+    SweepSummary checkpoint;
+    for (const SweepKey &key : plan.shards[0])
+        checkpoint[key] = fakeCell(key);
+    const SweepKey partial = plan.shards[1].front();
+    checkpoint[partial] = fakeCell(partial);
+
+    FabricCounters counters;
+    FabricRun run("job-1", opts, 2, fastFabric(), checkpoint,
+                  counters);
+    EXPECT_EQ(1u, counters.shardsResumed);
+    EXPECT_EQ(checkpoint.size(), counters.cellsResumed);
+    EXPECT_EQ(checkpoint.size(), run.doneCells());
+    EXPECT_FALSE(run.done());
+
+    // The only leasable shard is 1, and its grant carries the
+    // already-done cell as a skip — a resumed coordinator never
+    // re-executes a completed cell.
+    FabricRun::Grant grant;
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+    EXPECT_EQ(1u, grant.shard);
+    ASSERT_EQ(1u, grant.skip.size());
+    EXPECT_EQ(partial, grant.skip[0]);
+    FabricRun::Grant none;
+    EXPECT_FALSE(run.acquire(2, 0, none));
+
+    // The worker reports only the cells it actually ran; the merge
+    // keeps the checkpointed copy and streams only the new rows.
+    std::vector<std::string> rows;
+    for (const SweepKey &key : plan.shards[1])
+        if (key != partial)
+            rows.push_back(serializeSweepCacheRow(fakeCell(key)));
+    std::vector<std::string> new_rows;
+    EXPECT_EQ(FabricRun::Accept::Accepted,
+              run.acceptResult(1, grant.shard, rows, {}, new_rows));
+    EXPECT_EQ(rows.size(), new_rows.size());
+    EXPECT_TRUE(run.done());
+    EXPECT_EQ(run.totalCells(), run.doneCells());
+}
+
+TEST(FabricRun, FullyCheckpointedRunIsDoneWithoutALease)
+{
+    const SweepOptions opts = smallSweep();
+    const ShardPlan plan = planShards(opts, 2);
+    SweepSummary checkpoint;
+    for (const std::vector<SweepKey> &shard : plan.shards)
+        for (const SweepKey &key : shard)
+            checkpoint[key] = fakeCell(key);
+
+    FabricCounters counters;
+    FabricRun run("job-1", opts, 2, fastFabric(), checkpoint,
+                  counters);
+    EXPECT_TRUE(run.done());
+    EXPECT_FALSE(run.failed());
+    EXPECT_EQ(2u, counters.shardsResumed);
+    FabricRun::Grant grant;
+    EXPECT_FALSE(run.acquire(1, 0, grant));
+}
+
+TEST(FabricFrames, LeaseGrantRoundTripsThroughTheWire)
+{
+    SweepOptions opts = smallSweep();
+    opts.trimEachSide = 1;
+    opts.params.opsPerThread = 64;
+    opts.params.seed = 1234;
+    opts.jobs = 3;
+    FabricCounters counters;
+    const ShardPlan plan = planShards(opts, 2);
+    SweepSummary checkpoint;
+    const SweepKey done = plan.shards[0].front();
+    checkpoint[done] = fakeCell(done);
+    FabricRun run("job-7", opts, 2, fastFabric(), checkpoint,
+                  counters);
+
+    FabricRun::Grant grant;
+    ASSERT_TRUE(run.acquire(1, 0, grant));
+    const std::string frame =
+        buildLeaseGrant(run, grant, run.plan().shardCount);
+
+    WireMessage msg;
+    std::string error;
+    ASSERT_TRUE(parseWireMessage(frame, msg, error)) << error;
+    EXPECT_EQ("lease-grant", msg.type);
+    EXPECT_EQ(2u, msg.version);
+
+    LeaseGrant parsed;
+    ASSERT_TRUE(parseLeaseGrant(msg, parsed, error)) << error;
+    EXPECT_EQ("job-7", parsed.jobId);
+    EXPECT_EQ(grant.shard, parsed.shard);
+    EXPECT_EQ(run.plan().shardCount, parsed.shardCount);
+    EXPECT_EQ(opts.configs, parsed.options.configs);
+    EXPECT_EQ(opts.workloads, parsed.options.workloads);
+    EXPECT_EQ(opts.retryLimits, parsed.options.retryLimits);
+    EXPECT_EQ(opts.seeds, parsed.options.seeds);
+    EXPECT_EQ(opts.trimEachSide, parsed.options.trimEachSide);
+    EXPECT_EQ(opts.params.opsPerThread,
+              parsed.options.params.opsPerThread);
+    EXPECT_EQ(opts.params.seed, parsed.options.params.seed);
+    EXPECT_EQ(opts.jobs, parsed.options.jobs);
+    EXPECT_EQ(grant.skip, parsed.skip);
+
+    // The whole point: the worker rebuilds the identical plan.
+    const ShardPlan rebuilt =
+        planShards(parsed.options, parsed.shardCount);
+    EXPECT_EQ(run.plan().shards, rebuilt.shards);
+}
+
+TEST(FabricFrames, ShardResultRoundTripsThroughTheWire)
+{
+    DeadLetter failure;
+    failure.workload = "mwobject";
+    failure.config = "B";
+    failure.error = "boom";
+    failure.repro = "repro{v=1}";
+    const std::vector<std::string> rows = {"row-a", "row-b"};
+    const std::string frame =
+        buildShardResult("w0", "job-7", 3, rows, {failure});
+
+    WireMessage msg;
+    std::string error;
+    ASSERT_TRUE(parseWireMessage(frame, msg, error)) << error;
+    EXPECT_EQ("shard-result", msg.type);
+    EXPECT_EQ(2u, msg.version);
+    EXPECT_EQ("w0", msg.text("worker"));
+    EXPECT_EQ("job-7", msg.text("id"));
+    EXPECT_EQ(3u, msg.number("shard"));
+    EXPECT_EQ(rows, msg.textList("rows"));
+    EXPECT_EQ(std::vector<std::string>{"mwobject"},
+              msg.textList("fail-workloads"));
+    EXPECT_EQ(std::vector<std::string>{"B"},
+              msg.textList("fail-configs"));
+    EXPECT_EQ(std::vector<std::string>{"boom"},
+              msg.textList("fail-errors"));
+    EXPECT_EQ(std::vector<std::string>{"repro{v=1}"},
+              msg.textList("fail-repros"));
+}
+
+} // namespace
+} // namespace clearsim

@@ -178,8 +178,76 @@ TEST(WireMessages, AccessorsReadTheParsedBody)
     ASSERT_TRUE(parseWireMessage(wireHello(), msg, error));
     const std::vector<std::string> versions =
         msg.textList("versions");
-    ASSERT_EQ(1u, versions.size());
+    ASSERT_EQ(2u, versions.size());
     EXPECT_EQ(kWireSchema, versions[0]);
+    EXPECT_EQ(kWireSchemaV2, versions[1]);
+}
+
+TEST(WireMessages, V2TypesRequireTheV2Schema)
+{
+    // A v2-only type under the v1 schema string is rejected like an
+    // unknown type: an old server must never half-understand a
+    // fabric frame.
+    WireMessage msg;
+    std::string error;
+    EXPECT_FALSE(parseWireMessage(
+        R"({"schema":"clearsimd-wire-v1","type":"lease",)"
+        R"("worker":"w0"})",
+        msg, error));
+    EXPECT_NE(std::string::npos, error.find(kWireSchemaV2))
+        << error;
+
+    ASSERT_TRUE(parseWireMessage(
+        R"({"schema":"clearsimd-wire-v2","type":"lease",)"
+        R"("worker":"w0"})",
+        msg, error))
+        << error;
+    EXPECT_EQ(2u, msg.version);
+    EXPECT_EQ("lease", msg.type);
+
+    // v1 types are valid under either schema string.
+    ASSERT_TRUE(parseWireMessage(
+        R"({"schema":"clearsimd-wire-v2","type":"catalogue"})",
+        msg, error))
+        << error;
+    EXPECT_EQ(2u, msg.version);
+}
+
+TEST(WireMessages, FabricBuildersRoundTrip)
+{
+    WireMessage msg;
+    std::string error;
+    ASSERT_TRUE(
+        parseWireMessage(wireLease("t1", "w0"), msg, error))
+        << error;
+    EXPECT_EQ("lease", msg.type);
+    EXPECT_EQ("w0", msg.text("worker"));
+
+    ASSERT_TRUE(
+        parseWireMessage(wireLeaseIdle(250), msg, error))
+        << error;
+    EXPECT_EQ("lease-idle", msg.type);
+    EXPECT_EQ(250u, msg.number("retry-ms"));
+
+    ASSERT_TRUE(parseWireMessage(wireLeaseRenew("w0", "job-1", 3),
+                                 msg, error))
+        << error;
+    EXPECT_EQ("lease-renew", msg.type);
+    EXPECT_EQ("job-1", msg.text("id"));
+    EXPECT_EQ(3u, msg.number("shard"));
+
+    ASSERT_TRUE(
+        parseWireMessage(wireWorkerBye("t2", "w0"), msg, error))
+        << error;
+    EXPECT_EQ("worker-bye", msg.type);
+
+    ASSERT_TRUE(parseWireMessage(
+        wireJobAborted("job-1", "daemon shutting down"), msg,
+        error))
+        << error;
+    EXPECT_EQ("job-aborted", msg.type);
+    EXPECT_EQ(1u, msg.version);
+    EXPECT_EQ("daemon shutting down", msg.text("message"));
 }
 
 TEST(WireMessages, RejectsUnknownSchema)

@@ -6,13 +6,16 @@
  *   clearsim_client --socket S run --workload genome --config C
  *   clearsim_client --socket S sweep --configs B,C \
  *       --workloads genome,bst --retries 1,2,4 --out sweep.csv
+ *   clearsim_client --socket S fabric-sweep --shards 4 ...
+ *   clearsim_client --socket S fabric-status   (alias: workers)
  *   clearsim_client --socket S status [--id <job>]
  *   clearsim_client --socket S cancel --id <job>
  *   clearsim_client --socket S dlq-list | dlq-replay | dlq-clear
  *
  * Streams progress and cells to stderr while the job runs, writes
  * the terminal payload to --out (default stdout), and exits 0 on
- * success, 3 when the job failed, 4 when it was cancelled.
+ * success, 3 when the job failed or the daemon aborted it while
+ * shutting down, 4 when it was cancelled.
  *
  * The sweep payload is the sweep-cache CSV, byte-identical to what
  * clearsim_cli --sweep produces locally for the same options —
@@ -50,14 +53,21 @@ usage()
         "  run              one simulation (--workload required)\n"
         "  analyze          ahead-of-run analysis (--workload req.)\n"
         "  sweep            a (configs x workloads) sweep\n"
+        "  fabric-sweep     the same sweep, sharded over\n"
+        "                   clearsim_worker processes\n"
         "  audit            certifying-analyzer mispredict audit\n"
         "  status           job table (all jobs, or --id <job>)\n"
+        "  fabric-status    fabric coordinator state (workers,\n"
+        "                   shard/lease counters)\n"
+        "  workers          alias of fabric-status\n"
         "  cancel           cancel an in-flight job (--id <job>)\n"
         "  dlq-list         dead-letter queue contents\n"
         "  dlq-replay       re-execute every dead-lettered point\n"
         "  dlq-clear        drop every dead-letter entry\n"
         "options:\n"
         "  --socket <path>  daemon socket (default clearsimd.sock)\n"
+        "  --retry-connect <n>  connect attempts with jittered\n"
+        "                   backoff (default 1 = no retry)\n"
         "  --out <file>     write the result payload to <file>\n"
         "  --tag <text>     request tag echoed in acks/errors\n"
         "  --quiet          no progress/cell streaming to stderr\n"
@@ -66,6 +76,8 @@ usage()
         "sweep:        --configs a,b --workloads a,b --retries 1,2\n"
         "              --seeds --trim --ops --threads --scale\n"
         "              --jobs <n>\n"
+        "fabric-sweep: sweep options plus --shards <n>\n"
+        "              (0 = one shard per cell)\n"
         "audit:        --configs a,b --workloads a,b --retries 1,4\n"
         "              --seeds --ops --threads --scale --seed\n"
         "              --jobs <n>\n");
@@ -100,11 +112,28 @@ struct ClientOptions
     std::vector<std::uint64_t> retriesList;
     bool haveRetries = false;
     std::uint64_t retries = 0, threads = 0, ops = 0, scale = 0,
-                  seed = 0, seeds = 0, trim = 0, jobs = 0;
+                  seed = 0, seeds = 0, trim = 0, jobs = 0,
+                  shards = 0;
     bool haveThreads = false, haveOps = false, haveScale = false,
          haveSeed = false, haveSeeds = false, haveTrim = false,
-         haveJobs = false;
+         haveJobs = false, haveShards = false;
+    std::uint64_t retryConnect = 1;
 };
+
+/** The wire command behind a CLI command name. */
+std::string
+wireCommand(const std::string &command)
+{
+    return command == "workers" ? "fabric-status" : command;
+}
+
+/** True when the command needs the v2 (fabric) schema. */
+bool
+needsV2(const std::string &command)
+{
+    const std::string wire = wireCommand(command);
+    return wire == "fabric-sweep" || wire == "fabric-status";
+}
 
 /** Build the request payload for the parsed command. */
 std::string
@@ -114,13 +143,16 @@ buildRequest(const ClientOptions &opts)
     JsonWriter w(out);
     w.beginObject();
     w.key("schema");
-    w.value(kWireSchema);
+    w.value(needsV2(opts.command) ? kWireSchemaV2 : kWireSchema);
     w.key("type");
-    w.value(opts.command);
+    w.value(wireCommand(opts.command));
     if (!opts.tag.empty()) {
         w.key("tag");
         w.value(opts.tag);
     }
+    const bool sweep_like = opts.command == "sweep" ||
+                            opts.command == "fabric-sweep" ||
+                            opts.command == "audit";
     if (opts.command == "run" || opts.command == "analyze") {
         if (!opts.config.empty()) {
             w.key("config");
@@ -148,8 +180,7 @@ buildRequest(const ClientOptions &opts)
             w.key("seed");
             w.value(opts.seed);
         }
-    } else if (opts.command == "sweep" ||
-               opts.command == "audit") {
+    } else if (sweep_like) {
         if (!opts.configs.empty()) {
             w.key("configs");
             w.beginArray();
@@ -178,7 +209,7 @@ buildRequest(const ClientOptions &opts)
         // trim is sweep-only and seed audit-only; the protocol
         // fails closed on unknown fields, so send each only where
         // its schema lists it.
-        if (opts.haveTrim && opts.command == "sweep") {
+        if (opts.haveTrim && opts.command != "audit") {
             w.key("trim");
             w.value(opts.trim);
         }
@@ -201,6 +232,10 @@ buildRequest(const ClientOptions &opts)
         if (opts.haveJobs) {
             w.key("jobs");
             w.value(opts.jobs);
+        }
+        if (opts.haveShards && opts.command == "fabric-sweep") {
+            w.key("shards");
+            w.value(opts.shards);
         }
     } else if (opts.command == "status" ||
                opts.command == "cancel") {
@@ -296,6 +331,15 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--jobs") {
             opts.jobs = number(value(), "--jobs");
             opts.haveJobs = true;
+        } else if (arg == "--shards") {
+            opts.shards = number(value(), "--shards");
+            opts.haveShards = true;
+        } else if (arg == "--retry-connect") {
+            opts.retryConnect =
+                number(value(), "--retry-connect");
+        } else if (arg.rfind("--retry-connect=", 0) == 0) {
+            opts.retryConnect =
+                number(arg.substr(16), "--retry-connect");
         } else if (!arg.empty() && arg[0] != '-' &&
                    opts.command.empty()) {
             opts.command = arg;
@@ -308,8 +352,10 @@ parseArgs(int argc, char **argv)
     const bool known =
         opts.command == "catalogue" || opts.command == "run" ||
         opts.command == "analyze" || opts.command == "sweep" ||
+        opts.command == "fabric-sweep" ||
         opts.command == "audit" || opts.command == "status" ||
-        opts.command == "cancel" ||
+        opts.command == "fabric-status" ||
+        opts.command == "workers" || opts.command == "cancel" ||
         opts.command == "dlq-list" ||
         opts.command == "dlq-replay" ||
         opts.command == "dlq-clear";
@@ -339,8 +385,13 @@ main(int argc, char **argv)
 
     ClientConnection connection;
     std::string error;
-    if (!connection.connect(opts.socket, error))
+    if (!connection.connectWithRetry(
+            opts.socket,
+            static_cast<unsigned>(opts.retryConnect), error))
         fatal("%s", error.c_str());
+    if (needsV2(opts.command) && connection.version() < 2)
+        fatal("daemon does not speak %s (needed for %s)",
+              kWireSchemaV2, opts.command.c_str());
     if (!connection.send(buildRequest(opts), error))
         fatal("%s", error.c_str());
 
@@ -393,6 +444,12 @@ main(int argc, char **argv)
     if (outcome.type == "cancelled") {
         std::fprintf(stderr, "clearsim_client: job cancelled\n");
         return 4;
+    }
+    if (outcome.type == "job-aborted") {
+        std::fprintf(stderr,
+                     "clearsim_client: job aborted: %s\n",
+                     outcome.text("message").c_str());
+        return 3;
     }
     writePayload(opts, outcome.text("payload"));
     return 0;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * clearsim_worker: a sweep-fabric worker process.
+ *
+ *   clearsim_worker --socket /tmp/clearsimd.sock --name w0
+ *
+ * Connects to a clearsimd coordinator (retrying with backoff while
+ * the socket appears), then leases shards of the active fabric
+ * sweep, executes them through the standard sweep engine, and
+ * reports the rows back. Heartbeats keep the lease alive; a SIGTERM
+ * or SIGINT finishes nothing mid-flight — the worker deregisters
+ * with worker-bye so its shards return to the pool unpenalized.
+ *
+ * Run as many of these as you have machines' worth of cores; the
+ * merged sweep is byte-identical regardless of how many there are
+ * or which of them die (docs/SERVICE.md, "Sweep fabric").
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "service/worker.hh"
+
+using namespace clearsim;
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: clearsim_worker [options]\n"
+        "  --socket <path>      coordinator socket\n"
+        "                       (default clearsimd.sock)\n"
+        "  --name <text>        worker name in fabric-status\n"
+        "                       (default worker-<pid>)\n"
+        "  --jobs <n>           threads per shard (default: the\n"
+        "                       grant's value, then all hardware\n"
+        "                       threads)\n"
+        "  --retry-connect <n>  connect attempts with backoff\n"
+        "                       (default 40)\n"
+        "  --max-idle-polls <n> exit cleanly after <n> consecutive\n"
+        "                       idle replies (default 0 = poll\n"
+        "                       until killed)\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FabricWorkerOptions options;
+    options.name = "worker-" + std::to_string(::getpid());
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.socketPath = value();
+        } else if (arg == "--name") {
+            options.name = value();
+        } else if (arg == "--jobs") {
+            options.jobs = static_cast<unsigned>(
+                parseUnsignedOrDie(value().c_str(), "--jobs", 0,
+                                   4096));
+        } else if (arg == "--retry-connect") {
+            options.connectAttempts = static_cast<unsigned>(
+                parseUnsignedOrDie(value().c_str(),
+                                   "--retry-connect", 1, 10000));
+        } else if (arg == "--max-idle-polls") {
+            options.maxIdlePolls = static_cast<unsigned>(
+                parseUnsignedOrDie(value().c_str(),
+                                   "--max-idle-polls", 0, 1000000));
+        } else {
+            usage();
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    FabricWorker worker(options);
+    const int status = worker.run(g_stop);
+    const FabricWorker::Totals &totals = worker.totals();
+    logStatus("[clearsim_worker] %s: %llu shards, %llu cells "
+              "(%llu failed), %llu reconnects",
+              options.name.c_str(),
+              static_cast<unsigned long long>(
+                  totals.shardsCompleted),
+              static_cast<unsigned long long>(totals.cellsExecuted),
+              static_cast<unsigned long long>(totals.cellsFailed),
+              static_cast<unsigned long long>(totals.reconnects));
+    return status;
+}

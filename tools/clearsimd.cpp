@@ -23,6 +23,8 @@
 #include <cstring>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/env.hh"
 #include "common/log.hh"
 #include "service/daemon.hh"
@@ -32,15 +34,20 @@ using namespace clearsim;
 namespace
 {
 
-Daemon *g_daemon = nullptr;
+int g_signalPipe[2] = {-1, -1};
 
 void
 onSignal(int)
 {
-    // async-signal-safe enough for a test daemon: stop() only
-    // touches sockets and threads, and is idempotent.
-    if (g_daemon)
-        g_daemon->stop();
+    // Only async-signal-safe work here. Daemon::stop() waits on
+    // the same condition variable the main thread is parked on, so
+    // calling it from a handler that interrupted that wait nests
+    // two waits on one condvar from one thread — with live worker
+    // connections at shutdown, that wedges the process. The
+    // handler just pokes the self-pipe; main runs stop().
+    const char byte = 1;
+    while (::write(g_signalPipe[1], &byte, 1) < 0 && errno == EINTR)
+        continue;
 }
 
 [[noreturn]] void
@@ -55,7 +62,13 @@ usage()
         "  --dlq <path>     dead-letter queue JSONL\n"
         "                   (default clearsimd_dlq.jsonl)\n"
         "  --jobs <n>       worker threads per job (default: all\n"
-        "                   hardware threads)\n");
+        "                   hardware threads)\n"
+        "  --lease-ttl <ms> fabric lease time-to-live\n"
+        "                   (default 5000)\n"
+        "  --shard-retries <n>  attempts per shard before it is\n"
+        "                   dead-lettered (default 3)\n"
+        "  --shards <n>     default fabric shard count when the\n"
+        "                   request leaves it 0 (0 = per cell)\n");
     std::exit(2);
 }
 
@@ -82,18 +95,35 @@ main(int argc, char **argv)
             options.scheduler.jobs =
                 static_cast<unsigned>(parseUnsignedOrDie(
                     value().c_str(), "--jobs", 0, 4096));
+        } else if (arg == "--lease-ttl") {
+            options.scheduler.fabric.leaseTtlMs =
+                parseUnsignedOrDie(value().c_str(), "--lease-ttl",
+                                   1, 3600000);
+        } else if (arg == "--shard-retries") {
+            options.scheduler.fabric.shardRetryBudget =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--shard-retries", 1, 1000));
+        } else if (arg == "--shards") {
+            options.scheduler.fabric.shards =
+                static_cast<unsigned>(parseUnsignedOrDie(
+                    value().c_str(), "--shards", 0, 1000000));
         } else {
             usage();
         }
     }
 
+    if (::pipe(g_signalPipe) != 0)
+        fatal("clearsimd: pipe(): %s", std::strerror(errno));
+
     Daemon daemon(options);
-    g_daemon = &daemon;
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     logStatus("[clearsimd] listening on %s",
               daemon.socketPath().c_str());
-    daemon.wait();
+    char byte = 0;
+    while (::read(g_signalPipe[0], &byte, 1) < 0 && errno == EINTR)
+        continue;
+    daemon.stop();
     logStatus("[clearsimd] shut down");
     return 0;
 }
